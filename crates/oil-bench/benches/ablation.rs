@@ -1,0 +1,112 @@
+//! E11 / E12 / ablations — black-box composition and design choices.
+//!
+//! * **Black-box composition (E11)**: a library module is analysed once,
+//!   hidden behind its rate/latency interface, and composed into an
+//!   application — compared against re-analysing the flat model.
+//! * **Buffer sizing vs exact search**: the CTA capacities (sufficient,
+//!   polynomial) compared with the minimal capacities found by state-space
+//!   search on the dataflow model.
+//! * **Guarded-task parallelization (E12)**: compile time of modal programs
+//!   as the number of modes grows (every branch becomes an unconditionally
+//!   executing task).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oil_bench::bench_registry;
+use oil_compiler::{compile, CompilerOptions};
+use oil_cta::{hide_component, CtaModel, Rational};
+use oil_dataflow::statespace::analyze_self_timed;
+use oil_dataflow::SdfGraph;
+
+/// A library component with `stages` internal processing steps.
+fn library_model(stages: usize) -> CtaModel {
+    let mut m = CtaModel::new();
+    let lib = m.add_component("lib", None);
+    let input = m.add_port(lib, "in", 1e5);
+    let output = m.add_port(lib, "out", 1e5);
+    let mut prev = input;
+    for i in 0..stages {
+        let p = m.add_port(lib, format!("s{i}"), 1e5);
+        m.connect(prev, p, 1e-6, 0.0, Rational::ONE);
+        prev = p;
+    }
+    m.connect(prev, output, 1e-6, 0.0, Rational::ONE);
+    // Environment connections so `in`/`out` stay interface ports.
+    let env = m.add_component("env", None);
+    let src = m.add_required_rate_port(env, "src", 1e4);
+    let snk = m.add_port(env, "snk", 1e5);
+    m.connect(src, input, 0.0, 0.0, Rational::ONE);
+    m.connect(output, snk, 0.0, 0.0, Rational::ONE);
+    m
+}
+
+/// An OIL program with `modes` alternative branches inside one module.
+fn modal_program(modes: usize) -> String {
+    let mut body = String::new();
+    body.push_str("switch(a) ");
+    for m in 0..modes {
+        body.push_str(&format!("case {m} {{ f(a, out b); }} "));
+    }
+    body.push_str("default { g(a, out b); }");
+    format!(
+        "mod seq M(int a, out int b){{ loop{{ {body} }} while(1); }}\n\
+         mod par T(){{ source int x = src() @ 1 kHz; sink int y = snk() @ 1 kHz; M(x, out y) }}"
+    )
+}
+
+fn print_buffer_sizing_comparison() {
+    println!("\n[ablation] CTA sufficient capacities vs exact minimum (two-actor cycle)");
+    println!("{:>8} {:>20} {:>20}", "rates", "exact max tokens", "CTA capacity");
+    for &(p, q) in &[(3u64, 2u64), (5, 4), (10, 16)] {
+        let tokens = 2 * p.max(q);
+        let sdf = SdfGraph::rate_converter(p, p, q, q, tokens, 1e-6);
+        let exact = analyze_self_timed(&sdf, 100_000).unwrap();
+        let cta = oil_bench::multirate_cycle_cta(p, q, tokens);
+        let sized = oil_cta::size_buffers(&cta).unwrap();
+        println!(
+            "{:>8} {:>20} {:>20}",
+            format!("{p}:{q}"),
+            exact.max_tokens_per_edge.iter().max().unwrap(),
+            sized.capacities.values().max().copied().unwrap_or(tokens)
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_buffer_sizing_comparison();
+    let registry = bench_registry(1e-6);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(15);
+
+    // E11: analysing a composition with the library as a black box vs flat.
+    for stages in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("flat_analysis", stages), &stages, |b, &s| {
+            let m = library_model(s);
+            b.iter(|| m.check_consistency().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blackbox_analysis", stages), &stages, |b, &s| {
+            let m = library_model(s);
+            let lib = m.component_by_name("lib").unwrap();
+            // Hiding happens once, at library-release time.
+            let hidden = hide_component(&m, lib).unwrap();
+            b.iter(|| hidden.check_consistency().unwrap())
+        });
+    }
+    group.bench_function("hide_library_64", |b| {
+        let m = library_model(64);
+        let lib = m.component_by_name("lib").unwrap();
+        b.iter(|| hide_component(&m, lib).unwrap())
+    });
+
+    // E12: modal programs — compile time as the number of modes grows.
+    for modes in [2usize, 8, 32] {
+        let src = modal_program(modes);
+        group.bench_with_input(BenchmarkId::new("modal_compile", modes), &src, |b, src| {
+            b.iter(|| compile(src, &registry, &CompilerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

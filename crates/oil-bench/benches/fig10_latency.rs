@@ -1,0 +1,77 @@
+//! E2 / E3 / E7 — Figs. 3, 4, 6 and 10: sources, sinks, modal modules and
+//! latency constraints.
+//!
+//! Regenerates the Fig. 6/10 program analysis (1 kHz source and sink, 5 ms
+//! end-to-end constraint, buffer capacities -δ/r), the Fig. 4 parallelization
+//! of a modal module and a sweep of the latency bound showing where the
+//! constraint becomes unattainable (the Fig. 3 refinement argument: the
+//! periodic source/sink constraints must hold whichever mode is active).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oil_bench::{bench_registry, fig6_source, pipeline_source};
+use oil_compiler::{compile, extract_task_graph, CompilerOptions};
+use oil_lang::parse_program;
+
+fn print_fig10_report() {
+    let registry = bench_registry(1e-5);
+    let compiled = compile(fig6_source(), &registry, &CompilerOptions::default()).unwrap();
+    println!("\n[Fig.6/10 / E7] source-sink program with a 5 ms latency constraint");
+    println!("  source rate: {:.0} Hz", compiled.channel_rate("x").unwrap());
+    println!("  sink rate:   {:.0} Hz", compiled.channel_rate("y").unwrap());
+    println!(
+        "  end-to-end latency bound: {:.3} ms (constraint: 5 ms)",
+        compiled.latency_between("x", "y").unwrap() * 1e3
+    );
+    for (name, cap) in &compiled.buffers.channels {
+        println!("  buffer {name}: {cap} values");
+    }
+
+    // Latency sweep: find the region where the constraint becomes infeasible.
+    println!("  latency-bound sweep (1 kHz, three-task pipeline, 10 us tasks):");
+    for bound_ms in [0.01f64, 0.05, 0.5, 5.0] {
+        let src = fig6_source().replace("5 ms", &format!("{bound_ms} ms"));
+        let feasible = compile(&src, &registry, &CompilerOptions::default()).is_ok();
+        println!("    bound {bound_ms:>6.2} ms -> {}", if feasible { "accepted" } else { "rejected" });
+    }
+}
+
+fn print_fig4_report() {
+    let registry = bench_registry(1e-6);
+    let program = parse_program(
+        "mod seq M(out int x){ if(...){ y = g(); } else { y = h(); } k(y, out x:2); }",
+    )
+    .unwrap();
+    let tg = extract_task_graph(program.module("M").unwrap(), &registry);
+    println!("\n[Fig.4 / E3] parallelization of the modal module M");
+    println!("  tasks: {} (guarded: {})", tg.tasks.len(), tg.tasks.iter().filter(|t| t.guarded).count());
+    println!("  buffers: {} (y with {} producers, x written {} values/firing)",
+        tg.buffers.len(),
+        tg.producers(tg.buffer_by_name("y").unwrap()).len(),
+        tg.tasks.last().unwrap().writes[0].count);
+}
+
+fn bench_latency(c: &mut Criterion) {
+    print_fig10_report();
+    print_fig4_report();
+    let registry = bench_registry(1e-5);
+
+    let mut group = c.benchmark_group("fig10_latency");
+    group.sample_size(20);
+
+    group.bench_function("compile_fig6", |b| {
+        b.iter(|| compile(fig6_source(), &registry, &CompilerOptions::default()).unwrap())
+    });
+
+    // E2: cost of verifying that periodic sources and sinks stay satisfied as
+    // the pipeline (and therefore the number of while-loop components) grows.
+    for stages in [2usize, 8, 32] {
+        let src = pipeline_source(stages, 1000.0);
+        group.bench_with_input(BenchmarkId::new("pipeline_compile", stages), &src, |b, src| {
+            b.iter(|| compile(src, &registry, &CompilerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E1 / E10 — Fig. 2: multi-rate rate conversion.
+//!
+//! Reproduces the comparison motivating Section III-A: a sequential
+//! specification must encode the whole schedule (its length grows with the
+//! rate ratio), while the modular OIL specification stays constant-size and
+//! its analysis cost stays flat. Also regenerates the Fig. 2 numbers: module
+//! B runs 3/2 times as often as module A and four initial tokens make the
+//! cycle deadlock-free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oil_bench::{bench_registry, fig2c_source, sequential_schedule_length};
+use oil_compiler::{compile, CompilerOptions};
+use oil_dataflow::SdfGraph;
+
+fn print_schedule_length_table() {
+    println!("\n[Fig.2 / E10] sequential schedule length vs modular OIL specification");
+    println!("{:>8} {:>8} {:>22} {:>18}", "p", "q", "sequential stmts", "OIL module calls");
+    for (p, q) in [(3u64, 2u64), (10, 16), (25, 1), (125, 2), (127, 128)] {
+        println!(
+            "{:>8} {:>8} {:>22} {:>18}",
+            p,
+            q,
+            sequential_schedule_length(p, q),
+            2 // one call to f and one to g, independent of the rates
+        );
+    }
+}
+
+fn print_fig2_rates() {
+    let compiled =
+        compile(fig2c_source(), &bench_registry(1e-6), &CompilerOptions::default()).unwrap();
+    println!("\n[Fig.2c / E1] derived rates and buffer capacities");
+    let rx = compiled.channel_rate("x").unwrap_or(f64::NAN);
+    let ry = compiled.channel_rate("y").unwrap_or(f64::NAN);
+    println!("  token rate on x: {rx:.0} /s, on y: {ry:.0} /s (equal by construction)");
+    for (name, cap) in &compiled.buffers.channels {
+        println!("  buffer {name}: {cap} values");
+    }
+    println!("  firing-rate ratio g/f = 3/2 (module B executes 1.5x as often as A)");
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_schedule_length_table();
+    print_fig2_rates();
+    let registry = bench_registry(1e-6);
+
+    let mut group = c.benchmark_group("fig2_rate_conversion");
+    group.sample_size(20);
+
+    group.bench_function("compile_fig2c", |b| {
+        b.iter(|| {
+            compile(fig2c_source(), &registry, &CompilerOptions::default()).unwrap()
+        })
+    });
+
+    // Deadlock analysis of the Fig. 2a task graph as a function of the
+    // number of initial tokens (the schedule in Fig. 2b corresponds to 4).
+    for delta in [4u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("sdf_deadlock_check", delta), &delta, |b, &d| {
+            let g = SdfGraph::rate_converter(3, 3, 2, 2, d, 1e-6);
+            b.iter(|| g.check_deadlock_free().is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

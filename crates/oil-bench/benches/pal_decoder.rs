@@ -1,0 +1,66 @@
+//! E8 — Figs. 11 and 12: the PAL decoder case study.
+//!
+//! Regenerates the paper's case-study result: the PAL decoder expressed in
+//! OIL is accepted by the temporal analysis, its channels run at 6.4 MS/s,
+//! 4 MS/s, 256 kS/s and 32 kS/s with the conversion factors 10/16, 1/25 and
+//! 1/8, buffer capacities are computed, the audio/video skew is zero and a
+//! simulated execution meets every constraint. The benchmarks measure the
+//! cost of compiling/analysing the decoder and of simulating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oil_pal::{analyze_pal, simulate_pal, NativePalDecoder};
+use oil_dsp::CompositeSignal;
+
+fn print_pal_report() {
+    let (compiled, analysis) = analyze_pal().unwrap();
+    println!("\n[Fig.11/12 / E8] PAL decoder analysis");
+    println!("  CTA model: {} components, {} connections", analysis.cta_components, analysis.cta_connections);
+    println!("  channel rates (paper: rf 6.4 MS/s, vid 4 MS/s, aud 256 kS/s, speakers 32 kS/s):");
+    for (name, rate) in &analysis.channel_rates {
+        println!("    {name:>10}: {rate:>12.0} samples/s");
+    }
+    println!("  conversion factors: vid/mvs = {:.4} (10/16), aud/mas = {:.4} (1/25), spk/aud = {:.4} (1/8)",
+        analysis.channel_rates["vid"] / analysis.channel_rates["mvs"],
+        analysis.channel_rates["aud"] / analysis.channel_rates["mas"],
+        analysis.channel_rates["speakers"] / analysis.channel_rates["aud"]);
+    println!("  buffer capacities:");
+    for (name, cap) in &analysis.channel_capacities {
+        println!("    {name:>10}: {cap} samples");
+    }
+    println!(
+        "  latency rf->screen {:.3} us, rf->speakers {:.3} us, skew {:.3} us",
+        analysis.latency_rf_to_screen * 1e6,
+        analysis.latency_rf_to_speakers * 1e6,
+        analysis.av_skew() * 1e6
+    );
+    println!("  generated task modules: {}", compiled.generated.len());
+
+    let report = simulate_pal(1e-3).unwrap();
+    println!("  simulation (1 ms): screen {:.0} S/s, speakers {:.0} S/s, misses {}, overflows {}",
+        report.screen_rate,
+        report.speaker_rate,
+        report.metrics.total_misses(),
+        report.metrics.total_overflows());
+}
+
+fn bench_pal(c: &mut Criterion) {
+    print_pal_report();
+
+    let mut group = c.benchmark_group("pal_decoder");
+    group.sample_size(10);
+
+    group.bench_function("analyze", |b| b.iter(|| analyze_pal().unwrap()));
+    group.bench_function("simulate_1ms", |b| b.iter(|| simulate_pal(1e-3).unwrap()));
+    group.bench_function("native_decode_10ms", |b| {
+        let mut signal = CompositeSignal::pal_default();
+        let rf = signal.block(64_000);
+        b.iter(|| {
+            let mut decoder = NativePalDecoder::default();
+            decoder.decode(&rf)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pal);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E9 — polynomial CTA analysis vs exponential exact dataflow analysis.
+//!
+//! The paper's central complexity claim (Sections I, II, V): CTA consistency
+//! and buffer sizing run in polynomial time, whereas exact dataflow analyses
+//! (state-space exploration, HSDF expansion) blow up with the rate ratios.
+//! This bench sweeps the rate ratio of a two-actor multi-rate cycle: the CTA
+//! model's size and analysis time stay flat while the exact analyses grow
+//! with the rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oil_bench::{multirate_cycle, multirate_cycle_cta};
+use oil_dataflow::hsdf::HsdfGraph;
+use oil_dataflow::statespace::analyze_self_timed;
+
+fn print_scaling_table() {
+    println!("\n[E9] model sizes for a p:q multi-rate cycle (CTA stays constant)");
+    println!("{:>8} {:>16} {:>16} {:>16}", "p:q", "HSDF nodes", "state space", "CTA ports");
+    for &(p, q) in &[(3u64, 2u64), (9, 8), (27, 16), (81, 64)] {
+        let sdf = multirate_cycle(p, q, 2 * p.max(q));
+        let hsdf = HsdfGraph::expand(&sdf).unwrap();
+        let exact = analyze_self_timed(&sdf, 100_000).unwrap();
+        let cta = multirate_cycle_cta(p, q, 2 * p.max(q));
+        println!(
+            "{:>8} {:>16} {:>16} {:>16}",
+            format!("{p}:{q}"),
+            hsdf.node_count(),
+            exact.states_explored,
+            cta.port_count()
+        );
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    print_scaling_table();
+
+    let mut group = c.benchmark_group("scaling_poly_vs_exact");
+    group.sample_size(10);
+
+    for &(p, q) in &[(3u64, 2u64), (9, 8), (27, 16), (81, 64)] {
+        let tokens = 2 * p.max(q);
+        let label = format!("{p}x{q}");
+
+        group.bench_with_input(BenchmarkId::new("cta_consistency", &label), &(p, q), |b, &(p, q)| {
+            let m = multirate_cycle_cta(p, q, tokens);
+            b.iter(|| m.consistency_at_maximal_rates(1e-9).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("exact_state_space", &label), &(p, q), |b, &(p, q)| {
+            let g = multirate_cycle(p, q, tokens);
+            b.iter(|| analyze_self_timed(&g, 100_000).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("hsdf_expansion_mcm", &label), &(p, q), |b, &(p, q)| {
+            let g = multirate_cycle(p, q, tokens);
+            b.iter(|| {
+                let h = HsdfGraph::expand(&g).unwrap();
+                h.maximum_cycle_mean()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

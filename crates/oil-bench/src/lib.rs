@@ -1,0 +1,140 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's figures or quantifies
+//! one of its complexity claims; see `EXPERIMENTS.md` for the mapping. The
+//! generators here build parameterised OIL programs and dataflow graphs so
+//! the benches can sweep problem sizes.
+
+use oil_dataflow::SdfGraph;
+use oil_lang::registry::{FunctionRegistry, FunctionSignature};
+
+/// A registry with the generic single-letter kernels used by the synthetic
+/// workloads, each with `response_time` seconds of work.
+pub fn bench_registry(response_time: f64) -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    for f in ["f", "g", "h", "k", "init", "src", "snk"] {
+        reg.register(FunctionSignature::pure(f, response_time));
+    }
+    reg
+}
+
+/// The paper's Fig. 2c rate-conversion program.
+pub fn fig2c_source() -> &'static str {
+    r#"
+    mod seq A(out int a, int b){ loop{ f(out a:3, b:3); } while(1); }
+    mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }
+    mod par C(){ fifo int x, y; A(out x, y) || B(out y, x) }
+    "#
+}
+
+/// The paper's Fig. 6 program (source, sink, nested module, 5 ms latency).
+pub fn fig6_source() -> &'static str {
+    r#"
+    mod seq B(int a, out int z){ loop{ f(a, out z); } while(1); }
+    mod seq C(int a, int z, out int b){ loop{ g(a, z, out b); } while(1); }
+    mod par A(int a, out int b){ fifo int z; B(a, out z) || C(a, z, out b) }
+    mod par D(){
+        source int x = src() @ 1 kHz;
+        sink int y = snk() @ 1 kHz;
+        start x 5 ms before y;
+        A(x, out y)
+    }
+    "#
+}
+
+/// Generate an OIL pipeline of `stages` single-rate modules between a source
+/// and a sink running at `rate_hz`.
+pub fn pipeline_source(stages: usize, rate_hz: f64) -> String {
+    let mut s = String::new();
+    s.push_str("mod seq W(int a, out int b){ loop{ f(a, out b); } while(1); }\n");
+    s.push_str("mod par Top(){\n");
+    for i in 0..stages.saturating_sub(1) {
+        s.push_str(&format!("    fifo int m{i};\n"));
+    }
+    s.push_str(&format!("    source int x = src() @ {rate_hz} Hz;\n"));
+    s.push_str(&format!("    sink int y = snk() @ {rate_hz} Hz;\n"));
+    if stages == 1 {
+        s.push_str("    W(x, out y)\n");
+    } else {
+        s.push_str("    W(x, out m0)");
+        for i in 1..stages {
+            let input = format!("m{}", i - 1);
+            let output = if i == stages - 1 { "out y".to_string() } else { format!("out m{i}") };
+            s.push_str(&format!(" || W({input}, {output})"));
+        }
+        s.push('\n');
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// A two-actor multi-rate cycle with the given production/consumption rates
+/// and initial tokens, as used by the exact-vs-polynomial scaling benchmark.
+/// Larger `p`/`c` values blow up the state space and the HSDF expansion while
+/// the CTA model size stays constant.
+pub fn multirate_cycle(p: u64, c: u64, initial: u64) -> SdfGraph {
+    SdfGraph::rate_converter(p, p, c, c, initial, 1e-6)
+}
+
+/// The equivalent CTA model of [`multirate_cycle`]: two components whose
+/// ports are related by gamma = p/c, with the initial tokens as a negative
+/// rate-dependent delay. Its size does not depend on `p` and `c`.
+pub fn multirate_cycle_cta(p: u64, c: u64, initial: u64) -> oil_cta::CtaModel {
+    use oil_cta::{CtaModel, Rational};
+    let mut m = CtaModel::new();
+    let f = m.add_component("f", None);
+    let g = m.add_component("g", None);
+    let rho = 1e-6;
+    let f_out = m.add_port(f, "out", 1.0 / rho);
+    let g_in = m.add_port(g, "in", 1.0 / rho);
+    m.connect(f_out, g_in, rho, (c as f64) - (c as f64 / p as f64), Rational::new(p as i128, c as i128));
+    m.connect_buffer("by", g_in, f_out, rho, -(initial as f64), Rational::new(c as i128, p as i128));
+    m
+}
+
+/// Length (number of statements) of the flat single-appearance schedule a
+/// sequential specification needs for a `p`:`q` rate conversion (Fig. 2b
+/// style): `p + q` calls per hyperperiod after reduction by the gcd.
+pub fn sequential_schedule_length(p: u64, q: u64) -> u64 {
+    let g = oil_dataflow::rational::gcd(p as u128, q as u128) as u64;
+    p / g + q / g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oil_compiler::{compile, CompilerOptions};
+
+    #[test]
+    fn generated_pipeline_compiles() {
+        for stages in [1, 2, 5] {
+            let src = pipeline_source(stages, 1000.0);
+            let compiled = compile(&src, &bench_registry(1e-6), &CompilerOptions::default())
+                .unwrap_or_else(|e| panic!("pipeline with {stages} stages failed: {e}"));
+            assert_eq!(compiled.analyzed.graph.instances.len(), stages);
+        }
+    }
+
+    #[test]
+    fn fig_sources_compile() {
+        let reg = bench_registry(1e-6);
+        assert!(compile(fig2c_source(), &reg, &CompilerOptions::default()).is_ok());
+        assert!(compile(fig6_source(), &reg, &CompilerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn multirate_cycle_models_agree_on_feasibility() {
+        let sdf = multirate_cycle(3, 2, 4);
+        assert!(sdf.check_deadlock_free().is_ok());
+        let cta = multirate_cycle_cta(3, 2, 4);
+        assert!(cta.consistency_at_maximal_rates(1e-9).is_ok());
+    }
+
+    #[test]
+    fn schedule_length_grows_with_coprime_rates() {
+        assert_eq!(sequential_schedule_length(3, 2), 5);
+        assert_eq!(sequential_schedule_length(4, 2), 3);
+        assert_eq!(sequential_schedule_length(25, 1), 26);
+        assert!(sequential_schedule_length(127, 128) > sequential_schedule_length(4, 4));
+    }
+}

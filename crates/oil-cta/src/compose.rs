@@ -1,0 +1,286 @@
+//! Composition and hiding of CTA components.
+//!
+//! Two properties make the CTA model suitable for incremental, library-based
+//! design (paper Sections I and V-C):
+//!
+//! * **associative composition** — merging models is order-independent
+//!   ([`CtaModel::merge`] plus connecting ports), and
+//! * **hiding** — the internal ports of a component can be removed while
+//!   preserving all constraints between its remaining (interface) ports, so a
+//!   library can ship a *black-box* component described only by maximum rates
+//!   and delays, exactly like the `Video` and `Audio` modules of the PAL case
+//!   study.
+//!
+//! Hiding is implemented by replacing paths through hidden ports with direct
+//! connections whose delay is the longest internal path delay and whose `γ`
+//! is the product of the path's ratios; the maximum rates of hidden ports are
+//! pushed onto the interface ports they constrain.
+
+use crate::component::{ComponentId, Connection, CtaModel, PortId};
+use crate::consistency::ConsistencyError;
+use oil_dataflow::Rational;
+use std::collections::BTreeSet;
+
+/// Hide all ports of `component` (and of its nested children) that are only
+/// connected to ports inside the same subtree, replacing them by direct
+/// connections between the remaining interface ports. Returns the new model
+/// (the original is left untouched) or an error if the hidden part contains a
+/// positive-delay cycle (in which case no finite interface exists).
+///
+/// The interface ports of the component keep their ids' relative order but
+/// ids are re-assigned; use port names to locate them afterwards.
+pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaModel, ConsistencyError> {
+    // The subtree of components being considered "inside".
+    let mut inside_components = BTreeSet::new();
+    let mut stack = vec![component];
+    while let Some(c) = stack.pop() {
+        if inside_components.insert(c) {
+            stack.extend(model.children(c));
+        }
+    }
+
+    // Ports to hide: ports of inside components all of whose connections stay
+    // inside the subtree. Ports with at least one connection to the outside
+    // are interface ports and survive.
+    let port_is_inside = |p: PortId| inside_components.contains(&model.ports[p].component);
+    let mut hide: BTreeSet<PortId> = BTreeSet::new();
+    for (pid, _port) in model.ports.iter().enumerate() {
+        if !port_is_inside(pid) {
+            continue;
+        }
+        let crosses = model.connections.iter().any(|c| {
+            (c.from == pid && !port_is_inside(c.to)) || (c.to == pid && !port_is_inside(c.from))
+        });
+        if !crosses {
+            hide.insert(pid);
+        }
+    }
+
+    // Longest-path closure over hidden ports: for every pair of kept ports
+    // connected through hidden ports, add a direct connection. We run a
+    // Bellman-Ford-style relaxation per kept source port restricted to
+    // connections whose interior endpoints are hidden.
+    let n = model.ports.len();
+    let kept: Vec<PortId> = (0..n).filter(|p| !hide.contains(p)).collect();
+
+    // Evaluate rate-dependent delays at each port's maximum rate; this is the
+    // conservative (largest-delay) interpretation for a rate-only interface.
+    // Infinite max rates contribute no rate-dependent delay.
+    let delay_of = |c: &Connection| -> f64 {
+        let r = model.ports[c.from].max_rate;
+        if r.is_finite() && r > 0.0 {
+            c.epsilon + c.phi / r
+        } else {
+            c.epsilon
+        }
+    };
+
+    let mut result = CtaModel::new();
+    // Recreate components (all of them; empty ones are harmless) and kept ports.
+    for comp in &model.components {
+        result.add_component(comp.name.clone(), comp.parent);
+    }
+    let mut new_id = vec![usize::MAX; n];
+    for &p in &kept {
+        let port = &model.ports[p];
+        let np = result.add_port(port.component, port.name.clone(), port.max_rate);
+        result.ports[np].required_rate = port.required_rate;
+        new_id[p] = np;
+    }
+
+    // Copy connections between kept ports unchanged.
+    for c in &model.connections {
+        if !hide.contains(&c.from) && !hide.contains(&c.to) {
+            let id = result.connect(new_id[c.from], new_id[c.to], c.epsilon, c.phi, c.gamma);
+            result.connections[id].buffer = c.buffer.clone();
+            result.connections[id].couples_rates = c.couples_rates;
+        }
+    }
+
+    // For each kept port with an edge into the hidden region, compute longest
+    // delays (and gamma products) to every other kept port through hidden
+    // ports only.
+    for &start in &kept {
+        // dist over hidden ports (and final kept targets).
+        let mut dist = vec![f64::NEG_INFINITY; n];
+        let mut gamma = vec![Rational::ONE; n];
+        dist[start] = 0.0;
+        for _ in 0..hide.len() + 1 {
+            let mut changed = false;
+            for c in &model.connections {
+                // Only traverse connections that enter or stay inside the
+                // hidden region (the last hop may land on a kept port).
+                let interior = hide.contains(&c.to) || hide.contains(&c.from);
+                if !interior {
+                    continue;
+                }
+                if c.from != start && !hide.contains(&c.from) {
+                    continue;
+                }
+                if dist[c.from] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let nd = dist[c.from] + delay_of(c);
+                if nd > dist[c.to] + 1e-15 {
+                    dist[c.to] = nd;
+                    gamma[c.to] = gamma[c.from] * c.gamma;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // A hidden port still improving after |hide| rounds means a positive
+        // cycle inside the hidden region.
+        for c in &model.connections {
+            if hide.contains(&c.from) && hide.contains(&c.to) && dist[c.from] > f64::NEG_INFINITY {
+                let nd = dist[c.from] + delay_of(c);
+                if nd > dist[c.to] + 1e-9 {
+                    return Err(ConsistencyError::PositiveCycle {
+                        ports: vec![c.from, c.to],
+                        excess: nd - dist[c.to],
+                        connections: Vec::new(),
+                    });
+                }
+            }
+        }
+        for &end in &kept {
+            if end == start || dist[end] == f64::NEG_INFINITY {
+                continue;
+            }
+            // Only add the summarised connection if the path actually passed
+            // through hidden ports (direct kept-to-kept edges were copied
+            // already).
+            let direct = model
+                .connections
+                .iter()
+                .any(|c| c.from == start && c.to == end && delay_of(c) >= dist[end] - 1e-15);
+            if !direct {
+                result.connect(new_id[start], new_id[end], dist[end], 0.0, gamma[end]);
+            }
+        }
+    }
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A module component with two internal processing ports between its
+    /// interface ports.
+    fn module_with_internals() -> (CtaModel, PortId, PortId) {
+        let mut m = CtaModel::new();
+        let outer = m.add_component("lib", None);
+        let inner = m.add_component("loop0", Some(outer));
+        let input = m.add_port(outer, "in", 1000.0);
+        let a = m.add_port(inner, "a", 1000.0);
+        let b = m.add_port(inner, "b", 1000.0);
+        let output = m.add_port(outer, "out", 1000.0);
+        // External world connects to `in` and `out`.
+        let env = m.add_component("env", None);
+        let env_out = m.add_port(env, "src", 1000.0);
+        let env_in = m.add_port(env, "snk", 1000.0);
+        m.connect(env_out, input, 0.0, 0.0, Rational::ONE);
+        m.connect(input, a, 1e-3, 0.0, Rational::ONE);
+        m.connect(a, b, 2e-3, 0.0, Rational::ONE);
+        m.connect(b, output, 3e-3, 0.0, Rational::new(1, 2));
+        m.connect(output, env_in, 0.0, 0.0, Rational::ONE);
+        (m, input, output)
+    }
+
+    #[test]
+    fn hiding_preserves_end_to_end_delay_and_gamma() {
+        let (m, _input, _output) = module_with_internals();
+        let lib = m.component_by_name("lib").unwrap();
+        let hidden = hide_component(&m, lib).unwrap();
+        // The internal ports a and b are gone.
+        assert_eq!(hidden.port_count(), m.port_count() - 2);
+        // There is a direct in -> out connection with the summed delay 6 ms
+        // and gamma 1/2.
+        let lib_new = hidden.component_by_name("lib").unwrap();
+        let in_new = hidden.port_by_name(lib_new, "in").unwrap();
+        let out_new = hidden.port_by_name(lib_new, "out").unwrap();
+        let c = hidden
+            .connections
+            .iter()
+            .find(|c| c.from == in_new && c.to == out_new)
+            .expect("summarised connection exists");
+        assert!((c.epsilon - 6e-3).abs() < 1e-12, "{}", c.epsilon);
+        assert_eq!(c.gamma, Rational::new(1, 2));
+    }
+
+    #[test]
+    fn hiding_keeps_interface_connections_to_environment() {
+        let (m, _, _) = module_with_internals();
+        let lib = m.component_by_name("lib").unwrap();
+        let hidden = hide_component(&m, lib).unwrap();
+        let env = hidden.component_by_name("env").unwrap();
+        let env_out = hidden.port_by_name(env, "src").unwrap();
+        let env_in = hidden.port_by_name(env, "snk").unwrap();
+        assert!(hidden.connections.iter().any(|c| c.from == env_out));
+        assert!(hidden.connections.iter().any(|c| c.to == env_in));
+        // The composition still passes the consistency check.
+        assert!(hidden.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn hiding_composed_model_matches_unhidden_latency() {
+        let (m, _, _) = module_with_internals();
+        let full = m.check_consistency().unwrap();
+        let env = m.component_by_name("env").unwrap();
+        let s = m.port_by_name(env, "src").unwrap();
+        let k = m.port_by_name(env, "snk").unwrap();
+        let full_latency = crate::latency::check_latency_path(&m, &full, s, k).unwrap().latency;
+
+        let lib = m.component_by_name("lib").unwrap();
+        let hidden = hide_component(&m, lib).unwrap();
+        let res = hidden.check_consistency().unwrap();
+        let env_h = hidden.component_by_name("env").unwrap();
+        let sh = hidden.port_by_name(env_h, "src").unwrap();
+        let kh = hidden.port_by_name(env_h, "snk").unwrap();
+        let hidden_latency =
+            crate::latency::check_latency_path(&hidden, &res, sh, kh).unwrap().latency;
+        assert!((full_latency - hidden_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hiding_detects_internal_positive_cycle() {
+        let mut m = CtaModel::new();
+        let outer = m.add_component("lib", None);
+        let a = m.add_port(outer, "a", 1000.0);
+        let b = m.add_port(outer, "b", 1000.0);
+        let iface = m.add_port(outer, "io", 1000.0);
+        let env = m.add_component("env", None);
+        let e = m.add_port(env, "e", 1000.0);
+        m.connect(e, iface, 0.0, 0.0, Rational::ONE);
+        m.connect(iface, a, 0.0, 0.0, Rational::ONE);
+        m.connect(a, b, 1e-3, 0.0, Rational::ONE);
+        m.connect(b, a, 1e-3, 0.0, Rational::ONE);
+        let lib = m.component_by_name("lib").unwrap();
+        assert!(hide_component(&m, lib).is_err());
+    }
+
+    #[test]
+    fn merge_then_hide_is_black_box_composition() {
+        // Build a library model, hide its internals, merge it into an
+        // application model and connect: the black-box composition remains
+        // analysable.
+        let (library, _, _) = module_with_internals();
+        let lib_id = library.component_by_name("lib").unwrap();
+        let black_box = hide_component(&library, lib_id).unwrap();
+
+        let mut app = CtaModel::new();
+        let src = app.add_component("src", None);
+        let s = app.add_required_rate_port(src, "out", 500.0);
+        let off = app.merge(&black_box);
+        let lib_new = app.component_by_name("lib").unwrap();
+        let lib_in = app.port_by_name(lib_new, "in").unwrap();
+        app.connect(s, lib_in, 0.0, 0.0, Rational::ONE);
+        let _ = off;
+        let r = app.check_consistency().unwrap();
+        assert!((r.rates[lib_in] - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,564 @@
+//! The polynomial-time consistency algorithm for CTA models.
+//!
+//! A composition of CTA components is **consistent** (paper Section V-A) when
+//!
+//! 1. every port's actual transfer rate is at most its maximum rate
+//!    (`r(p) ≤ r̂(p)`), with the actual rates related through the transfer
+//!    rate ratios `γ` of the connections, and
+//! 2. data arrives in time on every port: the delay constraints
+//!    `θ(q) ≥ θ(p) + Δ(c)` admit a solution, which is the case exactly when
+//!    no cycle of connections has a positive total delay.
+//!
+//! Both checks are polynomial: rate propagation is a breadth-first traversal
+//! with exact rational coefficients, and the delay check is a Bellman-Ford
+//! longest-path computation (`O(P · C)`). The algorithm also returns the
+//! maximal achievable transfer rates, which the paper uses for rate-only
+//! interfaces of black-box components.
+
+use crate::component::{ConnectionId, CtaModel, PortId};
+use oil_dataflow::Rational;
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance for comparing rates expressed in Hz.
+const RATE_TOL: f64 = 1e-9;
+/// Absolute tolerance (seconds) when evaluating delay cycles.
+const DELAY_TOL: f64 = 1e-12;
+
+/// The result of a successful consistency check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyResult {
+    /// Actual transfer rate per port, in events per second.
+    pub rates: Vec<f64>,
+    /// A feasible start-time (offset) per port, in seconds. Offsets satisfy
+    /// every connection's delay constraint and are the earliest such times
+    /// relative to the chosen time origin.
+    pub offsets: Vec<f64>,
+    /// Rate-propagation group of each port; ports in the same group have
+    /// rates related by the `γ` ratios along connections.
+    pub rate_groups: Vec<usize>,
+    /// Per connection: slack of the delay constraint at the computed offsets,
+    /// `θ(to) − θ(from) − Δ(c) ≥ 0`.
+    pub slacks: Vec<f64>,
+}
+
+impl ConsistencyResult {
+    /// The minimum slack over all connections (how close the composition is
+    /// to violating a delay constraint).
+    pub fn min_slack(&self) -> f64 {
+        self.slacks.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Why a CTA composition is inconsistent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConsistencyError {
+    /// Following two different connection paths to the same port implies two
+    /// different rates: the `γ` ratios around some cycle do not multiply to 1.
+    RateConflict {
+        /// The port with conflicting implied rates.
+        port: PortId,
+    },
+    /// Two ports with fixed (source/sink) rates in the same rate group imply
+    /// incompatible scales.
+    RequiredRateConflict {
+        /// The second port whose required rate conflicts with the group.
+        port: PortId,
+        /// Rate implied by the rest of the group.
+        implied: f64,
+        /// Rate required at this port.
+        required: f64,
+    },
+    /// The rate required at some port exceeds the maximum rate of another
+    /// port in its group.
+    MaxRateExceeded {
+        /// Port whose maximum rate is exceeded.
+        port: PortId,
+        /// Rate the composition would need at that port.
+        needed: f64,
+        /// The port's maximum rate.
+        max: f64,
+    },
+    /// A cycle of connections has positive total delay: data arrives too late
+    /// on the cycle's ports at the computed rates.
+    PositiveCycle {
+        /// Ports on the offending cycle.
+        ports: Vec<PortId>,
+        /// Total delay of the cycle (seconds); positive.
+        excess: f64,
+        /// Connections on the cycle.
+        connections: Vec<ConnectionId>,
+    },
+}
+
+impl std::fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyError::RateConflict { port } => {
+                write!(f, "rate ratios around a cycle through port {port} do not multiply to one")
+            }
+            ConsistencyError::RequiredRateConflict { port, implied, required } => write!(
+                f,
+                "port {port} requires rate {required} Hz but the composition implies {implied} Hz"
+            ),
+            ConsistencyError::MaxRateExceeded { port, needed, max } => {
+                write!(f, "port {port} would need rate {needed} Hz, exceeding its maximum {max} Hz")
+            }
+            ConsistencyError::PositiveCycle { excess, ports, .. } => write!(
+                f,
+                "a cycle through {} ports has positive delay {excess:.3e} s: data arrives too late",
+                ports.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+/// Internal: rate groups and per-port rational coefficients.
+struct RateStructure {
+    /// Group id per port.
+    group: Vec<usize>,
+    /// Coefficient per port: `rate(port) = scale(group) * coeff(port)`.
+    coeff: Vec<Rational>,
+    /// Number of groups.
+    groups: usize,
+}
+
+fn propagate_rate_structure(model: &CtaModel) -> Result<RateStructure, ConsistencyError> {
+    let n = model.ports.len();
+    let mut group = vec![usize::MAX; n];
+    let mut coeff = vec![Rational::ONE; n];
+    // Undirected adjacency: (neighbour, factor) with rate(nb) = factor * rate(this).
+    let mut adj: Vec<Vec<(PortId, Rational)>> = vec![Vec::new(); n];
+    for c in &model.connections {
+        if !c.couples_rates {
+            continue;
+        }
+        adj[c.from].push((c.to, c.gamma));
+        adj[c.to].push((c.from, c.gamma.recip()));
+    }
+
+    let mut groups = 0;
+    for start in 0..n {
+        if group[start] != usize::MAX {
+            continue;
+        }
+        let gid = groups;
+        groups += 1;
+        group[start] = gid;
+        coeff[start] = Rational::ONE;
+        let mut queue = vec![start];
+        while let Some(p) = queue.pop() {
+            let cp = coeff[p];
+            for &(q, factor) in &adj[p] {
+                let expected = cp * factor;
+                if group[q] == usize::MAX {
+                    group[q] = gid;
+                    coeff[q] = expected;
+                    queue.push(q);
+                } else if coeff[q] != expected {
+                    return Err(ConsistencyError::RateConflict { port: q });
+                }
+            }
+        }
+    }
+    Ok(RateStructure { group, coeff, groups })
+}
+
+/// Determine the scale of every rate group: fixed by required (source/sink)
+/// rates when present, otherwise the maximum allowed by the ports' maximum
+/// rates. Returns `(scales, rates)`.
+fn resolve_rates(
+    model: &CtaModel,
+    rs: &RateStructure,
+) -> Result<(Vec<f64>, Vec<f64>), ConsistencyError> {
+    let mut scale: Vec<Option<f64>> = vec![None; rs.groups];
+    // Pass 1: required rates fix the scale.
+    for (p, port) in model.ports.iter().enumerate() {
+        if let Some(req) = port.required_rate {
+            let implied_scale = req / rs.coeff[p].to_f64();
+            match scale[rs.group[p]] {
+                None => scale[rs.group[p]] = Some(implied_scale),
+                Some(s) => {
+                    if (s - implied_scale).abs() > RATE_TOL * s.abs().max(1.0) {
+                        return Err(ConsistencyError::RequiredRateConflict {
+                            port: p,
+                            implied: s * rs.coeff[p].to_f64(),
+                            required: req,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: groups without a required rate run at the maximum rate allowed
+    // by their ports (the "maximal achievable transfer rates" of the paper).
+    let mut max_scale: Vec<f64> = vec![f64::INFINITY; rs.groups];
+    for (p, port) in model.ports.iter().enumerate() {
+        if port.max_rate.is_finite() {
+            let bound = port.max_rate / rs.coeff[p].to_f64();
+            let g = rs.group[p];
+            if bound < max_scale[g] {
+                max_scale[g] = bound;
+            }
+        }
+    }
+    let mut scales = Vec::with_capacity(rs.groups);
+    for g in 0..rs.groups {
+        let s = match scale[g] {
+            Some(s) => s,
+            None => {
+                if max_scale[g].is_finite() {
+                    max_scale[g]
+                } else {
+                    // Completely unconstrained group (all max rates infinite):
+                    // pick unit scale; delays with phi terms then use rate 1.
+                    1.0
+                }
+            }
+        };
+        scales.push(s);
+    }
+    // Pass 3: every port's rate must respect its maximum rate.
+    let mut rates = vec![0.0; model.ports.len()];
+    for (p, port) in model.ports.iter().enumerate() {
+        let r = scales[rs.group[p]] * rs.coeff[p].to_f64();
+        if port.max_rate.is_finite() && r > port.max_rate * (1.0 + RATE_TOL) {
+            return Err(ConsistencyError::MaxRateExceeded { port: p, needed: r, max: port.max_rate });
+        }
+        rates[p] = r;
+    }
+    Ok((scales, rates))
+}
+
+/// Check the delay constraints at the given rates: no cycle of connections
+/// may have positive total delay. Returns feasible offsets on success or a
+/// witness cycle on failure. Longest-path Bellman-Ford, `O(P · C)`.
+pub fn check_delays_at_rates(
+    model: &CtaModel,
+    rates: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>), ConsistencyError> {
+    let n = model.ports.len();
+    let mut offsets = vec![0.0f64; n];
+    let mut pred: Vec<Option<(PortId, ConnectionId)>> = vec![None; n];
+    let weight = |cid: usize| -> f64 {
+        let c = &model.connections[cid];
+        c.delay_at_rate(rates[c.from].max(f64::MIN_POSITIVE))
+    };
+
+    let mut updated: Option<PortId> = None;
+    for _ in 0..n.max(1) {
+        updated = None;
+        for (cid, c) in model.connections.iter().enumerate() {
+            let w = weight(cid);
+            if offsets[c.from] + w > offsets[c.to] + DELAY_TOL {
+                offsets[c.to] = offsets[c.from] + w;
+                pred[c.to] = Some((c.from, cid));
+                updated = Some(c.to);
+            }
+        }
+        if updated.is_none() {
+            break;
+        }
+    }
+
+    if let Some(start) = updated {
+        // A positive cycle exists; walk predecessors to extract it.
+        let mut v = start;
+        for _ in 0..n {
+            v = pred[v].map(|(p, _)| p).unwrap_or(v);
+        }
+        let mut ports = vec![v];
+        let mut connections = Vec::new();
+        let mut excess = 0.0;
+        let mut cur = v;
+        loop {
+            let (p, cid) = pred[cur].expect("cycle nodes have predecessors");
+            connections.push(cid);
+            excess += weight(cid);
+            cur = p;
+            if cur == v {
+                break;
+            }
+            ports.push(cur);
+        }
+        ports.reverse();
+        connections.reverse();
+        return Err(ConsistencyError::PositiveCycle { ports, excess, connections });
+    }
+
+    let slacks = model
+        .connections
+        .iter()
+        .enumerate()
+        .map(|(cid, c)| offsets[c.to] - offsets[c.from] - weight(cid))
+        .collect();
+    Ok((offsets, slacks))
+}
+
+impl CtaModel {
+    /// Run the full consistency check: rate propagation, maximum-rate checks
+    /// and delay feasibility. Polynomial time in the size of the model.
+    pub fn check_consistency(&self) -> Result<ConsistencyResult, ConsistencyError> {
+        let rs = propagate_rate_structure(self)?;
+        let (_scales, rates) = resolve_rates(self, &rs)?;
+        let (offsets, slacks) = check_delays_at_rates(self, &rates)?;
+        Ok(ConsistencyResult { rates, offsets, rate_groups: rs.group, slacks })
+    }
+
+    /// The maximal achievable transfer rates: for rate groups without a
+    /// source/sink-imposed rate, search for the largest uniform scale (as a
+    /// fraction of the rate-only maximum) at which the delay constraints are
+    /// still satisfiable. Groups containing a required rate keep it.
+    ///
+    /// Returns the per-port rates, or the error that makes even arbitrarily
+    /// low rates infeasible.
+    pub fn maximal_rates(&self, tolerance: f64) -> Result<Vec<f64>, ConsistencyError> {
+        let rs = propagate_rate_structure(self)?;
+        let (_scales, base_rates) = resolve_rates(self, &rs)?;
+        // Which groups are free to scale down?
+        let mut fixed = vec![false; rs.groups];
+        for (p, port) in self.ports.iter().enumerate() {
+            if port.required_rate.is_some() {
+                fixed[rs.group[p]] = true;
+            }
+        }
+        let rates_at = |f: f64| -> Vec<f64> {
+            base_rates
+                .iter()
+                .enumerate()
+                .map(|(p, &r)| if fixed[rs.group[p]] { r } else { r * f })
+                .collect()
+        };
+        if check_delays_at_rates(self, &rates_at(1.0)).is_ok() {
+            return Ok(rates_at(1.0));
+        }
+        // The maximum is infeasible; binary search the largest feasible
+        // fraction, verifying a tiny rate is feasible at all first.
+        let mut lo = 1e-9;
+        if let Err(e) = check_delays_at_rates(self, &rates_at(lo)) {
+            return Err(e);
+        }
+        let mut hi = 1.0;
+        while hi - lo > tolerance {
+            let mid = 0.5 * (lo + hi);
+            if check_delays_at_rates(self, &rates_at(mid)).is_ok() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(rates_at(lo))
+    }
+
+    /// Like [`Self::check_consistency`], but instead of failing when the
+    /// maximal rates violate a delay constraint, scale the rate groups that
+    /// are not pinned by a source or sink down to their maximal *feasible*
+    /// rates (the paper's "maximal achievable transfer rates"). Fails only
+    /// when no positive rate satisfies the constraints, e.g. an unattainable
+    /// latency bound.
+    pub fn consistency_at_maximal_rates(
+        &self,
+        tolerance: f64,
+    ) -> Result<ConsistencyResult, ConsistencyError> {
+        let rs = propagate_rate_structure(self)?;
+        let rates = self.maximal_rates(tolerance)?;
+        let (offsets, slacks) = check_delays_at_rates(self, &rates)?;
+        Ok(ConsistencyResult { rates, offsets, rate_groups: rs.group, slacks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::CtaModel;
+
+    /// Producer -> consumer with a buffer back-edge of capacity `cap`.
+    fn producer_consumer(prod_rate: f64, cons_rate: f64, response: f64, cap: f64) -> CtaModel {
+        let mut m = CtaModel::new();
+        let prod = m.add_component("prod", None);
+        let cons = m.add_component("cons", None);
+        let p = m.add_port(prod, "out", prod_rate);
+        let q = m.add_port(cons, "in", cons_rate);
+        m.connect(p, q, response, 0.0, Rational::ONE);
+        m.connect_buffer("b", q, p, response, -cap, Rational::ONE);
+        m
+    }
+
+    #[test]
+    fn simple_pair_is_consistent() {
+        let m = producer_consumer(1000.0, 1500.0, 1e-4, 4.0);
+        let r = m.check_consistency().unwrap();
+        // Both ports in one rate group, running at the slower max rate.
+        assert_eq!(r.rate_groups[0], r.rate_groups[1]);
+        assert!((r.rates[0] - 1000.0).abs() < 1e-6);
+        assert!((r.rates[1] - 1000.0).abs() < 1e-6);
+        assert!(r.min_slack() >= -1e-12);
+    }
+
+    #[test]
+    fn too_small_buffer_gives_positive_cycle() {
+        // Round trip delay 2 * 1e-4 s; at 1000 Hz the buffer delay is
+        // -cap/1000. cap = 0.1 would give cycle weight 2e-4 - 1e-4 > 0.
+        let m = producer_consumer(1000.0, 1000.0, 1e-4, 0.1);
+        match m.check_consistency() {
+            Err(ConsistencyError::PositiveCycle { excess, connections, .. }) => {
+                assert!(excess > 0.0);
+                assert_eq!(connections.len(), 2);
+            }
+            other => panic!("expected positive cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_of_exactly_round_trip_is_feasible() {
+        // cycle: eps 2e-4, phi -cap at rate 1000 -> need cap >= 0.2... with
+        // cap = 0.2 the cycle weight is exactly zero.
+        let m = producer_consumer(1000.0, 1000.0, 1e-4, 0.2);
+        assert!(m.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn required_rate_fixes_group_rate() {
+        let mut m = producer_consumer(10_000.0, 10_000.0, 1e-5, 4.0);
+        // Add a source port wired to the producer that fixes 2 kHz.
+        let src = m.add_component("src", None);
+        let s = m.add_required_rate_port(src, "out", 2000.0);
+        m.connect(s, 0, 0.0, 0.0, Rational::ONE);
+        let r = m.check_consistency().unwrap();
+        assert!((r.rates[0] - 2000.0).abs() < 1e-6);
+        assert!((r.rates[1] - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conflicting_required_rates_detected() {
+        let mut m = CtaModel::new();
+        let a = m.add_component("a", None);
+        let p = m.add_required_rate_port(a, "p", 1000.0);
+        let q = m.add_required_rate_port(a, "q", 1500.0);
+        m.connect(p, q, 0.0, 0.0, Rational::ONE);
+        assert!(matches!(
+            m.check_consistency(),
+            Err(ConsistencyError::RequiredRateConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn required_rate_exceeding_max_rate_detected() {
+        let mut m = CtaModel::new();
+        let a = m.add_component("a", None);
+        let p = m.add_required_rate_port(a, "p", 1000.0);
+        let q = m.add_port(a, "q", 400.0);
+        m.connect(p, q, 0.0, 0.0, Rational::ONE);
+        assert!(matches!(m.check_consistency(), Err(ConsistencyError::MaxRateExceeded { .. })));
+    }
+
+    #[test]
+    fn gamma_cycle_product_must_be_one() {
+        let mut m = CtaModel::new();
+        let a = m.add_component("a", None);
+        let p = m.add_port(a, "p", 1000.0);
+        let q = m.add_port(a, "q", 1000.0);
+        m.connect(p, q, 0.0, 0.0, Rational::new(2, 1));
+        m.connect(q, p, 0.0, 0.0, Rational::new(1, 1));
+        assert!(matches!(m.check_consistency(), Err(ConsistencyError::RateConflict { .. })));
+    }
+
+    #[test]
+    fn multi_rate_gamma_propagates_rates() {
+        // Splitter: input at 6.4 MHz, video output gamma 10/16, audio output
+        // gamma 1/25.
+        let mut m = CtaModel::new();
+        let w = m.add_component("splitter", None);
+        let rf = m.add_required_rate_port(w, "rf", 6.4e6);
+        let vid = m.add_port(w, "vid", f64::INFINITY);
+        let aud = m.add_port(w, "aud", f64::INFINITY);
+        m.connect(rf, vid, 0.0, 0.0, Rational::new(10, 16));
+        m.connect(rf, aud, 0.0, 0.0, Rational::new(1, 25));
+        let r = m.check_consistency().unwrap();
+        assert!((r.rates[vid] - 4e6).abs() < 1.0);
+        assert!((r.rates[aud] - 256e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig8c_rate_dependent_delay_values() {
+        // The connection (p0, p2) of Fig. 8 has phi = psi - psi/pi = 4 - 4/2 = 2
+        // and gamma = 2/4. At rate r the delay is rho_g + 2/r.
+        let rho = 1e-6;
+        let psi = 4.0;
+        let pi = 2.0;
+        let phi = psi - psi / pi;
+        let mut m = CtaModel::new();
+        let w = m.add_component("wg", None);
+        let p0 = m.add_port(w, "p0", 1e6);
+        let p2 = m.add_port(w, "p2", 1e6);
+        let c = m.connect(p0, p2, rho, phi, Rational::new(2, 4));
+        assert!((m.connections[c].delay_at_rate(1e6) - (rho + 2e-6)).abs() < 1e-15);
+        let r = m.check_consistency().unwrap();
+        assert!((r.rates[p2] / r.rates[p0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offsets_respect_connection_delays() {
+        let m = producer_consumer(1000.0, 1000.0, 2e-4, 1.0);
+        let r = m.check_consistency().unwrap();
+        for (cid, c) in m.connections.iter().enumerate() {
+            let d = c.delay_at_rate(r.rates[c.from]);
+            assert!(
+                r.offsets[c.to] + 1e-12 >= r.offsets[c.from] + d,
+                "connection {cid} violated"
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_rates_scale_down_until_feasible() {
+        // Buffer too small for the max rate but fine at a lower rate:
+        // cycle eps 2e-4 s, capacity 1 token -> feasible iff rate <= 5000 Hz.
+        let m = producer_consumer(20_000.0, 20_000.0, 1e-4, 1.0);
+        assert!(m.check_consistency().is_err());
+        let rates = m.maximal_rates(1e-6).unwrap();
+        assert!(rates[0] <= 5000.0 * 1.01, "{}", rates[0]);
+        assert!(rates[0] >= 5000.0 * 0.9, "{}", rates[0]);
+    }
+
+    #[test]
+    fn maximal_rates_keep_required_rates_fixed() {
+        let mut m = producer_consumer(10_000.0, 10_000.0, 1e-5, 8.0);
+        let src = m.add_component("src", None);
+        let s = m.add_required_rate_port(src, "out", 1000.0);
+        m.connect(s, 0, 0.0, 0.0, Rational::ONE);
+        let rates = m.maximal_rates(1e-6).unwrap();
+        assert!((rates[0] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_style_negative_epsilon_cycle() {
+        // src -> snk forward delay 3 ms, latency constraint 5 ms modelled as
+        // a -5 ms back connection: consistent. With a 2 ms constraint:
+        // inconsistent.
+        let build = |bound_ms: f64| {
+            let mut m = CtaModel::new();
+            let src = m.add_component("src", None);
+            let snk = m.add_component("snk", None);
+            let s = m.add_required_rate_port(src, "out", 1000.0);
+            let k = m.add_required_rate_port(snk, "in", 1000.0);
+            m.connect(s, k, 3e-3, 0.0, Rational::ONE);
+            m.connect(k, s, -bound_ms * 1e-3, 0.0, Rational::ONE);
+            m
+        };
+        assert!(build(5.0).check_consistency().is_ok());
+        assert!(matches!(
+            build(2.0).check_consistency(),
+            Err(ConsistencyError::PositiveCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_model_is_consistent() {
+        let m = CtaModel::new();
+        let r = m.check_consistency().unwrap();
+        assert!(r.rates.is_empty());
+        assert!(r.min_slack().is_infinite());
+    }
+}

@@ -1,0 +1,173 @@
+//! Latency constraints between sources and sinks.
+//!
+//! OIL expresses end-to-end latency requirements with
+//! `start x n ms after y;` / `start x n ms before y;` between sources and
+//! sinks (paper Section IV-B). In the CTA model each constraint becomes a
+//! single connection between the two corresponding components whose delay is
+//! (the negation of) the constraint amount, so the ordinary consistency check
+//! verifies it (Section V-C, Fig. 10). This module adds the constraint
+//! connections and reports the actually achievable end-to-end latencies.
+
+use crate::component::{CtaModel, PortId};
+use crate::consistency::ConsistencyResult;
+use serde::{Deserialize, Serialize};
+
+/// A report about the latency between two ports of a consistent model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// The upstream (source-side) port.
+    pub from: PortId,
+    /// The downstream (sink-side) port.
+    pub to: PortId,
+    /// Minimum feasible start-time difference `θ(to) − θ(from)` in seconds as
+    /// implied by the model's delay constraints (the end-to-end latency along
+    /// the critical path).
+    pub latency: f64,
+}
+
+/// Add a `start subject .. before reference` constraint: the `subject`
+/// (typically the sink) must start within `bound_seconds` after the
+/// `reference` (typically the source) started. Modelled as a connection from
+/// the subject back to the reference with constant delay `-bound_seconds`, so
+/// any forward path longer than the bound creates a positive cycle.
+pub fn add_before_constraint(
+    model: &mut CtaModel,
+    subject: PortId,
+    reference: PortId,
+    bound_seconds: f64,
+) {
+    model.connect_constraint(subject, reference, -bound_seconds);
+}
+
+/// Add a `start subject .. after reference` constraint: the subject must
+/// start at least `bound_seconds` after the reference. Modelled as a forward
+/// connection with constant delay `bound_seconds`.
+pub fn add_after_constraint(
+    model: &mut CtaModel,
+    subject: PortId,
+    reference: PortId,
+    bound_seconds: f64,
+) {
+    model.connect_constraint(reference, subject, bound_seconds);
+}
+
+/// Compute the critical-path latency from `from` to `to` implied by a
+/// consistent model: the longest total delay over all connection paths,
+/// evaluated at the rates of `result`. Returns `None` if `to` is not
+/// reachable from `from`.
+pub fn check_latency_path(
+    model: &CtaModel,
+    result: &ConsistencyResult,
+    from: PortId,
+    to: PortId,
+) -> Option<LatencyReport> {
+    let n = model.ports.len();
+    let mut dist = vec![f64::NEG_INFINITY; n];
+    dist[from] = 0.0;
+    // Longest path by Bellman-Ford; the model is consistent, so there are no
+    // positive cycles and the longest path is well defined.
+    for _ in 0..n {
+        let mut changed = false;
+        for c in &model.connections {
+            if dist[c.from] == f64::NEG_INFINITY {
+                continue;
+            }
+            let w = c.delay_at_rate(result.rates[c.from].max(f64::MIN_POSITIVE));
+            if dist[c.from] + w > dist[c.to] + 1e-15 {
+                dist[c.to] = dist[c.from] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if dist[to] == f64::NEG_INFINITY {
+        None
+    } else {
+        Some(LatencyReport { from, to, latency: dist[to] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oil_dataflow::Rational;
+
+    /// src --(d1)--> mid --(d2)--> snk, all at 1 kHz.
+    fn pipeline(d1: f64, d2: f64) -> (CtaModel, PortId, PortId) {
+        let mut m = CtaModel::new();
+        let src = m.add_component("src", None);
+        let mid = m.add_component("mid", None);
+        let snk = m.add_component("snk", None);
+        let s = m.add_required_rate_port(src, "out", 1000.0);
+        let a = m.add_port(mid, "in", f64::INFINITY);
+        let b = m.add_port(mid, "out", f64::INFINITY);
+        let k = m.add_required_rate_port(snk, "in", 1000.0);
+        m.connect(s, a, d1, 0.0, Rational::ONE);
+        m.connect(a, b, 0.0, 0.0, Rational::ONE);
+        m.connect(b, k, d2, 0.0, Rational::ONE);
+        (m, s, k)
+    }
+
+    #[test]
+    fn latency_path_is_sum_of_delays() {
+        let (m, s, k) = pipeline(2e-3, 3e-3);
+        let r = m.check_consistency().unwrap();
+        let report = check_latency_path(&m, &r, s, k).unwrap();
+        assert!((report.latency - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_takes_longest_path() {
+        let (mut m, s, k) = pipeline(2e-3, 3e-3);
+        // Add a faster parallel path; the report must still use the slow one.
+        m.connect(s, k, 1e-3, 0.0, Rational::ONE);
+        let r = m.check_consistency().unwrap();
+        let report = check_latency_path(&m, &r, s, k).unwrap();
+        assert!((report.latency - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn before_constraint_satisfied_and_violated() {
+        let (mut ok, s, k) = pipeline(2e-3, 1e-3);
+        add_before_constraint(&mut ok, k, s, 5e-3);
+        assert!(ok.check_consistency().is_ok());
+
+        let (mut bad, s, k) = pipeline(4e-3, 3e-3);
+        add_before_constraint(&mut bad, k, s, 5e-3);
+        assert!(bad.check_consistency().is_err());
+    }
+
+    #[test]
+    fn after_constraint_shifts_offsets() {
+        let (mut m, s, k) = pipeline(1e-3, 1e-3);
+        add_after_constraint(&mut m, k, s, 10e-3);
+        let r = m.check_consistency().unwrap();
+        assert!(r.offsets[k] - r.offsets[s] >= 10e-3 - 1e-12);
+    }
+
+    #[test]
+    fn zero_skew_pair_forces_equal_start() {
+        // The PAL decoder's `start screen 0 ms after speakers` plus
+        // `start screen 0 ms before speakers` force both sinks to start at
+        // the same time (a cycle with zero total delay).
+        let mut m = CtaModel::new();
+        let a = m.add_component("screen", None);
+        let b = m.add_component("speakers", None);
+        let pa = m.add_required_rate_port(a, "in", 4e6);
+        let pb = m.add_required_rate_port(b, "in", 32e3);
+        add_after_constraint(&mut m, pa, pb, 0.0);
+        add_before_constraint(&mut m, pa, pb, 0.0);
+        let r = m.check_consistency().unwrap();
+        assert!((r.offsets[pa] - r.offsets[pb]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_ports_return_none() {
+        let (m, s, _) = pipeline(1e-3, 1e-3);
+        let r = m.check_consistency().unwrap();
+        // Port s is not reachable from the sink (no backward connections).
+        assert!(check_latency_path(&m, &r, 3, s).is_none());
+    }
+}

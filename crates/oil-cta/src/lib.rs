@@ -1,0 +1,53 @@
+//! The Compositional Temporal Analysis (CTA) model.
+//!
+//! The CTA model (Hausmans et al., EMSOFT 2012) is the temporal analysis
+//! model the OIL compiler derives from every program (paper Section V). A
+//! model is a graph of **components** with **ports** and directed
+//! **connections**; data is transferred periodically over connections, each
+//! of which can scale the transfer rate (ratio `γ`) and delay the stream by a
+//! constant amount (`ε`) plus a rate-dependent amount (`φ / r`).
+//!
+//! The distinguishing property — and the reason the paper derives CTA models
+//! instead of plain dataflow graphs — is that all analyses are **polynomial
+//! time**:
+//!
+//! * [`consistency`] — rate propagation, feasibility of the delay constraints
+//!   (no positive-delay cycle) and the maximal achievable rates;
+//! * [`buffersizing`] — sufficient buffer capacities for a required rate;
+//! * [`latency`] — verification of `start .. before/after ..` latency
+//!   constraints between sources and sinks;
+//! * [`compose`] — composition of independently analysed components and
+//!   *hiding* of internal ports, enabling black-box library components.
+//!
+//! # Example: a producer/consumer pair with a bounded buffer
+//!
+//! ```
+//! use oil_cta::{CtaModel, Rational};
+//!
+//! let mut m = CtaModel::new();
+//! let prod = m.add_component("producer", None);
+//! let cons = m.add_component("consumer", None);
+//! let p_out = m.add_port(prod, "out", 1000.0);   // at most 1 kHz
+//! let c_in = m.add_port(cons, "in", 1500.0);     // at most 1.5 kHz
+//! // Data connection: one-to-one rate, one transfer of latency.
+//! m.connect(p_out, c_in, 0.0, 1.0, Rational::ONE);
+//! // Space connection modelling a buffer of capacity 4 (delay -4 / r).
+//! m.connect_buffer("b", c_in, p_out, 0.0, -4.0, Rational::ONE);
+//! let result = m.check_consistency().expect("consistent");
+//! assert!(result.rates[p_out] <= 1000.0 + 1e-9);
+//! ```
+
+pub mod buffersizing;
+pub mod component;
+pub mod compose;
+pub mod consistency;
+pub mod latency;
+pub mod periodic;
+
+pub use buffersizing::{size_buffers, BufferSizingError, BufferSizingResult};
+pub use component::{Component, ComponentId, Connection, ConnectionId, CtaModel, Port, PortId};
+pub use compose::hide_component;
+pub use consistency::{ConsistencyError, ConsistencyResult};
+pub use latency::{check_latency_path, LatencyReport};
+pub use oil_dataflow::Rational;
+pub use periodic::PeriodicSequence;

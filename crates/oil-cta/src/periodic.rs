@@ -1,0 +1,131 @@
+//! Periodic event sequences.
+//!
+//! In the CTA model constraints are expressed with strictly periodic event
+//! sequences (paper Section V-A): a sequence is characterised by an **offset**
+//! (the time of its first event) and a **period** (the distance between
+//! events); the cumulative number of tokens transferred by a port is bounded
+//! by such a sequence. This module provides the small amount of arithmetic on
+//! periodic sequences that the analyses and the simulator validation need.
+
+use serde::{Deserialize, Serialize};
+
+/// A strictly periodic event sequence: events at `offset + k / rate` for
+/// `k = 0, 1, 2, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSequence {
+    /// Time of the first event, in seconds.
+    pub offset: f64,
+    /// Rate in events per second.
+    pub rate: f64,
+}
+
+impl PeriodicSequence {
+    /// Create a sequence with the given offset and rate.
+    pub fn new(offset: f64, rate: f64) -> Self {
+        assert!(rate > 0.0, "periodic sequences need a positive rate");
+        PeriodicSequence { offset, rate }
+    }
+
+    /// The period `1 / rate` in seconds.
+    pub fn period(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Time of event number `k` (0-based).
+    pub fn event_time(&self, k: u64) -> f64 {
+        self.offset + k as f64 / self.rate
+    }
+
+    /// Number of events that occurred strictly before time `t`.
+    pub fn events_before(&self, t: f64) -> u64 {
+        if t <= self.offset {
+            0
+        } else {
+            (((t - self.offset) * self.rate).ceil() as i64).max(0) as u64
+        }
+    }
+
+    /// The sequence delayed by `delta` seconds.
+    pub fn delayed(&self, delta: f64) -> Self {
+        PeriodicSequence { offset: self.offset + delta, rate: self.rate }
+    }
+
+    /// The sequence with its rate scaled by `gamma` (a CTA connection's
+    /// transfer-rate ratio).
+    pub fn scaled(&self, gamma: f64) -> Self {
+        assert!(gamma > 0.0, "rate scale must be positive");
+        PeriodicSequence { offset: self.offset, rate: self.rate * gamma }
+    }
+
+    /// True if this sequence conservatively bounds `other`: it never promises
+    /// an event earlier than `other` delivers one, i.e. every event `k` of
+    /// `self` is no earlier than event `k` of `other` requires... concretely
+    /// `self` is a valid *lower* bound on availability when
+    /// `self.rate <= other.rate + tol` and `self.offset >= other.offset - tol`.
+    pub fn bounds(&self, other: &PeriodicSequence, tol: f64) -> bool {
+        self.rate <= other.rate + tol && self.offset + tol >= other.offset
+    }
+
+    /// Check that a measured trace of event timestamps (seconds, ascending)
+    /// is conservatively covered by this sequence: event `k` must occur no
+    /// later than `offset + k/rate + jitter`.
+    pub fn covers_trace(&self, trace: &[f64], jitter: f64) -> bool {
+        trace.iter().enumerate().all(|(k, &t)| t <= self.event_time(k as u64) + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_times_and_period() {
+        let s = PeriodicSequence::new(0.5e-3, 1000.0);
+        assert!((s.period() - 1e-3).abs() < 1e-15);
+        assert!((s.event_time(0) - 0.5e-3).abs() < 1e-15);
+        assert!((s.event_time(3) - 3.5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn events_before_counts() {
+        let s = PeriodicSequence::new(0.0, 1000.0);
+        assert_eq!(s.events_before(0.0), 0);
+        assert_eq!(s.events_before(0.5e-3), 1);
+        assert_eq!(s.events_before(1.0e-3), 1);
+        assert_eq!(s.events_before(2.5e-3), 3);
+        assert_eq!(s.events_before(-1.0), 0);
+    }
+
+    #[test]
+    fn delayed_and_scaled() {
+        let s = PeriodicSequence::new(1e-3, 4e6);
+        let d = s.delayed(2e-3);
+        assert!((d.offset - 3e-3).abs() < 1e-15);
+        assert_eq!(d.rate, s.rate);
+        let sc = s.scaled(10.0 / 16.0);
+        assert!((sc.rate - 2.5e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_relation() {
+        let promise = PeriodicSequence::new(1e-3, 900.0);
+        let actual = PeriodicSequence::new(0.5e-3, 1000.0);
+        // The promise is conservative w.r.t. the actual behaviour.
+        assert!(promise.bounds(&actual, 1e-12));
+        assert!(!actual.bounds(&promise, 1e-12));
+    }
+
+    #[test]
+    fn covers_trace_with_jitter() {
+        let s = PeriodicSequence::new(0.0, 1000.0);
+        let trace: Vec<f64> = (0..10).map(|k| k as f64 * 1e-3 + 0.2e-3).collect();
+        assert!(!s.covers_trace(&trace, 0.0));
+        assert!(s.covers_trace(&trace, 0.25e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_panics() {
+        let _ = PeriodicSequence::new(0.0, 0.0);
+    }
+}

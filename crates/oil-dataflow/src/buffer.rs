@@ -1,0 +1,305 @@
+//! Circular buffers with multiple overlapping windows.
+//!
+//! The execution substrate of the paper uses the circular buffers of Bijlsma
+//! et al. (HiPEAC 2011): a generalisation of a FIFO in which **multiple
+//! producers and multiple consumers** each own a sliding window into the same
+//! circular array. A value written by the single active producer window
+//! becomes visible to every consumer window; a location is recycled once all
+//! consumer windows have released it. This is the runtime realisation of the
+//! `TaskBuffer`s the compiler creates for every variable.
+//!
+//! The implementation here is a functional single-threaded model used by the
+//! simulator ([`oil-sim`]) and by tests; it checks the same acquire/release
+//! protocol a lock-free implementation would enforce with read/write
+//! pointers.
+
+use serde::{Deserialize, Serialize};
+
+/// Error conditions of the circular-buffer protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferError {
+    /// A producer tried to acquire more space than is currently free.
+    InsufficientSpace {
+        /// Requested number of locations.
+        requested: usize,
+        /// Currently available locations.
+        available: usize,
+    },
+    /// A consumer tried to acquire more values than are currently available
+    /// to it.
+    InsufficientData {
+        /// Requested number of values.
+        requested: usize,
+        /// Values currently visible to that consumer.
+        available: usize,
+    },
+    /// A consumer id out of range was used.
+    UnknownConsumer(usize),
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::InsufficientSpace { requested, available } => {
+                write!(f, "insufficient space: requested {requested}, available {available}")
+            }
+            BufferError::InsufficientData { requested, available } => {
+                write!(f, "insufficient data: requested {requested}, available {available}")
+            }
+            BufferError::UnknownConsumer(id) => write!(f, "unknown consumer {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// A circular buffer with one producer window and any number of consumer
+/// windows, each observing every written value exactly once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircularBuffer<T> {
+    /// Backing storage.
+    data: Vec<Option<T>>,
+    /// Capacity in elements.
+    capacity: usize,
+    /// Total number of elements ever written (monotonic).
+    written: u64,
+    /// Per-consumer count of elements ever read (monotonic).
+    read: Vec<u64>,
+}
+
+impl<T: Clone> CircularBuffer<T> {
+    /// Create a buffer with `capacity` locations and `consumers` consumer
+    /// windows.
+    pub fn new(capacity: usize, consumers: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        CircularBuffer {
+            data: vec![None; capacity],
+            capacity,
+            written: 0,
+            read: vec![0; consumers.max(1)],
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of consumer windows.
+    pub fn consumer_count(&self) -> usize {
+        self.read.len()
+    }
+
+    /// Number of values the slowest consumer has not read yet.
+    pub fn occupancy(&self) -> usize {
+        let min_read = self.read.iter().copied().min().unwrap_or(0);
+        (self.written - min_read) as usize
+    }
+
+    /// Free space available to the producer.
+    pub fn space(&self) -> usize {
+        self.capacity - self.occupancy()
+    }
+
+    /// Number of values consumer `consumer` can read right now.
+    pub fn available(&self, consumer: usize) -> Result<usize, BufferError> {
+        let r = self.read.get(consumer).ok_or(BufferError::UnknownConsumer(consumer))?;
+        Ok((self.written - r) as usize)
+    }
+
+    /// Write `values` into the buffer. All values become visible to every
+    /// consumer. Fails if not enough space is free.
+    pub fn write(&mut self, values: &[T]) -> Result<(), BufferError> {
+        if values.len() > self.space() {
+            return Err(BufferError::InsufficientSpace {
+                requested: values.len(),
+                available: self.space(),
+            });
+        }
+        for v in values {
+            let idx = (self.written % self.capacity as u64) as usize;
+            self.data[idx] = Some(v.clone());
+            self.written += 1;
+        }
+        Ok(())
+    }
+
+    /// Read `count` values for consumer `consumer`, releasing them from that
+    /// consumer's window. Values remain in the buffer until every consumer
+    /// has released them.
+    pub fn read(&mut self, consumer: usize, count: usize) -> Result<Vec<T>, BufferError> {
+        let available = self.available(consumer)?;
+        if count > available {
+            return Err(BufferError::InsufficientData { requested: count, available });
+        }
+        let mut out = Vec::with_capacity(count);
+        let start = self.read[consumer];
+        for i in 0..count as u64 {
+            let idx = ((start + i) % self.capacity as u64) as usize;
+            out.push(self.data[idx].clone().expect("value present within window"));
+        }
+        self.read[consumer] += count as u64;
+        Ok(out)
+    }
+
+    /// Peek at `count` values for `consumer` without releasing them (the
+    /// "same value read repeatedly" behaviour of OIL input streams that are
+    /// read multiple times in one iteration).
+    pub fn peek(&self, consumer: usize, count: usize) -> Result<Vec<T>, BufferError> {
+        let available = self.available(consumer)?;
+        if count > available {
+            return Err(BufferError::InsufficientData { requested: count, available });
+        }
+        let start = self.read[consumer];
+        Ok((0..count as u64)
+            .map(|i| {
+                let idx = ((start + i) % self.capacity as u64) as usize;
+                self.data[idx].clone().expect("value present within window")
+            })
+            .collect())
+    }
+
+    /// Total number of values ever written.
+    pub fn total_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Total number of values consumer `consumer` has read.
+    pub fn total_read(&self, consumer: usize) -> u64 {
+        self.read.get(consumer).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_consumer_fifo_order() {
+        let mut b: CircularBuffer<u32> = CircularBuffer::new(4, 1);
+        b.write(&[1, 2, 3]).unwrap();
+        assert_eq!(b.occupancy(), 3);
+        assert_eq!(b.read(0, 2).unwrap(), vec![1, 2]);
+        b.write(&[4, 5, 6]).unwrap();
+        assert_eq!(b.read(0, 4).unwrap(), vec![3, 4, 5, 6]);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.space(), 4);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut b: CircularBuffer<u8> = CircularBuffer::new(3, 1);
+        b.write(&[1, 2]).unwrap();
+        let err = b.write(&[3, 4]).unwrap_err();
+        assert_eq!(err, BufferError::InsufficientSpace { requested: 2, available: 1 });
+    }
+
+    #[test]
+    fn underflow_rejected() {
+        let mut b: CircularBuffer<u8> = CircularBuffer::new(3, 1);
+        b.write(&[7]).unwrap();
+        let err = b.read(0, 2).unwrap_err();
+        assert_eq!(err, BufferError::InsufficientData { requested: 2, available: 1 });
+    }
+
+    #[test]
+    fn multiple_consumers_all_observe_every_value() {
+        let mut b: CircularBuffer<u16> = CircularBuffer::new(8, 3);
+        b.write(&[10, 20, 30]).unwrap();
+        for c in 0..3 {
+            assert_eq!(b.peek(c, 3).unwrap(), vec![10, 20, 30]);
+        }
+        assert_eq!(b.read(0, 3).unwrap(), vec![10, 20, 30]);
+        assert_eq!(b.read(1, 1).unwrap(), vec![10]);
+        // Space is limited by the slowest consumer (consumer 2 read nothing).
+        assert_eq!(b.occupancy(), 3);
+        assert_eq!(b.space(), 5);
+        assert_eq!(b.read(2, 3).unwrap(), vec![10, 20, 30]);
+        assert_eq!(b.read(1, 2).unwrap(), vec![20, 30]);
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut b: CircularBuffer<u8> = CircularBuffer::new(2, 1);
+        b.write(&[9]).unwrap();
+        assert_eq!(b.peek(0, 1).unwrap(), vec![9]);
+        assert_eq!(b.peek(0, 1).unwrap(), vec![9]);
+        assert_eq!(b.available(0).unwrap(), 1);
+        assert_eq!(b.read(0, 1).unwrap(), vec![9]);
+        assert_eq!(b.available(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_consumer_error() {
+        let b: CircularBuffer<u8> = CircularBuffer::new(2, 1);
+        assert_eq!(b.available(5), Err(BufferError::UnknownConsumer(5)));
+    }
+
+    #[test]
+    fn wrap_around_many_times() {
+        let mut b: CircularBuffer<u64> = CircularBuffer::new(3, 1);
+        for i in 0..1000u64 {
+            b.write(&[i]).unwrap();
+            assert_eq!(b.read(0, 1).unwrap(), vec![i]);
+        }
+        assert_eq!(b.total_written(), 1000);
+        assert_eq!(b.total_read(0), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: CircularBuffer<u8> = CircularBuffer::new(0, 1);
+    }
+
+    proptest! {
+        /// Data read out always equals data written, in order, for any
+        /// interleaving of writes and reads that respects the protocol.
+        #[test]
+        fn prop_fifo_preserves_order(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut b: CircularBuffer<u64> = CircularBuffer::new(5, 1);
+            let mut next_write = 0u64;
+            let mut next_read = 0u64;
+            for op in ops {
+                if op < 2 {
+                    if b.space() >= 1 {
+                        b.write(&[next_write]).unwrap();
+                        next_write += 1;
+                    }
+                } else if b.available(0).unwrap() >= 1 {
+                    let v = b.read(0, 1).unwrap();
+                    prop_assert_eq!(v[0], next_read);
+                    next_read += 1;
+                }
+            }
+            prop_assert!(next_read <= next_write);
+            prop_assert_eq!(b.occupancy() as u64, next_write - next_read);
+        }
+
+        /// Occupancy never exceeds capacity and space + occupancy == capacity.
+        #[test]
+        fn prop_occupancy_bounded(
+            writes in proptest::collection::vec(1usize..4, 1..50),
+            capacity in 4usize..16,
+        ) {
+            let mut b: CircularBuffer<u8> = CircularBuffer::new(capacity, 2);
+            for w in writes {
+                if b.space() >= w {
+                    b.write(&vec![0u8; w]).unwrap();
+                }
+                // Consumer 0 reads aggressively, consumer 1 lags.
+                let avail = b.available(0).unwrap();
+                if avail > 0 {
+                    b.read(0, avail).unwrap();
+                }
+                if b.available(1).unwrap() > 2 {
+                    b.read(1, 1).unwrap();
+                }
+                prop_assert!(b.occupancy() <= b.capacity());
+                prop_assert_eq!(b.space() + b.occupancy(), b.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Cyclo-Static Dataflow (CSDF) graphs.
+//!
+//! CSDF generalises SDF by letting an actor's production/consumption rates
+//! cycle through a fixed sequence of phases. The OIL compiler uses CSDF when
+//! a statement accesses a stream with different counts in different loop
+//! iterations of a static pattern (e.g. the sequential schedule of the
+//! paper's Figure 2b, where the same function is called with different slice
+//! lengths). Analyses here mirror the SDF ones: phase-aware repetition
+//! vectors, consistency and conversion to an equivalent SDF graph for
+//! throughput analysis.
+
+use crate::rational::lcm;
+use crate::sdf::{SdfError, SdfGraph};
+use serde::{Deserialize, Serialize};
+
+/// A CSDF actor: a name, a firing duration per phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsdfActor {
+    /// Actor name.
+    pub name: String,
+    /// Firing duration of each phase, in seconds. The number of phases is
+    /// `durations.len()`.
+    pub durations: Vec<f64>,
+}
+
+impl CsdfActor {
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.durations.len()
+    }
+}
+
+/// A CSDF edge with per-phase production and consumption sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsdfEdge {
+    /// Producing actor.
+    pub src: usize,
+    /// Consuming actor.
+    pub dst: usize,
+    /// Tokens produced in each phase of `src` (length = src phase count).
+    pub production: Vec<u64>,
+    /// Tokens consumed in each phase of `dst` (length = dst phase count).
+    pub consumption: Vec<u64>,
+    /// Initial tokens.
+    pub initial_tokens: u64,
+}
+
+/// A Cyclo-Static Dataflow graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CsdfGraph {
+    /// Actors.
+    pub actors: Vec<CsdfActor>,
+    /// Edges.
+    pub edges: Vec<CsdfEdge>,
+}
+
+impl CsdfGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an actor with the given per-phase firing durations.
+    pub fn add_actor(&mut self, name: impl Into<String>, durations: Vec<f64>) -> usize {
+        assert!(!durations.is_empty(), "a CSDF actor needs at least one phase");
+        self.actors.push(CsdfActor { name: name.into(), durations });
+        self.actors.len() - 1
+    }
+
+    /// Add an edge with per-phase production/consumption sequences.
+    pub fn add_edge(
+        &mut self,
+        src: usize,
+        dst: usize,
+        production: Vec<u64>,
+        consumption: Vec<u64>,
+        initial_tokens: u64,
+    ) -> usize {
+        assert_eq!(production.len(), self.actors[src].phases(), "production phases mismatch");
+        assert_eq!(consumption.len(), self.actors[dst].phases(), "consumption phases mismatch");
+        assert!(
+            production.iter().sum::<u64>() > 0 && consumption.iter().sum::<u64>() > 0,
+            "an edge must transfer at least one token per actor period"
+        );
+        self.edges.push(CsdfEdge { src, dst, production, consumption, initial_tokens });
+        self.edges.len() - 1
+    }
+
+    /// Total tokens produced on `edge` per full period (all phases) of its
+    /// source actor.
+    pub fn production_per_period(&self, edge: usize) -> u64 {
+        self.edges[edge].production.iter().sum()
+    }
+
+    /// Total tokens consumed on `edge` per full period of its destination.
+    pub fn consumption_per_period(&self, edge: usize) -> u64 {
+        self.edges[edge].consumption.iter().sum()
+    }
+
+    /// Convert to an SDF graph by aggregating each actor's phases into one
+    /// firing per period (sum of phase durations, sums of phase rates). This
+    /// is conservative for throughput analysis at iteration granularity and
+    /// is how the OIL compiler treats cyclically scheduled statements before
+    /// deriving CTA components.
+    pub fn to_sdf(&self) -> SdfGraph {
+        let mut g = SdfGraph::new();
+        for a in &self.actors {
+            g.add_actor(a.name.clone(), a.durations.iter().sum());
+        }
+        for e in &self.edges {
+            g.add_edge(
+                e.src,
+                e.dst,
+                e.production.iter().sum::<u64>().max(1),
+                e.consumption.iter().sum::<u64>().max(1),
+                e.initial_tokens,
+            );
+        }
+        g
+    }
+
+    /// Phase-aware repetition vector: entry `i` is the number of *phases*
+    /// actor `i` executes per graph iteration (a multiple of its phase
+    /// count). Derived from the aggregated SDF repetition vector.
+    pub fn phase_repetition_vector(&self) -> Result<Vec<u64>, SdfError> {
+        let q = self.to_sdf().repetition_vector()?;
+        Ok(q.iter()
+            .zip(&self.actors)
+            .map(|(&qi, a)| qi * a.phases() as u64)
+            .collect())
+    }
+
+    /// True if the aggregated balance equations have a solution.
+    pub fn is_consistent(&self) -> bool {
+        self.to_sdf().is_consistent()
+    }
+
+    /// Deadlock-freedom via fine-grained (phase-level) symbolic execution of
+    /// one iteration.
+    pub fn check_deadlock_free(&self) -> Result<(), SdfError> {
+        let phase_q = self.phase_repetition_vector()?;
+        let n = self.actors.len();
+        let mut remaining = phase_q.clone();
+        let mut phase: Vec<usize> = vec![0; n];
+        let mut tokens: Vec<u64> = self.edges.iter().map(|e| e.initial_tokens).collect();
+
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (eid, e) in self.edges.iter().enumerate() {
+            incoming[e.dst].push(eid);
+            outgoing[e.src].push(eid);
+        }
+
+        let total: u64 = phase_q.iter().sum();
+        let mut fired = 0u64;
+        loop {
+            let mut progressed = false;
+            for a in 0..n {
+                while remaining[a] > 0 {
+                    let ph = phase[a] % self.actors[a].phases();
+                    let ready = incoming[a]
+                        .iter()
+                        .all(|&e| tokens[e] >= self.edges[e].consumption[ph]);
+                    if !ready {
+                        break;
+                    }
+                    for &e in &incoming[a] {
+                        tokens[e] -= self.edges[e].consumption[ph];
+                    }
+                    for &e in &outgoing[a] {
+                        tokens[e] += self.edges[e].production[phase[a] % self.actors[a].phases()];
+                    }
+                    phase[a] += 1;
+                    remaining[a] -= 1;
+                    fired += 1;
+                    progressed = true;
+                }
+            }
+            if fired == total {
+                return Ok(());
+            }
+            if !progressed {
+                return Err(SdfError::Deadlock { remaining });
+            }
+        }
+    }
+
+    /// The hyperperiod (in phases) of two actors' phase counts; useful when
+    /// aligning schedules.
+    pub fn phase_hyperperiod(&self, a: usize, b: usize) -> u64 {
+        lcm(self.actors[a].phases() as u128, self.actors[b].phases() as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sequential schedule of Fig. 2b as a CSDF: one "f" actor called
+    /// twice per loop iteration (phases producing 3 then 3) and one "g" actor
+    /// called three times (phases 2, 2, 2).
+    fn fig2b_csdf() -> CsdfGraph {
+        let mut g = CsdfGraph::new();
+        let f = g.add_actor("f", vec![1e-3, 1e-3]);
+        let gg = g.add_actor("g", vec![1e-3, 1e-3, 1e-3]);
+        g.add_edge(f, gg, vec![3, 3], vec![2, 2, 2], 0);
+        g.add_edge(gg, f, vec![2, 2, 2], vec![3, 3], 4);
+        g
+    }
+
+    #[test]
+    fn csdf_consistency_and_phase_repetition() {
+        let g = fig2b_csdf();
+        assert!(g.is_consistent());
+        let pq = g.phase_repetition_vector().unwrap();
+        // Aggregated: f produces 6/period, g consumes 6/period -> q = (1, 1);
+        // in phases that is (2, 3).
+        assert_eq!(pq, vec![2, 3]);
+    }
+
+    #[test]
+    fn csdf_deadlock_freedom_depends_on_initial_tokens() {
+        let g = fig2b_csdf();
+        assert!(g.check_deadlock_free().is_ok());
+
+        let mut bad = CsdfGraph::new();
+        let f = bad.add_actor("f", vec![1e-3, 1e-3]);
+        let gg = bad.add_actor("g", vec![1e-3, 1e-3, 1e-3]);
+        bad.add_edge(f, gg, vec![3, 3], vec![2, 2, 2], 0);
+        bad.add_edge(gg, f, vec![2, 2, 2], vec![3, 3], 2);
+        assert!(bad.check_deadlock_free().is_err());
+    }
+
+    #[test]
+    fn csdf_to_sdf_aggregation() {
+        let g = fig2b_csdf();
+        let sdf = g.to_sdf();
+        assert_eq!(sdf.actor_count(), 2);
+        assert_eq!(sdf.edges[0].production, 6);
+        assert_eq!(sdf.edges[0].consumption, 6);
+        assert!((sdf.actors[0].firing_duration - 2e-3).abs() < 1e-12);
+        assert!((sdf.actors[1].firing_duration - 3e-3).abs() < 1e-12);
+        assert_eq!(sdf.repetition_vector().unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn inconsistent_csdf_detected() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", vec![1.0]);
+        let b = g.add_actor("b", vec![1.0]);
+        g.add_edge(a, b, vec![2], vec![3], 0);
+        g.add_edge(b, a, vec![1], vec![1], 5);
+        assert!(!g.is_consistent());
+        assert!(g.phase_repetition_vector().is_err());
+    }
+
+    #[test]
+    fn per_period_totals_and_hyperperiod() {
+        let g = fig2b_csdf();
+        assert_eq!(g.production_per_period(0), 6);
+        assert_eq!(g.consumption_per_period(0), 6);
+        assert_eq!(g.phase_hyperperiod(0, 1), 6);
+    }
+
+    #[test]
+    fn zero_rate_phases_allowed_if_period_positive() {
+        // A distributor that only produces on its second phase.
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", vec![1e-3, 1e-3]);
+        let b = g.add_actor("b", vec![1e-3]);
+        g.add_edge(a, b, vec![0, 2], vec![1], 0);
+        assert!(g.is_consistent());
+        assert!(g.check_deadlock_free().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "phases mismatch")]
+    fn phase_length_mismatch_panics() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", vec![1.0, 1.0]);
+        let b = g.add_actor("b", vec![1.0]);
+        g.add_edge(a, b, vec![1], vec![1], 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Homogeneous SDF (HSDF) expansion and Maximum Cycle Mean throughput.
+//!
+//! Exact throughput analysis of an SDF graph classically proceeds by
+//! expanding it to its homogeneous equivalent (one node per firing of each
+//! actor within an iteration) and computing the Maximum Cycle Mean of the
+//! result. The expansion is **exponential in the rates** (the repetition
+//! vector entries), which is exactly the cost the paper's CTA approach
+//! avoids; the benchmark `scaling_poly_vs_exact` measures this difference.
+
+use crate::mcr::{CycleRatio, RatioGraph};
+use crate::sdf::{SdfError, SdfGraph};
+use serde::{Deserialize, Serialize};
+
+/// A node of the homogeneous expansion: firing `k` of actor `actor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Firing {
+    /// Index of the actor in the original SDF graph.
+    pub actor: usize,
+    /// Firing index within one iteration, `0 .. q[actor]`.
+    pub index: u64,
+}
+
+/// An edge of the homogeneous expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HsdfEdge {
+    /// Producing firing (node index).
+    pub src: usize,
+    /// Consuming firing (node index).
+    pub dst: usize,
+    /// Number of iteration boundaries crossed (initial tokens of the
+    /// homogeneous edge).
+    pub tokens: u64,
+}
+
+/// The homogeneous (single-rate) expansion of an SDF graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HsdfGraph {
+    /// One node per firing.
+    pub firings: Vec<Firing>,
+    /// Firing duration per node (copied from the original actor).
+    pub durations: Vec<f64>,
+    /// Precedence edges.
+    pub edges: Vec<HsdfEdge>,
+}
+
+impl HsdfGraph {
+    /// Expand `graph` into its homogeneous equivalent.
+    ///
+    /// For every SDF edge and every consuming firing, a dependency edge is
+    /// added from the producing firing that supplies the last token that
+    /// firing needs, following the standard token-counting construction.
+    pub fn expand(graph: &SdfGraph) -> Result<Self, SdfError> {
+        let q = graph.repetition_vector()?;
+        let mut firings = Vec::new();
+        let mut durations = Vec::new();
+        let mut first_node = vec![0usize; graph.actors.len()];
+        for (a, actor) in graph.actors.iter().enumerate() {
+            first_node[a] = firings.len();
+            for k in 0..q[a] {
+                firings.push(Firing { actor: a, index: k });
+                durations.push(actor.firing_duration);
+            }
+        }
+
+        let mut edges = Vec::new();
+        for e in &graph.edges {
+            let p = e.production;
+            let c = e.consumption;
+            let d = e.initial_tokens;
+            // Consuming firing j (0-based) of dst needs tokens
+            // (j*c+1 ..= (j+1)*c). The token numbered t (1-based, counting
+            // initial tokens first) is produced by firing ceil((t-d)/p) of
+            // src (1-based) when t > d, possibly in an earlier iteration.
+            // In steady state, consumer firing j (0-based) of dst in
+            // iteration n needs the first n*q[dst]*c + (j+1)*c tokens on the
+            // edge, of which d are initial. The last of those is produced by
+            // global producer firing ceil((need)/p) (1-based, possibly in an
+            // earlier iteration, possibly non-positive when the initial
+            // tokens cover it for iteration 0 — the dependency then points
+            // `iterations_back` iterations into the past, which becomes the
+            // token count of the homogeneous edge). Dependencies on earlier
+            // producer firings follow transitively from the producer's own
+            // firing order, so one edge per consumer firing suffices.
+            for j in 0..q[e.dst] {
+                let need = ((j + 1) * c) as i128 - d as i128;
+                // 1-based producer firing index relative to the consumer's
+                // iteration; may be zero or negative.
+                let prod_firing_1 = -((-need).div_euclid(p as i128));
+                let k0 = prod_firing_1 - 1; // 0-based, may be negative
+                let qsrc = q[e.src] as i128;
+                let within = k0.rem_euclid(qsrc);
+                let iterations_back = (within - k0) / qsrc;
+                let src_node = first_node[e.src] + within as usize;
+                let dst_node = first_node[e.dst] + j as usize;
+                edges.push(HsdfEdge {
+                    src: src_node,
+                    dst: dst_node,
+                    tokens: iterations_back as u64,
+                });
+            }
+        }
+
+        Ok(HsdfGraph { firings, durations, edges })
+    }
+
+    /// Number of firings (nodes).
+    pub fn node_count(&self) -> usize {
+        self.firings.len()
+    }
+
+    /// Number of precedence edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Maximum cycle mean of the expansion: the minimum achievable iteration
+    /// period of the original SDF graph under self-timed execution with
+    /// unbounded buffers. Returns `None` for acyclic graphs (throughput is
+    /// then bounded only by the source).
+    pub fn maximum_cycle_mean(&self) -> Option<f64> {
+        let mut g = RatioGraph::new(self.node_count());
+        for e in &self.edges {
+            // Cost: the firing duration of the source firing (time from the
+            // start of src to the start of dst); transit: tokens.
+            g.add_edge(e.src, e.dst, self.durations[e.src], e.tokens as f64);
+        }
+        match g.maximum_cycle_mean(1e-12) {
+            CycleRatio::Ratio(r) => Some(r),
+            CycleRatio::Acyclic => None,
+            CycleRatio::Infeasible => Some(f64::INFINITY),
+        }
+    }
+
+    /// Exact throughput in iterations per second implied by the MCM, or
+    /// `None` if the graph is acyclic (unbounded by dependencies).
+    pub fn throughput(&self) -> Option<f64> {
+        self.maximum_cycle_mean().map(|mcm| if mcm <= 0.0 { f64::INFINITY } else { 1.0 / mcm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_graph_expands_to_itself() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1.0);
+        let b = g.add_actor("b", 2.0);
+        g.add_edge(a, b, 1, 1, 0);
+        g.add_edge(b, a, 1, 1, 1);
+        let h = HsdfGraph::expand(&g).unwrap();
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 2);
+        // Cycle: duration 1 + 2 over 1 token -> MCM 3.
+        let mcm = h.maximum_cycle_mean().unwrap();
+        assert!((mcm - 3.0).abs() < 1e-9, "{mcm}");
+        assert!((h.throughput().unwrap() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2a_expansion_counts() {
+        // q = (2, 3): 5 firings.
+        let g = SdfGraph::rate_converter(3, 3, 2, 2, 4, 1.0);
+        let h = HsdfGraph::expand(&g).unwrap();
+        assert_eq!(h.node_count(), 5);
+        assert!(h.edge_count() >= 5);
+        let mcm = h.maximum_cycle_mean().unwrap();
+        assert!(mcm.is_finite());
+        assert!(mcm > 0.0);
+    }
+
+    #[test]
+    fn expansion_size_grows_with_rates() {
+        // a -n-> -1- b : q = (1, n); node count 1 + n.
+        for n in [2u64, 8, 64] {
+            let mut g = SdfGraph::new();
+            let a = g.add_actor("a", 1.0);
+            let b = g.add_actor("b", 1.0);
+            g.add_edge(a, b, n, 1, 0);
+            let h = HsdfGraph::expand(&g).unwrap();
+            assert_eq!(h.node_count(), (1 + n) as usize);
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_mcm() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1.0);
+        let b = g.add_actor("b", 1.0);
+        g.add_edge(a, b, 2, 1, 0);
+        let h = HsdfGraph::expand(&g).unwrap();
+        assert_eq!(h.maximum_cycle_mean(), None);
+        assert_eq!(h.throughput(), None);
+    }
+
+    #[test]
+    fn self_loop_actor_period() {
+        // An actor with a self-loop and one token fires strictly sequentially.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 0.5);
+        g.add_edge(a, a, 1, 1, 1);
+        let h = HsdfGraph::expand(&g).unwrap();
+        let mcm = h.maximum_cycle_mean().unwrap();
+        assert!((mcm - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_rate_cycle_mcm_matches_hand_computation() {
+        // f (dur 1) produces 2 to g (dur 1) which produces 1 back to f which
+        // consumes 1; 2 initial tokens on the back edge.
+        // q = (1, 2). Per iteration f fires once, g twice.
+        let mut g = SdfGraph::new();
+        let f = g.add_actor("f", 1.0);
+        let gg = g.add_actor("g", 1.0);
+        g.add_edge(f, gg, 2, 1, 0);
+        g.add_edge(gg, f, 1, 2, 2);
+        let h = HsdfGraph::expand(&g).unwrap();
+        let mcm = h.maximum_cycle_mean().unwrap();
+        // The critical cycle: f -> g(last firing) -> f with 1 iteration of
+        // tokens: (1 + 1)/1 = 2... the exact value depends on token
+        // placement; assert it is at least the bottleneck bound (2 time units
+        // of g work per iteration) and finite.
+        assert!(mcm >= 2.0 - 1e-9, "{mcm}");
+        assert!(mcm.is_finite());
+    }
+}

@@ -1,0 +1,41 @@
+//! Dataflow models and baseline temporal analyses for the OIL toolchain.
+//!
+//! The OIL compiler extracts a **task graph** from every sequential module
+//! (one task per function call or assignment, one circular buffer per
+//! variable, method of Geuns et al. LCTES'13), abstracts each task as a
+//! **dataflow actor** and finally derives a CTA component from it. This crate
+//! provides those intermediate models plus the *exact* dataflow analyses the
+//! paper compares against:
+//!
+//! * [`rational`] — exact rational arithmetic used by repetition vectors and
+//!   rate computations.
+//! * [`taskgraph`] — tasks, guards and circular buffers with multiple
+//!   producers/consumers.
+//! * [`sdf`] — Synchronous Dataflow graphs, repetition vectors, consistency
+//!   and deadlock analysis.
+//! * [`csdf`] — Cyclo-Static Dataflow actors with phase-dependent rates.
+//! * [`hsdf`] — expansion of an SDF graph to its homogeneous equivalent and
+//!   Maximum Cycle Mean throughput analysis.
+//! * [`statespace`] — exact self-timed state-space throughput analysis, the
+//!   exponential-time baseline referred to in the paper's related work.
+//! * [`mcr`] — maximum cycle ratio analysis on weighted graphs (shared by the
+//!   CTA consistency algorithm and by the HSDF analysis).
+//! * [`buffer`] — circular buffers with multiple overlapping windows, the
+//!   communication primitive of the paper's execution substrate.
+
+pub mod buffer;
+pub mod csdf;
+pub mod hsdf;
+pub mod mcr;
+pub mod rational;
+pub mod sdf;
+pub mod statespace;
+pub mod taskgraph;
+
+pub use buffer::CircularBuffer;
+pub use csdf::CsdfGraph;
+pub use hsdf::HsdfGraph;
+pub use rational::Rational;
+pub use sdf::{SdfActor, SdfEdge, SdfGraph};
+pub use statespace::SelfTimedAnalysis;
+pub use taskgraph::{Task, TaskBuffer, TaskGraph};

@@ -1,0 +1,327 @@
+//! Exact rational arithmetic.
+//!
+//! Repetition vectors, transfer-rate ratios and rate-conversion factors (such
+//! as the PAL decoder's 10/16 resampling factor) must be computed exactly;
+//! floating point would accumulate error and make consistency checks flaky.
+//! This is a small self-contained implementation over `i128` with automatic
+//! normalisation.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Greatest common divisor of two non-negative integers.
+pub fn gcd(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple of two positive integers.
+pub fn lcm(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, normalising sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd(num, den).max(1);
+        Rational { num: sign * (num / g) as i128, den: (den / g) as i128 }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// The value as `f64` (approximate).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        if self.num >= 0 {
+            (self.num + self.den - 1) / self.den
+        } else {
+            self.num / self.den
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            (self.num - self.den + 1) / self.den
+        }
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(n: u64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+    }
+
+    #[test]
+    fn construction_normalises() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, 4), Rational::new(1, -2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+        assert_eq!(Rational::new(6, 3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(3, 2);
+        let b = Rational::new(2, 3);
+        assert_eq!(a * b, Rational::ONE);
+        assert_eq!(a + b, Rational::new(13, 6));
+        assert_eq!(a - b, Rational::new(5, 6));
+        assert_eq!(a / b, Rational::new(9, 4));
+        assert_eq!(-a, Rational::new(-3, 2));
+        assert_eq!(a.recip(), b);
+        assert_eq!(Rational::ONE.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 2);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(4, 2).ceil(), 2);
+        assert_eq!(Rational::new(4, 2).floor(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(10, 16).to_string(), "5/8");
+        assert_eq!(Rational::from_int(4).to_string(), "4");
+        assert_eq!(Rational::new(-3, 6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn pal_rate_conversion_factors() {
+        // The PAL decoder's conversion chain: 6.4 MHz * 1/25 * 1/8 = 32 kHz
+        // and 6.4 MHz * 10/16 = 4 MHz.
+        let rf = Rational::from_int(6_400_000);
+        let audio = rf * Rational::new(1, 25) * Rational::new(1, 8);
+        assert_eq!(audio, Rational::from_int(32_000));
+        let video = rf * Rational::new(10, 16);
+        assert_eq!(video, Rational::from_int(4_000_000));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in -1000i128..1000, b in 1i128..1000, c in -1000i128..1000, d in 1i128..1000) {
+            let x = Rational::new(a, b);
+            let y = Rational::new(c, d);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn prop_mul_inverse(a in 1i128..1000, b in 1i128..1000) {
+            let x = Rational::new(a, b);
+            prop_assert_eq!(x * x.recip(), Rational::ONE);
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_f64(a in -1000i128..1000, b in 1i128..1000, c in -1000i128..1000, d in 1i128..1000) {
+            let x = Rational::new(a, b);
+            let y = Rational::new(c, d);
+            if x < y {
+                prop_assert!(x.to_f64() < y.to_f64() + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_floor_le_ceil(a in -10_000i128..10_000, b in 1i128..100) {
+            let x = Rational::new(a, b);
+            prop_assert!(x.floor() <= x.ceil());
+            prop_assert!(Rational::from_int(x.floor()) <= x);
+            prop_assert!(Rational::from_int(x.ceil()) >= x);
+        }
+    }
+}

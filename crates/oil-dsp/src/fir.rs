@@ -1,0 +1,169 @@
+//! Finite impulse response (FIR) filters.
+//!
+//! The PAL decoder uses low-pass filters to separate the video band from the
+//! audio band (modules `LPF_V` and the filter inside `SRC_A`/`LPF_A`). The
+//! implementation is a direct-form FIR with a windowed-sinc design; it keeps
+//! internal state (the delay line) but is side-effect free, exactly the class
+//! of functions OIL may coordinate.
+
+use crate::Sample;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A direct-form FIR filter with an internal delay line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    delay: Vec<Sample>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Create a filter from explicit tap coefficients.
+    pub fn from_taps(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "a FIR filter needs at least one tap");
+        let n = taps.len();
+        FirFilter { taps, delay: vec![0.0; n], pos: 0 }
+    }
+
+    /// Design a low-pass filter with the windowed-sinc method.
+    ///
+    /// * `cutoff_hz` — the -6 dB cutoff frequency,
+    /// * `sample_rate_hz` — the input sample rate,
+    /// * `taps` — number of coefficients (an odd count gives a symmetric,
+    ///   linear-phase filter).
+    pub fn low_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize) -> Self {
+        assert!(taps >= 1, "need at least one tap");
+        assert!(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0, "cutoff must be below Nyquist");
+        let fc = cutoff_hz / sample_rate_hz;
+        let m = (taps - 1) as f64;
+        let mut coeffs = Vec::with_capacity(taps);
+        for i in 0..taps {
+            let x = i as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 { 2.0 * fc } else { (2.0 * PI * fc * x).sin() / (PI * x) };
+            // Hamming window.
+            let w = 0.54 - 0.46 * (2.0 * PI * i as f64 / m.max(1.0)).cos();
+            coeffs.push(sinc * w);
+        }
+        // Normalise DC gain to one.
+        let sum: f64 = coeffs.iter().sum();
+        for c in &mut coeffs {
+            *c /= sum;
+        }
+        FirFilter::from_taps(coeffs)
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True if the filter has no taps (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Process one input sample and return one output sample.
+    pub fn push(&mut self, x: Sample) -> Sample {
+        self.delay[self.pos] = x;
+        let n = self.taps.len();
+        let mut acc = 0.0;
+        for (k, tap) in self.taps.iter().enumerate() {
+            let idx = (self.pos + n - k) % n;
+            acc += tap * self.delay[idx];
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Process a block of samples.
+    pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Reset the delay line to zero.
+    pub fn reset(&mut self) {
+        self.delay.iter_mut().for_each(|d| *d = 0.0);
+        self.pos = 0;
+    }
+
+    /// The filter's magnitude response at `freq_hz` for a given sample rate
+    /// (used by tests to check the pass/stop-band behaviour).
+    pub fn magnitude_at(&self, freq_hz: f64, sample_rate_hz: f64) -> f64 {
+        let omega = 2.0 * PI * freq_hz / sample_rate_hz;
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, tap) in self.taps.iter().enumerate() {
+            re += tap * (omega * k as f64).cos();
+            im -= tap * (omega * k as f64).sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let mut f = FirFilter::low_pass(1000.0, 48_000.0, 63);
+        let out = f.process(&vec![1.0; 500]);
+        assert!((out.last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn passband_and_stopband() {
+        let f = FirFilter::low_pass(100_000.0, 6_400_000.0, 101);
+        assert!(f.magnitude_at(10_000.0, 6.4e6) > 0.95);
+        assert!(f.magnitude_at(1_000_000.0, 6.4e6) < 0.05);
+    }
+
+    #[test]
+    fn attenuates_out_of_band_tone() {
+        let sr = 48_000.0;
+        let mut f = FirFilter::low_pass(2_000.0, sr, 101);
+        let tone: Vec<f64> =
+            (0..2000).map(|n| (2.0 * PI * 12_000.0 * n as f64 / sr).sin()).collect();
+        let out = f.process(&tone);
+        let rms_in: f64 = (tone.iter().map(|x| x * x).sum::<f64>() / tone.len() as f64).sqrt();
+        let tail = &out[500..];
+        let rms_out: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();
+        assert!(rms_out < 0.05 * rms_in, "rms_out {rms_out} vs rms_in {rms_in}");
+    }
+
+    #[test]
+    fn preserves_in_band_tone() {
+        let sr = 48_000.0;
+        let mut f = FirFilter::low_pass(6_000.0, sr, 101);
+        let tone: Vec<f64> =
+            (0..2000).map(|n| (2.0 * PI * 1_000.0 * n as f64 / sr).sin()).collect();
+        let out = f.process(&tone);
+        let tail = &out[500..];
+        let rms_out: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();
+        assert!((rms_out - (0.5f64).sqrt()).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = FirFilter::low_pass(1000.0, 48_000.0, 31);
+        f.process(&[1.0; 64]);
+        f.reset();
+        let out = f.push(0.0);
+        assert_eq!(out, 0.0);
+        assert_eq!(f.len(), 31);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "below Nyquist")]
+    fn cutoff_above_nyquist_panics() {
+        let _ = FirFilter::low_pass(30_000.0, 48_000.0, 31);
+    }
+
+    #[test]
+    fn explicit_taps_identity() {
+        let mut f = FirFilter::from_taps(vec![1.0]);
+        assert_eq!(f.push(3.5), 3.5);
+        assert_eq!(f.push(-1.0), -1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Mixers (frequency shifters).
+//!
+//! The PAL decoder's `Mix_A` module shifts the audio carrier down to zero
+//! before the low-pass filter and downsampler extract the audio band. A mixer
+//! multiplies the input by a local oscillator; like the filters it keeps
+//! state (the oscillator phase) but has no side effects.
+
+use crate::Sample;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A real mixer: multiplies the input by a sine local oscillator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mixer {
+    /// Oscillator frequency in Hz.
+    pub lo_freq_hz: f64,
+    /// Input sample rate in Hz.
+    pub sample_rate_hz: f64,
+    phase: f64,
+}
+
+impl Mixer {
+    /// Create a mixer with the given local-oscillator frequency.
+    pub fn new(lo_freq_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Mixer { lo_freq_hz, sample_rate_hz, phase: 0.0 }
+    }
+
+    /// Mix one sample.
+    pub fn push(&mut self, x: Sample) -> Sample {
+        let y = x * (self.phase).sin() * 2.0;
+        self.phase += 2.0 * PI * self.lo_freq_hz / self.sample_rate_hz;
+        if self.phase > 2.0 * PI {
+            self.phase -= 2.0 * PI;
+        }
+        y
+    }
+
+    /// Mix a block of samples.
+    pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Reset the oscillator phase.
+    pub fn reset(&mut self) {
+        self.phase = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::FirFilter;
+
+    /// Mixing a tone at the LO frequency produces a DC component (plus a
+    /// double-frequency term a low-pass filter removes).
+    #[test]
+    fn mixing_recovers_baseband() {
+        let sr = 100_000.0;
+        let carrier = 20_000.0;
+        let mut mixer = Mixer::new(carrier, sr);
+        let mut lpf = FirFilter::low_pass(2_000.0, sr, 101);
+        let signal: Vec<f64> =
+            (0..5000).map(|n| (2.0 * PI * carrier * n as f64 / sr).sin()).collect();
+        let mixed = mixer.process(&signal);
+        let filtered = lpf.process(&mixed);
+        let tail = &filtered[1000..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_lo_gives_zero_output() {
+        // A zero-frequency sine oscillator stays at zero phase.
+        let mut m = Mixer::new(0.0, 48_000.0);
+        assert!(m.push(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_phase() {
+        let mut m = Mixer::new(1_000.0, 48_000.0);
+        let a = m.push(1.0);
+        m.push(1.0);
+        m.reset();
+        let b = m.push(1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sample_rate_panics() {
+        let _ = Mixer::new(1000.0, 0.0);
+    }
+}

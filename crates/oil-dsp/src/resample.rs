@@ -1,0 +1,189 @@
+//! Sample-rate converters.
+//!
+//! The PAL decoder performs three rate conversions: the audio path
+//! downsamples by 25 (`SRC_A`) and by 8 (inside the `Audio` black box), and
+//! the video path resamples by the rational factor 10/16 (`SRC_V`). Both a
+//! plain decimator and a polyphase rational resampler are provided.
+
+use crate::fir::FirFilter;
+use crate::Sample;
+use serde::{Deserialize, Serialize};
+
+/// An integer-factor decimator with an anti-aliasing low-pass filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decimator {
+    /// Decimation factor.
+    pub factor: usize,
+    filter: FirFilter,
+    phase: usize,
+}
+
+impl Decimator {
+    /// Create a decimator by `factor` for signals sampled at
+    /// `sample_rate_hz`.
+    pub fn new(factor: usize, sample_rate_hz: f64, taps: usize) -> Self {
+        assert!(factor >= 1, "decimation factor must be at least 1");
+        let cutoff = sample_rate_hz / (2.0 * factor as f64) * 0.9;
+        Decimator { factor, filter: FirFilter::low_pass(cutoff, sample_rate_hz, taps), phase: 0 }
+    }
+
+    /// Feed `factor` input samples, produce one output sample.
+    pub fn process_block(&mut self, input: &[Sample]) -> Sample {
+        assert_eq!(input.len(), self.factor, "block length must equal the factor");
+        let mut out = 0.0;
+        for &x in input {
+            out = self.filter.push(x);
+        }
+        out
+    }
+
+    /// Stream interface: push one sample, get `Some(output)` every `factor`
+    /// samples.
+    pub fn push(&mut self, x: Sample) -> Option<Sample> {
+        let y = self.filter.push(x);
+        self.phase += 1;
+        if self.phase == self.factor {
+            self.phase = 0;
+            Some(y)
+        } else {
+            None
+        }
+    }
+
+    /// Process an arbitrary-length input, returning the decimated output.
+    pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
+        input.iter().filter_map(|&x| self.push(x)).collect()
+    }
+}
+
+/// A rational resampler by `up/down` using zero-stuffing, a polyphase
+/// anti-imaging/anti-aliasing filter and decimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RationalResampler {
+    /// Upsampling factor (e.g. 10 for the PAL video path).
+    pub up: usize,
+    /// Downsampling factor (e.g. 16 for the PAL video path).
+    pub down: usize,
+    filter: FirFilter,
+    /// Phase accumulator over the upsampled grid.
+    phase: usize,
+}
+
+impl RationalResampler {
+    /// Create a resampler by `up/down` for input sampled at
+    /// `sample_rate_hz`.
+    pub fn new(up: usize, down: usize, sample_rate_hz: f64, taps: usize) -> Self {
+        assert!(up >= 1 && down >= 1, "resampling factors must be at least 1");
+        let upsampled = sample_rate_hz * up as f64;
+        let cutoff = (sample_rate_hz / 2.0).min(sample_rate_hz * up as f64 / (2.0 * down as f64)) * 0.9;
+        RationalResampler {
+            up,
+            down,
+            filter: FirFilter::low_pass(cutoff, upsampled, taps),
+            phase: 0,
+        }
+    }
+
+    /// Push one input sample; returns zero or more output samples.
+    pub fn push(&mut self, x: Sample) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for k in 0..self.up {
+            // Zero-stuffing: the input sample followed by up-1 zeros, scaled
+            // by `up` to preserve amplitude.
+            let v = if k == 0 { x * self.up as f64 } else { 0.0 };
+            let y = self.filter.push(v);
+            if self.phase == 0 {
+                out.push(y);
+            }
+            self.phase = (self.phase + 1) % self.down;
+        }
+        out
+    }
+
+    /// Process a block of input samples.
+    pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
+        input.iter().flat_map(|&x| self.push(x)).collect()
+    }
+
+    /// Exact output/input rate ratio.
+    pub fn ratio(&self) -> f64 {
+        self.up as f64 / self.down as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn decimator_output_length() {
+        let mut d = Decimator::new(25, 6.4e6, 63);
+        let input = vec![1.0; 6400];
+        let out = d.process(&input);
+        assert_eq!(out.len(), 6400 / 25);
+    }
+
+    #[test]
+    fn decimator_preserves_dc() {
+        let mut d = Decimator::new(8, 256_000.0, 63);
+        let out = d.process(&vec![1.0; 4096]);
+        assert!((out.last().unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn decimator_block_interface() {
+        let mut d = Decimator::new(4, 32_000.0, 31);
+        let y = d.process_block(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn wrong_block_length_panics() {
+        let mut d = Decimator::new(4, 32_000.0, 31);
+        let _ = d.process_block(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn resampler_ratio_10_over_16() {
+        let mut r = RationalResampler::new(10, 16, 6.4e6, 161);
+        assert!((r.ratio() - 0.625).abs() < 1e-12);
+        let out = r.process(&vec![1.0; 1600]);
+        // 1600 * 10 / 16 = 1000 output samples.
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn resampler_preserves_dc_level() {
+        let mut r = RationalResampler::new(10, 16, 6.4e6, 161);
+        let out = r.process(&vec![1.0; 4000]);
+        let tail = &out[out.len() - 200..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn resampler_preserves_low_frequency_tone() {
+        let sr = 64_000.0;
+        let mut r = RationalResampler::new(1, 2, sr, 101);
+        let tone: Vec<f64> = (0..4000).map(|n| (2.0 * PI * 1000.0 * n as f64 / sr).sin()).collect();
+        let out = r.process(&tone);
+        assert_eq!(out.len(), 2000);
+        let tail = &out[500..];
+        let rms: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();
+        assert!((rms - (0.5f64).sqrt()).abs() < 0.1, "rms {rms}");
+    }
+
+    #[test]
+    fn pal_audio_chain_rate() {
+        // 6.4 MS/s -> /25 -> 256 kS/s -> /8 -> 32 kS/s.
+        let mut src_a = Decimator::new(25, 6.4e6, 63);
+        let mut audio = Decimator::new(8, 256_000.0, 63);
+        let input = vec![0.5; 64_000];
+        let mid = src_a.process(&input);
+        assert_eq!(mid.len(), 2560);
+        let out = audio.process(&mid);
+        assert_eq!(out.len(), 320);
+    }
+}

@@ -1,0 +1,73 @@
+//! Front end for the OIL hierarchical coordination language.
+//!
+//! OIL (as introduced by Geuns, Hausmans and Bekooij, *"Hierarchical
+//! Programming Language for Modal Multi-Rate Real-Time Stream Processing
+//! Applications"*, ICPP Workshops 2014) is a coordination language in which a
+//! **parallel specification** of concurrently executing *modules* nests a
+//! **sequential specification** of each module body, which in turn coordinates
+//! side-effect-free functions.
+//!
+//! This crate provides:
+//!
+//! * a lexer and recursive-descent parser for the core syntax of the paper's
+//!   Figure 5 (plus the extensions used by the paper's own examples: anonymous
+//!   top-level `mod par { .. }` blocks, frequency units, array slices and the
+//!   colon multi-rate access notation),
+//! * a typed abstract syntax tree ([`ast`]),
+//! * semantic analysis ([`sema`]) that enforces the restrictions making OIL
+//!   *not* Turing complete (no recursion, no pointers, no dynamic memory) and
+//!   the stream-access rules of Section IV of the paper,
+//! * a pretty printer ([`pretty`]) able to round-trip parsed programs, and
+//! * a function registry describing the (side-effect-free) C/C++-style
+//!   functions a program coordinates.
+//!
+//! # Quick example
+//!
+//! ```
+//! use oil_lang::parse_program;
+//!
+//! let src = r#"
+//! mod seq A(out int a, int b) {
+//!     loop { f(out a:3, b:3); } while(1);
+//! }
+//! mod seq B(out int c, int d) {
+//!     init(out c:4);
+//!     loop { g(out c:2, d:2); } while(1);
+//! }
+//! mod par C() {
+//!     fifo int x, y;
+//!     A(out x, y) || B(out y, x)
+//! }
+//! "#;
+//! let program = parse_program(src).expect("parses");
+//! assert_eq!(program.modules.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod registry;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+pub use ast::Program;
+pub use parser::{parse_program, Parser};
+pub use registry::{FunctionRegistry, FunctionSignature};
+pub use sema::{analyze, AnalyzedProgram, SemaError};
+pub use span::{Diagnostic, Severity, Span};
+
+/// Parse and semantically analyse an OIL program in one call.
+///
+/// This is the convenience entry point used by the compiler pipeline: it
+/// parses `source`, runs all semantic checks with the given function
+/// `registry` and returns the analysed program, or the list of diagnostics
+/// explaining why the program is rejected.
+pub fn frontend(
+    source: &str,
+    registry: &FunctionRegistry,
+) -> Result<AnalyzedProgram, Vec<Diagnostic>> {
+    let program = parse_program(source).map_err(|d| vec![d])?;
+    analyze(&program, registry).map_err(|e| e.diagnostics)
+}

@@ -1,0 +1,273 @@
+//! Stream-access rules for sequential module bodies (Section IV-A).
+//!
+//! * An **output stream** must be written in every while-loop iteration (its
+//!   new value becomes visible to other modules at the end of each iteration).
+//!   A module whose output stream is never written at all is rejected; a loop
+//!   in which it is written only on some control paths gets a warning because
+//!   the derived temporal model then over-approximates.
+//! * To keep **sources and sinks strictly periodic**, every stream of a module
+//!   should be accessed in every top-level while-loop of that module (the
+//!   requirement inherited from [5], [22] and used by the Fig. 3/Fig. 9
+//!   abstraction). Violations get a warning.
+
+use crate::ast::*;
+use crate::span::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Run stream-access checks, appending diagnostics to `diags`.
+pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
+    for m in &program.modules {
+        let ModuleBody::Seq(body) = &m.body else { continue };
+        check_outputs_written(m, body, diags);
+        check_streams_in_every_loop(m, body, diags);
+    }
+}
+
+fn check_outputs_written(module: &Module, body: &SeqBody, diags: &mut Vec<Diagnostic>) {
+    for p in module.output_params() {
+        let name = p.name.name.as_str();
+        if !stmts_write(&body.stmts, name) {
+            diags.push(Diagnostic::error(
+                format!(
+                    "output stream `{}` of module `{}` is never written",
+                    name,
+                    module.display_name()
+                ),
+                p.name.span,
+            ));
+            continue;
+        }
+        // Inside each top-level loop that writes the stream at all, the write
+        // should happen on every control path.
+        for stmt in &body.stmts {
+            if let Stmt::LoopWhile { body: loop_body, span, .. } = stmt {
+                if stmts_write(loop_body, name) && !stmts_write_on_all_paths(loop_body, name) {
+                    diags.push(Diagnostic::warning(
+                        format!(
+                            "output stream `{}` of module `{}` is not written on every control path of this loop; \
+                             the derived temporal model assumes it is written every iteration",
+                            name,
+                            module.display_name()
+                        ),
+                        *span,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_streams_in_every_loop(module: &Module, body: &SeqBody, diags: &mut Vec<Diagnostic>) {
+    let streams: Vec<&StreamParam> = module.params.iter().collect();
+    if streams.is_empty() {
+        return;
+    }
+    let loops: Vec<&Stmt> =
+        body.stmts.iter().filter(|s| matches!(s, Stmt::LoopWhile { .. })).collect();
+    if loops.len() <= 1 {
+        // With a single (or no) loop the bounded-access requirement is
+        // trivially handled by the loop's own periodicity constraint.
+        return;
+    }
+    for p in streams {
+        let name = p.name.name.as_str();
+        for l in &loops {
+            let Stmt::LoopWhile { body: loop_body, span, .. } = l else { unreachable!() };
+            if !stmts_access(loop_body, name) {
+                diags.push(Diagnostic::warning(
+                    format!(
+                        "stream `{}` of module `{}` is not accessed in every while-loop; \
+                         sources and sinks connected to it may not be served strictly periodically",
+                        name,
+                        module.display_name()
+                    ),
+                    *span,
+                ));
+            }
+        }
+    }
+}
+
+/// Does any statement in `stmts` (recursively) write `name`?
+fn stmts_write(stmts: &[Stmt], name: &str) -> bool {
+    stmts.iter().any(|s| stmt_writes(s, name))
+}
+
+fn stmt_writes(stmt: &Stmt, name: &str) -> bool {
+    match stmt {
+        Stmt::Assign { target, .. } => target.name.name == name,
+        Stmt::Call { args, .. } => args.iter().any(|a| match a {
+            Arg::Out(acc) => acc.name.name == name,
+            Arg::In(_) => false,
+        }),
+        Stmt::If { then_branch, else_branch, .. } => {
+            stmts_write(then_branch, name) || stmts_write(else_branch, name)
+        }
+        Stmt::Switch { cases, default, .. } => {
+            cases.iter().any(|c| stmts_write(&c.body, name)) || stmts_write(default, name)
+        }
+        Stmt::LoopWhile { body, .. } => stmts_write(body, name),
+    }
+}
+
+/// Is `name` written on **every** control path through `stmts`?
+fn stmts_write_on_all_paths(stmts: &[Stmt], name: &str) -> bool {
+    stmts.iter().any(|s| stmt_writes_on_all_paths(s, name))
+}
+
+fn stmt_writes_on_all_paths(stmt: &Stmt, name: &str) -> bool {
+    match stmt {
+        Stmt::Assign { target, .. } => target.name.name == name,
+        Stmt::Call { args, .. } => args.iter().any(|a| matches!(a, Arg::Out(acc) if acc.name.name == name)),
+        Stmt::If { then_branch, else_branch, .. } => {
+            stmts_write_on_all_paths(then_branch, name)
+                && stmts_write_on_all_paths(else_branch, name)
+        }
+        Stmt::Switch { cases, default, .. } => {
+            cases.iter().all(|c| stmts_write_on_all_paths(&c.body, name))
+                && stmts_write_on_all_paths(default, name)
+        }
+        // A loop body executes at least once under OIL's `loop..while`
+        // semantics, so a guaranteed write inside counts.
+        Stmt::LoopWhile { body, .. } => stmts_write_on_all_paths(body, name),
+    }
+}
+
+/// Does any statement in `stmts` (recursively) read or write `name`?
+fn stmts_access(stmts: &[Stmt], name: &str) -> bool {
+    stmts.iter().any(|s| stmt_accesses(s, name))
+}
+
+fn stmt_accesses(stmt: &Stmt, name: &str) -> bool {
+    let expr_reads = |e: &Expr| {
+        let mut reads = Vec::new();
+        e.reads(&mut reads);
+        reads.iter().any(|a| a.name.name == name)
+    };
+    match stmt {
+        Stmt::Assign { target, value, .. } => target.name.name == name || expr_reads(value),
+        Stmt::Call { args, .. } => args.iter().any(|a| match a {
+            Arg::Out(acc) => acc.name.name == name,
+            Arg::In(e) => expr_reads(e),
+        }),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            expr_reads(cond) || stmts_access(then_branch, name) || stmts_access(else_branch, name)
+        }
+        Stmt::Switch { scrutinee, cases, default, .. } => {
+            expr_reads(scrutinee)
+                || cases.iter().any(|c| stmts_access(&c.body, name))
+                || stmts_access(default, name)
+        }
+        Stmt::LoopWhile { body, cond, .. } => stmts_access(body, name) || expr_reads(cond),
+    }
+}
+
+/// Collect, per stream name, whether the module writes it anywhere. Exposed
+/// for the compiler crate which needs the same classification when building
+/// task graphs.
+pub fn written_streams(module: &Module) -> BTreeSet<String> {
+    let ModuleBody::Seq(body) = &module.body else { return BTreeSet::new() };
+    module
+        .params
+        .iter()
+        .filter(|p| stmts_write(&body.stmts, &p.name.name))
+        .map(|p| p.name.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let program = parse_program(src).unwrap();
+        let mut diags = Vec::new();
+        check(&program, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn output_written_every_iteration_is_clean() {
+        let diags = run("mod seq A(int a, out int b){ loop{ f(a, out b); } while(1); }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn output_never_written_is_error() {
+        let diags = run("mod seq A(int a, out int b){ loop{ f(a); } while(1); }");
+        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("never written")));
+    }
+
+    #[test]
+    fn conditional_output_write_is_warning() {
+        let diags = run(
+            "mod seq A(int a, out int b){ loop{ if(a > 0){ f(a, out b); } } while(1); }",
+        );
+        assert!(diags.iter().any(|d| !d.is_error() && d.message.contains("every control path")));
+    }
+
+    #[test]
+    fn write_in_both_branches_is_clean() {
+        let diags = run(
+            "mod seq A(int a, out int b){ loop{ if(a > 0){ f(a, out b); } else { g(a, out b); } } while(1); }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn switch_covering_all_arms_is_clean() {
+        let diags = run(
+            "mod seq A(int a, out int b){ loop{ switch(a) case 0 { f(a, out b); } default { g(a, out b); } } while(1); }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stream_missing_from_second_loop_is_warning() {
+        // Variant of Fig. 9a where stream x is only accessed in the first loop.
+        let diags = run(
+            "mod seq A(int x, out int o){
+                loop{ y = f(x); o = f(x); } while(...);
+                loop{ o = g(y); } while(...);
+             }",
+        );
+        assert!(diags
+            .iter()
+            .any(|d| !d.is_error() && d.message.contains("not accessed in every while-loop")));
+    }
+
+    #[test]
+    fn fig9a_both_loops_access_stream_is_clean_for_x() {
+        let diags = run(
+            "mod seq A(int x, out int o){
+                loop{ y = f(x); o = f(y); } while(...);
+                loop{ o = g(x, y); } while(...);
+             }",
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("`x`") && d.message.contains("not accessed")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn written_streams_classification() {
+        let p = parse_program(
+            "mod seq A(int a, out int b){ loop{ f(a, out b); } while(1); }",
+        )
+        .unwrap();
+        let w = written_streams(p.module("A").unwrap());
+        assert!(w.contains("b"));
+        assert!(!w.contains("a"));
+    }
+
+    #[test]
+    fn prologue_write_outside_loop_counts_as_written() {
+        // Fig. 2c module B writes 4 initial values before the loop.
+        let diags = run(
+            "mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }",
+        );
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+}

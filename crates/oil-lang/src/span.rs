@@ -1,0 +1,212 @@
+//! Source positions, spans and diagnostics.
+//!
+//! Every token and AST node carries a [`Span`] so that semantic errors can be
+//! reported against the original OIL source text.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text, together with
+/// the 1-based line/column of its start for human-readable reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub column: u32,
+}
+
+impl Span {
+    /// Create a new span.
+    pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
+        Span { start, end, line, column }
+    }
+
+    /// A span covering nothing, used for synthesised nodes.
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, last) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: first.start,
+            end: last.end.max(first.end),
+            line: first.line,
+            column: first.column,
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Severity of a diagnostic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// The program is rejected.
+    Error,
+    /// The program is accepted but may not behave as intended.
+    Warning,
+    /// Informational note attached to another diagnostic.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// A single diagnostic message produced by the lexer, parser or semantic
+/// analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How severe the problem is.
+    pub severity: Severity,
+    /// Human readable description.
+    pub message: String,
+    /// Location in the source text.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+    }
+
+    /// True if this diagnostic rejects the program.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.severity, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Tracks line starts so byte offsets can be converted back to line/column
+/// pairs, e.g. when a later pass wants to point at a location it only knows by
+/// offset.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    line_starts: Vec<usize>,
+    len: usize,
+}
+
+impl SourceMap {
+    /// Build a source map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceMap { line_starts, len: source.len() }
+    }
+
+    /// Convert a byte offset to a `(line, column)` pair (both 1-based).
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line_idx] + 1;
+        (line_idx as u32 + 1, col as u32)
+    }
+
+    /// Number of lines in the mapped source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7, 1, 4);
+        let b = Span::new(10, 14, 2, 2);
+        let m = a.merge(b);
+        assert_eq!(m.start, 3);
+        assert_eq!(m.end, 14);
+        assert_eq!(m.line, 1);
+        let m2 = b.merge(a);
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn span_merge_nested() {
+        let outer = Span::new(0, 20, 1, 1);
+        let inner = Span::new(5, 10, 1, 6);
+        let m = outer.merge(inner);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 20);
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert!(Span::synthetic().is_empty());
+        assert_eq!(Span::new(2, 6, 1, 3).len(), 4);
+    }
+
+    #[test]
+    fn source_map_line_col() {
+        let src = "abc\ndef\n\nxyz";
+        let map = SourceMap::new(src);
+        assert_eq!(map.line_col(0), (1, 1));
+        assert_eq!(map.line_col(2), (1, 3));
+        assert_eq!(map.line_col(4), (2, 1));
+        assert_eq!(map.line_col(8), (3, 1));
+        assert_eq!(map.line_col(9), (4, 1));
+        assert_eq!(map.line_col(100), (4, 4));
+        assert_eq!(map.line_count(), 4);
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic::error("unexpected token", Span::new(0, 1, 3, 9));
+        let s = d.to_string();
+        assert!(s.contains("error"));
+        assert!(s.contains("3:9"));
+        assert!(s.contains("unexpected token"));
+        assert!(d.is_error());
+        assert!(!Diagnostic::warning("w", Span::synthetic()).is_error());
+    }
+}

@@ -1,0 +1,268 @@
+//! Token definitions for the OIL lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The different kinds of tokens produced by the [`lexer`](crate::lexer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // ---- keywords (Fig. 5 of the paper) ----
+    /// `mod`
+    Mod,
+    /// `par`
+    Par,
+    /// `seq`
+    Seq,
+    /// `fifo`
+    Fifo,
+    /// `source`
+    Source,
+    /// `sink`
+    Sink,
+    /// `start`
+    Start,
+    /// `after`
+    After,
+    /// `before`
+    Before,
+    /// `out`
+    Out,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `switch`
+    Switch,
+    /// `case`
+    Case,
+    /// `default`
+    Default,
+    /// `loop`
+    Loop,
+    /// `while`
+    While,
+
+    // ---- literals and identifiers ----
+    /// An identifier: module names, function names, variables, streams, types.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal (e.g. `6.4` in `6.4 MHz`).
+    Float(f64),
+
+    // ---- punctuation ----
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `@`
+    At,
+    /// `||` or the Unicode `‖` used in the paper: parallel composition.
+    ParallelBar,
+    /// `*`
+    Star,
+    /// `/` or `\` (the paper's Fig. 5 uses `\` for division)
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `!`
+    Not,
+    /// `...` — the paper writes `if(...)` for an unspecified data-dependent
+    /// condition; we accept it as an opaque condition literal.
+    Ellipsis,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for tokens that may start an expression.
+    pub fn starts_expression(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Ident(_)
+                | TokenKind::Int(_)
+                | TokenKind::Float(_)
+                | TokenKind::LParen
+                | TokenKind::Minus
+                | TokenKind::Not
+                | TokenKind::Ellipsis
+        )
+    }
+
+    /// If the token is a keyword, return its textual form.
+    pub fn keyword_str(&self) -> Option<&'static str> {
+        Some(match self {
+            TokenKind::Mod => "mod",
+            TokenKind::Par => "par",
+            TokenKind::Seq => "seq",
+            TokenKind::Fifo => "fifo",
+            TokenKind::Source => "source",
+            TokenKind::Sink => "sink",
+            TokenKind::Start => "start",
+            TokenKind::After => "after",
+            TokenKind::Before => "before",
+            TokenKind::Out => "out",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Switch => "switch",
+            TokenKind::Case => "case",
+            TokenKind::Default => "default",
+            TokenKind::Loop => "loop",
+            TokenKind::While => "while",
+            _ => return None,
+        })
+    }
+
+    /// Look up a keyword by its textual form.
+    pub fn keyword_from_str(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "mod" => TokenKind::Mod,
+            "par" => TokenKind::Par,
+            "seq" => TokenKind::Seq,
+            "fifo" => TokenKind::Fifo,
+            "source" => TokenKind::Source,
+            "sink" => TokenKind::Sink,
+            "start" => TokenKind::Start,
+            "after" => TokenKind::After,
+            "before" => TokenKind::Before,
+            "out" => TokenKind::Out,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "switch" => TokenKind::Switch,
+            "case" => TokenKind::Case,
+            "default" => TokenKind::Default,
+            "loop" => TokenKind::Loop,
+            "while" => TokenKind::While,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(kw) = self.keyword_str() {
+            return write!(f, "`{kw}`");
+        }
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::Float(x) => write!(f, "number `{x}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::At => write!(f, "`@`"),
+            TokenKind::ParallelBar => write!(f, "`||`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::Ellipsis => write!(f, "`...`"),
+            TokenKind::Eof => write!(f, "end of input"),
+            _ => unreachable!("keyword handled above"),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source text.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// True if the token marks the end of input.
+    pub fn is_eof(&self) -> bool {
+        self.kind == TokenKind::Eof
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            "mod", "par", "seq", "fifo", "source", "sink", "start", "after", "before", "out",
+            "if", "else", "switch", "case", "default", "loop", "while",
+        ] {
+            let tok = TokenKind::keyword_from_str(kw).expect("known keyword");
+            assert_eq!(tok.keyword_str(), Some(kw));
+        }
+        assert_eq!(TokenKind::keyword_from_str("module"), None);
+    }
+
+    #[test]
+    fn expression_starters() {
+        assert!(TokenKind::Ident("x".into()).starts_expression());
+        assert!(TokenKind::Int(3).starts_expression());
+        assert!(TokenKind::Minus.starts_expression());
+        assert!(TokenKind::Ellipsis.starts_expression());
+        assert!(!TokenKind::Semicolon.starts_expression());
+        assert!(!TokenKind::Out.starts_expression());
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        assert_eq!(TokenKind::Mod.to_string(), "`mod`");
+        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "identifier `foo`");
+        assert_eq!(TokenKind::ParallelBar.to_string(), "`||`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

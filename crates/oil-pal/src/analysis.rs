@@ -1,0 +1,142 @@
+//! Temporal analysis of the PAL decoder (the paper's Fig. 12).
+//!
+//! Compiling the Fig. 11 program derives the CTA model sketched in the
+//! paper's Fig. 12: components for the splitter's rate converters, the
+//! black-box `Video`/`Audio` modules, the RF source and the two sinks, FIFO
+//! capacity connections (`-δ/r`) and the zero-skew latency cycle between the
+//! sinks. [`analyze_pal`] runs the whole flow and gathers the numbers the
+//! experiments record: achieved channel rates, the rate-conversion ratios
+//! `γ = 1/25`, `10/16` and `1/8`, buffer capacities and end-to-end latencies.
+
+use crate::program::{pal_registry, PAL_DECODER_OIL};
+use oil_compiler::{compile, CompileError, CompiledProgram, CompilerOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Results of analysing the PAL decoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PalAnalysis {
+    /// Token rate of every channel (Hz), keyed by channel name suffix.
+    pub channel_rates: BTreeMap<String, f64>,
+    /// Buffer capacity of every channel, in samples.
+    pub channel_capacities: BTreeMap<String, u64>,
+    /// End-to-end latency bound RF -> screen, in seconds.
+    pub latency_rf_to_screen: f64,
+    /// End-to-end latency bound RF -> speakers, in seconds.
+    pub latency_rf_to_speakers: f64,
+    /// Number of CTA components in the derived model.
+    pub cta_components: usize,
+    /// Number of CTA connections in the derived model.
+    pub cta_connections: usize,
+}
+
+impl PalAnalysis {
+    /// The audio/video skew implied by the analysis (seconds); the program
+    /// requires it to be zero, so the bound must be (numerically) tiny.
+    pub fn av_skew(&self) -> f64 {
+        (self.latency_rf_to_screen - self.latency_rf_to_speakers).abs()
+    }
+}
+
+/// Compile and analyse the PAL decoder, returning both the raw compiled
+/// program and the summarised analysis.
+pub fn analyze_pal() -> Result<(CompiledProgram, PalAnalysis), CompileError> {
+    let registry = pal_registry();
+    let compiled = compile(PAL_DECODER_OIL, &registry, &CompilerOptions::default())?;
+
+    let mut channel_rates = BTreeMap::new();
+    for ch in &compiled.analyzed.graph.channels {
+        let suffix = ch.name.rsplit('.').next().unwrap_or(&ch.name).to_string();
+        if let Some(rate) = compiled.channel_rate(&suffix) {
+            channel_rates.insert(suffix, rate);
+        }
+    }
+    let mut channel_capacities = BTreeMap::new();
+    for (name, cap) in &compiled.buffers.channels {
+        let suffix = name.rsplit('.').next().unwrap_or(name).to_string();
+        channel_capacities.insert(suffix, *cap);
+    }
+
+    let latency_rf_to_screen = compiled.latency_between("rf", "screen").unwrap_or(f64::NAN);
+    let latency_rf_to_speakers = compiled.latency_between("rf", "speakers").unwrap_or(f64::NAN);
+
+    let analysis = PalAnalysis {
+        channel_rates,
+        channel_capacities,
+        latency_rf_to_screen,
+        latency_rf_to_speakers,
+        cta_components: compiled.derived.cta.component_count(),
+        cta_connections: compiled.derived.cta.connection_count(),
+    };
+    Ok((compiled, analysis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pal_decoder_is_schedulable() {
+        let (compiled, analysis) = analyze_pal().expect("the PAL decoder must be accepted");
+        assert!(compiled.consistency.min_slack() >= -1e-9);
+        assert!(analysis.cta_components > 10);
+        assert!(analysis.cta_connections > 20);
+    }
+
+    #[test]
+    fn channel_rates_match_the_paper() {
+        let (_, analysis) = analyze_pal().unwrap();
+        let rate = |name: &str| *analysis.channel_rates.get(name).unwrap_or(&f64::NAN);
+        // RF at 6.4 MS/s; video FIFO at 4 MS/s (10/16 conversion); audio FIFO
+        // at 256 kS/s (1/25) feeding the Audio black box which outputs
+        // 32 kS/s; the sinks at their declared rates.
+        assert!((rate("rf") - 6.4e6).abs() < 1.0, "rf {}", rate("rf"));
+        assert!((rate("vid") - 4.0e6).abs() < 1.0, "vid {}", rate("vid"));
+        assert!((rate("aud") - 256e3).abs() < 1.0, "aud {}", rate("aud"));
+        assert!((rate("screen") - 4.0e6).abs() < 1.0);
+        assert!((rate("speakers") - 32e3).abs() < 1.0);
+        // Intermediate FIFOs inside the splitter run at the RF rate.
+        assert!((rate("mas") - 6.4e6).abs() < 1.0);
+        assert!((rate("mvs") - 6.4e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_conversion_factors_match_the_paper() {
+        let (_, analysis) = analyze_pal().unwrap();
+        let rate = |name: &str| *analysis.channel_rates.get(name).unwrap_or(&f64::NAN);
+        assert!((rate("aud") / rate("mas") - 1.0 / 25.0).abs() < 1e-9);
+        assert!((rate("vid") / rate("mvs") - 10.0 / 16.0).abs() < 1e-9);
+        assert!((rate("speakers") / rate("aud") - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_capacities_are_sufficient_and_modest() {
+        let (compiled, analysis) = analyze_pal().unwrap();
+        for (name, cap) in &analysis.channel_capacities {
+            assert!(*cap >= 1, "channel {name} has no capacity");
+            assert!(*cap <= 4096, "channel {name} implausibly large: {cap}");
+        }
+        // Applying the capacities keeps the model consistent (already part of
+        // compilation, re-checked here explicitly).
+        assert!(compiled.sized_model.consistency_at_maximal_rates(1e-9).is_ok());
+    }
+
+    #[test]
+    fn audio_video_skew_is_zero() {
+        let (_, analysis) = analyze_pal().unwrap();
+        assert!(analysis.latency_rf_to_screen.is_finite());
+        assert!(analysis.latency_rf_to_speakers.is_finite());
+        // The zero-skew constraint pins both sink start times; the analysed
+        // path latencies agree to within the analysis tolerance.
+        assert!(analysis.av_skew() <= 1e-3, "skew {}", analysis.av_skew());
+    }
+
+    #[test]
+    fn slower_processors_are_rejected() {
+        // Scaling every response time up by 100x makes the video path miss
+        // the 4 MS/s display rate: the compiler must reject the program.
+        let registry = oil_dsp::dsp_registry(100.0);
+        let result = compile(PAL_DECODER_OIL, &registry, &CompilerOptions::default());
+        assert!(result.is_err(), "a 100x slower platform cannot sustain the PAL rates");
+    }
+}

@@ -1,0 +1,27 @@
+//! The PAL video/audio decoder case study (Section VI of the paper).
+//!
+//! A PAL decoder receives a broadcast RF signal sampled at 6.4 MS/s, splits
+//! it into a video and an audio band, resamples the video path by 10/16 to
+//! 4 MS/s for the display and decimates the audio path by 25 and then by 8 to
+//! 32 kS/s for the speakers. Video and audio must stay in sync, expressed in
+//! OIL as a zero-latency-difference constraint between the two sinks.
+//!
+//! This crate contains:
+//!
+//! * [`program::PAL_DECODER_OIL`] — the OIL source of the paper's Fig. 11,
+//! * [`analysis`] — compilation, CTA-model statistics, buffer capacities and
+//!   the checks that reproduce the paper's Fig. 12 claims,
+//! * [`native`] — a functional reference implementation of the same signal
+//!   path built from the `oil-dsp` kernels,
+//! * [`simulate`] — execution of the compiled decoder on the discrete-event
+//!   simulator and validation of the analysed bounds.
+
+pub mod analysis;
+pub mod native;
+pub mod program;
+pub mod simulate;
+
+pub use analysis::{analyze_pal, PalAnalysis};
+pub use native::NativePalDecoder;
+pub use program::{pal_registry, PAL_DECODER_OIL};
+pub use simulate::{simulate_pal, PalSimulationReport};
