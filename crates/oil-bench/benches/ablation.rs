@@ -19,23 +19,26 @@ use oil_dataflow::SdfGraph;
 
 /// A library component with `stages` internal processing steps.
 fn library_model(stages: usize) -> CtaModel {
+    let max = Some(Rational::from_int(100_000));
+    let us = Rational::new(1, 1_000_000);
+    let zero = Rational::ZERO;
     let mut m = CtaModel::new();
     let lib = m.add_component("lib", None);
-    let input = m.add_port(lib, "in", 1e5);
-    let output = m.add_port(lib, "out", 1e5);
+    let input = m.add_port(lib, "in", max);
+    let output = m.add_port(lib, "out", max);
     let mut prev = input;
     for i in 0..stages {
-        let p = m.add_port(lib, format!("s{i}"), 1e5);
-        m.connect(prev, p, 1e-6, 0.0, Rational::ONE);
+        let p = m.add_port(lib, format!("s{i}"), max);
+        m.connect(prev, p, us, zero, Rational::ONE);
         prev = p;
     }
-    m.connect(prev, output, 1e-6, 0.0, Rational::ONE);
+    m.connect(prev, output, us, zero, Rational::ONE);
     // Environment connections so `in`/`out` stay interface ports.
     let env = m.add_component("env", None);
-    let src = m.add_required_rate_port(env, "src", 1e4);
-    let snk = m.add_port(env, "snk", 1e5);
-    m.connect(src, input, 0.0, 0.0, Rational::ONE);
-    m.connect(output, snk, 0.0, 0.0, Rational::ONE);
+    let src = m.add_required_rate_port(env, "src", Rational::from_int(10_000));
+    let snk = m.add_port(env, "snk", max);
+    m.connect(src, input, zero, zero, Rational::ONE);
+    m.connect(output, snk, zero, zero, Rational::ONE);
     m
 }
 
@@ -55,7 +58,10 @@ fn modal_program(modes: usize) -> String {
 
 fn print_buffer_sizing_comparison() {
     println!("\n[ablation] CTA sufficient capacities vs exact minimum (two-actor cycle)");
-    println!("{:>8} {:>20} {:>20}", "rates", "exact max tokens", "CTA capacity");
+    println!(
+        "{:>8} {:>20} {:>20}",
+        "rates", "exact max tokens", "CTA capacity"
+    );
     for &(p, q) in &[(3u64, 2u64), (5, 4), (10, 16)] {
         let tokens = 2 * p.max(q);
         let sdf = SdfGraph::rate_converter(p, p, q, q, tokens, 1e-6);
@@ -80,17 +86,25 @@ fn bench_ablation(c: &mut Criterion) {
 
     // E11: analysing a composition with the library as a black box vs flat.
     for stages in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("flat_analysis", stages), &stages, |b, &s| {
-            let m = library_model(s);
-            b.iter(|| m.check_consistency().unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("blackbox_analysis", stages), &stages, |b, &s| {
-            let m = library_model(s);
-            let lib = m.component_by_name("lib").unwrap();
-            // Hiding happens once, at library-release time.
-            let hidden = hide_component(&m, lib).unwrap();
-            b.iter(|| hidden.check_consistency().unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("flat_analysis", stages),
+            &stages,
+            |b, &s| {
+                let m = library_model(s);
+                b.iter(|| m.check_consistency().unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blackbox_analysis", stages),
+            &stages,
+            |b, &s| {
+                let m = library_model(s);
+                let lib = m.component_by_name("lib").unwrap();
+                // Hiding happens once, at library-release time.
+                let hidden = hide_component(&m, lib).unwrap();
+                b.iter(|| hidden.check_consistency().unwrap())
+            },
+        );
     }
     group.bench_function("hide_library_64", |b| {
         let m = library_model(64);

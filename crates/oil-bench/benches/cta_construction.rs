@@ -12,34 +12,38 @@ use oil_cta::{CtaModel, Rational};
 
 /// Fig. 8: an actor consuming 4 tokens and producing 2 per firing.
 fn fig8_component() -> CtaModel {
-    let rho = 1e-6;
-    let (pi, psi) = (2.0f64, 4.0f64);
+    let rho = Rational::new(1, 1_000_000);
+    let (pi, psi) = (Rational::from_int(2), Rational::from_int(4));
+    let zero = Rational::ZERO;
     let mut m = CtaModel::new();
     let w = m.add_component("wg", None);
-    let p0 = m.add_port(w, "p0", psi / rho);
-    let p1 = m.add_port(w, "p1", psi / rho);
-    let p2 = m.add_port(w, "p2", pi / rho);
-    let p3 = m.add_port(w, "p3", pi / rho);
+    let p0 = m.add_port(w, "p0", Some(psi / rho));
+    let p1 = m.add_port(w, "p1", Some(psi / rho));
+    let p2 = m.add_port(w, "p2", Some(pi / rho));
+    let p3 = m.add_port(w, "p3", Some(pi / rho));
     // The six connections of Fig. 8c.
-    m.connect(p0, p1, rho, 3.0, Rational::ONE);
+    m.connect(p0, p1, rho, Rational::from_int(3), Rational::ONE);
     m.connect(p0, p2, rho, psi - psi / pi, Rational::new(2, 4));
-    m.connect(p0, p3, 0.0, 0.0, Rational::new(2, 4));
-    m.connect(p3, p0, 0.0, 0.0, Rational::new(4, 2));
-    m.connect(p3, p1, rho, 1.5, Rational::new(4, 2));
-    m.connect(p3, p2, rho, 1.0, Rational::ONE);
+    m.connect(p0, p3, zero, zero, Rational::new(2, 4));
+    m.connect(p3, p0, zero, zero, Rational::new(4, 2));
+    m.connect(p3, p1, rho, Rational::new(3, 2), Rational::new(4, 2));
+    m.connect(p3, p2, rho, Rational::ONE, Rational::ONE);
     m
 }
 
 fn print_fig8c_table() {
     let m = fig8_component();
     println!("\n[Fig.8c / E5] delays and transfer rate ratios of the multi-rate component");
-    println!("{:>12} {:>10} {:>10} {:>8}", "connection", "eps", "phi", "gamma");
+    println!(
+        "{:>12} {:>10} {:>10} {:>8}",
+        "connection", "eps", "phi", "gamma"
+    );
     for c in &m.connections {
         println!(
             "{:>12} {:>10.1e} {:>10} {:>8}",
-            format!("(p{}, p{})", c.from, c.to),
-            c.epsilon,
-            c.phi,
+            format!("({}, {})", c.from, c.to),
+            c.epsilon.to_f64(),
+            c.phi.to_string(),
             c.gamma
         );
     }
@@ -76,16 +80,17 @@ fn bench_cta_construction(c: &mut Criterion) {
     group.sample_size(30);
 
     group.bench_function("fig7_single_rate_consistency", |b| {
-        let rho = 2e-6;
+        let rho = Rational::new(1, 500_000);
+        let zero = Rational::ZERO;
         let mut m = CtaModel::new();
         let w = m.add_component("wf", None);
-        let bx = m.add_port(w, "bx", 1.0 / rho);
-        let by = m.add_port(w, "by", 1.0 / rho);
-        let bz = m.add_port(w, "bz", 1.0 / rho);
-        m.connect(bx, by, 0.0, 0.0, Rational::ONE);
-        m.connect(by, bx, 0.0, 0.0, Rational::ONE);
-        m.connect(bx, bz, rho, 0.0, Rational::ONE);
-        m.connect(by, bz, rho, 0.0, Rational::ONE);
+        let bx = m.add_port(w, "bx", Some(rho.recip()));
+        let by = m.add_port(w, "by", Some(rho.recip()));
+        let bz = m.add_port(w, "bz", Some(rho.recip()));
+        m.connect(bx, by, zero, zero, Rational::ONE);
+        m.connect(by, bx, zero, zero, Rational::ONE);
+        m.connect(bx, bz, rho, zero, Rational::ONE);
+        m.connect(by, bz, rho, zero, Rational::ONE);
         b.iter(|| m.check_consistency().unwrap())
     });
 

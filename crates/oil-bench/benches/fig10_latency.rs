@@ -16,8 +16,14 @@ fn print_fig10_report() {
     let registry = bench_registry(1e-5);
     let compiled = compile(fig6_source(), &registry, &CompilerOptions::default()).unwrap();
     println!("\n[Fig.6/10 / E7] source-sink program with a 5 ms latency constraint");
-    println!("  source rate: {:.0} Hz", compiled.channel_rate("x").unwrap());
-    println!("  sink rate:   {:.0} Hz", compiled.channel_rate("y").unwrap());
+    println!(
+        "  source rate: {:.0} Hz",
+        compiled.channel_rate("x").unwrap()
+    );
+    println!(
+        "  sink rate:   {:.0} Hz",
+        compiled.channel_rate("y").unwrap()
+    );
     println!(
         "  end-to-end latency bound: {:.3} ms (constraint: 5 ms)",
         compiled.latency_between("x", "y").unwrap() * 1e3
@@ -31,7 +37,10 @@ fn print_fig10_report() {
     for bound_ms in [0.01f64, 0.05, 0.5, 5.0] {
         let src = fig6_source().replace("5 ms", &format!("{bound_ms} ms"));
         let feasible = compile(&src, &registry, &CompilerOptions::default()).is_ok();
-        println!("    bound {bound_ms:>6.2} ms -> {}", if feasible { "accepted" } else { "rejected" });
+        println!(
+            "    bound {bound_ms:>6.2} ms -> {}",
+            if feasible { "accepted" } else { "rejected" }
+        );
     }
 }
 
@@ -43,11 +52,17 @@ fn print_fig4_report() {
     .unwrap();
     let tg = extract_task_graph(program.module("M").unwrap(), &registry);
     println!("\n[Fig.4 / E3] parallelization of the modal module M");
-    println!("  tasks: {} (guarded: {})", tg.tasks.len(), tg.tasks.iter().filter(|t| t.guarded).count());
-    println!("  buffers: {} (y with {} producers, x written {} values/firing)",
+    println!(
+        "  tasks: {} (guarded: {})",
+        tg.tasks.len(),
+        tg.tasks.iter().filter(|t| t.guarded).count()
+    );
+    println!(
+        "  buffers: {} (y with {} producers, x written {} values/firing)",
         tg.buffers.len(),
         tg.producers(tg.buffer_by_name("y").unwrap()).len(),
-        tg.tasks.last().unwrap().writes[0].count);
+        tg.tasks.iter().last().unwrap().writes[0].count
+    );
 }
 
 fn bench_latency(c: &mut Criterion) {
@@ -66,9 +81,11 @@ fn bench_latency(c: &mut Criterion) {
     // the pipeline (and therefore the number of while-loop components) grows.
     for stages in [2usize, 8, 32] {
         let src = pipeline_source(stages, 1000.0);
-        group.bench_with_input(BenchmarkId::new("pipeline_compile", stages), &src, |b, src| {
-            b.iter(|| compile(src, &registry, &CompilerOptions::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_compile", stages),
+            &src,
+            |b, src| b.iter(|| compile(src, &registry, &CompilerOptions::default()).unwrap()),
+        );
     }
     group.finish();
 }

@@ -14,7 +14,10 @@ use oil_dataflow::SdfGraph;
 
 fn print_schedule_length_table() {
     println!("\n[Fig.2 / E10] sequential schedule length vs modular OIL specification");
-    println!("{:>8} {:>8} {:>22} {:>18}", "p", "q", "sequential stmts", "OIL module calls");
+    println!(
+        "{:>8} {:>8} {:>22} {:>18}",
+        "p", "q", "sequential stmts", "OIL module calls"
+    );
     for (p, q) in [(3u64, 2u64), (10, 16), (25, 1), (125, 2), (127, 128)] {
         println!(
             "{:>8} {:>8} {:>22} {:>18}",
@@ -27,8 +30,12 @@ fn print_schedule_length_table() {
 }
 
 fn print_fig2_rates() {
-    let compiled =
-        compile(fig2c_source(), &bench_registry(1e-6), &CompilerOptions::default()).unwrap();
+    let compiled = compile(
+        fig2c_source(),
+        &bench_registry(1e-6),
+        &CompilerOptions::default(),
+    )
+    .unwrap();
     println!("\n[Fig.2c / E1] derived rates and buffer capacities");
     let rx = compiled.channel_rate("x").unwrap_or(f64::NAN);
     let ry = compiled.channel_rate("y").unwrap_or(f64::NAN);
@@ -48,18 +55,20 @@ fn bench_fig2(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("compile_fig2c", |b| {
-        b.iter(|| {
-            compile(fig2c_source(), &registry, &CompilerOptions::default()).unwrap()
-        })
+        b.iter(|| compile(fig2c_source(), &registry, &CompilerOptions::default()).unwrap())
     });
 
     // Deadlock analysis of the Fig. 2a task graph as a function of the
     // number of initial tokens (the schedule in Fig. 2b corresponds to 4).
     for delta in [4u64, 8, 64] {
-        group.bench_with_input(BenchmarkId::new("sdf_deadlock_check", delta), &delta, |b, &d| {
-            let g = SdfGraph::rate_converter(3, 3, 2, 2, d, 1e-6);
-            b.iter(|| g.check_deadlock_free().is_ok())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sdf_deadlock_check", delta),
+            &delta,
+            |b, &d| {
+                let g = SdfGraph::rate_converter(3, 3, 2, 2, d, 1e-6);
+                b.iter(|| g.check_deadlock_free().is_ok())
+            },
+        );
     }
     group.finish();
 }

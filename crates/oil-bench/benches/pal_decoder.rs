@@ -8,39 +8,46 @@
 //! cost of compiling/analysing the decoder and of simulating it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use oil_pal::{analyze_pal, simulate_pal, NativePalDecoder};
 use oil_dsp::CompositeSignal;
+use oil_pal::{analyze_pal, simulate_pal, NativePalDecoder};
 
 fn print_pal_report() {
     let (compiled, analysis) = analyze_pal().unwrap();
     println!("\n[Fig.11/12 / E8] PAL decoder analysis");
-    println!("  CTA model: {} components, {} connections", analysis.cta_components, analysis.cta_connections);
+    println!(
+        "  CTA model: {} components, {} connections",
+        analysis.cta_components, analysis.cta_connections
+    );
     println!("  channel rates (paper: rf 6.4 MS/s, vid 4 MS/s, aud 256 kS/s, speakers 32 kS/s):");
     for (name, rate) in &analysis.channel_rates {
-        println!("    {name:>10}: {rate:>12.0} samples/s");
+        println!("    {name:>10}: {:>12.0} samples/s", rate.to_f64());
     }
-    println!("  conversion factors: vid/mvs = {:.4} (10/16), aud/mas = {:.4} (1/25), spk/aud = {:.4} (1/8)",
+    println!(
+        "  conversion factors: vid/mvs = {} (10/16), aud/mas = {} (1/25), spk/aud = {} (1/8)",
         analysis.channel_rates["vid"] / analysis.channel_rates["mvs"],
         analysis.channel_rates["aud"] / analysis.channel_rates["mas"],
-        analysis.channel_rates["speakers"] / analysis.channel_rates["aud"]);
+        analysis.channel_rates["speakers"] / analysis.channel_rates["aud"]
+    );
     println!("  buffer capacities:");
     for (name, cap) in &analysis.channel_capacities {
         println!("    {name:>10}: {cap} samples");
     }
     println!(
         "  latency rf->screen {:.3} us, rf->speakers {:.3} us, skew {:.3} us",
-        analysis.latency_rf_to_screen * 1e6,
-        analysis.latency_rf_to_speakers * 1e6,
-        analysis.av_skew() * 1e6
+        analysis.latency_rf_to_screen_seconds() * 1e6,
+        analysis.latency_rf_to_speakers_seconds() * 1e6,
+        analysis.av_skew_seconds() * 1e6
     );
     println!("  generated task modules: {}", compiled.generated.len());
 
     let report = simulate_pal(1e-3).unwrap();
-    println!("  simulation (1 ms): screen {:.0} S/s, speakers {:.0} S/s, misses {}, overflows {}",
+    println!(
+        "  simulation (1 ms): screen {:.0} S/s, speakers {:.0} S/s, misses {}, overflows {}",
         report.screen_rate,
         report.speaker_rate,
         report.metrics.total_misses(),
-        report.metrics.total_overflows());
+        report.metrics.total_overflows()
+    );
 }
 
 fn bench_pal(c: &mut Criterion) {

@@ -14,7 +14,10 @@ use oil_dataflow::statespace::analyze_self_timed;
 
 fn print_scaling_table() {
     println!("\n[E9] model sizes for a p:q multi-rate cycle (CTA stays constant)");
-    println!("{:>8} {:>16} {:>16} {:>16}", "p:q", "HSDF nodes", "state space", "CTA ports");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "p:q", "HSDF nodes", "state space", "CTA ports"
+    );
     for &(p, q) in &[(3u64, 2u64), (9, 8), (27, 16), (81, 64)] {
         let sdf = multirate_cycle(p, q, 2 * p.max(q));
         let hsdf = HsdfGraph::expand(&sdf).unwrap();
@@ -40,23 +43,35 @@ fn bench_scaling(c: &mut Criterion) {
         let tokens = 2 * p.max(q);
         let label = format!("{p}x{q}");
 
-        group.bench_with_input(BenchmarkId::new("cta_consistency", &label), &(p, q), |b, &(p, q)| {
-            let m = multirate_cycle_cta(p, q, tokens);
-            b.iter(|| m.consistency_at_maximal_rates(1e-9).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cta_consistency", &label),
+            &(p, q),
+            |b, &(p, q)| {
+                let m = multirate_cycle_cta(p, q, tokens);
+                b.iter(|| m.consistency_at_maximal_rates().unwrap())
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("exact_state_space", &label), &(p, q), |b, &(p, q)| {
-            let g = multirate_cycle(p, q, tokens);
-            b.iter(|| analyze_self_timed(&g, 100_000).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_state_space", &label),
+            &(p, q),
+            |b, &(p, q)| {
+                let g = multirate_cycle(p, q, tokens);
+                b.iter(|| analyze_self_timed(&g, 100_000).unwrap())
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("hsdf_expansion_mcm", &label), &(p, q), |b, &(p, q)| {
-            let g = multirate_cycle(p, q, tokens);
-            b.iter(|| {
-                let h = HsdfGraph::expand(&g).unwrap();
-                h.maximum_cycle_mean()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hsdf_expansion_mcm", &label),
+            &(p, q),
+            |b, &(p, q)| {
+                let g = multirate_cycle(p, q, tokens);
+                b.iter(|| {
+                    let h = HsdfGraph::expand(&g).unwrap();
+                    h.maximum_cycle_mean()
+                })
+            },
+        );
     }
     group.finish();
 }

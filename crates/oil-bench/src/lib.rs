@@ -59,7 +59,11 @@ pub fn pipeline_source(stages: usize, rate_hz: f64) -> String {
         s.push_str("    W(x, out m0)");
         for i in 1..stages {
             let input = format!("m{}", i - 1);
-            let output = if i == stages - 1 { "out y".to_string() } else { format!("out m{i}") };
+            let output = if i == stages - 1 {
+                "out y".to_string()
+            } else {
+                format!("out m{i}")
+            };
             s.push_str(&format!(" || W({input}, {output})"));
         }
         s.push('\n');
@@ -84,11 +88,25 @@ pub fn multirate_cycle_cta(p: u64, c: u64, initial: u64) -> oil_cta::CtaModel {
     let mut m = CtaModel::new();
     let f = m.add_component("f", None);
     let g = m.add_component("g", None);
-    let rho = 1e-6;
-    let f_out = m.add_port(f, "out", 1.0 / rho);
-    let g_in = m.add_port(g, "in", 1.0 / rho);
-    m.connect(f_out, g_in, rho, (c as f64) - (c as f64 / p as f64), Rational::new(p as i128, c as i128));
-    m.connect_buffer("by", g_in, f_out, rho, -(initial as f64), Rational::new(c as i128, p as i128));
+    let rho = Rational::new(1, 1_000_000);
+    let f_out = m.add_port(f, "out", Some(rho.recip()));
+    let g_in = m.add_port(g, "in", Some(rho.recip()));
+    let granularity = Rational::from_int(c as i128) - Rational::new(c as i128, p as i128);
+    m.connect(
+        f_out,
+        g_in,
+        rho,
+        granularity,
+        Rational::new(p as i128, c as i128),
+    );
+    m.connect_buffer(
+        "by",
+        g_in,
+        f_out,
+        rho,
+        Rational::from_int(-(initial as i128)),
+        Rational::new(c as i128, p as i128),
+    );
     m
 }
 
@@ -127,7 +145,7 @@ mod tests {
         let sdf = multirate_cycle(3, 2, 4);
         assert!(sdf.check_deadlock_free().is_ok());
         let cta = multirate_cycle_cta(3, 2, 4);
-        assert!(cta.consistency_at_maximal_rates(1e-9).is_ok());
+        assert!(cta.consistency_at_maximal_rates().is_ok());
     }
 
     #[test]

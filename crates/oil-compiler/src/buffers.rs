@@ -51,8 +51,12 @@ pub fn plan_buffers(
     let mut sized = derived.cta.clone();
     buffersizing::apply_capacities(&mut sized, &sizing.capacities);
 
-    let channel_names: Vec<&str> =
-        analyzed.graph.channels.iter().map(|c| c.name.as_str()).collect();
+    let channel_names: Vec<&str> = analyzed
+        .graph
+        .channels
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
     let mut channels = BTreeMap::new();
     let mut locals = BTreeMap::new();
     for (name, cap) in &sizing.capacities {
@@ -70,7 +74,14 @@ pub fn plan_buffers(
         channels.entry(c.name.clone()).or_insert(1);
     }
 
-    Ok((BufferPlan { channels, locals, iterations: sizing.iterations }, sized))
+    Ok((
+        BufferPlan {
+            channels,
+            locals,
+            iterations: sizing.iterations,
+        },
+        sized,
+    ))
 }
 
 #[cfg(test)]
@@ -129,7 +140,11 @@ mod tests {
             }
             "#,
         );
-        assert!(plan.locals.keys().any(|k| k.ends_with(".y")), "{:?}", plan.locals);
+        assert!(
+            plan.locals.keys().any(|k| k.ends_with(".y")),
+            "{:?}",
+            plan.locals
+        );
         assert!(!plan.channels.keys().any(|k| k.ends_with(".y")));
     }
 

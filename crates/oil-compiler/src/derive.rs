@@ -17,13 +17,21 @@
 //!   models the buffer capacity; sources and sinks become components whose
 //!   port rates are fixed by their frequency, and latency constraints become
 //!   constraint connections (Fig. 10).
+//!
+//! This is the boundary where the front end's `f64` quantities (declared
+//! source/sink frequencies, registry response times, latency amounts) are
+//! converted — losslessly, via [`Rational::from_f64`] — into the exact
+//! rationals the CTA analyses compute with. Everything downstream of here is
+//! exact.
 
 use crate::parallelize::{extract_task_graph, loops_accessing};
-use oil_cta::{latency, CtaModel, PortId, Rational};
+use oil_cta::{latency, ComponentId, CtaModel, PortId, Rational};
+use oil_dataflow::index::IndexVec;
 use oil_dataflow::taskgraph::TaskGraph;
-use oil_lang::registry::FunctionRegistry;
-use oil_lang::sema::{AnalyzedProgram, ChannelKind};
+use oil_dataflow::{ActorId, ChannelId, LoopId};
 use oil_lang::ast::LatencyRelation;
+use oil_lang::registry::FunctionRegistry;
+use oil_lang::sema::{AnalyzedProgram, ChannelKind, InstanceId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -33,13 +41,12 @@ use std::collections::BTreeMap;
 pub struct DerivedModel {
     /// The derived CTA model.
     pub cta: CtaModel,
-    /// Per leaf instance (index as in the analysed program's graph): the CTA
-    /// component representing it.
-    pub instance_components: Vec<usize>,
+    /// Per leaf instance: the CTA component representing it.
+    pub instance_components: IndexVec<InstanceId, ComponentId>,
     /// Per instance: the extracted task graph (`None` for black boxes).
-    pub task_graphs: Vec<Option<TaskGraph>>,
+    pub task_graphs: IndexVec<InstanceId, Option<TaskGraph>>,
     /// Per channel: the interface ports used at the application level.
-    pub channel_ports: Vec<ChannelPorts>,
+    pub channel_ports: IndexVec<ChannelId, ChannelPorts>,
 }
 
 /// Application-level ports of one channel (FIFO, source or sink).
@@ -64,16 +71,24 @@ struct StreamPorts {
     output: PortId,
 }
 
+/// Convert a registry/front-end time or frequency to its exact rational.
+fn exact(x: f64) -> Rational {
+    Rational::from_f64(x)
+}
+
 /// Derive the CTA model for a whole analysed program.
 pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) -> DerivedModel {
     let mut cta = CtaModel::new();
     let graph = &program.graph;
 
-    let mut instance_components = Vec::with_capacity(graph.instances.len());
-    let mut task_graphs = Vec::with_capacity(graph.instances.len());
-    // For each instance: map from bound channel index to its module-level
-    // stream ports.
-    let mut instance_stream_ports: Vec<BTreeMap<usize, StreamPorts>> = Vec::new();
+    let mut instance_components: IndexVec<InstanceId, ComponentId> =
+        IndexVec::with_capacity(graph.instances.len());
+    let mut task_graphs: IndexVec<InstanceId, Option<TaskGraph>> =
+        IndexVec::with_capacity(graph.instances.len());
+    // For each instance: map from bound channel to its module-level stream
+    // ports.
+    let mut instance_stream_ports: IndexVec<InstanceId, BTreeMap<ChannelId, StreamPorts>> =
+        IndexVec::with_capacity(graph.instances.len());
 
     for inst in &graph.instances {
         if inst.black_box {
@@ -82,7 +97,8 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
             instance_stream_ports.push(ports);
             task_graphs.push(None);
         } else {
-            let module = &program.program.modules[inst.module_index.expect("non-black-box has module")];
+            let module =
+                &program.program.modules[inst.module_index.expect("non-black-box has module")];
             let tg = extract_task_graph(module, registry);
             let (comp, ports) = derive_seq_instance(&mut cta, inst, &tg, registry);
             instance_components.push(comp);
@@ -93,25 +109,28 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
 
     // Application-level wiring: channels, sources, sinks and latency
     // constraints.
-    let mut channel_ports: Vec<ChannelPorts> = vec![ChannelPorts::default(); graph.channels.len()];
-    for (ci, ch) in graph.channels.iter().enumerate() {
+    let mut channel_ports: IndexVec<ChannelId, ChannelPorts> =
+        IndexVec::from_elem(ChannelPorts::default(), graph.channels.len());
+    for (ci, ch) in graph.channels.iter_enumerated() {
         let mut ports = ChannelPorts::default();
         match &ch.kind {
             ChannelKind::Source { func, rate_hz } => {
+                let rate = exact(*rate_hz);
                 let comp = cta.add_component(format!("w_src_{}", func), None);
-                let data = cta.add_required_rate_port(comp, "data", *rate_hz);
-                let space = cta.add_port(comp, "space", f64::INFINITY);
+                let data = cta.add_required_rate_port(comp, "data", rate);
+                let space = cta.add_port(comp, "space", None);
                 // Space must have returned before the next production.
-                cta.connect(space, data, 0.0, 0.0, Rational::ONE);
+                cta.connect(space, data, Rational::ZERO, Rational::ZERO, Rational::ONE);
                 ports.data_out = Some(data);
                 ports.space_in = Some(space);
             }
             ChannelKind::Sink { func, rate_hz } => {
+                let rate = exact(*rate_hz);
                 let comp = cta.add_component(format!("w_snk_{}", func), None);
-                let data = cta.add_required_rate_port(comp, "data", *rate_hz);
-                let space = cta.add_port(comp, "space", f64::INFINITY);
+                let data = cta.add_required_rate_port(comp, "data", rate);
+                let space = cta.add_port(comp, "space", None);
                 // Space is released one sink period after consumption.
-                cta.connect(data, space, 1.0 / rate_hz, 0.0, Rational::ONE);
+                cta.connect(data, space, rate.recip(), Rational::ZERO, Rational::ONE);
                 ports.reader_in.push(data);
                 ports.reader_out.push(space);
             }
@@ -135,9 +154,11 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
     }
 
     // Connect data and space paths per channel.
-    for (ci, ch) in graph.channels.iter().enumerate() {
+    for (ci, ch) in graph.channels.iter_enumerated() {
         let ports = &channel_ports[ci];
-        let (Some(data_out), Some(space_in)) = (ports.data_out, ports.space_in) else { continue };
+        let (Some(data_out), Some(space_in)) = (ports.data_out, ports.space_in) else {
+            continue;
+        };
         // Values written into the channel before the stream loops start
         // (prologue statements such as `init(out c:4)` in Fig. 2c) are
         // initial tokens: they let every reader start earlier, modelled as a
@@ -146,14 +167,17 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
             .writer
             .and_then(|w| {
                 let tg = task_graphs[w].as_ref()?;
-                let binding = graph.instances[w].bindings.iter().find(|b| b.channel == ci && b.out)?;
+                let binding = graph.instances[w]
+                    .bindings
+                    .iter()
+                    .find(|b| b.channel == ci && b.out)?;
                 let buf = tg.buffer_by_name(&binding.param)?;
                 Some(tg.buffers[buf].initial_tokens)
             })
             .unwrap_or(0);
         // Per-firing production of the writer into this channel (1 for
         // sources and unknown writers).
-        let pi = access_count(graph, &task_graphs, registry, ci, true);
+        let pi = writer_access_count(graph, &task_graphs, registry, ci);
         for (k, &rin) in ports.reader_in.iter().enumerate() {
             // Per-firing consumption of this reader (1 for sinks).
             let psi = access_count_of_instance(
@@ -166,19 +190,29 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
             // The multi-rate granularity delay of Fig. 8: the consumer's
             // firing waits until its whole burst of psi values is available,
             // produced pi at a time; initial tokens written by prologue
-            // statements let it start correspondingly earlier.
-            let granularity = psi - (psi / pi).min(1.0);
+            // statements let it start correspondingly earlier. Exact:
+            // φ = ψ − min(ψ/π, 1) − δ0.
+            let psi_r = Rational::from_int(psi as i128);
+            let burst_wait = Rational::new(psi as i128, pi as i128).min(Rational::ONE);
+            let granularity = psi_r - burst_wait;
             cta.connect(
                 data_out,
                 rin,
-                0.0,
-                granularity - initial_tokens as f64,
+                Rational::ZERO,
+                granularity - Rational::from_int(initial_tokens as i128),
                 Rational::ONE,
             );
             let rout = ports.reader_out[k];
             // The space connection carries the buffer capacity -δ/r and is
             // what buffer sizing enlarges.
-            cta.connect_buffer(ch.name.clone(), rout, space_in, 0.0, 0.0, Rational::ONE);
+            cta.connect_buffer(
+                ch.name.clone(),
+                rout,
+                space_in,
+                Rational::ZERO,
+                Rational::ZERO,
+                Rational::ONE,
+            );
         }
     }
 
@@ -187,20 +221,28 @@ pub fn derive_cta_model(program: &AnalyzedProgram, registry: &FunctionRegistry) 
     for l in &graph.latencies {
         let subject = endpoint_port(&channel_ports[l.subject]);
         let reference = endpoint_port(&channel_ports[l.reference]);
-        let (Some(subject), Some(reference)) = (subject, reference) else { continue };
+        let (Some(subject), Some(reference)) = (subject, reference) else {
+            continue;
+        };
+        let bound_seconds = exact(l.amount_ms) * Rational::new(1, 1000);
         match l.relation {
             // `start S n ms before R`: R may start at most n ms after S.
             LatencyRelation::Before => {
-                latency::add_before_constraint(&mut cta, reference, subject, l.amount_ms * 1e-3)
+                latency::add_before_constraint(&mut cta, reference, subject, bound_seconds)
             }
             // `start S n ms after R`: S starts at least n ms after R.
             LatencyRelation::After => {
-                latency::add_after_constraint(&mut cta, subject, reference, l.amount_ms * 1e-3)
+                latency::add_after_constraint(&mut cta, subject, reference, bound_seconds)
             }
         }
     }
 
-    DerivedModel { cta, instance_components, task_graphs, channel_ports }
+    DerivedModel {
+        cta,
+        instance_components,
+        task_graphs,
+        channel_ports,
+    }
 }
 
 fn endpoint_port(ports: &ChannelPorts) -> Option<PortId> {
@@ -208,15 +250,19 @@ fn endpoint_port(ports: &ChannelPorts) -> Option<PortId> {
 }
 
 /// Per-firing number of values the channel's *writer* produces into it.
-fn access_count(
+fn writer_access_count(
     graph: &oil_lang::sema::AppGraph,
-    task_graphs: &[Option<TaskGraph>],
+    task_graphs: &IndexVec<InstanceId, Option<TaskGraph>>,
     registry: &FunctionRegistry,
-    channel: usize,
-    write: bool,
-) -> f64 {
-    debug_assert!(write);
-    access_count_of_instance(graph, task_graphs, registry, channel, graph.channels[channel].writer)
+    channel: ChannelId,
+) -> u64 {
+    access_count_of_instance(
+        graph,
+        task_graphs,
+        registry,
+        channel,
+        graph.channels[channel].writer,
+    )
 }
 
 /// Per-firing number of values `instance` transfers on `channel` (reads or
@@ -224,39 +270,47 @@ fn access_count(
 /// and for sinks.
 fn access_count_of_instance(
     graph: &oil_lang::sema::AppGraph,
-    task_graphs: &[Option<TaskGraph>],
+    task_graphs: &IndexVec<InstanceId, Option<TaskGraph>>,
     registry: &FunctionRegistry,
-    channel: usize,
-    instance: Option<usize>,
-) -> f64 {
-    let Some(ii) = instance else { return 1.0 };
+    channel: ChannelId,
+    instance: Option<InstanceId>,
+) -> u64 {
+    let Some(ii) = instance else { return 1 };
     let inst = &graph.instances[ii];
-    let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else { return 1.0 };
+    let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else {
+        return 1;
+    };
     match &task_graphs[ii] {
         Some(tg) => {
-            let Some(buf) = tg.buffer_by_name(&binding.param) else { return 1.0 };
-            let count = tg
-                .tasks
+            let Some(buf) = tg.buffer_by_name(&binding.param) else {
+                return 1;
+            };
+            tg.tasks
                 .iter()
                 .flat_map(|t| t.reads.iter().chain(t.writes.iter()))
                 .filter(|a| a.buffer == buf)
                 .map(|a| a.count)
                 .max()
-                .unwrap_or(1);
-            count as f64
+                .unwrap_or(1)
         }
         None => {
             // Black box: position of the binding among inputs/outputs selects
             // the interface entry.
-            let Some(bb) = registry.black_box(&inst.module_name) else { return 1.0 };
+            let Some(bb) = registry.black_box(&inst.module_name) else {
+                return 1;
+            };
             let position = inst
                 .bindings
                 .iter()
                 .filter(|b| b.out == binding.out)
                 .position(|b| b.channel == channel)
                 .unwrap_or(0);
-            let counts = if binding.out { &bb.production } else { &bb.consumption };
-            counts.get(position).copied().unwrap_or(1).max(1) as f64
+            let counts = if binding.out {
+                &bb.production
+            } else {
+                &bb.consumption
+            };
+            counts.get(position).copied().unwrap_or(1).max(1)
         }
     }
 }
@@ -267,38 +321,48 @@ fn derive_black_box(
     cta: &mut CtaModel,
     inst: &oil_lang::sema::ModuleInstance,
     registry: &FunctionRegistry,
-) -> (usize, BTreeMap<usize, StreamPorts>) {
+) -> (ComponentId, BTreeMap<ChannelId, StreamPorts>) {
     let comp = cta.add_component(format!("w_{}", inst.path), None);
     let interface = registry.black_box(&inst.module_name);
-    let rho = interface.map(|i| i.response_time).unwrap_or(registry.default_response_time);
+    let rho = exact(
+        interface
+            .map(|i| i.response_time)
+            .unwrap_or(registry.default_response_time),
+    );
 
     let inputs: Vec<&oil_lang::sema::Binding> = inst.bindings.iter().filter(|b| !b.out).collect();
     let outputs: Vec<&oil_lang::sema::Binding> = inst.bindings.iter().filter(|b| b.out).collect();
     let consumption = |k: usize| -> u64 {
-        interface.and_then(|i| i.consumption.get(k).copied()).unwrap_or(1).max(1)
+        interface
+            .and_then(|i| i.consumption.get(k).copied())
+            .unwrap_or(1)
+            .max(1)
     };
     let production = |k: usize| -> u64 {
-        interface.and_then(|i| i.production.get(k).copied()).unwrap_or(1).max(1)
+        interface
+            .and_then(|i| i.production.get(k).copied())
+            .unwrap_or(1)
+            .max(1)
     };
 
     let mut ports = BTreeMap::new();
     let mut in_ports = Vec::new();
     let mut out_ports = Vec::new();
     for (k, b) in inputs.iter().enumerate() {
-        let max_rate = consumption(k) as f64 / rho;
-        let input = cta.add_port(comp, format!("{}_in", b.param), max_rate);
-        let output = cta.add_port(comp, format!("{}_space", b.param), f64::INFINITY);
+        let max_rate = Rational::from_int(consumption(k) as i128) / rho;
+        let input = cta.add_port(comp, format!("{}_in", b.param), Some(max_rate));
+        let output = cta.add_port(comp, format!("{}_space", b.param), None);
         // Space for an input is released when the firing completes.
-        cta.connect(input, output, rho, 0.0, Rational::ONE);
+        cta.connect(input, output, rho, Rational::ZERO, Rational::ONE);
         ports.insert(b.channel, StreamPorts { input, output });
         in_ports.push((input, consumption(k)));
     }
     for (k, b) in outputs.iter().enumerate() {
-        let max_rate = production(k) as f64 / rho;
-        let output = cta.add_port(comp, format!("{}_out", b.param), max_rate);
-        let input = cta.add_port(comp, format!("{}_free", b.param), f64::INFINITY);
+        let max_rate = Rational::from_int(production(k) as i128) / rho;
+        let output = cta.add_port(comp, format!("{}_out", b.param), Some(max_rate));
+        let input = cta.add_port(comp, format!("{}_free", b.param), None);
         // Production happens a response time after the space was available.
-        cta.connect(input, output, rho, 0.0, Rational::ONE);
+        cta.connect(input, output, rho, Rational::ZERO, Rational::ONE);
         ports.insert(b.channel, StreamPorts { input, output });
         out_ports.push((output, production(k)));
     }
@@ -306,7 +370,13 @@ fn derive_black_box(
     // between stream rates is production/consumption (Fig. 8).
     for &(ip, c) in &in_ports {
         for &(op, p) in &out_ports {
-            cta.connect(ip, op, rho, 0.0, Rational::new(p as i128, c as i128));
+            cta.connect(
+                ip,
+                op,
+                rho,
+                Rational::ZERO,
+                Rational::new(p as i128, c as i128),
+            );
         }
     }
     // Tie multiple inputs together (atomic consumption, Fig. 7's zero-delay
@@ -314,8 +384,20 @@ fn derive_black_box(
     for w in in_ports.windows(2) {
         let (a, ca) = w[0];
         let (b, cb) = w[1];
-        cta.connect(a, b, 0.0, 0.0, Rational::new(cb as i128, ca as i128));
-        cta.connect(b, a, 0.0, 0.0, Rational::new(ca as i128, cb as i128));
+        cta.connect(
+            a,
+            b,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::new(cb as i128, ca as i128),
+        );
+        cta.connect(
+            b,
+            a,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::new(ca as i128, cb as i128),
+        );
     }
     (comp, ports)
 }
@@ -327,11 +409,12 @@ fn derive_seq_instance(
     inst: &oil_lang::sema::ModuleInstance,
     tg: &TaskGraph,
     _registry: &FunctionRegistry,
-) -> (usize, BTreeMap<usize, StreamPorts>) {
+) -> (ComponentId, BTreeMap<ChannelId, StreamPorts>) {
     let module_comp = cta.add_component(format!("w_{}", inst.path), None);
 
     // One component per while-loop, nested per the loop tree.
-    let mut loop_comp = vec![0usize; tg.loops.len()];
+    let mut loop_comp: IndexVec<LoopId, ComponentId> =
+        IndexVec::from_elem(module_comp, tg.loops.len());
     for l in &tg.loops {
         let parent = l.parent.map(|p| loop_comp[p]).unwrap_or(module_comp);
         loop_comp[l.id] = cta.add_component(format!("w_{}_loop{}", inst.path, l.id), Some(parent));
@@ -339,20 +422,36 @@ fn derive_seq_instance(
 
     // One component per task with an input and an output port; the response
     // time is the delay between them and bounds the firing rate (Fig. 7).
-    let mut task_in = vec![0usize; tg.tasks.len()];
-    let mut task_out = vec![0usize; tg.tasks.len()];
-    for (ti, t) in tg.tasks.iter().enumerate() {
-        let parent = t.loop_nest.last().map(|&l| loop_comp[l]).unwrap_or(module_comp);
+    let placeholder = <PortId as oil_dataflow::Idx>::new(0);
+    let mut task_in: IndexVec<ActorId, PortId> = IndexVec::from_elem(placeholder, tg.tasks.len());
+    let mut task_out: IndexVec<ActorId, PortId> = IndexVec::from_elem(placeholder, tg.tasks.len());
+    for (ti, t) in tg.tasks.iter_enumerated() {
+        let parent = t
+            .loop_nest
+            .last()
+            .map(|&l| loop_comp[l])
+            .unwrap_or(module_comp);
         let comp = cta.add_component(format!("w_{}_{}", inst.path, t.name), Some(parent));
-        let max_rate = if t.response_time > 0.0 { 1.0 / t.response_time } else { f64::INFINITY };
+        let rho = exact(t.response_time);
+        let max_rate = if rho.is_positive() {
+            Some(rho.recip())
+        } else {
+            None
+        };
         task_in[ti] = cta.add_port(comp, "in", max_rate);
         task_out[ti] = cta.add_port(comp, "out", max_rate);
-        cta.connect(task_in[ti], task_out[ti], t.response_time, 0.0, Rational::ONE);
+        cta.connect(
+            task_in[ti],
+            task_out[ti],
+            rho,
+            Rational::ZERO,
+            Rational::ONE,
+        );
     }
 
     // Local variable buffers: data connection per producer/consumer pair with
     // the multi-rate delay of Fig. 8, plus a capacity (space) connection.
-    for (bi, b) in tg.buffers.iter().enumerate() {
+    for (bi, b) in tg.buffers.iter_enumerated() {
         if b.stream.is_some() {
             continue; // handled by the stream wiring below
         }
@@ -363,20 +462,20 @@ fn derive_seq_instance(
                 if p == c {
                     continue; // read-modify-write of a local variable
                 }
-                let pi_f = pi as f64;
-                let psi_f = psi as f64;
                 // φ = ψ − ψ/π, minus any initial tokens which let the
-                // consumer start earlier.
-                let phi = (psi_f - psi_f / pi_f) - b.initial_tokens as f64;
+                // consumer start earlier. Exact.
+                let phi = Rational::from_int(psi as i128)
+                    - Rational::new(psi as i128, pi as i128)
+                    - Rational::from_int(b.initial_tokens as i128);
                 let gamma = Rational::new(pi as i128, psi as i128);
-                cta.connect(task_out[p], task_in[c], 0.0, phi, gamma);
+                cta.connect(task_out[p], task_in[c], Rational::ZERO, phi, gamma);
                 // Space connection; capacity is assigned by buffer sizing.
                 cta.connect_buffer(
                     format!("{}.{}", inst.path, b.name),
                     task_out[c],
                     task_in[p],
-                    0.0,
-                    0.0,
+                    Rational::ZERO,
+                    Rational::ZERO,
                     Rational::new(psi as i128, pi as i128),
                 );
             }
@@ -387,13 +486,15 @@ fn derive_seq_instance(
     // body execute sequentially in the original program, so the sum of their
     // response times bounds the delay between a loop's first stream access
     // and its last. The periodicity back edges below negate this bound.
-    let loop_work: Vec<f64> = (0..tg.loops.len())
+    let loop_work: IndexVec<LoopId, Rational> = tg
+        .loops
+        .indices()
         .map(|l| {
             tg.tasks
                 .iter()
                 .filter(|t| t.loop_nest.contains(&l))
-                .map(|t| t.response_time)
-                .sum()
+                .map(|t| exact(t.response_time))
+                .fold(Rational::ZERO, |acc, rho| acc + rho)
         })
         .collect();
 
@@ -401,12 +502,20 @@ fn derive_seq_instance(
     // Fig. 9 over the loops that access each stream.
     let mut stream_ports = BTreeMap::new();
     for binding in &inst.bindings {
-        let s_in = cta.add_port(module_comp, format!("{}_in", binding.param), f64::INFINITY);
-        let s_out = cta.add_port(module_comp, format!("{}_out", binding.param), f64::INFINITY);
-        stream_ports.insert(binding.channel, StreamPorts { input: s_in, output: s_out });
+        let s_in = cta.add_port(module_comp, format!("{}_in", binding.param), None);
+        let s_out = cta.add_port(module_comp, format!("{}_out", binding.param), None);
+        stream_ports.insert(
+            binding.channel,
+            StreamPorts {
+                input: s_in,
+                output: s_out,
+            },
+        );
 
-        let Some(buf) = tg.buffer_by_name(&binding.param) else { continue };
-        let access_count_of = |task: usize| -> Option<u64> {
+        let Some(buf) = tg.buffer_by_name(&binding.param) else {
+            continue;
+        };
+        let access_count_of = |task: ActorId| -> Option<u64> {
             let t = &tg.tasks[task];
             t.reads
                 .iter()
@@ -421,20 +530,34 @@ fn derive_seq_instance(
             // No loop accesses the stream: wire the accessing tasks directly
             // to the module ports (single-shot modules such as Fig. 4a).
             let mut prev = s_in;
-            let mut accessing: Vec<usize> = (0..tg.tasks.len())
+            let mut accessing: Vec<ActorId> = tg
+                .tasks
+                .indices()
                 .filter(|&t| access_count_of(t).is_some())
                 .collect();
             if accessing.is_empty() {
-                cta.connect(s_in, s_out, 0.0, 0.0, Rational::ONE);
+                cta.connect(s_in, s_out, Rational::ZERO, Rational::ZERO, Rational::ONE);
                 continue;
             }
             let last = *accessing.last().unwrap();
             for t in accessing.drain(..) {
                 let n = access_count_of(t).unwrap().max(1);
-                cta.connect(prev, task_in[t], 0.0, 0.0, Rational::new(1, n as i128));
+                cta.connect(
+                    prev,
+                    task_in[t],
+                    Rational::ZERO,
+                    Rational::ZERO,
+                    Rational::new(1, n as i128),
+                );
                 prev = task_out[t];
                 if t == last {
-                    cta.connect(prev, s_out, 0.0, 0.0, Rational::new(n as i128, 1));
+                    cta.connect(
+                        prev,
+                        s_out,
+                        Rational::ZERO,
+                        Rational::ZERO,
+                        Rational::new(n as i128, 1),
+                    );
                 }
             }
             continue;
@@ -448,17 +571,17 @@ fn derive_seq_instance(
         // strict periodicity: its delay is the negated sum of the delays on
         // the forward path (the loop's sequential work plus one stream
         // period), as described for Fig. 9.
-        let mut loop_stream_ports: Vec<(PortId, PortId, f64)> = Vec::new();
+        let mut loop_stream_ports: Vec<(PortId, PortId, Rational)> = Vec::new();
         for &l in &loops {
             let lc = loop_comp[l];
-            let l_in = cta.add_port(lc, format!("{}_in", binding.param), f64::INFINITY);
-            let l_out = cta.add_port(lc, format!("{}_out", binding.param), f64::INFINITY);
+            let l_in = cta.add_port(lc, format!("{}_in", binding.param), None);
+            let l_out = cta.add_port(lc, format!("{}_out", binding.param), None);
             // Wire tasks of this loop (innermost or nested) that access the
             // stream; the forward-path delay bound is the loop's whole
             // iteration work (statements execute sequentially).
             let mut wired_any = false;
-            let path_eps: f64 = loop_work[l];
-            for (ti, t) in tg.tasks.iter().enumerate() {
+            let path_eps = loop_work[l];
+            for (ti, t) in tg.tasks.iter_enumerated() {
                 if !t.loop_nest.contains(&l) {
                     continue;
                 }
@@ -469,18 +592,36 @@ fn derive_seq_instance(
                 }
                 if let Some(n) = access_count_of(ti) {
                     let n = n.max(1);
-                    cta.connect(l_in, task_in[ti], 0.0, 0.0, Rational::new(1, n as i128));
-                    cta.connect(task_out[ti], l_out, 0.0, 0.0, Rational::new(n as i128, 1));
+                    cta.connect(
+                        l_in,
+                        task_in[ti],
+                        Rational::ZERO,
+                        Rational::ZERO,
+                        Rational::new(1, n as i128),
+                    );
+                    cta.connect(
+                        task_out[ti],
+                        l_out,
+                        Rational::ZERO,
+                        Rational::ZERO,
+                        Rational::new(n as i128, 1),
+                    );
                     wired_any = true;
                 }
             }
             if !wired_any {
-                cta.connect(l_in, l_out, 0.0, 0.0, Rational::ONE);
+                cta.connect(l_in, l_out, Rational::ZERO, Rational::ZERO, Rational::ONE);
             }
             // Strict periodicity inside the loop: the next access is at most
             // one stream period later than the forward path implies (back
             // edge with the negated forward path delay).
-            cta.connect(l_out, l_in, -path_eps, -1.0, Rational::ONE);
+            cta.connect(
+                l_out,
+                l_in,
+                -path_eps,
+                Rational::from_int(-1),
+                Rational::ONE,
+            );
             loop_stream_ports.push((l_in, l_out, path_eps));
         }
 
@@ -490,16 +631,36 @@ fn derive_seq_instance(
         // (Fig. 9: the 1/rx connections between wp0 and wp1 and the -2/rx
         // back connection; the delay into the output port is folded into the
         // channel-level granularity term).
-        cta.connect(s_in, loop_stream_ports[0].0, 0.0, 0.0, Rational::ONE);
+        cta.connect(
+            s_in,
+            loop_stream_ports[0].0,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::ONE,
+        );
         for w in loop_stream_ports.windows(2) {
             let (_, prev_out, _) = w[0];
             let (next_in, _, _) = w[1];
-            cta.connect(prev_out, next_in, 0.0, 1.0, Rational::ONE);
+            cta.connect(
+                prev_out,
+                next_in,
+                Rational::ZERO,
+                Rational::ONE,
+                Rational::ONE,
+            );
         }
         let (_, last_out, _) = *loop_stream_ports.last().unwrap();
-        cta.connect(last_out, s_out, 0.0, 0.0, Rational::ONE);
-        let between = (loop_stream_ports.len() - 1) as f64;
-        let total_eps: f64 = loop_stream_ports.iter().map(|(_, _, e)| e).sum();
+        cta.connect(
+            last_out,
+            s_out,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::ONE,
+        );
+        let between = Rational::from_int((loop_stream_ports.len() - 1) as i128);
+        let total_eps = loop_stream_ports
+            .iter()
+            .fold(Rational::ZERO, |acc, (_, _, e)| acc + *e);
         cta.connect(s_out, s_in, -total_eps, -between, Rational::ONE);
     }
 
@@ -545,18 +706,18 @@ mod tests {
         oil_cta::buffersizing::apply_capacities(&mut sized, &sizing.capacities);
         // No source pins the rates here, so the modules settle at their
         // maximal achievable rates.
-        let result = sized.consistency_at_maximal_rates(1e-9).unwrap();
+        let result = sized.consistency_at_maximal_rates().unwrap();
 
-        // Module B must run 3/2 times as fast as module A: compare the task
-        // port rates of the two single tasks.
+        // Module B must run exactly 3/2 times as fast as module A: compare
+        // the task port rates of the two single tasks.
         let a_inst = analyzed.graph.instance_named("A").unwrap().0;
         let b_inst = analyzed.graph.instance_named("B").unwrap().0;
         let a_comp = derived.instance_components[a_inst];
         let b_comp = derived.instance_components[b_inst];
         // Find the task components nested under each module component.
-        let task_rate = |module_comp: usize| -> f64 {
+        let task_rate = |module_comp: ComponentId| -> Rational {
             let mut rate = None;
-            for (ci, c) in sized.components.iter().enumerate() {
+            for (ci, c) in sized.components.iter_enumerated() {
                 let mut anc = Some(ci);
                 let mut is_descendant = false;
                 while let Some(a) = anc {
@@ -574,7 +735,7 @@ mod tests {
         };
         let ra = task_rate(a_comp);
         let rb = task_rate(b_comp);
-        assert!((rb / ra - 1.5).abs() < 1e-6, "rb/ra = {}", rb / ra);
+        assert_eq!(rb / ra, Rational::new(3, 2), "rb/ra = {}", rb / ra);
     }
 
     #[test]
@@ -599,7 +760,7 @@ mod tests {
         // The source data port runs at exactly 1 kHz.
         let src_comp = sized.component_by_name("w_src_src").unwrap();
         let data = sized.port_by_name(src_comp, "data").unwrap();
-        assert!((result.rates[data] - 1000.0).abs() < 1e-6);
+        assert_eq!(result.rates[data], Rational::from_int(1000));
     }
 
     #[test]
@@ -693,9 +854,12 @@ mod tests {
             .cta
             .connections
             .iter()
-            .filter(|c| c.phi < 0.0 && c.buffer.is_none())
+            .filter(|c| c.phi.is_negative() && c.buffer.is_none())
             .count();
-        assert!(back_edges >= 2, "expected per-loop and per-module back edges, got {back_edges}");
+        assert!(
+            back_edges >= 2,
+            "expected per-loop and per-module back edges, got {back_edges}"
+        );
         let sizing = oil_cta::size_buffers(&derived.cta).unwrap();
         assert!(sizing.total_tokens() >= 1);
     }
@@ -714,7 +878,7 @@ mod tests {
             "#,
             &reg,
         );
-        assert!(analyzed.graph.instances[0].black_box);
+        assert!(analyzed.graph.instances.iter().all(|i| i.black_box));
         let sizing = oil_cta::size_buffers(&derived.cta).unwrap();
         let mut sized = derived.cta.clone();
         oil_cta::buffersizing::apply_capacities(&mut sized, &sizing.capacities);
@@ -738,7 +902,7 @@ mod tests {
             &reg,
         );
         assert_eq!(derived.channel_ports.len(), analyzed.graph.channels.len());
-        for (ci, ports) in derived.channel_ports.iter().enumerate() {
+        for (ci, ports) in derived.channel_ports.iter_enumerated() {
             assert!(
                 ports.data_out.is_some() || !ports.reader_in.is_empty(),
                 "channel {ci} has no ports"

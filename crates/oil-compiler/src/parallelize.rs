@@ -13,7 +13,7 @@
 //! * the while-loop nest of every statement is recorded so the CTA derivation
 //!   can create one component per loop (Fig. 9).
 
-use oil_dataflow::taskgraph::{PortAccess, Task, TaskBuffer, TaskGraph};
+use oil_dataflow::taskgraph::{BufferId, LoopId, PortAccess, Task, TaskBuffer, TaskGraph};
 use oil_lang::ast::*;
 use oil_lang::registry::FunctionRegistry;
 
@@ -53,7 +53,7 @@ struct Extractor<'a> {
 }
 
 impl<'a> Extractor<'a> {
-    fn buffer_for(&mut self, name: &str, stream: Option<String>) -> usize {
+    fn buffer_for(&mut self, name: &str, stream: Option<String>) -> BufferId {
         if let Some(idx) = self.graph.buffer_by_name(name) {
             return idx;
         }
@@ -77,11 +77,17 @@ impl<'a> Extractor<'a> {
         format!("t{}_{}", n, function)
     }
 
-    fn walk(&mut self, stmts: &[Stmt], loop_nest: &mut Vec<usize>, guarded: bool) {
+    fn walk(&mut self, stmts: &[Stmt], loop_nest: &mut Vec<LoopId>, guarded: bool) {
         for stmt in stmts {
             match stmt {
                 Stmt::Assign { target, value, .. } => {
-                    self.add_statement_task("=", Some(target), &expr_reads(value), loop_nest, guarded);
+                    self.add_statement_task(
+                        "=",
+                        Some(target),
+                        &expr_reads(value),
+                        loop_nest,
+                        guarded,
+                    );
                 }
                 Stmt::Call { func, args, .. } => {
                     let mut reads = Vec::new();
@@ -94,7 +100,12 @@ impl<'a> Extractor<'a> {
                     }
                     self.add_call_task(&func.name, &writes, &reads, loop_nest, guarded);
                 }
-                Stmt::If { cond, then_branch, else_branch, .. } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     // The guard expression's reads are attributed to the tasks
                     // inside (they need the value to evaluate their guard).
                     let _ = cond;
@@ -123,7 +134,7 @@ impl<'a> Extractor<'a> {
         function: &str,
         target: Option<&Access>,
         reads: &[Access],
-        loop_nest: &[usize],
+        loop_nest: &[LoopId],
         guarded: bool,
     ) {
         let writes: Vec<Access> = target.cloned().into_iter().collect();
@@ -135,18 +146,24 @@ impl<'a> Extractor<'a> {
         function: &str,
         writes: &[Access],
         reads: &[Access],
-        loop_nest: &[usize],
+        loop_nest: &[LoopId],
         guarded: bool,
     ) {
         let name = self.next_task_name(function);
         let response_time = self.registry.response_time(function);
         let read_ports = reads
             .iter()
-            .map(|a| PortAccess { buffer: self.buffer_for(&a.name.name, None), count: a.count() })
+            .map(|a| PortAccess {
+                buffer: self.buffer_for(&a.name.name, None),
+                count: a.count(),
+            })
             .collect::<Vec<_>>();
         let write_ports = writes
             .iter()
-            .map(|a| PortAccess { buffer: self.buffer_for(&a.name.name, None), count: a.count() })
+            .map(|a| PortAccess {
+                buffer: self.buffer_for(&a.name.name, None),
+                count: a.count(),
+            })
             .collect::<Vec<_>>();
 
         // Prologue writes (outside every loop) provide initial tokens, e.g.
@@ -181,7 +198,7 @@ fn expr_reads(e: &Expr) -> Vec<Access> {
 
 /// Which loops (by id) access a given buffer, in program order. Used by the
 /// CTA derivation to wire the stream-periodicity connections of Fig. 9.
-pub fn loops_accessing(graph: &TaskGraph, buffer: usize) -> Vec<usize> {
+pub fn loops_accessing(graph: &TaskGraph, buffer: BufferId) -> Vec<LoopId> {
     let mut out = Vec::new();
     for l in &graph.loops {
         let touches = graph.tasks.iter().any(|t| {
@@ -202,7 +219,11 @@ pub fn describe_loops(graph: &TaskGraph) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     for l in &graph.loops {
-        let tasks: Vec<&str> = l.tasks.iter().map(|&t| graph.tasks[t].name.as_str()).collect();
+        let tasks: Vec<&str> = l
+            .tasks
+            .iter()
+            .map(|&t| graph.tasks[t].name.as_str())
+            .collect();
         let _ = writeln!(
             s,
             "loop {} (parent {:?}, infinite {}): [{}]",
@@ -250,7 +271,10 @@ mod tests {
         let bx = tg.buffer_by_name("x").unwrap();
         assert_eq!(tg.producers(by).len(), 2);
         assert_eq!(tg.consumers(by).len(), 1);
-        assert_eq!(tg.producers(bx), vec![(2, 2)]);
+        assert_eq!(
+            tg.producers(bx),
+            vec![(tg.task_by_name("t2_k").unwrap(), 2)]
+        );
         assert_eq!(tg.buffers[bx].stream.as_deref(), Some("x"));
         assert!(tg.buffers[by].stream.is_none());
     }
@@ -263,11 +287,11 @@ mod tests {
         );
         assert_eq!(tg.tasks.len(), 1);
         assert_eq!(tg.loops.len(), 1);
-        assert!(tg.loops[0].infinite);
-        let t = &tg.tasks[0];
+        assert!(tg.loops.iter().next().unwrap().infinite);
+        let t = &tg.tasks[tg.task_by_name("t0_f").unwrap()];
         assert_eq!(t.writes[0].count, 3);
         assert_eq!(t.reads[0].count, 3);
-        assert_eq!(t.loop_nest, vec![0]);
+        assert_eq!(t.loop_nest.len(), 1);
     }
 
     #[test]
@@ -279,7 +303,8 @@ mod tests {
         let bc = tg.buffer_by_name("c").unwrap();
         assert_eq!(tg.buffers[bc].initial_tokens, 4);
         assert_eq!(tg.prologue_tasks().len(), 1);
-        assert_eq!(tg.tasks_in_loop(0).len(), 1);
+        let l0 = tg.loops.iter().next().unwrap().id;
+        assert_eq!(tg.tasks_in_loop(l0).len(), 1);
     }
 
     #[test]
@@ -292,11 +317,12 @@ mod tests {
             "A",
         );
         assert_eq!(tg.loops.len(), 2);
-        assert!(!tg.loops[0].infinite);
+        assert!(!tg.loops.iter().next().unwrap().infinite);
         let bx = tg.buffer_by_name("x").unwrap();
         let by = tg.buffer_by_name("y").unwrap();
-        assert_eq!(loops_accessing(&tg, bx), vec![0, 1]);
-        assert_eq!(loops_accessing(&tg, by), vec![0, 1]);
+        let loop_ids: Vec<LoopId> = tg.loops.iter().map(|l| l.id).collect();
+        assert_eq!(loops_accessing(&tg, bx), loop_ids);
+        assert_eq!(loops_accessing(&tg, by), loop_ids);
         // y is produced in loop 0 and consumed in loops 0 and 1.
         assert_eq!(tg.producers(by).len(), 1);
         assert_eq!(tg.consumers(by).len(), 2);
@@ -314,9 +340,11 @@ mod tests {
             "N",
         );
         assert_eq!(tg.loops.len(), 2);
-        assert_eq!(tg.loops[1].parent, Some(0));
-        assert_eq!(tg.tasks[1].loop_nest, vec![0, 1]);
-        assert!(describe_loops(&tg).contains("parent Some(0)"));
+        let ids: Vec<LoopId> = tg.loops.iter().map(|l| l.id).collect();
+        assert_eq!(tg.loops[ids[1]].parent, Some(ids[0]));
+        let nested = tg.task_by_name("t1_g").unwrap();
+        assert_eq!(tg.tasks[nested].loop_nest, ids);
+        assert!(describe_loops(&tg).contains("parent Some(l0)"));
     }
 
     #[test]
@@ -338,7 +366,7 @@ mod tests {
         let p = parse_program("mod seq A(int a, out int b){ loop{ slow(a, out b); } while(1); }")
             .unwrap();
         let tg = extract_task_graph(p.module("A").unwrap(), &reg);
-        assert_eq!(tg.tasks[0].response_time, 5e-3);
+        assert_eq!(tg.tasks.iter().next().unwrap().response_time, 5e-3);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::buffers::{plan_buffers, BufferPlan};
 use crate::codegen::{generate_module_code, GeneratedCode};
 use crate::derive::{derive_cta_model, DerivedModel};
-use oil_cta::{BufferSizingError, ConsistencyResult, CtaModel};
+use oil_cta::{BufferSizingError, ConsistencyResult, CtaModel, Rational};
 use oil_lang::registry::FunctionRegistry;
 use oil_lang::sema::AnalyzedProgram;
 use oil_lang::Diagnostic;
@@ -41,24 +41,38 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
-    /// The rate (events/s) at which a channel's data port transfers data,
-    /// looked up by channel name suffix.
-    pub fn channel_rate(&self, name: &str) -> Option<f64> {
+    /// The exact rate (events/s) at which a channel's data port transfers
+    /// data, looked up by channel name suffix.
+    pub fn channel_rate_exact(&self, name: &str) -> Option<Rational> {
         let (ci, _) = self.analyzed.graph.channel_named(name)?;
         let ports = &self.derived.channel_ports[ci];
-        let port = ports.data_out.or_else(|| ports.reader_in.first().copied())?;
+        let port = ports
+            .data_out
+            .or_else(|| ports.reader_in.first().copied())?;
         Some(self.consistency.rates[port])
     }
 
-    /// End-to-end latency bound (seconds) from a source channel to a sink
-    /// channel along the critical path of the sized model.
-    pub fn latency_between(&self, source: &str, sink: &str) -> Option<f64> {
+    /// As [`Self::channel_rate_exact`], converted to `f64` at the API
+    /// boundary (lossless by construction for rates that fit a double).
+    pub fn channel_rate(&self, name: &str) -> Option<f64> {
+        self.channel_rate_exact(name).map(|r| r.to_f64())
+    }
+
+    /// Exact end-to-end latency bound (seconds) from a source channel to a
+    /// sink channel along the critical path of the sized model.
+    pub fn latency_between_exact(&self, source: &str, sink: &str) -> Option<Rational> {
         let (si, _) = self.analyzed.graph.channel_named(source)?;
         let (ki, _) = self.analyzed.graph.channel_named(sink)?;
         let from = self.derived.channel_ports[si].data_out?;
         let to = *self.derived.channel_ports[ki].reader_in.first()?;
         oil_cta::check_latency_path(&self.sized_model, &self.consistency, from, to)
             .map(|r| r.latency)
+    }
+
+    /// As [`Self::latency_between_exact`], converted to `f64` at the API
+    /// boundary.
+    pub fn latency_between(&self, source: &str, sink: &str) -> Option<f64> {
+        self.latency_between_exact(source, sink).map(|r| r.to_f64())
     }
 }
 
@@ -100,7 +114,11 @@ pub fn compile(
 
     let (buffers, sized_model) = if options.skip_buffer_sizing {
         (
-            BufferPlan { channels: Default::default(), locals: Default::default(), iterations: 0 },
+            BufferPlan {
+                channels: Default::default(),
+                locals: Default::default(),
+                iterations: 0,
+            },
             derived.cta.clone(),
         )
     } else {
@@ -108,9 +126,10 @@ pub fn compile(
     };
 
     // Rates not pinned by a source or sink settle at their maximal achievable
-    // value (the paper's consistency algorithm reports exactly these).
+    // value (the paper's consistency algorithm reports exactly these, and the
+    // exact-rational implementation computes them without any tolerance).
     let consistency = sized_model
-        .consistency_at_maximal_rates(1e-9)
+        .consistency_at_maximal_rates()
         .map_err(|e| CompileError::Temporal(BufferSizingError::Unfixable(e)))?;
 
     let generated = if options.skip_codegen {
@@ -124,7 +143,14 @@ pub fn compile(
             .collect()
     };
 
-    Ok(CompiledProgram { analyzed, derived, sized_model, consistency, buffers, generated })
+    Ok(CompiledProgram {
+        analyzed,
+        derived,
+        sized_model,
+        consistency,
+        buffers,
+        generated,
+    })
 }
 
 #[cfg(test)]
@@ -160,19 +186,32 @@ mod tests {
         let compiled = compile(FIG6, &registry(), &CompilerOptions::default()).unwrap();
         // Channels: x (source), y (sink), z (fifo) all sized.
         assert_eq!(compiled.buffers.channels.len(), 3);
-        // Source and sink run at 1 kHz.
-        assert!((compiled.channel_rate("x").unwrap() - 1000.0).abs() < 1e-6);
-        assert!((compiled.channel_rate("y").unwrap() - 1000.0).abs() < 1e-6);
-        // The end-to-end latency respects the 5 ms constraint.
-        let latency = compiled.latency_between("x", "y").unwrap();
-        assert!(latency <= 5e-3 + 1e-9, "latency {latency}");
+        // Source and sink run at exactly 1 kHz — exact rate equality, no
+        // epsilon comparisons.
+        assert_eq!(
+            compiled.channel_rate_exact("x"),
+            Some(Rational::from_int(1000))
+        );
+        assert_eq!(
+            compiled.channel_rate_exact("y"),
+            Some(Rational::from_int(1000))
+        );
+        assert_eq!(compiled.channel_rate("x"), Some(1000.0));
+        assert_eq!(compiled.channel_rate("y"), Some(1000.0));
+        // The end-to-end latency respects the 5 ms constraint, exactly.
+        let latency = compiled.latency_between_exact("x", "y").unwrap();
+        assert!(latency <= Rational::new(5, 1000), "latency {latency}");
         // Two generated modules (B and C).
         assert_eq!(compiled.generated.len(), 2);
     }
 
     #[test]
     fn compile_rejects_frontend_errors() {
-        let err = compile("mod seq A(out int a){ f(out a) }", &registry(), &CompilerOptions::default());
+        let err = compile(
+            "mod seq A(out int a){ f(out a) }",
+            &registry(),
+            &CompilerOptions::default(),
+        );
         assert!(matches!(err, Err(CompileError::Frontend(_))));
         let err2 = compile(
             "mod seq A(int a, out int b){ loop{ f(a); } while(1); }",
@@ -203,7 +242,10 @@ mod tests {
 
     #[test]
     fn options_skip_stages() {
-        let opts = CompilerOptions { skip_buffer_sizing: false, skip_codegen: true };
+        let opts = CompilerOptions {
+            skip_buffer_sizing: false,
+            skip_codegen: true,
+        };
         let compiled = compile(FIG6, &registry(), &opts).unwrap();
         assert!(compiled.generated.is_empty());
     }
@@ -217,10 +259,22 @@ mod tests {
         "#;
         let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
         // Channel x is written 3-at-a-time by A and read 2-at-a-time by B;
-        // both see the same token rate.
-        let rx = compiled.channel_rate("x").unwrap();
-        let ry = compiled.channel_rate("y").unwrap();
-        assert!(rx > 0.0 && ry > 0.0);
-        assert!((rx / ry - 1.0).abs() < 1e-6, "token rates must match, got {rx} vs {ry}");
+        // both see *exactly* the same token rate.
+        let rx = compiled.channel_rate_exact("x").unwrap();
+        let ry = compiled.channel_rate_exact("y").unwrap();
+        assert!(rx.is_positive() && ry.is_positive());
+        assert_eq!(rx, ry, "token rates must match exactly, got {rx} vs {ry}");
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        // Exact arithmetic end to end: recompiling yields bit-identical
+        // consistency results and buffer plans.
+        let first = compile(FIG6, &registry(), &CompilerOptions::default()).unwrap();
+        for _ in 0..3 {
+            let again = compile(FIG6, &registry(), &CompilerOptions::default()).unwrap();
+            assert_eq!(again.consistency, first.consistency);
+            assert_eq!(again.buffers, first.buffers);
+        }
     }
 }

@@ -6,20 +6,34 @@
 //! rate-dependent delay `φ`. The time a connection `c = (p, q)` delays data is
 //! `Δ(c) = ε(c) + φ(c) / r(p)`.
 //!
+//! All quantities are **exact rationals** ([`Rational`]): rates in events per
+//! second, delays in seconds, `φ` in events. The analyses in this crate
+//! therefore contain no floating-point tolerance constants; `f64` appears
+//! only in human-readable output ([`CtaModel::describe`]) and in the
+//! `*_hz`/`*_seconds` convenience accessors of the result types.
+//!
 //! This module stores a whole *model* (a composition of components) in one
 //! flat arena — components only group ports and record nesting, which mirrors
 //! how the paper nests while-loop components inside module components
-//! (Fig. 9) — and provides the builder API shared by all analyses.
+//! (Fig. 9) — and provides the builder API shared by all analyses. Ports,
+//! components and connections are addressed by typed indices ([`PortId`],
+//! [`ComponentId`], [`ConnectionId`]), so a port id can never be mistaken for
+//! a connection id by the compiler.
 
+use oil_dataflow::define_index_type;
+use oil_dataflow::index::{Idx, IndexVec, PortId};
 use oil_dataflow::Rational;
 use serde::{Deserialize, Serialize};
 
-/// Index of a component in a [`CtaModel`].
-pub type ComponentId = usize;
-/// Index of a port in a [`CtaModel`].
-pub type PortId = usize;
-/// Index of a connection in a [`CtaModel`].
-pub type ConnectionId = usize;
+define_index_type! {
+    /// A component of a [`CtaModel`].
+    pub struct ComponentId = "w";
+}
+
+define_index_type! {
+    /// A connection of a [`CtaModel`].
+    pub struct ConnectionId = "c";
+}
 
 /// A port of a CTA component.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,14 +42,14 @@ pub struct Port {
     pub name: String,
     /// The component this port belongs to.
     pub component: ComponentId,
-    /// Maximum transfer rate `r̂(p)` in events per second
-    /// (`f64::INFINITY` for ports that impose no bound, e.g. the modelling
-    /// artifact ports of module components).
-    pub max_rate: f64,
+    /// Maximum transfer rate `r̂(p)` in events per second; `None` for ports
+    /// that impose no bound (e.g. the modelling artifact ports of module
+    /// components).
+    pub max_rate: Option<Rational>,
     /// A rate required exactly at this port (sources and sinks execute
     /// time-triggered at a fixed frequency). `None` for ports whose rate is
     /// determined by the rest of the model.
-    pub required_rate: Option<f64>,
+    pub required_rate: Option<Rational>,
 }
 
 /// A directed connection between two ports.
@@ -47,10 +61,10 @@ pub struct Connection {
     pub to: PortId,
     /// Constant delay `ε(c)` in seconds (may be negative, e.g. for latency
     /// constraints).
-    pub epsilon: f64,
+    pub epsilon: Rational,
     /// Rate-dependent delay `φ(c)` in events; contributes `φ / r(p)` seconds
     /// (negative values model buffer capacities: `-δ / r`).
-    pub phi: f64,
+    pub phi: Rational,
     /// Transfer rate ratio `γ(c)`: `r(q) = γ · r(p)`.
     pub gamma: Rational,
     /// If this connection models the capacity of a buffer, the buffer's name;
@@ -65,17 +79,24 @@ pub struct Connection {
 
 impl Connection {
     /// The delay of this connection at source-port rate `rate` (events/s):
-    /// `Δ(c) = ε + φ / r(p)`.
-    pub fn delay_at_rate(&self, rate: f64) -> f64 {
-        if self.phi == 0.0 {
+    /// `Δ(c) = ε + φ / r(p)`. Exact.
+    ///
+    /// # Panics
+    /// Panics if `phi` is non-zero and `rate` is not positive.
+    pub fn delay_at_rate(&self, rate: Rational) -> Rational {
+        if self.phi.is_zero() {
             self.epsilon
         } else {
+            assert!(
+                rate.is_positive(),
+                "rate-dependent delay needs a positive rate"
+            );
             self.epsilon + self.phi / rate
         }
     }
 
     /// The buffer capacity `δ` this connection models (`phi = -δ`), if any.
-    pub fn capacity(&self) -> Option<f64> {
+    pub fn capacity(&self) -> Option<Rational> {
         self.buffer.as_ref().map(|_| -self.phi)
     }
 }
@@ -100,11 +121,11 @@ pub struct Component {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CtaModel {
     /// All components.
-    pub components: Vec<Component>,
+    pub components: IndexVec<ComponentId, Component>,
     /// All ports.
-    pub ports: Vec<Port>,
+    pub ports: IndexVec<PortId, Port>,
     /// All connections.
-    pub connections: Vec<Connection>,
+    pub connections: IndexVec<ConnectionId, Connection>,
 }
 
 impl CtaModel {
@@ -114,28 +135,55 @@ impl CtaModel {
     }
 
     /// Add a component, optionally nested inside `parent`.
-    pub fn add_component(&mut self, name: impl Into<String>, parent: Option<ComponentId>) -> ComponentId {
-        self.components.push(Component { name: name.into(), parent, ports: Vec::new() });
-        self.components.len() - 1
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        parent: Option<ComponentId>,
+    ) -> ComponentId {
+        self.components.push(Component {
+            name: name.into(),
+            parent,
+            ports: Vec::new(),
+        })
     }
 
-    /// Add a port to `component` with maximum rate `max_rate` (events/s).
-    pub fn add_port(&mut self, component: ComponentId, name: impl Into<String>, max_rate: f64) -> PortId {
-        let id = self.ports.len();
-        self.ports.push(Port { name: name.into(), component, max_rate, required_rate: None });
+    /// Add a port to `component` with maximum rate `max_rate` (events/s);
+    /// `None` leaves the port unbounded.
+    ///
+    /// # Panics
+    /// Panics if `max_rate` is zero or negative.
+    pub fn add_port(
+        &mut self,
+        component: ComponentId,
+        name: impl Into<String>,
+        max_rate: Option<Rational>,
+    ) -> PortId {
+        if let Some(r) = max_rate {
+            assert!(r.is_positive(), "maximum rates must be positive");
+        }
+        let id = self.ports.push(Port {
+            name: name.into(),
+            component,
+            max_rate,
+            required_rate: None,
+        });
         self.components[component].ports.push(id);
         id
     }
 
     /// Add a port whose rate is fixed by the environment (a source or sink
     /// executing time-triggered at `rate`).
+    ///
+    /// # Panics
+    /// Panics if `rate` is zero or negative.
     pub fn add_required_rate_port(
         &mut self,
         component: ComponentId,
         name: impl Into<String>,
-        rate: f64,
+        rate: Rational,
     ) -> PortId {
-        let id = self.add_port(component, name, rate);
+        assert!(rate.is_positive(), "required rates must be positive");
+        let id = self.add_port(component, name, Some(rate));
         self.ports[id].required_rate = Some(rate);
         id
     }
@@ -146,11 +194,14 @@ impl CtaModel {
         &mut self,
         from: PortId,
         to: PortId,
-        epsilon: f64,
-        phi: f64,
+        epsilon: Rational,
+        phi: Rational,
         gamma: Rational,
     ) -> ConnectionId {
-        assert!(from < self.ports.len() && to < self.ports.len(), "connection endpoints must exist");
+        assert!(
+            from.index() < self.ports.len() && to.index() < self.ports.len(),
+            "connection endpoints must exist"
+        );
         assert!(gamma.is_positive(), "transfer rate ratios must be positive");
         self.connections.push(Connection {
             from,
@@ -160,16 +211,20 @@ impl CtaModel {
             gamma,
             buffer: None,
             couples_rates: true,
-        });
-        self.connections.len() - 1
+        })
     }
 
     /// Connect `from` to `to` with a pure timing constraint: the connection
     /// delays data by `epsilon` seconds but does **not** couple the rates of
     /// its endpoints. Used for `start .. before/after ..` latency constraints
     /// between sources and sinks that run at unrelated rates.
-    pub fn connect_constraint(&mut self, from: PortId, to: PortId, epsilon: f64) -> ConnectionId {
-        let id = self.connect(from, to, epsilon, 0.0, Rational::ONE);
+    pub fn connect_constraint(
+        &mut self,
+        from: PortId,
+        to: PortId,
+        epsilon: Rational,
+    ) -> ConnectionId {
+        let id = self.connect(from, to, epsilon, Rational::ZERO, Rational::ONE);
         self.connections[id].couples_rates = false;
         id
     }
@@ -182,8 +237,8 @@ impl CtaModel {
         buffer: impl Into<String>,
         from: PortId,
         to: PortId,
-        epsilon: f64,
-        phi: f64,
+        epsilon: Rational,
+        phi: Rational,
         gamma: Rational,
     ) -> ConnectionId {
         let id = self.connect(from, to, epsilon, phi, gamma);
@@ -208,7 +263,7 @@ impl CtaModel {
 
     /// Find a component by name.
     pub fn component_by_name(&self, name: &str) -> Option<ComponentId> {
-        self.components.iter().position(|c| c.name == name)
+        self.components.position(|c| c.name == name)
     }
 
     /// Find a port by `component` and port name.
@@ -223,8 +278,7 @@ impl CtaModel {
     /// All connections whose source or destination belongs to `component`.
     pub fn connections_of(&self, component: ComponentId) -> Vec<ConnectionId> {
         self.connections
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter(|(_, c)| {
                 self.ports[c.from].component == component || self.ports[c.to].component == component
             })
@@ -235,8 +289,7 @@ impl CtaModel {
     /// All connections that model buffer capacities, grouped by buffer name.
     pub fn buffer_connections(&self) -> Vec<(String, ConnectionId)> {
         self.connections
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter_map(|(i, c)| c.buffer.clone().map(|b| (b, i)))
             .collect()
     }
@@ -246,28 +299,30 @@ impl CtaModel {
     /// *composition* operation of the CTA model: composing two models yields
     /// another model, and analyses run unchanged on the result.
     pub fn merge(&mut self, other: &CtaModel) -> MergeOffsets {
-        let comp_off = self.components.len();
-        let port_off = self.ports.len();
-        let conn_off = self.connections.len();
+        let offsets = MergeOffsets {
+            components: self.components.len(),
+            ports: self.ports.len(),
+            connections: self.connections.len(),
+        };
         for c in &other.components {
             self.components.push(Component {
                 name: c.name.clone(),
-                parent: c.parent.map(|p| p + comp_off),
-                ports: c.ports.iter().map(|p| p + port_off).collect(),
+                parent: c.parent.map(|p| offsets.component(p)),
+                ports: c.ports.iter().map(|&p| offsets.port(p)).collect(),
             });
         }
         for p in &other.ports {
             self.ports.push(Port {
                 name: p.name.clone(),
-                component: p.component + comp_off,
+                component: offsets.component(p.component),
                 max_rate: p.max_rate,
                 required_rate: p.required_rate,
             });
         }
         for c in &other.connections {
             self.connections.push(Connection {
-                from: c.from + port_off,
-                to: c.to + port_off,
+                from: offsets.port(c.from),
+                to: offsets.port(c.to),
                 epsilon: c.epsilon,
                 phi: c.phi,
                 gamma: c.gamma,
@@ -275,14 +330,13 @@ impl CtaModel {
                 couples_rates: c.couples_rates,
             });
         }
-        MergeOffsets { components: comp_off, ports: port_off, connections: conn_off }
+        offsets
     }
 
     /// Children of `component` in the nesting hierarchy.
     pub fn children(&self, component: ComponentId) -> Vec<ComponentId> {
         self.components
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter(|(_, c)| c.parent == Some(component))
             .map(|(i, _)| i)
             .collect()
@@ -290,24 +344,36 @@ impl CtaModel {
 
     /// Human-readable summary, one line per component with its port count and
     /// one line per connection — handy for reproducing the structure of the
-    /// paper's Figures 7–10 and 12 in examples.
+    /// paper's Figures 7–10 and 12 in examples. The exact rationals are
+    /// rendered as such; only here does nothing depend on the output.
     pub fn describe(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.components.iter_enumerated() {
             let parent = c
                 .parent
                 .map(|p| format!(" (in {})", self.components[p].name))
                 .unwrap_or_default();
-            let _ = writeln!(out, "component {} `{}`{}: {} ports", i, c.name, parent, c.ports.len());
-        }
-        for (i, c) in self.connections.iter().enumerate() {
-            let from = &self.ports[c.from];
-            let to = &self.ports[c.to];
-            let buffer = c.buffer.as_deref().map(|b| format!(" buffer={b}")).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "connection {}: {}.{} -> {}.{} eps={:.3e} phi={} gamma={}{}",
+                "component {} `{}`{}: {} ports",
+                i,
+                c.name,
+                parent,
+                c.ports.len()
+            );
+        }
+        for (i, c) in self.connections.iter_enumerated() {
+            let from = &self.ports[c.from];
+            let to = &self.ports[c.to];
+            let buffer = c
+                .buffer
+                .as_deref()
+                .map(|b| format!(" buffer={b}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "connection {}: {}.{} -> {}.{} eps={} phi={} gamma={}{}",
                 i,
                 self.components[from.component].name,
                 from.name,
@@ -323,7 +389,8 @@ impl CtaModel {
     }
 }
 
-/// Offsets returned by [`CtaModel::merge`].
+/// Offsets returned by [`CtaModel::merge`], translating the merged model's
+/// ids into the composed model's id spaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MergeOffsets {
     /// Offset added to component ids of the merged model.
@@ -334,25 +401,47 @@ pub struct MergeOffsets {
     pub connections: usize,
 }
 
+impl MergeOffsets {
+    /// Translate a component id of the merged model.
+    pub fn component(&self, id: ComponentId) -> ComponentId {
+        ComponentId::new(id.index() + self.components)
+    }
+
+    /// Translate a port id of the merged model.
+    pub fn port(&self, id: PortId) -> PortId {
+        PortId::new(id.index() + self.ports)
+    }
+
+    /// Translate a connection id of the merged model.
+    pub fn connection(&self, id: ConnectionId) -> ConnectionId {
+        ConnectionId::new(id.index() + self.connections)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// 2 µs as an exact rational (seconds).
+    fn rho() -> Rational {
+        Rational::new(1, 500_000)
+    }
 
     #[test]
     fn build_fig7_single_rate_component() {
         // Fig. 7c: a component with ports for bx (in), by (in), bz (out) and
         // their release counterparts; zero-delay connections between input
         // ports, rho-delay connections from inputs to the output.
-        let rho = 2e-6;
+        let max = Some(rho().recip());
         let mut m = CtaModel::new();
         let w = m.add_component("wf", None);
-        let bx_in = m.add_port(w, "bx_in", 1.0 / rho);
-        let by_in = m.add_port(w, "by_in", 1.0 / rho);
-        let bz_out = m.add_port(w, "bz_out", 1.0 / rho);
-        m.connect(bx_in, by_in, 0.0, 0.0, Rational::ONE);
-        m.connect(by_in, bx_in, 0.0, 0.0, Rational::ONE);
-        m.connect(bx_in, bz_out, rho, 0.0, Rational::ONE);
-        m.connect(by_in, bz_out, rho, 0.0, Rational::ONE);
+        let bx_in = m.add_port(w, "bx_in", max);
+        let by_in = m.add_port(w, "by_in", max);
+        let bz_out = m.add_port(w, "bz_out", max);
+        m.connect(bx_in, by_in, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(by_in, bx_in, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(bx_in, bz_out, rho(), Rational::ZERO, Rational::ONE);
+        m.connect(by_in, bz_out, rho(), Rational::ZERO, Rational::ONE);
         assert_eq!(m.component_count(), 1);
         assert_eq!(m.port_count(), 3);
         assert_eq!(m.connection_count(), 4);
@@ -361,45 +450,64 @@ mod tests {
     }
 
     #[test]
-    fn connection_delay_at_rate() {
+    fn connection_delay_at_rate_is_exact() {
         let mut m = CtaModel::new();
         let w = m.add_component("w", None);
-        let a = m.add_port(w, "a", f64::INFINITY);
-        let b = m.add_port(w, "b", f64::INFINITY);
-        let c = m.connect(a, b, 1e-3, 2.0, Rational::ONE);
-        // At 1 kHz: 1 ms + 2/1000 s = 3 ms.
-        assert!((m.connections[c].delay_at_rate(1000.0) - 3e-3).abs() < 1e-12);
-        // Zero phi ignores the rate entirely.
-        let c2 = m.connect(a, b, 5e-3, 0.0, Rational::ONE);
-        assert_eq!(m.connections[c2].delay_at_rate(0.0), 5e-3);
+        let a = m.add_port(w, "a", None);
+        let b = m.add_port(w, "b", None);
+        let c = m.connect(
+            a,
+            b,
+            Rational::new(1, 1000),
+            Rational::from_int(2),
+            Rational::ONE,
+        );
+        // At 1 kHz: 1 ms + 2/1000 s = exactly 3 ms.
+        assert_eq!(
+            m.connections[c].delay_at_rate(Rational::from_int(1000)),
+            Rational::new(3, 1000)
+        );
+        // Zero phi ignores the rate entirely (even a zero rate is fine).
+        let c2 = m.connect(a, b, Rational::new(1, 200), Rational::ZERO, Rational::ONE);
+        assert_eq!(
+            m.connections[c2].delay_at_rate(Rational::ZERO),
+            Rational::new(1, 200)
+        );
     }
 
     #[test]
     fn buffer_connections_and_capacity() {
         let mut m = CtaModel::new();
         let w = m.add_component("w", None);
-        let a = m.add_port(w, "a", 100.0);
-        let b = m.add_port(w, "b", 100.0);
-        m.connect(a, b, 0.0, 1.0, Rational::ONE);
-        let cid = m.connect_buffer("bx", b, a, 0.0, -8.0, Rational::ONE);
+        let a = m.add_port(w, "a", Some(Rational::from_int(100)));
+        let b = m.add_port(w, "b", Some(Rational::from_int(100)));
+        m.connect(a, b, Rational::ZERO, Rational::ONE, Rational::ONE);
+        let cid = m.connect_buffer(
+            "bx",
+            b,
+            a,
+            Rational::ZERO,
+            Rational::from_int(-8),
+            Rational::ONE,
+        );
         assert_eq!(m.buffer_connections(), vec![("bx".to_string(), cid)]);
-        assert_eq!(m.connections[cid].capacity(), Some(8.0));
-        assert_eq!(m.connections[0].capacity(), None);
+        assert_eq!(m.connections[cid].capacity(), Some(Rational::from_int(8)));
+        assert_eq!(m.connections[ConnectionId::new(0)].capacity(), None);
     }
 
     #[test]
     fn merge_offsets_are_applied() {
         let mut a = CtaModel::new();
         let ca = a.add_component("a", None);
-        let p0 = a.add_port(ca, "x", 10.0);
-        let p1 = a.add_port(ca, "y", 10.0);
-        a.connect(p0, p1, 0.0, 0.0, Rational::ONE);
+        let p0 = a.add_port(ca, "x", Some(Rational::from_int(10)));
+        let p1 = a.add_port(ca, "y", Some(Rational::from_int(10)));
+        a.connect(p0, p1, Rational::ZERO, Rational::ZERO, Rational::ONE);
 
         let mut b = CtaModel::new();
         let cb = b.add_component("b", None);
-        let q0 = b.add_port(cb, "u", 20.0);
-        let q1 = b.add_port(cb, "v", 20.0);
-        b.connect(q0, q1, 1.0, 0.0, Rational::ONE);
+        let q0 = b.add_port(cb, "u", Some(Rational::from_int(20)));
+        let q1 = b.add_port(cb, "v", Some(Rational::from_int(20)));
+        b.connect(q0, q1, Rational::ONE, Rational::ZERO, Rational::ONE);
 
         let off = a.merge(&b);
         assert_eq!(off.components, 1);
@@ -407,8 +515,8 @@ mod tests {
         assert_eq!(off.connections, 1);
         assert_eq!(a.component_count(), 2);
         assert_eq!(a.port_count(), 4);
-        assert_eq!(a.connections[1].from, q0 + off.ports);
-        assert_eq!(a.ports[q0 + off.ports].component, cb + off.components);
+        assert_eq!(a.connections[ConnectionId::new(1)].from, off.port(q0));
+        assert_eq!(a.ports[off.port(q0)].component, off.component(cb));
     }
 
     #[test]
@@ -428,18 +536,25 @@ mod tests {
     fn required_rate_ports() {
         let mut m = CtaModel::new();
         let src = m.add_component("src", None);
-        let p = m.add_required_rate_port(src, "out", 1000.0);
-        assert_eq!(m.ports[p].required_rate, Some(1000.0));
-        assert_eq!(m.ports[p].max_rate, 1000.0);
+        let p = m.add_required_rate_port(src, "out", Rational::from_int(1000));
+        assert_eq!(m.ports[p].required_rate, Some(Rational::from_int(1000)));
+        assert_eq!(m.ports[p].max_rate, Some(Rational::from_int(1000)));
     }
 
     #[test]
     fn describe_mentions_components_and_buffers() {
         let mut m = CtaModel::new();
         let w = m.add_component("wSplitter", None);
-        let a = m.add_port(w, "in", 6.4e6);
-        let b = m.add_port(w, "out", 4e6);
-        m.connect_buffer("vid", a, b, 0.0, -16.0, Rational::new(10, 16));
+        let a = m.add_port(w, "in", Some(Rational::from_int(6_400_000)));
+        let b = m.add_port(w, "out", Some(Rational::from_int(4_000_000)));
+        m.connect_buffer(
+            "vid",
+            a,
+            b,
+            Rational::ZERO,
+            Rational::from_int(-16),
+            Rational::new(10, 16),
+        );
         let d = m.describe();
         assert!(d.contains("wSplitter"));
         assert!(d.contains("buffer=vid"));
@@ -451,8 +566,16 @@ mod tests {
     fn non_positive_gamma_panics() {
         let mut m = CtaModel::new();
         let w = m.add_component("w", None);
-        let a = m.add_port(w, "a", 1.0);
-        let b = m.add_port(w, "b", 1.0);
-        m.connect(a, b, 0.0, 0.0, Rational::ZERO);
+        let a = m.add_port(w, "a", Some(Rational::ONE));
+        let b = m.add_port(w, "b", Some(Rational::ONE));
+        m.connect(a, b, Rational::ZERO, Rational::ZERO, Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum rates must be positive")]
+    fn non_positive_max_rate_panics() {
+        let mut m = CtaModel::new();
+        let w = m.add_component("w", None);
+        m.add_port(w, "a", Some(Rational::ZERO));
     }
 }

@@ -14,10 +14,13 @@
 //! Hiding is implemented by replacing paths through hidden ports with direct
 //! connections whose delay is the longest internal path delay and whose `γ`
 //! is the product of the path's ratios; the maximum rates of hidden ports are
-//! pushed onto the interface ports they constrain.
+//! pushed onto the interface ports they constrain. All path delays are exact
+//! rationals, so the summarised interface is bit-identical to the delays it
+//! replaces.
 
-use crate::component::{ComponentId, Connection, CtaModel, PortId};
+use crate::component::{ComponentId, Connection, CtaModel};
 use crate::consistency::ConsistencyError;
+use oil_dataflow::index::{IndexVec, PortId};
 use oil_dataflow::Rational;
 use std::collections::BTreeSet;
 
@@ -29,7 +32,10 @@ use std::collections::BTreeSet;
 ///
 /// The interface ports of the component keep their ids' relative order but
 /// ids are re-assigned; use port names to locate them afterwards.
-pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaModel, ConsistencyError> {
+pub fn hide_component(
+    model: &CtaModel,
+    component: ComponentId,
+) -> Result<CtaModel, ConsistencyError> {
     // The subtree of components being considered "inside".
     let mut inside_components = BTreeSet::new();
     let mut stack = vec![component];
@@ -44,7 +50,7 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
     // are interface ports and survive.
     let port_is_inside = |p: PortId| inside_components.contains(&model.ports[p].component);
     let mut hide: BTreeSet<PortId> = BTreeSet::new();
-    for (pid, _port) in model.ports.iter().enumerate() {
+    for pid in model.ports.indices() {
         if !port_is_inside(pid) {
             continue;
         }
@@ -61,17 +67,19 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
     // Bellman-Ford-style relaxation per kept source port restricted to
     // connections whose interior endpoints are hidden.
     let n = model.ports.len();
-    let kept: Vec<PortId> = (0..n).filter(|p| !hide.contains(p)).collect();
+    let kept: Vec<PortId> = model
+        .ports
+        .indices()
+        .filter(|p| !hide.contains(p))
+        .collect();
 
     // Evaluate rate-dependent delays at each port's maximum rate; this is the
     // conservative (largest-delay) interpretation for a rate-only interface.
-    // Infinite max rates contribute no rate-dependent delay.
-    let delay_of = |c: &Connection| -> f64 {
-        let r = model.ports[c.from].max_rate;
-        if r.is_finite() && r > 0.0 {
-            c.epsilon + c.phi / r
-        } else {
-            c.epsilon
+    // Unbounded max rates contribute no rate-dependent delay.
+    let delay_of = |c: &Connection| -> Rational {
+        match model.ports[c.from].max_rate {
+            Some(r) if r.is_positive() => c.epsilon + c.phi / r,
+            _ => c.epsilon,
         }
     };
 
@@ -80,18 +88,19 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
     for comp in &model.components {
         result.add_component(comp.name.clone(), comp.parent);
     }
-    let mut new_id = vec![usize::MAX; n];
+    let mut new_id: IndexVec<PortId, Option<PortId>> = IndexVec::from_elem(None, n);
     for &p in &kept {
         let port = &model.ports[p];
         let np = result.add_port(port.component, port.name.clone(), port.max_rate);
         result.ports[np].required_rate = port.required_rate;
-        new_id[p] = np;
+        new_id[p] = Some(np);
     }
+    let renamed = |p: PortId| new_id[p].expect("kept ports have new ids");
 
     // Copy connections between kept ports unchanged.
     for c in &model.connections {
         if !hide.contains(&c.from) && !hide.contains(&c.to) {
-            let id = result.connect(new_id[c.from], new_id[c.to], c.epsilon, c.phi, c.gamma);
+            let id = result.connect(renamed(c.from), renamed(c.to), c.epsilon, c.phi, c.gamma);
             result.connections[id].buffer = c.buffer.clone();
             result.connections[id].couples_rates = c.couples_rates;
         }
@@ -101,10 +110,10 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
     // delays (and gamma products) to every other kept port through hidden
     // ports only.
     for &start in &kept {
-        // dist over hidden ports (and final kept targets).
-        let mut dist = vec![f64::NEG_INFINITY; n];
-        let mut gamma = vec![Rational::ONE; n];
-        dist[start] = 0.0;
+        // dist over hidden ports (and final kept targets); `None` is -inf.
+        let mut dist: IndexVec<PortId, Option<Rational>> = IndexVec::from_elem(None, n);
+        let mut gamma: IndexVec<PortId, Rational> = IndexVec::from_elem(Rational::ONE, n);
+        dist[start] = Some(Rational::ZERO);
         for _ in 0..hide.len() + 1 {
             let mut changed = false;
             for c in &model.connections {
@@ -117,12 +126,10 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
                 if c.from != start && !hide.contains(&c.from) {
                     continue;
                 }
-                if dist[c.from] == f64::NEG_INFINITY {
-                    continue;
-                }
-                let nd = dist[c.from] + delay_of(c);
-                if nd > dist[c.to] + 1e-15 {
-                    dist[c.to] = nd;
+                let Some(base) = dist[c.from] else { continue };
+                let nd = base + delay_of(c);
+                if dist[c.to].is_none_or(|d| nd > d) {
+                    dist[c.to] = Some(nd);
                     gamma[c.to] = gamma[c.from] * c.gamma;
                     changed = true;
                 }
@@ -134,30 +141,44 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
         // A hidden port still improving after |hide| rounds means a positive
         // cycle inside the hidden region.
         for c in &model.connections {
-            if hide.contains(&c.from) && hide.contains(&c.to) && dist[c.from] > f64::NEG_INFINITY {
-                let nd = dist[c.from] + delay_of(c);
-                if nd > dist[c.to] + 1e-9 {
+            if hide.contains(&c.from) && hide.contains(&c.to) {
+                let Some(base) = dist[c.from] else { continue };
+                let nd = base + delay_of(c);
+                if dist[c.to].is_none_or(|d| nd > d) {
+                    let excess = match dist[c.to] {
+                        Some(d) => nd - d,
+                        None => nd,
+                    };
                     return Err(ConsistencyError::PositiveCycle {
                         ports: vec![c.from, c.to],
-                        excess: nd - dist[c.to],
+                        excess,
                         connections: Vec::new(),
                     });
                 }
             }
         }
         for &end in &kept {
-            if end == start || dist[end] == f64::NEG_INFINITY {
+            if end == start {
                 continue;
             }
+            let Some(path_delay) = dist[end] else {
+                continue;
+            };
             // Only add the summarised connection if the path actually passed
             // through hidden ports (direct kept-to-kept edges were copied
             // already).
             let direct = model
                 .connections
                 .iter()
-                .any(|c| c.from == start && c.to == end && delay_of(c) >= dist[end] - 1e-15);
+                .any(|c| c.from == start && c.to == end && delay_of(c) >= path_delay);
             if !direct {
-                result.connect(new_id[start], new_id[end], dist[end], 0.0, gamma[end]);
+                result.connect(
+                    renamed(start),
+                    renamed(end),
+                    path_delay,
+                    Rational::ZERO,
+                    gamma[end],
+                );
             }
         }
     }
@@ -168,26 +189,48 @@ pub fn hide_component(model: &CtaModel, component: ComponentId) -> Result<CtaMod
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oil_dataflow::Rational;
+
+    fn int(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn ms(n: i128) -> Rational {
+        Rational::new(n, 1000)
+    }
 
     /// A module component with two internal processing ports between its
     /// interface ports.
     fn module_with_internals() -> (CtaModel, PortId, PortId) {
+        let max = Some(int(1000));
         let mut m = CtaModel::new();
         let outer = m.add_component("lib", None);
         let inner = m.add_component("loop0", Some(outer));
-        let input = m.add_port(outer, "in", 1000.0);
-        let a = m.add_port(inner, "a", 1000.0);
-        let b = m.add_port(inner, "b", 1000.0);
-        let output = m.add_port(outer, "out", 1000.0);
+        let input = m.add_port(outer, "in", max);
+        let a = m.add_port(inner, "a", max);
+        let b = m.add_port(inner, "b", max);
+        let output = m.add_port(outer, "out", max);
         // External world connects to `in` and `out`.
         let env = m.add_component("env", None);
-        let env_out = m.add_port(env, "src", 1000.0);
-        let env_in = m.add_port(env, "snk", 1000.0);
-        m.connect(env_out, input, 0.0, 0.0, Rational::ONE);
-        m.connect(input, a, 1e-3, 0.0, Rational::ONE);
-        m.connect(a, b, 2e-3, 0.0, Rational::ONE);
-        m.connect(b, output, 3e-3, 0.0, Rational::new(1, 2));
-        m.connect(output, env_in, 0.0, 0.0, Rational::ONE);
+        let env_out = m.add_port(env, "src", max);
+        let env_in = m.add_port(env, "snk", max);
+        m.connect(
+            env_out,
+            input,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::ONE,
+        );
+        m.connect(input, a, ms(1), Rational::ZERO, Rational::ONE);
+        m.connect(a, b, ms(2), Rational::ZERO, Rational::ONE);
+        m.connect(b, output, ms(3), Rational::ZERO, Rational::new(1, 2));
+        m.connect(
+            output,
+            env_in,
+            Rational::ZERO,
+            Rational::ZERO,
+            Rational::ONE,
+        );
         (m, input, output)
     }
 
@@ -198,8 +241,8 @@ mod tests {
         let hidden = hide_component(&m, lib).unwrap();
         // The internal ports a and b are gone.
         assert_eq!(hidden.port_count(), m.port_count() - 2);
-        // There is a direct in -> out connection with the summed delay 6 ms
-        // and gamma 1/2.
+        // There is a direct in -> out connection with exactly the summed
+        // delay of 6 ms and gamma 1/2.
         let lib_new = hidden.component_by_name("lib").unwrap();
         let in_new = hidden.port_by_name(lib_new, "in").unwrap();
         let out_new = hidden.port_by_name(lib_new, "out").unwrap();
@@ -208,7 +251,7 @@ mod tests {
             .iter()
             .find(|c| c.from == in_new && c.to == out_new)
             .expect("summarised connection exists");
-        assert!((c.epsilon - 6e-3).abs() < 1e-12, "{}", c.epsilon);
+        assert_eq!(c.epsilon, ms(6));
         assert_eq!(c.gamma, Rational::new(1, 2));
     }
 
@@ -227,13 +270,15 @@ mod tests {
     }
 
     #[test]
-    fn hiding_composed_model_matches_unhidden_latency() {
+    fn hiding_composed_model_matches_unhidden_latency_exactly() {
         let (m, _, _) = module_with_internals();
         let full = m.check_consistency().unwrap();
         let env = m.component_by_name("env").unwrap();
         let s = m.port_by_name(env, "src").unwrap();
         let k = m.port_by_name(env, "snk").unwrap();
-        let full_latency = crate::latency::check_latency_path(&m, &full, s, k).unwrap().latency;
+        let full_latency = crate::latency::check_latency_path(&m, &full, s, k)
+            .unwrap()
+            .latency;
 
         let lib = m.component_by_name("lib").unwrap();
         let hidden = hide_component(&m, lib).unwrap();
@@ -241,24 +286,27 @@ mod tests {
         let env_h = hidden.component_by_name("env").unwrap();
         let sh = hidden.port_by_name(env_h, "src").unwrap();
         let kh = hidden.port_by_name(env_h, "snk").unwrap();
-        let hidden_latency =
-            crate::latency::check_latency_path(&hidden, &res, sh, kh).unwrap().latency;
-        assert!((full_latency - hidden_latency).abs() < 1e-12);
+        let hidden_latency = crate::latency::check_latency_path(&hidden, &res, sh, kh)
+            .unwrap()
+            .latency;
+        // Exact equality: hiding preserves path delays bit for bit.
+        assert_eq!(full_latency, hidden_latency);
     }
 
     #[test]
     fn hiding_detects_internal_positive_cycle() {
+        let max = Some(int(1000));
         let mut m = CtaModel::new();
         let outer = m.add_component("lib", None);
-        let a = m.add_port(outer, "a", 1000.0);
-        let b = m.add_port(outer, "b", 1000.0);
-        let iface = m.add_port(outer, "io", 1000.0);
+        let a = m.add_port(outer, "a", max);
+        let b = m.add_port(outer, "b", max);
+        let iface = m.add_port(outer, "io", max);
         let env = m.add_component("env", None);
-        let e = m.add_port(env, "e", 1000.0);
-        m.connect(e, iface, 0.0, 0.0, Rational::ONE);
-        m.connect(iface, a, 0.0, 0.0, Rational::ONE);
-        m.connect(a, b, 1e-3, 0.0, Rational::ONE);
-        m.connect(b, a, 1e-3, 0.0, Rational::ONE);
+        let e = m.add_port(env, "e", max);
+        m.connect(e, iface, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(iface, a, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(a, b, ms(1), Rational::ZERO, Rational::ONE);
+        m.connect(b, a, ms(1), Rational::ZERO, Rational::ONE);
         let lib = m.component_by_name("lib").unwrap();
         assert!(hide_component(&m, lib).is_err());
     }
@@ -274,13 +322,13 @@ mod tests {
 
         let mut app = CtaModel::new();
         let src = app.add_component("src", None);
-        let s = app.add_required_rate_port(src, "out", 500.0);
+        let s = app.add_required_rate_port(src, "out", int(500));
         let off = app.merge(&black_box);
         let lib_new = app.component_by_name("lib").unwrap();
         let lib_in = app.port_by_name(lib_new, "in").unwrap();
-        app.connect(s, lib_in, 0.0, 0.0, Rational::ONE);
+        app.connect(s, lib_in, Rational::ZERO, Rational::ZERO, Rational::ONE);
         let _ = off;
         let r = app.check_consistency().unwrap();
-        assert!((r.rates[lib_in] - 500.0).abs() < 1e-9);
+        assert_eq!(r.rates[lib_in], int(500));
     }
 }

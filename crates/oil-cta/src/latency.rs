@@ -6,10 +6,14 @@
 //! single connection between the two corresponding components whose delay is
 //! (the negation of) the constraint amount, so the ordinary consistency check
 //! verifies it (Section V-C, Fig. 10). This module adds the constraint
-//! connections and reports the actually achievable end-to-end latencies.
+//! connections and reports the actually achievable end-to-end latencies —
+//! exactly, as rationals; [`LatencyReport::seconds`] converts at the API
+//! boundary.
 
-use crate::component::{CtaModel, PortId};
+use crate::component::CtaModel;
 use crate::consistency::ConsistencyResult;
+use oil_dataflow::index::{IndexVec, PortId};
+use oil_dataflow::Rational;
 use serde::{Deserialize, Serialize};
 
 /// A report about the latency between two ports of a consistent model.
@@ -21,8 +25,15 @@ pub struct LatencyReport {
     pub to: PortId,
     /// Minimum feasible start-time difference `θ(to) − θ(from)` in seconds as
     /// implied by the model's delay constraints (the end-to-end latency along
-    /// the critical path).
-    pub latency: f64,
+    /// the critical path). Exact.
+    pub latency: Rational,
+}
+
+impl LatencyReport {
+    /// The latency in seconds as `f64` — conversion at the API boundary.
+    pub fn seconds(&self) -> f64 {
+        self.latency.to_f64()
+    }
 }
 
 /// Add a `start subject .. before reference` constraint: the `subject`
@@ -34,7 +45,7 @@ pub fn add_before_constraint(
     model: &mut CtaModel,
     subject: PortId,
     reference: PortId,
-    bound_seconds: f64,
+    bound_seconds: Rational,
 ) {
     model.connect_constraint(subject, reference, -bound_seconds);
 }
@@ -46,14 +57,14 @@ pub fn add_after_constraint(
     model: &mut CtaModel,
     subject: PortId,
     reference: PortId,
-    bound_seconds: f64,
+    bound_seconds: Rational,
 ) {
     model.connect_constraint(reference, subject, bound_seconds);
 }
 
 /// Compute the critical-path latency from `from` to `to` implied by a
 /// consistent model: the longest total delay over all connection paths,
-/// evaluated at the rates of `result`. Returns `None` if `to` is not
+/// evaluated exactly at the rates of `result`. Returns `None` if `to` is not
 /// reachable from `from`.
 pub fn check_latency_path(
     model: &CtaModel,
@@ -62,19 +73,19 @@ pub fn check_latency_path(
     to: PortId,
 ) -> Option<LatencyReport> {
     let n = model.ports.len();
-    let mut dist = vec![f64::NEG_INFINITY; n];
-    dist[from] = 0.0;
+    // `None` plays the role of -infinity: unreachable so far.
+    let mut dist: IndexVec<PortId, Option<Rational>> = IndexVec::from_elem(None, n);
+    dist[from] = Some(Rational::ZERO);
     // Longest path by Bellman-Ford; the model is consistent, so there are no
     // positive cycles and the longest path is well defined.
     for _ in 0..n {
         let mut changed = false;
         for c in &model.connections {
-            if dist[c.from] == f64::NEG_INFINITY {
-                continue;
-            }
-            let w = c.delay_at_rate(result.rates[c.from].max(f64::MIN_POSITIVE));
-            if dist[c.from] + w > dist[c.to] + 1e-15 {
-                dist[c.to] = dist[c.from] + w;
+            let Some(base) = dist[c.from] else { continue };
+            let w = c.delay_at_rate(result.rates[c.from]);
+            let candidate = base + w;
+            if dist[c.to].is_none_or(|d| candidate > d) {
+                dist[c.to] = Some(candidate);
                 changed = true;
             }
         }
@@ -82,92 +93,102 @@ pub fn check_latency_path(
             break;
         }
     }
-    if dist[to] == f64::NEG_INFINITY {
-        None
-    } else {
-        Some(LatencyReport { from, to, latency: dist[to] })
-    }
+    dist[to].map(|latency| LatencyReport { from, to, latency })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oil_dataflow::Rational;
+
+    fn int(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn ms(n: i128) -> Rational {
+        Rational::new(n, 1000)
+    }
 
     /// src --(d1)--> mid --(d2)--> snk, all at 1 kHz.
-    fn pipeline(d1: f64, d2: f64) -> (CtaModel, PortId, PortId) {
+    fn pipeline(d1: Rational, d2: Rational) -> (CtaModel, PortId, PortId) {
         let mut m = CtaModel::new();
         let src = m.add_component("src", None);
         let mid = m.add_component("mid", None);
         let snk = m.add_component("snk", None);
-        let s = m.add_required_rate_port(src, "out", 1000.0);
-        let a = m.add_port(mid, "in", f64::INFINITY);
-        let b = m.add_port(mid, "out", f64::INFINITY);
-        let k = m.add_required_rate_port(snk, "in", 1000.0);
-        m.connect(s, a, d1, 0.0, Rational::ONE);
-        m.connect(a, b, 0.0, 0.0, Rational::ONE);
-        m.connect(b, k, d2, 0.0, Rational::ONE);
+        let s = m.add_required_rate_port(src, "out", int(1000));
+        let a = m.add_port(mid, "in", None);
+        let b = m.add_port(mid, "out", None);
+        let k = m.add_required_rate_port(snk, "in", int(1000));
+        m.connect(s, a, d1, Rational::ZERO, Rational::ONE);
+        m.connect(a, b, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(b, k, d2, Rational::ZERO, Rational::ONE);
         (m, s, k)
     }
 
     #[test]
-    fn latency_path_is_sum_of_delays() {
-        let (m, s, k) = pipeline(2e-3, 3e-3);
+    fn latency_path_is_exactly_the_sum_of_delays() {
+        let (m, s, k) = pipeline(ms(2), ms(3));
         let r = m.check_consistency().unwrap();
         let report = check_latency_path(&m, &r, s, k).unwrap();
-        assert!((report.latency - 5e-3).abs() < 1e-12);
+        assert_eq!(report.latency, ms(5));
+        assert_eq!(report.seconds(), 0.005);
     }
 
     #[test]
     fn latency_takes_longest_path() {
-        let (mut m, s, k) = pipeline(2e-3, 3e-3);
+        let (mut m, s, k) = pipeline(ms(2), ms(3));
         // Add a faster parallel path; the report must still use the slow one.
-        m.connect(s, k, 1e-3, 0.0, Rational::ONE);
+        m.connect(s, k, ms(1), Rational::ZERO, Rational::ONE);
         let r = m.check_consistency().unwrap();
         let report = check_latency_path(&m, &r, s, k).unwrap();
-        assert!((report.latency - 5e-3).abs() < 1e-12);
+        assert_eq!(report.latency, ms(5));
     }
 
     #[test]
     fn before_constraint_satisfied_and_violated() {
-        let (mut ok, s, k) = pipeline(2e-3, 1e-3);
-        add_before_constraint(&mut ok, k, s, 5e-3);
+        let (mut ok, s, k) = pipeline(ms(2), ms(1));
+        add_before_constraint(&mut ok, k, s, ms(5));
         assert!(ok.check_consistency().is_ok());
 
-        let (mut bad, s, k) = pipeline(4e-3, 3e-3);
-        add_before_constraint(&mut bad, k, s, 5e-3);
+        let (mut bad, s, k) = pipeline(ms(4), ms(3));
+        add_before_constraint(&mut bad, k, s, ms(5));
         assert!(bad.check_consistency().is_err());
+
+        // A bound exactly equal to the path delay is feasible: exact
+        // arithmetic accepts the boundary case without any tolerance.
+        let (mut tight, s, k) = pipeline(ms(2), ms(3));
+        add_before_constraint(&mut tight, k, s, ms(5));
+        assert!(tight.check_consistency().is_ok());
     }
 
     #[test]
     fn after_constraint_shifts_offsets() {
-        let (mut m, s, k) = pipeline(1e-3, 1e-3);
-        add_after_constraint(&mut m, k, s, 10e-3);
+        let (mut m, s, k) = pipeline(ms(1), ms(1));
+        add_after_constraint(&mut m, k, s, ms(10));
         let r = m.check_consistency().unwrap();
-        assert!(r.offsets[k] - r.offsets[s] >= 10e-3 - 1e-12);
+        assert!(r.offsets[k] - r.offsets[s] >= ms(10));
     }
 
     #[test]
     fn zero_skew_pair_forces_equal_start() {
         // The PAL decoder's `start screen 0 ms after speakers` plus
         // `start screen 0 ms before speakers` force both sinks to start at
-        // the same time (a cycle with zero total delay).
+        // exactly the same time (a cycle with zero total delay).
         let mut m = CtaModel::new();
         let a = m.add_component("screen", None);
         let b = m.add_component("speakers", None);
-        let pa = m.add_required_rate_port(a, "in", 4e6);
-        let pb = m.add_required_rate_port(b, "in", 32e3);
-        add_after_constraint(&mut m, pa, pb, 0.0);
-        add_before_constraint(&mut m, pa, pb, 0.0);
+        let pa = m.add_required_rate_port(a, "in", int(4_000_000));
+        let pb = m.add_required_rate_port(b, "in", int(32_000));
+        add_after_constraint(&mut m, pa, pb, Rational::ZERO);
+        add_before_constraint(&mut m, pa, pb, Rational::ZERO);
         let r = m.check_consistency().unwrap();
-        assert!((r.offsets[pa] - r.offsets[pb]).abs() < 1e-12);
+        assert_eq!(r.offsets[pa], r.offsets[pb]);
     }
 
     #[test]
     fn unreachable_ports_return_none() {
-        let (m, s, _) = pipeline(1e-3, 1e-3);
+        let (m, s, k) = pipeline(ms(1), ms(1));
         let r = m.check_consistency().unwrap();
         // Port s is not reachable from the sink (no backward connections).
-        assert!(check_latency_path(&m, &r, 3, s).is_none());
+        assert!(check_latency_path(&m, &r, k, s).is_none());
     }
 }

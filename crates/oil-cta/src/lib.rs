@@ -19,6 +19,12 @@
 //! * [`compose`] — composition of independently analysed components and
 //!   *hiding* of internal ports, enabling black-box library components.
 //!
+//! Every algorithm works in **exact rational arithmetic**
+//! ([`Rational`]) over **typed indices** ([`PortId`], [`ComponentId`],
+//! [`ConnectionId`], [`GroupId`]): results are bit-exact, deterministic and
+//! free of tolerance constants; `f64` only appears in the `*_hz` /
+//! `*_seconds` accessors at the API boundary.
+//!
 //! # Example: a producer/consumer pair with a bounded buffer
 //!
 //! ```
@@ -27,14 +33,17 @@
 //! let mut m = CtaModel::new();
 //! let prod = m.add_component("producer", None);
 //! let cons = m.add_component("consumer", None);
-//! let p_out = m.add_port(prod, "out", 1000.0);   // at most 1 kHz
-//! let c_in = m.add_port(cons, "in", 1500.0);     // at most 1.5 kHz
+//! // at most 1 kHz / 1.5 kHz:
+//! let p_out = m.add_port(prod, "out", Some(Rational::from_int(1000)));
+//! let c_in = m.add_port(cons, "in", Some(Rational::from_int(1500)));
 //! // Data connection: one-to-one rate, one transfer of latency.
-//! m.connect(p_out, c_in, 0.0, 1.0, Rational::ONE);
+//! m.connect(p_out, c_in, Rational::ZERO, Rational::ONE, Rational::ONE);
 //! // Space connection modelling a buffer of capacity 4 (delay -4 / r).
-//! m.connect_buffer("b", c_in, p_out, 0.0, -4.0, Rational::ONE);
+//! m.connect_buffer("b", c_in, p_out, Rational::ZERO, Rational::from_int(-4), Rational::ONE);
 //! let result = m.check_consistency().expect("consistent");
-//! assert!(result.rates[p_out] <= 1000.0 + 1e-9);
+//! // The pair settles at exactly the slower port's maximum rate.
+//! assert_eq!(result.rates[p_out], Rational::from_int(1000));
+//! assert_eq!(result.rate_hz(p_out), 1000.0); // lossless f64 boundary
 //! ```
 
 pub mod buffersizing;
@@ -45,9 +54,10 @@ pub mod latency;
 pub mod periodic;
 
 pub use buffersizing::{size_buffers, BufferSizingError, BufferSizingResult};
-pub use component::{Component, ComponentId, Connection, ConnectionId, CtaModel, Port, PortId};
+pub use component::{Component, ComponentId, Connection, ConnectionId, CtaModel, Port};
 pub use compose::hide_component;
-pub use consistency::{ConsistencyError, ConsistencyResult};
+pub use consistency::{check_delays_at_rates, ConsistencyError, ConsistencyResult};
 pub use latency::{check_latency_path, LatencyReport};
+pub use oil_dataflow::index::{GroupId, PortId};
 pub use oil_dataflow::Rational;
 pub use periodic::PeriodicSequence;

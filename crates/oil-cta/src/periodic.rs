@@ -5,72 +5,92 @@
 //! (the time of its first event) and a **period** (the distance between
 //! events); the cumulative number of tokens transferred by a port is bounded
 //! by such a sequence. This module provides the small amount of arithmetic on
-//! periodic sequences that the analyses and the simulator validation need.
+//! periodic sequences that the analyses and the simulator validation need —
+//! in exact rational time, so event counts and bound checks never depend on a
+//! floating-point tolerance.
 
+use oil_dataflow::Rational;
 use serde::{Deserialize, Serialize};
 
 /// A strictly periodic event sequence: events at `offset + k / rate` for
 /// `k = 0, 1, 2, …`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeriodicSequence {
     /// Time of the first event, in seconds.
-    pub offset: f64,
+    pub offset: Rational,
     /// Rate in events per second.
-    pub rate: f64,
+    pub rate: Rational,
 }
 
 impl PeriodicSequence {
     /// Create a sequence with the given offset and rate.
-    pub fn new(offset: f64, rate: f64) -> Self {
-        assert!(rate > 0.0, "periodic sequences need a positive rate");
+    ///
+    /// # Panics
+    /// Panics unless `rate` is positive.
+    pub fn new(offset: Rational, rate: Rational) -> Self {
+        assert!(
+            rate.is_positive(),
+            "periodic sequences need a positive rate"
+        );
         PeriodicSequence { offset, rate }
     }
 
     /// The period `1 / rate` in seconds.
-    pub fn period(&self) -> f64 {
-        1.0 / self.rate
+    pub fn period(&self) -> Rational {
+        self.rate.recip()
     }
 
-    /// Time of event number `k` (0-based).
-    pub fn event_time(&self, k: u64) -> f64 {
-        self.offset + k as f64 / self.rate
+    /// Time of event number `k` (0-based). Exact.
+    pub fn event_time(&self, k: u64) -> Rational {
+        self.offset + Rational::from_int(k as i128) / self.rate
     }
 
     /// Number of events that occurred strictly before time `t`.
-    pub fn events_before(&self, t: f64) -> u64 {
+    pub fn events_before(&self, t: Rational) -> u64 {
         if t <= self.offset {
             0
         } else {
-            (((t - self.offset) * self.rate).ceil() as i64).max(0) as u64
+            ((t - self.offset) * self.rate).ceil().max(0) as u64
         }
     }
 
     /// The sequence delayed by `delta` seconds.
-    pub fn delayed(&self, delta: f64) -> Self {
-        PeriodicSequence { offset: self.offset + delta, rate: self.rate }
+    pub fn delayed(&self, delta: Rational) -> Self {
+        PeriodicSequence {
+            offset: self.offset + delta,
+            rate: self.rate,
+        }
     }
 
     /// The sequence with its rate scaled by `gamma` (a CTA connection's
     /// transfer-rate ratio).
-    pub fn scaled(&self, gamma: f64) -> Self {
-        assert!(gamma > 0.0, "rate scale must be positive");
-        PeriodicSequence { offset: self.offset, rate: self.rate * gamma }
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is positive.
+    pub fn scaled(&self, gamma: Rational) -> Self {
+        assert!(gamma.is_positive(), "rate scale must be positive");
+        PeriodicSequence {
+            offset: self.offset,
+            rate: self.rate * gamma,
+        }
     }
 
     /// True if this sequence conservatively bounds `other`: it never promises
-    /// an event earlier than `other` delivers one, i.e. every event `k` of
-    /// `self` is no earlier than event `k` of `other` requires... concretely
-    /// `self` is a valid *lower* bound on availability when
-    /// `self.rate <= other.rate + tol` and `self.offset >= other.offset - tol`.
-    pub fn bounds(&self, other: &PeriodicSequence, tol: f64) -> bool {
-        self.rate <= other.rate + tol && self.offset + tol >= other.offset
+    /// an event earlier than `other` delivers one, i.e. `self` is a valid
+    /// *lower* bound on availability when `self.rate <= other.rate` and
+    /// `self.offset >= other.offset`. Exact — no tolerance parameter.
+    pub fn bounds(&self, other: &PeriodicSequence) -> bool {
+        self.rate <= other.rate && self.offset >= other.offset
     }
 
     /// Check that a measured trace of event timestamps (seconds, ascending)
     /// is conservatively covered by this sequence: event `k` must occur no
     /// later than `offset + k/rate + jitter`.
-    pub fn covers_trace(&self, trace: &[f64], jitter: f64) -> bool {
-        trace.iter().enumerate().all(|(k, &t)| t <= self.event_time(k as u64) + jitter)
+    pub fn covers_trace(&self, trace: &[Rational], jitter: Rational) -> bool {
+        trace
+            .iter()
+            .enumerate()
+            .all(|(k, &t)| t <= self.event_time(k as u64) + jitter)
     }
 }
 
@@ -78,54 +98,63 @@ impl PeriodicSequence {
 mod tests {
     use super::*;
 
+    fn ms(n: i128) -> Rational {
+        Rational::new(n, 1000)
+    }
+
     #[test]
     fn event_times_and_period() {
-        let s = PeriodicSequence::new(0.5e-3, 1000.0);
-        assert!((s.period() - 1e-3).abs() < 1e-15);
-        assert!((s.event_time(0) - 0.5e-3).abs() < 1e-15);
-        assert!((s.event_time(3) - 3.5e-3).abs() < 1e-15);
+        let s = PeriodicSequence::new(Rational::new(1, 2000), Rational::from_int(1000));
+        assert_eq!(s.period(), ms(1));
+        assert_eq!(s.event_time(0), Rational::new(1, 2000));
+        assert_eq!(s.event_time(3), Rational::new(7, 2000));
     }
 
     #[test]
     fn events_before_counts() {
-        let s = PeriodicSequence::new(0.0, 1000.0);
-        assert_eq!(s.events_before(0.0), 0);
-        assert_eq!(s.events_before(0.5e-3), 1);
-        assert_eq!(s.events_before(1.0e-3), 1);
-        assert_eq!(s.events_before(2.5e-3), 3);
-        assert_eq!(s.events_before(-1.0), 0);
+        let s = PeriodicSequence::new(Rational::ZERO, Rational::from_int(1000));
+        assert_eq!(s.events_before(Rational::ZERO), 0);
+        assert_eq!(s.events_before(Rational::new(1, 2000)), 1);
+        assert_eq!(s.events_before(ms(1)), 1);
+        assert_eq!(s.events_before(Rational::new(5, 2000)), 3);
+        assert_eq!(s.events_before(Rational::from_int(-1)), 0);
     }
 
     #[test]
     fn delayed_and_scaled() {
-        let s = PeriodicSequence::new(1e-3, 4e6);
-        let d = s.delayed(2e-3);
-        assert!((d.offset - 3e-3).abs() < 1e-15);
+        let s = PeriodicSequence::new(ms(1), Rational::from_int(4_000_000));
+        let d = s.delayed(ms(2));
+        assert_eq!(d.offset, ms(3));
         assert_eq!(d.rate, s.rate);
-        let sc = s.scaled(10.0 / 16.0);
-        assert!((sc.rate - 2.5e6).abs() < 1e-9);
+        let sc = s.scaled(Rational::new(10, 16));
+        assert_eq!(sc.rate, Rational::from_int(2_500_000));
     }
 
     #[test]
     fn bounds_relation() {
-        let promise = PeriodicSequence::new(1e-3, 900.0);
-        let actual = PeriodicSequence::new(0.5e-3, 1000.0);
+        let promise = PeriodicSequence::new(ms(1), Rational::from_int(900));
+        let actual = PeriodicSequence::new(Rational::new(1, 2000), Rational::from_int(1000));
         // The promise is conservative w.r.t. the actual behaviour.
-        assert!(promise.bounds(&actual, 1e-12));
-        assert!(!actual.bounds(&promise, 1e-12));
+        assert!(promise.bounds(&actual));
+        assert!(!actual.bounds(&promise));
+        // Exact boundary: a sequence bounds itself.
+        assert!(promise.bounds(&promise));
     }
 
     #[test]
     fn covers_trace_with_jitter() {
-        let s = PeriodicSequence::new(0.0, 1000.0);
-        let trace: Vec<f64> = (0..10).map(|k| k as f64 * 1e-3 + 0.2e-3).collect();
-        assert!(!s.covers_trace(&trace, 0.0));
-        assert!(s.covers_trace(&trace, 0.25e-3));
+        let s = PeriodicSequence::new(Rational::ZERO, Rational::from_int(1000));
+        let trace: Vec<Rational> = (0..10).map(|k| ms(k) + Rational::new(1, 5000)).collect();
+        assert!(!s.covers_trace(&trace, Rational::ZERO));
+        assert!(s.covers_trace(&trace, Rational::new(1, 4000)));
+        // Events exactly on the bound are covered: exact comparison.
+        let exact: Vec<Rational> = (0..10).map(ms).collect();
+        assert!(s.covers_trace(&exact, Rational::ZERO));
     }
 
     #[test]
     #[should_panic(expected = "positive rate")]
     fn zero_rate_panics() {
-        let _ = PeriodicSequence::new(0.0, 0.0);
+        let _ = PeriodicSequence::new(Rational::ZERO, Rational::ZERO);
     }
 }

@@ -40,11 +40,23 @@ pub enum BufferError {
 impl std::fmt::Display for BufferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BufferError::InsufficientSpace { requested, available } => {
-                write!(f, "insufficient space: requested {requested}, available {available}")
+            BufferError::InsufficientSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient space: requested {requested}, available {available}"
+                )
             }
-            BufferError::InsufficientData { requested, available } => {
-                write!(f, "insufficient data: requested {requested}, available {available}")
+            BufferError::InsufficientData {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient data: requested {requested}, available {available}"
+                )
             }
             BufferError::UnknownConsumer(id) => write!(f, "unknown consumer {id}"),
         }
@@ -103,7 +115,10 @@ impl<T: Clone> CircularBuffer<T> {
 
     /// Number of values consumer `consumer` can read right now.
     pub fn available(&self, consumer: usize) -> Result<usize, BufferError> {
-        let r = self.read.get(consumer).ok_or(BufferError::UnknownConsumer(consumer))?;
+        let r = self
+            .read
+            .get(consumer)
+            .ok_or(BufferError::UnknownConsumer(consumer))?;
         Ok((self.written - r) as usize)
     }
 
@@ -130,7 +145,10 @@ impl<T: Clone> CircularBuffer<T> {
     pub fn read(&mut self, consumer: usize, count: usize) -> Result<Vec<T>, BufferError> {
         let available = self.available(consumer)?;
         if count > available {
-            return Err(BufferError::InsufficientData { requested: count, available });
+            return Err(BufferError::InsufficientData {
+                requested: count,
+                available,
+            });
         }
         let mut out = Vec::with_capacity(count);
         let start = self.read[consumer];
@@ -148,7 +166,10 @@ impl<T: Clone> CircularBuffer<T> {
     pub fn peek(&self, consumer: usize, count: usize) -> Result<Vec<T>, BufferError> {
         let available = self.available(consumer)?;
         if count > available {
-            return Err(BufferError::InsufficientData { requested: count, available });
+            return Err(BufferError::InsufficientData {
+                requested: count,
+                available,
+            });
         }
         let start = self.read[consumer];
         Ok((0..count as u64)
@@ -192,7 +213,13 @@ mod tests {
         let mut b: CircularBuffer<u8> = CircularBuffer::new(3, 1);
         b.write(&[1, 2]).unwrap();
         let err = b.write(&[3, 4]).unwrap_err();
-        assert_eq!(err, BufferError::InsufficientSpace { requested: 2, available: 1 });
+        assert_eq!(
+            err,
+            BufferError::InsufficientSpace {
+                requested: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]
@@ -200,7 +227,13 @@ mod tests {
         let mut b: CircularBuffer<u8> = CircularBuffer::new(3, 1);
         b.write(&[7]).unwrap();
         let err = b.read(0, 2).unwrap_err();
-        assert_eq!(err, BufferError::InsufficientData { requested: 2, available: 1 });
+        assert_eq!(
+            err,
+            BufferError::InsufficientData {
+                requested: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]

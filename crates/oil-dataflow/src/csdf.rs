@@ -9,8 +9,9 @@
 //! vectors, consistency and conversion to an equivalent SDF graph for
 //! throughput analysis.
 
+use crate::index::{ActorId, IndexVec};
 use crate::rational::lcm;
-use crate::sdf::{SdfError, SdfGraph};
+use crate::sdf::{EdgeId, SdfError, SdfGraph};
 use serde::{Deserialize, Serialize};
 
 /// A CSDF actor: a name, a firing duration per phase.
@@ -34,9 +35,9 @@ impl CsdfActor {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CsdfEdge {
     /// Producing actor.
-    pub src: usize,
+    pub src: ActorId,
     /// Consuming actor.
-    pub dst: usize,
+    pub dst: ActorId,
     /// Tokens produced in each phase of `src` (length = src phase count).
     pub production: Vec<u64>,
     /// Tokens consumed in each phase of `dst` (length = dst phase count).
@@ -48,10 +49,10 @@ pub struct CsdfEdge {
 /// A Cyclo-Static Dataflow graph.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CsdfGraph {
-    /// Actors.
-    pub actors: Vec<CsdfActor>,
-    /// Edges.
-    pub edges: Vec<CsdfEdge>,
+    /// Actors (index-compatible with the aggregated SDF conversion).
+    pub actors: IndexVec<ActorId, CsdfActor>,
+    /// Edges (index-compatible with the aggregated SDF conversion).
+    pub edges: IndexVec<EdgeId, CsdfEdge>,
 }
 
 impl CsdfGraph {
@@ -61,39 +62,57 @@ impl CsdfGraph {
     }
 
     /// Add an actor with the given per-phase firing durations.
-    pub fn add_actor(&mut self, name: impl Into<String>, durations: Vec<f64>) -> usize {
-        assert!(!durations.is_empty(), "a CSDF actor needs at least one phase");
-        self.actors.push(CsdfActor { name: name.into(), durations });
-        self.actors.len() - 1
+    pub fn add_actor(&mut self, name: impl Into<String>, durations: Vec<f64>) -> ActorId {
+        assert!(
+            !durations.is_empty(),
+            "a CSDF actor needs at least one phase"
+        );
+        self.actors.push(CsdfActor {
+            name: name.into(),
+            durations,
+        })
     }
 
     /// Add an edge with per-phase production/consumption sequences.
     pub fn add_edge(
         &mut self,
-        src: usize,
-        dst: usize,
+        src: ActorId,
+        dst: ActorId,
         production: Vec<u64>,
         consumption: Vec<u64>,
         initial_tokens: u64,
-    ) -> usize {
-        assert_eq!(production.len(), self.actors[src].phases(), "production phases mismatch");
-        assert_eq!(consumption.len(), self.actors[dst].phases(), "consumption phases mismatch");
+    ) -> EdgeId {
+        assert_eq!(
+            production.len(),
+            self.actors[src].phases(),
+            "production phases mismatch"
+        );
+        assert_eq!(
+            consumption.len(),
+            self.actors[dst].phases(),
+            "consumption phases mismatch"
+        );
         assert!(
             production.iter().sum::<u64>() > 0 && consumption.iter().sum::<u64>() > 0,
             "an edge must transfer at least one token per actor period"
         );
-        self.edges.push(CsdfEdge { src, dst, production, consumption, initial_tokens });
-        self.edges.len() - 1
+        self.edges.push(CsdfEdge {
+            src,
+            dst,
+            production,
+            consumption,
+            initial_tokens,
+        })
     }
 
     /// Total tokens produced on `edge` per full period (all phases) of its
     /// source actor.
-    pub fn production_per_period(&self, edge: usize) -> u64 {
+    pub fn production_per_period(&self, edge: EdgeId) -> u64 {
         self.edges[edge].production.iter().sum()
     }
 
     /// Total tokens consumed on `edge` per full period of its destination.
-    pub fn consumption_per_period(&self, edge: usize) -> u64 {
+    pub fn consumption_per_period(&self, edge: EdgeId) -> u64 {
         self.edges[edge].consumption.iter().sum()
     }
 
@@ -122,7 +141,7 @@ impl CsdfGraph {
     /// Phase-aware repetition vector: entry `i` is the number of *phases*
     /// actor `i` executes per graph iteration (a multiple of its phase
     /// count). Derived from the aggregated SDF repetition vector.
-    pub fn phase_repetition_vector(&self) -> Result<Vec<u64>, SdfError> {
+    pub fn phase_repetition_vector(&self) -> Result<IndexVec<ActorId, u64>, SdfError> {
         let q = self.to_sdf().repetition_vector()?;
         Ok(q.iter()
             .zip(&self.actors)
@@ -141,12 +160,13 @@ impl CsdfGraph {
         let phase_q = self.phase_repetition_vector()?;
         let n = self.actors.len();
         let mut remaining = phase_q.clone();
-        let mut phase: Vec<usize> = vec![0; n];
-        let mut tokens: Vec<u64> = self.edges.iter().map(|e| e.initial_tokens).collect();
+        let mut phase: IndexVec<ActorId, usize> = IndexVec::from_elem(0, n);
+        let mut tokens: IndexVec<EdgeId, u64> =
+            self.edges.iter().map(|e| e.initial_tokens).collect();
 
-        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (eid, e) in self.edges.iter().enumerate() {
+        let mut incoming: IndexVec<ActorId, Vec<EdgeId>> = IndexVec::from_elem(Vec::new(), n);
+        let mut outgoing: IndexVec<ActorId, Vec<EdgeId>> = IndexVec::from_elem(Vec::new(), n);
+        for (eid, e) in self.edges.iter_enumerated() {
             incoming[e.dst].push(eid);
             outgoing[e.src].push(eid);
         }
@@ -155,7 +175,7 @@ impl CsdfGraph {
         let mut fired = 0u64;
         loop {
             let mut progressed = false;
-            for a in 0..n {
+            for a in self.actors.indices() {
                 while remaining[a] > 0 {
                     let ph = phase[a] % self.actors[a].phases();
                     let ready = incoming[a]
@@ -187,8 +207,11 @@ impl CsdfGraph {
 
     /// The hyperperiod (in phases) of two actors' phase counts; useful when
     /// aligning schedules.
-    pub fn phase_hyperperiod(&self, a: usize, b: usize) -> u64 {
-        lcm(self.actors[a].phases() as u128, self.actors[b].phases() as u128) as u64
+    pub fn phase_hyperperiod(&self, a: ActorId, b: ActorId) -> u64 {
+        lcm(
+            self.actors[a].phases() as u128,
+            self.actors[b].phases() as u128,
+        ) as u64
     }
 }
 
@@ -215,7 +238,7 @@ mod tests {
         let pq = g.phase_repetition_vector().unwrap();
         // Aggregated: f produces 6/period, g consumes 6/period -> q = (1, 1);
         // in phases that is (2, 3).
-        assert_eq!(pq, vec![2, 3]);
+        assert_eq!(pq.as_slice(), &[2, 3]);
     }
 
     #[test]
@@ -236,11 +259,14 @@ mod tests {
         let g = fig2b_csdf();
         let sdf = g.to_sdf();
         assert_eq!(sdf.actor_count(), 2);
-        assert_eq!(sdf.edges[0].production, 6);
-        assert_eq!(sdf.edges[0].consumption, 6);
-        assert!((sdf.actors[0].firing_duration - 2e-3).abs() < 1e-12);
-        assert!((sdf.actors[1].firing_duration - 3e-3).abs() < 1e-12);
-        assert_eq!(sdf.repetition_vector().unwrap(), vec![1, 1]);
+        let f = sdf.actor_by_name("f").unwrap();
+        let gg = sdf.actor_by_name("g").unwrap();
+        let forward = sdf.edges_between(f, gg)[0];
+        assert_eq!(sdf.edges[forward].production, 6);
+        assert_eq!(sdf.edges[forward].consumption, 6);
+        assert!((sdf.actors[f].firing_duration - 2e-3).abs() < 1e-12);
+        assert!((sdf.actors[gg].firing_duration - 3e-3).abs() < 1e-12);
+        assert_eq!(sdf.repetition_vector().unwrap().as_slice(), &[1, 1]);
     }
 
     #[test]
@@ -257,9 +283,11 @@ mod tests {
     #[test]
     fn per_period_totals_and_hyperperiod() {
         let g = fig2b_csdf();
-        assert_eq!(g.production_per_period(0), 6);
-        assert_eq!(g.consumption_per_period(0), 6);
-        assert_eq!(g.phase_hyperperiod(0, 1), 6);
+        let bx = crate::index::Idx::new(0);
+        assert_eq!(g.production_per_period(bx), 6);
+        assert_eq!(g.consumption_per_period(bx), 6);
+        let (f, gg) = (g.edges[bx].src, g.edges[bx].dst);
+        assert_eq!(g.phase_hyperperiod(f, gg), 6);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! vector entries), which is exactly the cost the paper's CTA approach
 //! avoids; the benchmark `scaling_poly_vs_exact` measures this difference.
 
+use crate::index::{ActorId, IndexVec};
 use crate::mcr::{CycleRatio, RatioGraph};
 use crate::sdf::{SdfError, SdfGraph};
 use serde::{Deserialize, Serialize};
@@ -14,8 +15,8 @@ use serde::{Deserialize, Serialize};
 /// A node of the homogeneous expansion: firing `k` of actor `actor`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Firing {
-    /// Index of the actor in the original SDF graph.
-    pub actor: usize,
+    /// The actor in the original SDF graph.
+    pub actor: ActorId,
     /// Firing index within one iteration, `0 .. q[actor]`.
     pub index: u64,
 }
@@ -53,8 +54,8 @@ impl HsdfGraph {
         let q = graph.repetition_vector()?;
         let mut firings = Vec::new();
         let mut durations = Vec::new();
-        let mut first_node = vec![0usize; graph.actors.len()];
-        for (a, actor) in graph.actors.iter().enumerate() {
+        let mut first_node: IndexVec<ActorId, usize> = IndexVec::from_elem(0, graph.actors.len());
+        for (a, actor) in graph.actors.iter_enumerated() {
             first_node[a] = firings.len();
             for k in 0..q[a] {
                 firings.push(Firing { actor: a, index: k });
@@ -100,7 +101,11 @@ impl HsdfGraph {
             }
         }
 
-        Ok(HsdfGraph { firings, durations, edges })
+        Ok(HsdfGraph {
+            firings,
+            durations,
+            edges,
+        })
     }
 
     /// Number of firings (nodes).
@@ -134,7 +139,8 @@ impl HsdfGraph {
     /// Exact throughput in iterations per second implied by the MCM, or
     /// `None` if the graph is acyclic (unbounded by dependencies).
     pub fn throughput(&self) -> Option<f64> {
-        self.maximum_cycle_mean().map(|mcm| if mcm <= 0.0 { f64::INFINITY } else { 1.0 / mcm })
+        self.maximum_cycle_mean()
+            .map(|mcm| if mcm <= 0.0 { f64::INFINITY } else { 1.0 / mcm })
     }
 }
 

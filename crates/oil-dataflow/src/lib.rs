@@ -7,8 +7,12 @@
 //! provides those intermediate models plus the *exact* dataflow analyses the
 //! paper compares against:
 //!
-//! * [`rational`] — exact rational arithmetic used by repetition vectors and
-//!   rate computations.
+//! * [`index`] — typed graph indices ([`PortId`], [`ActorId`], [`ChannelId`],
+//!   [`GroupId`]) and index-keyed vectors ([`IndexVec`]) shared by every
+//!   layer, so cross-indexing mistakes are type errors.
+//! * [`rational`] — exact rational arithmetic used by repetition vectors,
+//!   rate computations and (since the exact-rational refactor) every CTA
+//!   analysis result.
 //! * [`taskgraph`] — tasks, guards and circular buffers with multiple
 //!   producers/consumers.
 //! * [`sdf`] — Synchronous Dataflow graphs, repetition vectors, consistency
@@ -26,6 +30,7 @@
 pub mod buffer;
 pub mod csdf;
 pub mod hsdf;
+pub mod index;
 pub mod mcr;
 pub mod rational;
 pub mod sdf;
@@ -35,7 +40,8 @@ pub mod taskgraph;
 pub use buffer::CircularBuffer;
 pub use csdf::CsdfGraph;
 pub use hsdf::HsdfGraph;
+pub use index::{ActorId, ChannelId, GroupId, Idx, IndexVec, PortId};
 pub use rational::Rational;
-pub use sdf::{SdfActor, SdfEdge, SdfGraph};
+pub use sdf::{EdgeId, SdfActor, SdfEdge, SdfGraph};
 pub use statespace::SelfTimedAnalysis;
-pub use taskgraph::{Task, TaskBuffer, TaskGraph};
+pub use taskgraph::{BufferId, LoopId, Task, TaskBuffer, TaskGraph};

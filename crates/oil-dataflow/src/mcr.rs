@@ -55,14 +55,25 @@ pub enum CycleRatio {
 impl RatioGraph {
     /// Create a graph with `nodes` nodes and no edges.
     pub fn new(nodes: usize) -> Self {
-        RatioGraph { nodes, edges: Vec::new() }
+        RatioGraph {
+            nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Add an edge.
     pub fn add_edge(&mut self, src: usize, dst: usize, cost: f64, transit: f64) {
-        assert!(src < self.nodes && dst < self.nodes, "edge endpoints must exist");
+        assert!(
+            src < self.nodes && dst < self.nodes,
+            "edge endpoints must exist"
+        );
         assert!(transit >= 0.0, "transit weights must be non-negative");
-        self.edges.push(RatioEdge { src, dst, cost, transit });
+        self.edges.push(RatioEdge {
+            src,
+            dst,
+            cost,
+            transit,
+        });
     }
 
     /// Does the graph, re-weighted with `cost - lambda * transit`, contain a
@@ -95,9 +106,7 @@ impl RatioGraph {
                     updated_node = Some(e.dst);
                 }
             }
-            if updated_node.is_none() {
-                return None;
-            }
+            updated_node?;
         }
         // Still relaxing after n passes: a positive cycle is reachable.
         let mut v = updated_node?;
@@ -246,7 +255,9 @@ mod tests {
         g.add_edge(1, 2, 1.0, 0.0);
         g.add_edge(2, 0, 1.0, 0.0);
         g.add_edge(3, 0, 1.0, 0.0);
-        let cyc = g.positive_cycle_witness(0.0).expect("positive cycle exists");
+        let cyc = g
+            .positive_cycle_witness(0.0)
+            .expect("positive cycle exists");
         assert!(cyc.len() == 3, "{cyc:?}");
         assert!(!cyc.contains(&3));
     }

@@ -2,8 +2,9 @@
 //!
 //! SDF (Lee & Messerschmitt) is the model underlying StreamIt and the
 //! intermediate abstraction the OIL compiler uses between tasks and CTA
-//! components (paper Section V-B1): every task becomes an actor, every buffer
-//! a pair of oppositely directed edges carrying data and free space.
+//! components (paper Section V-B1): every task becomes an actor — with the
+//! same [`ActorId`] — and every buffer a pair of oppositely directed edges
+//! carrying data and free space.
 //!
 //! Provided analyses:
 //!
@@ -12,15 +13,17 @@
 //! * deadlock detection by symbolic execution of one graph iteration,
 //! * conversion helpers used by [`crate::hsdf`] and [`crate::statespace`].
 
+use crate::define_index_type;
+use crate::index::{ActorId, Idx, IndexVec};
 use crate::rational::{lcm, Rational};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Identifier of an actor inside an [`SdfGraph`].
-pub type ActorId = usize;
-/// Identifier of an edge inside an [`SdfGraph`].
-pub type EdgeId = usize;
+define_index_type! {
+    /// An edge of an [`SdfGraph`].
+    pub struct EdgeId = "e";
+}
 
 /// An SDF actor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,9 +55,9 @@ pub struct SdfEdge {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SdfGraph {
     /// The actors.
-    pub actors: Vec<SdfActor>,
+    pub actors: IndexVec<ActorId, SdfActor>,
     /// The edges.
-    pub edges: Vec<SdfEdge>,
+    pub edges: IndexVec<EdgeId, SdfEdge>,
 }
 
 /// Why an SDF graph cannot execute indefinitely in bounded memory.
@@ -69,7 +72,7 @@ pub enum SdfError {
     /// iteration is incomplete.
     Deadlock {
         /// Remaining firings per actor when execution stalled.
-        remaining: Vec<u64>,
+        remaining: IndexVec<ActorId, u64>,
     },
     /// The graph has no actors.
     Empty,
@@ -79,7 +82,10 @@ impl fmt::Display for SdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SdfError::Inconsistent { edge } => {
-                write!(f, "SDF graph is rate-inconsistent (witnessed by edge {edge})")
+                write!(
+                    f,
+                    "SDF graph is rate-inconsistent (witnessed by edge {edge})"
+                )
             }
             SdfError::Deadlock { .. } => write!(f, "SDF graph deadlocks within one iteration"),
             SdfError::Empty => write!(f, "SDF graph has no actors"),
@@ -97,8 +103,10 @@ impl SdfGraph {
 
     /// Add an actor, returning its id.
     pub fn add_actor(&mut self, name: impl Into<String>, firing_duration: f64) -> ActorId {
-        self.actors.push(SdfActor { name: name.into(), firing_duration });
-        self.actors.len() - 1
+        self.actors.push(SdfActor {
+            name: name.into(),
+            firing_duration,
+        })
     }
 
     /// Add an edge, returning its id.
@@ -110,7 +118,7 @@ impl SdfGraph {
         consumption: u64,
         initial_tokens: u64,
     ) -> EdgeId {
-        let name = format!("e{}_{}", src, dst);
+        let name = format!("e{}_{}", src.index(), dst.index());
         self.add_named_edge(name, src, dst, production, consumption, initial_tokens)
     }
 
@@ -124,8 +132,14 @@ impl SdfGraph {
         consumption: u64,
         initial_tokens: u64,
     ) -> EdgeId {
-        assert!(src < self.actors.len() && dst < self.actors.len(), "edge endpoints must exist");
-        assert!(production > 0 && consumption > 0, "SDF rates must be positive");
+        assert!(
+            src.index() < self.actors.len() && dst.index() < self.actors.len(),
+            "edge endpoints must exist"
+        );
+        assert!(
+            production > 0 && consumption > 0,
+            "SDF rates must be positive"
+        );
         self.edges.push(SdfEdge {
             src,
             dst,
@@ -133,8 +147,7 @@ impl SdfGraph {
             consumption,
             initial_tokens,
             name: name.into(),
-        });
-        self.edges.len() - 1
+        })
     }
 
     /// Number of actors.
@@ -151,23 +164,24 @@ impl SdfGraph {
     /// `q` such that for every edge `production * q[src] == consumption *
     /// q[dst]`. Returns [`SdfError::Inconsistent`] if only the zero vector
     /// satisfies the balance equations.
-    pub fn repetition_vector(&self) -> Result<Vec<u64>, SdfError> {
+    pub fn repetition_vector(&self) -> Result<IndexVec<ActorId, u64>, SdfError> {
         if self.actors.is_empty() {
             return Err(SdfError::Empty);
         }
-        let n = self.actors.len();
         // Rational firing ratios per connected component, propagated by BFS.
-        let mut ratio: Vec<Option<Rational>> = vec![None; n];
-        let mut adj: Vec<Vec<(ActorId, Rational, EdgeId)>> = vec![Vec::new(); n];
-        for (eid, e) in self.edges.iter().enumerate() {
+        let mut ratio: IndexVec<ActorId, Option<Rational>> =
+            IndexVec::from_elem(None, self.actors.len());
+        let mut adj: IndexVec<ActorId, Vec<(ActorId, Rational, EdgeId)>> =
+            IndexVec::from_elem(Vec::new(), self.actors.len());
+        for (eid, e) in self.edges.iter_enumerated() {
             // q[dst] = q[src] * production / consumption
             let f = Rational::new(e.production as i128, e.consumption as i128);
             adj[e.src].push((e.dst, f, eid));
             adj[e.dst].push((e.src, f.recip(), eid));
         }
 
-        let mut q: Vec<u64> = vec![0; n];
-        for start in 0..n {
+        let mut q: IndexVec<ActorId, u64> = IndexVec::from_elem(0, self.actors.len());
+        for start in self.actors.indices() {
             if ratio[start].is_some() {
                 continue;
             }
@@ -224,13 +238,16 @@ impl SdfGraph {
     /// Check for deadlock freedom by symbolically executing one iteration
     /// (every actor `a` fires `q[a]` times) in data-driven order. Returns the
     /// repetition vector on success.
-    pub fn check_deadlock_free(&self) -> Result<Vec<u64>, SdfError> {
+    pub fn check_deadlock_free(&self) -> Result<IndexVec<ActorId, u64>, SdfError> {
         let q = self.repetition_vector()?;
         let mut remaining = q.clone();
-        let mut tokens: Vec<u64> = self.edges.iter().map(|e| e.initial_tokens).collect();
-        let mut incoming: Vec<Vec<EdgeId>> = vec![Vec::new(); self.actors.len()];
-        let mut outgoing: Vec<Vec<EdgeId>> = vec![Vec::new(); self.actors.len()];
-        for (eid, e) in self.edges.iter().enumerate() {
+        let mut tokens: IndexVec<EdgeId, u64> =
+            self.edges.iter().map(|e| e.initial_tokens).collect();
+        let mut incoming: IndexVec<ActorId, Vec<EdgeId>> =
+            IndexVec::from_elem(Vec::new(), self.actors.len());
+        let mut outgoing: IndexVec<ActorId, Vec<EdgeId>> =
+            IndexVec::from_elem(Vec::new(), self.actors.len());
+        for (eid, e) in self.edges.iter_enumerated() {
             incoming[e.dst].push(eid);
             outgoing[e.src].push(eid);
         }
@@ -239,9 +256,11 @@ impl SdfGraph {
         let mut fired: u64 = 0;
         loop {
             let mut progressed = false;
-            for a in 0..self.actors.len() {
+            for a in self.actors.indices() {
                 while remaining[a] > 0
-                    && incoming[a].iter().all(|&e| tokens[e] >= self.edges[e].consumption)
+                    && incoming[a]
+                        .iter()
+                        .all(|&e| tokens[e] >= self.edges[e].consumption)
                 {
                     for &e in &incoming[a] {
                         tokens[e] -= self.edges[e].consumption;
@@ -273,7 +292,7 @@ impl SdfGraph {
     pub fn throughput_upper_bound(&self) -> Result<f64, SdfError> {
         let q = self.repetition_vector()?;
         let mut bound = f64::INFINITY;
-        for (a, actor) in self.actors.iter().enumerate() {
+        for (a, actor) in self.actors.iter_enumerated() {
             if actor.firing_duration > 0.0 && q[a] > 0 {
                 bound = bound.min(1.0 / (actor.firing_duration * q[a] as f64));
             }
@@ -283,14 +302,13 @@ impl SdfGraph {
 
     /// Find an actor id by name.
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors.iter().position(|a| a.name == name)
+        self.actors.position(|a| a.name == name)
     }
 
     /// Group edges by (src, dst) pair; useful for reporting.
     pub fn edges_between(&self, src: ActorId, dst: ActorId) -> Vec<EdgeId> {
         self.edges
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter(|(_, e)| e.src == src && e.dst == dst)
             .map(|(i, _)| i)
             .collect()
@@ -319,7 +337,12 @@ impl SdfGraph {
     /// Summary of the graph as a map from actor name to repetition count.
     pub fn repetition_map(&self) -> Result<BTreeMap<String, u64>, SdfError> {
         let q = self.repetition_vector()?;
-        Ok(self.actors.iter().zip(q).map(|(a, n)| (a.name.clone(), n)).collect())
+        Ok(self
+            .actors
+            .iter()
+            .zip(q)
+            .map(|(a, n)| (a.name.clone(), n))
+            .collect())
     }
 }
 
@@ -339,7 +362,7 @@ mod tests {
         let g = fig2a();
         let q = g.repetition_vector().unwrap();
         // g must execute 3/2 as often as f -> smallest integer vector (2, 3).
-        assert_eq!(q, vec![2, 3]);
+        assert_eq!(q.as_slice(), &[2, 3]);
         assert_eq!(g.iteration_length().unwrap(), 5);
     }
 
@@ -368,12 +391,18 @@ mod tests {
         g.add_edge(a, b, 2, 3, 0);
         g.add_edge(b, a, 1, 1, 10);
         assert!(!g.is_consistent());
-        assert!(matches!(g.repetition_vector(), Err(SdfError::Inconsistent { .. })));
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(SdfError::Inconsistent { .. })
+        ));
     }
 
     #[test]
     fn empty_graph_is_error() {
-        assert!(matches!(SdfGraph::new().repetition_vector(), Err(SdfError::Empty)));
+        assert!(matches!(
+            SdfGraph::new().repetition_vector(),
+            Err(SdfError::Empty)
+        ));
     }
 
     #[test]
@@ -385,7 +414,7 @@ mod tests {
         let c = g.add_actor("c", 1.0);
         g.add_edge(a, b, 2, 1, 0);
         g.add_edge(b, c, 3, 1, 0);
-        assert_eq!(g.repetition_vector().unwrap(), vec![1, 2, 6]);
+        assert_eq!(g.repetition_vector().unwrap().as_slice(), &[1, 2, 6]);
         assert!(g.check_deadlock_free().is_ok());
     }
 
@@ -399,7 +428,7 @@ mod tests {
         g.add_edge(a, b, 1, 2, 0);
         g.add_edge(c, d, 5, 1, 0);
         let q = g.repetition_vector().unwrap();
-        assert_eq!(q, vec![2, 1, 1, 5]);
+        assert_eq!(q.as_slice(), &[2, 1, 1, 5]);
     }
 
     #[test]
@@ -471,7 +500,7 @@ mod tests {
                 prop_assert_eq!(e.production * q[e.src], e.consumption * q[e.dst]);
             }
             // Smallest vector: gcd of entries is 1.
-            let g0 = crate::rational::gcd(q[0] as u128, q[1] as u128);
+            let g0 = crate::rational::gcd(q[a] as u128, q[b] as u128);
             prop_assert_eq!(g0, 1);
         }
 

@@ -12,7 +12,8 @@
 //! number of initial tokens, which is exactly what the benchmark
 //! `scaling_poly_vs_exact` demonstrates against CTA's polynomial algorithms.
 
-use crate::sdf::{SdfError, SdfGraph};
+use crate::index::{ActorId, IndexVec};
+use crate::sdf::{EdgeId, SdfError, SdfGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -29,7 +30,7 @@ pub struct SelfTimedAnalysis {
     pub states_explored: usize,
     /// Maximum number of tokens simultaneously present on each edge during
     /// the steady state (a lower bound on the needed buffer capacity).
-    pub max_tokens_per_edge: Vec<u64>,
+    pub max_tokens_per_edge: IndexVec<EdgeId, u64>,
 }
 
 impl SelfTimedAnalysis {
@@ -73,31 +74,42 @@ const LOOKAHEAD_ITERATIONS: u64 = 4;
 ///
 /// `max_iterations` bounds the exploration so pathological graphs cannot run
 /// away; analysis of a well-formed graph converges far earlier.
-pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfTimedAnalysis, SdfError> {
+pub fn analyze_self_timed(
+    graph: &SdfGraph,
+    max_iterations: u64,
+) -> Result<SelfTimedAnalysis, SdfError> {
     let q = graph.check_deadlock_free()?;
     let n = graph.actors.len();
-    let durations: Vec<Picos> = graph.actors.iter().map(|a| to_picos(a.firing_duration)).collect();
+    let durations: IndexVec<ActorId, Picos> = graph
+        .actors
+        .iter()
+        .map(|a| to_picos(a.firing_duration))
+        .collect();
 
-    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (eid, e) in graph.edges.iter().enumerate() {
+    let mut incoming: IndexVec<ActorId, Vec<EdgeId>> = IndexVec::from_elem(Vec::new(), n);
+    let mut outgoing: IndexVec<ActorId, Vec<EdgeId>> = IndexVec::from_elem(Vec::new(), n);
+    for (eid, e) in graph.edges.iter_enumerated() {
         incoming[e.dst].push(eid);
         outgoing[e.src].push(eid);
     }
 
-    let mut tokens: Vec<u64> = graph.edges.iter().map(|e| e.initial_tokens).collect();
+    let mut tokens: IndexVec<EdgeId, u64> = graph.edges.iter().map(|e| e.initial_tokens).collect();
     let mut max_tokens = tokens.clone();
     // At most one firing of an actor is in flight at a time, modelling the
     // implicit self-edge every task has in the paper's task graphs.
-    let mut busy: Vec<Option<Picos>> = vec![None; n];
+    let mut busy: IndexVec<ActorId, Option<Picos>> = IndexVec::from_elem(None, n);
     let mut now: Picos = 0;
     // Cumulative completed firings per actor.
-    let mut total_fired: Vec<u64> = vec![0; n];
+    let mut total_fired: IndexVec<ActorId, u64> = IndexVec::from_elem(0, n);
     let mut iteration: u64 = 0;
 
     let mut seen: HashMap<BoundaryState, (u64, Picos)> = HashMap::new();
     seen.insert(
-        BoundaryState { tokens: tokens.clone(), busy_offsets: vec![0; n], ahead: vec![0; n] },
+        BoundaryState {
+            tokens: tokens.as_slice().to_vec(),
+            busy_offsets: vec![0; n],
+            ahead: vec![0; n],
+        },
         (0, 0),
     );
 
@@ -107,7 +119,7 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
         // LOOKAHEAD_ITERATIONS iterations ahead of the completed iteration.
         loop {
             let mut progressed = false;
-            for a in 0..n {
+            for a in graph.actors.indices() {
                 if busy[a].is_some() {
                     continue;
                 }
@@ -115,7 +127,9 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
                 if started >= (iteration + LOOKAHEAD_ITERATIONS) * q[a] {
                     continue;
                 }
-                let ready = incoming[a].iter().all(|&e| tokens[e] >= graph.edges[e].consumption);
+                let ready = incoming[a]
+                    .iter()
+                    .all(|&e| tokens[e] >= graph.edges[e].consumption);
                 if ready {
                     for &e in &incoming[a] {
                         tokens[e] -= graph.edges[e].consumption;
@@ -135,7 +149,7 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
         match next {
             Some(t) => {
                 now = t;
-                for a in 0..n {
+                for a in graph.actors.indices() {
                     if busy[a] == Some(t) {
                         busy[a] = None;
                         total_fired[a] += 1;
@@ -151,7 +165,10 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
 
         // Iteration boundary: every actor has completed the firings of the
         // current iteration (it may already be busy with later ones).
-        let boundary_reached = total_fired.iter().zip(&q).all(|(f, qq)| *f >= (iteration + 1) * qq);
+        let boundary_reached = total_fired
+            .iter()
+            .zip(&q)
+            .all(|(f, qq)| *f >= (iteration + 1) * qq);
         if idle && !boundary_reached {
             // Stuck mid-iteration: cannot happen for graphs that passed the
             // deadlock check, but guard against an infinite loop regardless.
@@ -160,7 +177,7 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
         if boundary_reached {
             iteration += 1;
             let state = BoundaryState {
-                tokens: tokens.clone(),
+                tokens: tokens.as_slice().to_vec(),
                 busy_offsets: busy
                     .iter()
                     .map(|b| b.map(|t| t.saturating_sub(now)).unwrap_or(0))
@@ -189,7 +206,11 @@ pub fn analyze_self_timed(graph: &SdfGraph, max_iterations: u64) -> Result<SelfT
     // Did not converge within the bound; report the average period so far as
     // an estimate (still useful for benchmarking the cost of exploration).
     Ok(SelfTimedAnalysis {
-        period: if iteration > 0 { now as f64 / 1e12 / iteration as f64 } else { f64::INFINITY },
+        period: if iteration > 0 {
+            now as f64 / 1e12 / iteration as f64
+        } else {
+            f64::INFINITY
+        },
         transient_iterations: iteration,
         cycle_iterations: 0,
         states_explored: seen.len(),
@@ -263,7 +284,12 @@ mod tests {
             // self-edge) can dominate, so the self-timed period is at least
             // the MCM divided by the token count and at least the largest
             // firing duration.
-            assert!(exact.period + 1e-12 >= mcm / tokens as f64, "{} vs {}", exact.period, mcm);
+            assert!(
+                exact.period + 1e-12 >= mcm / tokens as f64,
+                "{} vs {}",
+                exact.period,
+                mcm
+            );
             assert!(exact.period + 1e-12 >= da.max(db));
         }
     }
@@ -273,12 +299,12 @@ mod tests {
         let mut g = SdfGraph::new();
         let a = g.add_actor("a", 1e-3);
         let b = g.add_actor("b", 3e-3);
-        g.add_edge(a, b, 1, 1, 0);
-        g.add_edge(b, a, 1, 1, 3);
+        let forward = g.add_edge(a, b, 1, 1, 0);
+        let back = g.add_edge(b, a, 1, 1, 3);
         let res = analyze_self_timed(&g, 1000).unwrap();
         // Edge a->b can accumulate tokens while b is busy.
-        assert!(res.max_tokens_per_edge[0] >= 1);
-        assert!(res.max_tokens_per_edge[1] <= 3);
+        assert!(res.max_tokens_per_edge[forward] >= 1);
+        assert!(res.max_tokens_per_edge[back] <= 3);
     }
 
     #[test]

@@ -11,16 +11,30 @@
 //! The task graph is the intermediate form between the OIL AST (built by the
 //! `oil-compiler` crate) and the dataflow/CTA abstractions: it knows nothing
 //! about OIL syntax, only about tasks, buffers, access counts and the
-//! while-loop nest each task lives in.
+//! while-loop nest each task lives in. Tasks are indexed by [`ActorId`] —
+//! every task becomes exactly one dataflow actor, so the ids carry over to
+//! the SDF conversion unchanged.
 
+use crate::define_index_type;
+use crate::index::{ActorId, IndexVec};
 use crate::sdf::SdfGraph;
 use serde::{Deserialize, Serialize};
+
+define_index_type! {
+    /// A circular buffer of a task graph (one per variable or stream).
+    pub struct BufferId = "b";
+}
+
+define_index_type! {
+    /// A while-loop of a sequential module.
+    pub struct LoopId = "l";
+}
 
 /// One access of a task to a buffer: how many values per firing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PortAccess {
-    /// Index into [`TaskGraph::buffers`].
-    pub buffer: usize,
+    /// The accessed buffer.
+    pub buffer: BufferId,
     /// Values transferred per task firing.
     pub count: u64,
 }
@@ -41,7 +55,7 @@ pub struct Task {
     pub guarded: bool,
     /// The chain of while-loop ids (outermost first) this task is nested in;
     /// empty for prologue statements outside any loop.
-    pub loop_nest: Vec<usize>,
+    pub loop_nest: Vec<LoopId>,
     /// Buffers read per firing.
     pub reads: Vec<PortAccess>,
     /// Buffers written per firing.
@@ -68,11 +82,11 @@ pub struct TaskBuffer {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopInfo {
     /// Loop id (index into [`TaskGraph::loops`]).
-    pub id: usize,
+    pub id: LoopId,
     /// Parent loop id for nested loops.
-    pub parent: Option<usize>,
+    pub parent: Option<LoopId>,
     /// Tasks whose innermost enclosing loop is this one.
-    pub tasks: Vec<usize>,
+    pub tasks: Vec<ActorId>,
     /// True if the loop condition is the constant `1` (an infinite stream
     /// loop).
     pub infinite: bool,
@@ -83,105 +97,128 @@ pub struct LoopInfo {
 pub struct TaskGraph {
     /// Name of the module this graph was extracted from.
     pub module: String,
-    /// Tasks.
-    pub tasks: Vec<Task>,
+    /// Tasks, indexed by the actor id they become in the SDF conversion.
+    pub tasks: IndexVec<ActorId, Task>,
     /// Buffers.
-    pub buffers: Vec<TaskBuffer>,
+    pub buffers: IndexVec<BufferId, TaskBuffer>,
     /// While-loops (top-level and nested).
-    pub loops: Vec<LoopInfo>,
+    pub loops: IndexVec<LoopId, LoopInfo>,
 }
 
 impl TaskGraph {
     /// An empty task graph for `module`.
     pub fn new(module: impl Into<String>) -> Self {
-        TaskGraph { module: module.into(), ..Default::default() }
+        TaskGraph {
+            module: module.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a buffer, returning its index.
-    pub fn add_buffer(&mut self, buffer: TaskBuffer) -> usize {
-        self.buffers.push(buffer);
-        self.buffers.len() - 1
+    pub fn add_buffer(&mut self, buffer: TaskBuffer) -> BufferId {
+        self.buffers.push(buffer)
     }
 
     /// Add a task, returning its index.
-    pub fn add_task(&mut self, task: Task) -> usize {
-        self.tasks.push(task);
-        self.tasks.len() - 1
+    pub fn add_task(&mut self, task: Task) -> ActorId {
+        self.tasks.push(task)
     }
 
     /// Add a loop, returning its id.
-    pub fn add_loop(&mut self, parent: Option<usize>, infinite: bool) -> usize {
-        let id = self.loops.len();
-        self.loops.push(LoopInfo { id, parent, tasks: Vec::new(), infinite });
-        id
+    pub fn add_loop(&mut self, parent: Option<LoopId>, infinite: bool) -> LoopId {
+        let id = self.loops.next_index();
+        self.loops.push(LoopInfo {
+            id,
+            parent,
+            tasks: Vec::new(),
+            infinite,
+        })
     }
 
-    /// Producers (task index, values per firing) of `buffer`.
-    pub fn producers(&self, buffer: usize) -> Vec<(usize, u64)> {
+    /// Producers (task, values per firing) of `buffer`.
+    pub fn producers(&self, buffer: BufferId) -> Vec<(ActorId, u64)> {
         self.tasks
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .flat_map(|(t, task)| {
-                task.writes.iter().filter(move |w| w.buffer == buffer).map(move |w| (t, w.count))
+                task.writes
+                    .iter()
+                    .filter(move |w| w.buffer == buffer)
+                    .map(move |w| (t, w.count))
             })
             .collect()
     }
 
-    /// Consumers (task index, values per firing) of `buffer`.
-    pub fn consumers(&self, buffer: usize) -> Vec<(usize, u64)> {
+    /// Consumers (task, values per firing) of `buffer`.
+    pub fn consumers(&self, buffer: BufferId) -> Vec<(ActorId, u64)> {
         self.tasks
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .flat_map(|(t, task)| {
-                task.reads.iter().filter(move |r| r.buffer == buffer).map(move |r| (t, r.count))
+                task.reads
+                    .iter()
+                    .filter(move |r| r.buffer == buffer)
+                    .map(move |r| (t, r.count))
             })
             .collect()
     }
 
-    /// Find a buffer index by name.
-    pub fn buffer_by_name(&self, name: &str) -> Option<usize> {
-        self.buffers.iter().position(|b| b.name == name)
+    /// Find a buffer by name.
+    pub fn buffer_by_name(&self, name: &str) -> Option<BufferId> {
+        self.buffers.position(|b| b.name == name)
     }
 
-    /// Find a task index by name.
-    pub fn task_by_name(&self, name: &str) -> Option<usize> {
-        self.tasks.iter().position(|t| t.name == name)
+    /// Find a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<ActorId> {
+        self.tasks.position(|t| t.name == name)
     }
 
     /// Total number of values written to `buffer` per firing of all its
     /// producers (used when distributing stream rates).
-    pub fn total_production(&self, buffer: usize) -> u64 {
+    pub fn total_production(&self, buffer: BufferId) -> u64 {
         self.producers(buffer).iter().map(|(_, c)| c).sum()
     }
 
     /// Total number of values read from `buffer` per firing of all its
     /// consumers.
-    pub fn total_consumption(&self, buffer: usize) -> u64 {
+    pub fn total_consumption(&self, buffer: BufferId) -> u64 {
         self.consumers(buffer).iter().map(|(_, c)| c).sum()
     }
 
     /// Convert the task graph to an SDF graph (paper Section V-B1): one actor
-    /// per task; for every buffer, a data edge from each producer to each
-    /// consumer carrying the initial tokens, plus — when the buffer has a
-    /// finite capacity — an oppositely directed space edge initialised with
-    /// the remaining free space. Every task also gets a self-edge with one
-    /// token, modelling that its firings do not overlap (tasks execute on a
-    /// single processor at a time).
+    /// per task (with the *same* [`ActorId`]); for every buffer, a data edge
+    /// from each producer to each consumer carrying the initial tokens, plus
+    /// — when the buffer has a finite capacity — an oppositely directed space
+    /// edge initialised with the remaining free space. Every task also gets a
+    /// self-edge with one token, modelling that its firings do not overlap
+    /// (tasks execute on a single processor at a time).
     pub fn to_sdf(&self) -> SdfGraph {
         let mut g = SdfGraph::new();
         for t in &self.tasks {
             let a = g.add_actor(t.name.clone(), t.response_time);
             g.add_named_edge(format!("self_{}", t.name), a, a, 1, 1, 1);
         }
-        for (bi, b) in self.buffers.iter().enumerate() {
+        for (bi, b) in self.buffers.iter_enumerated() {
             let producers = self.producers(bi);
             let consumers = self.consumers(bi);
             for &(p, pc) in &producers {
                 for &(c, cc) in &consumers {
-                    g.add_named_edge(format!("{}_{}to{}", b.name, p, c), p, c, pc, cc, b.initial_tokens);
+                    g.add_named_edge(
+                        format!("{}_{}to{}", b.name, p, c),
+                        p,
+                        c,
+                        pc,
+                        cc,
+                        b.initial_tokens,
+                    );
                     if let Some(cap) = b.capacity {
                         let free = cap.saturating_sub(b.initial_tokens);
-                        g.add_named_edge(format!("{}_space_{}to{}", b.name, c, p), c, p, cc, pc, free);
+                        g.add_named_edge(
+                            format!("{}_space_{}to{}", b.name, c, p),
+                            c,
+                            p,
+                            cc,
+                            pc,
+                            free,
+                        );
                     }
                 }
             }
@@ -190,20 +227,18 @@ impl TaskGraph {
     }
 
     /// Tasks directly contained in loop `loop_id` (not in nested loops).
-    pub fn tasks_in_loop(&self, loop_id: usize) -> Vec<usize> {
+    pub fn tasks_in_loop(&self, loop_id: LoopId) -> Vec<ActorId> {
         self.tasks
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter(|(_, t)| t.loop_nest.last() == Some(&loop_id))
             .map(|(i, _)| i)
             .collect()
     }
 
     /// Prologue tasks (outside every loop).
-    pub fn prologue_tasks(&self) -> Vec<usize> {
+    pub fn prologue_tasks(&self) -> Vec<ActorId> {
         self.tasks
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .filter(|(_, t)| t.loop_nest.is_empty())
             .map(|(i, _)| i)
             .collect()
@@ -213,6 +248,7 @@ impl TaskGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::Idx;
 
     /// Hand-built task graph of the paper's Fig. 4: tasks tg and th guarded by
     /// the if statement, task tk consuming y and producing two values to x.
@@ -237,7 +273,10 @@ mod tests {
             guarded: true,
             loop_nest: vec![],
             reads: vec![],
-            writes: vec![PortAccess { buffer: by, count: 1 }],
+            writes: vec![PortAccess {
+                buffer: by,
+                count: 1,
+            }],
         });
         tg.add_task(Task {
             name: "th".into(),
@@ -246,7 +285,10 @@ mod tests {
             guarded: true,
             loop_nest: vec![],
             reads: vec![],
-            writes: vec![PortAccess { buffer: by, count: 1 }],
+            writes: vec![PortAccess {
+                buffer: by,
+                count: 1,
+            }],
         });
         tg.add_task(Task {
             name: "tk".into(),
@@ -254,8 +296,14 @@ mod tests {
             response_time: 2e-6,
             guarded: false,
             loop_nest: vec![],
-            reads: vec![PortAccess { buffer: by, count: 2 }],
-            writes: vec![PortAccess { buffer: bx, count: 2 }],
+            reads: vec![PortAccess {
+                buffer: by,
+                count: 2,
+            }],
+            writes: vec![PortAccess {
+                buffer: bx,
+                count: 2,
+            }],
         });
         tg
     }
@@ -285,6 +333,9 @@ mod tests {
         assert_eq!(sdf.actor_count(), 3);
         assert_eq!(sdf.edge_count(), 3 + 4);
         assert!(sdf.is_consistent());
+        // Task ids carry over: task `tk` is the same ActorId in the SDF graph.
+        let tk = tg.task_by_name("tk").unwrap();
+        assert_eq!(sdf.actor_by_name("tk"), Some(tk));
     }
 
     #[test]
@@ -304,7 +355,10 @@ mod tests {
             guarded: false,
             loop_nest: vec![],
             reads: vec![],
-            writes: vec![PortAccess { buffer: c, count: 4 }],
+            writes: vec![PortAccess {
+                buffer: c,
+                count: 4,
+            }],
         });
         let l0 = tg.add_loop(None, true);
         let t_g = tg.add_task(Task {
@@ -314,12 +368,15 @@ mod tests {
             guarded: false,
             loop_nest: vec![l0],
             reads: vec![],
-            writes: vec![PortAccess { buffer: c, count: 2 }],
+            writes: vec![PortAccess {
+                buffer: c,
+                count: 2,
+            }],
         });
         tg.loops[l0].tasks.push(t_g);
 
-        assert_eq!(tg.prologue_tasks(), vec![0]);
-        assert_eq!(tg.tasks_in_loop(l0), vec![1]);
+        assert_eq!(tg.prologue_tasks(), vec![ActorId::new(0)]);
+        assert_eq!(tg.tasks_in_loop(l0), vec![ActorId::new(1)]);
         assert!(tg.loops[l0].infinite);
         assert_eq!(tg.loops[l0].parent, None);
     }
@@ -343,9 +400,12 @@ mod tests {
             guarded: false,
             loop_nest: vec![outer, inner],
             reads: vec![],
-            writes: vec![PortAccess { buffer: b, count: 1 }],
+            writes: vec![PortAccess {
+                buffer: b,
+                count: 1,
+            }],
         });
-        assert_eq!(tg.tasks_in_loop(inner), vec![0]);
+        assert_eq!(tg.tasks_in_loop(inner), vec![ActorId::new(0)]);
         assert!(tg.tasks_in_loop(outer).is_empty());
     }
 
@@ -365,7 +425,10 @@ mod tests {
             guarded: false,
             loop_nest: vec![],
             reads: vec![],
-            writes: vec![PortAccess { buffer: b, count: 1 }],
+            writes: vec![PortAccess {
+                buffer: b,
+                count: 1,
+            }],
         });
         let c = tg.add_task(Task {
             name: "cons".into(),
@@ -373,7 +436,10 @@ mod tests {
             response_time: 1e-6,
             guarded: false,
             loop_nest: vec![],
-            reads: vec![PortAccess { buffer: b, count: 1 }],
+            reads: vec![PortAccess {
+                buffer: b,
+                count: 1,
+            }],
             writes: vec![],
         });
         let sdf = tg.to_sdf();

@@ -23,7 +23,11 @@ impl FirFilter {
     pub fn from_taps(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "a FIR filter needs at least one tap");
         let n = taps.len();
-        FirFilter { taps, delay: vec![0.0; n], pos: 0 }
+        FirFilter {
+            taps,
+            delay: vec![0.0; n],
+            pos: 0,
+        }
     }
 
     /// Design a low-pass filter with the windowed-sinc method.
@@ -34,13 +38,20 @@ impl FirFilter {
     ///   linear-phase filter).
     pub fn low_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize) -> Self {
         assert!(taps >= 1, "need at least one tap");
-        assert!(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0, "cutoff must be below Nyquist");
+        assert!(
+            cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0,
+            "cutoff must be below Nyquist"
+        );
         let fc = cutoff_hz / sample_rate_hz;
         let m = (taps - 1) as f64;
         let mut coeffs = Vec::with_capacity(taps);
         for i in 0..taps {
             let x = i as f64 - m / 2.0;
-            let sinc = if x.abs() < 1e-12 { 2.0 * fc } else { (2.0 * PI * fc * x).sin() / (PI * x) };
+            let sinc = if x.abs() < 1e-12 {
+                2.0 * fc
+            } else {
+                (2.0 * PI * fc * x).sin() / (PI * x)
+            };
             // Hamming window.
             let w = 0.54 - 0.46 * (2.0 * PI * i as f64 / m.max(1.0)).cos();
             coeffs.push(sinc * w);
@@ -122,21 +133,26 @@ mod tests {
     fn attenuates_out_of_band_tone() {
         let sr = 48_000.0;
         let mut f = FirFilter::low_pass(2_000.0, sr, 101);
-        let tone: Vec<f64> =
-            (0..2000).map(|n| (2.0 * PI * 12_000.0 * n as f64 / sr).sin()).collect();
+        let tone: Vec<f64> = (0..2000)
+            .map(|n| (2.0 * PI * 12_000.0 * n as f64 / sr).sin())
+            .collect();
         let out = f.process(&tone);
         let rms_in: f64 = (tone.iter().map(|x| x * x).sum::<f64>() / tone.len() as f64).sqrt();
         let tail = &out[500..];
         let rms_out: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();
-        assert!(rms_out < 0.05 * rms_in, "rms_out {rms_out} vs rms_in {rms_in}");
+        assert!(
+            rms_out < 0.05 * rms_in,
+            "rms_out {rms_out} vs rms_in {rms_in}"
+        );
     }
 
     #[test]
     fn preserves_in_band_tone() {
         let sr = 48_000.0;
         let mut f = FirFilter::low_pass(6_000.0, sr, 101);
-        let tone: Vec<f64> =
-            (0..2000).map(|n| (2.0 * PI * 1_000.0 * n as f64 / sr).sin()).collect();
+        let tone: Vec<f64> = (0..2000)
+            .map(|n| (2.0 * PI * 1_000.0 * n as f64 / sr).sin())
+            .collect();
         let out = f.process(&tone);
         let tail = &out[500..];
         let rms_out: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();

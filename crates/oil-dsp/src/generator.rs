@@ -27,12 +27,18 @@ impl ToneGenerator {
     /// Create a tone generator.
     pub fn new(freq_hz: f64, sample_rate_hz: f64, amplitude: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
-        ToneGenerator { freq_hz, sample_rate_hz, amplitude, n: 0 }
+        ToneGenerator {
+            freq_hz,
+            sample_rate_hz,
+            amplitude,
+            n: 0,
+        }
     }
 
     /// Produce the next sample.
     pub fn next_sample(&mut self) -> Sample {
-        let y = self.amplitude * (2.0 * PI * self.freq_hz * self.n as f64 / self.sample_rate_hz).sin();
+        let y =
+            self.amplitude * (2.0 * PI * self.freq_hz * self.n as f64 / self.sample_rate_hz).sin();
         self.n += 1;
         y
     }

@@ -23,7 +23,11 @@ impl Mixer {
     /// Create a mixer with the given local-oscillator frequency.
     pub fn new(lo_freq_hz: f64, sample_rate_hz: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
-        Mixer { lo_freq_hz, sample_rate_hz, phase: 0.0 }
+        Mixer {
+            lo_freq_hz,
+            sample_rate_hz,
+            phase: 0.0,
+        }
     }
 
     /// Mix one sample.
@@ -60,8 +64,9 @@ mod tests {
         let carrier = 20_000.0;
         let mut mixer = Mixer::new(carrier, sr);
         let mut lpf = FirFilter::low_pass(2_000.0, sr, 101);
-        let signal: Vec<f64> =
-            (0..5000).map(|n| (2.0 * PI * carrier * n as f64 / sr).sin()).collect();
+        let signal: Vec<f64> = (0..5000)
+            .map(|n| (2.0 * PI * carrier * n as f64 / sr).sin())
+            .collect();
         let mixed = mixer.process(&signal);
         let filtered = lpf.process(&mixed);
         let tail = &filtered[1000..];

@@ -59,7 +59,14 @@ mod tests {
     #[test]
     fn registry_contains_pal_functions() {
         let reg = dsp_registry(1.0);
-        for f in ["receiveRF", "display", "sound", "LPF", "resamp", "Mix_A_is_not_a_function"] {
+        for f in [
+            "receiveRF",
+            "display",
+            "sound",
+            "LPF",
+            "resamp",
+            "Mix_A_is_not_a_function",
+        ] {
             if f == "Mix_A_is_not_a_function" {
                 assert!(!reg.is_known(f));
             } else {
@@ -75,7 +82,10 @@ mod tests {
         let reg = dsp_registry(1.0);
         let rf_period = 1.0 / 6.4e6;
         for f in ["receiveRF", "LPF_V", "mix"] {
-            assert!(reg.response_time(f) < rf_period, "{f} too slow for 6.4 MS/s");
+            assert!(
+                reg.response_time(f) < rf_period,
+                "{f} too slow for 6.4 MS/s"
+            );
         }
     }
 

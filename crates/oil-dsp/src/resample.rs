@@ -24,12 +24,20 @@ impl Decimator {
     pub fn new(factor: usize, sample_rate_hz: f64, taps: usize) -> Self {
         assert!(factor >= 1, "decimation factor must be at least 1");
         let cutoff = sample_rate_hz / (2.0 * factor as f64) * 0.9;
-        Decimator { factor, filter: FirFilter::low_pass(cutoff, sample_rate_hz, taps), phase: 0 }
+        Decimator {
+            factor,
+            filter: FirFilter::low_pass(cutoff, sample_rate_hz, taps),
+            phase: 0,
+        }
     }
 
     /// Feed `factor` input samples, produce one output sample.
     pub fn process_block(&mut self, input: &[Sample]) -> Sample {
-        assert_eq!(input.len(), self.factor, "block length must equal the factor");
+        assert_eq!(
+            input.len(),
+            self.factor,
+            "block length must equal the factor"
+        );
         let mut out = 0.0;
         for &x in input {
             out = self.filter.push(x);
@@ -73,9 +81,13 @@ impl RationalResampler {
     /// Create a resampler by `up/down` for input sampled at
     /// `sample_rate_hz`.
     pub fn new(up: usize, down: usize, sample_rate_hz: f64, taps: usize) -> Self {
-        assert!(up >= 1 && down >= 1, "resampling factors must be at least 1");
+        assert!(
+            up >= 1 && down >= 1,
+            "resampling factors must be at least 1"
+        );
         let upsampled = sample_rate_hz * up as f64;
-        let cutoff = (sample_rate_hz / 2.0).min(sample_rate_hz * up as f64 / (2.0 * down as f64)) * 0.9;
+        let cutoff =
+            (sample_rate_hz / 2.0).min(sample_rate_hz * up as f64 / (2.0 * down as f64)) * 0.9;
         RationalResampler {
             up,
             down,
@@ -167,7 +179,9 @@ mod tests {
     fn resampler_preserves_low_frequency_tone() {
         let sr = 64_000.0;
         let mut r = RationalResampler::new(1, 2, sr, 101);
-        let tone: Vec<f64> = (0..4000).map(|n| (2.0 * PI * 1000.0 * n as f64 / sr).sin()).collect();
+        let tone: Vec<f64> = (0..4000)
+            .map(|n| (2.0 * PI * 1000.0 * n as f64 / sr).sin())
+            .collect();
         let out = r.process(&tone);
         assert_eq!(out.len(), 2000);
         let tail = &out[500..];

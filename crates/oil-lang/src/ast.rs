@@ -30,13 +30,19 @@ pub struct Ident {
 impl Ident {
     /// Construct an identifier.
     pub fn new(name: impl Into<String>, span: Span) -> Self {
-        Ident { name: name.into(), span }
+        Ident {
+            name: name.into(),
+            span,
+        }
     }
 
     /// Construct an identifier without a source location (for synthesised
     /// nodes, e.g. programs built programmatically in tests and benches).
     pub fn synthetic(name: impl Into<String>) -> Self {
-        Ident { name: name.into(), span: Span::synthetic() }
+        Ident {
+            name: name.into(),
+            span: Span::synthetic(),
+        }
     }
 }
 
@@ -59,13 +65,18 @@ pub struct Program {
 impl Program {
     /// Find a module definition by name.
     pub fn module(&self, name: &str) -> Option<&Module> {
-        self.modules.iter().find(|m| m.name.as_ref().map(|n| n.name.as_str()) == Some(name))
+        self.modules
+            .iter()
+            .find(|m| m.name.as_ref().map(|n| n.name.as_str()) == Some(name))
     }
 
     /// The top module of the program: the anonymous `mod par { .. }` block if
     /// one exists, otherwise the last module in the file.
     pub fn top_module(&self) -> Option<&Module> {
-        self.modules.iter().find(|m| m.name.is_none()).or_else(|| self.modules.last())
+        self.modules
+            .iter()
+            .find(|m| m.name.is_none())
+            .or_else(|| self.modules.last())
     }
 }
 
@@ -106,7 +117,10 @@ pub struct Module {
 impl Module {
     /// The module's name, or `"<top>"` for the anonymous top module.
     pub fn display_name(&self) -> &str {
-        self.name.as_ref().map(|n| n.name.as_str()).unwrap_or("<top>")
+        self.name
+            .as_ref()
+            .map(|n| n.name.as_str())
+            .unwrap_or("<top>")
     }
 
     /// Input stream parameters (those without `out`).
@@ -381,7 +395,11 @@ impl Stmt {
         match self {
             Stmt::LoopWhile { .. } => true,
             Stmt::Assign { .. } | Stmt::Call { .. } => false,
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.iter().any(Stmt::contains_loop)
                     || else_branch.iter().any(Stmt::contains_loop)
             }
@@ -420,7 +438,11 @@ pub struct Access {
 impl Access {
     /// Plain access to a single value.
     pub fn simple(name: Ident) -> Self {
-        Access { name, rate: None, slice: None }
+        Access {
+            name,
+            rate: None,
+            slice: None,
+        }
     }
 
     /// Number of values transferred per access: `n` for `r:n`, the slice
@@ -549,7 +571,10 @@ impl Expr {
     /// Source location of the expression.
     pub fn span(&self) -> Span {
         match self {
-            Expr::Int(_, s) | Expr::Float(_, s) | Expr::Var(_, s) | Expr::Not(_, s)
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Var(_, s)
+            | Expr::Not(_, s)
             | Expr::Opaque(s) => *s,
             Expr::Call { span, .. } | Expr::Binary { span, .. } => *span,
         }
@@ -609,9 +634,33 @@ mod tests {
     #[test]
     fn access_count() {
         assert_eq!(Access::simple(ident("x")).count(), 1);
-        assert_eq!(Access { name: ident("x"), rate: Some(3), slice: None }.count(), 3);
-        assert_eq!(Access { name: ident("x"), rate: None, slice: Some((0, 2)) }.count(), 3);
-        assert_eq!(Access { name: ident("x"), rate: None, slice: Some((4, 5)) }.count(), 2);
+        assert_eq!(
+            Access {
+                name: ident("x"),
+                rate: Some(3),
+                slice: None
+            }
+            .count(),
+            3
+        );
+        assert_eq!(
+            Access {
+                name: ident("x"),
+                rate: None,
+                slice: Some((0, 2))
+            }
+            .count(),
+            3
+        );
+        assert_eq!(
+            Access {
+                name: ident("x"),
+                rate: None,
+                slice: Some((4, 5))
+            }
+            .count(),
+            2
+        );
     }
 
     #[test]
@@ -668,7 +717,11 @@ mod tests {
             span: Span::synthetic(),
         };
         assert!(s.contains_loop());
-        let s2 = Stmt::Call { func: ident("f"), args: vec![], span: Span::synthetic() };
+        let s2 = Stmt::Call {
+            func: ident("f"),
+            args: vec![],
+            span: Span::synthetic(),
+        };
         assert!(!s2.contains_loop());
     }
 

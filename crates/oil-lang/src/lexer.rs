@@ -21,7 +21,13 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, column: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     /// Tokenise the whole input. The returned vector always ends with an
@@ -109,7 +115,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let (start, line, column) = (self.pos, self.line, self.column);
         let Some(b) = self.peek() else {
-            return Ok(Token::new(TokenKind::Eof, self.span_from(start, line, column)));
+            return Ok(Token::new(
+                TokenKind::Eof,
+                self.span_from(start, line, column),
+            ));
         };
 
         // Unicode parallel bar `‖` (U+2016, UTF-8 e2 80 96).
@@ -117,7 +126,10 @@ impl<'a> Lexer<'a> {
             for _ in 0..'\u{2016}'.len_utf8() {
                 self.bump();
             }
-            return Ok(Token::new(TokenKind::ParallelBar, self.span_from(start, line, column)));
+            return Ok(Token::new(
+                TokenKind::ParallelBar,
+                self.span_from(start, line, column),
+            ));
         }
 
         if b.is_ascii_alphabetic() || b == b'_' {
@@ -149,7 +161,10 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let text: String = self.src[start..self.pos].chars().filter(|c| *c != '_').collect();
+            let text: String = self.src[start..self.pos]
+                .chars()
+                .filter(|c| *c != '_')
+                .collect();
             let span = self.span_from(start, line, column);
             let kind = if is_float {
                 TokenKind::Float(text.parse().map_err(|_| {
@@ -334,9 +349,15 @@ mod tests {
     #[test]
     fn lex_parallel_bars() {
         let k = kinds("A(out x, y) || B(out y, x)");
-        assert_eq!(k.iter().filter(|t| **t == TokenKind::ParallelBar).count(), 1);
+        assert_eq!(
+            k.iter().filter(|t| **t == TokenKind::ParallelBar).count(),
+            1
+        );
         let k2 = kinds("A(out x, y) \u{2016} B(out y, x)");
-        assert_eq!(k2.iter().filter(|t| **t == TokenKind::ParallelBar).count(), 1);
+        assert_eq!(
+            k2.iter().filter(|t| **t == TokenKind::ParallelBar).count(),
+            1
+        );
     }
 
     #[test]
@@ -354,8 +375,16 @@ mod tests {
     #[test]
     fn lex_comments() {
         let k = kinds("x = 1; // trailing comment\n/* block\ncomment */ y = 2;");
-        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(_))).count(), 2);
-        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Int(_))).count(), 2);
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Ident(_)))
+                .count(),
+            2
+        );
+        assert_eq!(
+            k.iter().filter(|t| matches!(t, TokenKind::Int(_))).count(),
+            2
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn parse_program(source: &str) -> Result<Program, Diagnostic> {
 impl Parser {
     /// Create a parser for `source`, running the lexer eagerly.
     pub fn new(source: &str) -> Result<Self, Diagnostic> {
-        Ok(Parser { tokens: tokenize(source)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(source)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -79,9 +82,10 @@ impl Parser {
                 let t = self.bump();
                 Ok(Ident::new(name, t.span))
             }
-            other => {
-                Err(Diagnostic::error(format!("expected identifier, found {other}"), self.peek().span))
-            }
+            other => Err(Diagnostic::error(
+                format!("expected identifier, found {other}"),
+                self.peek().span,
+            )),
         }
     }
 
@@ -91,9 +95,10 @@ impl Parser {
                 let t = self.bump();
                 Ok((n, t.span))
             }
-            ref other => {
-                Err(Diagnostic::error(format!("expected integer, found {other}"), self.peek().span))
-            }
+            ref other => Err(Diagnostic::error(
+                format!("expected integer, found {other}"),
+                self.peek().span,
+            )),
         }
     }
 
@@ -107,9 +112,10 @@ impl Parser {
                 let t = self.bump();
                 Ok((x, t.span))
             }
-            ref other => {
-                Err(Diagnostic::error(format!("expected number, found {other}"), self.peek().span))
-            }
+            ref other => Err(Diagnostic::error(
+                format!("expected number, found {other}"),
+                self.peek().span,
+            )),
         }
     }
 
@@ -120,7 +126,10 @@ impl Parser {
             modules.push(self.parse_module()?);
         }
         if modules.is_empty() {
-            return Err(Diagnostic::error("a program must contain at least one module", Span::synthetic()));
+            return Err(Diagnostic::error(
+                "a program must contain at least one module",
+                Span::synthetic(),
+            ));
         }
         Ok(Program { modules })
     }
@@ -133,7 +142,10 @@ impl Parser {
             ModuleKind::Seq
         } else {
             return Err(Diagnostic::error(
-                format!("expected `par` or `seq` after `mod`, found {}", self.peek_kind()),
+                format!(
+                    "expected `par` or `seq` after `mod`, found {}",
+                    self.peek_kind()
+                ),
                 self.peek().span,
             ));
         };
@@ -152,7 +164,11 @@ impl Parser {
                     let out = self.eat(&TokenKind::Out);
                     let ty = self.expect_ident()?;
                     let pname = self.expect_ident()?;
-                    params.push(StreamParam { out, ty, name: pname });
+                    params.push(StreamParam {
+                        out,
+                        ty,
+                        name: pname,
+                    });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -168,7 +184,13 @@ impl Parser {
         };
         let end = self.expect(TokenKind::RBrace)?.span;
 
-        Ok(Module { name, kind, params, body, span: start.merge(end) })
+        Ok(Module {
+            name,
+            kind,
+            params,
+            body,
+            span: start.merge(end),
+        })
     }
 
     // ---- parallel bodies -------------------------------------------------
@@ -206,7 +228,11 @@ impl Parser {
             }
         }
 
-        Ok(ParBody { buffers, latencies, calls })
+        Ok(ParBody {
+            buffers,
+            latencies,
+            calls,
+        })
     }
 
     fn parse_fifo_decl(&mut self) -> Result<BufferDecl, Diagnostic> {
@@ -217,7 +243,11 @@ impl Parser {
             names.push(self.expect_ident()?);
         }
         let end = self.expect(TokenKind::Semicolon)?.span;
-        Ok(BufferDecl::Fifo { ty, names, span: start.merge(end) })
+        Ok(BufferDecl::Fifo {
+            ty,
+            names,
+            span: start.merge(end),
+        })
     }
 
     fn parse_source_sink(&mut self, is_source: bool) -> Result<BufferDecl, Diagnostic> {
@@ -233,9 +263,21 @@ impl Parser {
         let end = self.expect(TokenKind::Semicolon)?.span;
         let span = start.merge(end);
         Ok(if is_source {
-            BufferDecl::Source { ty, name, func, rate, span }
+            BufferDecl::Source {
+                ty,
+                name,
+                func,
+                rate,
+                span,
+            }
         } else {
-            BufferDecl::Sink { ty, name, func, rate, span }
+            BufferDecl::Sink {
+                ty,
+                name,
+                func,
+                rate,
+                span,
+            }
         })
     }
 
@@ -302,7 +344,13 @@ impl Parser {
         };
         let reference = self.expect_ident()?;
         let end = self.expect(TokenKind::Semicolon)?.span;
-        Ok(LatencyConstraint { subject, amount_ms, relation, reference, span: start.merge(end) })
+        Ok(LatencyConstraint {
+            subject,
+            amount_ms,
+            relation,
+            reference,
+            span: start.merge(end),
+        })
     }
 
     fn parse_module_call(&mut self) -> Result<ModuleCall, Diagnostic> {
@@ -321,7 +369,11 @@ impl Parser {
             }
         }
         let end = self.expect(TokenKind::RParen)?.span;
-        Ok(ModuleCall { module, args, span: start.merge(end) })
+        Ok(ModuleCall {
+            module,
+            args,
+            span: start.merge(end),
+        })
     }
 
     // ---- sequential bodies -----------------------------------------------
@@ -359,7 +411,12 @@ impl Parser {
                 array_len = Some(n as u64);
                 span = span.merge(self.expect(TokenKind::RBracket)?.span);
             }
-            decls.push(VarDecl { ty: ty.clone(), name, array_len, span });
+            decls.push(VarDecl {
+                ty: ty.clone(),
+                name,
+                array_len,
+                span,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -417,7 +474,12 @@ impl Parser {
                 end = self.tokens[self.pos - 1].span;
             }
         }
-        Ok(Stmt::If { cond, then_branch, else_branch, span: start.merge(end) })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: start.merge(end),
+        })
     }
 
     fn parse_switch(&mut self) -> Result<Stmt, Diagnostic> {
@@ -431,12 +493,21 @@ impl Parser {
             let (value, _) = self.expect_int()?;
             let body = self.parse_block()?;
             let cend = self.tokens[self.pos - 1].span;
-            cases.push(Case { value, body, span: cstart.merge(cend) });
+            cases.push(Case {
+                value,
+                body,
+                span: cstart.merge(cend),
+            });
         }
         self.expect(TokenKind::Default)?;
         let default = self.parse_block()?;
         let end = self.tokens[self.pos - 1].span;
-        Ok(Stmt::Switch { scrutinee, cases, default, span: start.merge(end) })
+        Ok(Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            span: start.merge(end),
+        })
     }
 
     fn parse_loop(&mut self) -> Result<Stmt, Diagnostic> {
@@ -447,7 +518,11 @@ impl Parser {
         let cond = self.parse_expr()?;
         let end = self.expect(TokenKind::RParen)?.span;
         self.eat(&TokenKind::Semicolon);
-        Ok(Stmt::LoopWhile { body, cond, span: start.merge(end) })
+        Ok(Stmt::LoopWhile {
+            body,
+            cond,
+            span: start.merge(end),
+        })
     }
 
     fn parse_call_stmt(&mut self) -> Result<Stmt, Diagnostic> {
@@ -469,7 +544,11 @@ impl Parser {
         }
         self.expect(TokenKind::RParen)?;
         let end = self.expect(TokenKind::Semicolon)?.span;
-        Ok(Stmt::Call { func, args, span: start.merge(end) })
+        Ok(Stmt::Call {
+            func,
+            args,
+            span: start.merge(end),
+        })
     }
 
     fn parse_assign(&mut self) -> Result<Stmt, Diagnostic> {
@@ -478,7 +557,11 @@ impl Parser {
         self.expect(TokenKind::Assign)?;
         let value = self.parse_expr()?;
         let end = self.expect(TokenKind::Semicolon)?.span;
-        Ok(Stmt::Assign { target, value, span: start.merge(end) })
+        Ok(Stmt::Assign {
+            target,
+            value,
+            span: start.merge(end),
+        })
     }
 
     fn parse_access(&mut self) -> Result<Access, Diagnostic> {
@@ -534,7 +617,12 @@ impl Parser {
             self.bump();
             let rhs = self.parse_expr_bp(bp + 1)?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -591,7 +679,11 @@ impl Parser {
                         }
                     }
                     let end = self.expect(TokenKind::RParen)?.span;
-                    Ok(Expr::Call { func, args, span: start.merge(end) })
+                    Ok(Expr::Call {
+                        func,
+                        args,
+                        span: start.merge(end),
+                    })
                 } else {
                     let access = self.parse_access()?;
                     let span = access.name.span;
@@ -698,7 +790,12 @@ mod tests {
             ModuleBody::Seq(b) => {
                 assert_eq!(b.stmts.len(), 2);
                 match &b.stmts[0] {
-                    Stmt::If { cond, then_branch, else_branch, .. } => {
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         assert!(matches!(cond, Expr::Opaque(_)));
                         assert_eq!(then_branch.len(), 1);
                         assert_eq!(else_branch.len(), 1);
@@ -834,7 +931,12 @@ mod tests {
         let e = p.parse_expr().unwrap();
         // Expect ((a + (b*c)) - (d/2))
         match e {
-            Expr::Binary { op: BinOp::Sub, lhs, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*lhs, Expr::Binary { op: BinOp::Add, .. }));
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Div, .. }));
             }
@@ -902,8 +1004,9 @@ mod tests {
             ("@ 32000", 32000.0),
             ("@ 6.4 MS/s", 6.4e6),
         ] {
-            let src =
-                format!("mod par D(){{ source int x = s() {text}; sink int y = t() @ 1 Hz; A(x, out y) }}");
+            let src = format!(
+                "mod par D(){{ source int x = s() {text}; sink int y = t() @ 1 Hz; A(x, out y) }}"
+            );
             let p = parse_program(&src).unwrap();
             match &p.module("D").unwrap().body {
                 ModuleBody::Par(b) => match &b.buffers[0] {

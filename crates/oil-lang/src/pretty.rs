@@ -49,10 +49,22 @@ fn print_par_body(body: &ParBody, out: &mut String) {
                 let names: Vec<&str> = names.iter().map(|n| n.name.as_str()).collect();
                 let _ = writeln!(out, "    fifo {} {};", ty, names.join(", "));
             }
-            BufferDecl::Source { ty, name, func, rate, .. } => {
+            BufferDecl::Source {
+                ty,
+                name,
+                func,
+                rate,
+                ..
+            } => {
                 let _ = writeln!(out, "    source {ty} {name} = {func}() @ {} Hz;", rate.hz);
             }
-            BufferDecl::Sink { ty, name, func, rate, .. } => {
+            BufferDecl::Sink {
+                ty,
+                name,
+                func,
+                rate,
+                ..
+            } => {
                 let _ = writeln!(out, "    sink {ty} {name} = {func}() @ {} Hz;", rate.hz);
             }
         }
@@ -62,7 +74,11 @@ fn print_par_body(body: &ParBody, out: &mut String) {
             LatencyRelation::After => "after",
             LatencyRelation::Before => "before",
         };
-        let _ = writeln!(out, "    start {} {} ms {} {};", l.subject, l.amount_ms, rel, l.reference);
+        let _ = writeln!(
+            out,
+            "    start {} {} ms {} {};",
+            l.subject, l.amount_ms, rel, l.reference
+        );
     }
     if !body.calls.is_empty() {
         out.push_str("    ");
@@ -129,7 +145,12 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
                 .collect();
             let _ = writeln!(out, "{}({});", func, args.join(", "));
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let _ = writeln!(out, "if({}) {{", print_expr(cond));
             for s in then_branch {
                 print_stmt(s, level + 1, out);
@@ -146,7 +167,12 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
                 out.push_str("}\n");
             }
         }
-        Stmt::Switch { scrutinee, cases, default, .. } => {
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            ..
+        } => {
             let _ = writeln!(out, "switch({})", print_expr(scrutinee));
             for c in cases {
                 indent(level, out);

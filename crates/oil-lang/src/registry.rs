@@ -92,7 +92,12 @@ impl BlackBoxInterface {
         production: Vec<u64>,
         response_time: f64,
     ) -> Self {
-        BlackBoxInterface { name: name.into(), consumption, production, response_time }
+        BlackBoxInterface {
+            name: name.into(),
+            consumption,
+            production,
+            response_time,
+        }
     }
 }
 
@@ -157,13 +162,19 @@ impl FunctionRegistry {
     /// The response time to assume for `name`: the registered worst case, or
     /// the default for unknown functions.
     pub fn response_time(&self, name: &str) -> f64 {
-        self.functions.get(name).map(|f| f.response_time).unwrap_or(self.default_response_time)
+        self.functions
+            .get(name)
+            .map(|f| f.response_time)
+            .unwrap_or(self.default_response_time)
     }
 
     /// True if the function may be coordinated by OIL (side-effect free or
     /// unknown).
     pub fn is_side_effect_free(&self, name: &str) -> bool {
-        self.functions.get(name).map(|f| f.side_effect_free).unwrap_or(true)
+        self.functions
+            .get(name)
+            .map(|f| f.side_effect_free)
+            .unwrap_or(true)
     }
 
     /// Iterate over all registered functions.

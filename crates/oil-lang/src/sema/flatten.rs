@@ -11,8 +11,15 @@
 use crate::ast::*;
 use crate::registry::FunctionRegistry;
 use crate::span::{Diagnostic, Span};
+use oil_dataflow::define_index_type;
+use oil_dataflow::index::{ChannelId, IndexVec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+define_index_type! {
+    /// A leaf instance of the flattened application graph.
+    pub struct InstanceId = "i";
+}
 
 /// How a channel transports data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,7 +47,9 @@ impl ChannelKind {
     pub fn rate_hz(&self) -> Option<f64> {
         match self {
             ChannelKind::Fifo => None,
-            ChannelKind::Source { rate_hz, .. } | ChannelKind::Sink { rate_hz, .. } => Some(*rate_hz),
+            ChannelKind::Source { rate_hz, .. } | ChannelKind::Sink { rate_hz, .. } => {
+                Some(*rate_hz)
+            }
         }
     }
 
@@ -66,10 +75,10 @@ pub struct Channel {
     pub kind: ChannelKind,
     /// The leaf instance writing this channel (`None` for sources, which are
     /// written by the environment).
-    pub writer: Option<usize>,
+    pub writer: Option<InstanceId>,
     /// The leaf instances reading this channel. All readers observe the same
     /// values (FIFOs in OIL may have multiple readers).
-    pub readers: Vec<usize>,
+    pub readers: Vec<InstanceId>,
 }
 
 /// A binding of a leaf instance's stream parameter to a channel.
@@ -79,8 +88,8 @@ pub struct Binding {
     pub param: String,
     /// True if the instance writes the channel through this parameter.
     pub out: bool,
-    /// Index into [`AppGraph::channels`].
-    pub channel: usize,
+    /// The bound channel.
+    pub channel: ChannelId,
 }
 
 /// A leaf instance of the flattened application: a sequential module or a
@@ -101,26 +110,26 @@ pub struct ModuleInstance {
 }
 
 /// A latency constraint between two source/sink channels, resolved to channel
-/// indices.
+/// ids.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencySpec {
-    /// Channel index of the constrained source/sink (`start <subject> ..`).
-    pub subject: usize,
+    /// Channel of the constrained source/sink (`start <subject> ..`).
+    pub subject: ChannelId,
     /// Constraint amount in milliseconds.
     pub amount_ms: f64,
     /// Whether the subject starts after or before the reference.
     pub relation: LatencyRelation,
-    /// Channel index of the reference source/sink.
-    pub reference: usize,
+    /// Channel of the reference source/sink.
+    pub reference: ChannelId,
 }
 
 /// The flattened application graph.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct AppGraph {
     /// All leaf instances.
-    pub instances: Vec<ModuleInstance>,
+    pub instances: IndexVec<InstanceId, ModuleInstance>,
     /// All channels.
-    pub channels: Vec<Channel>,
+    pub channels: IndexVec<ChannelId, Channel>,
     /// All latency constraints.
     pub latencies: Vec<LatencySpec>,
 }
@@ -128,29 +137,31 @@ pub struct AppGraph {
 impl AppGraph {
     /// Find a channel by its hierarchical name suffix (e.g. `"vid"` matches
     /// `<top>.vid`).
-    pub fn channel_named(&self, suffix: &str) -> Option<(usize, &Channel)> {
+    pub fn channel_named(&self, suffix: &str) -> Option<(ChannelId, &Channel)> {
         self.channels
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .find(|(_, c)| c.name == suffix || c.name.ends_with(&format!(".{suffix}")))
     }
 
     /// Find an instance by the final component of its path.
-    pub fn instance_named(&self, name: &str) -> Option<(usize, &ModuleInstance)> {
+    pub fn instance_named(&self, name: &str) -> Option<(InstanceId, &ModuleInstance)> {
         self.instances
-            .iter()
-            .enumerate()
+            .iter_enumerated()
             .find(|(_, i)| i.path == name || i.path.ends_with(&format!(".{name}")))
     }
 
     /// All source channels.
-    pub fn sources(&self) -> impl Iterator<Item = (usize, &Channel)> {
-        self.channels.iter().enumerate().filter(|(_, c)| c.kind.is_source())
+    pub fn sources(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter_enumerated()
+            .filter(|(_, c)| c.kind.is_source())
     }
 
     /// All sink channels.
-    pub fn sinks(&self) -> impl Iterator<Item = (usize, &Channel)> {
-        self.channels.iter().enumerate().filter(|(_, c)| c.kind.is_sink())
+    pub fn sinks(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter_enumerated()
+            .filter(|(_, c)| c.kind.is_sink())
     }
 }
 
@@ -171,12 +182,20 @@ pub fn flatten(
     let top = match program.top_module() {
         Some(t) => t,
         None => {
-            diags.push(Diagnostic::error("program has no modules", Span::synthetic()));
+            diags.push(Diagnostic::error(
+                "program has no modules",
+                Span::synthetic(),
+            ));
             return None;
         }
     };
 
-    let mut fl = Flattener { program, registry, graph: AppGraph::default(), diags };
+    let mut fl = Flattener {
+        program,
+        registry,
+        graph: AppGraph::default(),
+        diags,
+    };
 
     match &top.body {
         ModuleBody::Par(_) => {
@@ -210,7 +229,11 @@ pub fn flatten(
                     p.ty.name.clone(),
                     ChannelKind::Fifo,
                 );
-                inst_bindings.push(Binding { param: p.name.name.clone(), out: p.out, channel: idx });
+                inst_bindings.push(Binding {
+                    param: p.name.name.clone(),
+                    out: p.out,
+                    channel: idx,
+                });
             }
             fl.add_instance(ModuleInstance {
                 path: top_name.clone(),
@@ -227,13 +250,18 @@ pub fn flatten(
 }
 
 impl<'a> Flattener<'a> {
-    fn add_channel(&mut self, name: String, ty: String, kind: ChannelKind) -> usize {
-        self.graph.channels.push(Channel { name, ty, kind, writer: None, readers: Vec::new() });
-        self.graph.channels.len() - 1
+    fn add_channel(&mut self, name: String, ty: String, kind: ChannelKind) -> ChannelId {
+        self.graph.channels.push(Channel {
+            name,
+            ty,
+            kind,
+            writer: None,
+            readers: Vec::new(),
+        })
     }
 
-    fn add_instance(&mut self, instance: ModuleInstance) -> usize {
-        let idx = self.graph.instances.len();
+    fn add_instance(&mut self, instance: ModuleInstance) -> InstanceId {
+        let idx = self.graph.instances.next_index();
         // Register reader/writer relationships on the channels.
         for b in &instance.bindings {
             if b.out {
@@ -266,8 +294,22 @@ impl<'a> Flattener<'a> {
         idx
     }
 
-    fn expand_par(&mut self, module: &Module, path: &str, outer: &BTreeMap<String, usize>) {
-        let ModuleBody::Par(body) = &module.body else { return };
+    /// Source/sink frequencies must convert losslessly into the exact
+    /// rationals the temporal analyses compute with; a literal too extreme
+    /// for `i128` is a front-end error, not a panic deep in the compiler.
+    fn check_exact_rate(&mut self, name: &str, rate_hz: f64, span: Span) {
+        if oil_dataflow::Rational::from_f64_lossless(rate_hz).is_none() {
+            self.diags.push(Diagnostic::error(
+                format!("rate {rate_hz} Hz of `{name}` has no exact rational representation"),
+                span,
+            ));
+        }
+    }
+
+    fn expand_par(&mut self, module: &Module, path: &str, outer: &BTreeMap<String, ChannelId>) {
+        let ModuleBody::Par(body) = &module.body else {
+            return;
+        };
 
         // Channels visible in this body: the outer bindings plus local
         // declarations.
@@ -284,19 +326,39 @@ impl<'a> Flattener<'a> {
                         visible.insert(n.name.clone(), idx);
                     }
                 }
-                BufferDecl::Source { ty, name, func, rate, .. } => {
+                BufferDecl::Source {
+                    ty,
+                    name,
+                    func,
+                    rate,
+                    span,
+                } => {
+                    self.check_exact_rate(&name.name, rate.hz, *span);
                     let idx = self.add_channel(
                         format!("{path}.{}", name.name),
                         ty.name.clone(),
-                        ChannelKind::Source { func: func.name.clone(), rate_hz: rate.hz },
+                        ChannelKind::Source {
+                            func: func.name.clone(),
+                            rate_hz: rate.hz,
+                        },
                     );
                     visible.insert(name.name.clone(), idx);
                 }
-                BufferDecl::Sink { ty, name, func, rate, .. } => {
+                BufferDecl::Sink {
+                    ty,
+                    name,
+                    func,
+                    rate,
+                    span,
+                } => {
+                    self.check_exact_rate(&name.name, rate.hz, *span);
                     let idx = self.add_channel(
                         format!("{path}.{}", name.name),
                         ty.name.clone(),
-                        ChannelKind::Sink { func: func.name.clone(), rate_hz: rate.hz },
+                        ChannelKind::Sink {
+                            func: func.name.clone(),
+                            rate_hz: rate.hz,
+                        },
                     );
                     visible.insert(name.name.clone(), idx);
                 }
@@ -305,6 +367,16 @@ impl<'a> Flattener<'a> {
 
         // Latency constraints of this body.
         for l in &body.latencies {
+            if oil_dataflow::Rational::from_f64_lossless(l.amount_ms).is_none() {
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "latency amount {} ms has no exact rational representation",
+                        l.amount_ms
+                    ),
+                    l.span,
+                ));
+                continue;
+            }
             let subject = visible.get(&l.subject.name).copied();
             let reference = visible.get(&l.reference.name).copied();
             if let (Some(subject), Some(reference)) = (subject, reference) {
@@ -323,13 +395,19 @@ impl<'a> Flattener<'a> {
         for (call_idx, call) in body.calls.iter().enumerate() {
             let child_path = format!("{path}.{}", call.module.name);
             // Disambiguate multiple instantiations of the same module.
-            let child_path = if body.calls.iter().filter(|c| c.module.name == call.module.name).count() > 1 {
+            let child_path = if body
+                .calls
+                .iter()
+                .filter(|c| c.module.name == call.module.name)
+                .count()
+                > 1
+            {
                 format!("{child_path}#{call_idx}")
             } else {
                 child_path
             };
 
-            let arg_channels: Vec<(bool, Option<usize>)> = call
+            let arg_channels: Vec<(bool, Option<ChannelId>)> = call
                 .args
                 .iter()
                 .map(|a| (a.out, visible.get(&a.name.name).copied()))
@@ -349,8 +427,11 @@ impl<'a> Flattener<'a> {
                 }
                 Some(callee) => {
                     // A sequential leaf module.
-                    let module_index =
-                        self.program.modules.iter().position(|m| std::ptr::eq(m, callee));
+                    let module_index = self
+                        .program
+                        .modules
+                        .iter()
+                        .position(|m| std::ptr::eq(m, callee));
                     let bindings = callee
                         .params
                         .iter()
@@ -486,7 +567,9 @@ mod tests {
         let (g, _) = flatten_src("mod seq M(out int x){ k(y, out x:2); }");
         assert_eq!(g.instances.len(), 1);
         assert_eq!(g.channels.len(), 1);
-        assert_eq!(g.channels[0].writer, Some(0));
+        let (mi, _) = g.instance_named("M").unwrap();
+        let (_, x) = g.channel_named("x").unwrap();
+        assert_eq!(x.writer, Some(mi));
     }
 
     #[test]
@@ -504,7 +587,8 @@ mod tests {
         );
         assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
         assert_eq!(g.instances.len(), 2);
-        assert_ne!(g.instances[0].path, g.instances[1].path);
+        let paths: Vec<&str> = g.instances.iter().map(|i| i.path.as_str()).collect();
+        assert_ne!(paths[0], paths[1]);
     }
 
     #[test]
@@ -523,8 +607,11 @@ mod tests {
         registry.register_black_box(BlackBoxInterface::new("Video", vec![1], vec![1], 1e-6));
         let mut diags = Vec::new();
         let g = flatten(&program, &registry, &mut diags).unwrap();
-        assert!(diags.iter().all(|d| !d.message.contains("black box")), "{diags:?}");
-        assert!(g.instances[0].black_box);
+        assert!(
+            diags.iter().all(|d| !d.message.contains("black box")),
+            "{diags:?}"
+        );
+        assert!(g.instances.iter().all(|i| i.black_box));
     }
 
     #[test]
@@ -540,7 +627,9 @@ mod tests {
             }
             "#,
         );
-        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("never written")));
+        assert!(diags
+            .iter()
+            .any(|d| d.is_error() && d.message.contains("never written")));
     }
 
     #[test]

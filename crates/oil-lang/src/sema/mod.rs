@@ -20,7 +20,9 @@ mod flatten;
 mod restrict;
 mod streams;
 
-pub use flatten::{AppGraph, Binding, Channel, ChannelKind, LatencySpec, ModuleInstance};
+pub use flatten::{
+    AppGraph, Binding, Channel, ChannelKind, InstanceId, LatencySpec, ModuleInstance,
+};
 pub use streams::written_streams;
 
 use crate::ast::Program;
@@ -57,7 +59,10 @@ impl std::fmt::Display for SemaError {
 impl std::error::Error for SemaError {}
 
 /// Run all semantic checks on `program` and flatten its module hierarchy.
-pub fn analyze(program: &Program, registry: &FunctionRegistry) -> Result<AnalyzedProgram, SemaError> {
+pub fn analyze(
+    program: &Program,
+    registry: &FunctionRegistry,
+) -> Result<AnalyzedProgram, SemaError> {
     let mut diagnostics = Vec::new();
 
     restrict::check(program, registry, &mut diagnostics);
@@ -74,7 +79,11 @@ pub fn analyze(program: &Program, registry: &FunctionRegistry) -> Result<Analyze
     let graph = graph.expect("flatten returns a graph when no errors were emitted");
 
     let warnings = diagnostics;
-    Ok(AnalyzedProgram { program: program.clone(), warnings, graph })
+    Ok(AnalyzedProgram {
+        program: program.clone(),
+        warnings,
+        graph,
+    })
 }
 
 #[cfg(test)]
@@ -85,7 +94,9 @@ mod tests {
 
     fn registry() -> FunctionRegistry {
         let mut reg = FunctionRegistry::new();
-        for f in ["f", "g", "h", "k", "init", "src", "snk", "LPF", "resamp", "mix"] {
+        for f in [
+            "f", "g", "h", "k", "init", "src", "snk", "LPF", "resamp", "mix",
+        ] {
             reg.register(FunctionSignature::pure(f, 1e-6));
         }
         reg
@@ -127,7 +138,12 @@ mod tests {
         let analyzed = analyze(&parse_program(src).unwrap(), &registry()).unwrap();
         // Two leaf instances: D.A.B and D.A.C.
         assert_eq!(analyzed.graph.instances.len(), 2);
-        let paths: Vec<&str> = analyzed.graph.instances.iter().map(|i| i.path.as_str()).collect();
+        let paths: Vec<&str> = analyzed
+            .graph
+            .instances
+            .iter()
+            .map(|i| i.path.as_str())
+            .collect();
         assert!(paths.iter().any(|p| p.ends_with("B")));
         assert!(paths.iter().any(|p| p.ends_with("C")));
         // Channels: x (source), y (sink), z (fifo).
@@ -168,7 +184,12 @@ mod tests {
         reg.register_black_box(BlackBoxInterface::new("Video", vec![1], vec![1], 1e-6));
         let analyzed = analyze(&parse_program(src).unwrap(), &reg).unwrap();
         assert_eq!(analyzed.graph.instances.len(), 2);
-        let video = analyzed.graph.instances.iter().find(|i| i.module_name == "Video").unwrap();
+        let video = analyzed
+            .graph
+            .instances
+            .iter()
+            .find(|i| i.module_name == "Video")
+            .unwrap();
         assert!(video.black_box);
     }
 
@@ -195,7 +216,10 @@ mod tests {
             mod par B(int x, out int y){ A(x, out y) }
         "#;
         let err = analyze(&parse_program(src).unwrap(), &registry()).unwrap_err();
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("recursi")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("recursi")));
     }
 
     #[test]
@@ -218,13 +242,19 @@ mod tests {
         let mut reg = registry();
         reg.register(FunctionSignature::impure("log_to_disk", 1e-6));
         let err = analyze(&parse_program(src).unwrap(), &reg).unwrap_err();
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("side-effect")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("side-effect")));
     }
 
     #[test]
     fn output_stream_never_written_is_rejected() {
         let src = r#"mod seq A(int a, out int b){ loop{ f(a); } while(1); }"#;
         let err = analyze(&parse_program(src).unwrap(), &registry()).unwrap_err();
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("never written")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("never written")));
     }
 }

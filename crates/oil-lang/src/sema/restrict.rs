@@ -74,7 +74,8 @@ fn check_no_module_recursion(program: &Program, diags: &mut Vec<Diagnostic>) {
         Grey,
         Black,
     }
-    let mut color: BTreeMap<&str, Color> = edges.keys().map(|k| (k.as_str(), Color::White)).collect();
+    let mut color: BTreeMap<&str, Color> =
+        edges.keys().map(|k| (k.as_str(), Color::White)).collect();
 
     fn dfs<'a>(
         node: &'a str,
@@ -88,8 +89,7 @@ fn check_no_module_recursion(program: &Program, diags: &mut Vec<Diagnostic>) {
             for succ in succs {
                 match color.get(succ.as_str()).copied() {
                     Some(Color::Grey) => {
-                        let mut cycle: Vec<String> =
-                            stack.iter().map(|s| s.to_string()).collect();
+                        let mut cycle: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
                         cycle.push(succ.clone());
                         return Some(cycle);
                     }
@@ -133,7 +133,9 @@ fn check_no_module_recursion(program: &Program, diags: &mut Vec<Diagnostic>) {
 /// arguments must be visible in the instantiating module.
 fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
     for m in &program.modules {
-        let ModuleBody::Par(body) = &m.body else { continue };
+        let ModuleBody::Par(body) = &m.body else {
+            continue;
+        };
 
         // Names visible inside this parallel body: its own stream parameters
         // plus locally declared FIFOs, sources and sinks.
@@ -144,7 +146,11 @@ fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
                     for n in names {
                         if !visible.insert(n.name.as_str()) {
                             diags.push(Diagnostic::error(
-                                format!("`{}` is declared more than once in module `{}`", n.name, m.display_name()),
+                                format!(
+                                    "`{}` is declared more than once in module `{}`",
+                                    n.name,
+                                    m.display_name()
+                                ),
                                 n.span,
                             ));
                         }
@@ -153,7 +159,11 @@ fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
                 BufferDecl::Source { name, .. } | BufferDecl::Sink { name, .. } => {
                     if !visible.insert(name.name.as_str()) {
                         diags.push(Diagnostic::error(
-                            format!("`{}` is declared more than once in module `{}`", name.name, m.display_name()),
+                            format!(
+                                "`{}` is declared more than once in module `{}`",
+                                name.name,
+                                m.display_name()
+                            ),
                             name.span,
                         ));
                     }
@@ -163,7 +173,10 @@ fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
 
         if body.calls.is_empty() {
             diags.push(Diagnostic::warning(
-                format!("parallel module `{}` instantiates no modules", m.display_name()),
+                format!(
+                    "parallel module `{}` instantiates no modules",
+                    m.display_name()
+                ),
                 m.span,
             ));
         }
@@ -237,7 +250,10 @@ fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
                 }
             }
             if l.amount_ms < 0.0 {
-                diags.push(Diagnostic::error("latency constraint amount must be non-negative", l.span));
+                diags.push(Diagnostic::error(
+                    "latency constraint amount must be non-negative",
+                    l.span,
+                ));
             }
         }
     }
@@ -247,13 +263,18 @@ fn check_instantiations(program: &Program, diags: &mut Vec<Diagnostic>) {
 /// functions side-effect free, no writes to input streams and no reads of
 /// values that are never produced.
 fn check_seq_bodies(program: &Program, registry: &FunctionRegistry, diags: &mut Vec<Diagnostic>) {
-    let module_names: BTreeSet<&str> =
-        program.modules.iter().filter_map(|m| m.name.as_ref()).map(|n| n.name.as_str()).collect();
+    let module_names: BTreeSet<&str> = program
+        .modules
+        .iter()
+        .filter_map(|m| m.name.as_ref())
+        .map(|n| n.name.as_str())
+        .collect();
 
     for m in &program.modules {
-        let ModuleBody::Seq(body) = &m.body else { continue };
-        let input_params: BTreeSet<&str> =
-            m.input_params().map(|p| p.name.name.as_str()).collect();
+        let ModuleBody::Seq(body) = &m.body else {
+            continue;
+        };
+        let input_params: BTreeSet<&str> = m.input_params().map(|p| p.name.name.as_str()).collect();
         let mut declared: BTreeSet<String> = m.params.iter().map(|p| p.name.name.clone()).collect();
         for v in &body.vars {
             declared.insert(v.name.name.clone());
@@ -318,7 +339,14 @@ fn check_stmts(
                 }
             }
             Stmt::Call { func, args, .. } => {
-                check_function(func, module, module_names, registry, reported_unknown, diags);
+                check_function(
+                    func,
+                    module,
+                    module_names,
+                    registry,
+                    reported_unknown,
+                    diags,
+                );
                 for arg in args {
                     match arg {
                         Arg::Out(access) => {
@@ -330,29 +358,91 @@ fn check_stmts(
                             let mut calls = Vec::new();
                             e.called_functions(&mut calls);
                             for f in calls {
-                                check_function(&f, module, module_names, registry, reported_unknown, diags);
+                                check_function(
+                                    &f,
+                                    module,
+                                    module_names,
+                                    registry,
+                                    reported_unknown,
+                                    diags,
+                                );
                             }
                         }
                     }
                 }
             }
-            Stmt::If { then_branch, else_branch, cond, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                cond,
+                ..
+            } => {
                 let mut calls = Vec::new();
                 cond.called_functions(&mut calls);
                 for f in calls {
                     check_function(&f, module, module_names, registry, reported_unknown, diags);
                 }
-                check_stmts(then_branch, module, module_names, input_params, registry, declared, written, reported_unknown, diags);
-                check_stmts(else_branch, module, module_names, input_params, registry, declared, written, reported_unknown, diags);
+                check_stmts(
+                    then_branch,
+                    module,
+                    module_names,
+                    input_params,
+                    registry,
+                    declared,
+                    written,
+                    reported_unknown,
+                    diags,
+                );
+                check_stmts(
+                    else_branch,
+                    module,
+                    module_names,
+                    input_params,
+                    registry,
+                    declared,
+                    written,
+                    reported_unknown,
+                    diags,
+                );
             }
             Stmt::Switch { cases, default, .. } => {
                 for c in cases {
-                    check_stmts(&c.body, module, module_names, input_params, registry, declared, written, reported_unknown, diags);
+                    check_stmts(
+                        &c.body,
+                        module,
+                        module_names,
+                        input_params,
+                        registry,
+                        declared,
+                        written,
+                        reported_unknown,
+                        diags,
+                    );
                 }
-                check_stmts(default, module, module_names, input_params, registry, declared, written, reported_unknown, diags);
+                check_stmts(
+                    default,
+                    module,
+                    module_names,
+                    input_params,
+                    registry,
+                    declared,
+                    written,
+                    reported_unknown,
+                    diags,
+                );
             }
             Stmt::LoopWhile { body, .. } => {
-                check_stmts(body, module, module_names, input_params, registry, declared, written, reported_unknown, diags);
+                check_stmts(
+                    body,
+                    module,
+                    module_names,
+                    input_params,
+                    registry,
+                    declared,
+                    written,
+                    reported_unknown,
+                    diags,
+                );
             }
         }
     }
@@ -397,7 +487,10 @@ fn check_function(
     }
     if !registry.is_side_effect_free(&func.name) {
         diags.push(Diagnostic::error(
-            format!("function `{}` is not side-effect free and cannot be coordinated by OIL", func.name),
+            format!(
+                "function `{}` is not side-effect free and cannot be coordinated by OIL",
+                func.name
+            ),
             func.span,
         ));
     }
@@ -423,12 +516,22 @@ fn collect_reads(stmts: &[Stmt], out: &mut Vec<Access>) {
                     }
                 }
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 cond.reads(out);
                 collect_reads(then_branch, out);
                 collect_reads(else_branch, out);
             }
-            Stmt::Switch { scrutinee, cases, default, .. } => {
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
                 scrutinee.reads(out);
                 for c in cases {
                     collect_reads(&c.body, out);
@@ -461,7 +564,11 @@ mod tests {
     }
 
     fn errors(src: &str) -> Vec<String> {
-        run(src).into_iter().filter(|d| d.is_error()).map(|d| d.message).collect()
+        run(src)
+            .into_iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.message)
+            .collect()
     }
 
     #[test]
@@ -502,7 +609,9 @@ mod tests {
             "mod seq L(int x, out int y){ loop{ f(x, out y); } while(1); }
              mod par M(){ fifo int a, b; L(a) || L(a, out b) }",
         );
-        assert!(errs.iter().any(|e| e.contains("expects 2 stream arguments")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("expects 2 stream arguments")));
     }
 
     #[test]
@@ -529,7 +638,9 @@ mod tests {
             "mod seq L(int x, out int y){ loop{ f(x, out y); } while(1); }
              mod seq M(int x, out int y){ loop{ L(x, out y); } while(1); }",
         );
-        assert!(errs.iter().any(|e| e.contains("cannot be instantiated from the sequential body")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("cannot be instantiated from the sequential body")));
     }
 
     #[test]
@@ -547,16 +658,17 @@ mod tests {
     #[test]
     fn implicitly_declared_local_accepted() {
         // Fig. 4a of the paper writes `y = g();` without declaring `y`.
-        let errs = errors(
-            "mod seq M(out int x){ if(...){ y = g(); } else { y = h(); } k(y, out x:2); }",
-        );
+        let errs =
+            errors("mod seq M(out int x){ if(...){ y = g(); } else { y = h(); } k(y, out x:2); }");
         assert!(errs.is_empty(), "{errs:?}");
     }
 
     #[test]
     fn unknown_function_is_warning_not_error() {
         let diags = run("mod seq A(out int b){ loop{ exotic(out b); } while(1); }");
-        assert!(diags.iter().any(|d| !d.is_error() && d.message.contains("exotic")));
+        assert!(diags
+            .iter()
+            .any(|d| !d.is_error() && d.message.contains("exotic")));
         assert!(diags.iter().all(|d| !d.is_error()));
     }
 

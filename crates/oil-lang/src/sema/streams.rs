@@ -17,7 +17,9 @@ use std::collections::BTreeSet;
 /// Run stream-access checks, appending diagnostics to `diags`.
 pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
     for m in &program.modules {
-        let ModuleBody::Seq(body) = &m.body else { continue };
+        let ModuleBody::Seq(body) = &m.body else {
+            continue;
+        };
         check_outputs_written(m, body, diags);
         check_streams_in_every_loop(m, body, diags);
     }
@@ -40,7 +42,12 @@ fn check_outputs_written(module: &Module, body: &SeqBody, diags: &mut Vec<Diagno
         // Inside each top-level loop that writes the stream at all, the write
         // should happen on every control path.
         for stmt in &body.stmts {
-            if let Stmt::LoopWhile { body: loop_body, span, .. } = stmt {
+            if let Stmt::LoopWhile {
+                body: loop_body,
+                span,
+                ..
+            } = stmt
+            {
                 if stmts_write(loop_body, name) && !stmts_write_on_all_paths(loop_body, name) {
                     diags.push(Diagnostic::warning(
                         format!(
@@ -62,8 +69,11 @@ fn check_streams_in_every_loop(module: &Module, body: &SeqBody, diags: &mut Vec<
     if streams.is_empty() {
         return;
     }
-    let loops: Vec<&Stmt> =
-        body.stmts.iter().filter(|s| matches!(s, Stmt::LoopWhile { .. })).collect();
+    let loops: Vec<&Stmt> = body
+        .stmts
+        .iter()
+        .filter(|s| matches!(s, Stmt::LoopWhile { .. }))
+        .collect();
     if loops.len() <= 1 {
         // With a single (or no) loop the bounded-access requirement is
         // trivially handled by the loop's own periodicity constraint.
@@ -72,7 +82,14 @@ fn check_streams_in_every_loop(module: &Module, body: &SeqBody, diags: &mut Vec<
     for p in streams {
         let name = p.name.name.as_str();
         for l in &loops {
-            let Stmt::LoopWhile { body: loop_body, span, .. } = l else { unreachable!() };
+            let Stmt::LoopWhile {
+                body: loop_body,
+                span,
+                ..
+            } = l
+            else {
+                unreachable!()
+            };
             if !stmts_access(loop_body, name) {
                 diags.push(Diagnostic::warning(
                     format!(
@@ -100,9 +117,11 @@ fn stmt_writes(stmt: &Stmt, name: &str) -> bool {
             Arg::Out(acc) => acc.name.name == name,
             Arg::In(_) => false,
         }),
-        Stmt::If { then_branch, else_branch, .. } => {
-            stmts_write(then_branch, name) || stmts_write(else_branch, name)
-        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => stmts_write(then_branch, name) || stmts_write(else_branch, name),
         Stmt::Switch { cases, default, .. } => {
             cases.iter().any(|c| stmts_write(&c.body, name)) || stmts_write(default, name)
         }
@@ -118,13 +137,21 @@ fn stmts_write_on_all_paths(stmts: &[Stmt], name: &str) -> bool {
 fn stmt_writes_on_all_paths(stmt: &Stmt, name: &str) -> bool {
     match stmt {
         Stmt::Assign { target, .. } => target.name.name == name,
-        Stmt::Call { args, .. } => args.iter().any(|a| matches!(a, Arg::Out(acc) if acc.name.name == name)),
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::Call { args, .. } => args
+            .iter()
+            .any(|a| matches!(a, Arg::Out(acc) if acc.name.name == name)),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             stmts_write_on_all_paths(then_branch, name)
                 && stmts_write_on_all_paths(else_branch, name)
         }
         Stmt::Switch { cases, default, .. } => {
-            cases.iter().all(|c| stmts_write_on_all_paths(&c.body, name))
+            cases
+                .iter()
+                .all(|c| stmts_write_on_all_paths(&c.body, name))
                 && stmts_write_on_all_paths(default, name)
         }
         // A loop body executes at least once under OIL's `loop..while`
@@ -150,10 +177,18 @@ fn stmt_accesses(stmt: &Stmt, name: &str) -> bool {
             Arg::Out(acc) => acc.name.name == name,
             Arg::In(e) => expr_reads(e),
         }),
-        Stmt::If { cond, then_branch, else_branch, .. } => {
-            expr_reads(cond) || stmts_access(then_branch, name) || stmts_access(else_branch, name)
-        }
-        Stmt::Switch { scrutinee, cases, default, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => expr_reads(cond) || stmts_access(then_branch, name) || stmts_access(else_branch, name),
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            ..
+        } => {
             expr_reads(scrutinee)
                 || cases.iter().any(|c| stmts_access(&c.body, name))
                 || stmts_access(default, name)
@@ -166,7 +201,9 @@ fn stmt_accesses(stmt: &Stmt, name: &str) -> bool {
 /// for the compiler crate which needs the same classification when building
 /// task graphs.
 pub fn written_streams(module: &Module) -> BTreeSet<String> {
-    let ModuleBody::Seq(body) = &module.body else { return BTreeSet::new() };
+    let ModuleBody::Seq(body) = &module.body else {
+        return BTreeSet::new();
+    };
     module
         .params
         .iter()
@@ -196,15 +233,18 @@ mod tests {
     #[test]
     fn output_never_written_is_error() {
         let diags = run("mod seq A(int a, out int b){ loop{ f(a); } while(1); }");
-        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("never written")));
+        assert!(diags
+            .iter()
+            .any(|d| d.is_error() && d.message.contains("never written")));
     }
 
     #[test]
     fn conditional_output_write_is_warning() {
-        let diags = run(
-            "mod seq A(int a, out int b){ loop{ if(a > 0){ f(a, out b); } } while(1); }",
-        );
-        assert!(diags.iter().any(|d| !d.is_error() && d.message.contains("every control path")));
+        let diags =
+            run("mod seq A(int a, out int b){ loop{ if(a > 0){ f(a, out b); } } while(1); }");
+        assert!(diags
+            .iter()
+            .any(|d| !d.is_error() && d.message.contains("every control path")));
     }
 
     #[test]
@@ -226,12 +266,10 @@ mod tests {
     #[test]
     fn stream_missing_from_second_loop_is_warning() {
         // Variant of Fig. 9a where stream x is only accessed in the first loop.
-        let diags = run(
-            "mod seq A(int x, out int o){
+        let diags = run("mod seq A(int x, out int o){
                 loop{ y = f(x); o = f(x); } while(...);
                 loop{ o = g(y); } while(...);
-             }",
-        );
+             }");
         assert!(diags
             .iter()
             .any(|d| !d.is_error() && d.message.contains("not accessed in every while-loop")));
@@ -239,24 +277,22 @@ mod tests {
 
     #[test]
     fn fig9a_both_loops_access_stream_is_clean_for_x() {
-        let diags = run(
-            "mod seq A(int x, out int o){
+        let diags = run("mod seq A(int x, out int o){
                 loop{ y = f(x); o = f(y); } while(...);
                 loop{ o = g(x, y); } while(...);
-             }",
-        );
+             }");
         assert!(
-            !diags.iter().any(|d| d.message.contains("`x`") && d.message.contains("not accessed")),
+            !diags
+                .iter()
+                .any(|d| d.message.contains("`x`") && d.message.contains("not accessed")),
             "{diags:?}"
         );
     }
 
     #[test]
     fn written_streams_classification() {
-        let p = parse_program(
-            "mod seq A(int a, out int b){ loop{ f(a, out b); } while(1); }",
-        )
-        .unwrap();
+        let p =
+            parse_program("mod seq A(int a, out int b){ loop{ f(a, out b); } while(1); }").unwrap();
         let w = written_streams(p.module("A").unwrap());
         assert!(w.contains("b"));
         assert!(!w.contains("a"));
@@ -265,9 +301,8 @@ mod tests {
     #[test]
     fn prologue_write_outside_loop_counts_as_written() {
         // Fig. 2c module B writes 4 initial values before the loop.
-        let diags = run(
-            "mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }",
-        );
+        let diags =
+            run("mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }");
         assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
     }
 }

@@ -23,7 +23,12 @@ pub struct Span {
 impl Span {
     /// Create a new span.
     pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
-        Span { start, end, line, column }
+        Span {
+            start,
+            end,
+            line,
+            column,
+        }
     }
 
     /// A span covering nothing, used for synthesised nodes.
@@ -33,7 +38,11 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        let (first, last) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, last) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: first.start,
             end: last.end.max(first.end),
@@ -95,12 +104,20 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Construct a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
     }
 
     /// True if this diagnostic rejects the program.
@@ -135,7 +152,10 @@ impl SourceMap {
                 line_starts.push(i + 1);
             }
         }
-        SourceMap { line_starts, len: source.len() }
+        SourceMap {
+            line_starts,
+            len: source.len(),
+        }
     }
 
     /// Convert a byte offset to a `(line, column)` pair (both 1-based).

@@ -239,8 +239,8 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for kw in [
-            "mod", "par", "seq", "fifo", "source", "sink", "start", "after", "before", "out",
-            "if", "else", "switch", "case", "default", "loop", "while",
+            "mod", "par", "seq", "fifo", "source", "sink", "start", "after", "before", "out", "if",
+            "else", "switch", "case", "default", "loop", "while",
         ] {
             let tok = TokenKind::keyword_from_str(kw).expect("known keyword");
             assert_eq!(tok.keyword_str(), Some(kw));
@@ -261,7 +261,10 @@ mod tests {
     #[test]
     fn display_is_reasonable() {
         assert_eq!(TokenKind::Mod.to_string(), "`mod`");
-        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "identifier `foo`");
+        assert_eq!(
+            TokenKind::Ident("foo".into()).to_string(),
+            "identifier `foo`"
+        );
         assert_eq!(TokenKind::ParallelBar.to_string(), "`||`");
         assert_eq!(TokenKind::Eof.to_string(), "end of input");
     }

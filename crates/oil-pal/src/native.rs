@@ -109,13 +109,18 @@ mod tests {
         let video_tail = &out.video[out.video.len() / 2..];
         // The 50 kHz video content is preserved in the 4 MS/s stream.
         let freq = dominant_frequency(video_tail, 4.0e6);
-        assert!((freq - 50_000.0).abs() < 10_000.0, "video content at {freq} Hz");
+        assert!(
+            (freq - 50_000.0).abs() < 10_000.0,
+            "video content at {freq} Hz"
+        );
     }
 
     #[test]
     fn mute_silences_audio_only() {
-        let mut decoder = NativePalDecoder::default();
-        decoder.mute = true;
+        let mut decoder = NativePalDecoder {
+            mute: true,
+            ..Default::default()
+        };
         let mut signal = CompositeSignal::pal_default();
         let rf = signal.block(64_000);
         let out = decoder.decode(&rf);

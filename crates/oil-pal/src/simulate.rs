@@ -44,13 +44,22 @@ pub fn simulate_pal(duration_seconds: f64) -> Result<PalSimulationReport, Compil
     let mut net = build_simulation_with_registry(&compiled, &registry);
     let metrics = net.run(
         picos(duration_seconds),
-        &SimulationConfig { cores: 0, warmup_ticks: 64 },
+        &SimulationConfig {
+            cores: 0,
+            warmup_ticks: 64,
+        },
     );
     let screen_rate = metrics.sink_throughput("screen").unwrap_or(0.0);
     let speaker_rate = metrics.sink_throughput("speakers").unwrap_or(0.0);
     let screen_latency = metrics.sink_max_latency("screen").unwrap_or(f64::NAN);
     let speaker_latency = metrics.sink_max_latency("speakers").unwrap_or(f64::NAN);
-    Ok(PalSimulationReport { metrics, screen_rate, speaker_rate, screen_latency, speaker_latency })
+    Ok(PalSimulationReport {
+        metrics,
+        screen_rate,
+        speaker_rate,
+        screen_latency,
+        speaker_latency,
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +113,15 @@ mod tests {
         // Both paths deliver samples within a millisecond on the simulated
         // platform (the audio path is the slower one: 25*8 samples per
         // speaker sample at 6.4 MS/s is 0.3125 ms of accumulation).
-        assert!(report.screen_latency < 1e-3, "screen latency {}", report.screen_latency);
-        assert!(report.speaker_latency < 2e-3, "speaker latency {}", report.speaker_latency);
+        assert!(
+            report.screen_latency < 1e-3,
+            "screen latency {}",
+            report.screen_latency
+        );
+        assert!(
+            report.speaker_latency < 2e-3,
+            "speaker latency {}",
+            report.speaker_latency
+        );
     }
 }

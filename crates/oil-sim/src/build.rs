@@ -8,10 +8,13 @@
 //! the CTA model accepted the program, the simulation must meet all deadlines
 //! with the sized buffers.
 
-use crate::network::{Picos, SimNetwork};
+use crate::network::{Picos, SimBufferId, SimNetwork};
 use crate::picos;
 use oil_compiler::CompiledProgram;
-use oil_lang::sema::ChannelKind;
+use oil_dataflow::index::IndexVec;
+use oil_dataflow::taskgraph::BufferId;
+use oil_dataflow::ChannelId;
+use oil_lang::sema::{ChannelKind, InstanceId};
 use std::collections::BTreeMap;
 
 /// Default capacity for local buffers the sizing pass did not need to grow.
@@ -41,10 +44,12 @@ pub fn build_simulation_with_registry(
 
     // Per-firing burst size of an instance on a channel (the colon notation
     // of sequential modules or a black box's interface counts).
-    let burst = |instance: Option<usize>, channel: usize| -> usize {
+    let burst = |instance: Option<InstanceId>, channel: ChannelId| -> usize {
         let Some(ii) = instance else { return 1 };
         let inst = &graph.instances[ii];
-        let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else { return 1 };
+        let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else {
+            return 1;
+        };
         match &compiled.derived.task_graphs[ii] {
             Some(tg) => tg
                 .buffer_by_name(&binding.param)
@@ -67,7 +72,11 @@ pub fn build_simulation_with_registry(
                         .filter(|b| b.out == binding.out)
                         .position(|b| b.channel == channel)
                         .unwrap_or(0);
-                    let counts = if binding.out { &bb.production } else { &bb.consumption };
+                    let counts = if binding.out {
+                        &bb.production
+                    } else {
+                        &bb.consumption
+                    };
                     counts.get(position).copied().unwrap_or(1).max(1) as usize
                 })
                 .unwrap_or(1),
@@ -76,13 +85,19 @@ pub fn build_simulation_with_registry(
 
     // Channels become buffers; sources and sinks additionally get
     // time-triggered drivers.
-    let mut channel_buffer: Vec<usize> = Vec::with_capacity(graph.channels.len());
-    for (ci, ch) in graph.channels.iter().enumerate() {
+    let mut channel_buffer: IndexVec<ChannelId, SimBufferId> =
+        IndexVec::with_capacity(graph.channels.len());
+    for (ci, ch) in graph.channels.iter_enumerated() {
         // The simulator transfers bursts atomically, so a channel needs room
         // for at least one full write burst plus one full read burst on top
         // of whatever the CTA sizing computed.
         let write_burst = burst(ch.writer, ci);
-        let read_burst = ch.readers.iter().map(|&r| burst(Some(r), ci)).max().unwrap_or(1);
+        let read_burst = ch
+            .readers
+            .iter()
+            .map(|&r| burst(Some(r), ci))
+            .max()
+            .unwrap_or(1);
         let capacity = (compiled
             .buffers
             .channels
@@ -107,12 +122,12 @@ pub fn build_simulation_with_registry(
     }
 
     // Instances: tasks of sequential modules, or a single node per black box.
-    for (ii, inst) in graph.instances.iter().enumerate() {
+    for (ii, inst) in graph.instances.iter_enumerated() {
         match &compiled.derived.task_graphs[ii] {
             Some(tg) => {
                 // Local buffers for this instance.
-                let mut local_buffer: BTreeMap<usize, usize> = BTreeMap::new();
-                for (bi, b) in tg.buffers.iter().enumerate() {
+                let mut local_buffer: BTreeMap<BufferId, SimBufferId> = BTreeMap::new();
+                for (bi, b) in tg.buffers.iter_enumerated() {
                     if b.stream.is_some() {
                         continue;
                     }
@@ -125,11 +140,14 @@ pub fn build_simulation_with_registry(
                         .unwrap_or(DEFAULT_LOCAL_CAPACITY as u64)
                         as usize
                         + CAPACITY_SLACK;
-                    local_buffer.insert(bi, net.add_buffer(name, capacity, b.initial_tokens as usize));
+                    local_buffer.insert(
+                        bi,
+                        net.add_buffer(name, capacity, b.initial_tokens as usize),
+                    );
                 }
                 // Map a task-graph buffer to a simulator buffer: local
                 // buffers directly, stream buffers to the bound channel.
-                let sim_buffer = |bi: usize| -> Option<usize> {
+                let sim_buffer = |bi: BufferId| -> Option<SimBufferId> {
                     if let Some(&b) = local_buffer.get(&bi) {
                         return Some(b);
                     }
@@ -137,18 +155,18 @@ pub fn build_simulation_with_registry(
                     let binding = inst.bindings.iter().find(|b| &b.param == stream)?;
                     Some(channel_buffer[binding.channel])
                 };
-                for (ti, t) in tg.tasks.iter().enumerate() {
+                for t in &tg.tasks {
                     // Prologue tasks ran before start-up; their effect is the
                     // initial tokens already placed in the buffers.
                     if t.loop_nest.is_empty() && tg.loops.iter().any(|l| !l.tasks.is_empty()) {
                         continue;
                     }
-                    let reads: Vec<(usize, usize)> = t
+                    let reads: Vec<(SimBufferId, usize)> = t
                         .reads
                         .iter()
                         .filter_map(|r| sim_buffer(r.buffer).map(|b| (b, r.count as usize)))
                         .collect();
-                    let writes: Vec<(usize, usize)> = t
+                    let writes: Vec<(SimBufferId, usize)> = t
                         .writes
                         .iter()
                         .filter_map(|w| sim_buffer(w.buffer).map(|b| (b, w.count as usize)))
@@ -159,7 +177,6 @@ pub fn build_simulation_with_registry(
                         reads,
                         writes,
                     );
-                    let _ = ti;
                 }
             }
             None => {
@@ -199,16 +216,24 @@ fn period(rate_hz: f64) -> Picos {
     picos(1.0 / rate_hz)
 }
 
-fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: usize) -> usize {
+fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: ChannelId) -> usize {
     let graph = &compiled.analyzed.graph;
-    let Some(writer) = graph.channels[channel].writer else { return 0 };
-    let Some(tg) = &compiled.derived.task_graphs[writer] else { return 0 };
-    let Some(binding) =
-        graph.instances[writer].bindings.iter().find(|b| b.channel == channel && b.out)
+    let Some(writer) = graph.channels[channel].writer else {
+        return 0;
+    };
+    let Some(tg) = &compiled.derived.task_graphs[writer] else {
+        return 0;
+    };
+    let Some(binding) = graph.instances[writer]
+        .bindings
+        .iter()
+        .find(|b| b.channel == channel && b.out)
     else {
         return 0;
     };
-    tg.buffer_by_name(&binding.param).map(|b| tg.buffers[b].initial_tokens as usize).unwrap_or(0)
+    tg.buffer_by_name(&binding.param)
+        .map(|b| tg.buffers[b].initial_tokens as usize)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

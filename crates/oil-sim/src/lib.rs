@@ -25,7 +25,10 @@ pub mod build;
 pub mod network;
 
 pub use build::{build_simulation, build_simulation_with_registry};
-pub use network::{Picos, SimMetrics, SimNetwork, SimNode, SimulationConfig};
+pub use network::{
+    Picos, SimBufferId, SimMetrics, SimNetwork, SimNode, SimNodeId, SimSinkId, SimSourceId,
+    SimulationConfig,
+};
 
 /// Convert seconds to the simulator's picosecond time base.
 pub fn picos(seconds: f64) -> Picos {

@@ -1,10 +1,32 @@
 //! The simulated task network and the discrete-event engine.
 
+use oil_dataflow::define_index_type;
+use oil_dataflow::index::IndexVec;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulation time in picoseconds.
 pub type Picos = u64;
+
+define_index_type! {
+    /// A buffer of the simulated network.
+    pub struct SimBufferId = "sb";
+}
+
+define_index_type! {
+    /// A task node of the simulated network.
+    pub struct SimNodeId = "sn";
+}
+
+define_index_type! {
+    /// A time-triggered source of the simulated network.
+    pub struct SimSourceId = "ssrc";
+}
+
+define_index_type! {
+    /// A time-triggered sink of the simulated network.
+    pub struct SimSinkId = "ssnk";
+}
 
 /// A bounded circular buffer in the simulated network. Tokens carry the
 /// timestamp of the source sample they originate from so end-to-end latency
@@ -25,7 +47,13 @@ pub struct SimBuffer {
 
 impl SimBuffer {
     fn new(name: String, capacity: usize) -> Self {
-        SimBuffer { name, capacity, tokens: VecDeque::new(), max_occupancy: 0, total_written: 0 }
+        SimBuffer {
+            name,
+            capacity,
+            tokens: VecDeque::new(),
+            max_occupancy: 0,
+            total_written: 0,
+        }
     }
 
     fn occupancy(&self) -> usize {
@@ -62,9 +90,9 @@ pub struct SimNode {
     /// Response time of one firing, in picoseconds.
     pub response_time: Picos,
     /// `(buffer, values per firing)` read at the start of a firing.
-    pub reads: Vec<(usize, usize)>,
+    pub reads: Vec<(SimBufferId, usize)>,
     /// `(buffer, values per firing)` written at the end of a firing.
-    pub writes: Vec<(usize, usize)>,
+    pub writes: Vec<(SimBufferId, usize)>,
     /// Processor this node is mapped to.
     pub core: usize,
     /// Number of completed firings.
@@ -77,7 +105,7 @@ pub struct SimSource {
     /// Source name.
     pub name: String,
     /// Destination buffer.
-    pub buffer: usize,
+    pub buffer: SimBufferId,
     /// Period in picoseconds.
     pub period: Picos,
     /// Samples produced.
@@ -93,7 +121,7 @@ pub struct SimSink {
     /// Sink name.
     pub name: String,
     /// Buffer the sink consumes from.
-    pub buffer: usize,
+    pub buffer: SimBufferId,
     /// Period in picoseconds.
     pub period: Picos,
     /// Samples consumed.
@@ -122,7 +150,10 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig { cores: 0, warmup_ticks: 4 }
+        SimulationConfig {
+            cores: 0,
+            warmup_ticks: 4,
+        }
     }
 }
 
@@ -130,13 +161,13 @@ impl Default for SimulationConfig {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimNetwork {
     /// All buffers.
-    pub buffers: Vec<SimBuffer>,
+    pub buffers: IndexVec<SimBufferId, SimBuffer>,
     /// All task nodes.
-    pub nodes: Vec<SimNode>,
+    pub nodes: IndexVec<SimNodeId, SimNode>,
     /// All sources.
-    pub sources: Vec<SimSource>,
+    pub sources: IndexVec<SimSourceId, SimSource>,
     /// All sinks.
-    pub sinks: Vec<SimSink>,
+    pub sinks: IndexVec<SimSinkId, SimSink>,
 }
 
 /// Results of a simulation run.
@@ -173,7 +204,10 @@ impl SimMetrics {
 
     /// Worst observed end-to-end latency into a sink, in seconds.
     pub fn sink_max_latency(&self, name: &str) -> Option<f64> {
-        self.sinks.iter().find(|(n, ..)| n.contains(name)).map(|(_, _, _, l)| *l)
+        self.sinks
+            .iter()
+            .find(|(n, ..)| n.contains(name))
+            .map(|(_, _, _, l)| *l)
     }
 
     /// True if no sink missed a deadline and no source overflowed.
@@ -184,9 +218,9 @@ impl SimMetrics {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    SourceTick(usize),
-    SinkTick(usize),
-    NodeComplete(usize),
+    SourceTick(SimSourceId),
+    SinkTick(SimSinkId),
+    NodeComplete(SimNodeId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,11 +245,15 @@ impl PartialOrd for Event {
 
 impl SimNetwork {
     /// Add a buffer, returning its index.
-    pub fn add_buffer(&mut self, name: impl Into<String>, capacity: usize, initial_tokens: usize) -> usize {
+    pub fn add_buffer(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        initial_tokens: usize,
+    ) -> SimBufferId {
         let mut b = SimBuffer::new(name.into(), capacity.max(initial_tokens).max(1));
         b.push(0, initial_tokens);
-        self.buffers.push(b);
-        self.buffers.len() - 1
+        self.buffers.push(b)
     }
 
     /// Add a task node, returning its index.
@@ -223,34 +261,43 @@ impl SimNetwork {
         &mut self,
         name: impl Into<String>,
         response_time: Picos,
-        reads: Vec<(usize, usize)>,
-        writes: Vec<(usize, usize)>,
-    ) -> usize {
+        reads: Vec<(SimBufferId, usize)>,
+        writes: Vec<(SimBufferId, usize)>,
+    ) -> SimNodeId {
+        let core = self.nodes.len();
         self.nodes.push(SimNode {
             name: name.into(),
             response_time,
             reads,
             writes,
-            core: self.nodes.len(),
+            core,
             firings: 0,
-        });
-        self.nodes.len() - 1
+        })
     }
 
     /// Add a time-triggered source.
-    pub fn add_source(&mut self, name: impl Into<String>, buffer: usize, period: Picos) -> usize {
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        buffer: SimBufferId,
+        period: Picos,
+    ) -> SimSourceId {
         self.sources.push(SimSource {
             name: name.into(),
             buffer,
             period,
             produced: 0,
             overflows: 0,
-        });
-        self.sources.len() - 1
+        })
     }
 
     /// Add a time-triggered sink.
-    pub fn add_sink(&mut self, name: impl Into<String>, buffer: usize, period: Picos) -> usize {
+    pub fn add_sink(
+        &mut self,
+        name: impl Into<String>,
+        buffer: SimBufferId,
+        period: Picos,
+    ) -> SimSinkId {
         self.sinks.push(SimSink {
             name: name.into(),
             buffer,
@@ -260,14 +307,17 @@ impl SimNetwork {
             ticks: 0,
             warmup_ticks: 0,
             latencies: Vec::new(),
-        });
-        self.sinks.len() - 1
+        })
     }
 
     /// Run the simulation for `duration` picoseconds.
     pub fn run(&mut self, duration: Picos, config: &SimulationConfig) -> SimMetrics {
         // Processor assignment.
-        let cores = if config.cores == 0 { self.nodes.len().max(1) } else { config.cores };
+        let cores = if config.cores == 0 {
+            self.nodes.len().max(1)
+        } else {
+            config.cores
+        };
         for (i, n) in self.nodes.iter_mut().enumerate() {
             n.core = i % cores;
         }
@@ -281,18 +331,18 @@ impl SimNetwork {
             heap.push(Event { time, seq, kind });
             seq += 1;
         };
-        for (i, s) in self.sources.iter().enumerate() {
+        for (i, s) in self.sources.iter_enumerated() {
             push(&mut heap, s.period, EventKind::SourceTick(i));
         }
-        for (i, s) in self.sinks.iter().enumerate() {
+        for (i, s) in self.sinks.iter_enumerated() {
             push(&mut heap, s.period, EventKind::SinkTick(i));
         }
 
         // Core and node state.
         let mut core_busy_until: Vec<Picos> = vec![0; cores];
-        let mut node_busy: Vec<bool> = vec![false; self.nodes.len()];
+        let mut node_busy: IndexVec<SimNodeId, bool> = IndexVec::from_elem(false, self.nodes.len());
         // Origin timestamp carried by the firing in flight.
-        let mut node_origin: Vec<Picos> = vec![0; self.nodes.len()];
+        let mut node_origin: IndexVec<SimNodeId, Picos> = IndexVec::from_elem(0, self.nodes.len());
         let mut now: Picos = 0;
 
         // Try to start every node that can fire at `now`.
@@ -300,7 +350,7 @@ impl SimNetwork {
             () => {
                 loop {
                     let mut progressed = false;
-                    for ni in 0..self.nodes.len() {
+                    for ni in self.nodes.indices() {
                         if node_busy[ni] {
                             continue;
                         }
@@ -392,18 +442,25 @@ impl SimNetwork {
                 .sinks
                 .iter()
                 .map(|s| {
-                    let max_latency =
-                        s.latencies.iter().copied().max().unwrap_or(0) as f64 / 1e12;
+                    let max_latency = s.latencies.iter().copied().max().unwrap_or(0) as f64 / 1e12;
                     (s.name.clone(), s.consumed, s.misses, max_latency)
                 })
                 .collect(),
-            sources: self.sources.iter().map(|s| (s.name.clone(), s.produced, s.overflows)).collect(),
+            sources: self
+                .sources
+                .iter()
+                .map(|s| (s.name.clone(), s.produced, s.overflows))
+                .collect(),
             buffers: self
                 .buffers
                 .iter()
                 .map(|b| (b.name.clone(), b.capacity, b.max_occupancy))
                 .collect(),
-            node_firings: self.nodes.iter().map(|n| (n.name.clone(), n.firings)).collect(),
+            node_firings: self
+                .nodes
+                .iter()
+                .map(|n| (n.name.clone(), n.firings))
+                .collect(),
         }
     }
 }
@@ -497,12 +554,24 @@ mod tests {
         net.add_sink("k1", o1, picos(1e-3));
         net.add_sink("k2", o2, picos(1e-3));
 
-        let parallel = net.clone().run(picos(0.3), &SimulationConfig { cores: 0, warmup_ticks: 4 });
+        let parallel = net.clone().run(
+            picos(0.3),
+            &SimulationConfig {
+                cores: 0,
+                warmup_ticks: 4,
+            },
+        );
         assert!(parallel.meets_real_time_constraints(), "{parallel:?}");
 
         // One core must execute 1.2 ms of work per 1 ms of input: it falls
         // behind and violates the constraints.
-        let serial = net.run(picos(0.3), &SimulationConfig { cores: 1, warmup_ticks: 4 });
+        let serial = net.run(
+            picos(0.3),
+            &SimulationConfig {
+                cores: 1,
+                warmup_ticks: 4,
+            },
+        );
         assert!(!serial.meets_real_time_constraints());
     }
 

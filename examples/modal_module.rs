@@ -65,7 +65,13 @@ fn main() {
     let compiled = compile(FIG9A, &reg, &CompilerOptions::default())
         .expect("the modal two-loop program is accepted");
     println!("\n== Fig. 9: module with two data-dependent while-loops ==");
-    let a_graph = compiled.derived.task_graphs.iter().flatten().next().unwrap();
+    let a_graph = compiled
+        .derived
+        .task_graphs
+        .iter()
+        .flatten()
+        .next()
+        .unwrap();
     print!("{}", describe_loops(a_graph));
     println!(
         "CTA model: {} components (one per module, loop and task), {} connections",
@@ -73,7 +79,12 @@ fn main() {
         compiled.derived.cta.connection_count()
     );
     println!("buffer plan:");
-    for (name, cap) in compiled.buffers.channels.iter().chain(compiled.buffers.locals.iter()) {
+    for (name, cap) in compiled
+        .buffers
+        .channels
+        .iter()
+        .chain(compiled.buffers.locals.iter())
+    {
         println!("  {name}: {cap} values");
     }
     println!(

@@ -23,7 +23,10 @@ fn main() {
     );
     println!("channel rates:");
     for (name, rate) in &analysis.channel_rates {
-        println!("  {name:>10}: {rate:>12.0} samples/s");
+        println!(
+            "  {name:>10}: {:>12.0} samples/s ({rate} exactly)",
+            rate.to_f64()
+        );
     }
     println!("buffer capacities:");
     for (name, cap) in &analysis.channel_capacities {
@@ -31,17 +34,23 @@ fn main() {
     }
     println!(
         "latency rf->screen: {:.2} us, rf->speakers: {:.2} us, A/V skew: {:.2} us",
-        analysis.latency_rf_to_screen * 1e6,
-        analysis.latency_rf_to_speakers * 1e6,
-        analysis.av_skew() * 1e6
+        analysis.latency_rf_to_screen_seconds() * 1e6,
+        analysis.latency_rf_to_speakers_seconds() * 1e6,
+        analysis.av_skew_seconds() * 1e6
     );
     println!("generated task modules: {}", compiled.generated.len());
 
     // ---- simulated execution ----
     let report = simulate_pal(2e-3).expect("simulation runs");
     println!("\n== PAL decoder: 2 ms simulated execution ==");
-    println!("display throughput:  {:>12.0} samples/s (declared 4 MS/s)", report.screen_rate);
-    println!("speaker throughput:  {:>12.0} samples/s (declared 32 kS/s)", report.speaker_rate);
+    println!(
+        "display throughput:  {:>12.0} samples/s (declared 4 MS/s)",
+        report.screen_rate
+    );
+    println!(
+        "speaker throughput:  {:>12.0} samples/s (declared 32 kS/s)",
+        report.speaker_rate
+    );
     println!(
         "deadline misses: {}, source overflows: {}",
         report.metrics.total_misses(),

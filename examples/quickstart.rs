@@ -50,8 +50,14 @@ fn main() {
         compiled.derived.cta.component_count(),
         compiled.derived.cta.connection_count()
     );
-    println!("token rate on x: {:.0} tokens/s", compiled.channel_rate("x").unwrap());
-    println!("token rate on y: {:.0} tokens/s", compiled.channel_rate("y").unwrap());
+    println!(
+        "token rate on x: {:.0} tokens/s",
+        compiled.channel_rate("x").unwrap()
+    );
+    println!(
+        "token rate on y: {:.0} tokens/s",
+        compiled.channel_rate("y").unwrap()
+    );
     println!("buffer capacities:");
     for (name, cap) in &compiled.buffers.channels {
         println!("  {name}: {cap} values");

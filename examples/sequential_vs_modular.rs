@@ -45,15 +45,34 @@ fn main() {
     let par = parse_program(MODULAR).expect("modular version parses");
 
     println!("== Fig. 2: specifying a 3:2 rate conversion ==");
-    println!("sequential schedule (Fig. 2b): {} statements, {} modules", statement_count(SEQUENTIAL), seq.modules.len());
-    println!("modular OIL (Fig. 2c):         {} statements, {} modules", statement_count(MODULAR), par.modules.len());
+    println!(
+        "sequential schedule (Fig. 2b): {} statements, {} modules",
+        statement_count(SEQUENTIAL),
+        seq.modules.len()
+    );
+    println!(
+        "modular OIL (Fig. 2c):         {} statements, {} modules",
+        statement_count(MODULAR),
+        par.modules.len()
+    );
 
     // The underlying task graph is deadlock-free with 4 initial tokens.
     let graph = SdfGraph::rate_converter(3, 3, 2, 2, 4, 1e-6);
     let q = graph.repetition_map().unwrap();
-    println!("\nrepetition vector: f fires {}x, g fires {}x per iteration", q["f"], q["g"]);
-    println!("deadlock-free with 4 initial tokens: {}", graph.check_deadlock_free().is_ok());
-    println!("deadlock-free with 2 initial tokens: {}", SdfGraph::rate_converter(3, 3, 2, 2, 2, 1e-6).check_deadlock_free().is_ok());
+    println!(
+        "\nrepetition vector: f fires {}x, g fires {}x per iteration",
+        q["f"], q["g"]
+    );
+    println!(
+        "deadlock-free with 4 initial tokens: {}",
+        graph.check_deadlock_free().is_ok()
+    );
+    println!(
+        "deadlock-free with 2 initial tokens: {}",
+        SdfGraph::rate_converter(3, 3, 2, 2, 2, 1e-6)
+            .check_deadlock_free()
+            .is_ok()
+    );
 
     // The schedule length the sequential form must encode grows with the
     // rate ratio; the modular specification is always two function calls.

@@ -21,8 +21,8 @@
 //! See `README.md` for a tour and `DESIGN.md` for the mapping from the paper's
 //! figures and claims to modules and benchmarks.
 
-pub use oil_cta as cta;
 pub use oil_compiler as compiler;
+pub use oil_cta as cta;
 pub use oil_dataflow as dataflow;
 pub use oil_dsp as dsp;
 pub use oil_lang as lang;

@@ -1,0 +1,122 @@
+//! Determinism regression tests for the exact-rational analysis core.
+//!
+//! The CTA algorithms compute rates, offsets, slacks and buffer capacities in
+//! exact rational arithmetic, so repeated runs on the same program must be
+//! **bit-identical** — not merely close. These tests pin that property on the
+//! paper's two flagship programs (Fig. 6 and Fig. 2c) across the full
+//! pipeline: derivation, consistency, buffer sizing and the reported
+//! channel rates/latencies.
+
+use oil::compiler::{compile, derive_cta_model, CompilerOptions};
+use oil::cta::size_buffers;
+use oil::dataflow::Rational;
+use oil::lang::registry::{FunctionRegistry, FunctionSignature};
+
+fn registry() -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    for f in ["f", "g", "init", "src", "snk"] {
+        reg.register(FunctionSignature::pure(f, 1e-6));
+    }
+    reg
+}
+
+const FIG6: &str = r#"
+    mod seq B(int a, out int z){ loop{ f(a, out z); } while(1); }
+    mod seq C(int a, int z, out int b){ loop{ g(a, z, out b); } while(1); }
+    mod par A(int a, out int b){ fifo int z; B(a, out z) || C(a, z, out b) }
+    mod par D(){
+        source int x = src() @ 1 kHz;
+        sink int y = snk() @ 1 kHz;
+        start x 5 ms before y;
+        A(x, out y)
+    }
+"#;
+
+const FIG2C: &str = r#"
+    mod seq A(out int a, int b){ loop{ f(out a:3, b:3); } while(1); }
+    mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }
+    mod par C(){ fifo int x, y; A(out x, y) || B(out y, x) }
+"#;
+
+/// Compile the program several times and require every analysis artifact to
+/// be identical across runs — exact arithmetic leaves no room for drift.
+fn assert_deterministic(src: &str) {
+    let reg = registry();
+    let opts = CompilerOptions::default();
+    let first = compile(src, &reg, &opts).unwrap();
+    for run in 0..5 {
+        let again = compile(src, &reg, &opts).unwrap();
+        assert_eq!(
+            again.consistency, first.consistency,
+            "consistency drifted on run {run}"
+        );
+        assert_eq!(
+            again.buffers, first.buffers,
+            "buffer plan drifted on run {run}"
+        );
+        assert_eq!(
+            again.sized_model, first.sized_model,
+            "sized model drifted on run {run}"
+        );
+    }
+}
+
+#[test]
+fn fig6_compilation_is_bit_identical_across_runs() {
+    assert_deterministic(FIG6);
+}
+
+#[test]
+fn fig2c_compilation_is_bit_identical_across_runs() {
+    assert_deterministic(FIG2C);
+}
+
+#[test]
+fn fig6_consistency_and_sizing_are_bit_identical_on_the_raw_model() {
+    // Below the pipeline: derive the CTA model once and re-run the two core
+    // algorithms directly.
+    let reg = registry();
+    let analyzed = oil::lang::frontend(FIG6, &reg).unwrap();
+    let derived = derive_cta_model(&analyzed, &reg);
+
+    let sizing_first = size_buffers(&derived.cta).unwrap();
+    for _ in 0..5 {
+        assert_eq!(size_buffers(&derived.cta).unwrap(), sizing_first);
+    }
+
+    let mut sized = derived.cta.clone();
+    oil::cta::buffersizing::apply_capacities(&mut sized, &sizing_first.capacities);
+    let consistency_first = sized.check_consistency().unwrap();
+    for _ in 0..5 {
+        assert_eq!(sized.check_consistency().unwrap(), consistency_first);
+    }
+}
+
+#[test]
+fn fig6_reported_rates_and_latency_are_exact() {
+    let compiled = compile(FIG6, &registry(), &CompilerOptions::default()).unwrap();
+    // Source and sink rates are exactly the declared 1 kHz.
+    assert_eq!(
+        compiled.channel_rate_exact("x"),
+        Some(Rational::from_int(1000))
+    );
+    assert_eq!(
+        compiled.channel_rate_exact("y"),
+        Some(Rational::from_int(1000))
+    );
+    // The latency bound is an exact rational within the declared 5 ms.
+    let latency = compiled.latency_between_exact("x", "y").unwrap();
+    assert!(latency <= Rational::new(5, 1000));
+    // And the f64 accessors are derived from the exact values.
+    assert_eq!(compiled.channel_rate("x"), Some(1000.0));
+    assert_eq!(compiled.latency_between("x", "y"), Some(latency.to_f64()));
+}
+
+#[test]
+fn fig2c_channel_rates_are_exactly_equal() {
+    let compiled = compile(FIG2C, &registry(), &CompilerOptions::default()).unwrap();
+    let rx = compiled.channel_rate_exact("x").unwrap();
+    let ry = compiled.channel_rate_exact("y").unwrap();
+    assert!(rx.is_positive());
+    assert_eq!(rx, ry);
+}

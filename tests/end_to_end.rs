@@ -53,7 +53,10 @@ fn overloaded_program_is_rejected_by_analysis_and_fails_in_simulation() {
     "#;
     let slow = registry(5e-4);
     let rejected = compile(src, &slow, &CompilerOptions::default());
-    assert!(rejected.is_err(), "analysis must reject the overloaded program");
+    assert!(
+        rejected.is_err(),
+        "analysis must reject the overloaded program"
+    );
 
     // The same program with fast tasks is accepted; artificially slowing the
     // simulation down (single shared core for comparison) is not needed —
@@ -84,11 +87,23 @@ fn functional_determinism_across_core_counts() {
     let mut counts = Vec::new();
     for cores in [0usize, 2, 1] {
         let mut net = build_simulation(&compiled);
-        let metrics = net.run(picos(0.5), &SimulationConfig { cores, warmup_ticks: 4 });
-        assert!(metrics.meets_real_time_constraints(), "cores={cores}: {metrics:?}");
+        let metrics = net.run(
+            picos(0.5),
+            &SimulationConfig {
+                cores,
+                warmup_ticks: 4,
+            },
+        );
+        assert!(
+            metrics.meets_real_time_constraints(),
+            "cores={cores}: {metrics:?}"
+        );
         counts.push(metrics.sinks[0].1);
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "sink consumed {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "sink consumed {counts:?}"
+    );
 }
 
 #[test]
@@ -120,12 +135,57 @@ fn multi_rate_chain_rates_compose_multiplicatively() {
         }
     "#;
     let compiled = compile(src, &registry(1e-5), &CompilerOptions::default()).unwrap();
-    assert!((compiled.channel_rate("x").unwrap() - 16_000.0).abs() < 1e-6);
-    assert!((compiled.channel_rate("mid").unwrap() - 4_000.0).abs() < 1e-6);
-    assert!((compiled.channel_rate("y").unwrap() - 1_000.0).abs() < 1e-6);
+    // Exact rate equality: the 16 kHz -> 4 kHz -> 1 kHz cascade composes
+    // multiplicatively with no round-off.
+    assert_eq!(compiled.channel_rate("x"), Some(16_000.0));
+    assert_eq!(compiled.channel_rate("mid"), Some(4_000.0));
+    assert_eq!(compiled.channel_rate("y"), Some(1_000.0));
     let mut net = build_simulation(&compiled);
     let metrics = net.run(picos(0.5), &SimulationConfig::default());
     assert!(metrics.meets_real_time_constraints(), "{metrics:?}");
+}
+
+#[test]
+fn astronomically_large_rate_literals_are_rejected_not_panics() {
+    // A ~1e45 Hz literal is a finite f64 but has no exact i128 rational;
+    // the front end must reject it with a diagnostic instead of letting the
+    // exact-rational conversion panic deep inside CTA derivation.
+    let reg = registry(1e-5);
+    let src = r#"
+        mod seq W(int a, out int b){ loop{ f(a, out b); } while(1); }
+        mod par D(){
+            source int x = src() @ 999999999999999999999999999999999999999999999.0 Hz;
+            sink int y = snk() @ 1 kHz;
+            W(x, out y)
+        }
+    "#;
+    match compile(src, &reg, &CompilerOptions::default()) {
+        Err(CompileError::Frontend(diags)) => {
+            assert!(
+                diags.iter().any(|d| d.message.contains("exact rational")),
+                "{diags:?}"
+            );
+        }
+        other => panic!("expected a front-end rejection, got {other:?}"),
+    }
+
+    // The same hole existed for latency amounts.
+    let src_latency = r#"
+        mod seq W(int a, out int b){ loop{ f(a, out b); } while(1); }
+        mod par D(){
+            source int x = src() @ 1 kHz;
+            sink int y = snk() @ 1 kHz;
+            start x 999999999999999999999999999999999999999999999.0 ms before y;
+            W(x, out y)
+        }
+    "#;
+    assert!(
+        matches!(
+            compile(src_latency, &reg, &CompilerOptions::default()),
+            Err(CompileError::Frontend(_))
+        ),
+        "latency amount must be rejected at the front end"
+    );
 }
 
 #[test]

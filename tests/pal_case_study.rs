@@ -1,6 +1,7 @@
 //! Integration test for the PAL decoder case study (paper Section VI):
 //! analysis, simulation and the native signal path must all agree.
 
+use oil::dataflow::Rational;
 use oil::dsp::generator::dominant_frequency;
 use oil::dsp::CompositeSignal;
 use oil::pal::{analyze_pal, simulate_pal, NativePalDecoder, PAL_DECODER_OIL};
@@ -12,14 +13,22 @@ fn pal_program_compiles_and_matches_paper_structure() {
     // seven channels (rf, mas, mvs, vid, aud, screen, speakers).
     assert_eq!(compiled.analyzed.graph.instances.len(), 6);
     assert_eq!(compiled.analyzed.graph.channels.len(), 7);
-    // Rate-conversion factors of Fig. 12: gamma = 1/25, 10/16 and 1/8.
-    assert!((analysis.channel_rates["aud"] / analysis.channel_rates["mas"] - 0.04).abs() < 1e-9);
-    assert!((analysis.channel_rates["vid"] / analysis.channel_rates["mvs"] - 0.625).abs() < 1e-9);
-    assert!(
-        (analysis.channel_rates["speakers"] / analysis.channel_rates["aud"] - 0.125).abs() < 1e-9
+    // Rate-conversion factors of Fig. 12: gamma = 1/25, 10/16 and 1/8 —
+    // exact equalities, straight from the exact-rational analysis.
+    assert_eq!(
+        analysis.channel_rates["aud"] / analysis.channel_rates["mas"],
+        Rational::new(1, 25)
     );
-    // Zero audio/video skew.
-    assert!(analysis.av_skew() <= 1e-3);
+    assert_eq!(
+        analysis.channel_rates["vid"] / analysis.channel_rates["mvs"],
+        Rational::new(10, 16)
+    );
+    assert_eq!(
+        analysis.channel_rates["speakers"] / analysis.channel_rates["aud"],
+        Rational::new(1, 8)
+    );
+    // Bounded audio/video skew.
+    assert!(analysis.av_skew().unwrap() <= Rational::new(1, 1000));
 }
 
 #[test]

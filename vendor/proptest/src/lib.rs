@@ -1,0 +1,143 @@
+//! Offline deterministic property-testing shim with a proptest-compatible
+//! API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of `proptest` the workspace's tests use: the `proptest!` macro
+//! with `name in strategy` bindings, `prop_assert!`/`prop_assert_eq!`, range
+//! strategies over the integer types, tuple strategies and
+//! `collection::vec`. Sampling is driven by a fixed-seed xorshift generator,
+//! so every run explores the same cases — which doubles as a determinism
+//! guarantee for the exact-arithmetic tests. Swapping in the real proptest
+//! later requires no changes to the test sources.
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 256;
+
+/// A source of sampled values: the shim's stand-in for proptest strategies.
+pub trait Strategy {
+    /// The type of the sampled values.
+    type Value;
+    /// Draw one value using the given RNG state.
+    fn sample(&self, rng: &mut u64) -> Self::Value;
+}
+
+/// Advance the xorshift state and return the raw 64-bit output.
+pub fn next_u64(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut u64) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u128;
+                    let offset = (next_u64(rng) as u128) % width;
+                    self.start + offset as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut u64) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let width = (end - start) as u128 + 1;
+                    let offset = (next_u64(rng) as u128) % width;
+                    start + offset as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut u64) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors with lengths drawn from `len` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut u64) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its bodies need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assertion macro mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assertion macro mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { .. }` becomes
+/// a `#[test]` running the body over a deterministic sample of the strategy.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                // Seed derived from the test name so different properties
+                // explore different (but stable) case sequences.
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15
+                    ^ stringify!($name).bytes().fold(0u64, |h, b| {
+                        h.wrapping_mul(31).wrapping_add(b as u64)
+                    });
+                for _case in 0..$crate::CASES {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,7 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Re-exports the no-op derive macros from the stub `serde_derive` so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compile
+//! without network access. See `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serialises data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes throughout the codebase only reserve the door
+//! for a future wire format. These derive macros therefore expand to nothing;
+//! swapping in the real `serde`/`serde_derive` later requires no source
+//! changes outside `vendor/`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
