@@ -1,0 +1,122 @@
+//! Scenario sweep: the differential regression engine as a benchmark.
+//!
+//! Sweeps batches of seeded random scenarios (see `oil-gen`) through the
+//! polynomial CTA analyses and through the exact exponential baselines,
+//! timing each side. This quantifies, on *random* instances rather than the
+//! paper's hand-picked figures, the cost gap the paper claims — and it is the
+//! same code path the `tests/differential.rs` harness runs, so its timings
+//! predict the harness's budget consumption as later PRs scale the sweep up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oil_dataflow::hsdf::HsdfGraph;
+use oil_dataflow::statespace::analyze_self_timed_budgeted;
+use oil_gen::{MultiRateScenario, PairScenario, ProgramScenario, RingScenario};
+
+const BATCH: u64 = 50;
+
+fn print_sweep_profile() {
+    let mut live_rings = 0u32;
+    let mut consistent = 0u32;
+    let mut live_pairs = 0u32;
+    for seed in 0..BATCH {
+        if RingScenario::generate(seed).total_tokens() > 0 {
+            live_rings += 1;
+        }
+        if MultiRateScenario::generate(seed).sdf().is_consistent() {
+            consistent += 1;
+        }
+        let pair = PairScenario::generate(seed);
+        if pair.sdf(pair.capacity).check_deadlock_free().is_ok() {
+            live_pairs += 1;
+        }
+    }
+    println!("\n[sweep] profile over {BATCH} seeds per class:");
+    println!("  rings:     {live_rings}/{BATCH} live");
+    println!("  multirate: {consistent}/{BATCH} rate-consistent");
+    println!("  pairs:     {live_pairs}/{BATCH} deadlock-free");
+}
+
+fn bench_scenario_sweep(c: &mut Criterion) {
+    print_sweep_profile();
+
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+
+    // Rings: polynomial CTA vs the two exponential baselines on one batch.
+    group.bench_function(BenchmarkId::new("rings", "cta_maximal_rates"), |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .filter(|&s| RingScenario::generate(s).cta().maximal_rates().is_ok())
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rings", "exact_state_space"), |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .filter(|&s| {
+                    analyze_self_timed_budgeted(&RingScenario::generate(s).sdf(), 100_000, 100_000)
+                        .is_ok()
+                })
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rings", "exact_hsdf_ratio"), |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .filter(|&s| {
+                    let ring = RingScenario::generate(s);
+                    HsdfGraph::expand(&ring.sdf())
+                        .ok()
+                        .and_then(|h| {
+                            h.maximum_cycle_ratio_exact_with(&ring.hsdf_durations_exact())
+                        })
+                        .is_some()
+                })
+                .count()
+        })
+    });
+
+    // Multi-rate topologies: verdict agreement per batch.
+    group.bench_function(BenchmarkId::new("multirate", "cta_consistency"), |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .filter(|&s| {
+                    MultiRateScenario::generate(s)
+                        .cta(1000)
+                        .check_consistency()
+                        .is_ok()
+                })
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("multirate", "repetition_vector"), |b| {
+        b.iter(|| {
+            (0..BATCH)
+                .filter(|&s| {
+                    MultiRateScenario::generate(s)
+                        .sdf()
+                        .repetition_vector()
+                        .is_ok()
+                })
+                .count()
+        })
+    });
+
+    // Full pipeline: generation + compilation of random OIL programs.
+    group.bench_function(BenchmarkId::new("programs", "generate_and_compile"), |b| {
+        use oil_compiler::{compile, CompilerOptions};
+        b.iter(|| {
+            (0..8u64)
+                .filter(|&s| {
+                    let sc = ProgramScenario::generate(s);
+                    compile(&sc.source, &sc.registry, &CompilerOptions::default()).is_ok()
+                })
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_sweep);
+criterion_main!(benches);

@@ -714,8 +714,12 @@ mod tests {
         let b_inst = analyzed.graph.instance_named("B").unwrap().0;
         let a_comp = derived.instance_components[a_inst];
         let b_comp = derived.instance_components[b_inst];
-        // Find the task components nested under each module component.
-        let task_rate = |module_comp: ComponentId| -> Rational {
+        // Find the *loop* task component nested under each module component:
+        // module A's is `A_t0_f`, module B's is `B_t1_g` (its `t0` is the
+        // prologue `init` task, which forms an isolated constraint component
+        // with no meaningful steady-state rate). Iterating in order and
+        // keeping the last match selects the loop task for both.
+        let task_rate = |module_comp: ComponentId, task_fn: &str| -> Rational {
             let mut rate = None;
             for (ci, c) in sized.components.iter_enumerated() {
                 let mut anc = Some(ci);
@@ -727,14 +731,14 @@ mod tests {
                     }
                     anc = sized.components[a].parent;
                 }
-                if is_descendant && c.name.contains("_t0_") {
+                if is_descendant && c.name.ends_with(task_fn) {
                     rate = Some(result.rates[sized.components[ci].ports[0]]);
                 }
             }
             rate.expect("task component found")
         };
-        let ra = task_rate(a_comp);
-        let rb = task_rate(b_comp);
+        let ra = task_rate(a_comp, "_f");
+        let rb = task_rate(b_comp, "_g");
         assert_eq!(rb / ra, Rational::new(3, 2), "rb/ra = {}", rb / ra);
     }
 

@@ -19,8 +19,8 @@
 //! replaces.
 
 use crate::component::{ComponentId, Connection, CtaModel};
-use crate::consistency::ConsistencyError;
-use oil_dataflow::index::{IndexVec, PortId};
+use crate::consistency::{propagate_rate_structure, ConsistencyError};
+use oil_dataflow::index::{Idx, IndexVec, PortId};
 use oil_dataflow::Rational;
 use std::collections::BTreeSet;
 
@@ -83,6 +83,69 @@ pub fn hide_component(
         }
     };
 
+    // Rate constraints of hidden ports must not vanish with them: a hidden
+    // port `h` with maximum rate `r̂(h)` and rate coefficient `coeff(h)`
+    // bounds the group's scale by `r̂(h)/coeff(h)`, and a hidden *required*
+    // rate pins the scale to `r(h)/coeff(h)`. Those per-group constraints
+    // are re-expressed on the *interface ports of the hidden subtree* (kept
+    // ports inside it) — not on unrelated kept ports elsewhere in the model,
+    // whose declared bounds must stay untouched. Conflicting required rates
+    // (two hidden ports, or hidden vs. interface) are an inconsistency of
+    // the white-box model and must stay an error after hiding, never be
+    // silently dropped. Without this push, hiding would report higher
+    // observable rates than the white-box model — caught by the
+    // generated-component property test
+    // `prop_hiding_preserves_observable_rates_and_latency`.
+    let rs = propagate_rate_structure(model)?;
+    let mut hidden_scale: Vec<Option<Rational>> = vec![None; rs.groups];
+    let mut hidden_max_scale: Vec<Option<Rational>> = vec![None; rs.groups];
+    for &h in &hide {
+        let hp = &model.ports[h];
+        let g = Idx::index(rs.group[h]);
+        if let Some(req) = hp.required_rate {
+            let scale = req / rs.coeff[h];
+            match hidden_scale[g] {
+                None => hidden_scale[g] = Some(scale),
+                Some(existing) if existing != scale => {
+                    return Err(ConsistencyError::RequiredRateConflict {
+                        port: h,
+                        implied: existing * rs.coeff[h],
+                        required: req,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(max) = hp.max_rate {
+            let bound = max / rs.coeff[h];
+            hidden_max_scale[g] = Some(match hidden_max_scale[g] {
+                None => bound,
+                Some(existing) => existing.min(bound),
+            });
+        }
+    }
+    let mut pushed_max: IndexVec<PortId, Option<Rational>> = IndexVec::from_elem(None, n);
+    let mut pushed_required: IndexVec<PortId, Option<Rational>> = IndexVec::from_elem(None, n);
+    for &s in kept.iter().filter(|&&s| port_is_inside(s)) {
+        let g = Idx::index(rs.group[s]);
+        if let Some(scale) = hidden_scale[g] {
+            let req = scale * rs.coeff[s];
+            match model.ports[s].required_rate {
+                Some(own) if own != req => {
+                    return Err(ConsistencyError::RequiredRateConflict {
+                        port: s,
+                        implied: req,
+                        required: own,
+                    });
+                }
+                _ => pushed_required[s] = Some(req),
+            }
+        }
+        if let Some(scale) = hidden_max_scale[g] {
+            pushed_max[s] = Some(scale * rs.coeff[s]);
+        }
+    }
+
     let mut result = CtaModel::new();
     // Recreate components (all of them; empty ones are harmless) and kept ports.
     for comp in &model.components {
@@ -91,8 +154,12 @@ pub fn hide_component(
     let mut new_id: IndexVec<PortId, Option<PortId>> = IndexVec::from_elem(None, n);
     for &p in &kept {
         let port = &model.ports[p];
-        let np = result.add_port(port.component, port.name.clone(), port.max_rate);
-        result.ports[np].required_rate = port.required_rate;
+        let max_rate = match (port.max_rate, pushed_max[p]) {
+            (Some(own), Some(pushed)) => Some(own.min(pushed)),
+            (own, pushed) => own.or(pushed),
+        };
+        let np = result.add_port(port.component, port.name.clone(), max_rate);
+        result.ports[np].required_rate = port.required_rate.or(pushed_required[p]);
         new_id[p] = Some(np);
     }
     let renamed = |p: PortId| new_id[p].expect("kept ports have new ids");
@@ -291,6 +358,111 @@ mod tests {
             .latency;
         // Exact equality: hiding preserves path delays bit for bit.
         assert_eq!(full_latency, hidden_latency);
+    }
+
+    #[test]
+    fn hiding_pushes_internal_max_rates_to_the_interface() {
+        // The internal port `a` is the slowest (250 Hz); after hiding, its
+        // bound must survive on the interface, scaled by the gamma path.
+        let mut m = CtaModel::new();
+        let outer = m.add_component("lib", None);
+        let inner = m.add_component("stage", Some(outer));
+        let input = m.add_port(outer, "in", Some(int(1000)));
+        let a = m.add_port(inner, "a", Some(int(250)));
+        let output = m.add_port(outer, "out", Some(int(1000)));
+        let env = m.add_component("env", None);
+        let e_in = m.add_port(env, "e", Some(int(1000)));
+        let e_out = m.add_port(env, "snk", None);
+        m.connect(e_in, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(input, a, ms(1), Rational::ZERO, Rational::ONE);
+        m.connect(a, output, ms(1), Rational::ZERO, Rational::new(2, 1));
+        m.connect(output, e_out, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        let full_rates = m.check_consistency().unwrap();
+
+        let lib = m.component_by_name("lib").unwrap();
+        let hidden = hide_component(&m, lib).unwrap();
+        let lib_h = hidden.component_by_name("lib").unwrap();
+        let in_h = hidden.port_by_name(lib_h, "in").unwrap();
+        let out_h = hidden.port_by_name(lib_h, "out").unwrap();
+        // r(in) ≤ 250 (from a), r(out) ≤ 500 (γ = 2 from a's bound beats the
+        // port's own 1000).
+        assert_eq!(hidden.ports[in_h].max_rate, Some(int(250)));
+        assert_eq!(hidden.ports[out_h].max_rate, Some(int(500)));
+        // The observable rates are exactly those of the white-box model.
+        let hidden_rates = hidden.check_consistency().unwrap();
+        assert_eq!(hidden_rates.rates[in_h], full_rates.rates[input]);
+        assert_eq!(hidden_rates.rates[out_h], full_rates.rates[output]);
+    }
+
+    #[test]
+    fn hiding_preserves_required_rate_conflicts() {
+        // The hidden internal port requires 400 Hz while the interface port
+        // requires 200 Hz in the same rate group: the white-box model is
+        // inconsistent, and hiding must report the conflict rather than
+        // silently discard the hidden requirement and "fix" the model.
+        let mut m = CtaModel::new();
+        let outer = m.add_component("lib", None);
+        let inner = m.add_component("stage", Some(outer));
+        let input = m.add_required_rate_port(outer, "in", int(200));
+        let a = m.add_required_rate_port(inner, "a", int(400));
+        let env = m.add_component("env", None);
+        let e = m.add_port(env, "e", None);
+        m.connect(e, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(input, a, ms(1), Rational::ZERO, Rational::ONE);
+        assert!(matches!(
+            m.check_consistency(),
+            Err(ConsistencyError::RequiredRateConflict { .. })
+        ));
+        let lib = m.component_by_name("lib").unwrap();
+        assert!(
+            matches!(
+                hide_component(&m, lib),
+                Err(ConsistencyError::RequiredRateConflict { .. })
+            ),
+            "hiding must not mask a required-rate conflict"
+        );
+
+        // Two *hidden* ports with incompatible required rates conflict too.
+        let mut m2 = CtaModel::new();
+        let outer = m2.add_component("lib", None);
+        let inner = m2.add_component("stage", Some(outer));
+        let input = m2.add_port(outer, "in", None);
+        let a = m2.add_required_rate_port(inner, "a", int(400));
+        let b = m2.add_required_rate_port(inner, "b", int(500));
+        let env = m2.add_component("env", None);
+        let e = m2.add_port(env, "e", None);
+        m2.connect(e, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m2.connect(input, a, ms(1), Rational::ZERO, Rational::ONE);
+        m2.connect(a, b, ms(1), Rational::ZERO, Rational::ONE);
+        let lib = m2.component_by_name("lib").unwrap();
+        assert!(matches!(
+            hide_component(&m2, lib),
+            Err(ConsistencyError::RequiredRateConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn hiding_leaves_unrelated_components_bounds_untouched() {
+        // Ports outside the hidden subtree keep their declared max rates
+        // verbatim, even when they share a rate group with hidden ports —
+        // the pushed constraints land on the subtree's interface ports only.
+        let mut m = CtaModel::new();
+        let outer = m.add_component("lib", None);
+        let inner = m.add_component("stage", Some(outer));
+        let input = m.add_port(outer, "in", Some(int(1000)));
+        let a = m.add_port(inner, "a", Some(int(250)));
+        let env = m.add_component("env", None);
+        let e = m.add_port(env, "e", Some(int(1000)));
+        m.connect(e, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        m.connect(input, a, ms(1), Rational::ZERO, Rational::ONE);
+        let lib = m.component_by_name("lib").unwrap();
+        let hidden = hide_component(&m, lib).unwrap();
+        let env_h = hidden.component_by_name("env").unwrap();
+        let e_h = hidden.port_by_name(env_h, "e").unwrap();
+        assert_eq!(hidden.ports[e_h].max_rate, Some(int(1000)));
+        let lib_h = hidden.component_by_name("lib").unwrap();
+        let in_h = hidden.port_by_name(lib_h, "in").unwrap();
+        assert_eq!(hidden.ports[in_h].max_rate, Some(int(250)));
     }
 
     #[test]

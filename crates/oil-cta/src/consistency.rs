@@ -417,20 +417,35 @@ impl CtaModel {
                 fixed[rs.group[p].index()] = true;
             }
         }
-        let rates_at = |f: Rational| -> IndexVec<PortId, Rational> {
+        // Scale factors are solved per *connected component* of the
+        // constraint graph (ports connected by any connection, rate-coupling
+        // or not). Components are fully independent — no delay cycle can
+        // span two of them — so scaling them jointly would let one
+        // component's binding cycle needlessly slow another's maximal rates,
+        // breaking the compositionality property that merging two unrelated
+        // models preserves each one's analysis results.
+        let comp = self.port_constraint_components();
+        let n_comps = comp.iter().map(|&c| c + 1).max().unwrap_or(0);
+        let mut factor: Vec<Rational> = vec![Rational::ONE; n_comps];
+        let rates_at = |factor: &[Rational]| -> IndexVec<PortId, Rational> {
             base.iter_enumerated()
-                .map(|(p, &r)| if fixed[rs.group[p].index()] { r } else { r * f })
+                .map(|(p, &r)| {
+                    if fixed[rs.group[p].index()] {
+                        r
+                    } else {
+                        r * factor[comp[p.index()]]
+                    }
+                })
                 .collect()
         };
 
-        let mut factor = Rational::ONE;
         // Each round either succeeds or permanently retires the witness
         // cycle, so the simple-cycle count bounds the rounds; the cap only
         // guards against pathological models.
         let max_rounds = self.connections.len() * self.connections.len() + 8;
         let mut last_error = None;
         for _ in 0..=max_rounds {
-            let rates = rates_at(factor);
+            let rates = rates_at(&factor);
             match check_delays(self, &rates, ignore_buffers) {
                 Ok(_) => return Ok(rates),
                 Err(ConsistencyError::PositiveCycle {
@@ -438,13 +453,16 @@ impl CtaModel {
                     excess,
                     connections,
                 }) => {
-                    // Split the cycle weight into E + P/factor: epsilon terms
-                    // and fixed-group phi terms are constant, free-group phi
+                    // The cycle lies within one constraint component; split
+                    // its weight into E + P/factor there: epsilon terms and
+                    // fixed-group phi terms are constant, free-group phi
                     // terms scale with 1/factor.
+                    let cycle_comp = comp[self.connections[connections[0]].from.index()];
                     let mut e_sum = Rational::ZERO;
                     let mut p_sum = Rational::ZERO;
                     for &cid in &connections {
                         let c = &self.connections[cid];
+                        debug_assert_eq!(comp[c.from.index()], cycle_comp);
                         e_sum += c.epsilon;
                         if !c.phi.is_zero() {
                             let term = c.phi / base[c.from];
@@ -460,8 +478,8 @@ impl CtaModel {
                         // and positive at the current factor, so E > 0 and
                         // the unique zero crossing -P/E lies strictly below.
                         let threshold = -p_sum / e_sum;
-                        debug_assert!(threshold.is_positive() && threshold < factor);
-                        factor = threshold;
+                        debug_assert!(threshold.is_positive() && threshold < factor[cycle_comp]);
+                        factor[cycle_comp] = threshold;
                         last_error = Some(ConsistencyError::PositiveCycle {
                             ports,
                             excess,
@@ -481,6 +499,43 @@ impl CtaModel {
             }
         }
         Err(last_error.expect("rounds exhausted only after at least one cycle"))
+    }
+
+    /// Connected components of the constraint graph: ports joined by *any*
+    /// connection (rate-coupling or pure timing constraint). Returns a
+    /// component index per port (dense, 0-based).
+    fn port_constraint_components(&self) -> Vec<usize> {
+        let n = self.ports.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for c in &self.connections {
+            let (a, b) = (
+                find(&mut parent, c.from.index()),
+                find(&mut parent, c.to.index()),
+            );
+            if a != b {
+                parent[a] = b;
+            }
+        }
+        // Densify root ids to 0..k.
+        let mut dense: Vec<Option<usize>> = vec![None; n];
+        let mut next = 0usize;
+        (0..n)
+            .map(|p| {
+                let root = find(&mut parent, p);
+                *dense[root].get_or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect()
     }
 
     /// Like [`Self::check_consistency`], but instead of failing when the
@@ -722,6 +777,20 @@ mod tests {
         );
         let rates = m.maximal_rates().unwrap();
         assert_eq!(rates[PortId::new(0)], int(1000));
+    }
+
+    #[test]
+    fn maximal_rates_are_solved_per_connected_component() {
+        // Two disconnected producer/consumer pairs: one with a binding
+        // buffer (max 5 kHz achievable), one unconstrained (20 kHz). The
+        // factors are per component, so the unconstrained pair keeps its
+        // full rate instead of being dragged down to the other's.
+        let mut m = producer_consumer(int(20_000), int(20_000), response(), int(1));
+        let free = producer_consumer(int(20_000), int(20_000), response(), int(64));
+        let off = m.merge(&free);
+        let rates = m.maximal_rates().unwrap();
+        assert_eq!(rates[PortId::new(0)], int(5000));
+        assert_eq!(rates[off.port(PortId::new(0))], int(20_000));
     }
 
     #[test]

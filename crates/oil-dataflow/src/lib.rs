@@ -39,7 +39,7 @@ pub mod taskgraph;
 
 pub use buffer::CircularBuffer;
 pub use csdf::CsdfGraph;
-pub use hsdf::HsdfGraph;
+pub use hsdf::{ExactCycleRatio, HsdfGraph};
 pub use index::{ActorId, ChannelId, GroupId, Idx, IndexVec, PortId};
 pub use rational::Rational;
 pub use sdf::{EdgeId, SdfActor, SdfEdge, SdfGraph};

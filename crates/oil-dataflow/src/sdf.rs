@@ -15,7 +15,7 @@
 
 use crate::define_index_type;
 use crate::index::{ActorId, Idx, IndexVec};
-use crate::rational::{lcm, Rational};
+use crate::rational::Rational;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -76,6 +76,14 @@ pub enum SdfError {
     },
     /// The graph has no actors.
     Empty,
+    /// An analysis exceeded its size/overflow budget (e.g. adversarial rate
+    /// ratios blow up the repetition vector, the HSDF expansion or the
+    /// explored state space). The analysis is *skipped*, not wrong: callers
+    /// such as the differential harness log and move on instead of aborting.
+    BudgetExceeded {
+        /// Which analysis/quantity exceeded the budget.
+        what: String,
+    },
 }
 
 impl fmt::Display for SdfError {
@@ -89,6 +97,9 @@ impl fmt::Display for SdfError {
             }
             SdfError::Deadlock { .. } => write!(f, "SDF graph deadlocks within one iteration"),
             SdfError::Empty => write!(f, "SDF graph has no actors"),
+            SdfError::BudgetExceeded { what } => {
+                write!(f, "exact analysis exceeded its budget: {what}")
+            }
         }
     }
 }
@@ -193,7 +204,11 @@ impl SdfGraph {
             while let Some(v) = queue.pop() {
                 let rv = ratio[v].unwrap();
                 for &(w, f, eid) in &adj[v] {
-                    let expected = rv * f;
+                    let expected = rv.checked_mul(f).ok_or_else(|| SdfError::BudgetExceeded {
+                        what: "firing-ratio propagation overflowed i128 \
+                                       (adversarial rate ratios)"
+                            .into(),
+                    })?;
                     match ratio[w] {
                         None => {
                             ratio[w] = Some(expected);
@@ -209,22 +224,33 @@ impl SdfGraph {
                 }
             }
 
-            // Scale this component's ratios to its smallest integer vector.
+            // Scale this component's ratios to its smallest integer vector,
+            // with every step checked: adversarial rate ratios (long chains of
+            // multiplicative factors) can push the entries past `u64`, which
+            // must surface as a budget error, not silent truncation.
+            let budget = |what: &str| SdfError::BudgetExceeded { what: what.into() };
             let mut denom_lcm: u128 = 1;
             for &v in &component {
-                denom_lcm = lcm(denom_lcm, ratio[v].unwrap().denom() as u128);
+                let den = ratio[v].unwrap().denom() as u128;
+                let g = crate::rational::gcd(denom_lcm, den).max(1);
+                denom_lcm = (denom_lcm / g)
+                    .checked_mul(den)
+                    .ok_or_else(|| budget("repetition-vector denominator LCM overflowed u128"))?;
             }
             let mut g: u128 = 0;
+            let mut scaled_entries: Vec<(ActorId, u128)> = Vec::with_capacity(component.len());
             for &v in &component {
                 let r = ratio[v].unwrap();
-                let scaled = r.numer() as u128 * (denom_lcm / r.denom() as u128);
-                q[v] = scaled as u64;
+                let scaled = (r.numer() as u128)
+                    .checked_mul(denom_lcm / r.denom() as u128)
+                    .ok_or_else(|| budget("repetition-vector entry overflowed u128"))?;
+                scaled_entries.push((v, scaled));
                 g = crate::rational::gcd(g, scaled);
             }
-            if g > 1 {
-                for &v in &component {
-                    q[v] /= g as u64;
-                }
+            let g = g.max(1);
+            for (v, scaled) in scaled_entries {
+                q[v] = u64::try_from(scaled / g)
+                    .map_err(|_| budget("repetition-vector entry exceeds u64"))?;
             }
         }
         Ok(q)
@@ -235,10 +261,27 @@ impl SdfGraph {
         self.repetition_vector().is_ok()
     }
 
+    /// Default firing budget for [`Self::check_deadlock_free`]: one symbolic
+    /// iteration of any reasonable graph fits comfortably; adversarial rate
+    /// ratios (repetition vectors in the millions) exceed it and are reported
+    /// as [`SdfError::BudgetExceeded`] instead of hanging the caller.
+    pub const DEFAULT_FIRING_BUDGET: u64 = 10_000_000;
+
     /// Check for deadlock freedom by symbolically executing one iteration
     /// (every actor `a` fires `q[a]` times) in data-driven order. Returns the
     /// repetition vector on success.
     pub fn check_deadlock_free(&self) -> Result<IndexVec<ActorId, u64>, SdfError> {
+        self.check_deadlock_free_budgeted(Self::DEFAULT_FIRING_BUDGET)
+    }
+
+    /// As [`Self::check_deadlock_free`], but refusing to execute more than
+    /// `max_firings` symbolic firings: graphs whose iteration length exceeds
+    /// the budget yield [`SdfError::BudgetExceeded`] instead of running (or
+    /// overflowing token counters) for an unbounded amount of time.
+    pub fn check_deadlock_free_budgeted(
+        &self,
+        max_firings: u64,
+    ) -> Result<IndexVec<ActorId, u64>, SdfError> {
         let q = self.repetition_vector()?;
         let mut remaining = q.clone();
         let mut tokens: IndexVec<EdgeId, u64> =
@@ -252,7 +295,13 @@ impl SdfGraph {
             outgoing[e.src].push(eid);
         }
 
-        let total: u64 = q.iter().sum();
+        let total: u64 = q
+            .iter()
+            .try_fold(0u64, |acc, &n| acc.checked_add(n))
+            .filter(|&t| t <= max_firings)
+            .ok_or_else(|| SdfError::BudgetExceeded {
+                what: format!("iteration length exceeds the firing budget {max_firings}"),
+            })?;
         let mut fired: u64 = 0;
         loop {
             let mut progressed = false;
@@ -266,7 +315,13 @@ impl SdfGraph {
                         tokens[e] -= self.edges[e].consumption;
                     }
                     for &e in &outgoing[a] {
-                        tokens[e] += self.edges[e].production;
+                        tokens[e] =
+                            tokens[e]
+                                .checked_add(self.edges[e].production)
+                                .ok_or_else(|| SdfError::BudgetExceeded {
+                                    what: "token count overflowed u64 during symbolic execution"
+                                        .into(),
+                                })?;
                     }
                     remaining[a] -= 1;
                     fired += 1;
@@ -479,6 +534,42 @@ mod tests {
         let a = g.add_actor("a", 1.0);
         let b = g.add_actor("b", 1.0);
         g.add_edge(a, b, 0, 1, 0);
+    }
+
+    #[test]
+    fn adversarial_rate_chain_reports_budget_not_truncation() {
+        // A chain multiplying the firing ratio by 100 per hop: after ~10 hops
+        // the repetition-vector entries exceed u64 and after ~19 they exceed
+        // i128 inside the ratio propagation. Both must surface as
+        // BudgetExceeded, never as a silently truncated vector.
+        let mut g = SdfGraph::new();
+        let mut prev = g.add_actor("a0", 1e-6);
+        for i in 0..25 {
+            let next = g.add_actor(format!("a{}", i + 1), 1e-6);
+            g.add_edge(prev, next, 100, 1, 0);
+            prev = next;
+        }
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
+        // The graph is *rate-consistent* in the mathematical sense, but the
+        // budget guard refuses it — is_consistent reflects analysability.
+        assert!(!g.is_consistent());
+    }
+
+    #[test]
+    fn deadlock_check_respects_firing_budget() {
+        // q = (1, 10_000): the symbolic iteration needs 10_001 firings.
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1e-6);
+        let b = g.add_actor("b", 1e-6);
+        g.add_edge(a, b, 10_000, 1, 0);
+        assert!(g.check_deadlock_free().is_ok());
+        assert!(matches!(
+            g.check_deadlock_free_budgeted(100),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
     }
 
     proptest! {

@@ -13,6 +13,7 @@
 //! `scaling_poly_vs_exact` demonstrates against CTA's polynomial algorithms.
 
 use crate::index::{ActorId, IndexVec};
+use crate::rational::Rational;
 use crate::sdf::{EdgeId, SdfError, SdfGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -26,6 +27,12 @@ pub struct SelfTimedAnalysis {
     pub transient_iterations: u64,
     /// Number of iterations in one steady-state cycle of the state space.
     pub cycle_iterations: u64,
+    /// Duration of one steady-state cycle in integer picoseconds: the exact
+    /// time between the two visits of the repeated boundary state. Together
+    /// with [`Self::cycle_iterations`] this gives the period as an exact
+    /// rational (see [`Self::period_exact`]); `0` when the analysis did not
+    /// converge within its iteration bound.
+    pub cycle_picos: u64,
     /// Number of distinct iteration-boundary states explored.
     pub states_explored: usize,
     /// Maximum number of tokens simultaneously present on each edge during
@@ -41,6 +48,21 @@ impl SelfTimedAnalysis {
         } else {
             1.0 / self.period
         }
+    }
+
+    /// The steady-state iteration period in seconds as an **exact rational**:
+    /// `cycle_picos / (cycle_iterations · 10¹²)`. This is the value the
+    /// differential harness compares bit-for-bit against CTA's exact maximal
+    /// rates. `None` when the analysis did not converge (no repeated state
+    /// within the iteration bound).
+    pub fn period_exact(&self) -> Option<Rational> {
+        if self.cycle_iterations == 0 {
+            return None;
+        }
+        Some(Rational::new(
+            self.cycle_picos as i128,
+            self.cycle_iterations as i128 * 1_000_000_000_000,
+        ))
     }
 }
 
@@ -73,11 +95,50 @@ const LOOKAHEAD_ITERATIONS: u64 = 4;
 /// iteration-boundary state repeats, and return the steady-state period.
 ///
 /// `max_iterations` bounds the exploration so pathological graphs cannot run
-/// away; analysis of a well-formed graph converges far earlier.
+/// away; analysis of a well-formed graph converges far earlier. When the
+/// bound is hit the average period so far is reported as an estimate (useful
+/// for benchmarking); use [`analyze_self_timed_budgeted`] to get a hard
+/// [`SdfError::BudgetExceeded`] instead.
 pub fn analyze_self_timed(
     graph: &SdfGraph,
     max_iterations: u64,
 ) -> Result<SelfTimedAnalysis, SdfError> {
+    analyze_impl(graph, max_iterations, usize::MAX, false)
+}
+
+/// As [`analyze_self_timed`], but *strict*: the exploration refuses to keep
+/// more than `max_states` distinct boundary states, refuses graphs with
+/// non-finite or out-of-range firing durations, and reports hitting any
+/// budget (including `max_iterations` without convergence) as
+/// [`SdfError::BudgetExceeded`]. This is the entry point for harnesses that
+/// feed *generated* (possibly adversarial) graphs and must skip-and-log
+/// rather than OOM or accept an estimate as exact.
+pub fn analyze_self_timed_budgeted(
+    graph: &SdfGraph,
+    max_iterations: u64,
+    max_states: usize,
+) -> Result<SelfTimedAnalysis, SdfError> {
+    analyze_impl(graph, max_iterations, max_states, true)
+}
+
+fn analyze_impl(
+    graph: &SdfGraph,
+    max_iterations: u64,
+    max_states: usize,
+    strict: bool,
+) -> Result<SelfTimedAnalysis, SdfError> {
+    if strict {
+        // ~1.8e7 seconds is the largest duration whose picosecond count fits
+        // a u64; anything near it is an adversarial input, not a workload.
+        for a in &graph.actors {
+            let d = a.firing_duration;
+            if !d.is_finite() || d < 0.0 || d * 1e12 >= u64::MAX as f64 {
+                return Err(SdfError::BudgetExceeded {
+                    what: format!("firing duration {d} is outside the picosecond time base"),
+                });
+            }
+        }
+    }
     let q = graph.check_deadlock_free()?;
     let n = graph.actors.len();
     let durations: IndexVec<ActorId, Picos> = graph
@@ -154,7 +215,13 @@ pub fn analyze_self_timed(
                         busy[a] = None;
                         total_fired[a] += 1;
                         for &e in &outgoing[a] {
-                            tokens[e] += graph.edges[e].production;
+                            tokens[e] = tokens[e]
+                                .checked_add(graph.edges[e].production)
+                                .ok_or_else(|| SdfError::BudgetExceeded {
+                                    what: "token count overflowed u64 during state-space \
+                                           exploration"
+                                        .into(),
+                                })?;
                             max_tokens[e] = max_tokens[e].max(tokens[e]);
                         }
                     }
@@ -190,19 +257,31 @@ pub fn analyze_self_timed(
             };
             if let Some(&(prev_iter, prev_time)) = seen.get(&state) {
                 let cycle_iterations = iteration - prev_iter;
-                let period_picos = (now - prev_time) as f64 / cycle_iterations as f64;
+                let cycle_picos = now - prev_time;
+                let period_picos = cycle_picos as f64 / cycle_iterations as f64;
                 return Ok(SelfTimedAnalysis {
                     period: period_picos / 1e12,
                     transient_iterations: prev_iter,
                     cycle_iterations,
+                    cycle_picos,
                     states_explored: seen.len(),
                     max_tokens_per_edge: max_tokens,
+                });
+            }
+            if seen.len() >= max_states {
+                return Err(SdfError::BudgetExceeded {
+                    what: format!("state-space exploration exceeded {max_states} boundary states"),
                 });
             }
             seen.insert(state, (iteration, now));
         }
     }
 
+    if strict {
+        return Err(SdfError::BudgetExceeded {
+            what: format!("no repeated boundary state within {max_iterations} iterations"),
+        });
+    }
     // Did not converge within the bound; report the average period so far as
     // an estimate (still useful for benchmarking the cost of exploration).
     Ok(SelfTimedAnalysis {
@@ -213,6 +292,7 @@ pub fn analyze_self_timed(
         },
         transient_iterations: iteration,
         cycle_iterations: 0,
+        cycle_picos: 0,
         states_explored: seen.len(),
         max_tokens_per_edge: max_tokens,
     })
@@ -305,6 +385,57 @@ mod tests {
         // Edge a->b can accumulate tokens while b is busy.
         assert!(res.max_tokens_per_edge[forward] >= 1);
         assert!(res.max_tokens_per_edge[back] <= 3);
+    }
+
+    #[test]
+    fn exact_period_matches_float_period() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1e-3);
+        let b = g.add_actor("b", 2e-3);
+        g.add_edge(a, b, 1, 1, 0);
+        g.add_edge(b, a, 1, 1, 1);
+        let res = analyze_self_timed(&g, 1000).unwrap();
+        // 3 ms per iteration, exactly.
+        assert_eq!(
+            res.period_exact(),
+            Some(crate::rational::Rational::new(3, 1000))
+        );
+        assert!((res.period - res.period_exact().unwrap().to_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn budgeted_analysis_reports_budget_errors() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1e-3);
+        let b = g.add_actor("b", 7e-4);
+        g.add_edge(a, b, 2, 3, 0);
+        g.add_edge(b, a, 3, 2, 12);
+        // A one-state budget cannot hold the transient.
+        assert!(matches!(
+            analyze_self_timed_budgeted(&g, 10_000, 1),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
+        // A one-iteration bound cannot reach a repeated state: strict mode
+        // refuses instead of returning an estimate.
+        assert!(matches!(
+            analyze_self_timed_budgeted(&g, 1, 1_000_000),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
+        // Generous budgets converge and agree with the unbudgeted analysis.
+        let strict = analyze_self_timed_budgeted(&g, 10_000, 1_000_000).unwrap();
+        let loose = analyze_self_timed(&g, 10_000).unwrap();
+        assert_eq!(strict, loose);
+    }
+
+    #[test]
+    fn non_finite_durations_rejected_in_strict_mode() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", f64::INFINITY);
+        g.add_edge(a, a, 1, 1, 1);
+        assert!(matches!(
+            analyze_self_timed_budgeted(&g, 100, 1000),
+            Err(SdfError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the CTA composition algebra (paper §V-C) on generated
+//! components: composition is associative, composition preserves the
+//! analyses of its parts, and hiding internal ports preserves the externally
+//! observable rates and latencies — all checked with exact equality.
+
+use oil_cta::{check_latency_path, hide_component, CtaModel, Rational};
+use oil_dataflow::index::PortId;
+use oil_gen::{GenRng, RingScenario};
+use proptest::prelude::*;
+
+/// A random library component: an outer component with `in`/`out` interface
+/// ports and a chain of hidden internal ports with random exact delays and
+/// rate ratios, wired to an environment source and sink. Returns the model
+/// and the environment's port ids.
+fn random_chain_component(seed: u64) -> (CtaModel, PortId, PortId) {
+    let mut rng = GenRng::new(seed ^ 0xC0117);
+    let max = Some(Rational::from_int(rng.range(100, 100_000) as i128));
+    let mut m = CtaModel::new();
+    let outer = m.add_component("lib", None);
+    let inner = m.add_component("stage", Some(outer));
+    let input = m.add_port(outer, "in", max);
+    let internals: Vec<PortId> = (0..rng.range(1, 4))
+        .map(|i| m.add_port(inner, format!("i{i}"), max))
+        .collect();
+    let output = m.add_port(outer, "out", max);
+    let env = m.add_component("env", None);
+    let src = m.add_port(env, "src", max);
+    let snk = m.add_port(env, "snk", max);
+
+    let delay = |rng: &mut GenRng| Rational::new(rng.range(0, 900) as i128, 1_000_000);
+    let gamma = |rng: &mut GenRng| Rational::new(rng.range(1, 4) as i128, rng.range(1, 4) as i128);
+    m.connect(src, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+    let mut prev = input;
+    for &p in &internals {
+        let (d, g) = (delay(&mut rng), gamma(&mut rng));
+        m.connect(prev, p, d, Rational::ZERO, g);
+        prev = p;
+    }
+    let (d, g) = (delay(&mut rng), gamma(&mut rng));
+    m.connect(prev, output, d, Rational::ZERO, g);
+    m.connect(output, snk, Rational::ZERO, Rational::ZERO, Rational::ONE);
+    (m, src, snk)
+}
+
+proptest! {
+    /// Merging models is associative: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`,
+    /// structurally and bit for bit.
+    #[test]
+    fn prop_compose_is_associative(sa in 0u64..10_000, sb in 0u64..10_000, sc in 0u64..10_000) {
+        let a = RingScenario::generate(sa).cta();
+        let b = RingScenario::generate(sb).cta();
+        let c = RingScenario::generate(sc).cta();
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Composing with an unrelated component does not disturb the first
+    /// component's analysis: its ports keep exactly their rates. Only live
+    /// rings are drawn (prop_filter), since deadlocked ones have no rates.
+    #[test]
+    fn prop_compose_preserves_component_analyses(
+        sa in (0u64..10_000).prop_filter(
+            "live rings only",
+            |s| RingScenario::generate(*s).total_tokens() > 0,
+        ),
+        sb in 0u64..10_000,
+    ) {
+        let ring = RingScenario::generate(sa);
+        let alone = ring.cta().maximal_rates().expect("live ring is feasible");
+
+        let mut composed = ring.cta();
+        composed.merge(&RingScenario::generate(sb).cta());
+        let together = composed.maximal_rates();
+
+        match together {
+            Ok(rates) => {
+                for i in 0..ring.len() {
+                    prop_assert_eq!(
+                        rates[ring.cta_port(i)],
+                        alone[ring.cta_port(i)],
+                        "seed {}: rate of port {} changed under composition",
+                        sa,
+                        i
+                    );
+                }
+            }
+            // The merged partner may itself be infeasible (deadlocked ring);
+            // that is a property of the partner, not of composition.
+            Err(_) => {
+                prop_assert_eq!(
+                    RingScenario::generate(sb).total_tokens(), 0,
+                    "seed {}: composition with a live partner must stay feasible", sb
+                );
+            }
+        }
+    }
+
+    /// Hiding the internal ports of a generated library component preserves
+    /// the externally observable rates and the end-to-end latency exactly
+    /// (paper §V-C: a black-box interface is as good as the white box).
+    #[test]
+    fn prop_hiding_preserves_observable_rates_and_latency(seed in 0u64..10_000) {
+        let (m, src, snk) = random_chain_component(seed);
+        let full = m.check_consistency().expect("chain components are consistent");
+        let full_latency = check_latency_path(&m, &full, src, snk)
+            .expect("sink reachable")
+            .latency;
+
+        let lib = m.component_by_name("lib").expect("lib exists");
+        let hidden = hide_component(&m, lib)
+            .unwrap_or_else(|e| panic!("seed {seed}: hiding failed: {e}"));
+        let res = hidden.check_consistency().expect("hidden model stays consistent");
+
+        let env = hidden.component_by_name("env").expect("env survives");
+        let src_h = hidden.port_by_name(env, "src").expect("src survives");
+        let snk_h = hidden.port_by_name(env, "snk").expect("snk survives");
+
+        // Exact rate preservation at the interface.
+        prop_assert_eq!(
+            res.rates[src_h], full.rates[src],
+            "seed {}: source rate changed under hiding", seed
+        );
+        prop_assert_eq!(
+            res.rates[snk_h], full.rates[snk],
+            "seed {}: sink rate changed under hiding", seed
+        );
+
+        // Exact latency preservation along the summarised path.
+        let hidden_latency = check_latency_path(&hidden, &res, src_h, snk_h)
+            .expect("sink still reachable")
+            .latency;
+        prop_assert_eq!(
+            hidden_latency, full_latency,
+            "seed {}: end-to-end latency changed under hiding", seed
+        );
+    }
+}
+
+/// Merge offsets translate every id space consistently: spot-check that the
+/// merged copy of a generated ring is bit-identical to the original under
+/// the offset translation.
+#[test]
+fn merge_offsets_translate_generated_components_faithfully() {
+    for seed in 0..64u64 {
+        let a = RingScenario::generate(seed).cta();
+        let b = RingScenario::generate(seed + 1000).cta();
+        let mut merged = a.clone();
+        let off = merged.merge(&b);
+        for (pid, port) in b.ports.iter_enumerated() {
+            let t = &merged.ports[off.port(pid)];
+            assert_eq!(t.name, port.name, "seed {seed}");
+            assert_eq!(t.max_rate, port.max_rate, "seed {seed}");
+            assert_eq!(t.component, off.component(port.component), "seed {seed}");
+        }
+        for (cid, conn) in b.connections.iter_enumerated() {
+            let t = &merged.connections[off.connection(cid)];
+            assert_eq!(t.from, off.port(conn.from), "seed {seed}");
+            assert_eq!(t.to, off.port(conn.to), "seed {seed}");
+            assert_eq!(t.epsilon, conn.epsilon, "seed {seed}");
+            assert_eq!(t.phi, conn.phi, "seed {seed}");
+            assert_eq!(t.gamma, conn.gamma, "seed {seed}");
+        }
+    }
+}

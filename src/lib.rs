@@ -17,6 +17,9 @@
 //! * [`dsp`] — the signal-processing kernels coordinated by the example
 //!   programs (filters, mixers, resamplers, signal generators).
 //! * [`pal`] — the PAL video/audio decoder case study from the paper.
+//! * [`gen`] — seeded random workload generation for the differential
+//!   harness (`tests/differential.rs`) that cross-checks CTA against the
+//!   exact dataflow baselines.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the mapping from the paper's
 //! figures and claims to modules and benchmarks.
@@ -25,6 +28,7 @@ pub use oil_compiler as compiler;
 pub use oil_cta as cta;
 pub use oil_dataflow as dataflow;
 pub use oil_dsp as dsp;
+pub use oil_gen as gen;
 pub use oil_lang as lang;
 pub use oil_pal as pal;
 pub use oil_sim as sim;

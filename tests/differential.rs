@@ -1,0 +1,363 @@
+//! Differential verification of CTA against the exact baselines on randomly
+//! generated workloads.
+//!
+//! The paper's claim — polynomial-time CTA analyses agree with the
+//! exact-but-exponential dataflow analyses — is checked here on hundreds of
+//! seeded random instances per run (`oil-gen` generates them; see its crate
+//! docs for the class/oracle pairing):
+//!
+//! * **rings** — CTA's exact maximal rate `==` the self-timed state-space
+//!   period `==` the exact HSDF maximum cycle ratio, bit for bit, and all
+//!   three deadlock verdicts coincide;
+//! * **multi-rate topologies** — CTA's consistency verdict `==` the balance
+//!   equations' solvability, and the accepted rate vectors are exactly
+//!   proportional to the repetition vector;
+//! * **pairs** — the two exponential baselines (state space, exact HSDF
+//!   ratio) agree with each other exactly, including deadlock verdicts;
+//! * **programs** — every generated OIL program the compiler accepts
+//!   simulates in `oil-sim` with the CTA-sized buffers without a single
+//!   deadline miss, buffer overflow or latency violation; deliberately
+//!   ill-formed programs are rejected with diagnostics, never panics.
+//!
+//! Exact baselines that exceed their size budget on an adversarial instance
+//! are *skipped and counted*, not failed — the budget guards are themselves
+//! under test (they must return `SdfError::BudgetExceeded`, not panic).
+//!
+//! Every failure message embeds the reproducing seed: rerun with
+//! `<Scenario>::generate(seed)` (all generation is a pure function of the
+//! seed — same instance on every machine).
+
+use oil::cta::consistency::ConsistencyError;
+use oil::dataflow::hsdf::{ExactCycleRatio, HsdfGraph};
+use oil::dataflow::index::{Idx, PortId};
+use oil::dataflow::sdf::SdfError;
+use oil::dataflow::statespace::analyze_self_timed_budgeted;
+use oil::dataflow::Rational;
+use oil::gen::{IllFormedProgram, MultiRateScenario, PairScenario, ProgramScenario, RingScenario};
+
+/// Instance counts per class; the sum (> 300) is the per-run sweep size.
+const RING_SEEDS: u64 = 120;
+const MULTIRATE_SEEDS: u64 = 100;
+const PAIR_SEEDS: u64 = 60;
+const PROGRAM_SEEDS: u64 = 24;
+const ILLFORMED_SEEDS: u64 = 24;
+
+/// Budgets for the exponential baselines: far beyond anything the generator
+/// ranges produce, so a budget hit on these classes would itself be a bug —
+/// except where a test deliberately probes adversarial instances.
+const MAX_ITERATIONS: u64 = 200_000;
+const MAX_STATES: usize = 1_000_000;
+
+#[test]
+fn rings_cta_maximal_rates_match_state_space_and_hsdf_exactly() {
+    let (mut live, mut dead) = (0u32, 0u32);
+    for seed in 0..RING_SEEDS {
+        let ring = RingScenario::generate(seed);
+        let sdf = ring.sdf();
+        let cta = ring.cta();
+
+        match analyze_self_timed_budgeted(&sdf, MAX_ITERATIONS, MAX_STATES) {
+            Ok(exact) => {
+                live += 1;
+                let period = exact.period_exact().unwrap_or_else(|| {
+                    panic!("seed {seed}: converged analysis must expose an exact period")
+                });
+
+                // 1. The state-space period equals the closed form.
+                assert_eq!(
+                    Some(period),
+                    ring.predicted_period(),
+                    "seed {seed}: state-space period {period} differs from closed form {:?}",
+                    ring.predicted_period()
+                );
+
+                // 2. CTA's exact maximal rate is the reciprocal, bit for bit,
+                //    and uniform across the ring (all γ = 1).
+                let rates = cta.maximal_rates().unwrap_or_else(|e| {
+                    panic!("seed {seed}: exact analysis converged but CTA rejected: {e}")
+                });
+                for i in 0..ring.len() {
+                    assert_eq!(
+                        rates[ring.cta_port(i)],
+                        period.recip(),
+                        "seed {seed}: CTA rate at port {i} disagrees with the exact period"
+                    );
+                }
+                assert!(
+                    cta.consistency_at_maximal_rates().is_ok(),
+                    "seed {seed}: CTA must accept its own maximal rates"
+                );
+
+                // 3. The exact HSDF maximum cycle ratio is the same period.
+                let h = HsdfGraph::expand(&sdf)
+                    .unwrap_or_else(|e| panic!("seed {seed}: ring expansion failed: {e}"));
+                let durations = ring.hsdf_durations_exact();
+                match h.maximum_cycle_ratio_exact_with(&durations) {
+                    Some(ExactCycleRatio::Ratio(mcm)) => assert_eq!(
+                        mcm, period,
+                        "seed {seed}: exact HSDF ratio {mcm} vs state-space period {period}"
+                    ),
+                    other => {
+                        panic!("seed {seed}: ring must have a finite cycle ratio, got {other:?}")
+                    }
+                }
+            }
+            Err(SdfError::Deadlock { .. }) => {
+                dead += 1;
+                assert_eq!(
+                    ring.total_tokens(),
+                    0,
+                    "seed {seed}: only token-free rings may deadlock"
+                );
+                // CTA agrees: no positive rate satisfies the cycle, and the
+                // witness cycle is rate-independent (ε-only).
+                match cta.maximal_rates() {
+                    Err(ConsistencyError::PositiveCycle { .. }) => {}
+                    other => panic!("seed {seed}: CTA verdict {other:?} disagrees with deadlock"),
+                }
+            }
+            Err(other) => panic!("seed {seed}: unexpected baseline failure: {other}"),
+        }
+    }
+    // The generator must cover both classes in every sweep.
+    assert!(live >= 80, "only {live} live rings of {RING_SEEDS}");
+    assert!(dead >= 5, "only {dead} deadlocked rings of {RING_SEEDS}");
+}
+
+#[test]
+fn multirate_consistency_verdicts_and_rate_vectors_agree_exactly() {
+    const ANCHOR_HZ: u64 = 1000;
+    let (mut consistent, mut inconsistent) = (0u32, 0u32);
+    for seed in 0..MULTIRATE_SEEDS {
+        let scenario = MultiRateScenario::generate(seed);
+        let sdf = scenario.sdf();
+        let cta = scenario.cta(ANCHOR_HZ);
+
+        match sdf.repetition_vector() {
+            Ok(q) => {
+                consistent += 1;
+                let result = cta.check_consistency().unwrap_or_else(|e| {
+                    panic!("seed {seed}: balance equations solvable but CTA rejected: {e}")
+                });
+                for (i, expected) in MultiRateScenario::expected_rates(&q, ANCHOR_HZ).enumerate() {
+                    assert_eq!(
+                        result.rates[PortId::new(i)],
+                        expected,
+                        "seed {seed}: actor {i} rate differs from repetition vector"
+                    );
+                }
+                if scenario.forced_q.is_some() {
+                    // Forced instances must land in this arm by construction.
+                } else {
+                    // Free-form instances that happen to balance are fine too.
+                }
+            }
+            Err(SdfError::Inconsistent { .. }) => {
+                inconsistent += 1;
+                assert!(
+                    scenario.forced_q.is_none(),
+                    "seed {seed}: forced-consistent instance judged inconsistent"
+                );
+                match cta.check_consistency() {
+                    Err(ConsistencyError::RateConflict { .. })
+                    | Err(ConsistencyError::RequiredRateConflict { .. }) => {}
+                    other => panic!("seed {seed}: SDF inconsistent but CTA said {other:?}"),
+                }
+            }
+            Err(other) => panic!("seed {seed}: unexpected verdict {other}"),
+        }
+    }
+    assert!(
+        consistent >= 40 && inconsistent >= 10,
+        "sweep must cover both verdicts (got {consistent} consistent, {inconsistent} inconsistent)"
+    );
+}
+
+#[test]
+fn pairs_state_space_and_exact_hsdf_baselines_agree_exactly() {
+    let (mut live, mut dead) = (0u32, 0u32);
+    for seed in 0..PAIR_SEEDS {
+        let pair = PairScenario::generate(seed);
+        let sdf = pair.sdf(pair.capacity);
+
+        let h = HsdfGraph::expand(&sdf)
+            .unwrap_or_else(|e| panic!("seed {seed}: pair expansion failed: {e}"));
+        let actor_durations = pair.actor_durations_exact();
+        let durations: Vec<Rational> = h
+            .firings
+            .iter()
+            .map(|f| actor_durations[f.actor.index()])
+            .collect();
+        let ratio = h
+            .maximum_cycle_ratio_exact_with(&durations)
+            .unwrap_or_else(|| panic!("seed {seed}: exact cycle ratio exhausted its budget"));
+
+        match analyze_self_timed_budgeted(&sdf, MAX_ITERATIONS, MAX_STATES) {
+            Ok(exact) => {
+                live += 1;
+                let period = exact.period_exact().unwrap_or_else(|| {
+                    panic!("seed {seed}: converged analysis must expose an exact period")
+                });
+                match ratio {
+                    ExactCycleRatio::Ratio(mcm) => assert_eq!(
+                        mcm, period,
+                        "seed {seed}: exact HSDF ratio {mcm} vs state-space period {period} \
+                         (p={}, c={}, capacity={})",
+                        pair.p, pair.c, pair.capacity
+                    ),
+                    other => panic!(
+                        "seed {seed}: self-timed execution converged but HSDF says {other:?}"
+                    ),
+                }
+            }
+            Err(SdfError::Deadlock { .. }) => {
+                dead += 1;
+                assert_eq!(
+                    ratio,
+                    ExactCycleRatio::Infeasible,
+                    "seed {seed}: deadlock verdicts disagree (p={}, c={}, capacity={})",
+                    pair.p,
+                    pair.c,
+                    pair.capacity
+                );
+            }
+            Err(other) => panic!("seed {seed}: unexpected baseline failure: {other}"),
+        }
+    }
+    assert!(live >= 30, "only {live} live pairs of {PAIR_SEEDS}");
+    assert!(dead >= 5, "only {dead} deadlocked pairs of {PAIR_SEEDS}");
+}
+
+#[test]
+fn accepted_generated_programs_simulate_cleanly_with_cta_sized_buffers() {
+    use oil::compiler::{compile, CompileError, CompilerOptions};
+    use oil::sim::{build_simulation, picos, SimulationConfig};
+
+    let (mut accepted, mut rejected) = (0u32, 0u32);
+    for seed in 0..PROGRAM_SEEDS {
+        let scenario = ProgramScenario::generate(seed);
+        let opts = CompilerOptions::default();
+        match compile(&scenario.source, &scenario.registry, &opts) {
+            Ok(compiled) => {
+                accepted += 1;
+                // Determinism: the exact-rational pipeline leaves no room for
+                // drift between identical compilations.
+                let again = compile(&scenario.source, &scenario.registry, &opts)
+                    .unwrap_or_else(|e| panic!("seed {seed}: recompilation failed: {e}"));
+                assert_eq!(
+                    again.consistency, compiled.consistency,
+                    "seed {seed}: consistency result drifted between compilations"
+                );
+
+                // The paper's core guarantee: accepted ⇒ executes cleanly
+                // with the analysed buffer capacities. The warm-up must cover
+                // the pipeline fill: with rate up-conversion the sink ticks
+                // many times before the slowest upstream stage has produced
+                // its first burst, and those ticks are not misses.
+                let slowest_hz = scenario
+                    .stages
+                    .iter()
+                    .map(|s| s.firing_hz)
+                    .chain([scenario.source_hz])
+                    .min()
+                    .unwrap_or(1);
+                let warmup_ticks = 4 + scenario.sink_hz.div_ceil(slowest_hz) * 6;
+                let mut net = build_simulation(&compiled);
+                let metrics = net.run(
+                    picos(0.25),
+                    &SimulationConfig {
+                        cores: 0,
+                        warmup_ticks,
+                    },
+                );
+                assert!(
+                    metrics.meets_real_time_constraints(),
+                    "seed {seed}: accepted program missed deadlines or overflowed:\n\
+                     {metrics:?}\nsource:\n{}",
+                    scenario.source
+                );
+                for (name, cap, occ) in &metrics.buffers {
+                    assert!(
+                        occ <= cap,
+                        "seed {seed}: buffer {name} exceeded its analysed capacity"
+                    );
+                }
+                if let Some(ms) = scenario.latency_ms {
+                    let measured = metrics.sink_max_latency("y").unwrap_or(0.0);
+                    assert!(
+                        measured <= ms as f64 * 1e-3 + 1e-9,
+                        "seed {seed}: measured latency {measured}s exceeds the {ms} ms bound"
+                    );
+                }
+            }
+            // Tight latency bounds are a legitimate reason to reject; the
+            // front end must never be the one rejecting generated programs.
+            Err(CompileError::Temporal(_)) => rejected += 1,
+            Err(CompileError::Frontend(diags)) => panic!(
+                "seed {seed}: generated program must be front-end valid, got {diags:?}\n{}",
+                scenario.source
+            ),
+        }
+    }
+    assert!(
+        accepted >= PROGRAM_SEEDS as u32 * 3 / 4,
+        "most generated programs must be accepted ({accepted} accepted, {rejected} rejected)"
+    );
+}
+
+#[test]
+fn ill_formed_generated_programs_are_rejected_with_diagnostics() {
+    use oil::compiler::{compile, CompilerOptions};
+
+    for seed in 0..ILLFORMED_SEEDS {
+        let bad = IllFormedProgram::generate(seed);
+        let result = compile(&bad.source, &bad.registry(), &CompilerOptions::default());
+        assert!(
+            result.is_err(),
+            "seed {seed}: defect {:?} must be rejected\n{}",
+            bad.defect,
+            bad.source
+        );
+    }
+}
+
+#[test]
+fn adversarial_rates_hit_budget_guards_not_panics() {
+    // Direct adversarial probes (beyond the generator's ranges): the exact
+    // baselines must fail *gracefully* so sweeps can skip-and-log.
+    use oil::dataflow::SdfGraph;
+
+    // Exponential repetition vector: 100^25 overflows every budget.
+    let mut chain = SdfGraph::new();
+    let mut prev = chain.add_actor("a0", 1e-6);
+    for i in 0..25 {
+        let next = chain.add_actor(format!("a{}", i + 1), 1e-6);
+        chain.add_edge(prev, next, 100, 1, 0);
+        prev = next;
+    }
+    assert!(matches!(
+        chain.repetition_vector(),
+        Err(SdfError::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        HsdfGraph::expand(&chain),
+        Err(SdfError::BudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        analyze_self_timed_budgeted(&chain, MAX_ITERATIONS, MAX_STATES),
+        Err(SdfError::BudgetExceeded { .. })
+    ));
+
+    // A feasible but large-rate cycle: the HSDF node budget refuses the
+    // expansion while the (polynomial) repetition vector still succeeds.
+    let mut wide = SdfGraph::new();
+    let a = wide.add_actor("a", 1e-6);
+    let b = wide.add_actor("b", 1e-6);
+    wide.add_edge(a, b, 2_000_000, 1, 0);
+    wide.add_edge(b, a, 1, 2_000_000, 4_000_000);
+    assert!(wide.repetition_vector().is_ok());
+    assert!(matches!(
+        HsdfGraph::expand(&wide),
+        Err(SdfError::BudgetExceeded { .. })
+    ));
+}

@@ -4,21 +4,145 @@
 //! The build environment has no access to crates.io, so this crate provides
 //! the slice of `proptest` the workspace's tests use: the `proptest!` macro
 //! with `name in strategy` bindings, `prop_assert!`/`prop_assert_eq!`, range
-//! strategies over the integer types, tuple strategies and
-//! `collection::vec`. Sampling is driven by a fixed-seed xorshift generator,
-//! so every run explores the same cases — which doubles as a determinism
-//! guarantee for the exact-arithmetic tests. Swapping in the real proptest
-//! later requires no changes to the test sources.
+//! strategies over the integer types, tuple strategies,
+//! `collection::vec`, the combinators [`Strategy::prop_map`],
+//! [`Strategy::prop_filter`] and [`Strategy::prop_flat_map`], `Just`, and a
+//! bounded **shrinking** pass that reports a minimal failing input together
+//! with the deterministic case number. Sampling is driven by a fixed-seed
+//! xorshift generator, so every run explores the same cases — which doubles
+//! as a determinism guarantee for the exact-arithmetic tests. Swapping in the
+//! real proptest later requires no changes to the test sources.
 
 /// Number of cases each property runs.
 pub const CASES: u64 = 256;
+
+/// Upper bound on the number of shrink attempts after a failure; shrinking is
+/// best-effort, the original failing input is reported either way.
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// Bound on rejection-sampling attempts inside [`Strategy::prop_filter`].
+const MAX_FILTER_ATTEMPTS: usize = 10_000;
 
 /// A source of sampled values: the shim's stand-in for proptest strategies.
 pub trait Strategy {
     /// The type of the sampled values.
     type Value;
+
     /// Draw one value using the given RNG state.
     fn sample(&self, rng: &mut u64) -> Self::Value;
+
+    /// Propose strictly "smaller" candidate values derived from a failing
+    /// `value`. The default proposes nothing (no shrinking); range, tuple,
+    /// vector and filter strategies override it. Candidates need not fail —
+    /// the runner re-executes the property on each.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Map sampled values through `f` (mirrors `proptest`'s `prop_map`).
+    /// Mapped strategies do not shrink: the mapping is not invertible.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, by bounded rejection sampling
+    /// (mirrors `prop_filter`). `reason` is reported if the filter rejects
+    /// too many samples in a row. Shrink candidates of the inner strategy are
+    /// re-checked against the predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Derive a second strategy from each sampled value and sample from it
+    /// (mirrors `prop_flat_map`). Flat-mapped strategies do not shrink.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a fixed value (mirrors `proptest`'s `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut u64) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut u64) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut u64) -> S::Value {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected {MAX_FILTER_ATTEMPTS} consecutive samples",
+            self.reason
+        );
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut u64) -> S2::Value {
+        let first = self.inner.sample(rng);
+        (self.f)(first).sample(rng)
+    }
 }
 
 /// Advance the xorshift state and return the raw 64-bit output.
@@ -29,6 +153,30 @@ pub fn next_u64(rng: &mut u64) -> u64 {
     x ^= x << 17;
     *rng = x;
     x
+}
+
+/// Integer shrink candidates: the range minimum, the midpoint towards it and
+/// the predecessor — ordered most-aggressive first so greedy shrinking
+/// converges in O(log) accepted steps. A macro (not a generic fn) so it works
+/// for every integer type without `From<u8>` bounds.
+macro_rules! shrink_towards {
+    ($start:expr, $value:expr) => {{
+        let (start, value) = ($start, $value);
+        if value <= start {
+            Vec::new()
+        } else {
+            let mid = start + (value - start) / 2;
+            let mut out = vec![start];
+            if mid > start && mid < value {
+                out.push(mid);
+            }
+            let pred = value - 1;
+            if pred > start && Some(&pred) != out.last() {
+                out.push(pred);
+            }
+            out
+        }
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -42,6 +190,9 @@ macro_rules! impl_range_strategy {
                     let offset = (next_u64(rng) as u128) % width;
                     self.start + offset as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_towards!(self.start, *value)
+                }
             }
             impl Strategy for std::ops::RangeInclusive<$ty> {
                 type Value = $ty;
@@ -52,6 +203,9 @@ macro_rules! impl_range_strategy {
                     let offset = (next_u64(rng) as u128) % width;
                     start + offset as $ty
                 }
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    shrink_towards!(*self.start(), *value)
+                }
             }
         )*
     };
@@ -60,21 +214,44 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+))*) => {
+    ($(($($name:ident . $idx:tt),+))*) => {
         $(
             #[allow(non_snake_case)]
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut u64) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*
     };
 }
 
-impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
 
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
@@ -91,11 +268,36 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut u64) -> Vec<S::Value> {
             let n = self.len.clone().sample(rng);
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: drop one element (respecting the
+            // minimum length), removing from the back first so reported
+            // prefixes stay stable.
+            if value.len() > self.len.start {
+                for i in (0..value.len()).rev() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            // Then element-wise shrinks, one element at a time.
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -103,6 +305,7 @@ pub mod collection {
 /// Everything the `proptest!` macro and its bodies need in scope.
 pub mod prelude {
     pub use crate::collection;
+    pub use crate::Just;
     pub use crate::Strategy;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
 }
@@ -119,25 +322,170 @@ macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
+/// The deterministic per-property seed: derived from the property name only,
+/// so every run (and every machine) explores the same case sequence.
+pub fn seed_from_name(name: &str) -> u64 {
+    0x9E37_79B9_7F4A_7C15
+        ^ name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64))
+}
+
+/// Execute one property: sample [`CASES`] values from `strategy`, run `test`
+/// on each, and on the first failure shrink the input (bounded re-execution)
+/// before panicking with the minimal failing input and the case number.
+/// Deterministic: the same property name always replays the same cases.
+pub fn run_property<S: Strategy>(name: &str, strategy: &S, test: impl Fn(S::Value))
+where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = seed_from_name(name);
+    for case in 0..CASES {
+        let state_before = rng;
+        let value = strategy.sample(&mut rng);
+        if run_one(&test, value.clone()) {
+            continue;
+        }
+        // Greedy shrink: take the first candidate that still fails, repeat.
+        // The default panic hook is silenced for the duration — otherwise
+        // every still-failing candidate prints a full panic block and buries
+        // the final minimal-input report. (The initial failure above already
+        // printed its assertion message and location.)
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut minimal = value.clone();
+        let mut steps = 0usize;
+        'shrinking: while steps < MAX_SHRINK_STEPS {
+            for candidate in strategy.shrink(&minimal) {
+                steps += 1;
+                if !run_one(&test, candidate.clone()) {
+                    minimal = candidate;
+                    continue 'shrinking;
+                }
+                if steps >= MAX_SHRINK_STEPS {
+                    break;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(prev_hook);
+        panic!(
+            "property `{name}` failed at case {case}/{CASES} (rng state {state_before:#018x})\n\
+             original failing input: {value:?}\n\
+             minimal failing input:  {minimal:?}\n\
+             (sampling is fixed-seed deterministic: rerunning this test replays the same case)"
+        );
+    }
+}
+
+fn run_one<V>(test: &impl Fn(V), value: V) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value))).is_ok()
+}
+
 /// Define property tests: each `fn name(arg in strategy, ...) { .. }` becomes
-/// a `#[test]` running the body over a deterministic sample of the strategy.
+/// a `#[test]` running the body over a deterministic sample of the strategy,
+/// with bounded shrinking on failure.
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
         $(
             $(#[$attr])*
             fn $name() {
-                // Seed derived from the test name so different properties
-                // explore different (but stable) case sequences.
-                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15
-                    ^ stringify!($name).bytes().fold(0u64, |h, b| {
-                        h.wrapping_mul(31).wrapping_add(b as u64)
-                    });
-                for _case in 0..$crate::CASES {
-                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )*
-                    $body
-                }
+                let strategy = ($($strategy,)*);
+                $crate::run_property(stringify!($name), &strategy, |($($arg,)*)| $body);
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = (1u64..100, 1u64..100);
+        let mut r1 = seed_from_name("x");
+        let mut r2 = seed_from_name("x");
+        for _ in 0..64 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn ranges_shrink_towards_start() {
+        let s = 3u64..100;
+        let c = s.shrink(&50);
+        assert!(c.contains(&3));
+        assert!(c.iter().all(|&v| (3..50).contains(&v)));
+        assert!(s.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_only_matching_values() {
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = seed_from_name("filter");
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+        // Shrink candidates are filtered too.
+        assert!(s.shrink(&40).iter().all(|v| v % 2 == 0));
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s = (1u64..10).prop_map(|n| n * 100);
+        let mut rng = seed_from_name("map");
+        let v = s.sample(&mut rng);
+        assert!((100..1000).contains(&v) && v % 100 == 0);
+
+        // A vector whose length was itself sampled: the classic flat-map use.
+        let nested = (1usize..5).prop_flat_map(|n| collection::vec(0u64..10, n..n + 1));
+        let mut rng = seed_from_name("flat");
+        for _ in 0..50 {
+            let v = nested.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_removes_and_shrinks_elements() {
+        let s = collection::vec(0u64..10, 1..8);
+        let candidates = s.shrink(&vec![5, 7]);
+        assert!(candidates.contains(&vec![5]));
+        assert!(candidates.contains(&vec![7]));
+        assert!(candidates.contains(&vec![0, 7]));
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_input() {
+        let err = std::panic::catch_unwind(|| {
+            run_property("demo_shrink", &(0u64..1000,), |(v,)| {
+                assert!(v < 10, "too big");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        // Greedy shrinking from any failing value lands on exactly 10, the
+        // smallest value violating the property.
+        assert!(msg.contains("(10,)"), "{msg}");
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let s = Just(42u64);
+        let mut rng = 7;
+        assert_eq!(s.sample(&mut rng), 42);
+        assert!(s.shrink(&42).is_empty());
+    }
+
+    proptest! {
+        /// The macro still supports multiple bindings and trailing commas.
+        #[test]
+        fn macro_bindings_work(a in 1u64..5, b in 1u64..5,) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
 }
