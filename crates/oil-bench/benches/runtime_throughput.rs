@@ -1,0 +1,178 @@
+//! Runtime throughput: the parallel runtime vs. the discrete-event
+//! simulator.
+//!
+//! Two workloads, both executed over a fixed virtual horizon while the wall
+//! clock is measured:
+//!
+//! * **pal** — the PAL decoder with its real DSP kernels (Fig. 11): one
+//!   RF source at 6.4 MS/s through mixers, filters and resamplers to the
+//!   display and speaker sinks;
+//! * **wide** — eight independent chains with deliberately heavy FIR
+//!   kernels (2047 taps), the shape where kernel work dominates scheduling
+//!   and worker threads pay off.
+//!
+//! The simulator only tracks token origins (no kernel work), so it is the
+//! scheduling-overhead floor; the runtime at 1/2/4 threads shows what the
+//! value plane costs and how it parallelises. Results are printed and
+//! written to `BENCH_runtime.json` at the workspace root.
+//!
+//! `cargo bench -p oil-bench --bench runtime_throughput -- --test` runs a
+//! smoke-sized horizon (CI).
+
+use oil_compiler::rtgraph::{self, RtGraph};
+use oil_compiler::{compile, CompilerOptions};
+use oil_dsp::FirFilter;
+use oil_lang::registry::{FunctionRegistry, FunctionSignature};
+use oil_rt::{execute, Kernel, KernelLibrary, RtConfig};
+use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    workload: &'static str,
+    engine: String,
+    virtual_s: f64,
+    wall_ms: f64,
+    tokens: u64,
+    tokens_per_wall_s: f64,
+}
+
+fn pal_graph() -> RtGraph {
+    let (compiled, _) = oil_pal::analyze_pal().expect("PAL decoder is schedulable");
+    rtgraph::lower_with_registry(&compiled, &oil_pal::pal_registry())
+}
+
+/// Eight independent source → filter → sink chains at 4 kHz: wide enough
+/// that firings overlap, with kernels heavy enough that the pool matters.
+fn wide_graph() -> (RtGraph, KernelLibrary) {
+    const CHAINS: usize = 8;
+    let mut src = String::new();
+    let _ = writeln!(
+        src,
+        "mod seq S(int a, out int b){{ loop{{ heavy(a, out b); }} while(1); }}"
+    );
+    let _ = writeln!(src, "mod par Top(){{");
+    for i in 0..CHAINS {
+        let _ = writeln!(src, "    source int x{i} = src() @ 4 kHz;");
+        let _ = writeln!(src, "    sink int y{i} = snk() @ 4 kHz;");
+    }
+    let calls: Vec<String> = (0..CHAINS).map(|i| format!("S(x{i}, out y{i})")).collect();
+    let _ = writeln!(src, "    {}\n}}", calls.join(" || "));
+
+    let mut reg = FunctionRegistry::new();
+    // The declared response time (75% of the period) is the virtual-time
+    // budget; the wall-clock kernel below costs real microseconds.
+    reg.register(FunctionSignature::pure("heavy", 1.875e-4));
+    reg.register(FunctionSignature::pure("src", 1e-7));
+    reg.register(FunctionSignature::pure("snk", 1e-7));
+    let compiled = compile(&src, &reg, &CompilerOptions::default()).expect("wide program");
+    let graph = rtgraph::lower(&compiled);
+
+    let mut lib = KernelLibrary::new();
+    lib.register(
+        "heavy",
+        Box::new(|| Kernel::Fir(FirFilter::low_pass(200.0, 4_000.0, 2047))),
+    );
+    (graph, lib)
+}
+
+fn bench_workload(
+    rows: &mut Vec<Row>,
+    workload: &'static str,
+    graph: &RtGraph,
+    lib: &KernelLibrary,
+    virtual_s: f64,
+) {
+    // Simulator floor (token origins only, no kernels, no trace recording).
+    let mut net = build_simulation_from_graph(graph);
+    let started = Instant::now();
+    let metrics = net.run(
+        picos(virtual_s),
+        &SimulationConfig {
+            cores: 0,
+            warmup_ticks: 64,
+        },
+    );
+    let wall = started.elapsed();
+    // Same currency as RtReport::tokens — values actually pushed into
+    // buffers — so the sim and runtime rows are directly comparable.
+    let tokens = metrics.tokens_written;
+    rows.push(Row {
+        workload,
+        engine: "oil-sim".to_string(),
+        virtual_s,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        tokens,
+        tokens_per_wall_s: tokens as f64 / wall.as_secs_f64(),
+    });
+
+    for threads in [1usize, 2, 4] {
+        let report = execute(
+            graph,
+            lib,
+            picos(virtual_s),
+            &RtConfig {
+                threads,
+                warmup_ticks: 64,
+                record_traces: false,
+            },
+        );
+        assert!(
+            report.meets_real_time_constraints(),
+            "{workload}: runtime missed constraints at {threads} threads"
+        );
+        rows.push(Row {
+            workload,
+            engine: format!("oil-rt/{threads}"),
+            virtual_s,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            tokens: report.tokens,
+            tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+        });
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (pal_s, wide_s) = if smoke { (1e-3, 0.1) } else { (10e-3, 2.0) };
+
+    let mut rows = Vec::new();
+    let pal = pal_graph();
+    bench_workload(&mut rows, "pal", &pal, &KernelLibrary::pal(), pal_s);
+    let (wide, wide_lib) = wide_graph();
+    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s);
+
+    println!(
+        "\n{:<8} {:<10} {:>10} {:>12} {:>12} {:>16}",
+        "workload", "engine", "virtual s", "wall ms", "tokens", "tokens/wall-s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<10} {:>10.4} {:>12.2} {:>12} {:>16.0}",
+            r.workload, r.engine, r.virtual_s, r.wall_ms, r.tokens, r.tokens_per_wall_s
+        );
+    }
+
+    // Machine-readable results at the workspace root.
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"virtual_seconds\": {}, \
+             \"wall_ms\": {:.3}, \"tokens\": {}, \"tokens_per_wall_second\": {:.0}}}{}",
+            r.workload,
+            r.engine,
+            r.virtual_s,
+            r.wall_ms,
+            r.tokens,
+            r.tokens_per_wall_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

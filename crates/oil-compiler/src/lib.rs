@@ -14,7 +14,9 @@
 //! 4. [`buffers`] runs the polynomial-time CTA buffer sizing and maps the
 //!    resulting capacities back onto OIL buffers and FIFOs;
 //! 5. [`codegen`] emits a sequential code fragment per task plus the runtime
-//!    glue (the paper generates C++; this reproduction generates Rust).
+//!    glue (the paper generates C++; this reproduction generates Rust);
+//! 6. [`rtgraph`] lowers the compiled program into the flat, engine-agnostic
+//!    runtime graph both execution engines (`oil-sim`, `oil-rt`) consume.
 //!
 //! The one-call entry point is [`pipeline::compile`].
 
@@ -23,9 +25,13 @@ pub mod codegen;
 pub mod derive;
 pub mod parallelize;
 pub mod pipeline;
+pub mod rtgraph;
 
 pub use buffers::BufferPlan;
 pub use codegen::GeneratedCode;
 pub use derive::{derive_cta_model, DerivedModel};
-pub use parallelize::extract_task_graph;
+pub use parallelize::{extract_task_graph, runnable_tasks};
 pub use pipeline::{compile, CompileError, CompiledProgram, CompilerOptions};
+pub use rtgraph::{
+    RtBuffer, RtBufferId, RtGraph, RtNode, RtNodeId, RtSink, RtSinkId, RtSource, RtSourceId,
+};

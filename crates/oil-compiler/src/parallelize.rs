@@ -196,6 +196,23 @@ fn expr_reads(e: &Expr) -> Vec<Access> {
     v
 }
 
+/// The tasks of `graph` that execute repeatedly at run time, in task order.
+///
+/// Prologue statements (outside every while-loop) run exactly once before
+/// start-up; their effect is fully captured by the initial tokens they leave
+/// in the buffers, so the execution engines never schedule them. A module
+/// whose *entire* body is prologue (no loop has any task) keeps all of its
+/// tasks — there is nothing else to execute.
+pub fn runnable_tasks(graph: &TaskGraph) -> Vec<oil_dataflow::index::ActorId> {
+    let has_loop_tasks = graph.loops.iter().any(|l| !l.tasks.is_empty());
+    graph
+        .tasks
+        .iter_enumerated()
+        .filter(|(_, t)| !(t.loop_nest.is_empty() && has_loop_tasks))
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Which loops (by id) access a given buffer, in program order. Used by the
 /// CTA derivation to wire the stream-periodicity connections of Fig. 9.
 pub fn loops_accessing(graph: &TaskGraph, buffer: BufferId) -> Vec<LoopId> {

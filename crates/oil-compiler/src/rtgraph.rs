@@ -1,0 +1,554 @@
+//! The runtime graph: the engine-consumable view of a compiled program.
+//!
+//! Both execution engines — the discrete-event simulator (`oil-sim`) and the
+//! multi-threaded runtime (`oil-rt`) — execute the *same* flat graph of
+//! buffers, data-driven nodes and time-triggered sources/sinks. This module
+//! lowers a [`CompiledProgram`] into that graph once, so the engines cannot
+//! diverge in how they interpret the compiler's output and the differential
+//! harness (`tests/runtime_differential.rs`) tests *scheduling semantics*,
+//! not graph construction:
+//!
+//! * every runnable task of every sequential module becomes one node (see
+//!   [`crate::parallelize::runnable_tasks`]; prologue statements run before
+//!   start-up and survive only as initial tokens);
+//! * every black box becomes one node with its registered interface rates;
+//! * every channel becomes one buffer **per reader** — multi-reader channels
+//!   (such as the PAL decoder's RF source feeding both splitter branches)
+//!   are broadcast: each reader observes every token, matching the dataflow
+//!   semantics the CTA analysis assumes;
+//! * every local variable becomes one buffer shared by the tasks of its
+//!   module;
+//! * capacities come from CTA buffer sizing, widened by the engines' atomic
+//!   burst transfer plus one slack slot (the analysis assumes production
+//!   spread over a firing, the engines commit at completion);
+//! * all times are **exact rational seconds** — quantisation onto an
+//!   engine's clock grid happens in the engine, through the checked
+//!   conversions of `oil_sim::time`.
+
+use crate::pipeline::CompiledProgram;
+use oil_dataflow::define_index_type;
+use oil_dataflow::index::IndexVec;
+use oil_dataflow::taskgraph::BufferId;
+use oil_dataflow::{ChannelId, Rational};
+use oil_lang::sema::{ChannelKind, InstanceId};
+use oil_lang::FunctionRegistry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+define_index_type! {
+    /// A buffer of the runtime graph.
+    pub struct RtBufferId = "rb";
+}
+
+define_index_type! {
+    /// A data-driven node of the runtime graph.
+    pub struct RtNodeId = "rn";
+}
+
+define_index_type! {
+    /// A time-triggered source of the runtime graph.
+    pub struct RtSourceId = "rsrc";
+}
+
+define_index_type! {
+    /// A time-triggered sink of the runtime graph.
+    pub struct RtSinkId = "rsnk";
+}
+
+/// Default capacity for buffers the sizing pass did not need to grow.
+pub const DEFAULT_LOCAL_CAPACITY: usize = 4;
+
+/// Extra slack added to every engine buffer: the CTA capacities are
+/// sufficient under the model's scheduling assumptions; the engines'
+/// data-driven schedule differs slightly (production at completion), so one
+/// extra slot avoids spurious overflows without masking real undersizing.
+pub const CAPACITY_SLACK: usize = 1;
+
+/// A bounded buffer of the runtime graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtBuffer {
+    /// Buffer name: the channel name for single-reader channels,
+    /// `<channel>-><reader path>` for replicated multi-reader channels, or
+    /// `<instance path>.<variable>` for locals.
+    pub name: String,
+    /// Capacity in values (CTA capacity + burst headroom + slack).
+    pub capacity: usize,
+    /// Values present before start-up (written by prologue statements).
+    pub initial_tokens: usize,
+}
+
+/// A data-driven node: fires when every read has enough values and every
+/// write has enough space, occupying its processor for its response time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtNode {
+    /// Node name (`<instance path>.<task>` or the black box's path).
+    pub name: String,
+    /// The coordinated function this node executes per firing.
+    pub function: String,
+    /// Worst-case response time of one firing, in exact seconds.
+    pub response: Rational,
+    /// `(buffer, values per firing)` consumed at the start of a firing.
+    pub reads: Vec<(RtBufferId, usize)>,
+    /// `(buffer, values per firing)` committed at the end of a firing.
+    pub writes: Vec<(RtBufferId, usize)>,
+}
+
+/// A time-triggered source broadcasting one sample per period to every
+/// reader of its channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtSource {
+    /// Source name (`src_<function>_<channel>`).
+    pub name: String,
+    /// The environment function producing the samples.
+    pub function: String,
+    /// One destination buffer per reader of the source channel.
+    pub outputs: Vec<RtBufferId>,
+    /// Sampling period in exact seconds.
+    pub period: Rational,
+}
+
+/// A time-triggered sink draining one value per period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RtSink {
+    /// Sink name (`snk_<function>_<channel>`).
+    pub name: String,
+    /// The environment function consuming the samples.
+    pub function: String,
+    /// The buffer the sink drains.
+    pub input: RtBufferId,
+    /// Consumption period in exact seconds.
+    pub period: Rational,
+}
+
+/// The engine-agnostic runtime graph of a compiled program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RtGraph {
+    /// All buffers.
+    pub buffers: IndexVec<RtBufferId, RtBuffer>,
+    /// All data-driven nodes.
+    pub nodes: IndexVec<RtNodeId, RtNode>,
+    /// All time-triggered sources.
+    pub sources: IndexVec<RtSourceId, RtSource>,
+    /// All time-triggered sinks.
+    pub sinks: IndexVec<RtSinkId, RtSink>,
+}
+
+/// A destination of a channel: one of its reading instances, or the
+/// time-triggered sink draining it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Dest {
+    Reader(InstanceId),
+    SinkDriver,
+}
+
+/// Lower a compiled program to its runtime graph, treating any black-box
+/// modules as single-rate nodes with a 1 µs response time. Use
+/// [`lower_with_registry`] to supply their real interfaces.
+pub fn lower(compiled: &CompiledProgram) -> RtGraph {
+    lower_with_registry(compiled, &FunctionRegistry::new())
+}
+
+/// Lower a compiled program to its runtime graph, using `registry` to obtain
+/// the consumption/production rates and response times of black-box modules
+/// (e.g. the PAL decoder's `Video` and `Audio` modules).
+pub fn lower_with_registry(compiled: &CompiledProgram, registry: &FunctionRegistry) -> RtGraph {
+    let mut rt = RtGraph::default();
+    let graph = &compiled.analyzed.graph;
+
+    // Per-firing burst size of an instance on a channel (the colon notation
+    // of sequential modules or a black box's interface counts).
+    let burst = |instance: Option<InstanceId>, channel: ChannelId| -> usize {
+        let Some(ii) = instance else { return 1 };
+        let inst = &graph.instances[ii];
+        let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else {
+            return 1;
+        };
+        match &compiled.derived.task_graphs[ii] {
+            Some(tg) => tg
+                .buffer_by_name(&binding.param)
+                .map(|b| {
+                    tg.tasks
+                        .iter()
+                        .flat_map(|t| t.reads.iter().chain(t.writes.iter()))
+                        .filter(|a| a.buffer == b)
+                        .map(|a| a.count as usize)
+                        .max()
+                        .unwrap_or(1)
+                })
+                .unwrap_or(1),
+            None => registry
+                .black_box(&inst.module_name)
+                .map(|bb| {
+                    let position = inst
+                        .bindings
+                        .iter()
+                        .filter(|b| b.out == binding.out)
+                        .position(|b| b.channel == channel)
+                        .unwrap_or(0);
+                    let counts = if binding.out {
+                        &bb.production
+                    } else {
+                        &bb.consumption
+                    };
+                    counts.get(position).copied().unwrap_or(1).max(1) as usize
+                })
+                .unwrap_or(1),
+        }
+    };
+
+    // One buffer per (channel, destination): every reader of a multi-reader
+    // channel observes every token. A channel nobody reads still gets one
+    // buffer so its writer has somewhere to commit.
+    let mut channel_dests: IndexVec<ChannelId, Vec<(Dest, RtBufferId)>> =
+        IndexVec::with_capacity(graph.channels.len());
+    for (ci, ch) in graph.channels.iter_enumerated() {
+        let write_burst = burst(ch.writer, ci);
+        let mut dests: Vec<Dest> = ch.readers.iter().map(|&r| Dest::Reader(r)).collect();
+        if ch.kind.is_sink() {
+            dests.push(Dest::SinkDriver);
+        }
+        let replicated = dests.len() > 1;
+        let initial = initial_tokens_for_channel(compiled, ci);
+        let mut bound = Vec::with_capacity(dests.len().max(1));
+        let add_dest = |dest: Dest, rt: &mut RtGraph| {
+            let read_burst = match dest {
+                Dest::Reader(r) => burst(Some(r), ci),
+                Dest::SinkDriver => 1,
+            };
+            // The engines commit a firing's whole write burst atomically at
+            // completion (the CTA model assumes element-wise production
+            // spread over the firing), so a buffer needs room for *two*
+            // write bursts — the committed one still draining plus the next
+            // one in flight, classic double buffering — and one read burst,
+            // on top of whatever the CTA sizing computed. Without the second
+            // write burst a multi-rate producer serialises against its
+            // consumer and the pipeline loses throughput it analytically
+            // has (visible as RF overflows in the PAL decoder).
+            let capacity = (compiled
+                .buffers
+                .channels
+                .get(&ch.name)
+                .copied()
+                .unwrap_or(DEFAULT_LOCAL_CAPACITY as u64) as usize)
+                .max(2 * write_burst + read_burst)
+                + CAPACITY_SLACK;
+            let name = if replicated {
+                match dest {
+                    Dest::Reader(r) => format!("{}->{}", ch.name, graph.instances[r].path),
+                    Dest::SinkDriver => format!("{}->sink", ch.name),
+                }
+            } else {
+                ch.name.clone()
+            };
+            let id = rt.buffers.push(RtBuffer {
+                name,
+                capacity: capacity.max(initial).max(1),
+                initial_tokens: initial,
+            });
+            (dest, id)
+        };
+        if dests.is_empty() {
+            // A channel nobody reads: keep one buffer so the writer has
+            // somewhere to commit (and occupancy shows up in metrics). The
+            // `SinkDriver` tag is inert here — no sink drains a non-sink
+            // channel — but lets `writer_buffers` find the buffer.
+            bound.push(add_dest(Dest::SinkDriver, &mut rt));
+        } else {
+            for d in dests {
+                let entry = add_dest(d, &mut rt);
+                bound.push(entry);
+            }
+        }
+        channel_dests.push(bound);
+
+        match &ch.kind {
+            ChannelKind::Source { func, rate_hz } => {
+                let outputs = channel_dests[ci].iter().map(|&(_, b)| b).collect();
+                rt.sources.push(RtSource {
+                    name: format!("src_{func}_{}", ch.name),
+                    function: func.clone(),
+                    outputs,
+                    period: period_seconds(*rate_hz),
+                });
+            }
+            ChannelKind::Sink { func, rate_hz } => {
+                let input = channel_dests[ci]
+                    .iter()
+                    .find(|(d, _)| *d == Dest::SinkDriver)
+                    .map(|&(_, b)| b)
+                    .expect("sink channels always have a sink-driver destination");
+                rt.sinks.push(RtSink {
+                    name: format!("snk_{func}_{}", ch.name),
+                    function: func.clone(),
+                    input,
+                    period: period_seconds(*rate_hz),
+                });
+            }
+            ChannelKind::Fifo => {}
+        }
+    }
+
+    // The buffers a given instance reads from / writes to on a channel.
+    let reader_buffer = |instance: InstanceId, ci: ChannelId| -> Option<RtBufferId> {
+        channel_dests[ci]
+            .iter()
+            .find(|(d, _)| *d == Dest::Reader(instance))
+            .map(|&(_, b)| b)
+    };
+    let writer_buffers =
+        |ci: ChannelId| -> Vec<RtBufferId> { channel_dests[ci].iter().map(|&(_, b)| b).collect() };
+
+    // Instances: tasks of sequential modules, or a single node per black box.
+    for (ii, inst) in graph.instances.iter_enumerated() {
+        match &compiled.derived.task_graphs[ii] {
+            Some(tg) => {
+                // Local buffers for this instance.
+                let mut local_buffer: BTreeMap<BufferId, RtBufferId> = BTreeMap::new();
+                for (bi, b) in tg.buffers.iter_enumerated() {
+                    if b.stream.is_some() {
+                        continue;
+                    }
+                    let name = format!("{}.{}", inst.path, b.name);
+                    let capacity = compiled
+                        .buffers
+                        .locals
+                        .get(&name)
+                        .copied()
+                        .unwrap_or(DEFAULT_LOCAL_CAPACITY as u64)
+                        as usize
+                        + CAPACITY_SLACK;
+                    let initial = b.initial_tokens as usize;
+                    local_buffer.insert(
+                        bi,
+                        rt.buffers.push(RtBuffer {
+                            name,
+                            capacity: capacity.max(initial).max(1),
+                            initial_tokens: initial,
+                        }),
+                    );
+                }
+                // A task-graph buffer read maps to a local buffer or to this
+                // instance's replica of the bound channel; a write maps to
+                // the local buffer or to *every* replica of the channel.
+                let channel_of = |bi: BufferId| -> Option<ChannelId> {
+                    let stream = tg.buffers[bi].stream.as_ref()?;
+                    inst.bindings
+                        .iter()
+                        .find(|b| &b.param == stream)
+                        .map(|b| b.channel)
+                };
+                for &ti in &crate::parallelize::runnable_tasks(tg) {
+                    let t = &tg.tasks[ti];
+                    let reads: Vec<(RtBufferId, usize)> = t
+                        .reads
+                        .iter()
+                        .filter_map(|r| {
+                            let b = match local_buffer.get(&r.buffer) {
+                                Some(&b) => Some(b),
+                                None => channel_of(r.buffer).and_then(|ci| reader_buffer(ii, ci)),
+                            }?;
+                            Some((b, r.count as usize))
+                        })
+                        .collect();
+                    let mut writes: Vec<(RtBufferId, usize)> = Vec::new();
+                    for w in &t.writes {
+                        match local_buffer.get(&w.buffer) {
+                            Some(&b) => writes.push((b, w.count as usize)),
+                            None => {
+                                if let Some(ci) = channel_of(w.buffer) {
+                                    for b in writer_buffers(ci) {
+                                        writes.push((b, w.count as usize));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    rt.nodes.push(RtNode {
+                        name: format!("{}.{}", inst.path, t.name),
+                        function: t.function.clone(),
+                        response: Rational::from_f64(t.response_time),
+                        reads,
+                        writes,
+                    });
+                }
+            }
+            None => {
+                // Black box: one node with the registered interface rates.
+                let interface = registry.black_box(&inst.module_name);
+                let response =
+                    Rational::from_f64(interface.map(|i| i.response_time).unwrap_or(1e-6));
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                let (mut in_idx, mut out_idx) = (0usize, 0usize);
+                for b in &inst.bindings {
+                    if b.out {
+                        let count = interface
+                            .and_then(|i| i.production.get(out_idx).copied())
+                            .unwrap_or(1)
+                            .max(1) as usize;
+                        for buf in writer_buffers(b.channel) {
+                            writes.push((buf, count));
+                        }
+                        out_idx += 1;
+                    } else {
+                        let count = interface
+                            .and_then(|i| i.consumption.get(in_idx).copied())
+                            .unwrap_or(1)
+                            .max(1) as usize;
+                        if let Some(buf) = reader_buffer(ii, b.channel) {
+                            reads.push((buf, count));
+                        }
+                        in_idx += 1;
+                    }
+                }
+                rt.nodes.push(RtNode {
+                    name: inst.path.clone(),
+                    function: inst.module_name.clone(),
+                    response,
+                    reads,
+                    writes,
+                });
+            }
+        }
+    }
+
+    rt
+}
+
+/// The exact period (seconds) of a declared environment rate.
+fn period_seconds(rate_hz: f64) -> Rational {
+    Rational::from_f64(rate_hz).recip()
+}
+
+fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: ChannelId) -> usize {
+    let graph = &compiled.analyzed.graph;
+    let Some(writer) = graph.channels[channel].writer else {
+        return 0;
+    };
+    let Some(tg) = &compiled.derived.task_graphs[writer] else {
+        return 0;
+    };
+    let Some(binding) = graph.instances[writer]
+        .bindings
+        .iter()
+        .find(|b| b.channel == channel && b.out)
+    else {
+        return 0;
+    };
+    tg.buffer_by_name(&binding.param)
+        .map(|b| tg.buffers[b].initial_tokens as usize)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompilerOptions};
+    use oil_lang::registry::FunctionSignature;
+
+    fn registry() -> FunctionRegistry {
+        let mut r = FunctionRegistry::new();
+        for f in ["f", "g", "init", "src", "snk"] {
+            r.register(FunctionSignature::pure(f, 1e-5));
+        }
+        r
+    }
+
+    #[test]
+    fn single_reader_channels_keep_their_names() {
+        let src = r#"
+            mod seq W(int a, out int b){ loop{ f(a, out b); } while(1); }
+            mod par D(){
+                source int x = src() @ 1 kHz;
+                sink int y = snk() @ 1 kHz;
+                W(x, out y)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        assert_eq!(rt.sources.len(), 1);
+        assert_eq!(rt.sinks.len(), 1);
+        assert_eq!(rt.nodes.len(), 1);
+        // x: read only by W; y: written by W, drained by the sink.
+        assert!(rt.buffers.iter().any(|b| b.name.ends_with(".x")));
+        assert!(rt.buffers.iter().any(|b| b.name.ends_with(".y")));
+        // Exact periods: 1 kHz -> 1/1000 s.
+        assert_eq!(
+            rt.sources.iter().next().unwrap().period,
+            Rational::new(1, 1000)
+        );
+    }
+
+    #[test]
+    fn multi_reader_channels_are_replicated_per_reader() {
+        let src = r#"
+            mod seq P(int a, out int m){ loop{ f(a, out m); } while(1); }
+            mod seq Q(int a, out int n){ loop{ g(a, out n); } while(1); }
+            mod par D(){
+                source int x = src() @ 1 kHz;
+                sink int y = snk() @ 1 kHz;
+                sink int z = snk() @ 1 kHz;
+                P(x, out y) || Q(x, out z)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        // The source broadcasts to two replicas, one per reader.
+        let source = rt.sources.iter().next().unwrap();
+        assert_eq!(source.outputs.len(), 2, "{:?}", rt.buffers);
+        let names: Vec<&str> = source
+            .outputs
+            .iter()
+            .map(|&b| rt.buffers[b].name.as_str())
+            .collect();
+        assert!(names.iter().all(|n| n.contains("->")), "{names:?}");
+        // Each node reads its own replica.
+        let read_buffers: Vec<RtBufferId> = rt
+            .nodes
+            .iter()
+            .flat_map(|n| n.reads.iter().map(|&(b, _)| b))
+            .collect();
+        assert_eq!(read_buffers.len(), 2);
+        assert_ne!(read_buffers[0], read_buffers[1]);
+    }
+
+    #[test]
+    fn prologue_tasks_become_initial_tokens_not_nodes() {
+        let src = r#"
+            mod seq A(out int a, int b){ loop{ f(out a:3, b:3); } while(1); }
+            mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }
+            mod par C(){ fifo int x, y; A(out x, y) || B(out y, x) }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        // Two loop tasks only; the init prologue shows as initial tokens.
+        assert_eq!(rt.nodes.len(), 2);
+        let y = rt
+            .buffers
+            .iter()
+            .find(|b| b.name.ends_with(".y"))
+            .expect("channel y");
+        assert_eq!(y.initial_tokens, 4);
+    }
+
+    #[test]
+    fn capacities_cover_bursts_and_slack() {
+        let src = r#"
+            mod seq Down(int a, out int b){ loop{ f(a:4, out b); } while(1); }
+            mod par D(){
+                source int x = src() @ 8 kHz;
+                sink int y = snk() @ 2 kHz;
+                Down(x, out y)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        let x = rt
+            .buffers
+            .iter()
+            .find(|b| b.name.ends_with(".x"))
+            .expect("channel x");
+        // Write burst 1 + read burst 4 + slack is the floor.
+        assert!(x.capacity >= 5 + CAPACITY_SLACK, "{x:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Golden-vector regression tests for the DSP kernels.
+//!
+//! The runtime differential harness (`tests/runtime_differential.rs` at the
+//! workspace root) compares `oil-rt` against `oil-sim` on token traces *and*
+//! sample values; these vectors pin the kernels themselves, so a
+//! runtime-vs-simulator value mismatch can be attributed to scheduling, not
+//! to a silently changed kernel. The vectors were produced by the kernels at
+//! the time this suite was written; comparisons use a 1e-9 absolute
+//! tolerance because the trigonometric library functions feeding the filter
+//! designs and oscillators are not bit-specified across platforms (pure
+//! arithmetic paths like the moving average are exact and checked as such).
+
+// Golden vectors naturally land on mathematical constants (the mixer
+// samples sin at multiples of π/8, hitting ±√2 exactly); clippy's
+// approx-constant lint does not apply to pinned reference data.
+#![allow(clippy::approx_constant)]
+
+use oil_dsp::{CompositeSignal, Decimator, FirFilter, Mixer, RationalResampler, ToneGenerator};
+
+const TOL: f64 = 1e-9;
+
+fn assert_close(actual: &[f64], expected: &[f64], what: &str) {
+    assert_eq!(actual.len(), expected.len(), "{what}: length");
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() <= TOL,
+            "{what}[{i}]: {a} differs from golden {e}"
+        );
+    }
+}
+
+#[test]
+fn fir_low_pass_step_response() {
+    const FIR_STEP: [f64; 12] = [
+        0.0235921947485804,
+        0.11633663415106892,
+        0.34868966700872417,
+        0.6513103329912759,
+        0.8836633658489312,
+        0.9764078052514198,
+        1.0000000000000002,
+        1.0000000000000002,
+        1.0000000000000002,
+        1.0000000000000002,
+        1.0000000000000002,
+        1.0000000000000002,
+    ];
+    let mut f = FirFilter::low_pass(1000.0, 48_000.0, 7);
+    assert_close(&f.process(&[1.0; 12]), &FIR_STEP, "fir step");
+}
+
+#[test]
+fn fir_moving_average_is_exact() {
+    // A pure-arithmetic path: no trigonometry involved, so the golden values
+    // are bit-exact on every platform.
+    const FIR_MA_RAMP: [f64; 8] = [0.0, 0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5];
+    let mut ma = FirFilter::from_taps(vec![0.5, 0.5]);
+    let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    assert_eq!(ma.process(&ramp), FIR_MA_RAMP.to_vec());
+}
+
+#[test]
+fn rational_resampler_10_16_video_chain() {
+    // The PAL video path's 16 → 10 conversion (6.4 MS/s → 4 MS/s): 32 ramp
+    // inputs must yield exactly 20 outputs with the pinned values.
+    const RESAMPLE_RAMP: [f64; 20] = [
+        0.0,
+        0.0057650748636160695,
+        0.053157373912764865,
+        0.10337436446305515,
+        0.1519461428627324,
+        0.20612722508144204,
+        0.2514364584786731,
+        0.30360815531407687,
+        0.35382514586436714,
+        0.40018158984205887,
+        0.45982227133552456,
+        0.49967190545799955,
+        0.5540589367153889,
+        0.6042759272656791,
+        0.6484170368213853,
+        0.7135173175896071,
+        0.747907352437326,
+        0.8045097181167009,
+        0.8547267086669913,
+        0.8966524838007118,
+    ];
+    let mut r = RationalResampler::new(10, 16, 6.4e6, 31);
+    let ramp: Vec<f64> = (0..32).map(|i| i as f64 / 32.0).collect();
+    assert_close(&r.process(&ramp), &RESAMPLE_RAMP, "resample 10/16");
+}
+
+#[test]
+fn decimator_by_4_ramp() {
+    const DECIMATE_RAMP: [f64; 6] = [
+        -0.0012106731641461424,
+        0.024653795694063074,
+        0.1654559935025205,
+        0.3333333333333333,
+        0.5,
+        0.6666666666666666,
+    ];
+    let mut d = Decimator::new(4, 48_000.0, 15);
+    let ramp: Vec<f64> = (0..24).map(|i| i as f64 / 24.0).collect();
+    assert_close(&d.process(&ramp), &DECIMATE_RAMP, "decimate by 4");
+}
+
+#[test]
+fn mixer_2mhz_lo_on_unit_input() {
+    // 2 MHz LO at 6.4 MS/s: the oscillator repeats every 16 samples
+    // (2e6/6.4e6 = 5/16 of a turn per sample).
+    const MIX_ONES: [f64; 10] = [
+        0.0,
+        1.8477590650225735,
+        -1.414213562373095,
+        -0.7653668647301808,
+        2.0,
+        -0.7653668647301793,
+        -1.4142135623730954,
+        1.847759065022573,
+        1.133107779529596e-15,
+        -1.847759065022574,
+    ];
+    let mut m = Mixer::new(2.0e6, 6.4e6);
+    assert_close(&m.process(&[1.0; 10]), &MIX_ONES, "mixer");
+}
+
+#[test]
+fn tone_generator_1khz() {
+    const TONE_1K: [f64; 8] = [
+        0.0,
+        0.13052619222005157,
+        0.25881904510252074,
+        0.3826834323650898,
+        0.49999999999999994,
+        0.6087614290087205,
+        0.7071067811865475,
+        0.7933533402912352,
+    ];
+    let mut t = ToneGenerator::new(1000.0, 48_000.0, 1.0);
+    assert_close(&t.block(8), &TONE_1K, "tone 1 kHz");
+}
+
+#[test]
+fn pal_composite_front_end() {
+    // The synthetic RF signal the PAL case study decodes: video band +
+    // audio tone on a 2 MHz carrier at 6.4 MS/s.
+    const COMPOSITE_PAL: [f64; 8] = [
+        0.0,
+        0.5112341946991469,
+        -0.2558833502702267,
+        -0.04489301525569389,
+        0.6960720671970797,
+        0.05116884238022987,
+        -0.06431000800564052,
+        0.8004168862215724,
+    ];
+    let mut c = CompositeSignal::pal_default();
+    assert_close(&c.block(8), &COMPOSITE_PAL, "PAL composite");
+}
+
+#[test]
+fn golden_paths_are_deterministic_across_instances() {
+    // Two fresh instances of every kernel agree sample for sample — the
+    // property the runtime's thread-count invariance rests on.
+    let ramp: Vec<f64> = (0..64).map(|i| (i as f64 / 13.0).fract()).collect();
+    assert_eq!(
+        FirFilter::low_pass(1000.0, 48_000.0, 31).process(&ramp),
+        FirFilter::low_pass(1000.0, 48_000.0, 31).process(&ramp)
+    );
+    assert_eq!(
+        RationalResampler::new(10, 16, 6.4e6, 31).process(&ramp),
+        RationalResampler::new(10, 16, 6.4e6, 31).process(&ramp)
+    );
+    assert_eq!(
+        Mixer::new(2.0e6, 6.4e6).process(&ramp),
+        Mixer::new(2.0e6, 6.4e6).process(&ramp)
+    );
+    assert_eq!(
+        ToneGenerator::new(440.0, 48_000.0, 1.0).block(64),
+        ToneGenerator::new(440.0, 48_000.0, 1.0).block(64)
+    );
+}

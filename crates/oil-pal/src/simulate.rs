@@ -67,7 +67,6 @@ mod tests {
     use super::*;
 
     #[test]
-    #[ignore = "known limitation: the simulator does not yet replicate multi-reader channels (the RF source feeds both splitter branches), so the video branch starves; the CTA analysis and the native signal path cover this experiment"]
     fn simulated_decoder_meets_real_time_constraints() {
         // 2 ms of simulated time is 12 800 RF samples, 8 000 display samples
         // and 64 speaker samples: enough to reach steady state.
@@ -81,7 +80,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "known limitation: the simulator does not yet replicate multi-reader channels (the RF source feeds both splitter branches), so the video branch starves; the CTA analysis and the native signal path cover this experiment"]
     fn simulated_throughputs_match_declared_rates() {
         let report = simulate_pal(2e-3).unwrap();
         assert!(
@@ -105,7 +103,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "known limitation: the simulator does not yet replicate multi-reader channels (the RF source feeds both splitter branches), so the video branch starves; the CTA analysis and the native signal path cover this experiment"]
     fn latencies_are_bounded() {
         let report = simulate_pal(2e-3).unwrap();
         assert!(report.screen_latency.is_finite());

@@ -1,0 +1,684 @@
+//! The deterministic parallel execution engine.
+//!
+//! The engine executes a lowered [`RtGraph`] on real OS threads while
+//! keeping the *observable* behaviour — per-buffer token traces, deadline
+//! misses, overflows — bit-identical to the discrete-event simulator at
+//! every thread count. The trick is the paper's own observation: OIL's
+//! restrictions make temporal behaviour **data-independent** (rates are
+//! static, guarded statements still fire), so scheduling and computation
+//! separate cleanly:
+//!
+//! * a single **scheduler** replays virtual time: a calendar of
+//!   `(time, kind, id)`-ordered events with the same documented
+//!   tie-breaking rule as `oil_sim::network` (sources deliver, completing
+//!   nodes commit, sinks consume; lower ids first) decides *when* every
+//!   firing starts and completes;
+//! * the **value plane** runs in parallel: each firing's kernel executes on
+//!   the work-stealing pool ([`crate::pool`]) between its start and
+//!   completion events, source generators run ahead on their own threads,
+//!   and sink collectors aggregate on theirs, all plumbed through lock-free
+//!   SPSC rings ([`crate::ring`]);
+//! * the scheduler only ever *waits* for a kernel at the firing's completion
+//!   event, so any number of independent firings overlap in wall-clock time
+//!   while virtual time stays deterministic.
+//!
+//! Because a node's firings are totally ordered and every buffer push/pop
+//! happens at a scheduler-chosen virtual instant, the value streams and the
+//! token traces are pure functions of the graph — `tests/runtime_differential.rs`
+//! holds the engine to bit-identical agreement with `oil-sim` over hundreds
+//! of generated programs at 1, 2 and N threads.
+
+use crate::kernel::{Kernel, KernelLibrary};
+use crate::pool::WorkStealingPool;
+use crate::ring::{self, Consumer, Producer};
+use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtSinkId, RtSourceId};
+use oil_dataflow::index::{Idx, IndexVec};
+use oil_sim::time::picos_nearest;
+use oil_sim::trace::{BufferTrace, ExecutionTrace};
+use oil_sim::Picos;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a runtime execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtConfig {
+    /// Worker threads for kernel execution; `0` uses the machine's available
+    /// parallelism. The `OIL_RT_THREADS` environment variable (see
+    /// [`env_threads`]) conventionally overrides this in test harnesses.
+    pub threads: usize,
+    /// Sink ticks ignored before misses are counted (pipeline warm-up), as
+    /// in [`oil_sim::SimulationConfig`].
+    pub warmup_ticks: u64,
+    /// Record the full per-buffer token trace (tests); counters are always
+    /// kept.
+    pub record_traces: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            threads: 0,
+            warmup_ticks: 4,
+            record_traces: true,
+        }
+    }
+}
+
+/// The `OIL_RT_THREADS` environment override, if set and parseable.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("OIL_RT_THREADS").ok()?.trim().parse().ok()
+}
+
+/// Sample stream collected at one sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkStream {
+    /// Sink name.
+    pub name: String,
+    /// Samples consumed.
+    pub consumed: u64,
+    /// Deadline misses (after warm-up).
+    pub misses: u64,
+    /// Worst observed end-to-end latency, in seconds.
+    pub max_latency: f64,
+    /// The consumed sample values, in order (capped at
+    /// [`SINK_STREAM_CAP`]; `consumed` keeps the true count).
+    pub values: Vec<f64>,
+}
+
+/// Upper bound on stored sink samples (counters keep counting beyond it).
+pub const SINK_STREAM_CAP: usize = 1 << 16;
+
+/// Everything one runtime execution observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// The observable trace (buffer pushes only when
+    /// [`RtConfig::record_traces`]; source/sink counters always).
+    pub trace: ExecutionTrace,
+    /// Per node: (name, completed firings).
+    pub node_firings: Vec<(String, u64)>,
+    /// Per buffer: (name, physical capacity, max occupancy). The physical
+    /// capacity is the declared (CTA-sized) capacity plus one write burst
+    /// per producing node: admission checks the declared capacity, but a
+    /// completing firing commits unconditionally (space was checked when it
+    /// was admitted), so concurrent producers can transiently exceed the
+    /// declared value by at most their in-flight bursts — the same
+    /// semantics as the simulator.
+    pub buffers: Vec<(String, usize, usize)>,
+    /// Per sink: the real output sample streams.
+    pub sinks: Vec<SinkStream>,
+    /// Work-stealing pool steals (observability).
+    pub steals: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Total tokens pushed across all buffers.
+    pub tokens: u64,
+}
+
+impl RtReport {
+    /// True if no sink missed a deadline and no source overflowed.
+    pub fn meets_real_time_constraints(&self) -> bool {
+        self.trace.total_misses() == 0 && self.trace.total_overflows() == 0
+    }
+
+    /// The collected sample stream of a sink (matched by name fragment).
+    pub fn sink_values(&self, name: &str) -> Option<&[f64]> {
+        self.sinks
+            .iter()
+            .find(|s| s.name.contains(name))
+            .map(|s| s.values.as_slice())
+    }
+}
+
+/// A token travelling through a buffer ring: the origin timestamp of the
+/// source sample it derives from (the simulator's trace currency) plus the
+/// actual sample value (the runtime's extra).
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    origin: Picos,
+    value: f64,
+}
+
+/// A sample delivered to a sink collector.
+struct SinkSample {
+    origin: Picos,
+    at: Picos,
+    value: f64,
+}
+
+/// What a sink collector thread accumulated.
+struct SinkCollect {
+    consumed: u64,
+    max_latency_ps: Picos,
+    values: Vec<f64>,
+}
+
+/// What a firing job delivered: the outputs and the kernel coming home, or
+/// the panic message of a kernel that unwound (the job catches the panic so
+/// the scheduler fails loudly instead of parking forever on a slot the dead
+/// worker can no longer fill).
+type FiringResult = Result<(Vec<f64>, Kernel), String>;
+
+struct FiringSlot {
+    /// Fast-path flag: set with release ordering after `result` is filled,
+    /// so the scheduler can spin briefly instead of paying a condvar
+    /// round-trip per firing (kernel firings are often only microseconds).
+    ready: AtomicBool,
+    result: Mutex<Option<FiringResult>>,
+    done: Condvar,
+}
+
+impl FiringSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(FiringSlot {
+            ready: AtomicBool::new(false),
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: FiringResult) {
+        *self.result.lock().expect("firing slot poisoned") = Some(result);
+        self.ready.store(true, Ordering::Release);
+        self.done.notify_one();
+    }
+
+    fn wait(&self) -> FiringResult {
+        // Fast path: the kernel often finished long before its completion
+        // event comes up, so a single flag check skips the lock-and-park.
+        if !self.ready.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let mut guard = self.result.lock().expect("firing slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.done.wait(guard).expect("firing slot poisoned");
+        }
+    }
+}
+
+/// Render a caught panic payload for error messages.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Event kinds, ranked exactly like `oil_sim::network`'s documented
+/// tie-breaking rule: sources deliver first, completing nodes commit second,
+/// sinks consume last; within a kind, lower ids first.
+const RANK_SOURCE: u8 = 0;
+const RANK_COMPLETE: u8 = 1;
+const RANK_SINK: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+enum RtEvent {
+    SourceTick(RtSourceId),
+    NodeComplete(RtNodeId),
+    SinkTick(RtSinkId),
+}
+
+/// The calendar: an ordered map keyed by `(time, rank, id)`. Deliberately a
+/// different structure from the simulator's binary heap — the two engines
+/// share only the documented ordering contract, not code.
+#[derive(Default)]
+struct Calendar {
+    events: BTreeMap<(Picos, u8, u32), RtEvent>,
+}
+
+impl Calendar {
+    fn schedule(&mut self, time: Picos, event: RtEvent) {
+        let key = match event {
+            RtEvent::SourceTick(i) => (time, RANK_SOURCE, i.index() as u32),
+            RtEvent::NodeComplete(i) => (time, RANK_COMPLETE, i.index() as u32),
+            RtEvent::SinkTick(i) => (time, RANK_SINK, i.index() as u32),
+        };
+        let previous = self.events.insert(key, event);
+        debug_assert!(previous.is_none(), "double-scheduled event {key:?}");
+    }
+
+    fn pop(&mut self) -> Option<(Picos, RtEvent)> {
+        self.events.pop_first().map(|((t, _, _), e)| (t, e))
+    }
+}
+
+/// Execute `graph` for `duration` picoseconds of virtual time with the
+/// kernels of `lib`.
+///
+/// # Panics
+/// Panics if a response time or period cannot be placed on the picosecond
+/// clock (impossible for compiler-lowered graphs).
+pub fn execute(
+    graph: &RtGraph,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &RtConfig,
+) -> RtReport {
+    let started = Instant::now();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let mut pool = WorkStealingPool::new(threads);
+
+    // --- Buffers: one SPSC ring each, pre-loaded with the initial tokens.
+    //
+    // Admission and source-tick space checks use the *declared* (CTA-sized)
+    // capacity, exactly like the simulator. A completing firing, however,
+    // commits its writes unconditionally — space was checked when it was
+    // admitted, and other producers may have pushed since — so the declared
+    // capacity can be transiently exceeded by at most one write burst per
+    // producing node. The ring is physically sized for that worst case so
+    // the lock-free push can never fail.
+    let n_buffers = graph.buffers.len();
+    let declared: Vec<usize> = graph
+        .buffers
+        .iter()
+        .map(|b| b.capacity.max(b.initial_tokens).max(1))
+        .collect();
+    let mut inflight_headroom: Vec<usize> = vec![0; n_buffers];
+    for n in &graph.nodes {
+        for &(b, c) in &n.writes {
+            inflight_headroom[b.index()] += c;
+        }
+    }
+    let mut producers: Vec<Producer<Token>> = Vec::with_capacity(n_buffers);
+    let mut consumers: Vec<Consumer<Token>> = Vec::with_capacity(n_buffers);
+    let mut pushes: Vec<Vec<Picos>> = vec![Vec::new(); n_buffers];
+    let mut max_occupancy: Vec<usize> = vec![0; n_buffers];
+    let mut tokens_pushed: u64 = 0;
+    for (i, b) in graph.buffers.iter().enumerate() {
+        let (mut tx, rx) = ring::spsc::<Token>(declared[i] + inflight_headroom[i]);
+        for _ in 0..b.initial_tokens {
+            tx.push(Token {
+                origin: 0,
+                value: 0.0,
+            })
+            .expect("initial tokens fit the capacity");
+            if config.record_traces {
+                pushes[i].push(0);
+            }
+            tokens_pushed += 1;
+        }
+        max_occupancy[i] = b.initial_tokens;
+        producers.push(tx);
+        consumers.push(rx);
+    }
+
+    // --- Sources: a generator thread each, feeding an SPSC sample ring.
+    // Each generator lowers its `alive` flag on exit (normal or panicking)
+    // so a scheduler waiting for a sample fails loudly instead of spinning
+    // on a ring no one will ever fill again.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut source_feeds: Vec<Consumer<f64>> = Vec::new();
+    let mut source_alive: Vec<Arc<AtomicBool>> = Vec::new();
+    let mut source_threads = Vec::new();
+    for s in &graph.sources {
+        let (tx, rx) = ring::spsc::<f64>(1024);
+        let mut kernel = lib.instantiate_source(&s.function);
+        let stop = Arc::clone(&stop);
+        let alive = Arc::new(AtomicBool::new(true));
+        source_alive.push(Arc::clone(&alive));
+        source_threads.push(
+            std::thread::Builder::new()
+                .name(format!("oil-rt-source-{}", s.name))
+                .spawn(move || {
+                    // Lower the flag even if the generator kernel unwinds.
+                    struct AliveGuard(Arc<AtomicBool>);
+                    impl Drop for AliveGuard {
+                        fn drop(&mut self) {
+                            self.0.store(false, Ordering::SeqCst);
+                        }
+                    }
+                    let _guard = AliveGuard(alive);
+                    let mut tx = tx;
+                    let mut pending: Option<f64> = None;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = pending.take().unwrap_or_else(|| kernel.next_sample());
+                        if let Err(back) = tx.push(v) {
+                            pending = Some(back);
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+                .expect("spawning a source generator thread"),
+        );
+        source_feeds.push(rx);
+    }
+
+    // --- Sinks: a collector thread each, draining an SPSC sample ring.
+    let mut sink_feeds: Vec<Producer<SinkSample>> = Vec::new();
+    let mut sink_threads: Vec<std::thread::JoinHandle<SinkCollect>> = Vec::new();
+    for s in &graph.sinks {
+        let (tx, mut rx) = ring::spsc::<SinkSample>(1024);
+        let stop = Arc::clone(&stop);
+        sink_threads.push(
+            std::thread::Builder::new()
+                .name(format!("oil-rt-sink-{}", s.name))
+                .spawn(move || {
+                    let mut collect = SinkCollect {
+                        consumed: 0,
+                        max_latency_ps: 0,
+                        values: Vec::new(),
+                    };
+                    loop {
+                        match rx.pop() {
+                            Some(sample) => {
+                                collect.consumed += 1;
+                                collect.max_latency_ps = collect
+                                    .max_latency_ps
+                                    .max(sample.at.saturating_sub(sample.origin));
+                                if collect.values.len() < SINK_STREAM_CAP {
+                                    collect.values.push(sample.value);
+                                }
+                            }
+                            None => {
+                                if stop.load(Ordering::Relaxed) && rx.is_empty() {
+                                    return collect;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                })
+                .expect("spawning a sink collector thread"),
+        );
+        sink_feeds.push(tx);
+    }
+
+    // --- Quantise the rational times onto the picosecond clock, with the
+    // same checked conversion the simulator builder uses.
+    let response_ps: IndexVec<RtNodeId, Picos> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            picos_nearest(n.response).unwrap_or_else(|e| panic!("response of `{}`: {e}", n.name))
+        })
+        .collect::<Vec<_>>()
+        .into();
+    let source_period: IndexVec<RtSourceId, Picos> = graph
+        .sources
+        .iter()
+        .map(|s| picos_nearest(s.period).unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name)))
+        .collect::<Vec<_>>()
+        .into();
+    let sink_period: IndexVec<RtSinkId, Picos> = graph
+        .sinks
+        .iter()
+        .map(|s| picos_nearest(s.period).unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name)))
+        .collect::<Vec<_>>()
+        .into();
+
+    // --- Scheduler state.
+    let mut calendar = Calendar::default();
+    for i in graph.sources.indices() {
+        calendar.schedule(source_period[i], RtEvent::SourceTick(i));
+    }
+    for i in graph.sinks.indices() {
+        calendar.schedule(sink_period[i], RtEvent::SinkTick(i));
+    }
+    let n_nodes = graph.nodes.len();
+    let mut kernels: IndexVec<RtNodeId, Option<Kernel>> = graph
+        .nodes
+        .iter()
+        .map(|n| Some(lib.instantiate(&n.function)))
+        .collect::<Vec<_>>()
+        .into();
+    let mut in_flight: IndexVec<RtNodeId, Option<Arc<FiringSlot>>> = vec![None; n_nodes].into();
+    let mut firing_origin: IndexVec<RtNodeId, Picos> = vec![0; n_nodes].into();
+    let mut firings: IndexVec<RtNodeId, u64> = vec![0u64; n_nodes].into();
+    let mut produced: IndexVec<RtSourceId, u64> = vec![0u64; graph.sources.len()].into();
+    let mut overflows: IndexVec<RtSourceId, u64> = vec![0u64; graph.sources.len()].into();
+    let mut consumed: IndexVec<RtSinkId, u64> = vec![0u64; graph.sinks.len()].into();
+    let mut misses: IndexVec<RtSinkId, u64> = vec![0u64; graph.sinks.len()].into();
+    let mut ticks: IndexVec<RtSinkId, u64> = vec![0u64; graph.sinks.len()].into();
+    let mut now: Picos = 0;
+
+    // Push a token and maintain occupancy/trace accounting.
+    macro_rules! push_token {
+        ($buffer:expr, $token:expr) => {{
+            let b: usize = $buffer;
+            let token: Token = $token;
+            producers[b]
+                .push(token)
+                .expect("space was checked before the firing was admitted");
+            max_occupancy[b] = max_occupancy[b].max(producers[b].len());
+            if config.record_traces {
+                pushes[b].push(token.origin);
+            }
+            tokens_pushed += 1;
+        }};
+    }
+
+    // Start every node that can fire at `now` (the simulator's data-driven
+    // admission rule: enough values on every read, enough space on every
+    // write, node not already firing; nodes scanned in id order to
+    // fixpoint).
+    macro_rules! admit_ready_firings {
+        () => {
+            loop {
+                let mut progressed = false;
+                for ni in graph.nodes.indices() {
+                    if in_flight[ni].is_some() {
+                        continue;
+                    }
+                    let node = &graph.nodes[ni];
+                    let inputs_ready = node
+                        .reads
+                        .iter()
+                        .all(|&(b, c)| consumers[b.index()].len() >= c);
+                    let outputs_ready = node.writes.iter().all(|&(b, c)| {
+                        declared[b.index()].saturating_sub(producers[b.index()].len()) >= c
+                    });
+                    if !(inputs_ready && outputs_ready) {
+                        continue;
+                    }
+                    // Consume the inputs now (the firing occupies them for
+                    // its whole response time) and track the oldest origin.
+                    let mut origin = now;
+                    let mut inputs = Vec::new();
+                    for &(b, c) in &node.reads {
+                        for _ in 0..c {
+                            let token = consumers[b.index()]
+                                .pop()
+                                .expect("occupancy was checked above");
+                            origin = origin.min(token.origin);
+                            inputs.push(token.value);
+                        }
+                    }
+                    firing_origin[ni] = origin;
+                    let out_len = node.writes.iter().map(|&(_, c)| c).max().unwrap_or(0);
+                    let mut kernel = kernels[ni].take().expect("kernel is home when idle");
+                    let slot = FiringSlot::new();
+                    in_flight[ni] = Some(Arc::clone(&slot));
+                    pool.submit(Box::new(move || {
+                        let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let outputs = kernel.fire(&inputs, out_len);
+                            (outputs, kernel)
+                        }));
+                        slot.fill(fired.map_err(panic_message));
+                    }));
+                    calendar.schedule(now + response_ps[ni], RtEvent::NodeComplete(ni));
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        };
+    }
+
+    admit_ready_firings!();
+
+    while let Some((time, event)) = calendar.pop() {
+        if time > duration {
+            break;
+        }
+        now = time;
+        match event {
+            RtEvent::SourceTick(i) => {
+                // Take the next sample from the generator thread (it runs
+                // ahead; an empty ring just means it has not caught up
+                // yet). A dead generator — its kernel panicked — can never
+                // refill the ring, so fail loudly instead of spinning.
+                let value = loop {
+                    match source_feeds[i.index()].pop() {
+                        Some(v) => break v,
+                        None => {
+                            assert!(
+                                source_alive[i.index()].load(Ordering::SeqCst),
+                                "source kernel of `{}` panicked; its generator thread is gone",
+                                graph.sources[i].name
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                for &b in &graph.sources[i].outputs {
+                    if declared[b.index()] > producers[b.index()].len() {
+                        push_token!(b.index(), Token { origin: now, value });
+                        produced[i] += 1;
+                    } else {
+                        overflows[i] += 1;
+                    }
+                }
+                calendar.schedule(now + source_period[i], RtEvent::SourceTick(i));
+            }
+            RtEvent::SinkTick(i) => {
+                let tick_number = ticks[i];
+                ticks[i] += 1;
+                let b = graph.sinks[i].input.index();
+                if let Some(token) = consumers[b].pop() {
+                    consumed[i] += 1;
+                    let mut sample = SinkSample {
+                        origin: token.origin,
+                        at: now,
+                        value: token.value,
+                    };
+                    // The collector drains promptly; spin if it lags.
+                    while let Err(back) = sink_feeds[i.index()].push(sample) {
+                        sample = back;
+                        std::thread::yield_now();
+                    }
+                } else if tick_number >= config.warmup_ticks {
+                    misses[i] += 1;
+                }
+                calendar.schedule(now + sink_period[i], RtEvent::SinkTick(i));
+            }
+            RtEvent::NodeComplete(ni) => {
+                let slot = in_flight[ni].take().expect("completion of an idle node");
+                let (outputs, kernel) = slot.wait().unwrap_or_else(|message| {
+                    panic!(
+                        "kernel of node `{}` panicked during a firing: {message}",
+                        graph.nodes[ni].name
+                    )
+                });
+                kernels[ni] = Some(kernel);
+                let origin = firing_origin[ni];
+                for &(b, c) in &graph.nodes[ni].writes {
+                    for k in 0..c {
+                        push_token!(
+                            b.index(),
+                            Token {
+                                origin,
+                                value: outputs.get(k).copied().unwrap_or(0.0)
+                            }
+                        );
+                    }
+                }
+                firings[ni] += 1;
+            }
+        }
+        admit_ready_firings!();
+    }
+
+    // --- Tear down the value plane and assemble the report.
+    stop.store(true, Ordering::SeqCst);
+    drop(source_feeds); // unblock generators waiting on a full ring
+    for t in source_threads {
+        let _ = t.join();
+    }
+    drop(sink_feeds);
+    let collects: Vec<SinkCollect> = sink_threads
+        .into_iter()
+        .map(|t| t.join().expect("sink collector panicked"))
+        .collect();
+    let steals = pool.steals();
+    drop(pool);
+
+    let trace = ExecutionTrace {
+        buffers: if config.record_traces {
+            graph
+                .buffers
+                .iter()
+                .zip(pushes)
+                .map(|(b, pushes)| BufferTrace {
+                    name: b.name.clone(),
+                    pushes,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
+        sources: graph
+            .sources
+            .iter_enumerated()
+            .map(|(i, s)| (s.name.clone(), produced[i], overflows[i]))
+            .collect(),
+        sinks: graph
+            .sinks
+            .iter_enumerated()
+            .map(|(i, s)| (s.name.clone(), consumed[i], misses[i]))
+            .collect(),
+    };
+    let sinks = graph
+        .sinks
+        .iter_enumerated()
+        .zip(collects)
+        .map(|((i, s), c)| {
+            debug_assert_eq!(c.consumed, consumed[i], "collector saw every sample");
+            SinkStream {
+                name: s.name.clone(),
+                consumed: consumed[i],
+                misses: misses[i],
+                max_latency: c.max_latency_ps as f64 / 1e12,
+                values: c.values,
+            }
+        })
+        .collect();
+    RtReport {
+        threads,
+        trace,
+        node_firings: graph
+            .nodes
+            .iter_enumerated()
+            .map(|(i, n)| (n.name.clone(), firings[i]))
+            .collect(),
+        buffers: graph
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (
+                    b.name.clone(),
+                    declared[i] + inflight_headroom[i],
+                    max_occupancy[i],
+                )
+            })
+            .collect(),
+        sinks,
+        steals,
+        wall: started.elapsed(),
+        tokens: tokens_pushed,
+    }
+}

@@ -1,0 +1,154 @@
+//! `oil-rt` — the work-stealing multi-threaded execution runtime.
+//!
+//! The paper's thesis is that OIL's restrictions make every program
+//! *automatically parallelizable* while staying temporally analysable. The
+//! discrete-event simulator (`oil-sim`) validates the analysis; this crate
+//! validates the **parallelization**: it executes a compiled program's task
+//! graph on real OS threads — actual `oil-dsp` kernels computing actual
+//! sample streams — and is held, by `tests/runtime_differential.rs`, to
+//! produce **bit-identical** per-buffer token traces, deadline-miss counts
+//! and overflow counts as the simulator at every thread count.
+//!
+//! Architecture (see the module docs for detail):
+//!
+//! * [`ring`] — lock-free bounded SPSC ring buffers; one per runtime-graph
+//!   buffer (capacity from CTA buffer sizing), plus the source-generator and
+//!   sink-collector conduits;
+//! * [`pool`] — the work-stealing thread pool executing kernel firings;
+//! * [`kernel`] — DSP-backed and synthetic kernels, mapped from coordinated
+//!   function names by a [`KernelLibrary`];
+//! * [`exec`] — the deterministic scheduler: virtual time replayed on a
+//!   `(time, kind, id)`-ordered calendar with the same documented
+//!   tie-breaking rule as the simulator, kernel computation overlapped on
+//!   the pool between a firing's start and completion events.
+//!
+//! The runtime consumes the same [`oil_compiler::rtgraph::RtGraph`] lowering
+//! as the simulator, so differential testing compares *scheduling
+//! semantics*, not graph construction.
+
+pub mod exec;
+pub mod kernel;
+pub mod pool;
+pub mod ring;
+
+pub use exec::{env_threads, execute, RtConfig, RtReport, SinkStream};
+pub use kernel::{Kernel, KernelLibrary, SourceKernel};
+pub use pool::WorkStealingPool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oil_compiler::{compile, rtgraph, CompilerOptions};
+    use oil_lang::registry::{FunctionRegistry, FunctionSignature};
+    use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
+
+    fn registry() -> FunctionRegistry {
+        let mut r = FunctionRegistry::new();
+        for f in ["f", "g", "init", "src", "snk"] {
+            r.register(FunctionSignature::pure(f, 1e-5));
+        }
+        r
+    }
+
+    const PIPELINE: &str = r#"
+        mod seq P(int a, out int m){ loop{ f(a, out m); } while(1); }
+        mod seq Q(int m, out int b){ loop{ g(m:2, out b); } while(1); }
+        mod par D(){
+            fifo int mid;
+            source int x = src() @ 2 kHz;
+            sink int y = snk() @ 1 kHz;
+            P(x, out mid) || Q(mid, out y)
+        }
+    "#;
+
+    #[test]
+    fn runtime_matches_simulator_trace_on_a_pipeline() {
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let mut net = build_simulation_from_graph(&graph);
+        let (_, sim_trace) = net.run_traced(picos(0.25), &SimulationConfig::default());
+
+        for threads in [1, 2, 4] {
+            let report = execute(
+                &graph,
+                &KernelLibrary::new(),
+                picos(0.25),
+                &RtConfig {
+                    threads,
+                    ..RtConfig::default()
+                },
+            );
+            assert_eq!(report.threads, threads);
+            assert_eq!(
+                report.trace.first_divergence(&sim_trace),
+                None,
+                "threads={threads}"
+            );
+            assert!(report.meets_real_time_constraints(), "{:?}", report.trace);
+            // Real sample values reached the sink.
+            let values = report.sink_values("y").expect("sink stream");
+            assert!(!values.is_empty());
+            assert!(values.iter().any(|v| *v != 0.0));
+        }
+    }
+
+    #[test]
+    fn value_streams_are_identical_across_thread_counts() {
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let config = RtConfig::default();
+        let base = execute(
+            &graph,
+            &KernelLibrary::new(),
+            picos(0.1),
+            &RtConfig {
+                threads: 1,
+                ..config
+            },
+        );
+        for threads in [2, 3, 8] {
+            let other = execute(
+                &graph,
+                &KernelLibrary::new(),
+                picos(0.1),
+                &RtConfig { threads, ..config },
+            );
+            assert_eq!(
+                base.sinks, other.sinks,
+                "sink sample streams must not depend on the pool size"
+            );
+            assert_eq!(base.trace, other.trace);
+        }
+    }
+
+    #[test]
+    fn env_threads_parses() {
+        // Only checks the parser, not the environment (tests run in
+        // parallel; mutating the process environment would race).
+        assert_eq!("3".trim().parse::<usize>().ok(), Some(3));
+        assert!(env_threads().is_none() || env_threads().unwrap() > 0);
+    }
+
+    #[test]
+    fn panicking_kernel_fails_loudly_instead_of_hanging() {
+        // A kernel that unwinds on a worker thread must surface as a
+        // scheduler panic naming the node — never as a silent deadlock on
+        // the firing slot.
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let mut lib = KernelLibrary::new();
+        lib.register(
+            "f",
+            Box::new(|| Kernel::Custom(Box::new(|_, _| panic!("injected kernel failure")))),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&graph, &lib, picos(0.01), &RtConfig::default())
+        }));
+        let err = result.expect_err("the runtime must propagate the kernel panic");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains("panicked during a firing") && message.contains("injected"),
+            "unexpected panic message: {message}"
+        );
+    }
+}

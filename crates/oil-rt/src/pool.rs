@@ -1,0 +1,249 @@
+//! A work-stealing thread pool for kernel execution.
+//!
+//! The scheduler thread submits one job per node firing; worker threads
+//! execute them. Each worker owns a deque: it pops its own work from the
+//! front (LIFO for cache warmth) and, when empty, steals from the back of a
+//! sibling's deque — the classic work-stealing discipline. Submission
+//! round-robins across workers, so independent firings land on different
+//! workers and long kernels get rebalanced by stealing.
+//!
+//! The pool executes *values*, never scheduling decisions: which firing
+//! happens at which virtual time is fixed by the deterministic scheduler
+//! (see [`crate::exec`]), which is why the observable trace is identical at
+//! every pool size. That separation is the paper's point — OIL's
+//! restrictions make temporal behaviour data-independent, so the data
+//! computation can be farmed out to however many cores exist.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker. A `Mutex<VecDeque>` per worker keeps contention
+    /// to the (rare) steal path; the hot path locks only the owner's deque.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted but not yet finished.
+    pending: AtomicUsize,
+    /// Successful steals (observability; asserted by tests).
+    steals: AtomicU64,
+    /// Set when the pool shuts down.
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next: usize,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `threads` OS worker threads (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("oil-rt-worker-{me}"))
+                    .spawn(move || worker_loop(me, &shared))
+                    .expect("spawning a runtime worker thread")
+            })
+            .collect();
+        WorkStealingPool {
+            shared,
+            workers,
+            next: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Submit a job, round-robining across worker deques.
+    pub fn submit(&mut self, job: Job) {
+        let target = self.next % self.shared.queues.len();
+        self.next = self.next.wrapping_add(1);
+        self.submit_to(target, job);
+    }
+
+    /// Submit a job to a specific worker's deque (tests use this to force
+    /// stealing; the engine uses [`WorkStealingPool::submit`]).
+    pub fn submit_to(&self, worker: usize, job: Job) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.queues[worker]
+            .lock()
+            .expect("worker queue poisoned")
+            .push_back(job);
+        let _idle = self.shared.idle.lock().expect("idle lock poisoned");
+        self.shared.wake.notify_all();
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _idle = self.shared.idle.lock().expect("idle lock poisoned");
+            self.shared.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, shared: &Shared) {
+    loop {
+        // Own work first (front = most recently submitted to us).
+        let job = pop_own(me, shared).or_else(|| steal(me, shared));
+        match job {
+            Some(job) => {
+                job();
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park until new work arrives (re-checked under the lock to
+                // avoid missed wakeups). No spinning: on oversubscribed or
+                // single-core machines busy-waiting starves the scheduler
+                // thread, which costs far more than a condvar wakeup.
+                let guard = shared.idle.lock().expect("idle lock poisoned");
+                if shared.pending.load(Ordering::SeqCst) == 0
+                    && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    let _guard = shared
+                        .wake
+                        .wait_timeout(guard, std::time::Duration::from_millis(1))
+                        .expect("idle lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+fn pop_own(me: usize, shared: &Shared) -> Option<Job> {
+    shared.queues[me]
+        .lock()
+        .expect("worker queue poisoned")
+        .pop_front()
+}
+
+fn steal(me: usize, shared: &Shared) -> Option<Job> {
+    let n = shared.queues.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        let job = shared.queues[victim]
+            .lock()
+            .expect("worker queue poisoned")
+            .pop_back();
+        if let Some(job) = job {
+            shared.steals.fetch_add(1, Ordering::SeqCst);
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn wait_idle(pool: &WorkStealingPool) {
+        let start = std::time::Instant::now();
+        while pool.pending() > 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "pool did not drain"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn executes_every_submitted_job() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkStealingPool::new(4);
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        wait_idle(&pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pool = WorkStealingPool::new(4);
+        // Pile every job on worker 0; with 4 workers and jobs that take a
+        // while, the other three must steal to finish in time.
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit_to(
+                0,
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        wait_idle(&pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert!(pool.steals() > 0, "expected at least one steal");
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkStealingPool::new(1);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        wait_idle(&pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.steals(), 0, "one worker has nobody to steal from");
+    }
+
+    #[test]
+    fn shutdown_joins_all_workers() {
+        let pool = WorkStealingPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        drop(pool); // must not hang
+    }
+}

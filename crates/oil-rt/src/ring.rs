@@ -1,0 +1,236 @@
+//! Lock-free bounded single-producer/single-consumer ring buffers.
+//!
+//! The runtime's value streams flow through these rings: one per buffer of
+//! the runtime graph (capacity from CTA buffer sizing), plus one per
+//! time-triggered source (generator thread → scheduler) and one per sink
+//! (scheduler → collector thread). The implementation is the classic
+//! Lamport ring: a power-free array indexed by two monotonically increasing
+//! counters, where the producer only writes `tail` and the consumer only
+//! writes `head`, so a release store on one side paired with an acquire load
+//! on the other is the entire synchronisation protocol — no locks, no CAS.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to pop (only advanced by the consumer).
+    head: AtomicUsize,
+    /// Next slot to push (only advanced by the producer).
+    tail: AtomicUsize,
+}
+
+// Safety: the producer/consumer split guarantees each slot is accessed by at
+// most one thread at a time: a slot is written by the producer strictly
+// before the tail release-store that publishes it, and read by the consumer
+// strictly before the head release-store that retires it.
+unsafe impl<T: Send> Sync for Inner<T> {}
+unsafe impl<T: Send> Send for Inner<T> {}
+
+/// Create a bounded SPSC ring of the given capacity, returning the two
+/// endpoint handles. Each handle can move to (at most) one thread.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "an SPSC ring needs at least one slot");
+    let inner = Arc::new(Inner {
+        buf: (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+/// The producing endpoint of an SPSC ring.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consuming endpoint of an SPSC ring.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Producer<T> {
+    /// Push a value, or hand it back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.inner.buf.len() {
+            return Err(value);
+        }
+        let slot = &self.inner.buf[tail % self.inner.buf.len()];
+        // Safety: the slot is unpublished (tail not yet advanced), so the
+        // consumer cannot touch it.
+        unsafe { (*slot.get()).write(value) };
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of values currently in the ring.
+    pub fn len(&self) -> usize {
+        self.inner
+            .tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.inner.head.load(Ordering::Acquire))
+    }
+
+    /// True when no value is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    /// Free slots remaining.
+    pub fn space(&self) -> usize {
+        self.capacity() - self.len()
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest value, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.inner.buf[head % self.inner.buf.len()];
+        // Safety: the slot is published (head < tail) and not yet retired,
+        // so the producer cannot touch it.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently in the ring.
+    pub fn len(&self) -> usize {
+        self.inner
+            .tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.inner.head.load(Ordering::Relaxed))
+    }
+
+    /// True when no value is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Drain remaining values so their destructors run. The producer may
+        // still push afterwards; those values leak their destructor only if
+        // T needs Drop and the producer outlives the consumer — the runtime
+        // always drops producers first, and the value types it uses are
+        // Copy anyway.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        assert!(rx.pop().is_none());
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "full ring must reject");
+        assert_eq!(tx.len(), 4);
+        assert_eq!(tx.space(), 0);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = spsc::<usize>(3);
+        for round in 0..100 {
+            tx.push(2 * round).unwrap();
+            tx.push(2 * round + 1).unwrap();
+            assert_eq!(rx.pop(), Some(2 * round));
+            assert_eq!(rx.pop(), Some(2 * round + 1));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected, "values must arrive in push order");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_buffered_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = spsc::<Tracked>(8);
+        for _ in 0..5 {
+            tx.push(Tracked).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}

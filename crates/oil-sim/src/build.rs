@@ -1,35 +1,25 @@
 //! Building a simulation from a compiled OIL program.
 //!
-//! The builder places one simulator node per extracted task (black boxes
-//! become a single node with their interface rates), one simulator buffer per
-//! channel and per local variable buffer — with the capacities computed by
-//! CTA buffer sizing — and one time-triggered source/sink per `source`/`sink`
-//! declaration. Running the simulation therefore validates the analysis: if
-//! the CTA model accepted the program, the simulation must meet all deadlines
-//! with the sized buffers.
+//! All graph construction lives in `oil_compiler::rtgraph`: the compiler
+//! lowers the program into an engine-agnostic [`RtGraph`] (one node per
+//! runnable task, one buffer per channel **per reader**, CTA capacities,
+//! exact rational times), and this module merely maps that graph onto the
+//! simulator's structures, quantising the rational times onto the picosecond
+//! clock through the checked conversions of [`crate::time`]. The
+//! multi-threaded runtime (`oil-rt`) consumes the *same* graph, which is
+//! what makes trace-equivalence between the two engines a statement about
+//! scheduling semantics rather than graph construction.
 
-use crate::network::{Picos, SimBufferId, SimNetwork};
-use crate::picos;
+use crate::network::SimNetwork;
+use crate::time::picos_nearest;
+use oil_compiler::rtgraph::{self, RtGraph};
 use oil_compiler::CompiledProgram;
-use oil_dataflow::index::IndexVec;
-use oil_dataflow::taskgraph::BufferId;
-use oil_dataflow::ChannelId;
-use oil_lang::sema::{ChannelKind, InstanceId};
-use std::collections::BTreeMap;
-
-/// Default capacity for local buffers the sizing pass did not need to grow.
-const DEFAULT_LOCAL_CAPACITY: usize = 4;
-/// Extra slack added to every simulated buffer: the CTA capacities are
-/// sufficient under the model's scheduling assumptions; the simulator's
-/// data-driven schedule differs slightly (production at completion), so one
-/// extra slot avoids spurious overflows without masking real undersizing.
-const CAPACITY_SLACK: usize = 1;
 
 /// Build a [`SimNetwork`] from a compiled program, treating any black-box
 /// modules as single-rate nodes with a 1 µs response time. Use
 /// [`build_simulation_with_registry`] to supply their real interfaces.
 pub fn build_simulation(compiled: &CompiledProgram) -> SimNetwork {
-    build_simulation_with_registry(compiled, &oil_lang::FunctionRegistry::new())
+    build_simulation_from_graph(&rtgraph::lower(compiled))
 }
 
 /// Build a [`SimNetwork`] from a compiled program, using `registry` to obtain
@@ -39,207 +29,50 @@ pub fn build_simulation_with_registry(
     compiled: &CompiledProgram,
     registry: &oil_lang::FunctionRegistry,
 ) -> SimNetwork {
+    build_simulation_from_graph(&rtgraph::lower_with_registry(compiled, registry))
+}
+
+/// Build a [`SimNetwork`] from an already-lowered runtime graph.
+///
+/// # Panics
+/// Panics if a response time or period cannot be placed on the picosecond
+/// clock (negative or overflowing — impossible for compiler-produced
+/// graphs).
+pub fn build_simulation_from_graph(graph: &RtGraph) -> SimNetwork {
     let mut net = SimNetwork::default();
-    let graph = &compiled.analyzed.graph;
-
-    // Per-firing burst size of an instance on a channel (the colon notation
-    // of sequential modules or a black box's interface counts).
-    let burst = |instance: Option<InstanceId>, channel: ChannelId| -> usize {
-        let Some(ii) = instance else { return 1 };
-        let inst = &graph.instances[ii];
-        let Some(binding) = inst.bindings.iter().find(|b| b.channel == channel) else {
-            return 1;
-        };
-        match &compiled.derived.task_graphs[ii] {
-            Some(tg) => tg
-                .buffer_by_name(&binding.param)
-                .map(|b| {
-                    tg.tasks
-                        .iter()
-                        .flat_map(|t| t.reads.iter().chain(t.writes.iter()))
-                        .filter(|a| a.buffer == b)
-                        .map(|a| a.count as usize)
-                        .max()
-                        .unwrap_or(1)
-                })
-                .unwrap_or(1),
-            None => registry
-                .black_box(&inst.module_name)
-                .map(|bb| {
-                    let position = inst
-                        .bindings
-                        .iter()
-                        .filter(|b| b.out == binding.out)
-                        .position(|b| b.channel == channel)
-                        .unwrap_or(0);
-                    let counts = if binding.out {
-                        &bb.production
-                    } else {
-                        &bb.consumption
-                    };
-                    counts.get(position).copied().unwrap_or(1).max(1) as usize
-                })
-                .unwrap_or(1),
-        }
-    };
-
-    // Channels become buffers; sources and sinks additionally get
-    // time-triggered drivers.
-    let mut channel_buffer: IndexVec<ChannelId, SimBufferId> =
-        IndexVec::with_capacity(graph.channels.len());
-    for (ci, ch) in graph.channels.iter_enumerated() {
-        // The simulator transfers bursts atomically, so a channel needs room
-        // for at least one full write burst plus one full read burst on top
-        // of whatever the CTA sizing computed.
-        let write_burst = burst(ch.writer, ci);
-        let read_burst = ch
-            .readers
-            .iter()
-            .map(|&r| burst(Some(r), ci))
-            .max()
-            .unwrap_or(1);
-        let capacity = (compiled
-            .buffers
-            .channels
-            .get(&ch.name)
-            .copied()
-            .unwrap_or(DEFAULT_LOCAL_CAPACITY as u64) as usize)
-            .max(write_burst + read_burst)
-            + CAPACITY_SLACK;
-        // Initial tokens written by prologue statements of the writer.
-        let initial = initial_tokens_for_channel(compiled, ci);
-        let b = net.add_buffer(ch.name.clone(), capacity, initial);
-        channel_buffer.push(b);
-        match &ch.kind {
-            ChannelKind::Source { func, rate_hz } => {
-                net.add_source(format!("src_{func}_{}", ch.name), b, period(*rate_hz));
-            }
-            ChannelKind::Sink { func, rate_hz } => {
-                net.add_sink(format!("snk_{func}_{}", ch.name), b, period(*rate_hz));
-            }
-            ChannelKind::Fifo => {}
-        }
-    }
-
-    // Instances: tasks of sequential modules, or a single node per black box.
-    for (ii, inst) in graph.instances.iter_enumerated() {
-        match &compiled.derived.task_graphs[ii] {
-            Some(tg) => {
-                // Local buffers for this instance.
-                let mut local_buffer: BTreeMap<BufferId, SimBufferId> = BTreeMap::new();
-                for (bi, b) in tg.buffers.iter_enumerated() {
-                    if b.stream.is_some() {
-                        continue;
-                    }
-                    let name = format!("{}.{}", inst.path, b.name);
-                    let capacity = compiled
-                        .buffers
-                        .locals
-                        .get(&name)
-                        .copied()
-                        .unwrap_or(DEFAULT_LOCAL_CAPACITY as u64)
-                        as usize
-                        + CAPACITY_SLACK;
-                    local_buffer.insert(
-                        bi,
-                        net.add_buffer(name, capacity, b.initial_tokens as usize),
-                    );
-                }
-                // Map a task-graph buffer to a simulator buffer: local
-                // buffers directly, stream buffers to the bound channel.
-                let sim_buffer = |bi: BufferId| -> Option<SimBufferId> {
-                    if let Some(&b) = local_buffer.get(&bi) {
-                        return Some(b);
-                    }
-                    let stream = tg.buffers[bi].stream.as_ref()?;
-                    let binding = inst.bindings.iter().find(|b| &b.param == stream)?;
-                    Some(channel_buffer[binding.channel])
-                };
-                for t in &tg.tasks {
-                    // Prologue tasks ran before start-up; their effect is the
-                    // initial tokens already placed in the buffers.
-                    if t.loop_nest.is_empty() && tg.loops.iter().any(|l| !l.tasks.is_empty()) {
-                        continue;
-                    }
-                    let reads: Vec<(SimBufferId, usize)> = t
-                        .reads
-                        .iter()
-                        .filter_map(|r| sim_buffer(r.buffer).map(|b| (b, r.count as usize)))
-                        .collect();
-                    let writes: Vec<(SimBufferId, usize)> = t
-                        .writes
-                        .iter()
-                        .filter_map(|w| sim_buffer(w.buffer).map(|b| (b, w.count as usize)))
-                        .collect();
-                    net.add_node(
-                        format!("{}.{}", inst.path, t.name),
-                        picos(t.response_time),
-                        reads,
-                        writes,
-                    );
-                }
-            }
-            None => {
-                // Black box: one node with the registered interface rates.
-                let interface = registry.black_box(&inst.module_name);
-                let rho = picos(interface.map(|i| i.response_time).unwrap_or(1e-6));
-                let mut reads = Vec::new();
-                let mut writes = Vec::new();
-                let (mut in_idx, mut out_idx) = (0usize, 0usize);
-                for b in &inst.bindings {
-                    let buffer = channel_buffer[b.channel];
-                    if b.out {
-                        let count = interface
-                            .and_then(|i| i.production.get(out_idx).copied())
-                            .unwrap_or(1)
-                            .max(1) as usize;
-                        writes.push((buffer, count));
-                        out_idx += 1;
-                    } else {
-                        let count = interface
-                            .and_then(|i| i.consumption.get(in_idx).copied())
-                            .unwrap_or(1)
-                            .max(1) as usize;
-                        reads.push((buffer, count));
-                        in_idx += 1;
-                    }
-                }
-                net.add_node(inst.path.clone(), rho, reads, writes);
-            }
-        }
-    }
-
-    net
-}
-
-fn period(rate_hz: f64) -> Picos {
-    picos(1.0 / rate_hz)
-}
-
-fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: ChannelId) -> usize {
-    let graph = &compiled.analyzed.graph;
-    let Some(writer) = graph.channels[channel].writer else {
-        return 0;
-    };
-    let Some(tg) = &compiled.derived.task_graphs[writer] else {
-        return 0;
-    };
-    let Some(binding) = graph.instances[writer]
-        .bindings
+    let buffer_ids: Vec<_> = graph
+        .buffers
         .iter()
-        .find(|b| b.channel == channel && b.out)
-    else {
-        return 0;
-    };
-    tg.buffer_by_name(&binding.param)
-        .map(|b| tg.buffers[b].initial_tokens as usize)
-        .unwrap_or(0)
+        .map(|b| net.add_buffer(b.name.clone(), b.capacity, b.initial_tokens))
+        .collect();
+    let sim_buffer = |id: oil_compiler::RtBufferId| buffer_ids[oil_dataflow::index::Idx::index(id)];
+
+    for n in &graph.nodes {
+        let response = picos_nearest(n.response)
+            .unwrap_or_else(|e| panic!("response time of `{}`: {e}", n.name));
+        let reads = n.reads.iter().map(|&(b, c)| (sim_buffer(b), c)).collect();
+        let writes = n.writes.iter().map(|&(b, c)| (sim_buffer(b), c)).collect();
+        net.add_node(n.name.clone(), response, reads, writes);
+    }
+    for s in &graph.sources {
+        let period =
+            picos_nearest(s.period).unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
+        let outputs = s.outputs.iter().map(|&b| sim_buffer(b)).collect();
+        net.add_source_fanout(s.name.clone(), outputs, period);
+    }
+    for s in &graph.sinks {
+        let period =
+            picos_nearest(s.period).unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
+        net.add_sink(s.name.clone(), sim_buffer(s.input), period);
+    }
+    net
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::network::SimulationConfig;
+    use crate::picos;
     use oil_compiler::{compile, CompilerOptions};
     use oil_lang::registry::{FunctionRegistry, FunctionSignature};
 
@@ -327,5 +160,29 @@ mod tests {
         let net = build_simulation(&compiled);
         let y = net.buffers.iter().find(|b| b.name.ends_with(".y")).unwrap();
         assert!(y.max_occupancy >= 4, "initial tokens missing: {y:?}");
+    }
+
+    #[test]
+    fn multi_reader_source_broadcasts_to_every_reader() {
+        // One source read by two chains: each sink must see the full rate
+        // (the readers must not compete for tokens).
+        let src = r#"
+            mod seq P(int a, out int m){ loop{ f(a, out m); } while(1); }
+            mod seq Q(int a, out int n){ loop{ g(a, out n); } while(1); }
+            mod par D(){
+                source int x = src() @ 1 kHz;
+                sink int y = snk() @ 1 kHz;
+                sink int z = snk() @ 1 kHz;
+                P(x, out y) || Q(x, out z)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let mut net = build_simulation(&compiled);
+        let metrics = net.run(picos(0.5), &SimulationConfig::default());
+        assert!(metrics.meets_real_time_constraints(), "{metrics:?}");
+        for sink in ["y", "z"] {
+            let thr = metrics.sink_throughput(sink).unwrap();
+            assert!((thr - 1000.0).abs() < 30.0, "sink {sink} throughput {thr}");
+        }
     }
 }

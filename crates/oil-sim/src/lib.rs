@@ -23,21 +23,38 @@
 
 pub mod build;
 pub mod network;
+pub mod time;
+pub mod trace;
 
-pub use build::{build_simulation, build_simulation_with_registry};
+pub use build::{build_simulation, build_simulation_from_graph, build_simulation_with_registry};
 pub use network::{
     Picos, SimBufferId, SimMetrics, SimNetwork, SimNode, SimNodeId, SimSinkId, SimSourceId,
     SimulationConfig,
 };
+pub use time::{picos_exact, picos_nearest, seconds_exact, TimeError};
+pub use trace::{BufferTrace, ExecutionTrace, Fnv1a};
+
+use oil_dataflow::Rational;
 
 /// Convert seconds to the simulator's picosecond time base.
+///
+/// Convenience wrapper over the exact rational path
+/// ([`time::picos_nearest`]): the `f64` is converted to the exactly equal
+/// rational first, so the only rounding is the final quantisation onto the
+/// picosecond grid.
+///
+/// # Panics
+/// Panics on NaN/infinite input, negative seconds or picosecond overflow;
+/// use [`time::picos_nearest`] for the fallible version.
 pub fn picos(seconds: f64) -> Picos {
-    (seconds * 1e12).round() as Picos
+    time::picos_nearest(Rational::from_f64(seconds))
+        .unwrap_or_else(|e| panic!("{seconds} s cannot be placed on the picosecond clock: {e}"))
 }
 
-/// Convert the simulator's picosecond time base back to seconds.
+/// Convert the simulator's picosecond time base back to seconds (the closest
+/// `f64` to the exact value).
 pub fn seconds(p: Picos) -> f64 {
-    p as f64 / 1e12
+    time::seconds_exact(p).to_f64()
 }
 
 #[cfg(test)]
@@ -49,5 +66,11 @@ mod tests {
         assert_eq!(picos(1e-3), 1_000_000_000);
         assert_eq!(picos(1.0 / 6.4e6), 156_250);
         assert!((seconds(picos(2.5e-6)) - 2.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "picosecond clock")]
+    fn negative_seconds_panic() {
+        let _ = picos(-1.0);
     }
 }

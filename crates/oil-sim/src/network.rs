@@ -1,7 +1,8 @@
 //! The simulated task network and the discrete-event engine.
 
+use crate::trace::{BufferTrace, ExecutionTrace};
 use oil_dataflow::define_index_type;
-use oil_dataflow::index::IndexVec;
+use oil_dataflow::index::{Idx, IndexVec};
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -99,19 +100,23 @@ pub struct SimNode {
     pub firings: u64,
 }
 
-/// A time-triggered source feeding a buffer at a fixed period.
+/// A time-triggered source feeding one or more buffers at a fixed period.
+/// Multi-reader channels are realised as one destination buffer per reader;
+/// every tick delivers the sample to each destination (a broadcast, matching
+/// dataflow semantics where every reader sees every token).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimSource {
     /// Source name.
     pub name: String,
-    /// Destination buffer.
-    pub buffer: SimBufferId,
+    /// Destination buffers (one per reader of the source channel).
+    pub buffers: Vec<SimBufferId>,
     /// Period in picoseconds.
     pub period: Picos,
-    /// Samples produced.
+    /// Samples delivered (counted per destination).
     pub produced: u64,
-    /// Ticks at which the buffer was full (a real system would lose the
-    /// sample; the CTA buffer sizing guarantees this never happens).
+    /// Ticks at which a destination buffer was full (a real system would
+    /// lose the sample; the CTA buffer sizing guarantees this never
+    /// happens). Counted per full destination.
     pub overflows: u64,
 }
 
@@ -183,6 +188,9 @@ pub struct SimMetrics {
     pub buffers: Vec<(String, usize, usize)>,
     /// Per node: (name, firings).
     pub node_firings: Vec<(String, u64)>,
+    /// Total values ever written across all buffers (the token count the
+    /// runtime's throughput reports are compared against).
+    pub tokens_written: u64,
 }
 
 impl SimMetrics {
@@ -223,17 +231,37 @@ enum EventKind {
     NodeComplete(SimNodeId),
 }
 
+impl EventKind {
+    /// The documented tie-breaking rule for events at the same instant:
+    /// **sources deliver first, completing nodes commit second, sinks
+    /// consume last**, and within a kind, lower ids go first. The rule is
+    /// *structural* — it depends only on (time, kind, id), never on the
+    /// order events happened to be inserted into the queue — which is what
+    /// makes the simulation replayable by an independent engine (`oil-rt`)
+    /// and insensitive to queue-population order
+    /// (`tests/determinism.rs::sim_traces_are_insensitive_to_event_insertion_order`).
+    fn rank(self) -> (u8, usize) {
+        match self {
+            EventKind::SourceTick(i) => (0, i.index()),
+            EventKind::NodeComplete(i) => (1, i.index()),
+            EventKind::SinkTick(i) => (2, i.index()),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Event {
     time: Picos,
-    seq: u64,
     kind: EventKind,
 }
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by time (BinaryHeap is a max-heap, so reverse).
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        // Min-heap by (time, rank) (BinaryHeap is a max-heap, so reverse).
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.kind.rank().cmp(&self.kind.rank()))
     }
 }
 
@@ -275,16 +303,27 @@ impl SimNetwork {
         })
     }
 
-    /// Add a time-triggered source.
+    /// Add a time-triggered source feeding a single buffer.
     pub fn add_source(
         &mut self,
         name: impl Into<String>,
         buffer: SimBufferId,
         period: Picos,
     ) -> SimSourceId {
+        self.add_source_fanout(name, vec![buffer], period)
+    }
+
+    /// Add a time-triggered source broadcasting to several buffers (one per
+    /// reader of a multi-reader source channel).
+    pub fn add_source_fanout(
+        &mut self,
+        name: impl Into<String>,
+        buffers: Vec<SimBufferId>,
+        period: Picos,
+    ) -> SimSourceId {
         self.sources.push(SimSource {
             name: name.into(),
-            buffer,
+            buffers,
             period,
             produced: 0,
             overflows: 0,
@@ -312,6 +351,44 @@ impl SimNetwork {
 
     /// Run the simulation for `duration` picoseconds.
     pub fn run(&mut self, duration: Picos, config: &SimulationConfig) -> SimMetrics {
+        self.run_impl(duration, config, false, None).0
+    }
+
+    /// As [`SimNetwork::run`], additionally recording the per-buffer token
+    /// trace (see [`crate::trace`]): the origin timestamp of every token
+    /// pushed into every buffer, in push order.
+    pub fn run_traced(
+        &mut self,
+        duration: Picos,
+        config: &SimulationConfig,
+    ) -> (SimMetrics, ExecutionTrace) {
+        let (metrics, trace) = self.run_impl(duration, config, true, None);
+        (metrics, trace.expect("trace recording was requested"))
+    }
+
+    /// As [`SimNetwork::run_traced`], but populating the initial event queue
+    /// in the order given by `tick_order` — a permutation of
+    /// `0..sources+sinks` where values `< sources` name source ticks and the
+    /// rest name sink ticks. Because event ordering is structural
+    /// ([`EventKind::rank`]), the insertion order must not influence the
+    /// trace; `tests/determinism.rs` pins that property.
+    pub fn run_traced_with_tick_order(
+        &mut self,
+        duration: Picos,
+        config: &SimulationConfig,
+        tick_order: &[usize],
+    ) -> (SimMetrics, ExecutionTrace) {
+        let (metrics, trace) = self.run_impl(duration, config, true, Some(tick_order));
+        (metrics, trace.expect("trace recording was requested"))
+    }
+
+    fn run_impl(
+        &mut self,
+        duration: Picos,
+        config: &SimulationConfig,
+        record: bool,
+        tick_order: Option<&[usize]>,
+    ) -> (SimMetrics, Option<ExecutionTrace>) {
         // Processor assignment.
         let cores = if config.cores == 0 {
             self.nodes.len().max(1)
@@ -325,17 +402,41 @@ impl SimNetwork {
             s.warmup_ticks = config.warmup_ticks;
         }
 
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut push = |heap: &mut BinaryHeap<Event>, time: Picos, kind: EventKind| {
-            heap.push(Event { time, seq, kind });
-            seq += 1;
-        };
-        for (i, s) in self.sources.iter_enumerated() {
-            push(&mut heap, s.period, EventKind::SourceTick(i));
+        // Trace recording: per-buffer push log, seeded with the tokens
+        // already present (initial tokens, origin 0).
+        let mut pushes: IndexVec<SimBufferId, Vec<Picos>> = IndexVec::new();
+        if record {
+            for b in &self.buffers {
+                pushes.push(b.tokens.iter().copied().collect());
+            }
         }
-        for (i, s) in self.sinks.iter_enumerated() {
-            push(&mut heap, s.period, EventKind::SinkTick(i));
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        // Initial ticks, by default sources then sinks in id order; a test
+        // hook may permute the insertion order (the structural event
+        // ordering makes this unobservable).
+        let initial: Vec<Event> = self
+            .sources
+            .iter_enumerated()
+            .map(|(i, s)| Event {
+                time: s.period,
+                kind: EventKind::SourceTick(i),
+            })
+            .chain(self.sinks.iter_enumerated().map(|(i, s)| Event {
+                time: s.period,
+                kind: EventKind::SinkTick(i),
+            }))
+            .collect();
+        match tick_order {
+            None => heap.extend(initial),
+            Some(order) => {
+                assert_eq!(
+                    order.len(),
+                    initial.len(),
+                    "tick_order must be a permutation"
+                );
+                heap.extend(order.iter().map(|&i| initial[i]));
+            }
         }
 
         // Core and node state.
@@ -379,7 +480,10 @@ impl SimNetwork {
                             node_busy[ni] = true;
                             let complete = now + node.response_time;
                             core_busy_until[node.core] = complete;
-                            push(&mut heap, complete, EventKind::NodeComplete(ni));
+                            heap.push(Event {
+                                time: complete,
+                                kind: EventKind::NodeComplete(ni),
+                            });
                             progressed = true;
                         }
                     }
@@ -399,15 +503,29 @@ impl SimNetwork {
             now = ev.time;
             match ev.kind {
                 EventKind::SourceTick(i) => {
-                    let buffer = self.sources[i].buffer;
-                    if self.buffers[buffer].space() >= 1 {
-                        self.buffers[buffer].push(now, 1);
-                        self.sources[i].produced += 1;
-                    } else {
-                        self.sources[i].overflows += 1;
+                    // Broadcast: every destination buffer (one per reader)
+                    // receives the sample; a full destination drops it and
+                    // counts an overflow. Indexed iteration — this is the
+                    // hottest event in the loop; cloning the destination
+                    // list per tick would allocate millions of times per
+                    // sweep.
+                    for d in 0..self.sources[i].buffers.len() {
+                        let buffer = self.sources[i].buffers[d];
+                        if self.buffers[buffer].space() >= 1 {
+                            self.buffers[buffer].push(now, 1);
+                            self.sources[i].produced += 1;
+                            if record {
+                                pushes[buffer].push(now);
+                            }
+                        } else {
+                            self.sources[i].overflows += 1;
+                        }
                     }
                     let next = now + self.sources[i].period;
-                    push(&mut heap, next, EventKind::SourceTick(i));
+                    heap.push(Event {
+                        time: next,
+                        kind: EventKind::SourceTick(i),
+                    });
                 }
                 EventKind::SinkTick(i) => {
                     let buffer = self.sinks[i].buffer;
@@ -421,7 +539,10 @@ impl SimNetwork {
                         self.sinks[i].misses += 1;
                     }
                     let next = now + self.sinks[i].period;
-                    push(&mut heap, next, EventKind::SinkTick(i));
+                    heap.push(Event {
+                        time: next,
+                        kind: EventKind::SinkTick(i),
+                    });
                 }
                 EventKind::NodeComplete(ni) => {
                     node_busy[ni] = false;
@@ -429,6 +550,11 @@ impl SimNetwork {
                     let origin = node_origin[ni];
                     for (b, c) in writes {
                         self.buffers[b].push(origin, c);
+                        if record {
+                            for _ in 0..c {
+                                pushes[b].push(origin);
+                            }
+                        }
                     }
                     self.nodes[ni].firings += 1;
                 }
@@ -436,7 +562,7 @@ impl SimNetwork {
             start_ready_nodes!();
         }
 
-        SimMetrics {
+        let metrics = SimMetrics {
             end_time: duration,
             sinks: self
                 .sinks
@@ -461,7 +587,29 @@ impl SimNetwork {
                 .iter()
                 .map(|n| (n.name.clone(), n.firings))
                 .collect(),
-        }
+            tokens_written: self.buffers.iter().map(|b| b.total_written).sum(),
+        };
+        let trace = record.then(|| ExecutionTrace {
+            buffers: self
+                .buffers
+                .iter_enumerated()
+                .map(|(i, b)| BufferTrace {
+                    name: b.name.clone(),
+                    pushes: std::mem::take(&mut pushes[i]),
+                })
+                .collect(),
+            sources: self
+                .sources
+                .iter()
+                .map(|s| (s.name.clone(), s.produced, s.overflows))
+                .collect(),
+            sinks: self
+                .sinks
+                .iter()
+                .map(|s| (s.name.clone(), s.consumed, s.misses))
+                .collect(),
+        });
+        (metrics, trace)
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`sim`] — a discrete-event multi-core simulator used as the execution
 //!   substrate (processors, ring interconnect, circular buffers, periodic
 //!   sources/sinks).
+//! * [`rt`] — the work-stealing multi-threaded runtime executing compiled
+//!   task graphs on real OS threads, trace-equivalent to the simulator
+//!   (`tests/runtime_differential.rs`).
 //! * [`dsp`] — the signal-processing kernels coordinated by the example
 //!   programs (filters, mixers, resamplers, signal generators).
 //! * [`pal`] — the PAL video/audio decoder case study from the paper.
@@ -31,4 +34,5 @@ pub use oil_dsp as dsp;
 pub use oil_gen as gen;
 pub use oil_lang as lang;
 pub use oil_pal as pal;
+pub use oil_rt as rt;
 pub use oil_sim as sim;

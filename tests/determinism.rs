@@ -120,3 +120,66 @@ fn fig2c_channel_rates_are_exactly_equal() {
     assert!(rx.is_positive());
     assert_eq!(rx, ry);
 }
+
+// ---------------------------------------------------------------------------
+// Simulator determinism hardening: the event tie-breaking rule is structural.
+// ---------------------------------------------------------------------------
+
+/// Simultaneous events are ordered by `(time, kind, id)` — sources deliver,
+/// completing nodes commit, sinks consume; lower ids first — never by the
+/// order events were inserted into the ready queue. This property test pins
+/// that documented rule: populating the initial event queue in reversed or
+/// seeded-shuffled order must produce bit-identical traces on randomly
+/// generated programs.
+#[test]
+fn sim_traces_are_insensitive_to_event_insertion_order() {
+    use oil::gen::{GenRng, ProgramScenario};
+    use oil::sim::{build_simulation, picos, SimulationConfig};
+
+    let mut checked = 0;
+    for seed in 0..24u64 {
+        let scenario = ProgramScenario::generate(seed);
+        let Ok(compiled) = compile(
+            &scenario.source,
+            &scenario.registry,
+            &CompilerOptions::default(),
+        ) else {
+            continue; // temporal rejection is legitimate; see differential.rs
+        };
+        checked += 1;
+        let config = SimulationConfig {
+            cores: 0,
+            warmup_ticks: 64,
+        };
+        let duration = picos(0.1);
+
+        let net = build_simulation(&compiled);
+        let ticks = net.sources.len() + net.sinks.len();
+        let (_, reference) = net.clone().run_traced(duration, &config);
+
+        // Identity, reversed, and three seeded Fisher-Yates shuffles.
+        let identity: Vec<usize> = (0..ticks).collect();
+        let reversed: Vec<usize> = (0..ticks).rev().collect();
+        let mut orders = vec![identity, reversed];
+        let mut rng = GenRng::new(seed ^ 0x5EED);
+        for _ in 0..3 {
+            let mut p: Vec<usize> = (0..ticks).collect();
+            for i in (1..p.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                p.swap(i, j);
+            }
+            orders.push(p);
+        }
+        for order in orders {
+            let (_, permuted) = net
+                .clone()
+                .run_traced_with_tick_order(duration, &config, &order);
+            assert_eq!(
+                permuted.first_divergence(&reference),
+                None,
+                "seed {seed}: trace depends on event insertion order {order:?}"
+            );
+        }
+    }
+    assert!(checked >= 18, "only {checked} scenarios compiled");
+}

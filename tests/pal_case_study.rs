@@ -32,7 +32,6 @@ fn pal_program_compiles_and_matches_paper_structure() {
 }
 
 #[test]
-#[ignore = "known limitation: the simulator does not yet replicate multi-reader channels (the RF source feeds both splitter branches), so the video branch starves; the CTA analysis and the native signal path cover this experiment"]
 fn pal_simulation_validates_the_analysis() {
     let report = simulate_pal(2e-3).expect("simulation runs");
     assert!(report.meets_constraints(), "{:?}", report.metrics);
