@@ -1,20 +1,32 @@
-//! Runtime throughput: the parallel runtime vs. the discrete-event
-//! simulator.
+//! Runtime throughput: the execution engines head to head.
 //!
-//! Two workloads, both executed over a fixed virtual horizon while the wall
-//! clock is measured:
+//! Three engines over two workloads, each executed over a fixed virtual
+//! horizon while the wall clock is measured:
 //!
-//! * **pal** — the PAL decoder with its real DSP kernels (Fig. 11): one
-//!   RF source at 6.4 MS/s through mixers, filters and resamplers to the
+//! * **sim** — the discrete-event simulator: token origins only, no kernel
+//!   work, no threads. The scheduling-overhead floor.
+//! * **calendar** — `oil-rt::exec` at 1/2/4 worker threads: real kernels,
+//!   but every firing serialises through the virtual-clock calendar (the
+//!   price of bit-identical traces). Expected to scale *negatively*: more
+//!   threads add handoff cost to a scheduler-bound loop.
+//! * **selftimed** — `oil-rt::selftimed` at 1/2/4 worker threads: real
+//!   kernels, no clock, tasks fire whenever data and space allow with
+//!   repetition-vector batching.
+//!
+//! Workloads:
+//!
+//! * **pal** — the PAL decoder with its real DSP kernels (Fig. 11): one RF
+//!   source at 6.4 MS/s through mixers, filters and resamplers to the
 //!   display and speaker sinks;
 //! * **wide** — eight independent chains with deliberately heavy FIR
 //!   kernels (2047 taps), the shape where kernel work dominates scheduling
 //!   and worker threads pay off.
 //!
-//! The simulator only tracks token origins (no kernel work), so it is the
-//! scheduling-overhead floor; the runtime at 1/2/4 threads shows what the
-//! value plane costs and how it parallelises. Results are printed and
-//! written to `BENCH_runtime.json` at the workspace root.
+//! Results are printed and written to `BENCH_runtime.json` at the workspace
+//! root under schema v2: one record per (workload, engine_mode, threads)
+//! with `host_parallelism` recorded so scaling numbers can be read in
+//! context (a single-core host cannot show parallel speed-up for any
+//! engine).
 //!
 //! `cargo bench -p oil-bench --bench runtime_throughput -- --test` runs a
 //! smoke-sized horizon (CI).
@@ -23,14 +35,15 @@ use oil_compiler::rtgraph::{self, RtGraph};
 use oil_compiler::{compile, CompilerOptions};
 use oil_dsp::FirFilter;
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
-use oil_rt::{execute, Kernel, KernelLibrary, RtConfig};
+use oil_rt::{execute, execute_selftimed, Kernel, KernelLibrary, RtConfig, SelfTimedConfig};
 use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Row {
     workload: &'static str,
-    engine: String,
+    engine_mode: &'static str,
+    threads: usize,
     virtual_s: f64,
     wall_ms: f64,
     tokens: u64,
@@ -76,6 +89,8 @@ fn wide_graph() -> (RtGraph, KernelLibrary) {
     (graph, lib)
 }
 
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
 fn bench_workload(
     rows: &mut Vec<Row>,
     workload: &'static str,
@@ -94,19 +109,20 @@ fn bench_workload(
         },
     );
     let wall = started.elapsed();
-    // Same currency as RtReport::tokens — values actually pushed into
-    // buffers — so the sim and runtime rows are directly comparable.
+    // Same currency as the runtime reports — values actually pushed into
+    // buffers — so every row is directly comparable.
     let tokens = metrics.tokens_written;
     rows.push(Row {
         workload,
-        engine: "oil-sim".to_string(),
+        engine_mode: "sim",
+        threads: 1,
         virtual_s,
         wall_ms: wall.as_secs_f64() * 1e3,
         tokens,
         tokens_per_wall_s: tokens as f64 / wall.as_secs_f64(),
     });
 
-    for threads in [1usize, 2, 4] {
+    for threads in THREAD_SWEEP {
         let report = execute(
             graph,
             lib,
@@ -119,11 +135,40 @@ fn bench_workload(
         );
         assert!(
             report.meets_real_time_constraints(),
-            "{workload}: runtime missed constraints at {threads} threads"
+            "{workload}: calendar engine missed constraints at {threads} threads"
         );
         rows.push(Row {
             workload,
-            engine: format!("oil-rt/{threads}"),
+            engine_mode: "calendar",
+            threads,
+            virtual_s,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            tokens: report.tokens,
+            tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+        });
+    }
+
+    let plan = rtgraph::plan(graph);
+    for threads in THREAD_SWEEP {
+        let report = execute_selftimed(
+            graph,
+            &plan,
+            lib,
+            picos(virtual_s),
+            &SelfTimedConfig {
+                threads,
+                record_values: false,
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert!(
+            !report.deadlocked,
+            "{workload}: self-timed engine deadlocked at {threads} threads"
+        );
+        rows.push(Row {
+            workload,
+            engine_mode: "selftimed",
+            threads,
             virtual_s,
             wall_ms: report.wall.as_secs_f64() * 1e3,
             tokens: report.tokens,
@@ -143,25 +188,40 @@ fn main() {
     bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s);
 
     println!(
-        "\n{:<8} {:<10} {:>10} {:>12} {:>12} {:>16}",
-        "workload", "engine", "virtual s", "wall ms", "tokens", "tokens/wall-s"
+        "\n{:<8} {:<10} {:>7} {:>10} {:>12} {:>12} {:>16}",
+        "workload", "engine", "threads", "virtual s", "wall ms", "tokens", "tokens/wall-s"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<10} {:>10.4} {:>12.2} {:>12} {:>16.0}",
-            r.workload, r.engine, r.virtual_s, r.wall_ms, r.tokens, r.tokens_per_wall_s
+            "{:<8} {:<10} {:>7} {:>10.4} {:>12.2} {:>12} {:>16.0}",
+            r.workload,
+            r.engine_mode,
+            r.threads,
+            r.virtual_s,
+            r.wall_ms,
+            r.tokens,
+            r.tokens_per_wall_s
         );
     }
 
-    // Machine-readable results at the workspace root.
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    // Machine-readable results at the workspace root (schema v2: engine
+    // rows carry an explicit mode + thread count; v1 had a fused
+    // "oil-rt/N" engine string and no schema marker).
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"virtual_seconds\": {}, \
-             \"wall_ms\": {:.3}, \"tokens\": {}, \"tokens_per_wall_second\": {:.0}}}{}",
+            "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \"threads\": {}, \
+             \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
+             \"tokens_per_wall_second\": {:.0}}}{}",
             r.workload,
-            r.engine,
+            r.engine_mode,
+            r.threads,
             r.virtual_s,
             r.wall_ms,
             r.tokens,

@@ -27,8 +27,9 @@
 
 use crate::pipeline::CompiledProgram;
 use oil_dataflow::define_index_type;
-use oil_dataflow::index::IndexVec;
+use oil_dataflow::index::{Idx, IndexVec};
 use oil_dataflow::taskgraph::BufferId;
+use oil_dataflow::unionfind::UnionFind;
 use oil_dataflow::{ChannelId, Rational};
 use oil_lang::sema::{ChannelKind, InstanceId};
 use oil_lang::FunctionRegistry;
@@ -420,6 +421,299 @@ fn period_seconds(rate_hz: f64) -> Rational {
     Rational::from_f64(rate_hz).recip()
 }
 
+// ---------------------------------------------------------------------------
+// The batching / conformance plan: scheduling metadata for self-timed
+// execution.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on planned batch sizes. Batching amortises per-wakeup
+/// scheduling overhead; beyond this the latency/buffer-pressure cost of a
+/// long burst outweighs the amortisation.
+pub const MAX_BATCH: u32 = 64;
+
+/// Scheduling metadata for the self-timed engine (`oil-rt::selftimed`),
+/// computed once per graph by [`plan`].
+///
+/// * **Batch sizes** come from the repetition vector of the graph's SDF
+///   view: an actor that fires 200× per graph iteration (e.g. the PAL RF
+///   front end against the 32 kHz audio sink) is allowed up to
+///   [`MAX_BATCH`] firings per wakeup, so a fast node does not pay one
+///   scheduler round-trip per token.
+/// * **Serial clusters** restore Kahn-process-network determinism where the
+///   lowering produced *contested* buffers (two producers or two consumers
+///   on one buffer — the task extraction creates these for modal `if`/
+///   `switch` statements, whose branch tasks share their input and output
+///   variables). All nodes contending on a buffer are grouped into one
+///   cluster, executed serially by one owner with a fixed lowest-id-first
+///   preference — the same preference the calendar engine's id-ordered
+///   admission scan applies.
+/// * **KPN safety**: a graph with no clusters is a true Kahn process
+///   network (every buffer single-producer/single-consumer), for which
+///   per-buffer value streams are *schedule-invariant* — the property the
+///   rate-conformance harness turns into a bit-identity oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtPlan {
+    /// Firings allowed per wakeup, per node (clustered nodes are pinned
+    /// to 1).
+    pub batch: IndexVec<RtNodeId, u32>,
+    /// Samples allowed per wakeup, per source.
+    pub source_batch: IndexVec<RtSourceId, u32>,
+    /// Values drained per wakeup, per sink.
+    pub sink_batch: IndexVec<RtSinkId, u32>,
+    /// Serial clusters (each with ≥ 2 members, in ascending node order).
+    pub clusters: Vec<Vec<RtNodeId>>,
+    /// The cluster a node belongs to, if any.
+    pub cluster_of: IndexVec<RtNodeId, Option<u32>>,
+    /// Buffers no node or sink ever reads (the writer still commits into
+    /// them; a self-timed engine may drain them instead of blocking).
+    pub unread: IndexVec<RtBufferId, bool>,
+    /// Buffers whose value streams are **schedule-invariant**: not written
+    /// by a clustered node and not (transitively) downstream of one. A
+    /// contested merge resolves by arrival order, so everything it feeds
+    /// can legitimately differ between a clock-replaying and a free-running
+    /// schedule; every other stream is pinned bit-for-bit by KPN
+    /// determinism. On a KPN-safe graph every buffer is invariant.
+    pub invariant: IndexVec<RtBufferId, bool>,
+}
+
+impl RtPlan {
+    /// True when the graph is a Kahn process network: every buffer has at
+    /// most one producer and one consumer, so per-buffer value streams are
+    /// schedule-invariant and the full bit-identity oracle applies.
+    pub fn is_kpn_safe(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+/// Compute the self-timed scheduling plan of a runtime graph.
+pub fn plan(graph: &RtGraph) -> RtPlan {
+    let n_buffers = graph.buffers.len();
+    let n_nodes = graph.nodes.len();
+
+    // Producers/consumers per buffer, deduplicated per node (a node writing
+    // one buffer through two ports is still a single producer).
+    let mut producers: IndexVec<RtBufferId, Vec<RtNodeId>> =
+        IndexVec::from_elem(Vec::new(), n_buffers);
+    let mut consumers: IndexVec<RtBufferId, Vec<RtNodeId>> =
+        IndexVec::from_elem(Vec::new(), n_buffers);
+    let mut source_writes: IndexVec<RtBufferId, bool> = IndexVec::from_elem(false, n_buffers);
+    let mut sink_reads: IndexVec<RtBufferId, bool> = IndexVec::from_elem(false, n_buffers);
+    for (ni, n) in graph.nodes.iter_enumerated() {
+        for &(b, _) in &n.reads {
+            if consumers[b].last() != Some(&ni) {
+                consumers[b].push(ni);
+            }
+        }
+        for &(b, _) in &n.writes {
+            if producers[b].last() != Some(&ni) {
+                producers[b].push(ni);
+            }
+        }
+    }
+    for s in graph.sources.iter() {
+        for &b in &s.outputs {
+            source_writes[b] = true;
+        }
+    }
+    for s in graph.sinks.iter() {
+        sink_reads[s.input] = true;
+    }
+
+    let unread: IndexVec<RtBufferId, bool> = graph
+        .buffers
+        .indices()
+        .map(|b| consumers[b].is_empty() && !sink_reads[b])
+        .collect::<Vec<_>>()
+        .into();
+
+    // Serial clusters: union-find over nodes contending on a buffer
+    // endpoint. (Sources and sinks never contend with nodes: source
+    // channels have no writing instance and each sink drains a dedicated
+    // replica buffer.)
+    let mut uf = UnionFind::new(n_nodes);
+    let mut contested: IndexVec<RtBufferId, bool> = IndexVec::from_elem(false, n_buffers);
+    for b in graph.buffers.indices() {
+        debug_assert!(
+            !source_writes[b] || producers[b].is_empty(),
+            "a source and a node cannot share a buffer's producer side"
+        );
+        if producers[b].len() > 1 {
+            contested[b] = true;
+            for w in producers[b].windows(2) {
+                uf.union(w[0].index(), w[1].index());
+            }
+        }
+        if consumers[b].len() > 1 {
+            contested[b] = true;
+            for w in consumers[b].windows(2) {
+                uf.union(w[0].index(), w[1].index());
+            }
+        }
+    }
+    let mut members: BTreeMap<usize, Vec<RtNodeId>> = BTreeMap::new();
+    for ni in graph.nodes.indices() {
+        members.entry(uf.find(ni.index())).or_default().push(ni);
+    }
+    let mut clusters: Vec<Vec<RtNodeId>> = Vec::new();
+    let mut cluster_of: IndexVec<RtNodeId, Option<u32>> = IndexVec::from_elem(None, n_nodes);
+    for (_, group) in members {
+        if group.len() < 2 {
+            continue;
+        }
+        let id = clusters.len() as u32;
+        for &ni in &group {
+            cluster_of[ni] = Some(id);
+        }
+        clusters.push(group);
+    }
+
+    // Batch sizes from the repetition vector of the SDF view. Only
+    // uncontested, read buffers become edges; contested buffers would need a
+    // multi-producer edge SDF cannot express (their nodes are serialised
+    // anyway), and unread buffers impose no rate constraint.
+    use oil_dataflow::sdf::SdfGraph;
+    let mut sdf = SdfGraph::new();
+    let node_actor: Vec<_> = graph
+        .nodes
+        .iter()
+        .map(|n| sdf.add_actor(n.name.clone(), 0.0))
+        .collect();
+    let source_actor: Vec<_> = graph
+        .sources
+        .iter()
+        .map(|s| sdf.add_actor(s.name.clone(), 0.0))
+        .collect();
+    let sink_actor: Vec<_> = graph
+        .sinks
+        .iter()
+        .map(|s| sdf.add_actor(s.name.clone(), 0.0))
+        .collect();
+    let port_count = |ports: &[(RtBufferId, usize)], b: RtBufferId| -> u64 {
+        ports
+            .iter()
+            .filter(|&&(pb, _)| pb == b)
+            .map(|&(_, c)| c as u64)
+            .sum()
+    };
+    for (bi, buf) in graph.buffers.iter_enumerated() {
+        if contested[bi] || unread[bi] {
+            continue;
+        }
+        let src = if source_writes[bi] {
+            graph
+                .sources
+                .iter_enumerated()
+                .find(|(_, s)| s.outputs.contains(&bi))
+                .map(|(i, _)| (source_actor[i.index()], 1u64))
+        } else {
+            producers[bi].first().map(|&ni| {
+                (
+                    node_actor[ni.index()],
+                    port_count(&graph.nodes[ni].writes, bi),
+                )
+            })
+        };
+        let dst = if sink_reads[bi] {
+            graph
+                .sinks
+                .iter_enumerated()
+                .find(|(_, s)| s.input == bi)
+                .map(|(i, _)| (sink_actor[i.index()], 1u64))
+        } else {
+            consumers[bi].first().map(|&ni| {
+                (
+                    node_actor[ni.index()],
+                    port_count(&graph.nodes[ni].reads, bi),
+                )
+            })
+        };
+        if let (Some((sa, prod)), Some((da, cons))) = (src, dst) {
+            if prod > 0 && cons > 0 {
+                sdf.add_named_edge(&buf.name, sa, da, prod, cons, buf.initial_tokens as u64);
+            }
+        }
+    }
+    let q = sdf.repetition_vector().ok();
+    let batch_of = |actor: oil_dataflow::index::ActorId| -> u32 {
+        match &q {
+            Some(q) => u32::try_from(q[actor])
+                .unwrap_or(MAX_BATCH)
+                .clamp(1, MAX_BATCH),
+            None => 1,
+        }
+    };
+    let batch: IndexVec<RtNodeId, u32> = graph
+        .nodes
+        .indices()
+        .map(|ni| {
+            if cluster_of[ni].is_some() {
+                1
+            } else {
+                batch_of(node_actor[ni.index()])
+            }
+        })
+        .collect::<Vec<_>>()
+        .into();
+    let source_batch: IndexVec<RtSourceId, u32> = graph
+        .sources
+        .indices()
+        .map(|i| batch_of(source_actor[i.index()]))
+        .collect::<Vec<_>>()
+        .into();
+    let sink_batch: IndexVec<RtSinkId, u32> = graph
+        .sinks
+        .indices()
+        .map(|i| batch_of(sink_actor[i.index()]))
+        .collect::<Vec<_>>()
+        .into();
+
+    // Schedule-invariance taint: a clustered node's outputs resolve by a
+    // serialisation policy, and anything computed from them inherits the
+    // dependence. Fixpoint over node taint → buffer taint.
+    let mut node_tainted: IndexVec<RtNodeId, bool> = graph
+        .nodes
+        .indices()
+        .map(|ni| cluster_of[ni].is_some())
+        .collect::<Vec<_>>()
+        .into();
+    let mut buffer_tainted: IndexVec<RtBufferId, bool> = IndexVec::from_elem(false, n_buffers);
+    loop {
+        let mut changed = false;
+        for (ni, n) in graph.nodes.iter_enumerated() {
+            if node_tainted[ni] {
+                for &(b, _) in &n.writes {
+                    if !buffer_tainted[b] {
+                        buffer_tainted[b] = true;
+                        changed = true;
+                    }
+                }
+            } else if n.reads.iter().any(|&(b, _)| buffer_tainted[b]) {
+                node_tainted[ni] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let invariant: IndexVec<RtBufferId, bool> = graph
+        .buffers
+        .indices()
+        .map(|b| !buffer_tainted[b])
+        .collect::<Vec<_>>()
+        .into();
+
+    RtPlan {
+        batch,
+        source_batch,
+        sink_batch,
+        clusters,
+        cluster_of,
+        unread,
+        invariant,
+    }
+}
+
 fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: ChannelId) -> usize {
     let graph = &compiled.analyzed.graph;
     let Some(writer) = graph.channels[channel].writer else {
@@ -529,6 +823,96 @@ mod tests {
             .find(|b| b.name.ends_with(".y"))
             .expect("channel y");
         assert_eq!(y.initial_tokens, 4);
+    }
+
+    #[test]
+    fn plan_groups_modal_twins_into_one_cluster() {
+        let src = r#"
+            mod seq S(int a, out int b){
+                loop{ if(...){ t = f(a:2); } else { t = g(a:2); } init(t, out b); } while(1);
+            }
+            mod par D(){
+                source int x = src() @ 2 kHz;
+                sink int y = snk() @ 1 kHz;
+                S(x, out y)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        let p = plan(&rt);
+        // The two branch tasks contend on the shared input replica and the
+        // shared local `t`; the downstream task stays independent.
+        assert!(!p.is_kpn_safe());
+        assert_eq!(p.clusters.len(), 1);
+        assert_eq!(p.clusters[0].len(), 2);
+        for &ni in &p.clusters[0] {
+            assert_eq!(p.batch[ni], 1, "clustered nodes must not batch");
+        }
+        let free: Vec<RtNodeId> = rt
+            .nodes
+            .indices()
+            .filter(|&ni| p.cluster_of[ni].is_none())
+            .collect();
+        assert_eq!(free.len(), 1);
+        // Taint: the cluster's output `t` and everything downstream of it
+        // (the sink channel `y`) are schedule-dependent; the source channel
+        // replica the twins only *read* stays invariant.
+        let by_name = |suffix: &str| {
+            rt.buffers
+                .iter_enumerated()
+                .find(|(_, b)| b.name.ends_with(suffix))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert!(p.invariant[by_name(".x")], "{:?}", rt.buffers);
+        assert!(!p.invariant[by_name(".t")]);
+        assert!(!p.invariant[by_name(".y")]);
+    }
+
+    #[test]
+    fn plan_batches_follow_the_repetition_vector() {
+        // An 8:1 downsampling chain: the upstream node fires 8× per graph
+        // iteration and gets a proportionally larger batch.
+        let src = r#"
+            mod seq F(int a, out int b){ loop{ f(a, out b); } while(1); }
+            mod seq Down(int a, out int b){ loop{ g(a:8, out b); } while(1); }
+            mod par D(){
+                fifo int m;
+                source int x = src() @ 8 kHz;
+                sink int y = snk() @ 1 kHz;
+                F(x, out m) || Down(m, out y)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        let p = plan(&rt);
+        assert!(p.is_kpn_safe());
+        assert!(p.invariant.iter().all(|&i| i), "KPN ⇒ all invariant");
+        let fast = rt.nodes.indices().next().unwrap();
+        let slow = rt.nodes.indices().nth(1).unwrap();
+        assert_eq!(p.batch[fast], 8, "{:?}", p.batch);
+        assert_eq!(p.batch[slow], 1);
+        assert_eq!(p.source_batch.iter().copied().max(), Some(8));
+        assert_eq!(p.sink_batch.iter().next().copied(), Some(1));
+    }
+
+    #[test]
+    fn plan_clamps_batches_and_flags_unread_buffers() {
+        let src = r#"
+            mod seq F(int a, out int b){ loop{ f(a:200, out b); } while(1); }
+            mod par D(){
+                source int x = src() @ 200 kHz;
+                sink int y = snk() @ 1 kHz;
+                F(x, out y)
+            }
+        "#;
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let rt = lower(&compiled);
+        let p = plan(&rt);
+        // The source fires 200× per iteration but batches are clamped.
+        assert_eq!(p.source_batch.iter().next().copied(), Some(MAX_BATCH));
+        assert!(p.batch.iter().all(|&b| (1..=MAX_BATCH).contains(&b)));
+        assert!(p.unread.iter().all(|&u| !u), "all buffers are read here");
     }
 
     #[test]

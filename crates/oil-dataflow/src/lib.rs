@@ -36,6 +36,7 @@ pub mod rational;
 pub mod sdf;
 pub mod statespace;
 pub mod taskgraph;
+pub mod unionfind;
 
 pub use buffer::CircularBuffer;
 pub use csdf::CsdfGraph;

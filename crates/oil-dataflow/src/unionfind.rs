@@ -1,0 +1,82 @@
+//! A minimal union-find (disjoint-set) over `0..n`.
+//!
+//! Used wherever a pass groups graph elements by shared structure — e.g.
+//! the runtime-graph plan's serial clusters (nodes contending on a buffer)
+//! and the self-timed engine's worker partition (weakly-connected
+//! components). Roots are canonicalised to the **smallest** member of a
+//! set, so grouping by root yields deterministic, id-ordered
+//! representatives.
+
+/// Disjoint sets over the indices `0..n`, with path compression and
+/// min-element roots.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// The canonical (smallest) member of `i`'s set.
+    pub fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut at = i;
+        while self.parent[at] != root {
+            let next = self.parent[at];
+            self.parent[at] = root;
+            at = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; the smaller root wins, keeping the
+    /// canonical member the minimum of the merged set.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when tracking no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_minimal_members() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 5);
+        uf.union(1, 3);
+        assert_eq!(uf.find(5), 2);
+        assert_eq!(uf.find(4), 2);
+        assert_eq!(uf.find(3), 1);
+        assert_eq!(uf.find(0), 0);
+        // Merging two sets keeps the global minimum as the root.
+        uf.union(3, 4);
+        for i in [1, 2, 3, 4, 5] {
+            assert_eq!(uf.find(i), 1);
+        }
+        assert_eq!(uf.len(), 6);
+        assert!(!uf.is_empty());
+    }
+}

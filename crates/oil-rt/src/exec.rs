@@ -29,6 +29,7 @@
 //! of generated programs at 1, 2 and N threads.
 
 use crate::kernel::{Kernel, KernelLibrary};
+use crate::measure::{BufferValues, ValueTrace};
 use crate::pool::WorkStealingPool;
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtSinkId, RtSourceId};
@@ -98,6 +99,10 @@ pub struct RtReport {
     /// The observable trace (buffer pushes only when
     /// [`RtConfig::record_traces`]; source/sink counters always).
     pub trace: ExecutionTrace,
+    /// Per-buffer value streams (recorded when [`RtConfig::record_traces`]).
+    /// For KPN-safe graphs these are schedule-invariant, so this is the
+    /// reference the self-timed engine's prefix oracle compares against.
+    pub values: ValueTrace,
     /// Per node: (name, completed firings).
     pub node_firings: Vec<(String, u64)>,
     /// Per buffer: (name, physical capacity, max occupancy). The physical
@@ -295,6 +300,14 @@ pub fn execute(
     let mut producers: Vec<Producer<Token>> = Vec::with_capacity(n_buffers);
     let mut consumers: Vec<Consumer<Token>> = Vec::with_capacity(n_buffers);
     let mut pushes: Vec<Vec<Picos>> = vec![Vec::new(); n_buffers];
+    let mut values: Vec<BufferValues> = graph
+        .buffers
+        .iter()
+        .map(|b| BufferValues {
+            name: b.name.clone(),
+            ..Default::default()
+        })
+        .collect();
     let mut max_occupancy: Vec<usize> = vec![0; n_buffers];
     let mut tokens_pushed: u64 = 0;
     for (i, b) in graph.buffers.iter().enumerate() {
@@ -307,6 +320,7 @@ pub fn execute(
             .expect("initial tokens fit the capacity");
             if config.record_traces {
                 pushes[i].push(0);
+                values[i].record(0.0);
             }
             tokens_pushed += 1;
         }
@@ -345,9 +359,10 @@ pub fn execute(
                     let mut pending: Option<f64> = None;
                     while !stop.load(Ordering::Relaxed) {
                         let v = pending.take().unwrap_or_else(|| kernel.next_sample());
-                        if let Err(back) = tx.push(v) {
+                        // Blocking backpressure: spin briefly, then park
+                        // until the scheduler drains a sample (or shutdown).
+                        if let Err(back) = tx.push_wait(v, || stop.load(Ordering::Relaxed)) {
                             pending = Some(back);
-                            std::thread::yield_now();
                         }
                     }
                 })
@@ -372,7 +387,7 @@ pub fn execute(
                         values: Vec::new(),
                     };
                     loop {
-                        match rx.pop() {
+                        match rx.pop_wait(|| stop.load(Ordering::Relaxed)) {
                             Some(sample) => {
                                 collect.consumed += 1;
                                 collect.max_latency_ps = collect
@@ -383,10 +398,18 @@ pub fn execute(
                                 }
                             }
                             None => {
-                                if stop.load(Ordering::Relaxed) && rx.is_empty() {
-                                    return collect;
+                                // Aborted: the scheduler stopped. Drain what
+                                // is still buffered, then return.
+                                while let Some(sample) = rx.pop() {
+                                    collect.consumed += 1;
+                                    collect.max_latency_ps = collect
+                                        .max_latency_ps
+                                        .max(sample.at.saturating_sub(sample.origin));
+                                    if collect.values.len() < SINK_STREAM_CAP {
+                                        collect.values.push(sample.value);
+                                    }
                                 }
-                                std::thread::yield_now();
+                                return collect;
                             }
                         }
                     }
@@ -455,6 +478,7 @@ pub fn execute(
             max_occupancy[b] = max_occupancy[b].max(producers[b].len());
             if config.record_traces {
                 pushes[b].push(token.origin);
+                values[b].record(token.value);
             }
             tokens_pushed += 1;
         }};
@@ -531,19 +555,15 @@ pub fn execute(
                 // ahead; an empty ring just means it has not caught up
                 // yet). A dead generator — its kernel panicked — can never
                 // refill the ring, so fail loudly instead of spinning.
-                let value = loop {
-                    match source_feeds[i.index()].pop() {
-                        Some(v) => break v,
-                        None => {
-                            assert!(
-                                source_alive[i.index()].load(Ordering::SeqCst),
-                                "source kernel of `{}` panicked; its generator thread is gone",
-                                graph.sources[i].name
-                            );
-                            std::thread::yield_now();
-                        }
-                    }
-                };
+                let alive = &source_alive[i.index()];
+                let value = source_feeds[i.index()]
+                    .pop_wait(|| !alive.load(Ordering::SeqCst))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "source kernel of `{}` panicked; its generator thread is gone",
+                            graph.sources[i].name
+                        )
+                    });
                 for &b in &graph.sources[i].outputs {
                     if declared[b.index()] > producers[b.index()].len() {
                         push_token!(b.index(), Token { origin: now, value });
@@ -560,16 +580,17 @@ pub fn execute(
                 let b = graph.sinks[i].input.index();
                 if let Some(token) = consumers[b].pop() {
                     consumed[i] += 1;
-                    let mut sample = SinkSample {
+                    let sample = SinkSample {
                         origin: token.origin,
                         at: now,
                         value: token.value,
                     };
-                    // The collector drains promptly; spin if it lags.
-                    while let Err(back) = sink_feeds[i.index()].push(sample) {
-                        sample = back;
-                        std::thread::yield_now();
-                    }
+                    // The collector drains promptly; park briefly if it lags
+                    // (it cannot abort: the collector thread outlives the
+                    // scheduler loop by construction).
+                    sink_feeds[i.index()]
+                        .push_wait(sample, || false)
+                        .unwrap_or_else(|_| unreachable!("push_wait without abort cannot fail"));
                 } else if tick_number >= config.warmup_ticks {
                     misses[i] += 1;
                 }
@@ -659,6 +680,13 @@ pub fn execute(
     RtReport {
         threads,
         trace,
+        values: ValueTrace {
+            buffers: if config.record_traces {
+                values
+            } else {
+                Vec::new()
+            },
+        },
         node_firings: graph
             .nodes
             .iter_enumerated()

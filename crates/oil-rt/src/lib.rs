@@ -11,16 +11,23 @@
 //!
 //! Architecture (see the module docs for detail):
 //!
-//! * [`ring`] — lock-free bounded SPSC ring buffers; one per runtime-graph
-//!   buffer (capacity from CTA buffer sizing), plus the source-generator and
+//! * [`ring`] — lock-free bounded SPSC ring buffers with bounded-spin →
+//!   yield → park/unpark blocking wait paths; one per runtime-graph buffer
+//!   (capacity from CTA buffer sizing), plus the source-generator and
 //!   sink-collector conduits;
 //! * [`pool`] — the work-stealing thread pool executing kernel firings;
 //! * [`kernel`] — DSP-backed and synthetic kernels, mapped from coordinated
 //!   function names by a [`KernelLibrary`];
-//! * [`exec`] — the deterministic scheduler: virtual time replayed on a
-//!   `(time, kind, id)`-ordered calendar with the same documented
-//!   tie-breaking rule as the simulator, kernel computation overlapped on
-//!   the pool between a firing's start and completion events.
+//! * [`exec`] — the deterministic **calendar engine**: virtual time
+//!   replayed on a `(time, kind, id)`-ordered calendar with the same
+//!   documented tie-breaking rule as the simulator, kernel computation
+//!   overlapped on the pool between a firing's start and completion events;
+//! * [`selftimed`] — the **free-running engine**: no clock, tasks fire as
+//!   soon as tokens and space allow, batched by the repetition-vector plan
+//!   (`oil_compiler::rtgraph::plan`), verified against the calendar engine
+//!   through the value plane (`tests/selftimed_differential.rs`);
+//! * [`measure`] — per-buffer value-stream traces and wall-clock sink
+//!   throughput vs the CTA-predicted rates (rate conformance).
 //!
 //! The runtime consumes the same [`oil_compiler::rtgraph::RtGraph`] lowering
 //! as the simulator, so differential testing compares *scheduling
@@ -28,12 +35,16 @@
 
 pub mod exec;
 pub mod kernel;
+pub mod measure;
 pub mod pool;
 pub mod ring;
+pub mod selftimed;
 
 pub use exec::{env_threads, execute, RtConfig, RtReport, SinkStream};
 pub use kernel::{Kernel, KernelLibrary, SourceKernel};
+pub use measure::{RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 pub use pool::WorkStealingPool;
+pub use selftimed::{execute_selftimed, SelfTimedConfig, SelfTimedReport};
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,65 @@
 //! Lamport ring: a power-free array indexed by two monotonically increasing
 //! counters, where the producer only writes `tail` and the consumer only
 //! writes `head`, so a release store on one side paired with an acquire load
-//! on the other is the entire synchronisation protocol — no locks, no CAS.
+//! on the other is the entire synchronisation protocol of the lock-free
+//! `push`/`pop` fast path — no locks, no CAS.
+//!
+//! Endpoints that must *wait* for the other side use [`Producer::push_wait`]
+//! / [`Consumer::pop_wait`]: a bounded spin (cheap when the other side is
+//! actively running), then a bounded run of `yield_now` (oversubscribed
+//! machines), then a park/unpark handshake — a parked waiter costs the
+//! opposite endpoint one atomic load per operation, and an idle wait burns
+//! no CPU, unlike the unbounded `yield_now` loops these paths replace.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Iterations of the hot spin phase of a blocking wait.
+pub const WAIT_SPINS: usize = 64;
+/// Iterations of the `yield_now` phase of a blocking wait before parking.
+pub const WAIT_YIELDS: usize = 16;
+/// Upper bound of one park in a blocking wait. The wake protocol unparks
+/// eagerly; the timeout only bounds the latency of a missed `abort` signal.
+const WAIT_PARK: Duration = Duration::from_micros(200);
+
+/// A registered parked thread waiting for the opposite endpoint to make
+/// room/data. `engaged` is the fast-path gate: the opposite endpoint pays
+/// one relaxed-ish atomic load per operation while nobody waits, and takes
+/// the mutex only to hand the wakeup over.
+#[derive(Default)]
+struct Waiter {
+    engaged: AtomicBool,
+    thread: Mutex<Option<Thread>>,
+}
+
+impl Waiter {
+    /// Register the current thread. Must be followed by a re-check of the
+    /// ring state before parking: a wake between the re-check and the park
+    /// leaves the park token set, so the park returns immediately.
+    fn register(&self) {
+        *self.thread.lock().expect("ring waiter poisoned") = Some(std::thread::current());
+        self.engaged.store(true, Ordering::SeqCst);
+    }
+
+    fn unregister(&self) {
+        self.engaged.store(false, Ordering::SeqCst);
+        self.thread.lock().expect("ring waiter poisoned").take();
+    }
+
+    /// Wake the registered thread, if any.
+    fn wake(&self) {
+        if self.engaged.load(Ordering::SeqCst) {
+            if let Some(t) = self.thread.lock().expect("ring waiter poisoned").take() {
+                self.engaged.store(false, Ordering::SeqCst);
+                t.unpark();
+            }
+        }
+    }
+}
 
 struct Inner<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -20,6 +73,10 @@ struct Inner<T> {
     head: AtomicUsize,
     /// Next slot to push (only advanced by the producer).
     tail: AtomicUsize,
+    /// A consumer parked in [`Consumer::pop_wait`], woken by a push.
+    pop_waiter: Waiter,
+    /// A producer parked in [`Producer::push_wait`], woken by a pop.
+    push_waiter: Waiter,
 }
 
 // Safety: the producer/consumer split guarantees each slot is accessed by at
@@ -42,6 +99,8 @@ pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             .collect(),
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
+        pop_waiter: Waiter::default(),
+        push_waiter: Waiter::default(),
     });
     (
         Producer {
@@ -76,7 +135,52 @@ impl<T> Producer<T> {
         self.inner
             .tail
             .store(tail.wrapping_add(1), Ordering::Release);
+        self.inner.pop_waiter.wake();
         Ok(())
+    }
+
+    /// Push a value, waiting for space: a bounded spin, then a bounded run
+    /// of `yield_now`, then park until the consumer pops (or the park
+    /// timeout re-checks `abort`). Returns the value if `abort` turned true
+    /// while the ring was still full — the wait never spins unboundedly on
+    /// a consumer that is gone.
+    pub fn push_wait(&mut self, value: T, mut abort: impl FnMut() -> bool) -> Result<(), T> {
+        let mut value = value;
+        for _ in 0..WAIT_SPINS {
+            match self.push(value) {
+                Ok(()) => return Ok(()),
+                Err(back) => value = back,
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..WAIT_YIELDS {
+            match self.push(value) {
+                Ok(()) => return Ok(()),
+                Err(back) => value = back,
+            }
+            if abort() {
+                return Err(value);
+            }
+            std::thread::yield_now();
+        }
+        loop {
+            self.inner.push_waiter.register();
+            // Re-check after registering: a pop between the failed push and
+            // the registration would otherwise be a lost wakeup.
+            match self.push(value) {
+                Ok(()) => {
+                    self.inner.push_waiter.unregister();
+                    return Ok(());
+                }
+                Err(back) => value = back,
+            }
+            if abort() {
+                self.inner.push_waiter.unregister();
+                return Err(value);
+            }
+            std::thread::park_timeout(WAIT_PARK);
+            self.inner.push_waiter.unregister();
+        }
     }
 
     /// Number of values currently in the ring.
@@ -118,7 +222,45 @@ impl<T> Consumer<T> {
         self.inner
             .head
             .store(head.wrapping_add(1), Ordering::Release);
+        self.inner.push_waiter.wake();
         Some(value)
+    }
+
+    /// Pop a value, waiting for one to arrive: a bounded spin, then a
+    /// bounded run of `yield_now`, then park until the producer pushes (or
+    /// the park timeout re-checks `abort`). Returns `None` only when
+    /// `abort` turned true while the ring was still empty.
+    pub fn pop_wait(&mut self, mut abort: impl FnMut() -> bool) -> Option<T> {
+        for _ in 0..WAIT_SPINS {
+            if let Some(v) = self.pop() {
+                return Some(v);
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..WAIT_YIELDS {
+            if let Some(v) = self.pop() {
+                return Some(v);
+            }
+            if abort() {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+        loop {
+            self.inner.pop_waiter.register();
+            // Re-check after registering: a push between the failed pop and
+            // the registration would otherwise be a lost wakeup.
+            if let Some(v) = self.pop() {
+                self.inner.pop_waiter.unregister();
+                return Some(v);
+            }
+            if abort() {
+                self.inner.pop_waiter.unregister();
+                return None;
+            }
+            std::thread::park_timeout(WAIT_PARK);
+            self.inner.pop_waiter.unregister();
+        }
     }
 
     /// Number of values currently in the ring.
@@ -212,6 +354,63 @@ mod tests {
         }
         producer.join().unwrap();
         assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn blocking_waits_transfer_without_burning_cpu() {
+        const N: u64 = 50_000;
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                tx.push_wait(i, || false).expect("never aborted");
+            }
+        });
+        for expected in 0..N {
+            assert_eq!(rx.pop_wait(|| false), Some(expected));
+        }
+        producer.join().unwrap();
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_a_late_push() {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        let consumer = thread::spawn(move || rx.pop_wait(|| false));
+        // Sleep well past the spin+yield phases so the consumer parks.
+        thread::sleep(std::time::Duration::from_millis(50));
+        tx.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn parked_producer_is_woken_by_a_late_pop() {
+        let (mut tx, mut rx) = spsc::<u32>(1);
+        tx.push(1).unwrap();
+        let producer = thread::spawn(move || tx.push_wait(2, || false));
+        thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rx.pop(), Some(1));
+        assert!(producer.join().unwrap().is_ok());
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn aborted_waits_hand_the_state_back() {
+        use std::sync::atomic::AtomicBool;
+        let (mut tx, mut rx) = spsc::<u32>(1);
+        assert_eq!(rx.pop_wait(|| true), None, "empty + aborted");
+        tx.push(1).unwrap();
+        assert_eq!(tx.push_wait(2, || true), Err(2), "full + aborted");
+        // An abort flag that flips while parked is honoured promptly.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let consumer = thread::spawn(move || {
+            let mut rx = rx;
+            rx.pop();
+            rx.pop_wait(move || stop2.load(Ordering::SeqCst))
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        stop.store(true, Ordering::SeqCst);
+        assert_eq!(consumer.join().unwrap(), None);
     }
 
     #[test]

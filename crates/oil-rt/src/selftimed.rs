@@ -1,0 +1,1041 @@
+//! The self-timed, free-running execution engine.
+//!
+//! The calendar engine ([`crate::exec`]) proves the *semantics* of parallel
+//! execution: it replays virtual time and is held to bit-identical traces
+//! against the simulator. It also serialises every scheduling decision
+//! through one thread — the price of replaying a clock. This engine drops
+//! the clock entirely and keeps only what the paper's restrictions actually
+//! require for correctness:
+//!
+//! * every task **fires as soon as** its input tokens and output space are
+//!   available — no calendar, no virtual-clock barrier, no response times;
+//! * tokens flow through the same lock-free SPSC rings, with **blocking
+//!   backpressure**: a worker with nothing fireable spins briefly, yields,
+//!   then parks until a peer's firing makes progress possible;
+//! * nodes fire in **batches** (sizes from the repetition-vector pass,
+//!   [`oil_compiler::rtgraph::plan`]), so a node that is 64× faster than
+//!   the graph iteration pays one wakeup per burst, not per token.
+//!
+//! Dropping the clock drops determinism of *timing* but — for Kahn process
+//! networks — not determinism of *values*: a node's k-th firing consumes
+//! exactly tokens `k·c .. k·c+c` of each input stream no matter when it
+//! runs, so per-buffer value streams are schedule-invariant. The lowering
+//! is not always a KPN (modal `if`/`switch` statements produce twin tasks
+//! contending on shared buffers); the plan groups such nodes into *serial
+//! clusters* executed by a single owner with lowest-id-first preference —
+//! the same preference as the calendar engine's id-ordered admission scan —
+//! which keeps the engine deterministic at every thread count.
+//! `tests/selftimed_differential.rs` holds the engine to exactly that: the
+//! calendar reference's value streams are a bit-exact prefix of this
+//! engine's streams on KPN graphs, all streams are thread-count- and
+//! perturbation-invariant, CTA-sized buffers never deadlock, and measured
+//! sink throughput meets the CTA rate-conformance threshold
+//! ([`crate::measure`]).
+//!
+//! **Termination** is a token budget, not a wall clock: each time-triggered
+//! source produces exactly the number of samples the simulator would emit
+//! over the requested virtual horizon, then retires; the pipeline drains;
+//! and a sound quiescence protocol (generation stamp + idle census — the
+//! last worker to go idle verifies that no firing happened since every
+//! sleeping worker's last empty scan) distinguishes completion from
+//! deadlock without any timeout.
+
+use crate::exec::{SinkStream, SINK_STREAM_CAP};
+use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
+use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
+use crate::ring::{self, Consumer, Producer};
+use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
+use oil_dataflow::index::Idx;
+use oil_dataflow::unionfind::UnionFind;
+use oil_sim::Picos;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a self-timed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfTimedConfig {
+    /// Worker threads; `0` uses the machine's available parallelism. The
+    /// engine never spawns more workers than scheduling units.
+    pub threads: usize,
+    /// Record per-buffer value streams (the verification oracle); sink
+    /// streams and counters are always kept.
+    pub record_values: bool,
+    /// Sink samples excluded from the steady-state throughput window.
+    pub warmup_samples: u64,
+    /// Perturbation seed: when set, workers inject random `yield`s and
+    /// short sleeps between firing passes. Value streams must not change —
+    /// the schedule-invariance property test drives this.
+    pub chaos: Option<u64>,
+}
+
+impl Default for SelfTimedConfig {
+    fn default() -> Self {
+        SelfTimedConfig {
+            threads: 0,
+            record_values: true,
+            warmup_samples: 16,
+            chaos: None,
+        }
+    }
+}
+
+/// Everything one self-timed execution observed.
+#[derive(Debug)]
+pub struct SelfTimedReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-buffer value streams (when [`SelfTimedConfig::record_values`]).
+    pub values: ValueTrace,
+    /// Per sink: the output sample streams (`misses` is always 0 — a
+    /// free-running engine has no deadlines, only throughput).
+    pub sinks: Vec<SinkStream>,
+    /// Per sink: measured steady-state throughput vs the CTA-predicted
+    /// rate.
+    pub throughput: Vec<SinkThroughput>,
+    /// Per node: (name, completed firings), in node-id order.
+    pub node_firings: Vec<(String, u64)>,
+    /// Per source: (name, samples generated).
+    pub sources: Vec<(String, u64)>,
+    /// True when the engine quiesced with sources still holding budget:
+    /// nothing was fireable and nothing ever would be.
+    pub deadlocked: bool,
+    /// Total tokens pushed across all buffers (including drained unread
+    /// buffers), the same currency as [`crate::RtReport::tokens`].
+    pub tokens: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Times a worker parked because nothing it owns was fireable.
+    pub parks: u64,
+    /// Serial clusters the plan imposed (0 ⇒ the graph ran as a pure KPN).
+    pub clusters: usize,
+}
+
+impl SelfTimedReport {
+    /// The collected sample stream of a sink (matched by name fragment).
+    pub fn sink_values(&self, name: &str) -> Option<&[f64]> {
+        self.sinks
+            .iter()
+            .find(|s| s.name.contains(name))
+            .map(|s| s.values.as_slice())
+    }
+
+    /// The rate-conformance verdict at `threshold` (see
+    /// [`crate::measure::conformance_threshold`] for the default).
+    pub fn conformance(&self, threshold: f64) -> RateConformance {
+        RateConformance {
+            threshold,
+            sinks: self.throughput.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling units.
+// ---------------------------------------------------------------------------
+
+/// One data-driven node inside a [`Unit::Nodes`] unit.
+struct NodePart {
+    id: RtNodeId,
+    kernel: Kernel,
+    reads: Vec<(usize, usize)>,
+    writes: Vec<(usize, usize)>,
+    out_len: usize,
+    batch: u32,
+    fired: u64,
+}
+
+/// A scheduling unit: owned by exactly one worker, so every buffer endpoint
+/// is touched by one thread and the SPSC contract holds engine-wide.
+enum Unit {
+    /// A single node, or a serial cluster in ascending id order.
+    Nodes(Vec<NodePart>),
+    /// A time-triggered source, free-running against its sample budget.
+    Source {
+        id: RtSourceId,
+        kernel: SourceKernel,
+        outputs: Vec<usize>,
+        budget: u64,
+        generated: u64,
+        batch: u32,
+    },
+    /// A sink, draining its input as fast as tokens arrive.
+    Sink {
+        id: RtSinkId,
+        input: usize,
+        batch: u32,
+        consumed: u64,
+        values: Vec<f64>,
+        meter: ThroughputMeter,
+    },
+}
+
+/// The buffer plumbing a worker owns: sparse per-buffer endpoint and
+/// recorder slots (a slot is `Some` exactly when one of the worker's units
+/// is that buffer's producer/consumer).
+struct WorkerBufs {
+    prods: Vec<Option<Producer<f64>>>,
+    cons: Vec<Option<Consumer<f64>>>,
+    recorders: Vec<Option<BufferValues>>,
+    /// Declared (CTA-sized) capacities, shared read-only.
+    declared: Arc<Vec<usize>>,
+    /// Buffers nobody reads: the writer's commits are recorded and dropped
+    /// instead of accumulating until they block the writer.
+    unread: Arc<Vec<bool>>,
+    record_values: bool,
+    tokens: u64,
+    scratch: Vec<f64>,
+}
+
+impl WorkerBufs {
+    /// Free slots in `b`, from the producing side (`usize::MAX` for drained
+    /// unread buffers).
+    fn space_count(&self, b: usize) -> usize {
+        if self.unread[b] {
+            return usize::MAX;
+        }
+        let p = self.prods[b].as_ref().expect("producer endpoint is owned");
+        self.declared[b].saturating_sub(p.len())
+    }
+
+    /// Buffered values in `b`, from the consuming side.
+    fn available_count(&self, b: usize) -> usize {
+        self.cons[b]
+            .as_ref()
+            .expect("consumer endpoint is owned")
+            .len()
+    }
+
+    fn space_for(&self, b: usize, c: usize) -> bool {
+        self.space_count(b) >= c
+    }
+
+    fn available(&self, b: usize, c: usize) -> bool {
+        self.available_count(b) >= c
+    }
+
+    fn commit(&mut self, b: usize, value: f64) {
+        if !self.unread[b] {
+            self.prods[b]
+                .as_mut()
+                .expect("producer endpoint is owned")
+                .push(value)
+                .expect("space was checked before the firing");
+        }
+        if self.record_values {
+            if let Some(r) = self.recorders[b].as_mut() {
+                r.record(value);
+            }
+        }
+        self.tokens += 1;
+    }
+}
+
+/// Shared worker coordination: progress stamp, idle census, verdict.
+struct Control {
+    /// Bumped once per firing pass that made progress (after its pushes).
+    gen: AtomicU64,
+    /// Workers registered as idle (nothing fireable at their stamp).
+    idle: AtomicUsize,
+    done: AtomicBool,
+    deadlocked: AtomicBool,
+    /// Sources still holding sample budget.
+    sources_open: AtomicUsize,
+    parks: AtomicU64,
+    threads: usize,
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Control {
+    /// Publish progress: wake parked peers whose inputs may now be ready.
+    fn progress(&self) {
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            let _guard = self.m.lock().expect("control mutex poisoned");
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A tiny SplitMix64 for perturbation injection.
+struct Chaos(u64);
+
+impl Chaos {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn perturb(&mut self) {
+        match self.next() % 128 {
+            0 => std::thread::sleep(Duration::from_micros(50)),
+            1..=15 => std::thread::yield_now(),
+            _ => {}
+        }
+    }
+}
+
+/// Fire one scheduling unit as far as its batch allows. Returns true if at
+/// least one firing happened.
+fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
+    match unit {
+        Unit::Nodes(parts) => {
+            // Serial cluster discipline: at every step the lowest-id
+            // fireable member wins — twin tasks with identical needs
+            // starve deterministically, exactly like the calendar
+            // engine's id-ordered admission scan. Readiness of all members
+            // is judged against ONE per-buffer level snapshot: evaluating
+            // members sequentially against the live rings would let a peer
+            // worker's concurrent push/pop flip a later twin to ready after
+            // an earlier identical twin was judged blocked, and the merge
+            // order (hence the value streams) would depend on timing.
+            let batch = if parts.len() == 1 { parts[0].batch } else { 1 };
+            let clustered = parts.len() > 1;
+            let mut avail_levels: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut space_levels: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut fired = false;
+            'burst: for _ in 0..batch {
+                if clustered {
+                    avail_levels.clear();
+                    space_levels.clear();
+                    for part in parts.iter() {
+                        for &(b, _) in &part.reads {
+                            avail_levels
+                                .entry(b)
+                                .or_insert_with(|| w.available_count(b));
+                        }
+                        for &(b, _) in &part.writes {
+                            space_levels.entry(b).or_insert_with(|| w.space_count(b));
+                        }
+                    }
+                }
+                for part in parts.iter_mut() {
+                    let ready = if clustered {
+                        part.reads.iter().all(|&(b, c)| avail_levels[&b] >= c)
+                            && part.writes.iter().all(|&(b, c)| space_levels[&b] >= c)
+                    } else {
+                        part.reads.iter().all(|&(b, c)| w.available(b, c))
+                            && part.writes.iter().all(|&(b, c)| w.space_for(b, c))
+                    };
+                    if !ready {
+                        continue;
+                    }
+                    w.scratch.clear();
+                    for &(b, c) in &part.reads {
+                        let rx = w.cons[b].as_mut().expect("consumer endpoint is owned");
+                        for _ in 0..c {
+                            w.scratch
+                                .push(rx.pop().expect("occupancy was checked above"));
+                        }
+                    }
+                    let inputs = std::mem::take(&mut w.scratch);
+                    let outputs = part.kernel.fire(&inputs, part.out_len);
+                    w.scratch = inputs;
+                    for &(b, c) in &part.writes {
+                        for k in 0..c {
+                            w.commit(b, outputs.get(k).copied().unwrap_or(0.0));
+                        }
+                    }
+                    part.fired += 1;
+                    fired = true;
+                    continue 'burst;
+                }
+                break;
+            }
+            fired
+        }
+        Unit::Source {
+            kernel,
+            outputs,
+            budget,
+            generated,
+            batch,
+            ..
+        } => {
+            let mut fired = false;
+            for _ in 0..*batch {
+                if *budget == 0 {
+                    break;
+                }
+                // Blocking backpressure: a source sample is broadcast to
+                // every replica atomically, so it waits until all of them
+                // have room (the calendar engine drops and counts an
+                // overflow instead; accepted programs overflow in neither).
+                if !outputs.iter().all(|&b| w.space_for(b, 1)) {
+                    break;
+                }
+                let v = kernel.next_sample();
+                for &b in outputs.iter() {
+                    w.commit(b, v);
+                }
+                *generated += 1;
+                *budget -= 1;
+                if *budget == 0 {
+                    control.sources_open.fetch_sub(1, Ordering::SeqCst);
+                }
+                fired = true;
+            }
+            fired
+        }
+        Unit::Sink {
+            input,
+            batch,
+            consumed,
+            values,
+            meter,
+            ..
+        } => {
+            let mut fired = false;
+            for _ in 0..(*batch).max(8) {
+                let Some(v) = w.cons[*input]
+                    .as_mut()
+                    .expect("sink input endpoint is owned")
+                    .pop()
+                else {
+                    break;
+                };
+                *consumed += 1;
+                meter.record();
+                if values.len() < SINK_STREAM_CAP {
+                    values.push(v);
+                }
+                fired = true;
+            }
+            fired
+        }
+    }
+}
+
+/// What one worker hands back after the run.
+struct WorkerOut {
+    units: Vec<Unit>,
+    recorders: Vec<Option<BufferValues>>,
+    tokens: u64,
+}
+
+/// Extra empty-scan → rescan rounds (with a `yield_now` between) before a
+/// worker parks.
+const IDLE_RESCANS: usize = 2;
+
+fn worker_loop(
+    mut units: Vec<Unit>,
+    mut bufs: WorkerBufs,
+    control: &Control,
+    chaos: Option<u64>,
+) -> WorkerOut {
+    let mut chaos = chaos.map(Chaos);
+    'main: while !control.done.load(Ordering::SeqCst) {
+        let scan = |units: &mut Vec<Unit>, bufs: &mut WorkerBufs| -> bool {
+            let mut fired = false;
+            for unit in units.iter_mut() {
+                fired |= run_unit(unit, bufs, control);
+            }
+            fired
+        };
+        if scan(&mut units, &mut bufs) {
+            control.progress();
+            if let Some(c) = chaos.as_mut() {
+                c.perturb();
+            }
+            continue;
+        }
+        // Bounded spin: nothing fireable right now; give actively running
+        // peers a moment before paying the park round-trip.
+        for _ in 0..IDLE_RESCANS {
+            std::thread::yield_now();
+            if scan(&mut units, &mut bufs) {
+                control.progress();
+                continue 'main;
+            }
+        }
+        // Park. The stamp `g0` is read before the verification scan, so
+        // "idle at g0" certifies: nothing I own was fireable as of every
+        // firing published up to generation g0.
+        let g0 = control.gen.load(Ordering::SeqCst);
+        if scan(&mut units, &mut bufs) {
+            control.progress();
+            continue;
+        }
+        let mut guard = control.m.lock().expect("control mutex poisoned");
+        if control.gen.load(Ordering::SeqCst) != g0 || control.done.load(Ordering::SeqCst) {
+            continue;
+        }
+        let idle = control.idle.fetch_add(1, Ordering::SeqCst) + 1;
+        if idle == control.threads {
+            // Idle census complete: every worker certified an empty scan at
+            // the current generation and none is running — a global
+            // fixpoint. With retired sources that is successful completion;
+            // with budget left it is a deadlock (and can only be one:
+            // nothing will ever fire again).
+            if control.sources_open.load(Ordering::SeqCst) > 0 {
+                control.deadlocked.store(true, Ordering::SeqCst);
+            }
+            control.done.store(true, Ordering::SeqCst);
+            control.idle.fetch_sub(1, Ordering::SeqCst);
+            control.cv.notify_all();
+            drop(guard);
+            break;
+        }
+        control.parks.fetch_add(1, Ordering::Relaxed);
+        while control.gen.load(Ordering::SeqCst) == g0 && !control.done.load(Ordering::SeqCst) {
+            guard = control.cv.wait(guard).expect("control mutex poisoned");
+        }
+        control.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+    WorkerOut {
+        units,
+        recorders: bufs.recorders,
+        tokens: bufs.tokens,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Setup: units, partition, endpoints.
+// ---------------------------------------------------------------------------
+
+/// Execute `graph` self-timed: sources produce the samples of `duration`
+/// picoseconds of virtual time (the same count the simulator would emit),
+/// everything downstream runs as fast as the hardware allows, and the
+/// engine returns once the pipeline has drained.
+///
+/// # Panics
+/// Panics if `plan` was computed for a different graph.
+pub fn execute_selftimed(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &SelfTimedConfig,
+) -> SelfTimedReport {
+    assert_eq!(plan.batch.len(), graph.nodes.len(), "plan/graph mismatch");
+    let started = Instant::now();
+    let n_buffers = graph.buffers.len();
+
+    // --- Buffers: declared capacities, rings, initial tokens, recorders.
+    let declared: Arc<Vec<usize>> = Arc::new(
+        graph
+            .buffers
+            .iter()
+            .map(|b| b.capacity.max(b.initial_tokens).max(1))
+            .collect(),
+    );
+    let unread: Arc<Vec<bool>> = Arc::new(plan.unread.iter().copied().collect());
+    let mut producers: Vec<Option<Producer<f64>>> = Vec::with_capacity(n_buffers);
+    let mut consumers: Vec<Option<Consumer<f64>>> = Vec::with_capacity(n_buffers);
+    let mut recorders: Vec<Option<BufferValues>> = Vec::with_capacity(n_buffers);
+    let mut setup_tokens: u64 = 0;
+    for (i, b) in graph.buffers.iter().enumerate() {
+        let mut recorder = BufferValues {
+            name: b.name.clone(),
+            ..Default::default()
+        };
+        if unread[i] {
+            // No ring: commits are recorded and dropped.
+            for _ in 0..b.initial_tokens {
+                recorder.record(0.0);
+                setup_tokens += 1;
+            }
+            producers.push(None);
+            consumers.push(None);
+        } else {
+            let (mut tx, rx) = ring::spsc::<f64>(declared[i]);
+            for _ in 0..b.initial_tokens {
+                tx.push(0.0).expect("initial tokens fit the capacity");
+                recorder.record(0.0);
+                setup_tokens += 1;
+            }
+            producers.push(Some(tx));
+            consumers.push(Some(rx));
+        }
+        recorders.push(Some(recorder));
+    }
+
+    // --- Scheduling units, in a stable order: node units (clusters appear
+    // at their first member), then sources, then sinks.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut emitted: Vec<bool> = vec![false; graph.nodes.len()];
+    let make_part = |ni: RtNodeId| -> NodePart {
+        let n = &graph.nodes[ni];
+        NodePart {
+            id: ni,
+            kernel: lib.instantiate(&n.function),
+            reads: n.reads.iter().map(|&(b, c)| (b.index(), c)).collect(),
+            writes: n.writes.iter().map(|&(b, c)| (b.index(), c)).collect(),
+            out_len: n.writes.iter().map(|&(_, c)| c).max().unwrap_or(0),
+            batch: plan.batch[ni],
+            fired: 0,
+        }
+    };
+    for ni in graph.nodes.indices() {
+        if emitted[ni.index()] {
+            continue;
+        }
+        match plan.cluster_of[ni] {
+            Some(cid) => {
+                let members = &plan.clusters[cid as usize];
+                for &m in members {
+                    emitted[m.index()] = true;
+                }
+                units.push(Unit::Nodes(members.iter().map(|&m| make_part(m)).collect()));
+            }
+            None => {
+                emitted[ni.index()] = true;
+                units.push(Unit::Nodes(vec![make_part(ni)]));
+            }
+        }
+    }
+    let mut open_sources = 0usize;
+    for (i, s) in graph.sources.iter_enumerated() {
+        let period_ps = oil_sim::time::picos_nearest(s.period)
+            .unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
+        // The same sample count the calendar/simulator horizon admits:
+        // ticks at `period, 2·period, …` with `time ≤ duration`.
+        let budget = duration.checked_div(period_ps).unwrap_or(0);
+        if budget > 0 {
+            open_sources += 1;
+        }
+        units.push(Unit::Source {
+            id: i,
+            kernel: lib.instantiate_source(&s.function),
+            outputs: s.outputs.iter().map(|b| b.index()).collect(),
+            budget,
+            generated: 0,
+            batch: plan.source_batch[i],
+        });
+    }
+    for (i, s) in graph.sinks.iter_enumerated() {
+        units.push(Unit::Sink {
+            id: i,
+            input: s.input.index(),
+            batch: plan.sink_batch[i],
+            consumed: 0,
+            values: Vec::new(),
+            meter: ThroughputMeter::new(config.warmup_samples),
+        });
+    }
+
+    // --- Partition units over workers. Whole weakly-connected components
+    // go to the least-loaded worker when there are enough of them
+    // (independent subgraphs never contend); otherwise units round-robin so
+    // one long pipeline still spreads across the pool.
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    }
+    .min(units.len())
+    .max(1);
+    let assignment = partition_units(graph, &units, threads);
+
+    // --- Distribute endpoints and recorders to the owning workers.
+    let mut worker_units: Vec<Vec<Unit>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut worker_bufs: Vec<WorkerBufs> = (0..threads)
+        .map(|_| WorkerBufs {
+            prods: (0..n_buffers).map(|_| None).collect(),
+            cons: (0..n_buffers).map(|_| None).collect(),
+            recorders: (0..n_buffers).map(|_| None).collect(),
+            declared: Arc::clone(&declared),
+            unread: Arc::clone(&unread),
+            record_values: config.record_values,
+            tokens: 0,
+            scratch: Vec::new(),
+        })
+        .collect();
+    for (unit, &w) in units.into_iter().zip(&assignment) {
+        let (reads, writes): (Vec<usize>, Vec<usize>) = match &unit {
+            Unit::Nodes(parts) => (
+                parts
+                    .iter()
+                    .flat_map(|p| p.reads.iter().map(|&(b, _)| b))
+                    .collect(),
+                parts
+                    .iter()
+                    .flat_map(|p| p.writes.iter().map(|&(b, _)| b))
+                    .collect(),
+            ),
+            Unit::Source { outputs, .. } => (Vec::new(), outputs.clone()),
+            Unit::Sink { input, .. } => (vec![*input], Vec::new()),
+        };
+        for b in reads {
+            if let Some(rx) = consumers[b].take() {
+                worker_bufs[w].cons[b] = Some(rx);
+            }
+        }
+        for b in writes {
+            if let Some(tx) = producers[b].take() {
+                worker_bufs[w].prods[b] = Some(tx);
+            }
+            if let Some(r) = recorders[b].take() {
+                worker_bufs[w].recorders[b] = Some(r);
+            }
+        }
+        worker_units[w].push(unit);
+    }
+
+    // --- Run.
+    let control = Arc::new(Control {
+        gen: AtomicU64::new(0),
+        idle: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        deadlocked: AtomicBool::new(false),
+        sources_open: AtomicUsize::new(open_sources),
+        parks: AtomicU64::new(0),
+        threads,
+        m: Mutex::new(()),
+        cv: Condvar::new(),
+    });
+    let mut handles = Vec::with_capacity(threads);
+    for (w, (units, bufs)) in worker_units.into_iter().zip(worker_bufs).enumerate() {
+        let control = Arc::clone(&control);
+        let chaos = config.chaos.map(|seed| {
+            seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
+        });
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("oil-rt-selftimed-{w}"))
+                .spawn(move || worker_loop(units, bufs, &control, chaos))
+                .expect("spawning a self-timed worker thread"),
+        );
+    }
+    let outs: Vec<WorkerOut> = handles
+        .into_iter()
+        .map(|h| h.join().expect("self-timed worker panicked"))
+        .collect();
+
+    // --- Assemble the report.
+    let mut tokens = setup_tokens;
+    let mut node_firings: Vec<(String, u64)> =
+        graph.nodes.iter().map(|n| (n.name.clone(), 0u64)).collect();
+    let mut source_samples: Vec<(String, u64)> = graph
+        .sources
+        .iter()
+        .map(|s| (s.name.clone(), 0u64))
+        .collect();
+    let mut sinks: Vec<Option<SinkStream>> = (0..graph.sinks.len()).map(|_| None).collect();
+    let mut throughput: Vec<Option<SinkThroughput>> =
+        (0..graph.sinks.len()).map(|_| None).collect();
+    for out in outs {
+        tokens += out.tokens;
+        for (b, r) in out.recorders.into_iter().enumerate() {
+            if let Some(r) = r {
+                recorders[b] = Some(r);
+            }
+        }
+        for unit in out.units {
+            match unit {
+                Unit::Nodes(parts) => {
+                    for p in parts {
+                        node_firings[p.id.index()].1 = p.fired;
+                    }
+                }
+                Unit::Source { id, generated, .. } => {
+                    source_samples[id.index()].1 = generated;
+                }
+                Unit::Sink {
+                    id,
+                    consumed,
+                    values,
+                    meter,
+                    ..
+                } => {
+                    let s = &graph.sinks[id];
+                    sinks[id.index()] = Some(SinkStream {
+                        name: s.name.clone(),
+                        consumed,
+                        misses: 0,
+                        max_latency: 0.0,
+                        values,
+                    });
+                    throughput[id.index()] = Some(SinkThroughput {
+                        name: s.name.clone(),
+                        samples: consumed,
+                        predicted_hz: s.period.recip().to_f64(),
+                        measured_hz: meter.steady_rate_hz(),
+                    });
+                }
+            }
+        }
+    }
+    SelfTimedReport {
+        threads,
+        values: ValueTrace {
+            buffers: if config.record_values {
+                recorders
+                    .into_iter()
+                    .map(|r| r.unwrap_or_default())
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        },
+        sinks: sinks
+            .into_iter()
+            .map(|s| s.expect("every sink ran"))
+            .collect(),
+        throughput: throughput
+            .into_iter()
+            .map(|t| t.expect("every sink measured"))
+            .collect(),
+        node_firings,
+        sources: source_samples,
+        deadlocked: control.deadlocked.load(Ordering::SeqCst),
+        tokens,
+        wall: started.elapsed(),
+        parks: control.parks.load(Ordering::SeqCst),
+        clusters: plan.clusters.len(),
+    }
+}
+
+/// Assign each unit (by position) to a worker.
+fn partition_units(graph: &RtGraph, units: &[Unit], threads: usize) -> Vec<usize> {
+    if threads == 1 {
+        return vec![0; units.len()];
+    }
+    // Weakly-connected components over the buffers the units touch.
+    let n_buffers = graph.buffers.len();
+    let mut uf = UnionFind::new(units.len() + n_buffers);
+    for (u, unit) in units.iter().enumerate() {
+        let touched: Vec<usize> = match unit {
+            Unit::Nodes(parts) => parts
+                .iter()
+                .flat_map(|p| {
+                    p.reads
+                        .iter()
+                        .map(|&(b, _)| b)
+                        .chain(p.writes.iter().map(|&(b, _)| b))
+                })
+                .collect(),
+            Unit::Source { outputs, .. } => outputs.clone(),
+            Unit::Sink { input, .. } => vec![*input],
+        };
+        for b in touched {
+            uf.union(u, units.len() + b);
+        }
+    }
+    let mut component_members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for u in 0..units.len() {
+        component_members.entry(uf.find(u)).or_default().push(u);
+    }
+    let mut assignment = vec![0usize; units.len()];
+    let mut load = vec![0usize; threads];
+    if component_members.len() >= threads {
+        // Independent subgraphs: keep each on one worker (zero cross-worker
+        // traffic), largest first onto the least-loaded worker.
+        let mut components: Vec<Vec<usize>> = component_members.into_values().collect();
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        for c in components {
+            let w = (0..threads).min_by_key(|&w| load[w]).unwrap_or(0);
+            for u in c {
+                assignment[u] = w;
+                load[w] += 1;
+            }
+        }
+    } else {
+        // Fewer components than workers: spread units round-robin so one
+        // long pipeline still uses the whole pool.
+        for (u, a) in assignment.iter_mut().enumerate() {
+            *a = u % threads;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, RtConfig};
+    use oil_compiler::{compile, rtgraph, CompilerOptions};
+    use oil_lang::registry::{FunctionRegistry, FunctionSignature};
+    use oil_sim::picos;
+
+    fn registry() -> FunctionRegistry {
+        let mut r = FunctionRegistry::new();
+        for f in ["f", "g", "init", "src", "snk"] {
+            r.register(FunctionSignature::pure(f, 1e-5));
+        }
+        r
+    }
+
+    const PIPELINE: &str = r#"
+        mod seq P(int a, out int m){ loop{ f(a, out m); } while(1); }
+        mod seq Q(int m, out int b){ loop{ g(m:2, out b); } while(1); }
+        mod par D(){
+            fifo int mid;
+            source int x = src() @ 2 kHz;
+            sink int y = snk() @ 1 kHz;
+            P(x, out mid) || Q(mid, out y)
+        }
+    "#;
+
+    #[test]
+    fn calendar_value_streams_are_a_prefix_of_the_free_run() {
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        assert!(plan.is_kpn_safe());
+        let reference = execute(
+            &graph,
+            &KernelLibrary::new(),
+            picos(0.25),
+            &RtConfig {
+                threads: 1,
+                ..RtConfig::default()
+            },
+        );
+        for threads in [1, 2, 4] {
+            let report = execute_selftimed(
+                &graph,
+                &plan,
+                &KernelLibrary::new(),
+                picos(0.25),
+                &SelfTimedConfig {
+                    threads,
+                    ..SelfTimedConfig::default()
+                },
+            );
+            assert!(!report.deadlocked, "threads={threads}");
+            assert_eq!(
+                reference.values.prefix_divergence(&report.values),
+                None,
+                "threads={threads}"
+            );
+            let calendar_sink = &reference.sinks[0];
+            let free_sink = &report.sinks[0];
+            assert!(free_sink.consumed >= calendar_sink.consumed);
+            let shared = calendar_sink.values.len().min(free_sink.values.len());
+            assert_eq!(
+                calendar_sink.values[..shared],
+                free_sink.values[..shared],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_run_is_thread_count_invariant() {
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        let base = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.1),
+            &SelfTimedConfig {
+                threads: 1,
+                ..SelfTimedConfig::default()
+            },
+        );
+        for threads in [2, 3, 8] {
+            let other = execute_selftimed(
+                &graph,
+                &plan,
+                &KernelLibrary::new(),
+                picos(0.1),
+                &SelfTimedConfig {
+                    threads,
+                    ..SelfTimedConfig::default()
+                },
+            );
+            assert_eq!(base.values.first_divergence(&other.values), None);
+            assert_eq!(base.node_firings, other.node_firings);
+            let pairs = base.sinks.iter().zip(&other.sinks);
+            for (a, b) in pairs {
+                assert_eq!(a.consumed, b.consumed);
+                assert_eq!(a.values, b.values);
+            }
+        }
+    }
+
+    #[test]
+    fn a_starved_cycle_is_reported_as_deadlock_not_a_hang() {
+        // Two mutually dependent nodes with no initial tokens: nothing can
+        // ever fire. The engine must return with `deadlocked` set instead
+        // of spinning or parking forever.
+        use oil_compiler::rtgraph::{RtBuffer, RtNode, RtSource};
+        use oil_dataflow::Rational;
+        let mut graph = RtGraph::default();
+        let a = graph.buffers.push(RtBuffer {
+            name: "a".into(),
+            capacity: 2,
+            initial_tokens: 0,
+        });
+        let b = graph.buffers.push(RtBuffer {
+            name: "b".into(),
+            capacity: 2,
+            initial_tokens: 0,
+        });
+        let feed = graph.buffers.push(RtBuffer {
+            name: "feed".into(),
+            capacity: 2,
+            initial_tokens: 0,
+        });
+        graph.nodes.push(RtNode {
+            name: "n0".into(),
+            function: "f".into(),
+            response: Rational::new(1, 1_000_000),
+            reads: vec![(feed, 1), (b, 1)],
+            writes: vec![(a, 1)],
+        });
+        graph.nodes.push(RtNode {
+            name: "n1".into(),
+            function: "g".into(),
+            response: Rational::new(1, 1_000_000),
+            reads: vec![(a, 1)],
+            writes: vec![(b, 1)],
+        });
+        graph.sources.push(RtSource {
+            name: "src_s_feed".into(),
+            function: "s".into(),
+            outputs: vec![feed],
+            period: Rational::new(1, 1000),
+        });
+        let plan = rtgraph::plan(&graph);
+        let report = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.01),
+            &SelfTimedConfig {
+                threads: 2,
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert!(report.deadlocked, "{:?}", report.node_firings);
+    }
+
+    #[test]
+    fn perturbation_does_not_change_the_streams() {
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        let calm = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.05),
+            &SelfTimedConfig {
+                threads: 4,
+                ..SelfTimedConfig::default()
+            },
+        );
+        let stormy = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.05),
+            &SelfTimedConfig {
+                threads: 4,
+                chaos: Some(0xC0FFEE),
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert_eq!(calm.values.first_divergence(&stormy.values), None);
+        assert_eq!(calm.node_firings, stormy.node_firings);
+    }
+}

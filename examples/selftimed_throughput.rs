@@ -1,0 +1,111 @@
+//! Free-running PAL decoder: measured vs CTA-predicted sink rates.
+//!
+//! Compiles the paper's PAL decoder (Fig. 11), lowers it to the runtime
+//! graph, computes the self-timed scheduling plan (repetition-vector
+//! batches, serial clusters) and runs it **free-running** — no virtual
+//! clock, every task firing as soon as data and space allow — with the real
+//! DSP kernels. It then prints, per sink, the CTA-predicted rate next to
+//! the measured steady-state wall-clock rate: the paper's temporal
+//! guarantee ("the analysis admits this throughput") meeting the hardware
+//! ("this machine actually sustains it").
+//!
+//! Run with `cargo run --release --example selftimed_throughput`.
+
+use oil::compiler::rtgraph;
+use oil::rt::{execute_selftimed, measure, KernelLibrary, SelfTimedConfig};
+use oil::sim::picos;
+
+fn main() {
+    let (compiled, analysis) = oil::pal::analyze_pal().expect("the PAL decoder is schedulable");
+    let registry = oil::pal::pal_registry();
+    let graph = rtgraph::lower_with_registry(&compiled, &registry);
+    let plan = rtgraph::plan(&graph);
+
+    println!("PAL decoder, self-timed free run");
+    println!(
+        "  graph: {} nodes, {} buffers, {} sources, {} sinks",
+        graph.nodes.len(),
+        graph.buffers.len(),
+        graph.sources.len(),
+        graph.sinks.len()
+    );
+    println!(
+        "  plan:  KPN-safe: {}, batches: {:?} (sources {:?})",
+        plan.is_kpn_safe(),
+        plan.batch.iter().collect::<Vec<_>>(),
+        plan.source_batch.iter().collect::<Vec<_>>(),
+    );
+    for (channel, rate) in ["screen", "speakers"]
+        .iter()
+        .filter_map(|c| analysis.channel_rates.get(*c).map(|r| (c, r)))
+    {
+        println!(
+            "  CTA:   channel `{channel}` predicted at {} Hz",
+            rate.to_f64()
+        );
+    }
+
+    // 10 ms of virtual signal: 64 000 RF samples, 40 000 display samples,
+    // 320 speaker samples — executed as fast as this machine allows.
+    let duration = picos(10e-3);
+    // The PAL sinks run at MS/s rates against real FIR/resampler
+    // arithmetic, so the conformance floor is hardware-bound: 2% of the
+    // predicted rate (the regression floor `tests/selftimed_differential.rs`
+    // enforces) unless OIL_RT_CONFORMANCE demands more.
+    let threshold = if std::env::var_os("OIL_RT_CONFORMANCE").is_some() {
+        measure::conformance_threshold()
+    } else {
+        0.02
+    };
+    for threads in [1, 2, 4] {
+        let report = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::pal(),
+            duration,
+            &SelfTimedConfig {
+                threads,
+                record_values: false,
+                warmup_samples: 256,
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert!(!report.deadlocked, "CTA-sized buffers must not deadlock");
+        println!(
+            "\n  {} worker thread(s): {} tokens in {:.1} ms ({:.2} M tokens/s, {} parks)",
+            report.threads,
+            report.tokens,
+            report.wall.as_secs_f64() * 1e3,
+            report.tokens as f64 / report.wall.as_secs_f64() / 1e6,
+            report.parks,
+        );
+        for sink in &report.throughput {
+            match sink.measured_hz {
+                Some(measured) => println!(
+                    "    {:<28} predicted {:>9.0} Hz   measured {:>11.0} Hz   ({:.2}x)",
+                    sink.name,
+                    sink.predicted_hz,
+                    measured,
+                    measured / sink.predicted_hz
+                ),
+                None => println!(
+                    "    {:<28} predicted {:>9.0} Hz   (run too short to measure)",
+                    sink.name, sink.predicted_hz
+                ),
+            }
+        }
+        let conformance = report.conformance(threshold);
+        println!(
+            "    rate conformance at threshold {:.3}: {}",
+            threshold,
+            if conformance.satisfied() {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            }
+        );
+        for v in conformance.violations() {
+            println!("      {v}");
+        }
+    }
+}
