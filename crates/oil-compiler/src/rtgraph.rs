@@ -446,7 +446,10 @@ pub const MAX_BATCH: u32 = 64;
 ///   variables). All nodes contending on a buffer are grouped into one
 ///   cluster, executed serially by one owner with a fixed lowest-id-first
 ///   preference — the same preference the calendar engine's id-ordered
-///   admission scan applies.
+///   admission scan applies. The plan additionally records whether each
+///   cluster is *uniform* (all members exact twins): lowest-id-first is
+///   timing-independent for twins, while a non-uniform cluster needs its
+///   whole component pinned to one worker (see [`RtPlan::cluster_uniform`]).
 /// * **KPN safety**: a graph with no clusters is a true Kahn process
 ///   network (every buffer single-producer/single-consumer), for which
 ///   per-buffer value streams are *schedule-invariant* — the property the
@@ -462,6 +465,16 @@ pub struct RtPlan {
     pub sink_batch: IndexVec<RtSinkId, u32>,
     /// Serial clusters (each with ≥ 2 members, in ascending node order).
     pub clusters: Vec<Vec<RtNodeId>>,
+    /// Per cluster: true when every member is an exact *twin* of the others
+    /// (identical read and write access lists up to order). For twin
+    /// clusters the owner's lowest-id-first discipline is timing-independent
+    /// on its own: all members become ready together, so the lowest id wins
+    /// at every decision no matter when the owner looks. A non-uniform
+    /// cluster (members with disjoint, e.g. mode-gated, inputs) stays
+    /// deterministic only if everything feeding it runs on the same worker —
+    /// the engine pins such components (see
+    /// `oil_rt::selftimed` unit partitioning).
+    pub cluster_uniform: Vec<bool>,
     /// The cluster a node belongs to, if any.
     pub cluster_of: IndexVec<RtNodeId, Option<u32>>,
     /// Buffers no node or sink ever reads (the writer still commits into
@@ -537,6 +550,11 @@ pub fn plan(graph: &RtGraph) -> RtPlan {
             !source_writes[b] || producers[b].is_empty(),
             "a source and a node cannot share a buffer's producer side"
         );
+        debug_assert!(
+            !sink_reads[b] || consumers[b].is_empty(),
+            "a sink and a node cannot share a buffer's consumer side (every \
+             sink must drain a dedicated replica)"
+        );
         if producers[b].len() > 1 {
             contested[b] = true;
             for w in producers[b].windows(2) {
@@ -566,6 +584,24 @@ pub fn plan(graph: &RtGraph) -> RtPlan {
         }
         clusters.push(group);
     }
+    // Twin detection per cluster: compare the raw access lists (sorted, not
+    // aggregated — a node reading one buffer through two ports gates its
+    // readiness differently from one reading the sum through a single
+    // port).
+    let access_sig = |ni: RtNodeId| -> (Vec<(RtBufferId, usize)>, Vec<(RtBufferId, usize)>) {
+        let mut reads = graph.nodes[ni].reads.clone();
+        let mut writes = graph.nodes[ni].writes.clone();
+        reads.sort_unstable();
+        writes.sort_unstable();
+        (reads, writes)
+    };
+    let cluster_uniform: Vec<bool> = clusters
+        .iter()
+        .map(|group| {
+            let first = access_sig(group[0]);
+            group[1..].iter().all(|&ni| access_sig(ni) == first)
+        })
+        .collect();
 
     // Batch sizes from the repetition vector of the SDF view. Only
     // uncontested, read buffers become edges; contested buffers would need a
@@ -708,10 +744,56 @@ pub fn plan(graph: &RtGraph) -> RtPlan {
         source_batch,
         sink_batch,
         clusters,
+        cluster_uniform,
         cluster_of,
         unread,
         invariant,
     }
+}
+
+/// A miniature graph with a **non-uniform** serial cluster: two producers
+/// of one buffer (`t`) gated on *disjoint* source-fed inputs, plus a
+/// drain node and a sink. Shared by the plan tests here and the self-timed
+/// engine's component-pinning determinism tests.
+#[doc(hidden)]
+pub fn non_uniform_merge_demo() -> RtGraph {
+    let mut g = RtGraph::default();
+    let mk = |name: &str| RtBuffer {
+        name: name.into(),
+        capacity: 4,
+        initial_tokens: 0,
+    };
+    let a = g.buffers.push(mk("a"));
+    let b = g.buffers.push(mk("b"));
+    let t = g.buffers.push(mk("t"));
+    let o = g.buffers.push(mk("o"));
+    let node = |name: &str, reads: Vec<(RtBufferId, usize)>, writes: Vec<(RtBufferId, usize)>| {
+        RtNode {
+            name: name.into(),
+            function: "f".into(),
+            response: Rational::new(1, 1_000_000),
+            reads,
+            writes,
+        }
+    };
+    g.nodes.push(node("n0", vec![(a, 1)], vec![(t, 1)]));
+    g.nodes.push(node("n1", vec![(b, 1)], vec![(t, 1)]));
+    g.nodes.push(node("n2", vec![(t, 1)], vec![(o, 1)]));
+    for (name, out) in [("sa", a), ("sb", b)] {
+        g.sources.push(RtSource {
+            name: name.into(),
+            function: "s".into(),
+            outputs: vec![out],
+            period: Rational::new(1, 1000),
+        });
+    }
+    g.sinks.push(RtSink {
+        name: "sk".into(),
+        function: "k".into(),
+        input: o,
+        period: Rational::new(1, 1000),
+    });
+    g
 }
 
 fn initial_tokens_for_channel(compiled: &CompiledProgram, channel: ChannelId) -> usize {
@@ -845,6 +927,8 @@ mod tests {
         assert!(!p.is_kpn_safe());
         assert_eq!(p.clusters.len(), 1);
         assert_eq!(p.clusters[0].len(), 2);
+        // `t = g(a:2)` / `t = h(a:2)`: exact twins.
+        assert_eq!(p.cluster_uniform, vec![true]);
         for &ni in &p.clusters[0] {
             assert_eq!(p.batch[ni], 1, "clustered nodes must not batch");
         }
@@ -867,6 +951,26 @@ mod tests {
         assert!(p.invariant[by_name(".x")], "{:?}", rt.buffers);
         assert!(!p.invariant[by_name(".t")]);
         assert!(!p.invariant[by_name(".y")]);
+    }
+
+    #[test]
+    fn plan_flags_non_uniform_clusters() {
+        // Two producers of `t` gated on *disjoint* inputs: a contested merge
+        // whose winner depends on which input has data, not on a fixed
+        // tie-break. The plan must mark the cluster non-uniform so the
+        // self-timed engine pins the whole component onto one worker.
+        let g = non_uniform_merge_demo();
+        let p = plan(&g);
+        assert_eq!(p.clusters.len(), 1);
+        assert_eq!(p.clusters[0].len(), 2);
+        assert_eq!(p.cluster_uniform, vec![false]);
+        let t = g
+            .buffers
+            .iter_enumerated()
+            .find(|(_, b)| b.name == "t")
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(!p.invariant[t], "a contested merge is schedule-dependent");
     }
 
     #[test]

@@ -245,10 +245,41 @@ impl TaskGraph {
     }
 }
 
+/// True when `level(b)` satisfies every `(buffer, count)` port of `ports`,
+/// counting ports on the **same** buffer cumulatively: a task touching one
+/// buffer through two ports (e.g. `f(a, a)`) consumes/produces the *sum*
+/// per firing, so gating each port's count individually would admit a
+/// firing the buffer cannot actually serve. Shared by every execution
+/// engine's admission rule (the firing itself then transfers per port, in
+/// port order).
+pub fn ports_satisfied<B: Copy + Eq>(
+    ports: &[(B, usize)],
+    mut level: impl FnMut(B) -> usize,
+) -> bool {
+    ports.iter().all(|&(b, _)| {
+        let need: usize = ports
+            .iter()
+            .filter(|&&(pb, _)| pb == b)
+            .map(|&(_, c)| c)
+            .sum();
+        level(b) >= need
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::Idx;
+
+    #[test]
+    fn ports_satisfied_sums_same_buffer_ports() {
+        // Two ports on buffer 0 gate on the sum, not each count alone.
+        let ports = [(0usize, 1), (0, 1), (1, 2)];
+        assert!(ports_satisfied(&ports, |b| [2, 2][b]));
+        assert!(!ports_satisfied(&ports, |b| [1, 2][b]));
+        assert!(!ports_satisfied(&ports, |b| [2, 1][b]));
+        assert!(ports_satisfied::<usize>(&[], |_| 0));
+    }
 
     /// Hand-built task graph of the paper's Fig. 4: tasks tg and th guarded by
     /// the if statement, task tk consuming y and producing two values to x.

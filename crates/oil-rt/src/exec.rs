@@ -34,6 +34,7 @@ use crate::pool::WorkStealingPool;
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtSinkId, RtSourceId};
 use oil_dataflow::index::{Idx, IndexVec};
+use oil_dataflow::taskgraph::ports_satisfied;
 use oil_sim::time::picos_nearest;
 use oil_sim::trace::{BufferTrace, ExecutionTrace};
 use oil_sim::Picos;
@@ -497,12 +498,10 @@ pub fn execute(
                         continue;
                     }
                     let node = &graph.nodes[ni];
-                    let inputs_ready = node
-                        .reads
-                        .iter()
-                        .all(|&(b, c)| consumers[b.index()].len() >= c);
-                    let outputs_ready = node.writes.iter().all(|&(b, c)| {
-                        declared[b.index()].saturating_sub(producers[b.index()].len()) >= c
+                    let inputs_ready =
+                        ports_satisfied(&node.reads, |b| consumers[b.index()].len());
+                    let outputs_ready = ports_satisfied(&node.writes, |b| {
+                        declared[b.index()].saturating_sub(producers[b.index()].len())
                     });
                     if !(inputs_ready && outputs_ready) {
                         continue;

@@ -270,13 +270,17 @@ impl RateConformance {
 }
 
 /// The default conformance threshold: the `OIL_RT_CONFORMANCE` environment
-/// variable when set and parseable, else 0.5 in release builds and a smoke
-/// value in debug builds (unoptimised kernels measure the build profile,
-/// not the engine).
+/// variable when set to a finite value > 0, else 0.5 in release builds and
+/// a smoke value in debug builds (unoptimised kernels measure the build
+/// profile, not the engine). Degenerate overrides (zero, negative, NaN,
+/// infinite, unparseable) fall back to the built-in default — a NaN or
+/// negative threshold would silently turn every `ratio < threshold` check
+/// into a no-op.
 pub fn conformance_threshold() -> f64 {
     if let Some(t) = std::env::var("OIL_RT_CONFORMANCE")
         .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
+        .as_deref()
+        .and_then(parse_conformance)
     {
         return t;
     }
@@ -285,6 +289,12 @@ pub fn conformance_threshold() -> f64 {
     } else {
         0.5
     }
+}
+
+/// Parse an `OIL_RT_CONFORMANCE` override; `None` unless finite and > 0.
+fn parse_conformance(raw: &str) -> Option<f64> {
+    let t = raw.trim().parse::<f64>().ok()?;
+    (t.is_finite() && t > 0.0).then_some(t)
 }
 
 #[cfg(test)]
@@ -351,6 +361,15 @@ mod tests {
         }
         assert!(short.steady_rate_hz().is_none());
         assert!(short.steady_span().is_none());
+    }
+
+    #[test]
+    fn conformance_override_rejects_degenerate_values() {
+        assert_eq!(parse_conformance("0.25"), Some(0.25));
+        assert_eq!(parse_conformance(" 1.5 "), Some(1.5));
+        for bad in ["0", "-1", "NaN", "-NaN", "inf", "-inf", "abc", ""] {
+            assert_eq!(parse_conformance(bad), None, "`{bad}` must be rejected");
+        }
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //! is not always a KPN (modal `if`/`switch` statements produce twin tasks
 //! contending on shared buffers); the plan groups such nodes into *serial
 //! clusters* executed by a single owner with lowest-id-first preference —
-//! the same preference as the calendar engine's id-ordered admission scan —
-//! which keeps the engine deterministic at every thread count.
+//! the same preference as the calendar engine's id-ordered admission scan.
+//! For *uniform* clusters (all members exact twins, the shape modal
+//! extraction produces) that preference is timing-independent by itself;
+//! a non-uniform cluster (members gated on disjoint inputs) additionally
+//! has its whole weakly-connected component pinned onto one worker, so its
+//! merge order is a sequential function of that worker's fixed scan order
+//! — which keeps the engine deterministic at every thread count.
 //! `tests/selftimed_differential.rs` holds the engine to exactly that: the
 //! calendar reference's value streams are a bit-exact prefix of this
 //! engine's streams on KPN graphs, all streams are thread-count- and
@@ -35,10 +40,11 @@
 //! **Termination** is a token budget, not a wall clock: each time-triggered
 //! source produces exactly the number of samples the simulator would emit
 //! over the requested virtual horizon, then retires; the pipeline drains;
-//! and a sound quiescence protocol (generation stamp + idle census — the
-//! last worker to go idle verifies that no firing happened since every
-//! sleeping worker's last empty scan) distinguishes completion from
-//! deadlock without any timeout.
+//! and a sound quiescence protocol (generation stamp + idle census with
+//! per-worker stamps — the last worker to go idle verifies that *every*
+//! sleeping worker registered its empty scan at the current generation, so
+//! a peer whose stamp was outdated by a later firing is never counted)
+//! distinguishes completion from deadlock without any timeout.
 
 use crate::exec::{SinkStream, SINK_STREAM_CAP};
 use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
@@ -46,6 +52,7 @@ use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMe
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
 use oil_dataflow::index::Idx;
+use oil_dataflow::taskgraph::ports_satisfied;
 use oil_dataflow::unionfind::UnionFind;
 use oil_sim::Picos;
 use std::collections::BTreeMap;
@@ -211,10 +218,6 @@ impl WorkerBufs {
         self.space_count(b) >= c
     }
 
-    fn available(&self, b: usize, c: usize) -> bool {
-        self.available_count(b) >= c
-    }
-
     fn commit(&mut self, b: usize, value: f64) {
         if !self.unread[b] {
             self.prods[b]
@@ -238,6 +241,12 @@ struct Control {
     gen: AtomicU64,
     /// Workers registered as idle (nothing fireable at their stamp).
     idle: AtomicUsize,
+    /// Per worker: the generation its current idle registration certifies.
+    /// Written under the mutex immediately before `idle` is incremented and
+    /// meaningful exactly while the worker is counted idle — the census
+    /// consults the stamps only when `idle == threads`, at which point every
+    /// worker is between its increment and decrement.
+    idle_stamps: Vec<AtomicU64>,
     done: AtomicBool,
     deadlocked: AtomicBool,
     /// Sources still holding sample budget.
@@ -294,6 +303,13 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
             // worker's concurrent push/pop flip a later twin to ready after
             // an earlier identical twin was judged blocked, and the merge
             // order (hence the value streams) would depend on timing.
+            // The snapshot alone is decisive only for *uniform* clusters
+            // (exact twins become ready together, so the lowest id wins no
+            // matter when the owner looks); a non-uniform cluster's members
+            // can be flipped ready one at a time by cross-worker arrivals,
+            // which is why `partition_units` pins such a cluster's whole
+            // component onto this worker — every level this scan reads is
+            // then a sequential function of this thread's own firings.
             let batch = if parts.len() == 1 { parts[0].batch } else { 1 };
             let clustered = parts.len() > 1;
             let mut avail_levels: BTreeMap<usize, usize> = BTreeMap::new();
@@ -316,11 +332,11 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
                 }
                 for part in parts.iter_mut() {
                     let ready = if clustered {
-                        part.reads.iter().all(|&(b, c)| avail_levels[&b] >= c)
-                            && part.writes.iter().all(|&(b, c)| space_levels[&b] >= c)
+                        ports_satisfied(&part.reads, |b| avail_levels[&b])
+                            && ports_satisfied(&part.writes, |b| space_levels[&b])
                     } else {
-                        part.reads.iter().all(|&(b, c)| w.available(b, c))
-                            && part.writes.iter().all(|&(b, c)| w.space_for(b, c))
+                        ports_satisfied(&part.reads, |b| w.available_count(b))
+                            && ports_satisfied(&part.writes, |b| w.space_count(b))
                     };
                     if !ready {
                         continue;
@@ -423,6 +439,7 @@ struct WorkerOut {
 const IDLE_RESCANS: usize = 2;
 
 fn worker_loop(
+    widx: usize,
     mut units: Vec<Unit>,
     mut bufs: WorkerBufs,
     control: &Control,
@@ -465,8 +482,21 @@ fn worker_loop(
         if control.gen.load(Ordering::SeqCst) != g0 || control.done.load(Ordering::SeqCst) {
             continue;
         }
+        // Register idle *at stamp g0* (equal to the live generation — just
+        // re-checked under the lock). The stamp matters: a peer counted
+        // idle at an older stamp was already notified by the bump that
+        // outdated it and may have fireable work it has not rescanned yet,
+        // so `idle == threads` alone is not a fixpoint. Only a census in
+        // which every sleeping worker certified an empty scan at the
+        // *current* generation is.
+        control.idle_stamps[widx].store(g0, Ordering::SeqCst);
         let idle = control.idle.fetch_add(1, Ordering::SeqCst) + 1;
-        if idle == control.threads {
+        if idle == control.threads
+            && control
+                .idle_stamps
+                .iter()
+                .all(|s| s.load(Ordering::SeqCst) == g0)
+        {
             // Idle census complete: every worker certified an empty scan at
             // the current generation and none is running — a global
             // fixpoint. With retired sources that is successful completion;
@@ -481,6 +511,12 @@ fn worker_loop(
             drop(guard);
             break;
         }
+        // Either a peer is still running, or a sleeper's stamp is stale.
+        // A stale sleeper needs no help from us: the `gen` bump that
+        // outdated its stamp notified the condvar, so it will wake and
+        // rescan — and then either fire (bumping `gen`, waking us) or
+        // re-register at the current generation and complete the census
+        // itself.
         control.parks.fetch_add(1, Ordering::Relaxed);
         while control.gen.load(Ordering::SeqCst) == g0 && !control.done.load(Ordering::SeqCst) {
             guard = control.cv.wait(guard).expect("control mutex poisoned");
@@ -622,7 +658,9 @@ pub fn execute_selftimed(
     // --- Partition units over workers. Whole weakly-connected components
     // go to the least-loaded worker when there are enough of them
     // (independent subgraphs never contend); otherwise units round-robin so
-    // one long pipeline still spreads across the pool.
+    // one long pipeline still spreads across the pool — except components
+    // containing a non-uniform serial cluster, which are pinned whole to
+    // one worker (see `partition_units`).
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -630,7 +668,7 @@ pub fn execute_selftimed(
     }
     .min(units.len())
     .max(1);
-    let assignment = partition_units(graph, &units, threads);
+    let assignment = partition_units(graph, plan, &units, threads);
 
     // --- Distribute endpoints and recorders to the owning workers.
     let mut worker_units: Vec<Vec<Unit>> = (0..threads).map(|_| Vec::new()).collect();
@@ -681,6 +719,7 @@ pub fn execute_selftimed(
     let control = Arc::new(Control {
         gen: AtomicU64::new(0),
         idle: AtomicUsize::new(0),
+        idle_stamps: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
         done: AtomicBool::new(false),
         deadlocked: AtomicBool::new(false),
         sources_open: AtomicUsize::new(open_sources),
@@ -698,7 +737,7 @@ pub fn execute_selftimed(
         handles.push(
             std::thread::Builder::new()
                 .name(format!("oil-rt-selftimed-{w}"))
-                .spawn(move || worker_loop(units, bufs, &control, chaos))
+                .spawn(move || worker_loop(w, units, bufs, &control, chaos))
                 .expect("spawning a self-timed worker thread"),
         );
     }
@@ -792,7 +831,15 @@ pub fn execute_selftimed(
 }
 
 /// Assign each unit (by position) to a worker.
-fn partition_units(graph: &RtGraph, units: &[Unit], threads: usize) -> Vec<usize> {
+///
+/// A component containing a **non-uniform** serial cluster (members gated
+/// on disjoint inputs, [`RtPlan::cluster_uniform`]) is never split: with
+/// every unit that can move the cluster's input levels on one thread, the
+/// contested merge resolves by that worker's fixed scan order — a
+/// deterministic, thread-count- and timing-independent sequence (and the
+/// same one a single-threaded run produces, since units keep their relative
+/// order and no other worker touches the component's buffers).
+fn partition_units(graph: &RtGraph, plan: &RtPlan, units: &[Unit], threads: usize) -> Vec<usize> {
     if threads == 1 {
         return vec![0; units.len()];
     }
@@ -817,6 +864,18 @@ fn partition_units(graph: &RtGraph, units: &[Unit], threads: usize) -> Vec<usize
             uf.union(u, units.len() + b);
         }
     }
+    // Components that must stay whole: any member hosting a non-uniform
+    // cluster node.
+    let mut pinned_roots: std::collections::BTreeSet<usize> = Default::default();
+    for (u, unit) in units.iter().enumerate() {
+        if let Unit::Nodes(parts) = unit {
+            if parts.iter().any(|p| {
+                plan.cluster_of[p.id].is_some_and(|c| !plan.cluster_uniform[c as usize])
+            }) {
+                pinned_roots.insert(uf.find(u));
+            }
+        }
+    }
     let mut component_members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for u in 0..units.len() {
         component_members.entry(uf.find(u)).or_default().push(u);
@@ -837,9 +896,22 @@ fn partition_units(graph: &RtGraph, units: &[Unit], threads: usize) -> Vec<usize
         }
     } else {
         // Fewer components than workers: spread units round-robin so one
-        // long pipeline still uses the whole pool.
+        // long pipeline still uses the whole pool — except pinned
+        // components, which go whole onto the least-loaded worker.
+        let mut pinned_to: std::collections::BTreeMap<usize, usize> = Default::default();
+        let mut rr = 0usize;
         for (u, a) in assignment.iter_mut().enumerate() {
-            *a = u % threads;
+            let root = uf.find(u);
+            if pinned_roots.contains(&root) {
+                let w = *pinned_to
+                    .entry(root)
+                    .or_insert_with(|| (0..threads).min_by_key(|&w| load[w]).unwrap_or(0));
+                *a = w;
+            } else {
+                *a = rr % threads;
+                rr += 1;
+            }
+            load[*a] += 1;
         }
     }
     assignment
@@ -1007,6 +1079,143 @@ mod tests {
             },
         );
         assert!(report.deadlocked, "{:?}", report.node_firings);
+    }
+
+    #[test]
+    fn quiescence_census_never_drops_trailing_work() {
+        // Regression for a census race: a worker whose park stamp was
+        // outdated by a peer's firing (and which may therefore have
+        // fireable work it has not rescanned) must not be counted towards
+        // `idle == threads`, or the engine completes with trailing tokens
+        // undrained / falsely reports deadlock. Many short multi-threaded
+        // runs maximise park/wake churn around the drain; every run must
+        // quiesce cleanly with the same sink count.
+        let compiled = compile(PIPELINE, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        let run = |threads: usize| {
+            execute_selftimed(
+                &graph,
+                &plan,
+                &KernelLibrary::new(),
+                picos(0.02),
+                &SelfTimedConfig {
+                    threads,
+                    ..SelfTimedConfig::default()
+                },
+            )
+        };
+        let expected = run(1);
+        assert!(!expected.deadlocked);
+        for rep in 0..50 {
+            for threads in [2, 3] {
+                let report = run(threads);
+                assert!(!report.deadlocked, "rep {rep}, threads={threads}");
+                assert_eq!(
+                    report.sinks[0].consumed, expected.sinks[0].consumed,
+                    "rep {rep}, threads={threads}: trailing sink samples were dropped"
+                );
+                assert_eq!(
+                    report.node_firings, expected.node_firings,
+                    "rep {rep}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_uniform_clusters_stay_deterministic_via_component_pinning() {
+        // Two producers of `t` gated on *disjoint* inputs fed by separate
+        // sources: which twin is ready depends on token arrival, so the
+        // per-burst level snapshot alone cannot fix the merge order. The
+        // plan marks the cluster non-uniform and the engine pins the whole
+        // component onto one worker; the streams must stay bit-identical
+        // across thread counts and under perturbation.
+        let graph = rtgraph::non_uniform_merge_demo();
+        let plan = rtgraph::plan(&graph);
+        assert_eq!(plan.cluster_uniform, vec![false], "the scenario under test");
+        let run = |threads: usize, chaos: Option<u64>| {
+            execute_selftimed(
+                &graph,
+                &plan,
+                &KernelLibrary::new(),
+                picos(0.05),
+                &SelfTimedConfig {
+                    threads,
+                    chaos,
+                    ..SelfTimedConfig::default()
+                },
+            )
+        };
+        let base = run(1, None);
+        assert!(!base.deadlocked);
+        assert!(base.sinks[0].consumed > 0);
+        for threads in [2, 4] {
+            for chaos in [None, Some(0xBADC_0DE)] {
+                let other = run(threads, chaos);
+                assert!(!other.deadlocked, "threads={threads}, chaos={chaos:?}");
+                assert_eq!(
+                    base.values.first_divergence(&other.values),
+                    None,
+                    "threads={threads}, chaos={chaos:?}"
+                );
+                assert_eq!(
+                    base.node_firings, other.node_firings,
+                    "threads={threads}, chaos={chaos:?}"
+                );
+                assert_eq!(base.sinks[0].values, other.sinks[0].values);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_ports_on_one_buffer_gate_on_the_sum() {
+        // A node touching one buffer through two ports (`f(a, a)`) consumes
+        // the sum per firing; gating each port's count individually would
+        // admit a firing with one token in the ring and panic mid-pop.
+        use oil_compiler::rtgraph::{RtBuffer, RtNode, RtSink, RtSource};
+        use oil_dataflow::Rational;
+        let mut graph = RtGraph::default();
+        let mk = |name: &str| RtBuffer {
+            name: name.into(),
+            capacity: 4,
+            initial_tokens: 0,
+        };
+        let a = graph.buffers.push(mk("a"));
+        let o = graph.buffers.push(mk("o"));
+        graph.nodes.push(RtNode {
+            name: "n0".into(),
+            function: "f".into(),
+            response: Rational::new(1, 1_000_000),
+            reads: vec![(a, 1), (a, 1)],
+            writes: vec![(o, 1)],
+        });
+        graph.sources.push(RtSource {
+            name: "sa".into(),
+            function: "s".into(),
+            outputs: vec![a],
+            period: Rational::new(1, 1000),
+        });
+        graph.sinks.push(RtSink {
+            name: "sk".into(),
+            function: "k".into(),
+            input: o,
+            period: Rational::new(1, 1000),
+        });
+        let plan = rtgraph::plan(&graph);
+        let report = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.01), // 10 source samples -> 5 double-consuming firings
+            &SelfTimedConfig {
+                threads: 2,
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert!(!report.deadlocked);
+        assert_eq!(report.node_firings[0].1, 5);
+        assert_eq!(report.sinks[0].consumed, 5);
     }
 
     #[test]

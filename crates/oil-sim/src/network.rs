@@ -3,6 +3,7 @@
 use crate::trace::{BufferTrace, ExecutionTrace};
 use oil_dataflow::define_index_type;
 use oil_dataflow::index::{Idx, IndexVec};
+use oil_dataflow::taskgraph::ports_satisfied;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -459,14 +460,10 @@ impl SimNetwork {
                         if core_busy_until[node.core] > now {
                             continue;
                         }
-                        let inputs_ready = node
-                            .reads
-                            .iter()
-                            .all(|&(b, c)| self.buffers[b].occupancy() >= c);
-                        let outputs_ready = node
-                            .writes
-                            .iter()
-                            .all(|&(b, c)| self.buffers[b].space() >= c);
+                        let inputs_ready =
+                            ports_satisfied(&node.reads, |b| self.buffers[b].occupancy());
+                        let outputs_ready =
+                            ports_satisfied(&node.writes, |b| self.buffers[b].space());
                         if inputs_ready && outputs_ready {
                             let reads = node.reads.clone();
                             let mut origin = now;
