@@ -1,6 +1,6 @@
 //! Runtime throughput: the execution engines head to head.
 //!
-//! Three engines over two workloads, each executed over a fixed virtual
+//! Four engines over three workloads, each executed over a fixed virtual
 //! horizon while the wall clock is measured:
 //!
 //! * **sim** — the discrete-event simulator: token origins only, no kernel
@@ -12,30 +12,42 @@
 //! * **selftimed** — `oil-rt::selftimed` at 1/2/4 worker threads: real
 //!   kernels, no clock, tasks fire whenever data and space allow with
 //!   repetition-vector batching.
+//! * **staticsched** — `oil-rt::staticsched` at 1/2/4 workers: each worker
+//!   replays the compiled periodic firing list (`oil_compiler::schedule`)
+//!   with zero readiness scanning; runs of consecutive firings execute as
+//!   single blocked kernel calls.
 //!
 //! Workloads:
 //!
 //! * **pal** — the PAL decoder with its real DSP kernels (Fig. 11): one RF
 //!   source at 6.4 MS/s through mixers, filters and resamplers to the
 //!   display and speaker sinks;
+//! * **sdr** — an FM-receiver-style chain (wideband source → decimator →
+//!   demod mixer → audio resampler → sink) with real DSP kernels, the
+//!   `ProgramScenario::generate_sdr` topology at radio-ish rates;
 //! * **wide** — eight independent chains with deliberately heavy FIR
 //!   kernels (2047 taps), the shape where kernel work dominates scheduling
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under schema v2: one record per (workload, engine_mode, threads)
-//! with `host_parallelism` recorded so scaling numbers can be read in
-//! context (a single-core host cannot show parallel speed-up for any
-//! engine).
+//! root under **schema v3**: one record per (workload, engine_mode,
+//! threads), each carrying the host parallelism measured *at that row's
+//! execution* (`std::thread::available_parallelism()` can change under
+//! cgroup pressure mid-run) and a `"degraded": true` flag whenever
+//! `threads > host_parallelism` — so 2/4-thread numbers taken on a 1-core
+//! host are never silently mistaken for parallel scaling.
 //!
 //! `cargo bench -p oil-bench --bench runtime_throughput -- --test` runs a
 //! smoke-sized horizon (CI).
 
 use oil_compiler::rtgraph::{self, RtGraph};
-use oil_compiler::{compile, CompilerOptions};
-use oil_dsp::FirFilter;
+use oil_compiler::{compile, schedule, CompilerOptions};
+use oil_dsp::{Decimator, FirFilter, Mixer, RationalResampler};
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
-use oil_rt::{execute, execute_selftimed, Kernel, KernelLibrary, RtConfig, SelfTimedConfig};
+use oil_rt::{
+    execute, execute_selftimed, execute_staticsched, Kernel, KernelLibrary, RtConfig,
+    SelfTimedConfig, StaticConfig,
+};
 use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,11 +60,58 @@ struct Row {
     wall_ms: f64,
     tokens: u64,
     tokens_per_wall_s: f64,
+    /// Host parallelism observed when this row ran.
+    host_parallelism: usize,
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn pal_graph() -> RtGraph {
     let (compiled, _) = oil_pal::analyze_pal().expect("PAL decoder is schedulable");
     rtgraph::lower_with_registry(&compiled, &oil_pal::pal_registry())
+}
+
+/// The SDR chain: a fixed `generate_sdr`-shaped program at radio-ish rates
+/// (512 kHz wideband → ÷8 decimation → mixer demod → 2:3 resample → 96 kHz
+/// sink), bound to real DSP kernels.
+fn sdr_graph() -> (RtGraph, KernelLibrary) {
+    const WIDEBAND: f64 = 512_000.0;
+    let src = r#"
+        mod seq Decim(int a, out int b){ loop{ f0(a:8, out b); } while(1); }
+        mod seq Demod(int a, out int b){ loop{ f1(a, out b); } while(1); }
+        mod seq Resamp(int a, out int b){ loop{ f2(a:2, out b:3); } while(1); }
+        mod par Top(){
+            fifo int ifs, af;
+            source int x = src() @ 512 kHz;
+            sink int y = snk() @ 96 kHz;
+            Decim(x, out ifs) || Demod(ifs, out af) || Resamp(af, out y)
+        }
+    "#;
+    let mut reg = FunctionRegistry::new();
+    reg.register(FunctionSignature::pure("f0", 1e-5)); // fires at 64 kHz
+    reg.register(FunctionSignature::pure("f1", 1e-5));
+    reg.register(FunctionSignature::pure("f2", 2e-5)); // fires at 32 kHz
+    reg.register(FunctionSignature::pure("src", 1e-7));
+    reg.register(FunctionSignature::pure("snk", 1e-7));
+    let compiled = compile(src, &reg, &CompilerOptions::default()).expect("sdr program");
+    let graph = rtgraph::lower(&compiled);
+
+    let mut lib = KernelLibrary::new();
+    lib.register(
+        "f0",
+        Box::new(|| Kernel::Decimate(Decimator::new(8, WIDEBAND, 63))),
+    );
+    lib.register(
+        "f1",
+        Box::new(|| Kernel::Mix(Mixer::new(16_000.0, WIDEBAND / 8.0))),
+    );
+    lib.register(
+        "f2",
+        Box::new(|| Kernel::Resample(RationalResampler::new(3, 2, WIDEBAND / 8.0, 63))),
+    );
+    (graph, lib)
 }
 
 /// Eight independent source → filter → sink chains at 4 kHz: wide enough
@@ -120,6 +179,7 @@ fn bench_workload(
         wall_ms: wall.as_secs_f64() * 1e3,
         tokens,
         tokens_per_wall_s: tokens as f64 / wall.as_secs_f64(),
+        host_parallelism: host_parallelism(),
     });
 
     for threads in THREAD_SWEEP {
@@ -131,6 +191,7 @@ fn bench_workload(
                 threads,
                 warmup_ticks: 64,
                 record_traces: false,
+                record_values: false,
             },
         );
         assert!(
@@ -145,6 +206,7 @@ fn bench_workload(
             wall_ms: report.wall.as_secs_f64() * 1e3,
             tokens: report.tokens,
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+            host_parallelism: host_parallelism(),
         });
     }
 
@@ -173,52 +235,59 @@ fn bench_workload(
             wall_ms: report.wall.as_secs_f64() * 1e3,
             tokens: report.tokens,
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+            host_parallelism: host_parallelism(),
+        });
+    }
+
+    for workers in THREAD_SWEEP {
+        let schedule = schedule::synthesize(graph, &plan, workers)
+            .unwrap_or_else(|e| panic!("{workload}: schedule synthesis at {workers} workers: {e}"));
+        let report = execute_staticsched(
+            graph,
+            &schedule,
+            lib,
+            picos(virtual_s),
+            &StaticConfig {
+                record_values: false,
+                ..StaticConfig::default()
+            },
+        );
+        rows.push(Row {
+            workload,
+            engine_mode: "staticsched",
+            threads: report.threads,
+            virtual_s,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            tokens: report.tokens,
+            tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+            host_parallelism: host_parallelism(),
         });
     }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
-    let (pal_s, wide_s) = if smoke { (1e-3, 0.1) } else { (10e-3, 2.0) };
+    let (pal_s, sdr_s, wide_s) = if smoke {
+        (1e-3, 0.05, 0.1)
+    } else {
+        (10e-3, 1.0, 2.0)
+    };
 
     let mut rows = Vec::new();
     let pal = pal_graph();
     bench_workload(&mut rows, "pal", &pal, &KernelLibrary::pal(), pal_s);
+    let (sdr, sdr_lib) = sdr_graph();
+    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s);
     let (wide, wide_lib) = wide_graph();
     bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s);
 
     println!(
-        "\n{:<8} {:<10} {:>7} {:>10} {:>12} {:>12} {:>16}",
-        "workload", "engine", "threads", "virtual s", "wall ms", "tokens", "tokens/wall-s"
+        "\n{:<8} {:<12} {:>7} {:>10} {:>12} {:>12} {:>16} {:>6}",
+        "workload", "engine", "threads", "virtual s", "wall ms", "tokens", "tokens/wall-s", "host"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<10} {:>7} {:>10.4} {:>12.2} {:>12} {:>16.0}",
-            r.workload,
-            r.engine_mode,
-            r.threads,
-            r.virtual_s,
-            r.wall_ms,
-            r.tokens,
-            r.tokens_per_wall_s
-        );
-    }
-
-    // Machine-readable results at the workspace root (schema v2: engine
-    // rows carry an explicit mode + thread count; v1 had a fused
-    // "oil-rt/N" engine string and no schema marker).
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
-    let _ = writeln!(json, "  \"host_parallelism\": {host},");
-    let _ = writeln!(json, "  \"benchmarks\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \"threads\": {}, \
-             \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
-             \"tokens_per_wall_second\": {:.0}}}{}",
+            "{:<8} {:<12} {:>7} {:>10.4} {:>12.2} {:>12} {:>16.0} {:>6}",
             r.workload,
             r.engine_mode,
             r.threads,
@@ -226,6 +295,34 @@ fn main() {
             r.wall_ms,
             r.tokens,
             r.tokens_per_wall_s,
+            r.host_parallelism
+        );
+    }
+
+    // Machine-readable results at the workspace root (schema v3: per-row
+    // host_parallelism + degraded flag; v2 recorded the host once per file,
+    // silently blessing 4-thread rows measured on a 1-core host).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"benchmarks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let degraded = r.threads > r.host_parallelism;
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \"threads\": {}, \
+             \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
+             \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
+             \"degraded\": {}}}{}",
+            r.workload,
+            r.engine_mode,
+            r.threads,
+            r.virtual_s,
+            r.wall_ms,
+            r.tokens,
+            r.tokens_per_wall_s,
+            r.host_parallelism,
+            degraded,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -16,7 +16,11 @@
 //! 5. [`codegen`] emits a sequential code fragment per task plus the runtime
 //!    glue (the paper generates C++; this reproduction generates Rust);
 //! 6. [`rtgraph`] lowers the compiled program into the flat, engine-agnostic
-//!    runtime graph both execution engines (`oil-sim`, `oil-rt`) consume.
+//!    runtime graph the execution engines (`oil-sim`, `oil-rt`) consume;
+//! 7. [`schedule`] synthesises **periodic static-order schedules** from the
+//!    runtime graph's repetition vector — one validated firing list per
+//!    worker, replayed by `oil-rt`'s static-order engine with zero runtime
+//!    scheduling.
 //!
 //! The one-call entry point is [`pipeline::compile`].
 
@@ -26,6 +30,7 @@ pub mod derive;
 pub mod parallelize;
 pub mod pipeline;
 pub mod rtgraph;
+pub mod schedule;
 
 pub use buffers::BufferPlan;
 pub use codegen::GeneratedCode;
@@ -35,3 +40,4 @@ pub use pipeline::{compile, CompileError, CompiledProgram, CompilerOptions};
 pub use rtgraph::{
     RtBuffer, RtBufferId, RtGraph, RtNode, RtNodeId, RtSink, RtSinkId, RtSource, RtSourceId,
 };
+pub use schedule::{synthesize, ScheduleError, StaticSchedule};

@@ -588,7 +588,8 @@ pub fn plan(graph: &RtGraph) -> RtPlan {
     // aggregated — a node reading one buffer through two ports gates its
     // readiness differently from one reading the sum through a single
     // port).
-    let access_sig = |ni: RtNodeId| -> (Vec<(RtBufferId, usize)>, Vec<(RtBufferId, usize)>) {
+    type AccessSig = (Vec<(RtBufferId, usize)>, Vec<(RtBufferId, usize)>);
+    let access_sig = |ni: RtNodeId| -> AccessSig {
         let mut reads = graph.nodes[ni].reads.clone();
         let mut writes = graph.nodes[ni].writes.clone();
         reads.sort_unstable();
@@ -767,15 +768,14 @@ pub fn non_uniform_merge_demo() -> RtGraph {
     let b = g.buffers.push(mk("b"));
     let t = g.buffers.push(mk("t"));
     let o = g.buffers.push(mk("o"));
-    let node = |name: &str, reads: Vec<(RtBufferId, usize)>, writes: Vec<(RtBufferId, usize)>| {
-        RtNode {
+    let node =
+        |name: &str, reads: Vec<(RtBufferId, usize)>, writes: Vec<(RtBufferId, usize)>| RtNode {
             name: name.into(),
             function: "f".into(),
             response: Rational::new(1, 1_000_000),
             reads,
             writes,
-        }
-    };
+        };
     g.nodes.push(node("n0", vec![(a, 1)], vec![(t, 1)]));
     g.nodes.push(node("n1", vec![(b, 1)], vec![(t, 1)]));
     g.nodes.push(node("n2", vec![(t, 1)], vec![(o, 1)]));

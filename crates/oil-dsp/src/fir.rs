@@ -11,9 +11,22 @@ use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// A direct-form FIR filter with an internal delay line.
+///
+/// The delay line is stored **doubled** (every sample written at `pos` and
+/// `pos + n`), so the current window is always one contiguous ascending
+/// slice and the dot product runs over it with pre-reversed taps and four
+/// round-robin partial sums — no wraparound arithmetic per tap and an add
+/// chain the CPU can pipeline. The 4-way reassociation moves results only
+/// at the last-ulp level, inside the tolerance the golden vectors pin;
+/// every engine shares this code, so cross-engine value oracles stay
+/// bit-exact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FirFilter {
     taps: Vec<f64>,
+    /// `taps` reversed: `rtaps[i] = taps[n-1-i]`, paired with the
+    /// ascending-time window.
+    rtaps: Vec<f64>,
+    /// Doubled delay line (`2n` slots).
     delay: Vec<Sample>,
     pos: usize,
 }
@@ -23,9 +36,11 @@ impl FirFilter {
     pub fn from_taps(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "a FIR filter needs at least one tap");
         let n = taps.len();
+        let rtaps = taps.iter().rev().copied().collect();
         FirFilter {
             taps,
-            delay: vec![0.0; n],
+            rtaps,
+            delay: vec![0.0; 2 * n],
             pos: 0,
         }
     }
@@ -69,6 +84,11 @@ impl FirFilter {
         self.taps.len()
     }
 
+    /// The tap coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
     /// True if the filter has no taps (never constructed this way).
     pub fn is_empty(&self) -> bool {
         self.taps.is_empty()
@@ -76,15 +96,35 @@ impl FirFilter {
 
     /// Process one input sample and return one output sample.
     pub fn push(&mut self, x: Sample) -> Sample {
-        self.delay[self.pos] = x;
         let n = self.taps.len();
-        let mut acc = 0.0;
-        for (k, tap) in self.taps.iter().enumerate() {
-            let idx = (self.pos + n - k) % n;
-            acc += tap * self.delay[idx];
+        self.delay[self.pos] = x;
+        self.delay[self.pos + n] = x;
+        // Ascending-time window [x_{t-n+1} … x_t], contiguous by doubling.
+        let window = &self.delay[self.pos + 1..self.pos + 1 + n];
+        let mut acc = [0.0f64; 4];
+        for (i, (&w, &t)) in window.iter().zip(self.rtaps.iter()).enumerate() {
+            acc[i & 3] += t * w;
         }
-        self.pos = (self.pos + 1) % n;
-        acc
+        self.pos += 1;
+        if self.pos == n {
+            self.pos = 0;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
+    /// Advance the delay line by one sample *without* computing the output
+    /// — bit-exact state-wise with [`Self::push`] when the caller discards
+    /// the result. Decimators and rational resamplers only emit a fraction
+    /// of their filter outputs; skipping the dead dot products is most of
+    /// their throughput.
+    pub fn push_silent(&mut self, x: Sample) {
+        let n = self.taps.len();
+        self.delay[self.pos] = x;
+        self.delay[self.pos + n] = x;
+        self.pos += 1;
+        if self.pos == n {
+            self.pos = 0;
+        }
     }
 
     /// Process a block of samples.

@@ -11,6 +11,33 @@ use crate::Sample;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
+/// Upper bound on a precomputed one-period sine table.
+const MAX_TONE_TABLE: u64 = 1 << 16;
+
+/// The smallest sample count `P ≤ MAX_TONE_TABLE` after which the tone
+/// repeats exactly (`freq · P / rate` is a whole number of cycles), if any.
+fn exact_period(freq_hz: f64, sample_rate_hz: f64) -> Option<usize> {
+    if !freq_hz.is_finite() || freq_hz < 0.0 {
+        return None;
+    }
+    (1..=MAX_TONE_TABLE)
+        .find(|&p| (freq_hz * p as f64 / sample_rate_hz).fract() == 0.0)
+        .map(|p| p as usize)
+}
+
+/// One exact period of a unit sine oscillator at `freq_hz`/`sample_rate_hz`
+/// (empty when the period is not a whole number of samples ≤ the table
+/// bound). Shared by [`ToneGenerator`] and the mixer.
+pub(crate) fn oscillator_table(freq_hz: f64, sample_rate_hz: f64) -> Vec<Sample> {
+    exact_period(freq_hz, sample_rate_hz)
+        .map(|p| {
+            (0..p)
+                .map(|n| (2.0 * PI * freq_hz * n as f64 / sample_rate_hz).sin())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// A sine-tone generator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ToneGenerator {
@@ -21,24 +48,49 @@ pub struct ToneGenerator {
     /// Amplitude.
     pub amplitude: f64,
     n: u64,
+    /// One exact period of samples when the tone's period is a whole
+    /// (small) number of samples — the PAL front end synthesises tones at
+    /// MS/s rates, and a table lookup beats a libm `sin` per sample by an
+    /// order of magnitude. Entries are computed with the same closed-form
+    /// expression the fallback path uses, at the in-table indices, so the
+    /// table is at least as accurate (it avoids the large-argument `sin`).
+    table: Vec<Sample>,
+    /// `n mod table.len()`, maintained incrementally (a u64 modulo per
+    /// sample costs more than the table load it indexes).
+    idx: usize,
 }
 
 impl ToneGenerator {
     /// Create a tone generator.
     pub fn new(freq_hz: f64, sample_rate_hz: f64, amplitude: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        let table = oscillator_table(freq_hz, sample_rate_hz)
+            .into_iter()
+            .map(|v| amplitude * v)
+            .collect();
         ToneGenerator {
             freq_hz,
             sample_rate_hz,
             amplitude,
             n: 0,
+            table,
+            idx: 0,
         }
     }
 
     /// Produce the next sample.
     pub fn next_sample(&mut self) -> Sample {
-        let y =
-            self.amplitude * (2.0 * PI * self.freq_hz * self.n as f64 / self.sample_rate_hz).sin();
+        if self.table.is_empty() {
+            let y = self.amplitude
+                * (2.0 * PI * self.freq_hz * self.n as f64 / self.sample_rate_hz).sin();
+            self.n += 1;
+            return y;
+        }
+        let y = self.table[self.idx];
+        self.idx += 1;
+        if self.idx == self.table.len() {
+            self.idx = 0;
+        }
         self.n += 1;
         y
     }

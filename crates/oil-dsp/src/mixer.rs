@@ -10,34 +10,55 @@ use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// A real mixer: multiplies the input by a sine local oscillator.
+///
+/// The oscillator phase is the closed form `2π·lo·n/rate` (an accumulated
+/// phase drifts by one rounding per sample and costs the same `sin`); when
+/// the oscillator period is a whole number of samples the sine values are
+/// precomputed for one period — at the PAL front end's 6.4 MS/s that
+/// replaces a libm `sin` per sample with a table load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mixer {
     /// Oscillator frequency in Hz.
     pub lo_freq_hz: f64,
     /// Input sample rate in Hz.
     pub sample_rate_hz: f64,
-    phase: f64,
+    n: u64,
+    table: Vec<Sample>,
+    /// `n mod table.len()`, maintained incrementally (a u64 modulo per
+    /// sample costs more than the table load it indexes).
+    idx: usize,
 }
 
 impl Mixer {
     /// Create a mixer with the given local-oscillator frequency.
     pub fn new(lo_freq_hz: f64, sample_rate_hz: f64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        let table = crate::generator::oscillator_table(lo_freq_hz, sample_rate_hz);
         Mixer {
             lo_freq_hz,
             sample_rate_hz,
-            phase: 0.0,
+            n: 0,
+            table,
+            idx: 0,
         }
     }
 
     /// Mix one sample.
     pub fn push(&mut self, x: Sample) -> Sample {
-        let y = x * (self.phase).sin() * 2.0;
-        self.phase += 2.0 * PI * self.lo_freq_hz / self.sample_rate_hz;
-        if self.phase > 2.0 * PI {
-            self.phase -= 2.0 * PI;
-        }
-        y
+        let lo = if self.table.is_empty() {
+            let v = (2.0 * PI * self.lo_freq_hz * self.n as f64 / self.sample_rate_hz).sin();
+            self.n += 1;
+            return x * v * 2.0;
+        } else {
+            let v = self.table[self.idx];
+            self.idx += 1;
+            if self.idx == self.table.len() {
+                self.idx = 0;
+            }
+            v
+        };
+        self.n += 1;
+        x * lo * 2.0
     }
 
     /// Mix a block of samples.
@@ -47,7 +68,8 @@ impl Mixer {
 
     /// Reset the oscillator phase.
     pub fn reset(&mut self) {
-        self.phase = 0.0;
+        self.n = 0;
+        self.idx = 0;
     }
 }
 

@@ -38,22 +38,26 @@ impl Decimator {
             self.factor,
             "block length must equal the factor"
         );
-        let mut out = 0.0;
-        for &x in input {
-            out = self.filter.push(x);
+        // Only the last filter output survives; the earlier ones advance
+        // the delay line without paying their dot products.
+        let (head, last) = input.split_at(self.factor - 1);
+        for &x in head {
+            self.filter.push_silent(x);
         }
-        out
+        self.filter.push(last[0])
     }
 
     /// Stream interface: push one sample, get `Some(output)` every `factor`
-    /// samples.
+    /// samples. Non-emitting samples advance the delay line only — their
+    /// filter outputs were always discarded, so skipping the dot product
+    /// changes no emitted bit.
     pub fn push(&mut self, x: Sample) -> Option<Sample> {
-        let y = self.filter.push(x);
         self.phase += 1;
         if self.phase == self.factor {
             self.phase = 0;
-            Some(y)
+            Some(self.filter.push(x))
         } else {
+            self.filter.push_silent(x);
             None
         }
     }
@@ -62,17 +66,34 @@ impl Decimator {
     pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
         input.iter().filter_map(|&x| self.push(x)).collect()
     }
+
+    /// True when the next pushed sample starts a fresh decimation window
+    /// (block-processing a multiple of `factor` samples from here yields
+    /// exactly `len / factor` outputs).
+    pub fn aligned(&self) -> bool {
+        self.phase == 0
+    }
 }
 
-/// A rational resampler by `up/down` using zero-stuffing, a polyphase
-/// anti-imaging/anti-aliasing filter and decimation.
+/// A rational resampler by `up/down`: zero-stuffing, an anti-imaging/
+/// anti-aliasing low-pass and decimation, computed in **polyphase** form —
+/// the delay line holds input-rate samples only, and each emitted output
+/// evaluates just the tap subset its upsampled position actually overlaps
+/// (`⌈taps/up⌉` multiplies instead of `taps`; the structural zeros of the
+/// conceptual zero-stuffed stream contribute nothing and are never
+/// touched).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RationalResampler {
     /// Upsampling factor (e.g. 10 for the PAL video path).
     pub up: usize,
     /// Downsampling factor (e.g. 16 for the PAL video path).
     pub down: usize,
-    filter: FirFilter,
+    /// Prototype low-pass taps on the upsampled grid.
+    taps: Vec<f64>,
+    /// Input-rate history ring (samples pre-scaled by `up`), newest at
+    /// `pos - 1`.
+    hist: Vec<Sample>,
+    pos: usize,
     /// Phase accumulator over the upsampled grid.
     phase: usize,
 }
@@ -88,38 +109,80 @@ impl RationalResampler {
         let upsampled = sample_rate_hz * up as f64;
         let cutoff =
             (sample_rate_hz / 2.0).min(sample_rate_hz * up as f64 / (2.0 * down as f64)) * 0.9;
+        let taps = FirFilter::low_pass(cutoff, upsampled, taps).taps().to_vec();
+        let hist_len = taps.len().div_ceil(up);
         RationalResampler {
             up,
             down,
-            filter: FirFilter::low_pass(cutoff, upsampled, taps),
+            taps,
+            hist: vec![0.0; hist_len],
+            pos: 0,
             phase: 0,
+        }
+    }
+
+    /// Push one input sample, handing each produced output to `emit`.
+    ///
+    /// The output at upsampled position `t = i·up + k` is
+    /// `Σ_j taps[j] · U[t−j]` over the zero-stuffed stream `U`; only the
+    /// taps with `j ≡ k (mod up)` meet a non-structural-zero sample, and
+    /// those samples are the plain input history `x[i], x[i−1], …` (scaled
+    /// by `up`), which is exactly what the ring holds.
+    pub fn push_each(&mut self, x: Sample, mut emit: impl FnMut(Sample)) {
+        let hist_len = self.hist.len();
+        self.hist[self.pos] = x * self.up as f64;
+        self.pos += 1;
+        if self.pos == hist_len {
+            self.pos = 0;
+        }
+        let newest = self.pos.checked_sub(1).unwrap_or(hist_len - 1);
+        for k in 0..self.up {
+            if self.phase == 0 {
+                let mut acc = [0.0f64; 4];
+                let mut j = k;
+                let mut idx = newest;
+                let mut m = 0usize;
+                while j < self.taps.len() {
+                    acc[m & 3] += self.taps[j] * self.hist[idx];
+                    idx = idx.checked_sub(1).unwrap_or(hist_len - 1);
+                    j += self.up;
+                    m += 1;
+                }
+                emit((acc[0] + acc[1]) + (acc[2] + acc[3]));
+            }
+            self.phase += 1;
+            if self.phase == self.down {
+                self.phase = 0;
+            }
         }
     }
 
     /// Push one input sample; returns zero or more output samples.
     pub fn push(&mut self, x: Sample) -> Vec<Sample> {
         let mut out = Vec::new();
-        for k in 0..self.up {
-            // Zero-stuffing: the input sample followed by up-1 zeros, scaled
-            // by `up` to preserve amplitude.
-            let v = if k == 0 { x * self.up as f64 } else { 0.0 };
-            let y = self.filter.push(v);
-            if self.phase == 0 {
-                out.push(y);
-            }
-            self.phase = (self.phase + 1) % self.down;
-        }
+        self.push_each(x, |y| out.push(y));
         out
     }
 
     /// Process a block of input samples.
     pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
-        input.iter().flat_map(|&x| self.push(x)).collect()
+        let mut out = Vec::with_capacity(input.len() * self.up / self.down + 1);
+        for &x in input {
+            self.push_each(x, |y| out.push(y));
+        }
+        out
     }
 
     /// Exact output/input rate ratio.
     pub fn ratio(&self) -> f64 {
         self.up as f64 / self.down as f64
+    }
+
+    /// True when the phase accumulator is at the start of its cycle
+    /// (block-processing `k` inputs with `k·up` divisible by `down` from
+    /// here yields exactly `k·up/down` outputs and returns to alignment).
+    pub fn aligned(&self) -> bool {
+        self.phase == 0
     }
 }
 

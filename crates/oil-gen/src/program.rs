@@ -154,6 +154,76 @@ impl ProgramScenario {
     }
 }
 
+impl ProgramScenario {
+    /// Generate an **SDR-flavoured** scenario: an FM-receiver-style chain
+    /// `wideband source → decimator → demod → audio resampler → sink`,
+    /// seeded like [`ProgramScenario::generate`] but with the rate
+    /// structure of a software-defined-radio front end (a fast wideband
+    /// source feeding a high-ratio decimation, a samplewise demodulator,
+    /// and a small-ratio audio resampler) instead of the generic chain
+    /// shapes. Widens the differential corpus beyond PAL and the synthetic
+    /// wide/chain graphs; the bench's `sdr` workload uses the same
+    /// topology with real DSP kernels.
+    pub fn generate_sdr(seed: u64) -> Self {
+        let mut rng = GenRng::new(seed ^ 0x5D12_AD10);
+        // Audio base rate and the conversion factors, kept small enough
+        // that a fraction of a second of virtual time reaches steady state.
+        let base = rng.range(20, 60) * 10; // 200..=600 Hz audio grain
+        let decim = *rng.pick(&[4, 8, 16]); // wideband → IF decimation
+        let (res_up, res_down) = *rng.pick(&[(1u64, 1u64), (3, 2), (2, 3), (5, 4)]);
+        // Anchoring the demod rate at `base·res_up` keeps every stage's
+        // firing rate an integer: the resampler consumes `res_up` per
+        // firing and fires at exactly `base`.
+        let demod_hz = base * res_up; // demod/decimator-output rate
+        let source_hz = demod_hz * decim;
+        let sink_hz = base * res_down;
+        let stages = vec![
+            Stage {
+                consume: decim,
+                produce: 1,
+                shape: StageShape::Plain,
+                init_tokens: None,
+                firing_hz: demod_hz,
+            },
+            Stage {
+                consume: 1,
+                produce: 1,
+                shape: StageShape::Plain,
+                init_tokens: None,
+                firing_hz: demod_hz,
+            },
+            Stage {
+                consume: res_up,
+                produce: res_down,
+                shape: StageShape::Plain,
+                init_tokens: None,
+                firing_hz: base,
+            },
+        ];
+        let mut registry = FunctionRegistry::new();
+        for (i, s) in stages.iter().enumerate() {
+            let rho = 0.25 / s.firing_hz as f64;
+            for prefix in ["f", "g", "h", "k"] {
+                registry.register(FunctionSignature::pure(format!("{prefix}{i}"), rho));
+            }
+            registry.register(FunctionSignature::pure(format!("init{i}"), 1e-6));
+        }
+        registry.register(FunctionSignature::pure("src", 1e-7));
+        registry.register(FunctionSignature::pure("snk", 1e-7));
+        let source = render_program(&stages, source_hz, sink_hz, None, false);
+        ProgramScenario {
+            seed,
+            source,
+            registry,
+            stages,
+            source_hz,
+            sink_hz,
+            latency_ms: None,
+            nested: false,
+        }
+    }
+}
+
 fn render_stage_module(i: usize, stage: &Stage) -> String {
     let mut body = String::new();
     if let Some(tokens) = stage.init_tokens {
@@ -610,6 +680,35 @@ mod tests {
         assert!(
             compiled_ok >= 40,
             "most generated programs must compile ({compiled_ok}/48)"
+        );
+    }
+
+    #[test]
+    fn sdr_scenarios_compile_and_have_radio_shaped_rates() {
+        let mut compiled_ok = 0;
+        for seed in 0..24 {
+            let s = ProgramScenario::generate_sdr(seed);
+            assert_eq!(s, ProgramScenario::generate_sdr(seed), "deterministic");
+            assert_eq!(s.stages.len(), 3, "decimate → demod → resample");
+            // The wideband source outpaces the audio sink by the decimation
+            // ratio (scaled by the resampler).
+            assert!(s.source_hz >= 4 * s.sink_hz / 2, "{}", s.source);
+            let decim = &s.stages[0];
+            assert!(decim.consume >= 4 && decim.produce == 1);
+            // Rates multiply through the chain exactly.
+            let mut rate = s.source_hz;
+            for stage in &s.stages {
+                assert_eq!(rate % stage.consume, 0, "seed {seed}");
+                rate = (rate / stage.consume) * stage.produce;
+            }
+            assert_eq!(rate, s.sink_hz, "seed {seed}");
+            if compile(&s.source, &s.registry, &CompilerOptions::default()).is_ok() {
+                compiled_ok += 1;
+            }
+        }
+        assert!(
+            compiled_ok >= 20,
+            "most SDR programs compile ({compiled_ok}/24)"
         );
     }
 

@@ -56,6 +56,10 @@ pub struct RtConfig {
     /// Record the full per-buffer token trace (tests); counters are always
     /// kept.
     pub record_traces: bool,
+    /// Record the per-buffer *value* streams ([`crate::measure::ValueTrace`]).
+    /// On by default (the differential oracles need them); benchmarks turn
+    /// this off — a `Vec` push per pushed sample taxes every hot path.
+    pub record_values: bool,
 }
 
 impl Default for RtConfig {
@@ -64,6 +68,7 @@ impl Default for RtConfig {
             threads: 0,
             warmup_ticks: 4,
             record_traces: true,
+            record_values: true,
         }
     }
 }
@@ -100,7 +105,7 @@ pub struct RtReport {
     /// The observable trace (buffer pushes only when
     /// [`RtConfig::record_traces`]; source/sink counters always).
     pub trace: ExecutionTrace,
-    /// Per-buffer value streams (recorded when [`RtConfig::record_traces`]).
+    /// Per-buffer value streams (recorded when [`RtConfig::record_values`]).
     /// For KPN-safe graphs these are schedule-invariant, so this is the
     /// reference the self-timed engine's prefix oracle compares against.
     pub values: ValueTrace,
@@ -321,6 +326,8 @@ pub fn execute(
             .expect("initial tokens fit the capacity");
             if config.record_traces {
                 pushes[i].push(0);
+            }
+            if config.record_values {
                 values[i].record(0.0);
             }
             tokens_pushed += 1;
@@ -479,6 +486,8 @@ pub fn execute(
             max_occupancy[b] = max_occupancy[b].max(producers[b].len());
             if config.record_traces {
                 pushes[b].push(token.origin);
+            }
+            if config.record_values {
                 values[b].record(token.value);
             }
             tokens_pushed += 1;
@@ -498,8 +507,7 @@ pub fn execute(
                         continue;
                     }
                     let node = &graph.nodes[ni];
-                    let inputs_ready =
-                        ports_satisfied(&node.reads, |b| consumers[b.index()].len());
+                    let inputs_ready = ports_satisfied(&node.reads, |b| consumers[b.index()].len());
                     let outputs_ready = ports_satisfied(&node.writes, |b| {
                         declared[b.index()].saturating_sub(producers[b.index()].len())
                     });
@@ -680,7 +688,7 @@ pub fn execute(
         threads,
         trace,
         values: ValueTrace {
-            buffers: if config.record_traces {
+            buffers: if config.record_values {
                 values
             } else {
                 Vec::new()

@@ -88,6 +88,102 @@ impl Kernel {
         }
         out
     }
+
+    /// Execute `firings` consecutive firings in one call: firing `j`
+    /// consumes `inputs[j·in_len .. (j+1)·in_len]` and contributes
+    /// `out_len` values at `result[j·out_len ..]`. **Bit-identical** to
+    /// `firings` separate [`Self::fire`] calls — the fast paths below only
+    /// apply where the kernel's natural block processing is the same
+    /// per-sample state march (samplewise filters, phase-aligned
+    /// decimators/resamplers whose chunk output counts match `out_len`
+    /// exactly); everything else falls back to the per-firing loop. The
+    /// static-order engine uses this to amortise the per-firing call and
+    /// allocation cost over a scheduled run — its schedule proves the run's
+    /// tokens exist up front, which a dynamic engine must re-check per
+    /// firing.
+    pub fn fire_block(
+        &mut self,
+        inputs: &[f64],
+        firings: usize,
+        in_len: usize,
+        out_len: usize,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(firings * out_len);
+        self.fire_block_into(inputs, firings, in_len, out_len, &mut out);
+        out
+    }
+
+    /// As [`Self::fire_block`], appending into a caller-provided buffer so
+    /// a replay loop can reuse one allocation across runs.
+    pub fn fire_block_into(
+        &mut self,
+        inputs: &[f64],
+        firings: usize,
+        in_len: usize,
+        out_len: usize,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(inputs.len(), firings * in_len);
+        out.reserve(firings * out_len);
+        match self {
+            // Samplewise kernels: block processing is the identical state
+            // march, one output per input.
+            Kernel::Fir(f) if in_len == out_len => {
+                out.extend(inputs.iter().map(|&x| f.push(x)));
+            }
+            Kernel::Mix(m) if in_len == out_len => {
+                out.extend(inputs.iter().map(|&x| m.push(x)));
+            }
+            // An aligned decimator consuming whole windows per firing emits
+            // exactly `out_len` per chunk, so the concatenation is the
+            // per-firing result.
+            Kernel::Decimate(d) if d.aligned() && d.factor > 0 && in_len == out_len * d.factor => {
+                out.extend(inputs.iter().filter_map(|&x| d.push(x)));
+            }
+            // An aligned rational resampler whose per-firing phase cycle is
+            // whole (`in·up` divisible by `down`) emits exactly
+            // `in·up/down = out_len` per chunk.
+            Kernel::Resample(r)
+                if r.aligned()
+                    && r.down > 0
+                    && (in_len * r.up).is_multiple_of(r.down)
+                    && in_len * r.up == out_len * r.down =>
+            {
+                for &x in inputs {
+                    r.push_each(x, |y| out.push(y));
+                }
+            }
+            // The synthetic kernel is defined per firing; loop it without a
+            // per-firing allocation.
+            Kernel::Synthetic { key, n } => {
+                for j in 0..firings {
+                    let chunk = &inputs[j * in_len..(j + 1) * in_len];
+                    let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ *key;
+                    for &x in chunk {
+                        acc = acc
+                            .rotate_left(17)
+                            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                            .wrapping_add(x.to_bits());
+                    }
+                    let base = *n;
+                    *n += 1;
+                    out.extend((0..out_len).map(|k| {
+                        let h = acc
+                            .wrapping_add((base << 8) | k as u64)
+                            .wrapping_mul(0x94D0_49BB_1331_11EB);
+                        (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+                    }));
+                }
+            }
+            // Everything else (custom kernels, unaligned or padded shapes):
+            // the per-firing loop, verbatim.
+            _ => {
+                for j in 0..firings {
+                    out.extend(self.fire(&inputs[j * in_len..(j + 1) * in_len], out_len));
+                }
+            }
+        }
+    }
 }
 
 /// A time-triggered source's sample generator. Pure sequences: sample `n` is

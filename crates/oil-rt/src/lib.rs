@@ -26,6 +26,11 @@
 //!   soon as tokens and space allow, batched by the repetition-vector plan
 //!   (`oil_compiler::rtgraph::plan`), verified against the calendar engine
 //!   through the value plane (`tests/selftimed_differential.rs`);
+//! * [`staticsched`] — the **compiled static-order engine**: each worker
+//!   replays a periodic firing list synthesised and validated at compile
+//!   time (`oil_compiler::schedule`), with zero readiness scanning and
+//!   synchronisation only on cross-worker buffers
+//!   (`tests/staticsched_differential.rs`);
 //! * [`measure`] — per-buffer value-stream traces and wall-clock sink
 //!   throughput vs the CTA-predicted rates (rate conformance).
 //!
@@ -39,12 +44,14 @@ pub mod measure;
 pub mod pool;
 pub mod ring;
 pub mod selftimed;
+pub mod staticsched;
 
 pub use exec::{env_threads, execute, RtConfig, RtReport, SinkStream};
 pub use kernel::{Kernel, KernelLibrary, SourceKernel};
 pub use measure::{RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 pub use pool::WorkStealingPool;
 pub use selftimed::{execute_selftimed, SelfTimedConfig, SelfTimedReport};
+pub use staticsched::{execute_staticsched, StaticConfig, StaticReport};
 
 #[cfg(test)]
 mod tests {

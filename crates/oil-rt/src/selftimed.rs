@@ -869,9 +869,10 @@ fn partition_units(graph: &RtGraph, plan: &RtPlan, units: &[Unit], threads: usiz
     let mut pinned_roots: std::collections::BTreeSet<usize> = Default::default();
     for (u, unit) in units.iter().enumerate() {
         if let Unit::Nodes(parts) = unit {
-            if parts.iter().any(|p| {
-                plan.cluster_of[p.id].is_some_and(|c| !plan.cluster_uniform[c as usize])
-            }) {
+            if parts
+                .iter()
+                .any(|p| plan.cluster_of[p.id].is_some_and(|c| !plan.cluster_uniform[c as usize]))
+            {
                 pinned_roots.insert(uf.find(u));
             }
         }
@@ -1151,7 +1152,7 @@ mod tests {
         assert!(!base.deadlocked);
         assert!(base.sinks[0].consumed > 0);
         for threads in [2, 4] {
-            for chaos in [None, Some(0xBADC_0DE)] {
+            for chaos in [None, Some(0x0BAD_C0DE)] {
                 let other = run(threads, chaos);
                 assert!(!other.deadlocked, "threads={threads}, chaos={chaos:?}");
                 assert_eq!(

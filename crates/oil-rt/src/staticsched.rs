@@ -1,0 +1,980 @@
+//! The compiled static-order execution engine.
+//!
+//! The third engine closes the loop on the paper's premise: because OIL's
+//! restrictions make the multi-rate schedule *statically derivable*, the
+//! expensive part of execution — deciding what fires next — happens in the
+//! compiler ([`oil_compiler::schedule`]), not here. Each worker replays its
+//! **periodic static-order firing list** in a loop:
+//!
+//! * **zero readiness scanning** — no admission checks, no level snapshots,
+//!   no fireability scans: the schedule was admitted only after an exact
+//!   integer replay proved that no read underflows and no buffer exceeds
+//!   its CTA-sized capacity;
+//! * **zero synchronisation on intra-worker edges** — a buffer whose
+//!   producer and consumer live on the same worker is a plain unsynchronised
+//!   deque (no atomics at all: the validated replay *is* the proof the
+//!   accesses are safe), which is every buffer when the schedule has one
+//!   worker;
+//! * cross-worker edges are the only synchronisation: the same bounded
+//!   SPSC rings as the other engines, with blocking `push_wait`/`pop_wait`
+//!   — and the schedule pass minimises how many edges cross;
+//! * **no quiescence protocol** — one schedule period returns every buffer
+//!   to its starting level, so the engine computes up front how many
+//!   iterations cover the sources' sample budgets, replays exactly that
+//!   many, and stops. Termination is arithmetic, not detection.
+//!
+//! Modal `if`/`switch` clusters execute their **quasi-static** resolution:
+//! the schedule fires the cluster representative (the lowest-id twin — the
+//! member both dynamic engines' deterministic tie-breaks select at every
+//! decision), so value streams are bit-identical to the self-timed engine's
+//! on every buffer. `tests/staticsched_differential.rs` holds the engine to
+//! exactly that, plus thread-count invariance and rate conformance.
+//!
+//! Compared to the self-timed engine the sources here run *past* their
+//! budget to the end of the covering iteration (`⌈budget/q⌉` iterations per
+//! component): the self-timed streams are therefore a bit-exact **prefix**
+//! of this engine's streams, never the reverse.
+
+use crate::exec::{SinkStream, SINK_STREAM_CAP};
+use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
+use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
+use crate::ring::{self, Consumer, Producer};
+use oil_compiler::rtgraph::RtGraph;
+use oil_compiler::schedule::{StaticSchedule, UnitKind};
+use oil_dataflow::index::Idx;
+use oil_sim::Picos;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a static-order execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticConfig {
+    /// Record per-buffer value streams (the verification oracle); sink
+    /// streams and counters are always kept.
+    pub record_values: bool,
+    /// Sink samples excluded from the steady-state throughput window.
+    pub warmup_samples: u64,
+}
+
+impl Default for StaticConfig {
+    fn default() -> Self {
+        StaticConfig {
+            record_values: true,
+            warmup_samples: 16,
+        }
+    }
+}
+
+/// Everything one static-order execution observed.
+#[derive(Debug)]
+pub struct StaticReport {
+    /// Worker threads used (the schedule's worker count).
+    pub threads: usize,
+    /// Per-buffer value streams (when [`StaticConfig::record_values`]).
+    pub values: ValueTrace,
+    /// Per sink: the output sample streams.
+    pub sinks: Vec<SinkStream>,
+    /// Per sink: measured steady-state throughput vs the CTA-predicted
+    /// rate.
+    pub throughput: Vec<SinkThroughput>,
+    /// Per node: (name, completed firings), in node-id order. Non-
+    /// representative cluster members report 0, exactly as under the
+    /// dynamic engines' deterministic tie-break.
+    pub node_firings: Vec<(String, u64)>,
+    /// Per source: (name, samples generated).
+    pub sources: Vec<(String, u64)>,
+    /// Total tokens pushed across all buffers (including dropped commits to
+    /// unread buffers), the same currency as the other engines' reports.
+    pub tokens: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Schedule iterations executed (the maximum over components).
+    pub iterations: u64,
+    /// Buffers that crossed a worker boundary (the only synchronised ones).
+    pub cross_buffers: usize,
+}
+
+impl StaticReport {
+    /// The collected sample stream of a sink (matched by name fragment).
+    pub fn sink_values(&self, name: &str) -> Option<&[f64]> {
+        self.sinks
+            .iter()
+            .find(|s| s.name.contains(name))
+            .map(|s| s.values.as_slice())
+    }
+
+    /// The rate-conformance verdict at `threshold` (see
+    /// [`crate::measure::conformance_threshold`] for the default).
+    pub fn conformance(&self, threshold: f64) -> RateConformance {
+        RateConformance {
+            threshold,
+            sinks: self.throughput.clone(),
+        }
+    }
+}
+
+/// An unsynchronised bounded ring for intra-worker buffers: absolute
+/// head/tail counters over a power-of-two store, no atomics, no occupancy
+/// checks — the schedule validation proves every pop finds a value and
+/// every push finds room within the declared capacity.
+struct LocalRing {
+    buf: Box<[f64]>,
+    mask: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl LocalRing {
+    fn with_capacity(capacity: usize) -> Self {
+        let size = capacity.max(1).next_power_of_two();
+        LocalRing {
+            buf: vec![0.0; size].into_boxed_slice(),
+            mask: size - 1,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: f64) {
+        debug_assert!(self.tail - self.head < self.buf.len(), "validated level");
+        self.buf[self.tail & self.mask] = v;
+        self.tail += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> f64 {
+        debug_assert!(self.head < self.tail, "validated occupancy");
+        let v = self.buf[self.head & self.mask];
+        self.head += 1;
+        v
+    }
+
+    fn push_block(&mut self, values: &[f64]) {
+        debug_assert!(self.tail - self.head + values.len() <= self.buf.len());
+        let at = self.tail & self.mask;
+        let first = values.len().min(self.buf.len() - at);
+        self.buf[at..at + first].copy_from_slice(&values[..first]);
+        self.buf[..values.len() - first].copy_from_slice(&values[first..]);
+        self.tail += values.len();
+    }
+
+    fn pop_block(&mut self, n: usize, into: &mut Vec<f64>) {
+        debug_assert!(self.tail - self.head >= n, "validated occupancy");
+        let at = self.head & self.mask;
+        let first = n.min(self.buf.len() - at);
+        into.extend_from_slice(&self.buf[at..at + first]);
+        into.extend_from_slice(&self.buf[..n - first]);
+        self.head += n;
+    }
+}
+
+/// One buffer endpoint as a worker sees it.
+enum Slot {
+    /// Not touched by this worker.
+    Absent,
+    /// Both endpoints on this worker: an unchecked local ring.
+    Local(LocalRing),
+    /// This worker produces into a cross-worker ring.
+    Prod(Producer<f64>),
+    /// This worker consumes from a cross-worker ring.
+    Cons(Consumer<f64>),
+    /// An unread buffer this worker writes: commits are recorded and
+    /// dropped.
+    Sunk,
+}
+
+/// Cross-firing state of one scheduling unit on its worker.
+enum UnitState {
+    Node {
+        /// Node-id of the executed (representative) member.
+        node: usize,
+        kernel: Kernel,
+        /// `(buffer, count)` per read port, in port order.
+        reads: Vec<(usize, usize)>,
+        writes: Vec<(usize, usize)>,
+        /// Inputs per firing (all read ports flattened).
+        in_len: usize,
+        out_len: usize,
+        /// Blocked execution admissible: every touched buffer is local to
+        /// this worker and no buffer is both read and written. A scheduled
+        /// run of `k` consecutive firings then executes as one
+        /// [`Kernel::fire_block`] call over block-popped inputs — the
+        /// validated schedule proves the run's tokens exist up front, so
+        /// gathering them before the pushes is sound (and bit-identical:
+        /// per-buffer push/pop orders are unchanged).
+        block: bool,
+        fired: u64,
+    },
+    Source {
+        source: usize,
+        kernel: SourceKernel,
+        outputs: Vec<usize>,
+        /// Blocked broadcast admissible: a single output, or every replica
+        /// local (a multi-replica broadcast over a cross-worker ring keeps
+        /// the per-firing interleave instead, so a replica never runs a
+        /// whole block ahead of its siblings against bounded rings).
+        block: bool,
+        generated: u64,
+    },
+    Sink {
+        sink: usize,
+        input: usize,
+        consumed: u64,
+        values: Vec<f64>,
+        meter: ThroughputMeter,
+    },
+}
+
+/// One step of a worker's compiled list.
+struct CompiledStep {
+    /// Index into the worker's unit-state table.
+    unit: u32,
+    /// Consecutive firings at this position.
+    times: u32,
+    /// Iterations of the outer loop that include this step (its
+    /// component's covering iteration count).
+    iters: u64,
+}
+
+/// The buffer plumbing of one worker: endpoint slots plus producer-side
+/// recording. Split from the unit table so a unit's state and the buffer
+/// I/O can be borrowed mutably at the same time.
+struct BufIo {
+    slots: Vec<Slot>,
+    recorders: Vec<Option<BufferValues>>,
+    record_values: bool,
+    tokens: u64,
+}
+
+impl BufIo {
+    #[inline]
+    fn pop(&mut self, b: usize, abort: &AtomicBool) -> f64 {
+        match &mut self.slots[b] {
+            Slot::Local(q) => q.pop(),
+            Slot::Cons(rx) => rx
+                .pop_wait(|| abort.load(Ordering::Relaxed))
+                .expect("peer worker aborted mid-schedule"),
+            _ => unreachable!("read from a buffer this worker does not consume"),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, b: usize, value: f64, abort: &AtomicBool) {
+        if self.record_values {
+            if let Some(r) = self.recorders[b].as_mut() {
+                r.record(value);
+            }
+        }
+        self.tokens += 1;
+        match &mut self.slots[b] {
+            Slot::Local(q) => q.push(value),
+            Slot::Prod(tx) => {
+                if tx
+                    .push_wait(value, || abort.load(Ordering::Relaxed))
+                    .is_err()
+                {
+                    panic!("peer worker aborted mid-schedule");
+                }
+            }
+            Slot::Sunk => {}
+            _ => unreachable!("write to a buffer this worker does not produce"),
+        }
+    }
+
+    /// Pop `n` values into `scratch` (same per-buffer order as `n` single
+    /// pops).
+    fn pop_block(&mut self, b: usize, n: usize, scratch: &mut Vec<f64>, abort: &AtomicBool) {
+        match &mut self.slots[b] {
+            Slot::Local(q) => q.pop_block(n, scratch),
+            Slot::Cons(rx) => {
+                for _ in 0..n {
+                    scratch.push(
+                        rx.pop_wait(|| abort.load(Ordering::Relaxed))
+                            .expect("peer worker aborted mid-schedule"),
+                    );
+                }
+            }
+            _ => unreachable!("read from a buffer this worker does not consume"),
+        }
+    }
+
+    /// Push a block of values (same per-buffer order as single pushes).
+    fn push_block(&mut self, b: usize, values: &[f64], abort: &AtomicBool) {
+        if self.record_values {
+            if let Some(r) = self.recorders[b].as_mut() {
+                for &v in values {
+                    r.record(v);
+                }
+            }
+        }
+        self.tokens += values.len() as u64;
+        match &mut self.slots[b] {
+            Slot::Local(q) => q.push_block(values),
+            Slot::Prod(tx) => {
+                for &v in values {
+                    if tx.push_wait(v, || abort.load(Ordering::Relaxed)).is_err() {
+                        panic!("peer worker aborted mid-schedule");
+                    }
+                }
+            }
+            Slot::Sunk => {}
+            _ => unreachable!("write to a buffer this worker does not produce"),
+        }
+    }
+}
+
+/// Everything one worker owns for the run.
+struct Worker {
+    steps: Vec<CompiledStep>,
+    units: Vec<UnitState>,
+    io: BufIo,
+    max_iters: u64,
+    scratch: Vec<f64>,
+    /// Reused output buffer for blocked kernel calls.
+    out_buf: Vec<f64>,
+}
+
+/// What one worker hands back.
+struct WorkerOut {
+    units: Vec<UnitState>,
+    recorders: Vec<Option<BufferValues>>,
+    tokens: u64,
+}
+
+impl Worker {
+    fn run(mut self, abort: &AtomicBool) -> WorkerOut {
+        let io = &mut self.io;
+        let scratch = &mut self.scratch;
+        let out_buf = &mut self.out_buf;
+        for it in 0..self.max_iters {
+            for step in &self.steps {
+                if it >= step.iters {
+                    continue;
+                }
+                match &mut self.units[step.unit as usize] {
+                    UnitState::Node {
+                        kernel,
+                        reads,
+                        writes,
+                        in_len,
+                        out_len,
+                        block,
+                        fired,
+                        ..
+                    } => {
+                        let times = step.times as usize;
+                        if *block {
+                            // One kernel call for the whole scheduled run:
+                            // gather every firing's inputs (the schedule
+                            // proved they exist), fire the block, scatter.
+                            scratch.clear();
+                            if let [(b, c)] = reads[..] {
+                                io.pop_block(b, times * c, scratch, abort);
+                            } else {
+                                for _ in 0..times {
+                                    for &(b, c) in reads.iter() {
+                                        for _ in 0..c {
+                                            scratch.push(io.pop(b, abort));
+                                        }
+                                    }
+                                }
+                            }
+                            out_buf.clear();
+                            kernel.fire_block_into(scratch, times, *in_len, *out_len, out_buf);
+                            if let [(b, c)] = writes[..] {
+                                debug_assert_eq!(c, *out_len);
+                                io.push_block(b, out_buf, abort);
+                            } else {
+                                for j in 0..times {
+                                    for &(b, c) in writes.iter() {
+                                        for k in 0..c {
+                                            let v = out_buf.get(j * *out_len + k).copied();
+                                            io.push(b, v.unwrap_or(0.0), abort);
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            for _ in 0..times {
+                                scratch.clear();
+                                for &(b, c) in reads.iter() {
+                                    for _ in 0..c {
+                                        scratch.push(io.pop(b, abort));
+                                    }
+                                }
+                                let out = kernel.fire(scratch, *out_len);
+                                for &(b, c) in writes.iter() {
+                                    for k in 0..c {
+                                        io.push(b, out.get(k).copied().unwrap_or(0.0), abort);
+                                    }
+                                }
+                            }
+                        }
+                        *fired += step.times as u64;
+                    }
+                    UnitState::Source {
+                        kernel,
+                        outputs,
+                        block,
+                        generated,
+                        ..
+                    } => {
+                        if *block {
+                            scratch.clear();
+                            for _ in 0..step.times {
+                                scratch.push(kernel.next_sample());
+                            }
+                            for &b in outputs.iter() {
+                                io.push_block(b, scratch, abort);
+                            }
+                        } else {
+                            for _ in 0..step.times {
+                                let v = kernel.next_sample();
+                                for &b in outputs.iter() {
+                                    io.push(b, v, abort);
+                                }
+                            }
+                        }
+                        *generated += step.times as u64;
+                    }
+                    UnitState::Sink {
+                        input,
+                        consumed,
+                        values,
+                        meter,
+                        ..
+                    } => {
+                        for _ in 0..step.times {
+                            let v = io.pop(*input, abort);
+                            *consumed += 1;
+                            meter.record();
+                            if values.len() < SINK_STREAM_CAP {
+                                values.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        WorkerOut {
+            units: self.units,
+            recorders: self.io.recorders,
+            tokens: self.io.tokens,
+        }
+    }
+}
+
+/// Execute `graph` by replaying the synthesised static-order `schedule`:
+/// each source covers at least the sample budget of `duration` picoseconds
+/// of virtual time (the count the simulator would emit, rounded up to whole
+/// schedule iterations), and the engine returns once every worker has
+/// replayed its covering iterations.
+///
+/// # Panics
+/// Panics if `schedule` was synthesised for a different graph, or if a
+/// kernel panics on a worker (the abort flag unblocks the peers, then the
+/// panic propagates).
+pub fn execute_staticsched(
+    graph: &RtGraph,
+    schedule: &StaticSchedule,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &StaticConfig,
+) -> StaticReport {
+    assert_eq!(
+        schedule.producer_unit.len(),
+        graph.buffers.len(),
+        "schedule/graph mismatch"
+    );
+    let started = Instant::now();
+    let threads = schedule.worker_count();
+    let n_buffers = graph.buffers.len();
+
+    // --- Source budgets (the simulator's horizon count) and the covering
+    // iteration count per component.
+    let budgets: Vec<u64> = graph
+        .sources
+        .iter()
+        .map(|s| {
+            let period_ps = oil_sim::time::picos_nearest(s.period)
+                .unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
+            duration.checked_div(period_ps).unwrap_or(0)
+        })
+        .collect();
+    let component_iters = schedule.covering_iterations(graph, |id| budgets[id.index()]);
+    let iterations = component_iters.iter().copied().max().unwrap_or(0);
+
+    // --- Per-buffer placement: the worker of each endpoint decides the
+    // backing (local deque, cross-worker ring, or record-and-drop).
+    let unit_worker = |u: Option<u32>| u.map(|u| schedule.units[u as usize].worker);
+    let declared: Vec<usize> = graph
+        .buffers
+        .iter()
+        .map(|b| b.capacity.max(b.initial_tokens).max(1))
+        .collect();
+    let mut worker_slots: Vec<Vec<Slot>> = (0..threads)
+        .map(|_| (0..n_buffers).map(|_| Slot::Absent).collect())
+        .collect();
+    let mut recorders: Vec<Option<BufferValues>> = Vec::with_capacity(n_buffers);
+    let mut setup_tokens = 0u64;
+    for (i, b) in graph.buffers.iter().enumerate() {
+        let mut recorder = BufferValues {
+            name: b.name.clone(),
+            ..Default::default()
+        };
+        for _ in 0..b.initial_tokens {
+            recorder.record(0.0);
+            setup_tokens += 1;
+        }
+        let bi = oil_compiler::rtgraph::RtBufferId::new(i);
+        let pw = unit_worker(schedule.producer_unit[bi]);
+        let cw = unit_worker(schedule.consumer_unit[bi]);
+        match (pw, cw) {
+            (Some(p), None) => {
+                // Unread: record-and-drop on the producer's worker.
+                worker_slots[p][i] = Slot::Sunk;
+            }
+            (Some(p), Some(c)) if p == c => {
+                let mut q = LocalRing::with_capacity(declared[i]);
+                for _ in 0..b.initial_tokens {
+                    q.push(0.0);
+                }
+                worker_slots[p][i] = Slot::Local(q);
+            }
+            (Some(p), Some(c)) => {
+                let (mut tx, rx) = ring::spsc::<f64>(declared[i]);
+                for _ in 0..b.initial_tokens {
+                    tx.push(0.0).expect("initial tokens fit the capacity");
+                }
+                worker_slots[p][i] = Slot::Prod(tx);
+                worker_slots[c][i] = Slot::Cons(rx);
+            }
+            (None, Some(c)) => {
+                // Only initial tokens ever occupy it (validation bounds the
+                // consumer's reads to those).
+                let mut q = LocalRing::with_capacity(declared[i]);
+                for _ in 0..b.initial_tokens {
+                    q.push(0.0);
+                }
+                worker_slots[c][i] = Slot::Local(q);
+            }
+            (None, None) => {}
+        }
+        recorders.push(Some(recorder));
+    }
+
+    // --- Compile each worker's unit table and step list.
+    let mut workers: Vec<Worker> = Vec::with_capacity(threads);
+    // unit id -> (worker, local index)
+    let mut unit_home: Vec<(usize, u32)> = vec![(0, 0); schedule.units.len()];
+    let mut worker_units: Vec<Vec<UnitState>> = (0..threads).map(|_| Vec::new()).collect();
+    for (u, unit) in schedule.units.iter().enumerate() {
+        let w = unit.worker;
+        // A buffer endpoint is "free of peers" when the worker's view of it
+        // never blocks: a local deque, or a dropped unread buffer.
+        let unblocked = |b: usize| matches!(worker_slots[w][b], Slot::Local(_) | Slot::Sunk);
+        let state = match &unit.kind {
+            UnitKind::Node(id)
+            | UnitKind::Cluster {
+                representative: id, ..
+            } => {
+                let n = &graph.nodes[*id];
+                let reads: Vec<(usize, usize)> =
+                    n.reads.iter().map(|&(b, c)| (b.index(), c)).collect();
+                let writes: Vec<(usize, usize)> =
+                    n.writes.iter().map(|&(b, c)| (b.index(), c)).collect();
+                let disjoint = reads
+                    .iter()
+                    .all(|&(b, _)| writes.iter().all(|&(wb, _)| wb != b));
+                let block = disjoint
+                    && reads.iter().all(|&(b, _)| unblocked(b))
+                    && writes.iter().all(|&(b, _)| unblocked(b));
+                UnitState::Node {
+                    node: id.index(),
+                    kernel: lib.instantiate(&n.function),
+                    in_len: reads.iter().map(|&(_, c)| c).sum(),
+                    out_len: writes.iter().map(|&(_, c)| c).max().unwrap_or(0),
+                    reads,
+                    writes,
+                    block,
+                    fired: 0,
+                }
+            }
+            UnitKind::Source(id) => {
+                let s = &graph.sources[*id];
+                let outputs: Vec<usize> = s.outputs.iter().map(|b| b.index()).collect();
+                let block = outputs.len() == 1 || outputs.iter().all(|&b| unblocked(b));
+                UnitState::Source {
+                    source: id.index(),
+                    kernel: lib.instantiate_source(&s.function),
+                    outputs,
+                    block,
+                    generated: 0,
+                }
+            }
+            UnitKind::Sink(id) => {
+                let s = &graph.sinks[*id];
+                UnitState::Sink {
+                    sink: id.index(),
+                    input: s.input.index(),
+                    consumed: 0,
+                    values: Vec::new(),
+                    meter: ThroughputMeter::new(config.warmup_samples),
+                }
+            }
+        };
+        unit_home[u] = (w, worker_units[w].len() as u32);
+        worker_units[w].push(state);
+    }
+    for (w, (units, mut slots)) in worker_units
+        .into_iter()
+        .zip(std::mem::take(&mut worker_slots))
+        .enumerate()
+    {
+        // Hand each producer-side recorder to its worker.
+        let mut recs: Vec<Option<BufferValues>> = (0..n_buffers).map(|_| None).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let produces = matches!(slot, Slot::Local(_) | Slot::Prod(_) | Slot::Sunk);
+            let bi = oil_compiler::rtgraph::RtBufferId::new(i);
+            let is_producer = unit_worker(schedule.producer_unit[bi]) == Some(w);
+            if produces && is_producer {
+                recs[i] = recorders[i].take();
+            }
+        }
+        let steps: Vec<CompiledStep> = schedule.workers[w]
+            .iter()
+            .map(|s| {
+                let unit = &schedule.units[s.unit as usize];
+                CompiledStep {
+                    unit: unit_home[s.unit as usize].1,
+                    times: s.times,
+                    iters: component_iters[unit.component as usize],
+                }
+            })
+            .collect();
+        let max_iters = steps.iter().map(|s| s.iters).max().unwrap_or(0);
+        workers.push(Worker {
+            steps,
+            units,
+            io: BufIo {
+                slots,
+                recorders: recs,
+                record_values: config.record_values,
+                tokens: 0,
+            },
+            max_iters,
+            scratch: Vec::new(),
+            out_buf: Vec::new(),
+        });
+    }
+
+    // --- Run. No coordination beyond the cross-worker rings: each worker
+    // replays its covering iterations and returns. The abort flag exists
+    // only to unblock peers when a worker panics.
+    let abort = Arc::new(AtomicBool::new(false));
+    let outs: Vec<WorkerOut> = if threads == 1 {
+        let worker = workers.pop().expect("one worker");
+        vec![worker.run(&abort)]
+    } else {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(w, worker)| {
+                let abort = Arc::clone(&abort);
+                std::thread::Builder::new()
+                    .name(format!("oil-rt-static-{w}"))
+                    .spawn(move || {
+                        struct AbortOnPanic(Arc<AtomicBool>);
+                        impl Drop for AbortOnPanic {
+                            fn drop(&mut self) {
+                                if std::thread::panicking() {
+                                    self.0.store(true, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                        let _guard = AbortOnPanic(Arc::clone(&abort));
+                        worker.run(&abort)
+                    })
+                    .expect("spawning a static-order worker thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("static-order worker panicked"))
+            .collect()
+    };
+
+    // --- Assemble the report.
+    let mut tokens = setup_tokens;
+    let mut node_firings: Vec<(String, u64)> =
+        graph.nodes.iter().map(|n| (n.name.clone(), 0u64)).collect();
+    let mut source_samples: Vec<(String, u64)> = graph
+        .sources
+        .iter()
+        .map(|s| (s.name.clone(), 0u64))
+        .collect();
+    let mut sinks: Vec<Option<SinkStream>> = (0..graph.sinks.len()).map(|_| None).collect();
+    let mut throughput: Vec<Option<SinkThroughput>> =
+        (0..graph.sinks.len()).map(|_| None).collect();
+    for out in outs {
+        tokens += out.tokens;
+        for (b, r) in out.recorders.into_iter().enumerate() {
+            if let Some(r) = r {
+                recorders[b] = Some(r);
+            }
+        }
+        for unit in out.units {
+            match unit {
+                UnitState::Node { node, fired, .. } => node_firings[node].1 = fired,
+                UnitState::Source {
+                    source, generated, ..
+                } => source_samples[source].1 = generated,
+                UnitState::Sink {
+                    sink,
+                    consumed,
+                    values,
+                    meter,
+                    ..
+                } => {
+                    let s = &graph.sinks[oil_compiler::rtgraph::RtSinkId::new(sink)];
+                    sinks[sink] = Some(SinkStream {
+                        name: s.name.clone(),
+                        consumed,
+                        misses: 0,
+                        max_latency: 0.0,
+                        values,
+                    });
+                    throughput[sink] = Some(SinkThroughput {
+                        name: s.name.clone(),
+                        samples: consumed,
+                        predicted_hz: s.period.recip().to_f64(),
+                        measured_hz: meter.steady_rate_hz(),
+                    });
+                }
+            }
+        }
+    }
+    StaticReport {
+        threads,
+        values: ValueTrace {
+            buffers: if config.record_values {
+                recorders
+                    .into_iter()
+                    .map(|r| r.unwrap_or_default())
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        },
+        sinks: sinks
+            .into_iter()
+            .map(|s| s.expect("every sink is a scheduled unit"))
+            .collect(),
+        throughput: throughput
+            .into_iter()
+            .map(|t| t.expect("every sink measured"))
+            .collect(),
+        node_firings,
+        sources: source_samples,
+        tokens,
+        wall: started.elapsed(),
+        iterations,
+        cross_buffers: schedule.cross_buffers.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selftimed::{execute_selftimed, SelfTimedConfig};
+    use oil_compiler::schedule::synthesize;
+    use oil_compiler::{compile, rtgraph, CompilerOptions};
+    use oil_lang::registry::{FunctionRegistry, FunctionSignature};
+    use oil_sim::picos;
+
+    fn registry() -> FunctionRegistry {
+        let mut r = FunctionRegistry::new();
+        for f in ["f", "g", "init", "src", "snk"] {
+            r.register(FunctionSignature::pure(f, 1e-5));
+        }
+        r
+    }
+
+    const PIPELINE: &str = r#"
+        mod seq P(int a, out int m){ loop{ f(a, out m); } while(1); }
+        mod seq Q(int m, out int b){ loop{ g(m:2, out b); } while(1); }
+        mod par D(){
+            fifo int mid;
+            source int x = src() @ 2 kHz;
+            sink int y = snk() @ 1 kHz;
+            P(x, out mid) || Q(mid, out y)
+        }
+    "#;
+
+    fn lowered(src: &str) -> (rtgraph::RtGraph, rtgraph::RtPlan) {
+        let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        (graph, plan)
+    }
+
+    #[test]
+    fn selftimed_streams_are_a_prefix_of_the_static_replay() {
+        let (graph, plan) = lowered(PIPELINE);
+        let reference = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.1),
+            &SelfTimedConfig {
+                threads: 1,
+                ..SelfTimedConfig::default()
+            },
+        );
+        assert!(!reference.deadlocked);
+        for workers in [1, 2, 4] {
+            let schedule = synthesize(&graph, &plan, workers).expect("schedulable");
+            let report = execute_staticsched(
+                &graph,
+                &schedule,
+                &KernelLibrary::new(),
+                picos(0.1),
+                &StaticConfig::default(),
+            );
+            assert_eq!(
+                reference.values.prefix_divergence(&report.values),
+                None,
+                "workers={workers}"
+            );
+            let (cal, fre) = (&reference.sinks[0], &report.sinks[0]);
+            let shared = cal.values.len().min(fre.values.len());
+            assert_eq!(cal.values[..shared], fre.values[..shared]);
+            assert!(fre.consumed >= cal.consumed, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn static_replay_is_worker_count_invariant() {
+        let (graph, plan) = lowered(PIPELINE);
+        let run = |workers: usize| {
+            let schedule = synthesize(&graph, &plan, workers).expect("schedulable");
+            execute_staticsched(
+                &graph,
+                &schedule,
+                &KernelLibrary::new(),
+                picos(0.1),
+                &StaticConfig::default(),
+            )
+        };
+        let base = run(1);
+        assert!(base.iterations > 0);
+        for workers in [2, 3, 4] {
+            let other = run(workers);
+            assert_eq!(base.values.first_divergence(&other.values), None);
+            assert_eq!(base.node_firings, other.node_firings);
+            assert_eq!(base.sources, other.sources);
+            for (a, b) in base.sinks.iter().zip(&other.sinks) {
+                assert_eq!(a.consumed, b.consumed);
+                assert_eq!(a.values, b.values);
+            }
+        }
+    }
+
+    #[test]
+    fn modal_clusters_replay_their_quasi_static_resolution() {
+        let src = r#"
+            mod seq S(int a, out int b){
+                loop{ if(...){ t = f(a:2); } else { t = g(a:2); } init(t, out b); } while(1);
+            }
+            mod par D(){
+                source int x = src() @ 2 kHz;
+                sink int y = snk() @ 1 kHz;
+                S(x, out y)
+            }
+        "#;
+        let (graph, plan) = lowered(src);
+        assert!(!plan.is_kpn_safe(), "the scenario under test is modal");
+        let reference = execute_selftimed(
+            &graph,
+            &plan,
+            &KernelLibrary::new(),
+            picos(0.1),
+            &SelfTimedConfig {
+                threads: 1,
+                ..SelfTimedConfig::default()
+            },
+        );
+        for workers in [1, 2] {
+            let schedule = synthesize(&graph, &plan, workers).expect("uniform clusters schedule");
+            let report = execute_staticsched(
+                &graph,
+                &schedule,
+                &KernelLibrary::new(),
+                picos(0.1),
+                &StaticConfig::default(),
+            );
+            // Both engines always select the lowest-id twin, so even the
+            // "schedule-dependent" streams match bit for bit.
+            assert_eq!(
+                reference.values.prefix_divergence(&report.values),
+                None,
+                "workers={workers}"
+            );
+            // The starved twin reports zero firings in both engines.
+            let starved_ref: Vec<_> = reference
+                .node_firings
+                .iter()
+                .filter(|(_, n)| *n == 0)
+                .map(|(name, _)| name.clone())
+                .collect();
+            let starved_static: Vec<_> = report
+                .node_firings
+                .iter()
+                .filter(|(_, n)| *n == 0)
+                .map(|(name, _)| name.clone())
+                .collect();
+            assert_eq!(starved_ref, starved_static);
+        }
+    }
+
+    #[test]
+    fn sources_cover_their_budget_rounded_to_whole_iterations() {
+        let (graph, plan) = lowered(PIPELINE);
+        let schedule = synthesize(&graph, &plan, 1).unwrap();
+        // 0.0105 s at 2 kHz = 21 samples; q(source) = 2 ⇒ 11 iterations,
+        // 22 samples.
+        let report = execute_staticsched(
+            &graph,
+            &schedule,
+            &KernelLibrary::new(),
+            picos(0.0105),
+            &StaticConfig::default(),
+        );
+        assert_eq!(report.iterations, 11);
+        assert_eq!(report.sources[0].1, 22);
+        assert_eq!(report.sinks[0].consumed, 11);
+    }
+
+    #[test]
+    fn a_panicking_kernel_aborts_the_run_instead_of_hanging() {
+        let (graph, plan) = lowered(PIPELINE);
+        let schedule = synthesize(&graph, &plan, 2).unwrap();
+        let mut lib = KernelLibrary::new();
+        lib.register(
+            "f",
+            Box::new(|| Kernel::Custom(Box::new(|_, _| panic!("injected kernel failure")))),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_staticsched(
+                &graph,
+                &schedule,
+                &lib,
+                picos(0.1),
+                &StaticConfig::default(),
+            )
+        }));
+        assert!(result.is_err(), "the kernel panic must propagate");
+    }
+}

@@ -1,0 +1,99 @@
+//! Static-order PAL decoder: compiled schedule replay, measured vs
+//! CTA-predicted sink rates.
+//!
+//! Compiles the paper's PAL decoder (Fig. 11), lowers it to the runtime
+//! graph, **synthesises a periodic static-order schedule** from the
+//! repetition vector (`oil_compiler::schedule`) and replays it with the
+//! real DSP kernels — zero readiness scanning, synchronisation only on the
+//! buffers that cross a worker boundary. It prints the schedule shape
+//! (period length, crossings per worker count) and, per sink, the
+//! CTA-predicted rate next to the measured steady-state wall rate.
+//!
+//! Run with `cargo run --release --example staticsched_throughput`.
+
+use oil::compiler::{rtgraph, schedule};
+use oil::rt::{execute_staticsched, measure, KernelLibrary, StaticConfig};
+use oil::sim::picos;
+
+fn main() {
+    let (compiled, analysis) = oil::pal::analyze_pal().expect("the PAL decoder is schedulable");
+    let registry = oil::pal::pal_registry();
+    let graph = rtgraph::lower_with_registry(&compiled, &registry);
+    let plan = rtgraph::plan(&graph);
+
+    println!("PAL decoder, compiled static-order replay");
+    println!(
+        "  graph: {} nodes, {} buffers, {} sources, {} sinks",
+        graph.nodes.len(),
+        graph.buffers.len(),
+        graph.sources.len(),
+        graph.sinks.len()
+    );
+    for (channel, rate) in ["screen", "speakers"]
+        .iter()
+        .filter_map(|c| analysis.channel_rates.get(*c).map(|r| (c, r)))
+    {
+        println!(
+            "  CTA:   channel `{channel}` predicted at {} Hz",
+            rate.to_f64()
+        );
+    }
+
+    // 10 ms of virtual signal, executed as fast as the schedule replays.
+    let duration = picos(10e-3);
+    let threshold = if std::env::var_os("OIL_RT_CONFORMANCE").is_some() {
+        measure::conformance_threshold()
+    } else {
+        0.02
+    };
+    for workers in [1, 2, 4] {
+        let s = schedule::synthesize(&graph, &plan, workers).expect("the PAL graph is schedulable");
+        println!(
+            "\n  workers={}: period {} firings in {} steps, {} cross-worker buffer(s), digest {:016x}",
+            s.worker_count(),
+            s.period_firings(),
+            s.period.len(),
+            s.cross_buffers.len(),
+            s.digest()
+        );
+        let report = execute_staticsched(
+            &graph,
+            &s,
+            &KernelLibrary::pal(),
+            duration,
+            &StaticConfig {
+                record_values: false,
+                warmup_samples: 256,
+            },
+        );
+        println!(
+            "    {} iterations, {} tokens in {:.2?} ({:.2} M tokens/s)",
+            report.iterations,
+            report.tokens,
+            report.wall,
+            report.tokens as f64 / report.wall.as_secs_f64() / 1e6
+        );
+        for t in &report.throughput {
+            match t.measured_hz {
+                Some(hz) => println!(
+                    "    sink {:<24} predicted {:>12.0} Hz   measured {:>12.0} Hz   ({:.2}x)",
+                    t.name,
+                    t.predicted_hz,
+                    hz,
+                    hz / t.predicted_hz
+                ),
+                None => println!(
+                    "    sink {:<24} predicted {:>12.0} Hz   (run too short to measure)",
+                    t.name, t.predicted_hz
+                ),
+            }
+        }
+        let conformance = report.conformance(threshold);
+        if !conformance.satisfied() {
+            println!(
+                "    rate conformance NOT met at threshold {threshold}:\n      {}",
+                conformance.violations().join("\n      ")
+            );
+        }
+    }
+}

@@ -135,6 +135,7 @@ fn runtime_traces_match_the_simulator_on_generated_programs() {
                     threads: t,
                     warmup_ticks: warmup,
                     record_traces: true,
+                    record_values: true,
                 },
             );
             if let Some(divergence) = report.trace.first_divergence(&sim_trace) {
@@ -191,6 +192,7 @@ fn runtime_value_streams_are_thread_count_invariant() {
                     threads: t,
                     warmup_ticks: warmup,
                     record_traces: true,
+                    record_values: true,
                 },
             );
             match &baseline {
@@ -239,6 +241,7 @@ fn pal_decoder_runtime_matches_simulator_with_zero_misses() {
                 threads: t,
                 warmup_ticks: config_warmup,
                 record_traces: true,
+                record_values: true,
             },
         );
         if let Some(divergence) = report.trace.first_divergence(&sim_trace) {

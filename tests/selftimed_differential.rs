@@ -196,6 +196,7 @@ fn free_running_streams_match_the_calendar_reference_on_the_corpus() {
                 threads: 1,
                 warmup_ticks: u64::MAX, // miss accounting is not under test
                 record_traces: true,
+                record_values: true,
             },
         );
         assert_eq!(
@@ -389,6 +390,7 @@ fn pal_decoder_free_run_conforms_to_the_predicted_rates() {
             threads: 1,
             warmup_ticks: 64,
             record_traces: true,
+            record_values: true,
         },
     );
     assert_eq!(
