@@ -30,17 +30,22 @@
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under **schema v3**: one record per (workload, engine_mode,
+//! root under **schema v4**: one record per (workload, engine_mode,
 //! threads), each carrying the host parallelism measured *at that row's
 //! execution* (`std::thread::available_parallelism()` can change under
-//! cgroup pressure mid-run) and a `"degraded": true` flag whenever
+//! cgroup pressure mid-run), a `"degraded": true` flag whenever
 //! `threads > host_parallelism` — so 2/4-thread numbers taken on a 1-core
-//! host are never silently mistaken for parallel scaling.
+//! host are never silently mistaken for parallel scaling — and (new in v4)
+//! the schedule-fusion counters of the static-order rows (`runs_fused`,
+//! `rings_elided`, `fused_chain_len_max`; zero on the other engines).
 //!
 //! `cargo bench -p oil-bench --bench runtime_throughput -- --test` runs a
-//! smoke-sized horizon (CI).
+//! smoke-sized horizon (CI). `--floor-pal-staticsched <tokens/s>` makes the
+//! run fail when the PAL static-order single-worker row falls below the
+//! given throughput — the CI regression floor for the fused engine.
 
 use oil_compiler::rtgraph::{self, RtGraph};
+use oil_compiler::schedule::FusionStats;
 use oil_compiler::{compile, schedule, CompilerOptions};
 use oil_dsp::{Decimator, FirFilter, Mixer, RationalResampler};
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
@@ -62,6 +67,8 @@ struct Row {
     tokens_per_wall_s: f64,
     /// Host parallelism observed when this row ran.
     host_parallelism: usize,
+    /// Schedule-fusion counters (zero for every engine but staticsched).
+    fusion: FusionStats,
 }
 
 fn host_parallelism() -> usize {
@@ -180,6 +187,7 @@ fn bench_workload(
         tokens,
         tokens_per_wall_s: tokens as f64 / wall.as_secs_f64(),
         host_parallelism: host_parallelism(),
+        fusion: FusionStats::default(),
     });
 
     for threads in THREAD_SWEEP {
@@ -207,6 +215,7 @@ fn bench_workload(
             tokens: report.tokens,
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
             host_parallelism: host_parallelism(),
+            fusion: FusionStats::default(),
         });
     }
 
@@ -236,6 +245,7 @@ fn bench_workload(
             tokens: report.tokens,
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
             host_parallelism: host_parallelism(),
+            fusion: FusionStats::default(),
         });
     }
 
@@ -261,12 +271,25 @@ fn bench_workload(
             tokens: report.tokens,
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
             host_parallelism: host_parallelism(),
+            fusion: report.fusion,
         });
     }
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    // CI regression floor for the fused static-order engine: the run fails
+    // when the PAL staticsched single-worker row drops below this many
+    // tokens per wall-second.
+    let floor_pal_staticsched: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor-pal-staticsched")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--floor-pal-staticsched takes a tokens/s number")
+        });
     let (pal_s, sdr_s, wide_s) = if smoke {
         (1e-3, 0.05, 0.1)
     } else {
@@ -299,12 +322,12 @@ fn main() {
         );
     }
 
-    // Machine-readable results at the workspace root (schema v3: per-row
-    // host_parallelism + degraded flag; v2 recorded the host once per file,
-    // silently blessing 4-thread rows measured on a 1-core host).
+    // Machine-readable results at the workspace root (schema v4: v3's
+    // per-row host_parallelism + degraded flag, plus the static-order
+    // schedule-fusion counters on every row — zero for the other engines).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"schema_version\": 4,");
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let degraded = r.threads > r.host_parallelism;
@@ -313,7 +336,8 @@ fn main() {
             "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \"threads\": {}, \
              \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
              \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
-             \"degraded\": {}}}{}",
+             \"degraded\": {}, \"runs_fused\": {}, \"rings_elided\": {}, \
+             \"fused_chain_len_max\": {}}}{}",
             r.workload,
             r.engine_mode,
             r.threads,
@@ -323,6 +347,9 @@ fn main() {
             r.tokens_per_wall_s,
             r.host_parallelism,
             degraded,
+            r.fusion.runs_fused,
+            r.fusion.rings_elided,
+            r.fusion.fused_chain_len_max,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -331,5 +358,24 @@ fn main() {
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    if let Some(floor) = floor_pal_staticsched {
+        let row = rows
+            .iter()
+            .find(|r| r.workload == "pal" && r.engine_mode == "staticsched" && r.threads == 1)
+            .expect("the PAL staticsched@1 row exists");
+        if row.tokens_per_wall_s < floor {
+            eprintln!(
+                "FAIL: PAL staticsched@1 throughput {:.0} tokens/s is below the \
+                 regression floor {floor:.0}",
+                row.tokens_per_wall_s
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "PAL staticsched@1 throughput {:.0} tokens/s clears the floor {floor:.0}",
+            row.tokens_per_wall_s
+        );
     }
 }

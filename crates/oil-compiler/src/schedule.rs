@@ -182,6 +182,60 @@ pub struct Step {
     pub times: u32,
 }
 
+/// A fused super-step: a chain of producer→consumer stages executed as one
+/// pass over scratch memory.
+///
+/// Within one run, stage `i + 1` consumes *exactly* the tokens stage `i`
+/// produces (`times[i] · prod == times[i+1] · cons`), and the link buffer
+/// between them holds no standing tokens when the run starts — so the
+/// intermediate tokens never touch a ring: the executor hands stage `i`'s
+/// output slice directly to stage `i + 1`. Only the head's reads and the
+/// tail's writes go through real buffers. Fusion is legal because OIL's
+/// coordinated functions are side-effect-free (the paper's restriction):
+/// reordering a worker's local firings changes no per-buffer value stream,
+/// and the per-worker replay in [`StaticSchedule::validate`] re-proves the
+/// token bounds over the fused order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedRun {
+    /// The stages in dataflow order (at least two).
+    pub stages: Vec<Step>,
+    /// The link buffer carried in scratch between consecutive stages
+    /// (`stages.len() - 1` entries).
+    pub links: Vec<RtBufferId>,
+    /// True when this run is its component's *entire* period: the executor
+    /// may batch consecutive iterations of the run back to back (the links
+    /// are scratch, so concatenating periods never overflows them).
+    pub batch: bool,
+}
+
+impl FusedRun {
+    /// Total firings the run executes.
+    pub fn firings(&self) -> u64 {
+        self.stages.iter().map(|s| s.times as u64).sum()
+    }
+}
+
+/// One item of a worker's fused firing list: a plain step or a fused run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkItem {
+    /// An unfused run of one unit's firings.
+    Step(Step),
+    /// A fused chain executed through scratch.
+    Fused(FusedRun),
+}
+
+/// What the fusion pass did to a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// Fused runs across all workers.
+    pub runs_fused: u32,
+    /// Buffers whose ring traffic is eliminated *entirely* (every period
+    /// token flows through scratch).
+    pub rings_elided: u32,
+    /// Longest chain (stage count) of any fused run.
+    pub fused_chain_len_max: u32,
+}
+
 /// A synthesised periodic static-order schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticSchedule {
@@ -202,6 +256,19 @@ pub struct StaticSchedule {
     /// Buffers whose producer and consumer live on different workers: the
     /// only places the engine synchronises.
     pub cross_buffers: Vec<RtBufferId>,
+    /// Per worker: the firing list the engine actually executes — the
+    /// projection of [`Self::period`] rewritten by the fusion pass (or the
+    /// plain projection wrapped in [`WorkItem::Step`] when fusion is off).
+    pub fused_workers: Vec<Vec<WorkItem>>,
+    /// What the fusion pass did.
+    pub fusion: FusionStats,
+    /// Per buffer: the highest level the fused per-worker replay reaches
+    /// (floored by the declared engine capacity). Fusion may push tokens
+    /// into a worker-local buffer *earlier* than the unfused order did, so
+    /// local rings are sized from this bound instead of the declared
+    /// capacity alone; cross-worker buffers keep the declared capacity
+    /// (fused runs never touch them).
+    pub local_level_max: IndexVec<RtBufferId, u64>,
 }
 
 impl StaticSchedule {
@@ -346,6 +413,30 @@ impl StaticSchedule {
                 h.write_u64(s.times as u64);
             }
         }
+        for items in &self.fused_workers {
+            h.write_u64(items.len() as u64);
+            for item in items {
+                match item {
+                    WorkItem::Step(s) => {
+                        h.write_u64(0);
+                        h.write_u64(s.unit as u64);
+                        h.write_u64(s.times as u64);
+                    }
+                    WorkItem::Fused(run) => {
+                        h.write_u64(1);
+                        h.write_u64(run.stages.len() as u64);
+                        for s in &run.stages {
+                            h.write_u64(s.unit as u64);
+                            h.write_u64(s.times as u64);
+                        }
+                        for &b in &run.links {
+                            h.write_u64(b.index() as u64);
+                        }
+                        h.write_u64(run.batch as u64);
+                    }
+                }
+            }
+        }
         h.finish()
     }
 
@@ -437,6 +528,166 @@ impl StaticSchedule {
                 "worker projections contain steps the period does not".into(),
             ));
         }
+        self.validate_fused(graph, &access)
+    }
+
+    /// Re-prove the admission property over the fused worker lists: per
+    /// worker, every unit keeps its projected firing count, fused runs touch
+    /// only worker-confined buffers with exactly-balanced empty links, and
+    /// the per-worker replay (which fully determines every confined buffer's
+    /// level) never underflows nor exceeds [`Self::local_level_max`].
+    fn validate_fused(&self, graph: &RtGraph, access: &[UnitAccess]) -> Result<(), ScheduleError> {
+        if self.fused_workers.len() != self.workers.len() {
+            return Err(ScheduleError::Invalid(
+                "fused worker list count diverges from the projections".into(),
+            ));
+        }
+        let confined =
+            confined_worker(graph, &self.units, &self.producer_unit, &self.consumer_unit);
+        let port = |ports: &[(RtBufferId, usize)], b: RtBufferId| -> u64 {
+            ports
+                .iter()
+                .find(|&&(pb, _)| pb == b)
+                .map(|&(_, c)| c as u64)
+                .unwrap_or(0)
+        };
+        for (w, items) in self.fused_workers.iter().enumerate() {
+            let mut expected = vec![0u64; self.units.len()];
+            for s in &self.workers[w] {
+                expected[s.unit as usize] += s.times as u64;
+            }
+            let mut counted = vec![0u64; self.units.len()];
+            let mut level: IndexVec<RtBufferId, u64> = graph
+                .buffers
+                .iter()
+                .map(|b| b.initial_tokens as u64)
+                .collect::<Vec<_>>()
+                .into();
+            let read = |level: &mut IndexVec<RtBufferId, u64>,
+                        b: RtBufferId,
+                        tokens: u64|
+             -> Result<(), ScheduleError> {
+                level[b] = level[b].checked_sub(tokens).ok_or_else(|| {
+                    ScheduleError::Invalid(format!(
+                        "fused worker {w} underflows buffer `{}`",
+                        graph.buffers[b].name
+                    ))
+                })?;
+                Ok(())
+            };
+            let write = |level: &mut IndexVec<RtBufferId, u64>,
+                         b: RtBufferId,
+                         tokens: u64|
+             -> Result<(), ScheduleError> {
+                level[b] += tokens;
+                if level[b] > self.local_level_max[b] {
+                    return Err(ScheduleError::Invalid(format!(
+                        "fused worker {w} exceeds the level bound on buffer `{}` \
+                         ({} > {})",
+                        graph.buffers[b].name, level[b], self.local_level_max[b]
+                    )));
+                }
+                Ok(())
+            };
+            for item in items {
+                match item {
+                    WorkItem::Step(s) => {
+                        counted[s.unit as usize] += s.times as u64;
+                        let a = &access[s.unit as usize];
+                        for &(b, c) in &a.reads {
+                            if confined[b] == Some(w) {
+                                read(&mut level, b, s.times as u64 * c as u64)?;
+                            }
+                        }
+                        for &(b, c) in &a.writes {
+                            if confined[b] == Some(w) && self.consumer_unit[b].is_some() {
+                                write(&mut level, b, s.times as u64 * c as u64)?;
+                            }
+                        }
+                    }
+                    WorkItem::Fused(run) => {
+                        if run.stages.len() < 2 || run.links.len() + 1 != run.stages.len() {
+                            return Err(ScheduleError::Invalid(format!(
+                                "fused worker {w} has a malformed run ({} stages, {} links)",
+                                run.stages.len(),
+                                run.links.len()
+                            )));
+                        }
+                        for s in &run.stages {
+                            counted[s.unit as usize] += s.times as u64;
+                            let a = &access[s.unit as usize];
+                            for &(b, _) in a.reads.iter().chain(&a.writes) {
+                                if confined[b] != Some(w) {
+                                    return Err(ScheduleError::Invalid(format!(
+                                        "fused run touches buffer `{}` not confined to \
+                                         worker {w}",
+                                        graph.buffers[b].name
+                                    )));
+                                }
+                            }
+                        }
+                        for (i, &link) in run.links.iter().enumerate() {
+                            let (p, c) = (run.stages[i], run.stages[i + 1]);
+                            let pa = &access[p.unit as usize];
+                            let ca = &access[c.unit as usize];
+                            if pa.writes.len() != 1
+                                || pa.writes[0].0 != link
+                                || ca.reads.len() != 1
+                                || ca.reads[0].0 != link
+                            {
+                                return Err(ScheduleError::Invalid(format!(
+                                    "fused link `{}` is not a single-writer/single-reader \
+                                     edge of its stages",
+                                    graph.buffers[link].name
+                                )));
+                            }
+                            let produced = p.times as u64 * port(&pa.writes, link);
+                            let consumed = c.times as u64 * port(&ca.reads, link);
+                            if produced != consumed || produced == 0 {
+                                return Err(ScheduleError::Invalid(format!(
+                                    "fused link `{}` is unbalanced ({produced} produced, \
+                                     {consumed} consumed)",
+                                    graph.buffers[link].name
+                                )));
+                            }
+                            if level[link] != 0 {
+                                return Err(ScheduleError::Invalid(format!(
+                                    "fused link `{}` holds {} standing tokens at run entry",
+                                    graph.buffers[link].name, level[link]
+                                )));
+                            }
+                        }
+                        let head = run.stages[0];
+                        for &(b, c) in &access[head.unit as usize].reads {
+                            read(&mut level, b, head.times as u64 * c as u64)?;
+                        }
+                        let tail = run.stages[run.stages.len() - 1];
+                        for &(b, c) in &access[tail.unit as usize].writes {
+                            if self.consumer_unit[b].is_some() {
+                                write(&mut level, b, tail.times as u64 * c as u64)?;
+                            }
+                        }
+                    }
+                }
+            }
+            if counted != expected {
+                return Err(ScheduleError::Invalid(format!(
+                    "fused worker {w} changes a unit's firing count"
+                )));
+            }
+            for (b, buf) in graph.buffers.iter_enumerated() {
+                if confined[b] == Some(w)
+                    && self.consumer_unit[b].is_some()
+                    && level[b] != buf.initial_tokens as u64
+                {
+                    return Err(ScheduleError::Invalid(format!(
+                        "fused worker {w} ends the period with buffer `{}` at level \
+                         {} (started at {})",
+                        buf.name, level[b], buf.initial_tokens
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -494,14 +745,412 @@ fn engine_capacities(graph: &RtGraph) -> IndexVec<RtBufferId, usize> {
         .into()
 }
 
+/// Hard cap on tokens flowing through one stage of one fused run: bounds
+/// the scratch window the executor allocates (8 MiB of f64 per worker).
+const MAX_FUSED_STAGE_TOKENS: u64 = 1 << 20;
+
+/// True when the fusion pass is enabled for [`synthesize`] (default on;
+/// `OIL_RT_FUSION=0` disables it).
+pub fn fusion_enabled() -> bool {
+    std::env::var("OIL_RT_FUSION")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// Per buffer: the worker every existing endpoint lives on, when they all
+/// agree (`None` for cross-worker buffers and endpoint-less buffers).
+fn confined_worker(
+    graph: &RtGraph,
+    units: &[ScheduleUnit],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+) -> IndexVec<RtBufferId, Option<usize>> {
+    graph
+        .buffers
+        .indices()
+        .map(|b| match (producer_unit[b], consumer_unit[b]) {
+            (Some(p), Some(c)) => {
+                let (pw, cw) = (units[p as usize].worker, units[c as usize].worker);
+                (pw == cw).then_some(pw)
+            }
+            (Some(p), None) => Some(units[p as usize].worker),
+            (None, Some(c)) => Some(units[c as usize].worker),
+            (None, None) => None,
+        })
+        .collect::<Vec<_>>()
+        .into()
+}
+
+/// The fusion pass: rewrite each worker's firing list, coalescing each
+/// maximal producer→consumer chain's *entire period* of firings into one
+/// [`FusedRun`] super-step.
+///
+/// A link edge `u → v` is fusable when `u`'s only write is the link, `v`'s
+/// only read is the link, both units touch only worker-confined buffers,
+/// and the link holds no initial tokens; chains are the maximal paths of
+/// that (functional) edge relation. Each chain's run fires every stage its
+/// full per-period repetition count, so the CTA-sized burst interleaving
+/// the admission loop produced (often 3–5 firings per step) collapses to
+/// one pass per stage. The run is *placed* at the earliest point of the
+/// remaining plain-step list where the head's whole-period inputs have
+/// accumulated — deferring the chain units' earlier firings and hoisting
+/// their later ones. Per-unit firing order and per-buffer push/pop value
+/// order are unchanged (only cross-buffer interleaving moves, and only on
+/// worker-confined buffers no other worker can observe), so every value
+/// stream is bit-identical; the reorder is visible solely through token
+/// levels, which [`StaticSchedule::local_level_max`] absorbs and the
+/// per-worker replay below re-proves. A chain whose deferral would starve
+/// a plain step (or another chain) is dropped back to plain steps and the
+/// placement replay restarts without it.
+fn fuse_workers(
+    graph: &RtGraph,
+    access: &[UnitAccess],
+    units: &[ScheduleUnit],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    worker_lists: &[Vec<Step>],
+) -> (Vec<Vec<WorkItem>>, FusionStats, IndexVec<RtBufferId, u64>) {
+    let confined = confined_worker(graph, units, producer_unit, consumer_unit);
+    // A unit is fusable when every buffer it touches is confined to its own
+    // worker — hoisting its firings then reorders nothing another worker
+    // can observe (cross-ring push/pop order is untouched).
+    let fusable: Vec<bool> = units
+        .iter()
+        .enumerate()
+        .map(|(u, unit)| {
+            let a = &access[u];
+            a.reads
+                .iter()
+                .chain(&a.writes)
+                .all(|&(b, _)| confined[b] == Some(unit.worker))
+        })
+        .collect();
+    let mut level_max: IndexVec<RtBufferId, u64> = engine_capacities(graph)
+        .iter()
+        .map(|&c| c as u64)
+        .collect::<Vec<_>>()
+        .into();
+    let mut stats = FusionStats::default();
+    let mut lists: Vec<Vec<WorkItem>> = Vec::with_capacity(worker_lists.len());
+    for steps in worker_lists {
+        match fuse_worker(
+            graph,
+            access,
+            units,
+            producer_unit,
+            consumer_unit,
+            &confined,
+            &fusable,
+            steps,
+            &mut level_max,
+            &mut stats,
+        ) {
+            Some(items) => lists.push(items),
+            // Defensive: an invariant breach falls back to the unfused
+            // projection for this worker (validate() re-proves either way).
+            None => lists.push(steps.iter().map(|&s| WorkItem::Step(s)).collect()),
+        }
+    }
+    // Batchable runs: a run that is its component's entire period may be
+    // executed several iterations back to back (its links are scratch).
+    let mut component_firings = vec![0u64; units.len().max(1)];
+    for steps in worker_lists {
+        for s in steps {
+            component_firings[units[s.unit as usize].component as usize] += s.times as u64;
+        }
+    }
+    for items in &mut lists {
+        for item in items.iter_mut() {
+            if let WorkItem::Fused(run) = item {
+                let comp = units[run.stages[0].unit as usize].component as usize;
+                run.batch = run.firings() == component_firings[comp];
+            }
+        }
+    }
+    // Fully-elided rings: link buffers no remaining plain step or run
+    // boundary (head read / tail write) ever touches.
+    let mut is_link: IndexVec<RtBufferId, bool> = IndexVec::from_elem(false, graph.buffers.len());
+    let mut ring_touched: IndexVec<RtBufferId, bool> =
+        IndexVec::from_elem(false, graph.buffers.len());
+    for items in &lists {
+        for item in items {
+            match item {
+                WorkItem::Step(s) => {
+                    let a = &access[s.unit as usize];
+                    for &(b, _) in a.reads.iter().chain(&a.writes) {
+                        ring_touched[b] = true;
+                    }
+                }
+                WorkItem::Fused(run) => {
+                    for &b in &run.links {
+                        is_link[b] = true;
+                    }
+                    let head = &access[run.stages[0].unit as usize];
+                    for &(b, _) in &head.reads {
+                        ring_touched[b] = true;
+                    }
+                    let tail = &access[run.stages[run.stages.len() - 1].unit as usize];
+                    for &(b, _) in &tail.writes {
+                        ring_touched[b] = true;
+                    }
+                }
+            }
+        }
+    }
+    stats.rings_elided = graph
+        .buffers
+        .indices()
+        .filter(|&b| is_link[b] && !ring_touched[b])
+        .count() as u32;
+    (lists, stats, level_max)
+}
+
+/// Fuse one worker's projection (see [`fuse_workers`] for the legality
+/// argument). Returns `None` on an internal invariant breach (the caller
+/// falls back to the unfused projection).
+#[allow(clippy::too_many_arguments)]
+fn fuse_worker(
+    graph: &RtGraph,
+    access: &[UnitAccess],
+    units: &[ScheduleUnit],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    confined: &IndexVec<RtBufferId, Option<usize>>,
+    fusable: &[bool],
+    steps: &[Step],
+    level_max: &mut IndexVec<RtBufferId, u64>,
+    stats: &mut FusionStats,
+) -> Option<Vec<WorkItem>> {
+    let worker = steps
+        .first()
+        .map(|s| units[s.unit as usize].worker)
+        .unwrap_or(0);
+    // Whole-period firing count of each unit on this worker.
+    let mut total = vec![0u64; units.len()];
+    for s in steps {
+        total[s.unit as usize] += s.times as u64;
+    }
+    // The chain successor relation: `u → v` when u's single write feeds v's
+    // single read over an initially-empty worker-confined link. At most one
+    // edge leaves u (single write) and at most one enters v (single read +
+    // single producer per buffer), so the relation is functional both ways
+    // and chains are disjoint maximal paths.
+    let succ = |u: usize| -> Option<(usize, RtBufferId)> {
+        if !fusable[u] || total[u] == 0 || total[u] > u32::MAX as u64 {
+            return None;
+        }
+        let &[(link, prod)] = access[u].writes.as_slice() else {
+            return None;
+        };
+        if prod == 0 || graph.buffers[link].initial_tokens != 0 {
+            return None;
+        }
+        let v = consumer_unit[link]? as usize;
+        if v == u || !fusable[v] || total[v] == 0 || total[v] > u32::MAX as u64 {
+            return None;
+        }
+        let &[(rb, cons)] = access[v].reads.as_slice() else {
+            return None;
+        };
+        let burst = total[u].checked_mul(prod as u64)?;
+        if rb != link
+            || cons == 0
+            || burst != total[v].checked_mul(cons as u64)?
+            || burst > MAX_FUSED_STAGE_TOKENS
+        {
+            return None;
+        }
+        Some((v, link))
+    };
+    let successors: Vec<Option<(usize, RtBufferId)>> = (0..units.len()).map(succ).collect();
+    let mut has_pred = vec![false; units.len()];
+    for s in successors.iter().flatten() {
+        has_pred[s.0] = true;
+    }
+    // Maximal paths: start from every head (an edge out, none in). Cycle
+    // units all have a predecessor, so no walk enters a cycle except via a
+    // tail into it — the membership check below cuts that walk short.
+    let mut chain_of = vec![usize::MAX; units.len()];
+    let mut chains: Vec<(Vec<Step>, Vec<RtBufferId>)> = Vec::new();
+    for h in 0..units.len() {
+        if has_pred[h] || successors[h].is_none() {
+            continue;
+        }
+        let mut stages = vec![Step {
+            unit: h as u32,
+            times: total[h] as u32,
+        }];
+        let mut links: Vec<RtBufferId> = Vec::new();
+        let mut cur = h;
+        while let Some((v, link)) = successors[cur] {
+            if chain_of[v] != usize::MAX || stages.iter().any(|s| s.unit as usize == v) {
+                break;
+            }
+            stages.push(Step {
+                unit: v as u32,
+                times: total[v] as u32,
+            });
+            links.push(link);
+            cur = v;
+        }
+        if stages.len() < 2 {
+            continue;
+        }
+        let ci = chains.len();
+        for s in &stages {
+            chain_of[s.unit as usize] = ci;
+        }
+        chains.push((stages, links));
+    }
+    // Placement replay: walk the plain projection with chain units removed,
+    // emitting each chain's run at the earliest point its head's
+    // whole-period inputs have accumulated. A chain whose deferral starves
+    // someone is dropped back to plain steps and the replay restarts.
+    let mut active = vec![true; chains.len()];
+    let initial_level = |graph: &RtGraph| -> IndexVec<RtBufferId, u64> {
+        graph
+            .buffers
+            .iter()
+            .map(|b| b.initial_tokens as u64)
+            .collect::<Vec<_>>()
+            .into()
+    };
+    'placement: loop {
+        let mut level = initial_level(graph);
+        let mut lmax = level_max.clone();
+        let bump = |b: RtBufferId, level: u64, lmax: &mut IndexVec<RtBufferId, u64>| {
+            if level > lmax[b] {
+                lmax[b] = level;
+            }
+        };
+        let mut emitted = vec![false; chains.len()];
+        let mut out: Vec<WorkItem> = Vec::new();
+        // Emit every ready chain (to a fixpoint: one chain's tail may feed
+        // another chain's head).
+        let try_emit = |level: &mut IndexVec<RtBufferId, u64>,
+                        lmax: &mut IndexVec<RtBufferId, u64>,
+                        emitted: &mut [bool],
+                        out: &mut Vec<WorkItem>| {
+            loop {
+                let mut progressed = false;
+                for (ci, (stages, links)) in chains.iter().enumerate() {
+                    if !active[ci] || emitted[ci] {
+                        continue;
+                    }
+                    let head = stages[0];
+                    let ha = &access[head.unit as usize];
+                    if ha
+                        .reads
+                        .iter()
+                        .any(|&(b, c)| level[b] < head.times as u64 * c as u64)
+                    {
+                        continue;
+                    }
+                    for &(b, c) in &ha.reads {
+                        level[b] -= head.times as u64 * c as u64;
+                    }
+                    let tail = stages[stages.len() - 1];
+                    for &(b, c) in &access[tail.unit as usize].writes {
+                        if consumer_unit[b].is_some() {
+                            level[b] += tail.times as u64 * c as u64;
+                            bump(b, level[b], lmax);
+                        }
+                    }
+                    out.push(WorkItem::Fused(FusedRun {
+                        stages: stages.clone(),
+                        links: links.clone(),
+                        batch: false,
+                    }));
+                    emitted[ci] = true;
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        };
+        // Blame: the unemitted active chain producing into `b`, if any.
+        let starver = |b: RtBufferId, emitted: &[bool]| -> Option<usize> {
+            let p = producer_unit[b]? as usize;
+            let ci = chain_of[p];
+            (ci != usize::MAX && active[ci] && !emitted[ci]).then_some(ci)
+        };
+        try_emit(&mut level, &mut lmax, &mut emitted, &mut out);
+        for step in steps {
+            let u = step.unit as usize;
+            if chain_of[u] != usize::MAX && active[chain_of[u]] {
+                continue; // folded into its chain's run
+            }
+            let t = step.times as u64;
+            let a = &access[u];
+            for &(b, c) in &a.reads {
+                if confined[b] != Some(worker) {
+                    continue;
+                }
+                if level[b] < t * c as u64 {
+                    // Starved by a deferred chain: drop it and restart.
+                    let ci = starver(b, &emitted)?;
+                    active[ci] = false;
+                    continue 'placement;
+                }
+                level[b] -= t * c as u64;
+            }
+            for &(b, c) in &a.writes {
+                if confined[b] == Some(worker) && consumer_unit[b].is_some() {
+                    level[b] += t * c as u64;
+                    bump(b, level[b], &mut lmax);
+                }
+            }
+            // Merge with a directly-adjacent plain step of the same unit
+            // (replay-neutral: no op separates them in the emitted list).
+            match out.last_mut() {
+                Some(WorkItem::Step(prev)) if prev.unit == step.unit => {
+                    match prev.times.checked_add(step.times) {
+                        Some(times) => prev.times = times,
+                        None => out.push(WorkItem::Step(*step)),
+                    }
+                }
+                _ => out.push(WorkItem::Step(*step)),
+            }
+            try_emit(&mut level, &mut lmax, &mut emitted, &mut out);
+        }
+        if let Some(ci) = (0..chains.len()).find(|&ci| active[ci] && !emitted[ci]) {
+            // Head inputs never accumulated (initial-token stock below one
+            // period's need): this chain cannot be placed — drop it.
+            active[ci] = false;
+            continue 'placement;
+        }
+        for (ci, (stages, _)) in chains.iter().enumerate() {
+            if active[ci] {
+                stats.runs_fused += 1;
+                stats.fused_chain_len_max = stats.fused_chain_len_max.max(stages.len() as u32);
+            }
+        }
+        *level_max = lmax;
+        return Some(out);
+    }
+}
+
 /// Synthesise a periodic static-order schedule for `workers` workers.
 ///
 /// `workers` is clamped to `[1, #units]`. The plan must have been computed
-/// for `graph` (as for [`crate::rtgraph::plan`] consumers).
+/// for `graph` (as for [`crate::rtgraph::plan`] consumers). The fusion pass
+/// runs unless disabled via `OIL_RT_FUSION=0`; use [`synthesize_with`] to
+/// force it either way.
 pub fn synthesize(
     graph: &RtGraph,
     plan: &RtPlan,
     workers: usize,
+) -> Result<StaticSchedule, ScheduleError> {
+    synthesize_with(graph, plan, workers, fusion_enabled())
+}
+
+/// [`synthesize`] with the fusion pass explicitly on or off.
+pub fn synthesize_with(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    workers: usize,
+    fuse: bool,
 ) -> Result<StaticSchedule, ScheduleError> {
     // --- 1. Units: uncontested nodes, collapsed uniform clusters, sources,
     // sinks — in the self-timed engine's unit order (clusters at their
@@ -842,6 +1491,29 @@ pub fn synthesize(
         })
         .collect();
 
+    let (fused_workers, fusion, local_level_max) = if fuse {
+        fuse_workers(
+            graph,
+            &access,
+            &units,
+            &producer_unit,
+            &consumer_unit,
+            &worker_lists,
+        )
+    } else {
+        (
+            worker_lists
+                .iter()
+                .map(|w| w.iter().map(|&s| WorkItem::Step(s)).collect())
+                .collect(),
+            FusionStats::default(),
+            engine_capacities(graph)
+                .iter()
+                .map(|&c| c as u64)
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    };
     let schedule = StaticSchedule {
         units,
         period,
@@ -850,9 +1522,12 @@ pub fn synthesize(
         producer_unit,
         consumer_unit,
         cross_buffers,
+        fused_workers,
+        fusion,
+        local_level_max,
     };
     // Admission: the schedule is returned only with its validity proven by
-    // exact replay.
+    // exact replay (over both the period and the fused worker lists).
     schedule.validate(graph)?;
     Ok(schedule)
 }
@@ -894,12 +1569,18 @@ mod tests {
         r
     }
 
-    fn synth(src: &str, workers: usize) -> (rtgraph::RtGraph, StaticSchedule) {
+    fn synth_with(src: &str, workers: usize, fuse: bool) -> (rtgraph::RtGraph, StaticSchedule) {
         let compiled = compile(src, &registry(), &CompilerOptions::default()).unwrap();
         let graph = rtgraph::lower(&compiled);
         let plan = rtgraph::plan(&graph);
-        let schedule = synthesize(&graph, &plan, workers).expect("schedulable");
+        let schedule = synthesize_with(&graph, &plan, workers, fuse).expect("schedulable");
         (graph, schedule)
+    }
+
+    // Fusion forced on so the tests are deterministic under the CI
+    // fusion-off (`OIL_RT_FUSION=0`) leg.
+    fn synth(src: &str, workers: usize) -> (rtgraph::RtGraph, StaticSchedule) {
+        synth_with(src, workers, true)
     }
 
     const PIPELINE: &str = r#"
@@ -1055,5 +1736,98 @@ mod tests {
         assert_eq!(a1.digest(), b1.digest());
         let (_, a2) = synth(PIPELINE, 2);
         assert_ne!(a1.digest(), a2.digest());
+    }
+
+    #[test]
+    fn fusion_merges_single_worker_pipelines() {
+        let (graph, s) = synth(PIPELINE, 1);
+        assert!(
+            s.fusion.runs_fused >= 1,
+            "a one-worker pipeline must fuse: {:?}",
+            s.fused_workers
+        );
+        assert!(s.fusion.fused_chain_len_max >= 2);
+        // Every firing of the projection is preserved across the rewrite.
+        let fused_firings: u64 = s.fused_workers[0]
+            .iter()
+            .map(|i| match i {
+                WorkItem::Step(st) => st.times as u64,
+                WorkItem::Fused(run) => run.firings(),
+            })
+            .sum();
+        assert_eq!(fused_firings, s.period_firings());
+        s.validate(&graph).expect("fused schedules re-validate");
+    }
+
+    #[test]
+    fn fusion_off_leaves_the_projection_untouched() {
+        let (graph, s) = synth_with(PIPELINE, 1, false);
+        assert_eq!(s.fusion, FusionStats::default());
+        let plain: Vec<Step> = s.fused_workers[0]
+            .iter()
+            .map(|i| match i {
+                WorkItem::Step(st) => *st,
+                WorkItem::Fused(_) => panic!("no fused runs with fusion off"),
+            })
+            .collect();
+        assert_eq!(plain, s.workers[0]);
+        s.validate(&graph).unwrap();
+    }
+
+    #[test]
+    fn fusion_changes_the_digest_but_not_the_period() {
+        let (_, on) = synth(PIPELINE, 1);
+        let (_, off) = synth_with(PIPELINE, 1, false);
+        assert_eq!(on.period, off.period, "fusion must not alter the period");
+        assert_eq!(on.workers, off.workers);
+        assert_ne!(on.digest(), off.digest());
+    }
+
+    #[test]
+    fn fused_runs_never_touch_cross_worker_buffers() {
+        let (graph, s) = synth(PIPELINE, 2);
+        let access = unit_access(&graph, &s.units);
+        for items in &s.fused_workers {
+            for item in items {
+                if let WorkItem::Fused(run) = item {
+                    for st in &run.stages {
+                        let a = &access[st.unit as usize];
+                        for &(b, _) in a.reads.iter().chain(&a.writes) {
+                            assert!(
+                                !s.cross_buffers.contains(&b),
+                                "fused stage touches cross buffer `{}`",
+                                graph.buffers[b].name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        s.validate(&graph).unwrap();
+    }
+
+    #[test]
+    fn whole_component_runs_are_batchable() {
+        // A single linear chain on one worker fuses into one run covering
+        // the whole component, which the executor may iterate back to back.
+        let src = r#"
+            mod seq S(int a, out int b){ loop{ f(a, out b); } while(1); }
+            mod par D(){
+                source int x = src() @ 1 kHz;
+                sink int y = snk() @ 1 kHz;
+                S(x, out y)
+            }
+        "#;
+        let (graph, s) = synth(src, 1);
+        let batched = s.fused_workers[0].iter().any(|i| match i {
+            WorkItem::Fused(run) => run.batch,
+            WorkItem::Step(_) => false,
+        });
+        assert!(
+            batched,
+            "a whole-component run must be batchable: {:?}",
+            s.fused_workers
+        );
+        s.validate(&graph).unwrap();
     }
 }

@@ -6,6 +6,7 @@
 //! internal state (the delay line) but is side-effect free, exactly the class
 //! of functions OIL may coordinate.
 
+use crate::simd::{dot_rr4, fir_block_rr4};
 use crate::Sample;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
@@ -29,6 +30,9 @@ pub struct FirFilter {
     /// Doubled delay line (`2n` slots).
     delay: Vec<Sample>,
     pos: usize,
+    /// Block-path staging window (history ++ input). Always left empty
+    /// between calls, so derived equality still compares filter state only.
+    scratch: Vec<Sample>,
 }
 
 impl FirFilter {
@@ -42,6 +46,7 @@ impl FirFilter {
             rtaps,
             delay: vec![0.0; 2 * n],
             pos: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -101,15 +106,12 @@ impl FirFilter {
         self.delay[self.pos + n] = x;
         // Ascending-time window [x_{t-n+1} … x_t], contiguous by doubling.
         let window = &self.delay[self.pos + 1..self.pos + 1 + n];
-        let mut acc = [0.0f64; 4];
-        for (i, (&w, &t)) in window.iter().zip(self.rtaps.iter()).enumerate() {
-            acc[i & 3] += t * w;
-        }
+        let y = dot_rr4(window, &self.rtaps);
         self.pos += 1;
         if self.pos == n {
             self.pos = 0;
         }
-        (acc[0] + acc[1]) + (acc[2] + acc[3])
+        y
     }
 
     /// Advance the delay line by one sample *without* computing the output
@@ -127,9 +129,98 @@ impl FirFilter {
         }
     }
 
+    /// Advance the delay line by a whole block of samples without computing
+    /// outputs — bit-exact state-wise with a [`Self::push_silent`] loop, but
+    /// two `memcpy`s per wrap instead of two stores per sample.
+    pub fn push_silent_block(&mut self, input: &[Sample]) {
+        let n = self.taps.len();
+        let mut i = 0;
+        while i < input.len() {
+            let run = (input.len() - i).min(n - self.pos);
+            let src = &input[i..i + run];
+            self.delay[self.pos..self.pos + run].copy_from_slice(src);
+            self.delay[self.pos + n..self.pos + n + run].copy_from_slice(src);
+            self.pos += run;
+            if self.pos == n {
+                self.pos = 0;
+            }
+            i += run;
+        }
+    }
+
+    /// Process a block of samples, appending the outputs to `out`.
+    ///
+    /// Bit-identical to a [`Self::push`] loop: the delay-line stores are the
+    /// same, and each output's window and reduction order are the canonical
+    /// ones. The win is structural — consecutive outputs' windows overlap in
+    /// one contiguous stretch of the doubled delay line (up to the next
+    /// wrap), so the dot products run through the multi-output SIMD kernel
+    /// with shared tap loads instead of one call per sample.
+    pub fn process_block_into(&mut self, input: &[Sample], out: &mut Vec<Sample>) {
+        let n = self.taps.len();
+        out.reserve(input.len());
+        if n == 1 {
+            // One tap: the window is `[x_t]` alone, and the generic path
+            // degenerates to one kernel call per sample (`run ≤ n - pos`).
+            // The trailing `+ 0.0 + 0.0` additions replay the round-robin
+            // reduction `(l0+l1)+(l2+l3)` with three empty lanes, keeping
+            // the result bit-identical even for signed zeros.
+            let t = self.rtaps[0];
+            out.extend(input.iter().map(|&x| (x * t + 0.0) + 0.0));
+            if let Some(&last) = input.last() {
+                self.delay[0] = last;
+                self.delay[1] = last;
+            }
+            return;
+        }
+        if input.len() >= 2 * n {
+            // Long block: stage `history ++ input` contiguously once and run
+            // the whole block through one kernel call — every output's
+            // window is the same ascending slice the chunked path (and a
+            // `push` loop) would read, so the bits are identical; what goes
+            // away is a delay-line copy round-trip every `≤ n` outputs.
+            self.scratch.reserve(n - 1 + input.len());
+            self.scratch
+                .extend_from_slice(&self.delay[self.pos + 1..self.pos + n]);
+            self.scratch.extend_from_slice(input);
+            let start = out.len();
+            out.resize(start + input.len(), 0.0);
+            fir_block_rr4(&self.scratch, &self.rtaps, &mut out[start..]);
+            self.scratch.clear();
+            self.push_silent_block(input);
+            return;
+        }
+        let mut i = 0;
+        while i < input.len() {
+            let run = (input.len() - i).min(n - self.pos);
+            let src = &input[i..i + run];
+            // Write the *doubled* copies only: output k's window still needs
+            // the previous-era samples at primary slots `pos+1+k .. n`, which
+            // writing the primary copies up front would clobber.
+            self.delay[self.pos + n..self.pos + n + run].copy_from_slice(src);
+            let start = out.len();
+            out.resize(start + run, 0.0);
+            fir_block_rr4(
+                &self.delay[self.pos + 1..self.pos + run + n],
+                &self.rtaps,
+                &mut out[start..],
+            );
+            // Restore the doubling invariant now that no window reads the
+            // old primary slots any more.
+            self.delay[self.pos..self.pos + run].copy_from_slice(src);
+            self.pos += run;
+            if self.pos == n {
+                self.pos = 0;
+            }
+            i += run;
+        }
+    }
+
     /// Process a block of samples.
     pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
-        input.iter().map(|&x| self.push(x)).collect()
+        let mut out = Vec::with_capacity(input.len());
+        self.process_block_into(input, &mut out);
+        out
     }
 
     /// Reset the delay line to zero.
@@ -221,5 +312,52 @@ mod tests {
         let mut f = FirFilter::from_taps(vec![1.0]);
         assert_eq!(f.push(3.5), 3.5);
         assert_eq!(f.push(-1.0), -1.0);
+    }
+
+    #[test]
+    fn block_path_bit_identical_to_push_loop() {
+        let input: Vec<f64> = (0..257).map(|i| (i as f64 * 0.31).sin()).collect();
+        for taps in [1, 2, 3, 7, 31, 63] {
+            for chunk in [1, 3, 8, 64, 100] {
+                let mut by_push = FirFilter::low_pass(1000.0, 48_000.0, taps);
+                let mut by_block = by_push.clone();
+                let mut block_out = Vec::new();
+                for c in input.chunks(chunk) {
+                    by_block.process_block_into(c, &mut block_out);
+                }
+                let push_out: Vec<f64> = input.iter().map(|&x| by_push.push(x)).collect();
+                assert_eq!(push_out.len(), block_out.len());
+                for (i, (a, b)) in push_out.iter().zip(&block_out).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "taps {taps} chunk {chunk} sample {i}"
+                    );
+                }
+                // Delay-line state converged identically: one more sample
+                // through each must agree bit for bit.
+                assert_eq!(
+                    by_push.push(0.123).to_bits(),
+                    by_block.push(0.123).to_bits(),
+                    "taps {taps} chunk {chunk} post-block state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_block_bit_identical_to_silent_loop() {
+        let input: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).cos()).collect();
+        for taps in [1, 5, 31] {
+            let mut a = FirFilter::low_pass(2000.0, 48_000.0, taps);
+            let mut b = a.clone();
+            for &x in &input {
+                a.push_silent(x);
+            }
+            for c in input.chunks(13) {
+                b.push_silent_block(c);
+            }
+            assert_eq!(a.push(1.5).to_bits(), b.push(1.5).to_bits(), "taps {taps}");
+        }
     }
 }

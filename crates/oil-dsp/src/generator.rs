@@ -140,7 +140,23 @@ impl CompositeSignal {
 
     /// Produce a block of composite samples.
     pub fn block(&mut self, len: usize) -> Vec<Sample> {
-        (0..len).map(|_| self.next_sample()).collect()
+        let mut out = Vec::with_capacity(len);
+        self.fill_into(len, &mut out);
+        out
+    }
+
+    /// Append `len` composite samples to `out` — bit-identical to a
+    /// [`Self::next_sample`] loop, but the oscillator cursors stay in
+    /// registers across the block instead of round-tripping through memory
+    /// every sample.
+    pub fn fill_into(&mut self, len: usize, out: &mut Vec<Sample>) {
+        out.reserve(len);
+        out.extend((0..len).map(|_| {
+            let video = self.video.next_sample();
+            let audio = self.audio_baseband.next_sample();
+            let carrier = self.carrier.next_sample();
+            video + (1.0 + audio) * carrier * 0.5
+        }));
     }
 }
 

@@ -13,6 +13,7 @@ pub mod generator;
 pub mod mixer;
 pub mod registry;
 pub mod resample;
+pub mod simd;
 
 pub use fir::FirFilter;
 pub use generator::{CompositeSignal, ToneGenerator};

@@ -6,6 +6,7 @@
 //! plain decimator and a polyphase rational resampler are provided.
 
 use crate::fir::FirFilter;
+use crate::simd::dot_rr4;
 use crate::Sample;
 use serde::{Deserialize, Serialize};
 
@@ -62,9 +63,37 @@ impl Decimator {
         }
     }
 
+    /// Process an arbitrary-length input, appending the decimated output to
+    /// `out`. Bit-identical to a [`Self::push`] loop; once the phase is
+    /// aligned, whole decimation windows advance the delay line with block
+    /// copies instead of per-sample stores.
+    pub fn process_into(&mut self, input: &[Sample], out: &mut Vec<Sample>) {
+        let mut i = 0;
+        while i < input.len() && self.phase != 0 {
+            if let Some(y) = self.push(input[i]) {
+                out.push(y);
+            }
+            i += 1;
+        }
+        let rest = &input[i..];
+        let chunks = rest.chunks_exact(self.factor);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            self.filter.push_silent_block(&chunk[..self.factor - 1]);
+            out.push(self.filter.push(chunk[self.factor - 1]));
+        }
+        for &x in tail {
+            if let Some(y) = self.push(x) {
+                out.push(y);
+            }
+        }
+    }
+
     /// Process an arbitrary-length input, returning the decimated output.
     pub fn process(&mut self, input: &[Sample]) -> Vec<Sample> {
-        input.iter().filter_map(|&x| self.push(x)).collect()
+        let mut out = Vec::with_capacity(input.len() / self.factor + 1);
+        self.process_into(input, &mut out);
+        out
     }
 
     /// True when the next pushed sample starts a fresh decimation window
@@ -90,8 +119,13 @@ pub struct RationalResampler {
     pub down: usize,
     /// Prototype low-pass taps on the upsampled grid.
     taps: Vec<f64>,
-    /// Input-rate history ring (samples pre-scaled by `up`), newest at
-    /// `pos - 1`.
+    /// Per-phase tap subsets, each **reversed** so it pairs with an
+    /// ascending-time window slice: `ptaps[k][i] = taps[k + (c-1-i)·up]`
+    /// where `c` is phase `k`'s tap count.
+    ptaps: Vec<Vec<f64>>,
+    /// Input-rate history (samples pre-scaled by `up`), stored **doubled**
+    /// like the FIR delay line so the most recent `hist_len` samples are
+    /// always one contiguous ascending slice.
     hist: Vec<Sample>,
     pos: usize,
     /// Phase accumulator over the upsampled grid.
@@ -111,11 +145,19 @@ impl RationalResampler {
             (sample_rate_hz / 2.0).min(sample_rate_hz * up as f64 / (2.0 * down as f64)) * 0.9;
         let taps = FirFilter::low_pass(cutoff, upsampled, taps).taps().to_vec();
         let hist_len = taps.len().div_ceil(up);
+        let ptaps = (0..up)
+            .map(|k| {
+                let mut p: Vec<f64> = taps.iter().skip(k).step_by(up).copied().collect();
+                p.reverse();
+                p
+            })
+            .collect();
         RationalResampler {
             up,
             down,
             taps,
-            hist: vec![0.0; hist_len],
+            ptaps,
+            hist: vec![0.0; 2 * hist_len],
             pos: 0,
             phase: 0,
         }
@@ -127,33 +169,39 @@ impl RationalResampler {
     /// `Σ_j taps[j] · U[t−j]` over the zero-stuffed stream `U`; only the
     /// taps with `j ≡ k (mod up)` meet a non-structural-zero sample, and
     /// those samples are the plain input history `x[i], x[i−1], …` (scaled
-    /// by `up`), which is exactly what the ring holds.
+    /// by `up`). With the history doubled, phase `k`'s inner product is a
+    /// contiguous dot of its reversed tap subset against the tail of the
+    /// ascending window, which runs through the SIMD kernel.
     pub fn push_each(&mut self, x: Sample, mut emit: impl FnMut(Sample)) {
-        let hist_len = self.hist.len();
-        self.hist[self.pos] = x * self.up as f64;
+        let hist_len = self.hist.len() / 2;
+        let scaled = x * self.up as f64;
+        self.hist[self.pos] = scaled;
+        self.hist[self.pos + hist_len] = scaled;
         self.pos += 1;
         if self.pos == hist_len {
             self.pos = 0;
         }
-        let newest = self.pos.checked_sub(1).unwrap_or(hist_len - 1);
-        for k in 0..self.up {
-            if self.phase == 0 {
-                let mut acc = [0.0f64; 4];
-                let mut j = k;
-                let mut idx = newest;
-                let mut m = 0usize;
-                while j < self.taps.len() {
-                    acc[m & 3] += self.taps[j] * self.hist[idx];
-                    idx = idx.checked_sub(1).unwrap_or(hist_len - 1);
-                    j += self.up;
-                    m += 1;
-                }
-                emit((acc[0] + acc[1]) + (acc[2] + acc[3]));
-            }
-            self.phase += 1;
-            if self.phase == self.down {
-                self.phase = 0;
-            }
+        // Ascending window of the last `hist_len` inputs. The phase
+        // accumulator walks the upsampled grid `phase, phase+1, …,
+        // phase+up-1 (mod down)` and an output fires wherever it hits zero
+        // — at `k ≡ -phase (mod down)` — so iterate the emitting positions
+        // directly instead of stepping through every grid point.
+        let window = &self.hist[self.pos..self.pos + hist_len];
+        let mut k = if self.phase == 0 {
+            0
+        } else {
+            self.down - self.phase
+        };
+        while k < self.up {
+            let pt = &self.ptaps[k];
+            emit(dot_rr4(&window[hist_len - pt.len()..], pt));
+            k += self.down;
+        }
+        // `phase + up mod down` by repeated subtraction: at most ⌈up/down⌉
+        // steps, cheaper than a hardware divide at audio/video rates.
+        self.phase += self.up;
+        while self.phase >= self.down {
+            self.phase -= self.down;
         }
     }
 
@@ -250,6 +298,28 @@ mod tests {
         let tail = &out[500..];
         let rms: f64 = (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt();
         assert!((rms - (0.5f64).sqrt()).abs() < 0.1, "rms {rms}");
+    }
+
+    #[test]
+    fn decimator_process_into_bit_identical_to_push_loop() {
+        let input: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.13).sin()).collect();
+        for factor in [1, 2, 4, 25] {
+            let mut by_push = Decimator::new(factor, 6.4e6, 63);
+            let mut by_block = by_push.clone();
+            let push_out: Vec<f64> = input.iter().filter_map(|&x| by_push.push(x)).collect();
+            let mut block_out = Vec::new();
+            for c in input.chunks(37) {
+                by_block.process_into(c, &mut block_out);
+            }
+            assert_eq!(push_out.len(), block_out.len(), "factor {factor}");
+            for (i, (a, b)) in push_out.iter().zip(&block_out).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "factor {factor} sample {i}");
+            }
+            assert_eq!(
+                by_push.push(0.5).map(|y| y.to_bits()),
+                by_block.push(0.5).map(|y| y.to_bits())
+            );
+        }
     }
 
     #[test]

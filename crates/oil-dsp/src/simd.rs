@@ -1,0 +1,222 @@
+//! Explicit SIMD inner products for the hot filter loops.
+//!
+//! Every engine in the workspace must produce *bit-identical* value streams
+//! (the runtime differential oracles compare raw `f64` bits), so a SIMD
+//! path is only admissible if it reproduces the scalar reduction order
+//! exactly. The canonical reduction — shared by [`dot_rr4_scalar`], the
+//! AVX path and every filter in this crate — is **four round-robin partial
+//! sums**: product `i` is accumulated into lane `i & 3`, and the final
+//! reduction is `(l0 + l1) + (l2 + l3)`.
+//!
+//! A 4-wide f64 vector loop with separate multiply and add (`vmulpd` +
+//! `vaddpd`, *not* FMA — fused multiply-add changes the rounding of every
+//! product) keeps each lane's additions in the same order as the scalar
+//! loop: lane `l` sees the products at indices `l, l+4, l+8, …` in
+//! ascending order either way. The remainder after the last full vector is
+//! finished scalar, continuing the same lane assignment. The dispatch is
+//! resolved once at startup via CPU feature detection and falls back to the
+//! portable scalar loop on every other architecture.
+
+/// True when the 4-wide f64 path is available on this host (cached after
+/// the first call).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn simd_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// Portable fallback: no 4-wide f64 path.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn simd_available() -> bool {
+    false
+}
+
+/// Canonical round-robin dot product of two equal-length slices.
+///
+/// Bit-identical to [`dot_rr4_scalar`] on every input; uses the AVX path
+/// when the host supports it.
+#[inline]
+pub fn dot_rr4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Below two full vectors the feature dispatch and accumulator setup
+    // cost more than the multiplies; both paths produce the same bits, so
+    // the cutover is purely a speed choice (polyphase resampler phases are
+    // typically ⌈taps/up⌉ ≈ 6–7 taps and take this branch).
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= 8 && simd_available() {
+        // SAFETY: `simd_available` proved AVX support at runtime.
+        return unsafe { dot_rr4_avx(a, b) };
+    }
+    dot_rr4_scalar(a, b)
+}
+
+/// The canonical scalar reduction: `acc[i & 3] += a[i] * b[i]`, reduced as
+/// `(acc0 + acc1) + (acc2 + acc3)`. Hand-unrolled into four named lanes —
+/// the indexed-array form keeps the accumulators in memory and every
+/// short dot stalls on store-to-load forwarding; the unroll is the same
+/// additions in the same per-lane order, so the bits don't move.
+#[inline]
+pub fn dot_rr4_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        l0 += a[i] * b[i];
+        l1 += a[i + 1] * b[i + 1];
+        l2 += a[i + 2] * b[i + 2];
+        l3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    if i < n {
+        l0 += a[i] * b[i];
+    }
+    if i + 1 < n {
+        l1 += a[i + 1] * b[i + 1];
+    }
+    if i + 2 < n {
+        l2 += a[i + 2] * b[i + 2];
+    }
+    (l0 + l1) + (l2 + l3)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dot_rr4_avx(a: &[f64], b: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    // The tail continues the same lane assignment the vector loop used.
+    while i < n {
+        lanes[i & 3] += a[i] * b[i];
+        i += 1;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Sliding-window FIR block: `out[j] = dot_rr4(&window[j..j + n], rtaps)`
+/// for every `j`, where `n = rtaps.len()` and
+/// `window.len() == out.len() + n - 1`.
+///
+/// The AVX path computes four *outputs* per pass sharing each tap load —
+/// instruction-level parallelism across independent accumulator sets —
+/// while each individual output keeps the canonical per-output reduction
+/// order, so the result is bit-identical to the scalar loop.
+#[inline]
+pub fn fir_block_rr4(window: &[f64], rtaps: &[f64], out: &mut [f64]) {
+    let n = rtaps.len();
+    debug_assert_eq!(window.len(), out.len() + n - 1);
+    // Under two full vectors of taps the AVX kernel is all tail; the
+    // scalar loop wins and the bits are the same either way.
+    #[cfg(target_arch = "x86_64")]
+    if n >= 8 && simd_available() {
+        // SAFETY: `simd_available` proved AVX support at runtime.
+        unsafe { fir_block_avx(window, rtaps, out) };
+        return;
+    }
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = dot_rr4_scalar(&window[j..j + n], rtaps);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn fir_block_avx(window: &[f64], rtaps: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = rtaps.len();
+    let m = out.len();
+    let tp = rtaps.as_ptr();
+    // Transposed accumulator layout: vector lane `k` carries output `j+k`,
+    // and `acc_r` collects the products of the taps with index `≡ r
+    // (mod 4)` — exactly lane `r` of each output's round-robin reduction,
+    // accumulated in ascending tap order. One broadcast tap times one
+    // unaligned window load yields the tap-`i` product of all four
+    // outputs at once; there is no per-group lane spill, no scalar tap
+    // tail, and the final `(l0+l1)+(l2+l3)` collapses to two vector adds
+    // producing four finished outputs.
+    let mut j = 0usize;
+    while j + 4 <= m {
+        let base = window.as_ptr().add(j);
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let t0 = _mm256_broadcast_sd(&*tp.add(i));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(t0, _mm256_loadu_pd(base.add(i))));
+            let t1 = _mm256_broadcast_sd(&*tp.add(i + 1));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(t1, _mm256_loadu_pd(base.add(i + 1))));
+            let t2 = _mm256_broadcast_sd(&*tp.add(i + 2));
+            acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(t2, _mm256_loadu_pd(base.add(i + 2))));
+            let t3 = _mm256_broadcast_sd(&*tp.add(i + 3));
+            acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(t3, _mm256_loadu_pd(base.add(i + 3))));
+            i += 4;
+        }
+        while i < n {
+            let t = _mm256_broadcast_sd(&*tp.add(i));
+            let p = _mm256_mul_pd(t, _mm256_loadu_pd(base.add(i)));
+            match i & 3 {
+                0 => acc0 = _mm256_add_pd(acc0, p),
+                1 => acc1 = _mm256_add_pd(acc1, p),
+                2 => acc2 = _mm256_add_pd(acc2, p),
+                _ => acc3 = _mm256_add_pd(acc3, p),
+            }
+            i += 1;
+        }
+        let r = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+        _mm256_storeu_pd(out.as_mut_ptr().add(j), r);
+        j += 4;
+    }
+    while j < m {
+        out[j] = dot_rr4_avx(&window[j..j + n], rtaps);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * seed + 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn dot_dispatch_matches_scalar_exactly() {
+        for n in [0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 63, 64, 100, 2047] {
+            let a = ramp(n, 1.3);
+            let b = ramp(n, 0.7);
+            let fast = dot_rr4(&a, &b);
+            let slow = dot_rr4_scalar(&a, &b);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fir_block_matches_scalar_exactly() {
+        for n in [1, 2, 3, 4, 5, 7, 8, 31, 63, 64] {
+            for m in [1, 2, 3, 4, 5, 8, 13, 64] {
+                let window = ramp(m + n - 1, 0.9);
+                let rtaps = ramp(n, 1.7);
+                let mut fast = vec![0.0; m];
+                fir_block_rr4(&window, &rtaps, &mut fast);
+                for (j, &f) in fast.iter().enumerate() {
+                    let s = dot_rr4_scalar(&window[j..j + n], &rtaps);
+                    assert_eq!(f.to_bits(), s.to_bits(), "n = {n}, m = {m}, j = {j}");
+                }
+            }
+        }
+    }
+}

@@ -51,7 +51,18 @@ impl Kernel {
     /// longer outputs are truncated — the coordination layer, not the
     /// kernel, owns the rates.
     pub fn fire(&mut self, inputs: &[f64], out_len: usize) -> Vec<f64> {
-        let mut out = match self {
+        let mut out = Vec::with_capacity(out_len);
+        self.fire_extend(inputs, out_len, &mut out);
+        out
+    }
+
+    /// As [`Self::fire`], appending the firing's `out_len` values onto a
+    /// caller-provided buffer instead of allocating a fresh `Vec`. The
+    /// pad/truncate rate discipline applies to the appended region only, so
+    /// a replay loop can stack many firings into one allocation.
+    pub fn fire_extend(&mut self, inputs: &[f64], out_len: usize, out: &mut Vec<f64>) {
+        let start = out.len();
+        match self {
             Kernel::Synthetic { key, n } => {
                 let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ *key;
                 for &x in inputs {
@@ -62,31 +73,37 @@ impl Kernel {
                 }
                 let base = *n;
                 *n += 1;
-                (0..out_len)
-                    .map(|k| {
-                        let h = acc
-                            .wrapping_add((base << 8) | k as u64)
-                            .wrapping_mul(0x94D0_49BB_1331_11EB);
-                        // Map to [-1, 1) so synthetic streams look like audio.
-                        (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
-                    })
-                    .collect()
+                out.extend((0..out_len).map(|k| {
+                    let h = acc
+                        .wrapping_add((base << 8) | k as u64)
+                        .wrapping_mul(0x94D0_49BB_1331_11EB);
+                    // Map to [-1, 1) so synthetic streams look like audio.
+                    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+                }));
             }
-            Kernel::Fir(f) => f.process(inputs),
-            Kernel::Decimate(d) => d.process(inputs),
-            Kernel::Resample(r) => r.process(inputs),
-            Kernel::Mix(m) => m.process(inputs),
-            Kernel::Custom(f) => f(inputs, out_len),
-        };
-        match out.len().cmp(&out_len) {
-            std::cmp::Ordering::Greater => out.truncate(out_len),
+            Kernel::Fir(f) => f.process_block_into(inputs, out),
+            Kernel::Decimate(d) => d.process_into(inputs, out),
+            Kernel::Resample(r) => {
+                for &x in inputs {
+                    r.push_each(x, |y| out.push(y));
+                }
+            }
+            Kernel::Mix(m) => out.extend(inputs.iter().map(|&x| m.push(x))),
+            Kernel::Custom(f) => out.extend(f(inputs, out_len)),
+        }
+        match (out.len() - start).cmp(&out_len) {
+            std::cmp::Ordering::Greater => out.truncate(start + out_len),
             std::cmp::Ordering::Less => {
-                let pad = out.last().copied().unwrap_or(0.0);
-                out.resize(out_len, pad);
+                // Pad with the last value *this firing* emitted (or silence).
+                let pad = if out.len() > start {
+                    out[out.len() - 1]
+                } else {
+                    0.0
+                };
+                out.resize(start + out_len, pad);
             }
             std::cmp::Ordering::Equal => {}
         }
-        out
     }
 
     /// Execute `firings` consecutive firings in one call: firing `j`
@@ -127,18 +144,21 @@ impl Kernel {
         out.reserve(firings * out_len);
         match self {
             // Samplewise kernels: block processing is the identical state
-            // march, one output per input.
+            // march, one output per input. The FIR block path additionally
+            // runs the whole window sweep through the multi-output SIMD
+            // kernel (bit-identical to the push loop).
             Kernel::Fir(f) if in_len == out_len => {
-                out.extend(inputs.iter().map(|&x| f.push(x)));
+                f.process_block_into(inputs, out);
             }
             Kernel::Mix(m) if in_len == out_len => {
                 out.extend(inputs.iter().map(|&x| m.push(x)));
             }
             // An aligned decimator consuming whole windows per firing emits
             // exactly `out_len` per chunk, so the concatenation is the
-            // per-firing result.
+            // per-firing result; the block path advances the silent stretches
+            // with memcpys.
             Kernel::Decimate(d) if d.aligned() && d.factor > 0 && in_len == out_len * d.factor => {
-                out.extend(inputs.iter().filter_map(|&x| d.push(x)));
+                d.process_into(inputs, out);
             }
             // An aligned rational resampler whose per-firing phase cycle is
             // whole (`in·up` divisible by `down`) emits exactly
@@ -176,10 +196,11 @@ impl Kernel {
                 }
             }
             // Everything else (custom kernels, unaligned or padded shapes):
-            // the per-firing loop, verbatim.
+            // the per-firing semantics, verbatim, but appended in place so
+            // the generic path allocates nothing per firing either.
             _ => {
                 for j in 0..firings {
-                    out.extend(self.fire(&inputs[j * in_len..(j + 1) * in_len], out_len));
+                    self.fire_extend(&inputs[j * in_len..(j + 1) * in_len], out_len, out);
                 }
             }
         }
@@ -216,6 +237,34 @@ impl SourceKernel {
                     .wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 *n += 1;
                 (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            }
+        }
+    }
+
+    /// Append the next `len` samples to `out` — bit-identical to a
+    /// [`Self::next_sample`] loop, with the kernel dispatch hoisted out of
+    /// the per-sample path (the static engine generates whole scheduled
+    /// bursts at once).
+    pub fn fill_into(&mut self, len: usize, out: &mut Vec<f64>) {
+        match self {
+            SourceKernel::Composite(c) => c.fill_into(len, out),
+            SourceKernel::Tone(t) => {
+                out.reserve(len);
+                out.extend((0..len).map(|_| t.next_sample()));
+            }
+            SourceKernel::Synthetic { key, n } => {
+                out.reserve(len);
+                let k = *key;
+                let mut i = *n;
+                out.extend((0..len).map(|_| {
+                    let h = (k ^ i)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(23)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    i += 1;
+                    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+                }));
+                *n = i;
             }
         }
     }

@@ -185,6 +185,28 @@ impl ThroughputMeter {
         }
     }
 
+    /// Record `n` consumed samples delivered as one block (a fused sink
+    /// stage). Equivalent to `n` [`Self::record`] calls for the sample
+    /// count and warm-up accounting, but takes at most one clock stamp —
+    /// block consumption is only observable at block granularity anyway.
+    pub fn record_block(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.samples += n;
+        if self.samples <= self.warmup {
+            return;
+        }
+        match self.warm {
+            None => self.warm = Some((self.samples, Instant::now())),
+            Some((warm_idx, _)) => {
+                if self.samples - warm_idx >= METER_STRIDE {
+                    self.last = Some((self.samples, Instant::now()));
+                }
+            }
+        }
+    }
+
     /// Samples recorded so far.
     pub fn samples(&self) -> u64 {
         self.samples

@@ -40,7 +40,7 @@ use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::RtGraph;
-use oil_compiler::schedule::{StaticSchedule, UnitKind};
+use oil_compiler::schedule::{FusionStats, StaticSchedule, UnitKind, WorkItem};
 use oil_dataflow::index::Idx;
 use oil_sim::Picos;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +93,8 @@ pub struct StaticReport {
     pub iterations: u64,
     /// Buffers that crossed a worker boundary (the only synchronised ones).
     pub cross_buffers: usize,
+    /// What the schedule's fusion pass did (zeroes when fusion was off).
+    pub fusion: FusionStats,
 }
 
 impl StaticReport {
@@ -238,6 +240,45 @@ struct CompiledStep {
     iters: u64,
 }
 
+/// One stage of a compiled fused run.
+struct CompiledStage {
+    /// Index into the worker's unit-state table.
+    unit: u32,
+    /// Firings per run execution (before batching).
+    times: u32,
+}
+
+/// A compiled fused super-step: the chain executes as one pass over two
+/// ping-pong scratch buffers. Only the head's reads and the tail's writes
+/// touch real buffer slots; each link's tokens are recorded and counted
+/// without ever entering a ring.
+struct CompiledFused {
+    stages: Vec<CompiledStage>,
+    /// Buffer index per stage boundary (`stages.len() - 1` entries).
+    links: Vec<usize>,
+    /// Iterations of the outer loop that include this run.
+    iters: u64,
+    /// Consecutive iterations executed back to back when the outer loop
+    /// reaches a multiple of this (1 = no batching). Only whole-component
+    /// runs batch — their links are scratch and they share no buffer with
+    /// any other work item, so concatenating periods is reorder-safe and
+    /// hands the block kernels real block sizes.
+    batch: u64,
+}
+
+/// One item of a worker's compiled list.
+enum CompiledWork {
+    Step(CompiledStep),
+    Fused(CompiledFused),
+}
+
+/// Target tokens per stage per batched run execution: enough to amortise
+/// the per-call overhead and fill the SIMD kernels without growing the
+/// scratch buffers past cache-friendly sizes.
+const FUSED_BATCH_TOKENS: u64 = 4096;
+/// Batching cap (iterations concatenated per run execution).
+const FUSED_BATCH_MAX: u64 = 64;
+
 /// The buffer plumbing of one worker: endpoint slots plus producer-side
 /// recording. Split from the unit table so a unit's state and the buffer
 /// I/O can be borrowed mutably at the same time.
@@ -300,6 +341,22 @@ impl BufIo {
         }
     }
 
+    /// Commit a fused link's tokens *without* ring traffic: the values are
+    /// recorded and counted exactly as a push would, but they stay in the
+    /// caller's scratch — the consumer stage reads them from there. The
+    /// per-buffer value stream is unchanged because the link held no
+    /// standing tokens and its producer's firing order is preserved.
+    fn commit_elided(&mut self, b: usize, values: &[f64]) {
+        if self.record_values {
+            if let Some(r) = self.recorders[b].as_mut() {
+                for &v in values {
+                    r.record(v);
+                }
+            }
+        }
+        self.tokens += values.len() as u64;
+    }
+
     /// Push a block of values (same per-buffer order as single pushes).
     fn push_block(&mut self, b: usize, values: &[f64], abort: &AtomicBool) {
         if self.record_values {
@@ -327,12 +384,13 @@ impl BufIo {
 
 /// Everything one worker owns for the run.
 struct Worker {
-    steps: Vec<CompiledStep>,
+    steps: Vec<CompiledWork>,
     units: Vec<UnitState>,
     io: BufIo,
     max_iters: u64,
     scratch: Vec<f64>,
-    /// Reused output buffer for blocked kernel calls.
+    /// Reused output buffer for blocked kernel calls; doubles as the second
+    /// ping-pong scratch of fused runs.
     out_buf: Vec<f64>,
 }
 
@@ -349,7 +407,22 @@ impl Worker {
         let scratch = &mut self.scratch;
         let out_buf = &mut self.out_buf;
         for it in 0..self.max_iters {
-            for step in &self.steps {
+            for work in &self.steps {
+                let step = match work {
+                    CompiledWork::Step(step) => step,
+                    CompiledWork::Fused(f) => {
+                        if it >= f.iters || (f.batch > 1 && !it.is_multiple_of(f.batch)) {
+                            continue;
+                        }
+                        let reps = if f.batch > 1 {
+                            f.batch.min(f.iters - it) as usize
+                        } else {
+                            1
+                        };
+                        run_fused(f, reps, &mut self.units, io, scratch, out_buf, abort);
+                        continue;
+                    }
+                };
                 if it >= step.iters {
                     continue;
                 }
@@ -423,9 +496,7 @@ impl Worker {
                     } => {
                         if *block {
                             scratch.clear();
-                            for _ in 0..step.times {
-                                scratch.push(kernel.next_sample());
-                            }
+                            kernel.fill_into(step.times as usize, scratch);
                             for &b in outputs.iter() {
                                 io.push_block(b, scratch, abort);
                             }
@@ -462,6 +533,110 @@ impl Worker {
             units: self.units,
             recorders: self.io.recorders,
             tokens: self.io.tokens,
+        }
+    }
+}
+
+/// Execute one fused super-step (`reps` concatenated iterations of it) as a
+/// single pass over two ping-pong scratch buffers.
+///
+/// Stage `i + 1` consumes exactly the slice stage `i` produced: the link
+/// tokens are recorded and counted ([`BufIo::commit_elided`]) but never
+/// enter a ring and never allocate. Only the head's reads (the schedule
+/// proved the tokens exist up front) and the tail's writes touch real
+/// buffer slots — per-buffer push/pop orders, and therefore every value
+/// stream, are bit-identical to the unfused replay.
+#[allow(clippy::too_many_arguments)]
+fn run_fused(
+    f: &CompiledFused,
+    reps: usize,
+    units: &mut [UnitState],
+    io: &mut BufIo,
+    scratch: &mut Vec<f64>,
+    out_buf: &mut Vec<f64>,
+    abort: &AtomicBool,
+) {
+    let last = f.stages.len() - 1;
+    let mut cur: &mut Vec<f64> = scratch;
+    let mut nxt: &mut Vec<f64> = out_buf;
+    for (si, stage) in f.stages.iter().enumerate() {
+        let times = stage.times as usize * reps;
+        match &mut units[stage.unit as usize] {
+            UnitState::Source {
+                kernel,
+                outputs,
+                generated,
+                ..
+            } => {
+                debug_assert!(si == 0, "a source can only head a fused run");
+                debug_assert_eq!(outputs.len(), 1, "fused heads have a single write");
+                nxt.clear();
+                kernel.fill_into(times, nxt);
+                *generated += times as u64;
+            }
+            UnitState::Node {
+                kernel,
+                reads,
+                writes,
+                in_len,
+                out_len,
+                fired,
+                ..
+            } => {
+                if si == 0 {
+                    // Gather the head's inputs from its real buffers.
+                    cur.clear();
+                    if let [(b, c)] = reads[..] {
+                        io.pop_block(b, times * c, cur, abort);
+                    } else {
+                        for _ in 0..times {
+                            for &(b, c) in reads.iter() {
+                                for _ in 0..c {
+                                    cur.push(io.pop(b, abort));
+                                }
+                            }
+                        }
+                    }
+                }
+                nxt.clear();
+                kernel.fire_block_into(cur, times, *in_len, *out_len, nxt);
+                *fired += times as u64;
+                if si == last {
+                    // Scatter the tail's outputs to its real buffers.
+                    if let [(b, c)] = writes[..] {
+                        debug_assert_eq!(c, *out_len);
+                        io.push_block(b, nxt, abort);
+                    } else {
+                        for j in 0..times {
+                            for &(b, c) in writes.iter() {
+                                for k in 0..c {
+                                    let v = nxt.get(j * *out_len + k).copied();
+                                    io.push(b, v.unwrap_or(0.0), abort);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            UnitState::Sink {
+                consumed,
+                values,
+                meter,
+                ..
+            } => {
+                debug_assert!(si == last && si > 0, "a sink can only tail a fused run");
+                debug_assert_eq!(cur.len(), times, "the link carried the sink's reads");
+                *consumed += cur.len() as u64;
+                meter.record_block(cur.len() as u64);
+                if values.len() < SINK_STREAM_CAP {
+                    let take = (SINK_STREAM_CAP - values.len()).min(cur.len());
+                    values.extend_from_slice(&cur[..take]);
+                }
+            }
+        }
+        if si != last {
+            io.commit_elided(f.links[si], nxt);
+            std::mem::swap(&mut cur, &mut nxt);
         }
     }
 }
@@ -537,7 +712,11 @@ pub fn execute_staticsched(
                 worker_slots[p][i] = Slot::Sunk;
             }
             (Some(p), Some(c)) if p == c => {
-                let mut q = LocalRing::with_capacity(declared[i]);
+                // Fusion may push tokens into a local buffer earlier than
+                // the unfused order did; the schedule's fused replay bound
+                // (floored at the declared capacity) sizes the ring.
+                let cap = declared[i].max(schedule.local_level_max[bi] as usize);
+                let mut q = LocalRing::with_capacity(cap);
                 for _ in 0..b.initial_tokens {
                     q.push(0.0);
                 }
@@ -643,18 +822,60 @@ pub fn execute_staticsched(
                 recs[i] = recorders[i].take();
             }
         }
-        let steps: Vec<CompiledStep> = schedule.workers[w]
+        // Tokens one stage moves per run execution: sizes the batching so
+        // scratch stays cache-friendly.
+        let stage_tokens = |s: &oil_compiler::schedule::Step| -> u64 {
+            let width = match &units[unit_home[s.unit as usize].1 as usize] {
+                UnitState::Node {
+                    in_len, out_len, ..
+                } => (*in_len).max(*out_len).max(1),
+                UnitState::Source { .. } | UnitState::Sink { .. } => 1,
+            };
+            s.times as u64 * width as u64
+        };
+        let steps: Vec<CompiledWork> = schedule.fused_workers[w]
             .iter()
-            .map(|s| {
-                let unit = &schedule.units[s.unit as usize];
-                CompiledStep {
-                    unit: unit_home[s.unit as usize].1,
-                    times: s.times,
-                    iters: component_iters[unit.component as usize],
+            .map(|item| match item {
+                WorkItem::Step(s) => {
+                    let unit = &schedule.units[s.unit as usize];
+                    CompiledWork::Step(CompiledStep {
+                        unit: unit_home[s.unit as usize].1,
+                        times: s.times,
+                        iters: component_iters[unit.component as usize],
+                    })
+                }
+                WorkItem::Fused(run) => {
+                    let comp = schedule.units[run.stages[0].unit as usize].component;
+                    let batch = if run.batch {
+                        let widest = run.stages.iter().map(&stage_tokens).max().unwrap_or(1);
+                        (FUSED_BATCH_TOKENS / widest.max(1)).clamp(1, FUSED_BATCH_MAX)
+                    } else {
+                        1
+                    };
+                    CompiledWork::Fused(CompiledFused {
+                        stages: run
+                            .stages
+                            .iter()
+                            .map(|s| CompiledStage {
+                                unit: unit_home[s.unit as usize].1,
+                                times: s.times,
+                            })
+                            .collect(),
+                        links: run.links.iter().map(|b| b.index()).collect(),
+                        iters: component_iters[comp as usize],
+                        batch,
+                    })
                 }
             })
             .collect();
-        let max_iters = steps.iter().map(|s| s.iters).max().unwrap_or(0);
+        let max_iters = steps
+            .iter()
+            .map(|s| match s {
+                CompiledWork::Step(s) => s.iters,
+                CompiledWork::Fused(f) => f.iters,
+            })
+            .max()
+            .unwrap_or(0);
         workers.push(Worker {
             steps,
             units,
@@ -782,6 +1003,7 @@ pub fn execute_staticsched(
         wall: started.elapsed(),
         iterations,
         cross_buffers: schedule.cross_buffers.len(),
+        fusion: schedule.fusion,
     }
 }
 

@@ -37,7 +37,9 @@
 //! (`ProgramScenario::generate(seed)`, or `generate_sdr(seed)` for the SDR
 //! slice).
 
-use oil::compiler::schedule::{synthesize, ScheduleError, StaticSchedule, UnitKind};
+use oil::compiler::schedule::{
+    synthesize, synthesize_with, ScheduleError, StaticSchedule, UnitKind,
+};
 use oil::compiler::{compile, rtgraph, CompileError, CompilerOptions};
 use oil::gen::ProgramScenario;
 use oil::rt::{
@@ -338,7 +340,13 @@ fn corpus_digest(seed: u64) -> Option<(u64, u64)> {
     let compiled = compile_scenario(&scenario)?;
     let graph = rtgraph::lower(&compiled);
     let plan = rtgraph::plan(&graph);
-    let d = |w: usize| synthesize(&graph, &plan, w).expect("schedulable").digest();
+    // Fusion is forced ON so the pinned digests cover the fused worker
+    // lists and stay stable under the CI leg that sets `OIL_RT_FUSION=0`.
+    let d = |w: usize| {
+        synthesize_with(&graph, &plan, w, true)
+            .expect("schedulable")
+            .digest()
+    };
     Some((d(1), d(2)))
 }
 
@@ -391,8 +399,138 @@ fn corpus_digests_pin_the_synthesised_schedules() {
 }
 
 // ---------------------------------------------------------------------------
+// Fusion differential: the fused execution form is an optimisation, never a
+// semantic change.
+// ---------------------------------------------------------------------------
+
+/// A shorter slice of the corpus (the fusion differential runs two static
+/// replays per worker count per scenario).
+fn fusion_corpus() -> impl Iterator<Item = (&'static str, ProgramScenario)> {
+    (0..64)
+        .map(|seed| ("generate", ProgramScenario::generate(seed)))
+        .chain((0..16).map(|seed| ("generate_sdr", ProgramScenario::generate_sdr(seed))))
+}
+
+#[test]
+fn fusion_on_and_off_replay_bit_identical_streams() {
+    let mut fused_runs_total = 0u64;
+    for (label, scenario) in fusion_corpus() {
+        let seed = scenario.seed;
+        let Some(compiled) = compile_scenario(&scenario) else {
+            continue;
+        };
+        let graph = rtgraph::lower(&compiled);
+        let plan = rtgraph::plan(&graph);
+        for &w in &WORKERS {
+            let fused = match synthesize_with(&graph, &plan, w, true) {
+                Ok(s) => s,
+                Err(ScheduleError::NonUniformCluster { .. }) => continue,
+                Err(e) => panic!("seed {seed} ({label}): fused synthesis at {w} workers: {e}"),
+            };
+            let plain = synthesize_with(&graph, &plan, w, false).unwrap_or_else(|e| {
+                panic!("seed {seed} ({label}): unfused synthesis at {w} workers: {e}")
+            });
+            // Fusion rewrites the execution form only: the admitted period
+            // and the per-worker projections are untouched.
+            assert_eq!(fused.period, plain.period, "seed {seed} ({label})");
+            assert_eq!(fused.workers, plain.workers, "seed {seed} ({label})");
+            assert_eq!(plain.fusion.runs_fused, 0, "seed {seed} ({label})");
+            fused_runs_total += fused.fusion.runs_fused as u64;
+
+            let a = static_run(&graph, &fused, 0.1);
+            let b = static_run(&graph, &plain, 0.1);
+            if let Some(d) = a.values.first_divergence(&b.values) {
+                panic!(
+                    "seed {seed} ({label}): fusion changed a value stream at {w} \
+                     worker(s): {d}\nreproduce with ProgramScenario::{label}({seed})\
+                     \nsource:\n{}",
+                    scenario.source
+                );
+            }
+            assert_eq!(a.node_firings, b.node_firings, "seed {seed} ({label})");
+            assert_eq!(a.sources, b.sources, "seed {seed} ({label})");
+            assert_eq!(
+                a.tokens, b.tokens,
+                "seed {seed} ({label}): elided commits must still be counted"
+            );
+            for (fa, fb) in a.sinks.iter().zip(&b.sinks) {
+                assert_eq!(fa.consumed, fb.consumed, "seed {seed} ({label})");
+                assert_eq!(fa.values, fb.values, "seed {seed} ({label})");
+            }
+        }
+    }
+    assert!(
+        fused_runs_total > 0,
+        "the fusion pass never fired on the whole corpus — the differential \
+         would be vacuous"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // PAL case study.
 // ---------------------------------------------------------------------------
+
+#[test]
+fn pal_fusion_collapses_the_pipelines_without_changing_a_bit() {
+    let (compiled, _) = oil::pal::analyze_pal().expect("the PAL decoder is schedulable");
+    let registry = oil::pal::pal_registry();
+    let graph = rtgraph::lower_with_registry(&compiled, &registry);
+    let plan = rtgraph::plan(&graph);
+    let duration = picos(1e-3);
+    for workers in WORKERS {
+        let fused = synthesize_with(&graph, &plan, workers, true).expect("schedulable");
+        let plain = synthesize_with(&graph, &plan, workers, false).expect("schedulable");
+        assert_eq!(plain.fusion.runs_fused, 0);
+        if workers == 1 {
+            // One worker owns the whole decoder: both the audio and the
+            // video pipeline must collapse into fused runs, and at least
+            // one interior buffer must lose its ring traffic entirely.
+            assert!(
+                fused.fusion.runs_fused >= 2,
+                "PAL@1w fusion stats: {:?}",
+                fused.fusion
+            );
+            assert!(
+                fused.fusion.fused_chain_len_max >= 3,
+                "PAL@1w fusion stats: {:?}",
+                fused.fusion
+            );
+            assert!(
+                fused.fusion.rings_elided >= 1,
+                "PAL@1w fusion stats: {:?}",
+                fused.fusion
+            );
+        }
+        let run = |s: &StaticSchedule| {
+            execute_staticsched(
+                &graph,
+                s,
+                &KernelLibrary::pal(),
+                duration,
+                &StaticConfig {
+                    warmup_samples: 64,
+                    ..StaticConfig::default()
+                },
+            )
+        };
+        let a = run(&fused);
+        let b = run(&plain);
+        assert_eq!(
+            a.fusion, fused.fusion,
+            "the report surfaces the schedule's fusion stats"
+        );
+        if let Some(d) = a.values.first_divergence(&b.values) {
+            panic!("PAL fusion changed a value stream at {workers} worker(s): {d}");
+        }
+        assert_eq!(a.node_firings, b.node_firings, "workers={workers}");
+        assert_eq!(a.sources, b.sources, "workers={workers}");
+        assert_eq!(a.tokens, b.tokens, "workers={workers}");
+        for (fa, fb) in a.sinks.iter().zip(&b.sinks) {
+            assert_eq!(fa.consumed, fb.consumed, "workers={workers}");
+            assert_eq!(fa.values, fb.values, "workers={workers}");
+        }
+    }
+}
 
 #[test]
 fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
