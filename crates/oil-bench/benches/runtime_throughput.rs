@@ -30,14 +30,18 @@
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under **schema v4**: one record per (workload, engine_mode,
+//! root under **schema v5**: one record per (workload, engine_mode,
 //! threads), each carrying the host parallelism measured *at that row's
 //! execution* (`std::thread::available_parallelism()` can change under
 //! cgroup pressure mid-run), a `"degraded": true` flag whenever
 //! `threads > host_parallelism` — so 2/4-thread numbers taken on a 1-core
-//! host are never silently mistaken for parallel scaling — and (new in v4)
-//! the schedule-fusion counters of the static-order rows (`runs_fused`,
-//! `rings_elided`, `fused_chain_len_max`; zero on the other engines).
+//! host are never silently mistaken for parallel scaling — the
+//! schedule-fusion counters of the static-order rows (`runs_fused`,
+//! `rings_elided`, `fused_chain_len_max`; zero on the other engines), and
+//! (new in v5) `engine_actual`: the engine that really produced the row.
+//! A requested staticsched row whose synthesis is rejected falls back to
+//! selftimed **loudly** — `engine_actual` records it, a `FALLBACK:` line is
+//! printed, and the smoke run fails — never a mislabelled number.
 //!
 //! `cargo bench -p oil-bench --bench runtime_throughput -- --test` runs a
 //! smoke-sized horizon (CI). `--floor-pal-staticsched <tokens/s>` makes the
@@ -45,7 +49,7 @@
 //! given throughput — the CI regression floor for the fused engine.
 
 use oil_compiler::rtgraph::{self, RtGraph};
-use oil_compiler::schedule::FusionStats;
+use oil_compiler::schedule::{FusionStats, ScheduleError, SynthesisConfig};
 use oil_compiler::{compile, schedule, CompilerOptions};
 use oil_dsp::{Decimator, FirFilter, Mixer, RationalResampler};
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
@@ -60,6 +64,11 @@ use std::time::Instant;
 struct Row {
     workload: &'static str,
     engine_mode: &'static str,
+    /// The engine that actually produced this row. Differs from
+    /// `engine_mode` only when a requested staticsched row fell back to
+    /// selftimed because synthesis rejected the graph — recorded loudly
+    /// instead of silently mislabelling the number (schema v5).
+    engine_actual: &'static str,
     threads: usize,
     virtual_s: f64,
     wall_ms: f64,
@@ -163,6 +172,7 @@ fn bench_workload(
     graph: &RtGraph,
     lib: &KernelLibrary,
     virtual_s: f64,
+    synth: &SynthesisConfig,
 ) {
     // Simulator floor (token origins only, no kernels, no trace recording).
     let mut net = build_simulation_from_graph(graph);
@@ -181,6 +191,7 @@ fn bench_workload(
     rows.push(Row {
         workload,
         engine_mode: "sim",
+        engine_actual: "sim",
         threads: 1,
         virtual_s,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -209,6 +220,7 @@ fn bench_workload(
         rows.push(Row {
             workload,
             engine_mode: "calendar",
+            engine_actual: "calendar",
             threads,
             virtual_s,
             wall_ms: report.wall.as_secs_f64() * 1e3,
@@ -239,6 +251,7 @@ fn bench_workload(
         rows.push(Row {
             workload,
             engine_mode: "selftimed",
+            engine_actual: "selftimed",
             threads,
             virtual_s,
             wall_ms: report.wall.as_secs_f64() * 1e3,
@@ -250,29 +263,65 @@ fn bench_workload(
     }
 
     for workers in THREAD_SWEEP {
-        let schedule = schedule::synthesize(graph, &plan, workers)
-            .unwrap_or_else(|e| panic!("{workload}: schedule synthesis at {workers} workers: {e}"));
-        let report = execute_staticsched(
-            graph,
-            &schedule,
-            lib,
-            picos(virtual_s),
-            &StaticConfig {
-                record_values: false,
-                ..StaticConfig::default()
-            },
-        );
-        rows.push(Row {
-            workload,
-            engine_mode: "staticsched",
-            threads: report.threads,
-            virtual_s,
-            wall_ms: report.wall.as_secs_f64() * 1e3,
-            tokens: report.tokens,
-            tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
-            host_parallelism: host_parallelism(),
-            fusion: report.fusion,
-        });
+        match schedule::synthesize(graph, &plan, workers, synth) {
+            Ok(schedule) => {
+                let report = execute_staticsched(
+                    graph,
+                    &schedule,
+                    lib,
+                    picos(virtual_s),
+                    &StaticConfig {
+                        record_values: false,
+                        ..StaticConfig::default()
+                    },
+                );
+                rows.push(Row {
+                    workload,
+                    engine_mode: "staticsched",
+                    engine_actual: "staticsched",
+                    threads: report.threads,
+                    virtual_s,
+                    wall_ms: report.wall.as_secs_f64() * 1e3,
+                    tokens: report.tokens,
+                    tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+                    host_parallelism: host_parallelism(),
+                    fusion: report.fusion,
+                });
+            }
+            Err(e @ ScheduleError::NonUniformCluster { .. }) => {
+                // The graph admits no static-order schedule (not even
+                // per-mode ones): fall back to the self-timed engine and
+                // say so — the row records the engine actually used and
+                // the smoke run fails on it.
+                eprintln!(
+                    "WARNING: {workload}: staticsched@{workers} fell back to                      selftimed: {e}"
+                );
+                let report = execute_selftimed(
+                    graph,
+                    &plan,
+                    lib,
+                    picos(virtual_s),
+                    &SelfTimedConfig {
+                        threads: workers,
+                        record_values: false,
+                        ..SelfTimedConfig::default()
+                    },
+                );
+                rows.push(Row {
+                    workload,
+                    engine_mode: "staticsched",
+                    engine_actual: "selftimed",
+                    threads: report.threads,
+                    virtual_s,
+                    wall_ms: report.wall.as_secs_f64() * 1e3,
+                    tokens: report.tokens,
+                    tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
+                    host_parallelism: host_parallelism(),
+                    fusion: FusionStats::default(),
+                });
+            }
+            Err(e) => panic!("{workload}: schedule synthesis at {workers} workers: {e}"),
+        }
     }
 }
 
@@ -296,23 +345,36 @@ fn main() {
         (10e-3, 1.0, 2.0)
     };
 
+    // The one place the fusion toggle reads the environment: every
+    // synthesis below sees the same immutable config.
+    let synth = SynthesisConfig::from_env();
+
     let mut rows = Vec::new();
     let pal = pal_graph();
-    bench_workload(&mut rows, "pal", &pal, &KernelLibrary::pal(), pal_s);
+    bench_workload(&mut rows, "pal", &pal, &KernelLibrary::pal(), pal_s, &synth);
     let (sdr, sdr_lib) = sdr_graph();
-    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s);
+    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s, &synth);
     let (wide, wide_lib) = wide_graph();
-    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s);
+    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s, &synth);
 
     println!(
-        "\n{:<8} {:<12} {:>7} {:>10} {:>12} {:>12} {:>16} {:>6}",
-        "workload", "engine", "threads", "virtual s", "wall ms", "tokens", "tokens/wall-s", "host"
+        "\n{:<8} {:<12} {:<12} {:>7} {:>10} {:>12} {:>12} {:>16} {:>6}",
+        "workload",
+        "engine",
+        "actual",
+        "threads",
+        "virtual s",
+        "wall ms",
+        "tokens",
+        "tokens/wall-s",
+        "host"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<12} {:>7} {:>10.4} {:>12.2} {:>12} {:>16.0} {:>6}",
+            "{:<8} {:<12} {:<12} {:>7} {:>10.4} {:>12.2} {:>12} {:>16.0} {:>6}",
             r.workload,
             r.engine_mode,
+            r.engine_actual,
             r.threads,
             r.virtual_s,
             r.wall_ms,
@@ -322,24 +384,27 @@ fn main() {
         );
     }
 
-    // Machine-readable results at the workspace root (schema v4: v3's
-    // per-row host_parallelism + degraded flag, plus the static-order
-    // schedule-fusion counters on every row — zero for the other engines).
+    // Machine-readable results at the workspace root (schema v5: v4's
+    // fusion counters plus `engine_actual` — the engine that really
+    // produced the row, differing from `engine_mode` only on a recorded
+    // staticsched → selftimed fallback).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 4,");
+    let _ = writeln!(json, "  \"schema_version\": 5,");
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let degraded = r.threads > r.host_parallelism;
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \"threads\": {}, \
+            "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \
+             \"engine_actual\": \"{}\", \"threads\": {}, \
              \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
              \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
              \"degraded\": {}, \"runs_fused\": {}, \"rings_elided\": {}, \
              \"fused_chain_len_max\": {}}}{}",
             r.workload,
             r.engine_mode,
+            r.engine_actual,
             r.threads,
             r.virtual_s,
             r.wall_ms,
@@ -358,6 +423,26 @@ fn main() {
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    // A requested engine must be the engine that ran: any fallback row is
+    // loud, and fatal under `--test` (the CI smoke leg).
+    let fallbacks: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.engine_mode != r.engine_actual)
+        .collect();
+    for r in &fallbacks {
+        eprintln!(
+            "FALLBACK: {} {}@{} actually ran on {}",
+            r.workload, r.engine_mode, r.threads, r.engine_actual
+        );
+    }
+    if smoke && !fallbacks.is_empty() {
+        eprintln!(
+            "FAIL: {} requested staticsched row(s) silently fell back to selftimed",
+            fallbacks.len()
+        );
+        std::process::exit(1);
     }
 
     if let Some(floor) = floor_pal_staticsched {

@@ -40,4 +40,7 @@ pub use pipeline::{compile, CompileError, CompiledProgram, CompilerOptions};
 pub use rtgraph::{
     RtBuffer, RtBufferId, RtGraph, RtNode, RtNodeId, RtSink, RtSinkId, RtSource, RtSourceId,
 };
-pub use schedule::{synthesize, ScheduleError, StaticSchedule};
+pub use schedule::{
+    collapse_modal, modal_admission, synthesize, ModalClusterInfo, ModalSchedule, ModeScript,
+    ScheduleError, StaticSchedule, SynthesisConfig,
+};

@@ -26,8 +26,16 @@
 //!    firing order around it is fixed. The guard is data-opaque and every
 //!    branch moves identical tokens, which is what makes the schedule
 //!    quasi-static rather than dynamic. A **non-uniform** cluster (members
-//!    gated on disjoint inputs) resolves by token arrival, which no static
-//!    order can express — synthesis rejects it
+//!    gated on disjoint inputs) resolves by token arrival at run time; it is
+//!    admitted as a single **modal unit** with one schedule arm per member
+//!    when the members share one aggregated write list and read pairwise
+//!    disjoint buffers (see [`modal_admission`]): the unit consumes the
+//!    union of all members' inputs every firing and fires the arm a
+//!    [`ModeScript`] selects, so token flow is mode-independent and the
+//!    per-mode schedules differ only in which kernel runs — hot switching
+//!    needs no pipeline drain, and [`StaticSchedule::validate_transitions`]
+//!    re-proves admission across every (mode, mode') seam by exact integer
+//!    replay. Clusters outside that shape are rejected
 //!    ([`ScheduleError::NonUniformCluster`]) and the caller falls back to
 //!    the self-timed engine. Sources and sinks are units of their own.
 //! 2. **Repetition vector.** The SDF view over units (collapsing makes
@@ -75,13 +83,17 @@ pub const MAX_PERIOD_FIRINGS: u64 = 1 << 22;
 /// Why a graph admits no static-order schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
-    /// A serial cluster whose members are gated on disjoint inputs: the
-    /// merge resolves by token arrival, which a static order cannot
-    /// express. (`oil_rt::selftimed` handles these by pinning the
+    /// A non-uniform serial cluster that the per-mode synthesis cannot
+    /// admit as a modal unit: its members diverge in their write sets,
+    /// share read buffers, or it is not the only non-uniform cluster of
+    /// the graph. (`oil_rt::selftimed` handles these by pinning the
     /// component to one worker.)
     NonUniformCluster {
         /// Index into [`RtPlan::clusters`].
         cluster: u32,
+        /// The member node names, ascending by node id — so a failing
+        /// corpus seed is diagnosable from the message alone.
+        members: Vec<String>,
     },
     /// The SDF view of the graph has no repetition vector (rate
     /// inconsistency or overflow) — nothing periodic exists to schedule.
@@ -112,10 +124,13 @@ pub enum ScheduleError {
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScheduleError::NonUniformCluster { cluster } => write!(
+            ScheduleError::NonUniformCluster { cluster, members } => write!(
                 f,
-                "serial cluster #{cluster} is non-uniform: its merge order is \
-                 data-dependent and admits no static-order schedule"
+                "serial cluster #{cluster} [{}] is non-uniform and not modal-admissible: \
+                 its members diverge in write sets, share read buffers, or it is not \
+                 the only non-uniform cluster — the merge order is data-dependent and \
+                 admits no per-mode static-order schedule",
+                members.join(", ")
             ),
             ScheduleError::NoRepetitionVector { reason } => {
                 write!(f, "no repetition vector: {reason}")
@@ -137,6 +152,82 @@ impl std::fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Caller-supplied synthesis knobs. The environment is consulted only by
+/// [`SynthesisConfig::from_env`] — call it once at a process entry point
+/// (CLI, bench main, test harness setup) and thread the value through,
+/// instead of re-reading `OIL_RT_FUSION` inside every synthesis, which is
+/// racy when tests mutate the environment across threads and invisible to
+/// callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// Run the fusion pass (super-step coalescing; see [`FusedRun`]).
+    pub fusion: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig { fusion: true }
+    }
+}
+
+impl SynthesisConfig {
+    /// Read the configuration from the environment once (`OIL_RT_FUSION=0`
+    /// disables fusion; unset or anything else leaves it on).
+    pub fn from_env() -> Self {
+        SynthesisConfig {
+            fusion: fusion_enabled(),
+        }
+    }
+}
+
+/// A scripted mode-change sequence: which arm of the modal unit each of
+/// its firings executes. This is the compile-side stand-in for the
+/// run-time mode-change tokens of the paper's `if`/`switch` guards — the
+/// engines consult it per modal firing, so a switch takes effect *at* a
+/// firing boundary with no pipeline drain (token flow is arm-independent
+/// under union-advance, so the rest of the schedule never notices).
+///
+/// The default script runs arm 0 forever.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModeScript {
+    /// Arm before the first switch point.
+    pub initial: u32,
+    /// `(firing index, arm)` pairs, ascending by firing index: from the
+    /// modal unit's `index`-th firing onward, run `arm` (until the next
+    /// entry takes over).
+    pub switches: Vec<(u64, u32)>,
+}
+
+impl ModeScript {
+    /// A script that never switches.
+    pub fn constant(arm: u32) -> Self {
+        ModeScript {
+            initial: arm,
+            switches: Vec::new(),
+        }
+    }
+
+    /// A script from (possibly unsorted) switch points.
+    pub fn new(initial: u32, mut switches: Vec<(u64, u32)>) -> Self {
+        switches.sort_by_key(|&(at, _)| at);
+        ModeScript { initial, switches }
+    }
+
+    /// The arm the `firing`-th modal firing executes. Engines clamp the
+    /// result to the arms that exist.
+    pub fn arm_at(&self, firing: u64) -> u32 {
+        let mut arm = self.initial;
+        for &(at, a) in &self.switches {
+            if at <= firing {
+                arm = a;
+            } else {
+                break;
+            }
+        }
+        arm
+    }
+}
+
 /// What one scheduling unit is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnitKind {
@@ -150,6 +241,18 @@ pub enum UnitKind {
         /// The member every firing executes.
         representative: RtNodeId,
         /// All members, ascending (including the representative).
+        members: Vec<RtNodeId>,
+    },
+    /// A **modal unit**: a non-uniform cluster admitted under the
+    /// union-advance rule ([`modal_admission`]). Every firing consumes the
+    /// union of all members' aggregated reads and produces the shared
+    /// write list; which member's kernel runs is the schedule *arm* a
+    /// [`ModeScript`] selects at run time. Token flow is therefore
+    /// mode-independent — one repetition vector, period and partition
+    /// serve every mode, and switching arms mid-stream is sound without
+    /// draining the pipeline.
+    Modal {
+        /// All members, ascending by node id; arm `k` fires `members[k]`.
         members: Vec<RtNodeId>,
     },
     /// A time-triggered source (one sample per firing, broadcast to every
@@ -236,6 +339,19 @@ pub struct FusionStats {
     pub fused_chain_len_max: u32,
 }
 
+/// The modal dimension of a schedule: which unit is modal and which node
+/// each arm dispatches to. Present iff the graph had a (modal-admissible)
+/// non-uniform cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModalSchedule {
+    /// Index into [`StaticSchedule::units`] of the modal unit.
+    pub unit: u32,
+    /// Arm `k` fires `arms[k]` (the cluster members, ascending by id).
+    pub arms: Vec<RtNodeId>,
+    /// The members' node names (same order), for reports and logs.
+    pub arm_names: Vec<String>,
+}
+
 /// A synthesised periodic static-order schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticSchedule {
@@ -269,6 +385,11 @@ pub struct StaticSchedule {
     /// capacity alone; cross-worker buffers keep the declared capacity
     /// (fused runs never touch them).
     pub local_level_max: IndexVec<RtBufferId, u64>,
+    /// The per-mode dimension: `Some` iff the graph had a modal-admissible
+    /// non-uniform cluster. The period/worker lists are shared by every
+    /// mode (union-advance makes token flow mode-independent); the arms
+    /// differ only in which member kernel the modal unit dispatches to.
+    pub modes: Option<ModalSchedule>,
 }
 
 impl StaticSchedule {
@@ -395,6 +516,12 @@ impl StaticSchedule {
                     h.write_u64(3);
                     h.write_u64(id.index() as u64);
                 }
+                UnitKind::Modal { members } => {
+                    h.write_u64(4);
+                    for &m in members {
+                        h.write_u64(m.index() as u64);
+                    }
+                }
             }
             h.write_u64(u.component as u64);
             h.write_u64(u.worker as u64);
@@ -436,6 +563,31 @@ impl StaticSchedule {
                     }
                 }
             }
+        }
+        if let Some(m) = &self.modes {
+            h.write_u64(5);
+            h.write_u64(m.unit as u64);
+            for &a in &m.arms {
+                h.write_u64(a.index() as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// [`Self::digest`] specialised to one mode: mixes the arm index and
+    /// the member node it dispatches to into the structural digest, for
+    /// the per-mode lines of the golden schedule corpus.
+    pub fn digest_mode(&self, arm: u32) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.digest());
+        h.write_u64(arm as u64);
+        if let Some(m) = &self.modes {
+            let member = m
+                .arms
+                .get(arm as usize)
+                .map(|a| a.index() as u64)
+                .unwrap_or(u64::MAX);
+            h.write_u64(member);
         }
         h.finish()
     }
@@ -690,6 +842,157 @@ impl StaticSchedule {
         }
         Ok(())
     }
+
+    /// Re-prove the admission property across every `(mode, mode')` switch
+    /// seam by exact integer replay: one period under `from` followed by
+    /// one period under `to`, with buffer levels carried across the seam,
+    /// must never underflow a buffer, never exceed its capacity (nor, on
+    /// the fused worker lists, its fused level bound), and end with every
+    /// buffer back at its initial level. No-op for non-modal schedules.
+    ///
+    /// Under the union-advance construction the modal unit's token flow is
+    /// the same in every mode — it consumes the union of all members'
+    /// inputs and produces the shared write list whichever arm runs — so
+    /// the per-mode access lists coincide, and that is exactly why hot
+    /// switching needs no pipeline drain: the state at any prefix of
+    /// period(`from`) is a state period(`to`) itself visits, so the bounds
+    /// hold pointwise across a switch injected *anywhere*, including
+    /// mid-period and inside fused super-steps (whose stages never span
+    /// the modal unit — it is excluded from fusion). The replay is still
+    /// executed for every ordered pair: it guards the construction (an
+    /// arm-dependent access introduced later would fail here), not the
+    /// argument.
+    pub fn validate_transitions(&self, graph: &RtGraph) -> Result<(), ScheduleError> {
+        let Some(modes) = self.modes.as_ref() else {
+            return Ok(());
+        };
+        let access = unit_access(graph, &self.units);
+        let capacity = engine_capacities(graph);
+        let confined =
+            confined_worker(graph, &self.units, &self.producer_unit, &self.consumer_unit);
+        let arms = modes.arms.len() as u32;
+        for from in 0..arms {
+            for to in 0..arms {
+                self.replay_seam(graph, &access, &capacity, &confined, from, to)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One `(from, to)` seam replay over the global period and every fused
+    /// worker list (see [`Self::validate_transitions`]).
+    fn replay_seam(
+        &self,
+        graph: &RtGraph,
+        access: &[UnitAccess],
+        capacity: &IndexVec<RtBufferId, usize>,
+        confined: &IndexVec<RtBufferId, Option<usize>>,
+        from: u32,
+        to: u32,
+    ) -> Result<(), ScheduleError> {
+        let seam = |what: &str, b: RtBufferId| {
+            ScheduleError::Invalid(format!(
+                "transition {from}->{to}: {what} buffer `{}` across the switch seam",
+                graph.buffers[b].name
+            ))
+        };
+        let initial = |graph: &RtGraph| -> IndexVec<RtBufferId, u64> {
+            graph
+                .buffers
+                .iter()
+                .map(|b| b.initial_tokens as u64)
+                .collect::<Vec<_>>()
+                .into()
+        };
+        // Global period: period(from) ++ period(to), levels carried over
+        // the seam.
+        let mut level = initial(graph);
+        for _half in 0..2 {
+            for step in &self.period {
+                let a = &access[step.unit as usize];
+                for _ in 0..step.times {
+                    for &(b, c) in &a.reads {
+                        level[b] = level[b]
+                            .checked_sub(c as u64)
+                            .ok_or_else(|| seam("underflows", b))?;
+                    }
+                    for &(b, c) in &a.writes {
+                        if self.consumer_unit[b].is_none() {
+                            continue;
+                        }
+                        level[b] += c as u64;
+                        if level[b] > capacity[b] as u64 {
+                            return Err(seam("overflows", b));
+                        }
+                    }
+                }
+            }
+        }
+        for (b, buf) in graph.buffers.iter_enumerated() {
+            if self.consumer_unit[b].is_some() && level[b] != buf.initial_tokens as u64 {
+                return Err(seam("fails to restore", b));
+            }
+        }
+        // Fused worker lists: each worker's confined-buffer accounting must
+        // survive the seam too — fused runs hoist and defer firings, so a
+        // worker's seam state differs from the global replay's.
+        for (w, items) in self.fused_workers.iter().enumerate() {
+            let mut level = initial(graph);
+            for _half in 0..2 {
+                for item in items {
+                    match item {
+                        WorkItem::Step(s) => {
+                            let a = &access[s.unit as usize];
+                            for &(b, c) in &a.reads {
+                                if confined[b] == Some(w) {
+                                    level[b] = level[b]
+                                        .checked_sub(s.times as u64 * c as u64)
+                                        .ok_or_else(|| seam("fused replay underflows", b))?;
+                                }
+                            }
+                            for &(b, c) in &a.writes {
+                                if confined[b] == Some(w) && self.consumer_unit[b].is_some() {
+                                    level[b] += s.times as u64 * c as u64;
+                                    if level[b] > self.local_level_max[b] {
+                                        return Err(seam("fused replay overflows", b));
+                                    }
+                                }
+                            }
+                        }
+                        WorkItem::Fused(run) => {
+                            // Run buffers are all worker-confined
+                            // (validate_fused proved it); only the head's
+                            // reads and the tail's writes touch rings.
+                            let head = run.stages[0];
+                            for &(b, c) in &access[head.unit as usize].reads {
+                                level[b] = level[b]
+                                    .checked_sub(head.times as u64 * c as u64)
+                                    .ok_or_else(|| seam("fused replay underflows", b))?;
+                            }
+                            let tail = run.stages[run.stages.len() - 1];
+                            for &(b, c) in &access[tail.unit as usize].writes {
+                                if self.consumer_unit[b].is_some() {
+                                    level[b] += tail.times as u64 * c as u64;
+                                    if level[b] > self.local_level_max[b] {
+                                        return Err(seam("fused replay overflows", b));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (b, buf) in graph.buffers.iter_enumerated() {
+                if confined[b] == Some(w)
+                    && self.consumer_unit[b].is_some()
+                    && level[b] != buf.initial_tokens as u64
+                {
+                    return Err(seam("fails to restore", b));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The aggregated per-buffer access lists of one unit (duplicate ports
@@ -722,6 +1025,20 @@ fn unit_access(graph: &RtGraph, units: &[ScheduleUnit]) -> Vec<UnitAccess> {
                     writes: aggregate(&n.writes),
                 }
             }
+            UnitKind::Modal { members } => {
+                // Union-advance: every firing consumes the union of all
+                // members' aggregated reads (pairwise disjoint, by
+                // admission) and produces the shared write list.
+                let mut reads: Vec<(RtBufferId, usize)> = Vec::new();
+                for &m in members {
+                    reads.extend(aggregate(&graph.nodes[m].reads));
+                }
+                reads.sort();
+                UnitAccess {
+                    reads,
+                    writes: aggregate(&graph.nodes[members[0]].writes),
+                }
+            }
             UnitKind::Source(id) => UnitAccess {
                 reads: Vec::new(),
                 writes: graph.sources[*id].outputs.iter().map(|&b| (b, 1)).collect(),
@@ -743,6 +1060,146 @@ fn engine_capacities(graph: &RtGraph) -> IndexVec<RtBufferId, usize> {
         .map(|b| b.capacity.max(b.initial_tokens).max(1))
         .collect::<Vec<_>>()
         .into()
+}
+
+/// The modal-unit view of the single non-uniform cluster of a graph, when
+/// per-mode synthesis admits it (see [`modal_admission`]). Shared by the
+/// synthesis, the runtime engines' scripted setup and the collapsed-twin
+/// construction so all of them agree on member order and access lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModalClusterInfo {
+    /// Index into [`RtPlan::clusters`].
+    pub cluster: u32,
+    /// Members ascending by node id; schedule arm `k` fires `members[k]`.
+    pub members: Vec<RtNodeId>,
+    /// Per member (same order): its aggregated read list.
+    pub member_reads: Vec<Vec<(RtBufferId, usize)>>,
+    /// The aggregated write list every member shares.
+    pub writes: Vec<(RtBufferId, usize)>,
+}
+
+/// Decide whether the graph's non-uniform clusters are modal-admissible.
+///
+/// Returns `Ok(None)` when every cluster is uniform (nothing modal), and
+/// `Ok(Some(info))` when exactly one cluster is non-uniform and its
+/// members (a) share one aggregated write list and (b) read pairwise
+/// disjoint buffer sets, also disjoint from the write set. That shape is
+/// what makes the **union-advance** modal unit sound: every firing
+/// consumes the union of all members' inputs — the active arm's slice
+/// feeds its kernel; the inactive members' tokens are consumed and
+/// discarded, since they are mode-gated traffic that would otherwise
+/// accumulate without bound — and produces the shared write list, so
+/// token flow is mode-independent and one repetition vector, period and
+/// partition serve every mode. Any other non-uniform shape (divergent
+/// writes, shared reads, or a second non-uniform cluster) is
+/// [`ScheduleError::NonUniformCluster`] and the caller falls back to the
+/// self-timed engine.
+pub fn modal_admission(
+    graph: &RtGraph,
+    plan: &RtPlan,
+) -> Result<Option<ModalClusterInfo>, ScheduleError> {
+    let reject = |c: usize| ScheduleError::NonUniformCluster {
+        cluster: c as u32,
+        members: plan.clusters[c]
+            .iter()
+            .map(|&m| graph.nodes[m].name.clone())
+            .collect(),
+    };
+    let mut modal: Option<usize> = None;
+    for (c, uniform) in plan.cluster_uniform.iter().enumerate() {
+        if *uniform {
+            continue;
+        }
+        if modal.is_some() {
+            // Per-mode synthesis carries one mode dimension; a second
+            // non-uniform cluster would need a mode product.
+            return Err(reject(c));
+        }
+        modal = Some(c);
+    }
+    let Some(c) = modal else {
+        return Ok(None);
+    };
+    let members = plan.clusters[c].clone();
+    let member_reads: Vec<Vec<(RtBufferId, usize)>> = members
+        .iter()
+        .map(|&m| aggregate(&graph.nodes[m].reads))
+        .collect();
+    let writes = aggregate(&graph.nodes[members[0]].writes);
+    if writes.is_empty() {
+        return Err(reject(c));
+    }
+    for (k, &m) in members.iter().enumerate() {
+        if aggregate(&graph.nodes[m].writes) != writes {
+            return Err(reject(c));
+        }
+        for &(b, _) in &member_reads[k] {
+            if writes.iter().any(|&(wb, _)| wb == b) {
+                return Err(reject(c)); // self-loop through the shared writes
+            }
+            for prev in &member_reads[..k] {
+                if prev.iter().any(|&(pb, _)| pb == b) {
+                    return Err(reject(c)); // shared read buffer
+                }
+            }
+        }
+    }
+    Ok(Some(ModalClusterInfo {
+        cluster: c as u32,
+        members,
+        member_reads,
+        writes,
+    }))
+}
+
+/// Aggregated per-buffer port accesses in canonical ascending-buffer order:
+/// `(buffer, total count)` pairs.
+pub type PortAccessList = Vec<(RtBufferId, usize)>;
+
+/// The aggregated `(reads, writes)` of one node, in the canonical
+/// ascending-buffer order synthesis uses. The runtime engines build their
+/// modal dispatch tables through this, so the per-firing value layout of a
+/// modal firing (which slice of the popped union feeds the active kernel)
+/// is identical everywhere.
+pub fn modal_member_access(graph: &RtGraph, node: RtNodeId) -> (PortAccessList, PortAccessList) {
+    let n = &graph.nodes[node];
+    (aggregate(&n.reads), aggregate(&n.writes))
+}
+
+/// The uniform twin of a modal graph: the modal cluster's members replaced
+/// by one node carrying the union-advance access (union of member reads,
+/// shared writes). Buffers, sources and sinks are untouched. Because the
+/// modal unit's token flow is mode-independent, the collapsed twin has the
+/// modal graph's exact per-buffer token flow in *every* mode — which lets
+/// the value-free simulator/calendar trace oracle cover the modal
+/// schedule (see tests/modeswitch_differential.rs).
+pub fn collapse_modal(graph: &RtGraph, info: &ModalClusterInfo) -> RtGraph {
+    let mut union_reads: Vec<(RtBufferId, usize)> = Vec::new();
+    for reads in &info.member_reads {
+        union_reads.extend(reads.iter().copied());
+    }
+    union_reads.sort();
+    let rep = &graph.nodes[info.members[0]];
+    let mut nodes: Vec<crate::rtgraph::RtNode> = Vec::new();
+    for (id, n) in graph.nodes.iter_enumerated() {
+        if info.members.contains(&id) {
+            continue;
+        }
+        nodes.push(n.clone());
+    }
+    nodes.push(crate::rtgraph::RtNode {
+        name: format!("{}__modal", rep.name),
+        function: rep.function.clone(),
+        response: rep.response,
+        reads: union_reads,
+        writes: info.writes.clone(),
+    });
+    RtGraph {
+        buffers: graph.buffers.clone(),
+        nodes: nodes.into(),
+        sources: graph.sources.clone(),
+        sinks: graph.sinks.clone(),
+    }
 }
 
 /// Hard cap on tokens flowing through one stage of one fused run: bounds
@@ -818,6 +1275,13 @@ fn fuse_workers(
         .iter()
         .enumerate()
         .map(|(u, unit)| {
+            // Modal units never fuse: their per-firing kernel dispatch is
+            // script-dependent, which a block-fired fused stage cannot
+            // express — and keeping them out of runs means a mode switch
+            // can never land inside a super-step.
+            if matches!(unit.kind, UnitKind::Modal { .. }) {
+                return false;
+            }
             let a = &access[u];
             a.reads
                 .iter()
@@ -1134,15 +1598,17 @@ fn fuse_worker(
 /// Synthesise a periodic static-order schedule for `workers` workers.
 ///
 /// `workers` is clamped to `[1, #units]`. The plan must have been computed
-/// for `graph` (as for [`crate::rtgraph::plan`] consumers). The fusion pass
-/// runs unless disabled via `OIL_RT_FUSION=0`; use [`synthesize_with`] to
-/// force it either way.
+/// for `graph` (as for [`crate::rtgraph::plan`] consumers). `config`
+/// carries the caller-resolved knobs — build it once per process with
+/// [`SynthesisConfig::from_env`] (or use [`SynthesisConfig::default`]);
+/// synthesis itself never reads the environment.
 pub fn synthesize(
     graph: &RtGraph,
     plan: &RtPlan,
     workers: usize,
+    config: &SynthesisConfig,
 ) -> Result<StaticSchedule, ScheduleError> {
-    synthesize_with(graph, plan, workers, fusion_enabled())
+    synthesize_with(graph, plan, workers, config.fusion)
 }
 
 /// [`synthesize`] with the fusion pass explicitly on or off.
@@ -1152,14 +1618,12 @@ pub fn synthesize_with(
     workers: usize,
     fuse: bool,
 ) -> Result<StaticSchedule, ScheduleError> {
-    // --- 1. Units: uncontested nodes, collapsed uniform clusters, sources,
-    // sinks — in the self-timed engine's unit order (clusters at their
-    // first member).
-    for (c, uniform) in plan.cluster_uniform.iter().enumerate() {
-        if !uniform {
-            return Err(ScheduleError::NonUniformCluster { cluster: c as u32 });
-        }
-    }
+    // --- 1. Units: uncontested nodes, collapsed uniform clusters, one
+    // modal unit for the (single, modal-admissible) non-uniform cluster,
+    // sources, sinks — in the self-timed engine's unit order (clusters at
+    // their first member). Non-uniform clusters outside the union-advance
+    // shape reject here.
+    let modal = modal_admission(graph, plan)?;
     let mut units: Vec<ScheduleUnit> = Vec::new();
     let mut emitted = vec![false; graph.nodes.len()];
     for ni in graph.nodes.indices() {
@@ -1172,9 +1636,13 @@ pub fn synthesize_with(
                 for &m in &members {
                     emitted[m.index()] = true;
                 }
-                UnitKind::Cluster {
-                    representative: members[0],
-                    members,
+                if modal.as_ref().is_some_and(|m| m.cluster == cid) {
+                    UnitKind::Modal { members }
+                } else {
+                    UnitKind::Cluster {
+                        representative: members[0],
+                        members,
+                    }
                 }
             }
             None => {
@@ -1362,6 +1830,12 @@ pub fn synthesize_with(
                 | UnitKind::Cluster {
                     representative: id, ..
                 } => graph.nodes[*id].response.to_f64().max(1e-9),
+                // A modal firing runs whichever arm the script selects;
+                // budget for the worst case.
+                UnitKind::Modal { members } => members
+                    .iter()
+                    .map(|&m| graph.nodes[m].response.to_f64())
+                    .fold(1e-9, f64::max),
                 // Sources and sinks move one token with no kernel work.
                 UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
             };
@@ -1514,6 +1988,18 @@ pub fn synthesize_with(
                 .into(),
         )
     };
+    let modes = modal.as_ref().map(|m| ModalSchedule {
+        unit: units
+            .iter()
+            .position(|u| matches!(&u.kind, UnitKind::Modal { .. }))
+            .expect("modal admission implies a modal unit") as u32,
+        arms: m.members.clone(),
+        arm_names: m
+            .members
+            .iter()
+            .map(|&n| graph.nodes[n].name.clone())
+            .collect(),
+    });
     let schedule = StaticSchedule {
         units,
         period,
@@ -1525,10 +2011,14 @@ pub fn synthesize_with(
         fused_workers,
         fusion,
         local_level_max,
+        modes,
     };
     // Admission: the schedule is returned only with its validity proven by
-    // exact replay (over both the period and the fused worker lists).
+    // exact replay (over both the period and the fused worker lists), and
+    // — for modal schedules — with every (mode, mode') switch seam
+    // re-proven the same way.
     schedule.validate(graph)?;
+    schedule.validate_transitions(graph)?;
     Ok(schedule)
 }
 
@@ -1680,13 +2170,107 @@ mod tests {
     }
 
     #[test]
-    fn non_uniform_clusters_are_rejected() {
+    fn non_uniform_modal_demo_synthesizes_per_mode_schedules() {
+        // The demo's merge twins share one write list and read disjoint
+        // buffers — exactly the union-advance shape, so synthesis admits
+        // them as a modal unit instead of rejecting.
         let graph = rtgraph::non_uniform_merge_demo();
         let plan = rtgraph::plan(&graph);
-        assert_eq!(
-            synthesize(&graph, &plan, 2),
-            Err(ScheduleError::NonUniformCluster { cluster: 0 })
+        let s = synthesize_with(&graph, &plan, 2, true).expect("modal-admissible");
+        let modes = s.modes.as_ref().expect("a modal schedule");
+        assert_eq!(modes.arms.len(), 2);
+        assert_eq!(modes.arm_names.len(), 2);
+        assert!(matches!(
+            &s.units[modes.unit as usize].kind,
+            UnitKind::Modal { members } if members == &modes.arms
+        ));
+        // Per-mode digests differ (the corpus distinguishes arms) while
+        // the structural digest is shared.
+        assert_ne!(s.digest_mode(0), s.digest_mode(1));
+        s.validate(&graph).expect("steady state re-validates");
+        s.validate_transitions(&graph)
+            .expect("every (mode, mode') seam re-validates");
+        // The modal unit never lands inside a fused run.
+        for items in &s.fused_workers {
+            for item in items {
+                if let WorkItem::Fused(run) = item {
+                    assert!(run.stages.iter().all(|st| st.unit != modes.unit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_divergent_non_uniform_clusters_are_rejected() {
+        let mut graph = rtgraph::non_uniform_merge_demo();
+        // Break the shared write list: the second twin now produces two
+        // tokens per firing — no union-advance unit exists.
+        let n1 = graph.nodes.indices().nth(1).unwrap();
+        graph.nodes[n1].writes[0].1 = 2;
+        let plan = rtgraph::plan(&graph);
+        match synthesize(&graph, &plan, 2, &SynthesisConfig::default()) {
+            Err(ScheduleError::NonUniformCluster { cluster, members }) => {
+                assert_eq!(cluster, 0);
+                assert_eq!(members.len(), 2, "member names are reported: {members:?}");
+                let rendered = ScheduleError::NonUniformCluster { cluster, members }.to_string();
+                assert!(
+                    rendered.contains(&graph.nodes[n1].name),
+                    "display names the members: {rendered}"
+                );
+            }
+            other => panic!("expected a NonUniformCluster rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_read_non_uniform_clusters_are_rejected() {
+        let mut graph = rtgraph::non_uniform_merge_demo();
+        // Make the second twin also read the first twin's input buffer
+        // (while keeping its own): the cluster stays non-uniform but the
+        // read sets overlap, so consuming the union would steal the first
+        // arm's tokens — no per-mode schedule exists.
+        let n0 = graph.nodes.indices().next().unwrap();
+        let n1 = graph.nodes.indices().nth(1).unwrap();
+        let shared = graph.nodes[n0].reads[0];
+        graph.nodes[n1].reads.push(shared);
+        let plan = rtgraph::plan(&graph);
+        assert!(matches!(
+            synthesize(&graph, &plan, 2, &SynthesisConfig::default()),
+            Err(ScheduleError::NonUniformCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn collapsed_twin_matches_the_modal_period_flow() {
+        // The collapsed (uniform) twin of a modal graph must carry the
+        // exact per-buffer token flow of the modal schedule — the static
+        // bridge that lets the value-free simulator oracle cover modal
+        // programs.
+        let graph = rtgraph::non_uniform_merge_demo();
+        let plan = rtgraph::plan(&graph);
+        let s = synthesize_with(&graph, &plan, 1, true).unwrap();
+        let info = modal_admission(&graph, &plan).unwrap().expect("modal");
+        let collapsed = collapse_modal(&graph, &info);
+        let cplan = rtgraph::plan(&collapsed);
+        assert!(
+            cplan.clusters.is_empty(),
+            "the collapsed twin is uniform: {:?}",
+            cplan.clusters
         );
+        let cs = synthesize_with(&collapsed, &cplan, 1, true).unwrap();
+        assert!(cs.modes.is_none());
+        let flow = |g: &rtgraph::RtGraph, sch: &StaticSchedule| -> BTreeMap<String, u64> {
+            let access = unit_access(g, &sch.units);
+            let mut produced: BTreeMap<String, u64> = BTreeMap::new();
+            for (u, a) in access.iter().enumerate() {
+                for &(b, c) in &a.writes {
+                    *produced.entry(g.buffers[b].name.clone()).or_default() +=
+                        sch.units[u].repetitions * c as u64;
+                }
+            }
+            produced
+        };
+        assert_eq!(flow(&graph, &s), flow(&collapsed, &cs));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   `oil-lang → oil-compiler → oil-cta` pipeline and simulated in `oil-sim`,
 //!   plus deliberately ill-formed programs that must be *rejected with
 //!   diagnostics*, and random ASTs for the `parse(pretty(ast))` round trip.
+//! * **Level (c), [`modal`]** — random modal runtime graphs whose single
+//!   non-uniform cluster is union-advance admissible, together with
+//!   adversarial mode scripts (first-firing switches, back-to-back,
+//!   mid-stream), feeding the per-mode schedule differential harness
+//!   (`tests/modeswitch_differential.rs`).
 //!
 //! Everything is a pure function of a `u64` seed ([`rng::GenRng`] is
 //! SplitMix64): a failing instance is reproduced by calling the same
@@ -26,10 +31,12 @@
 //! meaningful: agreement is checked with `==` on [`oil_cta::Rational`]s — any
 //! mismatch is a real bug, not round-off.
 
+pub mod modal;
 pub mod program;
 pub mod rng;
 pub mod topology;
 
+pub use modal::ModalScenario;
 pub use program::{gen_ast, Defect, IllFormedProgram, ProgramScenario, Stage, StageShape};
 pub use rng::GenRng;
 pub use topology::{MultiRateScenario, PairScenario, RingScenario};

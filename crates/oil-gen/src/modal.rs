@@ -1,0 +1,202 @@
+//! Seeded generation of **modal runtime graphs**: non-uniform clusters that
+//! are union-advance admissible, plus the adversarial mode scripts that
+//! drive them.
+//!
+//! The paper's core subject is modal behaviour — `if`/`switch` arms whose
+//! active branch is data-dependent — and the static-order engine's answer
+//! is one quasi-static schedule **per mode** with verified hot switching
+//! (`oil-compiler::schedule::modal_admission`). This module generates the
+//! corpus those claims are tested against: K-armed merge graphs where each
+//! arm owns a private input channel (pairwise-disjoint reads), all arms
+//! share one write list, and a scripted mode sequence selects the active
+//! arm per firing. Every scenario is a pure function of its seed, so a
+//! failing instance in `tests/modeswitch_differential.rs` reproduces with
+//! `ModalScenario::generate(seed)`.
+//!
+//! The generated shape (K arms, rates `r_i`, shared write count `p`):
+//!
+//! ```text
+//!  s_0 @ base·r_0 ──► ch_0 ──(r_0)──► arm_0 ─┐
+//!  s_1 @ base·r_1 ──► ch_1 ──(r_1)──► arm_1 ─┤─(p)─► mix ─► post ─► out ─► sink @ base
+//!  ...                                  ...  ─┘
+//! ```
+//!
+//! All arms write `(mix, p)`, so the cluster's token flow is
+//! mode-independent — exactly the admission property per-mode synthesis
+//! requires. Optional per-channel front nodes add pipeline depth without
+//! changing the balance equations.
+
+use crate::rng::GenRng;
+use oil_compiler::rtgraph::{RtBuffer, RtGraph, RtNode, RtSink, RtSource};
+use oil_compiler::schedule::ModeScript;
+use oil_dataflow::Rational;
+
+/// Generous uniform capacity: the per-period peak of any generated buffer
+/// is at most `max rate ratio (3) · arms (4)` tokens, far below this.
+const CAPACITY: usize = 64;
+
+/// A generated modal workload: the graph, its arm count, and the sink rate.
+#[derive(Debug, Clone)]
+pub struct ModalScenario {
+    /// The seed this scenario is a pure function of.
+    pub seed: u64,
+    /// Arms of the modal cluster (= members of the non-uniform cluster).
+    pub arms: usize,
+    /// Per-arm input rate ratio `r_i` (tokens consumed per firing).
+    pub rates: Vec<usize>,
+    /// Tokens each firing writes to the shared `mix` buffer.
+    pub write_count: usize,
+    /// Base firing rate of the modal unit (and the sink), in Hz.
+    pub base_hz: u64,
+    /// Whether each channel has an extra front node between source and arm.
+    pub fronted: bool,
+    /// The runtime graph. Its only cluster is non-uniform and
+    /// modal-admissible by construction.
+    pub graph: RtGraph,
+}
+
+impl ModalScenario {
+    /// The scenario for `seed` — deterministic, machine-independent.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = GenRng::new(seed ^ 0x0DA1_5EED_0000_0001);
+        let arms = rng.range(2, 4) as usize;
+        let rates: Vec<usize> = (0..arms).map(|_| rng.range(1, 3) as usize).collect();
+        let write_count = rng.range(1, 2) as usize;
+        let base_hz = *rng.pick(&[500u64, 1000, 2000]);
+        let fronted = rng.chance(1, 2);
+
+        let mut g = RtGraph::default();
+        let buf = |name: String| RtBuffer {
+            name,
+            capacity: CAPACITY,
+            initial_tokens: 0,
+        };
+        let response = Rational::new(1, 1_000_000);
+        let mix = g.buffers.push(buf("mix".into()));
+        let out = g.buffers.push(buf("out".into()));
+        for (i, &r) in rates.iter().enumerate() {
+            let ch = g.buffers.push(buf(format!("ch{i}")));
+            let feed = if fronted {
+                let raw = g.buffers.push(buf(format!("raw{i}")));
+                g.nodes.push(RtNode {
+                    name: format!("front{i}"),
+                    function: format!("front{i}"),
+                    response,
+                    reads: vec![(raw, 1)],
+                    writes: vec![(ch, 1)],
+                });
+                raw
+            } else {
+                ch
+            };
+            g.sources.push(RtSource {
+                name: format!("s{i}"),
+                function: format!("src{i}"),
+                outputs: vec![feed],
+                period: Rational::new(1, (base_hz * r as u64) as i128),
+            });
+            g.nodes.push(RtNode {
+                name: format!("arm{i}"),
+                function: format!("arm{i}"),
+                response,
+                reads: vec![(ch, r)],
+                writes: vec![(mix, write_count)],
+            });
+        }
+        g.nodes.push(RtNode {
+            name: "post".into(),
+            function: "post".into(),
+            response,
+            reads: vec![(mix, write_count)],
+            writes: vec![(out, 1)],
+        });
+        g.sinks.push(RtSink {
+            name: "sk".into(),
+            function: "snk".into(),
+            input: out,
+            period: Rational::new(1, base_hz as i128),
+        });
+
+        ModalScenario {
+            seed,
+            arms,
+            rates,
+            write_count,
+            base_hz,
+            fronted,
+            graph: g,
+        }
+    }
+
+    /// The adversarial mode scripts the differential harness drives this
+    /// scenario with: constants (every arm), switches at the first and
+    /// second firing, back-to-back switches, a mid-stream channel change,
+    /// a multi-switch sequence, a switch far beyond the horizon (must be a
+    /// no-op), and one random script derived from the seed.
+    pub fn adversarial_scripts(&self) -> Vec<ModeScript> {
+        let last = (self.arms - 1) as u32;
+        let mut scripts = vec![
+            ModeScript::default(),
+            ModeScript::new(0, vec![(0, last)]),
+            ModeScript::new(last, vec![(1, 0)]),
+            ModeScript::new(0, vec![(5, 1), (6, last), (7, 0)]),
+            ModeScript::new(0, vec![(13, last)]),
+            ModeScript::new(0, vec![(2, 1), (97, last)]),
+            ModeScript::new(0, vec![(1_000_000, last)]),
+        ];
+        for a in 1..self.arms as u32 {
+            scripts.push(ModeScript::constant(a));
+        }
+        let mut rng = GenRng::new(self.seed ^ 0x5C21_97D3_0DD5_EEDF);
+        let initial = rng.below(self.arms as u64) as u32;
+        let switches: Vec<(u64, u32)> = (0..3)
+            .map(|_| (rng.below(200), rng.below(self.arms as u64) as u32))
+            .collect();
+        scripts.push(ModeScript::new(initial, switches));
+        scripts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oil_compiler::rtgraph::plan;
+    use oil_compiler::schedule::modal_admission;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        for seed in 0..32 {
+            let a = ModalScenario::generate(seed);
+            let b = ModalScenario::generate(seed);
+            assert_eq!(a.graph, b.graph, "seed {seed}");
+            assert_eq!(a.adversarial_scripts(), b.adversarial_scripts());
+        }
+    }
+
+    #[test]
+    fn every_scenario_is_modal_admissible() {
+        for seed in 0..64 {
+            let s = ModalScenario::generate(seed);
+            let p = plan(&s.graph);
+            let info = modal_admission(&s.graph, &p)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+                .unwrap_or_else(|| panic!("seed {seed}: no modal cluster in the plan"));
+            assert_eq!(info.members.len(), s.arms, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scripts_cover_every_arm_and_adversarial_points() {
+        let s = ModalScenario::generate(3);
+        let scripts = s.adversarial_scripts();
+        assert!(scripts.len() >= 8);
+        // Every arm is some script's steady state.
+        for a in 0..s.arms as u32 {
+            assert!(scripts.iter().any(|sc| sc.arm_at(1 << 20) == a));
+        }
+        // A switch lands on the very first firing in at least one script.
+        assert!(scripts
+            .iter()
+            .any(|sc| !sc.switches.is_empty() && sc.switches[0].0 == 0));
+    }
+}

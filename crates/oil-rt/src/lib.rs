@@ -50,8 +50,12 @@ pub use exec::{env_threads, execute, RtConfig, RtReport, SinkStream};
 pub use kernel::{Kernel, KernelLibrary, SourceKernel};
 pub use measure::{RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 pub use pool::WorkStealingPool;
-pub use selftimed::{execute_selftimed, SelfTimedConfig, SelfTimedReport};
-pub use staticsched::{execute_staticsched, StaticConfig, StaticReport};
+pub use selftimed::{
+    execute_selftimed, execute_selftimed_scripted, SelfTimedConfig, SelfTimedReport,
+};
+pub use staticsched::{
+    execute_staticsched, execute_staticsched_scripted, StaticConfig, StaticReport,
+};
 
 #[cfg(test)]
 mod tests {

@@ -30,6 +30,16 @@
 //! has its whole weakly-connected component pinned onto one worker, so its
 //! merge order is a sequential function of that worker's fixed scan order
 //! — which keeps the engine deterministic at every thread count.
+//!
+//! A non-uniform cluster can instead be driven by an explicit
+//! [`ModeScript`] via [`execute_selftimed_scripted`]: when the cluster is
+//! modal-admissible ([`modal_admission`]), its members become one
+//! **union-advance** unit that consumes every member's aggregated inputs
+//! on each firing and dispatches the scripted arm's kernel onto its slice,
+//! broadcasting to the shared write list. Token flow is then
+//! mode-independent — a pure KPN node — and the value streams match the
+//! static-order engine's per-mode schedules firing for firing
+//! (`tests/modeswitch_differential.rs`).
 //! `tests/selftimed_differential.rs` holds the engine to exactly that: the
 //! calendar reference's value streams are a bit-exact prefix of this
 //! engine's streams on KPN graphs, all streams are thread-count- and
@@ -51,6 +61,7 @@ use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
+use oil_compiler::schedule::{modal_admission, modal_member_access, ModeScript};
 use oil_dataflow::index::Idx;
 use oil_dataflow::taskgraph::ports_satisfied;
 use oil_dataflow::unionfind::UnionFind;
@@ -117,6 +128,8 @@ pub struct SelfTimedReport {
     pub parks: u64,
     /// Serial clusters the plan imposed (0 ⇒ the graph ran as a pure KPN).
     pub clusters: usize,
+    /// Arm changes the mode script performed (0 on unscripted runs).
+    pub mode_switches: u64,
 }
 
 impl SelfTimedReport {
@@ -175,6 +188,23 @@ enum Unit {
         consumed: u64,
         values: Vec<f64>,
         meter: ThroughputMeter,
+    },
+    /// A modal-admissible non-uniform cluster driven by a mode script:
+    /// every firing pops the union of all members' aggregated reads
+    /// (member id order, canonical buffer order) and fires the scripted
+    /// arm's kernel on its slice, broadcasting to the shared write list.
+    /// Token flow is mode-independent, so the unit is a KPN node and
+    /// needs no component pinning. Member `NodePart.reads` hold the
+    /// aggregated canonical read lists; the shared writes live here.
+    Modal {
+        members: Vec<NodePart>,
+        writes: Vec<(usize, usize)>,
+        out_len: usize,
+        batch: u32,
+        script: ModeScript,
+        fired: u64,
+        switches: u64,
+        last_arm: u32,
     },
 }
 
@@ -424,6 +454,69 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
             }
             fired
         }
+        Unit::Modal {
+            members,
+            writes,
+            out_len,
+            batch,
+            script,
+            fired,
+            switches,
+            last_arm,
+        } => {
+            let mut any = false;
+            for _ in 0..(*batch).max(1) {
+                // Union-advance readiness: every member's aggregated reads
+                // (pairwise disjoint by admission) and the shared writes.
+                // Firing is fully determined by the script and the firing
+                // index, so a conservative live-level check suffices —
+                // availability only grows under the consumer, space only
+                // grows under the producer.
+                let ready = members
+                    .iter()
+                    .all(|m| ports_satisfied(&m.reads, |b| w.available_count(b)))
+                    && ports_satisfied(writes, |b| w.space_count(b));
+                if !ready {
+                    break;
+                }
+                let arm = script.arm_at(*fired).min(members.len() as u32 - 1);
+                if *last_arm != u32::MAX && arm != *last_arm {
+                    *switches += 1;
+                }
+                *last_arm = arm;
+                w.scratch.clear();
+                let (mut start, mut len) = (0usize, 0usize);
+                for (k, m) in members.iter().enumerate() {
+                    if k as u32 == arm {
+                        start = w.scratch.len();
+                    }
+                    for &(b, c) in &m.reads {
+                        let rx = w.cons[b].as_mut().expect("consumer endpoint is owned");
+                        for _ in 0..c {
+                            w.scratch
+                                .push(rx.pop().expect("occupancy was checked above"));
+                        }
+                    }
+                    if k as u32 == arm {
+                        len = w.scratch.len() - start;
+                    }
+                }
+                let inputs = std::mem::take(&mut w.scratch);
+                let outputs = members[arm as usize]
+                    .kernel
+                    .fire(&inputs[start..start + len], *out_len);
+                w.scratch = inputs;
+                for &(b, c) in writes.iter() {
+                    for k in 0..c {
+                        w.commit(b, outputs.get(k).copied().unwrap_or(0.0));
+                    }
+                }
+                members[arm as usize].fired += 1;
+                *fired += 1;
+                any = true;
+            }
+            any
+        }
     }
 }
 
@@ -548,7 +641,47 @@ pub fn execute_selftimed(
     duration: Picos,
     config: &SelfTimedConfig,
 ) -> SelfTimedReport {
+    execute_inner(graph, plan, lib, duration, config, None)
+}
+
+/// Execute `graph` self-timed under an explicit [`ModeScript`]: the
+/// graph's modal-admissible non-uniform cluster (if any) runs as one
+/// union-advance unit whose active arm follows the script, firing for
+/// firing the same dispatch the static-order engine performs. A graph
+/// without a modal cluster runs exactly as [`execute_selftimed`] would.
+///
+/// # Panics
+/// Panics if the graph has a non-uniform cluster that is **not**
+/// modal-admissible — scripted execution has no meaning for a merge whose
+/// order is data-dependent.
+pub fn execute_selftimed_scripted(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &SelfTimedConfig,
+    script: &ModeScript,
+) -> SelfTimedReport {
+    execute_inner(graph, plan, lib, duration, config, Some(script))
+}
+
+fn execute_inner(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &SelfTimedConfig,
+    script: Option<&ModeScript>,
+) -> SelfTimedReport {
     assert_eq!(plan.batch.len(), graph.nodes.len(), "plan/graph mismatch");
+    // Scripted runs route the (sole) modal-admissible cluster through the
+    // union-advance unit; unscripted runs keep the legacy arrival-order
+    // merge with component pinning, byte for byte.
+    let modal = script.and_then(|_| {
+        modal_admission(graph, plan).unwrap_or_else(|e| {
+            panic!("scripted self-timed execution requires a modal-admissible graph: {e}")
+        })
+    });
     let started = Instant::now();
     let n_buffers = graph.buffers.len();
 
@@ -612,6 +745,38 @@ pub fn execute_selftimed(
             continue;
         }
         match plan.cluster_of[ni] {
+            Some(cid) if modal.as_ref().is_some_and(|m| m.cluster == cid) => {
+                let info = modal.as_ref().expect("guard matched");
+                for &m in &info.members {
+                    emitted[m.index()] = true;
+                }
+                let parts: Vec<NodePart> = info
+                    .members
+                    .iter()
+                    .map(|&m| {
+                        let (reads, _) = modal_member_access(graph, m);
+                        NodePart {
+                            reads: reads.iter().map(|&(b, c)| (b.index(), c)).collect(),
+                            writes: Vec::new(),
+                            ..make_part(m)
+                        }
+                    })
+                    .collect();
+                let writes: Vec<(usize, usize)> =
+                    info.writes.iter().map(|&(b, c)| (b.index(), c)).collect();
+                let out_len = writes.iter().map(|&(_, c)| c).max().unwrap_or(0);
+                let batch = parts.iter().map(|p| p.batch).max().unwrap_or(1);
+                units.push(Unit::Modal {
+                    members: parts,
+                    writes,
+                    out_len,
+                    batch,
+                    script: script.cloned().unwrap_or_default(),
+                    fired: 0,
+                    switches: 0,
+                    last_arm: u32::MAX,
+                });
+            }
             Some(cid) => {
                 let members = &plan.clusters[cid as usize];
                 for &m in members {
@@ -698,6 +863,15 @@ pub fn execute_selftimed(
             ),
             Unit::Source { outputs, .. } => (Vec::new(), outputs.clone()),
             Unit::Sink { input, .. } => (vec![*input], Vec::new()),
+            Unit::Modal {
+                members, writes, ..
+            } => (
+                members
+                    .iter()
+                    .flat_map(|p| p.reads.iter().map(|&(b, _)| b))
+                    .collect(),
+                writes.iter().map(|&(b, _)| b).collect(),
+            ),
         };
         for b in reads {
             if let Some(rx) = consumers[b].take() {
@@ -758,6 +932,7 @@ pub fn execute_selftimed(
     let mut sinks: Vec<Option<SinkStream>> = (0..graph.sinks.len()).map(|_| None).collect();
     let mut throughput: Vec<Option<SinkThroughput>> =
         (0..graph.sinks.len()).map(|_| None).collect();
+    let mut mode_switches = 0u64;
     for out in outs {
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
@@ -797,6 +972,14 @@ pub fn execute_selftimed(
                         measured_hz: meter.steady_rate_hz(),
                     });
                 }
+                Unit::Modal {
+                    members, switches, ..
+                } => {
+                    for p in members {
+                        node_firings[p.id.index()].1 = p.fired;
+                    }
+                    mode_switches += switches;
+                }
             }
         }
     }
@@ -827,6 +1010,7 @@ pub fn execute_selftimed(
         wall: started.elapsed(),
         parks: control.parks.load(Ordering::SeqCst),
         clusters: plan.clusters.len(),
+        mode_switches,
     }
 }
 
@@ -859,6 +1043,13 @@ fn partition_units(graph: &RtGraph, plan: &RtPlan, units: &[Unit], threads: usiz
                 .collect(),
             Unit::Source { outputs, .. } => outputs.clone(),
             Unit::Sink { input, .. } => vec![*input],
+            Unit::Modal {
+                members, writes, ..
+            } => members
+                .iter()
+                .flat_map(|p| p.reads.iter().map(|&(b, _)| b))
+                .chain(writes.iter().map(|&(b, _)| b))
+                .collect(),
         };
         for b in touched {
             uf.union(u, units.len() + b);

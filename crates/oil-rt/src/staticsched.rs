@@ -24,11 +24,18 @@
 //!   many, and stops. Termination is arithmetic, not detection.
 //!
 //! Modal `if`/`switch` clusters execute their **quasi-static** resolution:
-//! the schedule fires the cluster representative (the lowest-id twin — the
-//! member both dynamic engines' deterministic tie-breaks select at every
-//! decision), so value streams are bit-identical to the self-timed engine's
-//! on every buffer. `tests/staticsched_differential.rs` holds the engine to
-//! exactly that, plus thread-count invariance and rate conformance.
+//! a *uniform* cluster's schedule fires the cluster representative (the
+//! lowest-id twin — the member both dynamic engines' deterministic
+//! tie-breaks select at every decision), so value streams are bit-identical
+//! to the self-timed engine's on every buffer. A *non-uniform* cluster
+//! admitted as a modal unit carries **one schedule arm per member**: every
+//! firing consumes the union of all members' inputs (union-advance — token
+//! flow is mode-independent) and runs whichever member's kernel the
+//! [`ModeScript`] selects for that firing, so the engine **switches modes
+//! hot**, mid-stream, without draining the pipeline — the SDR "user changes
+//! channels" scenario. `tests/staticsched_differential.rs` and
+//! `tests/modeswitch_differential.rs` hold the engine to exactly that, plus
+//! thread-count invariance and rate conformance.
 //!
 //! Compared to the self-timed engine the sources here run *past* their
 //! budget to the end of the covering iteration (`⌈budget/q⌉` iterations per
@@ -40,7 +47,9 @@ use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::RtGraph;
-use oil_compiler::schedule::{FusionStats, StaticSchedule, UnitKind, WorkItem};
+use oil_compiler::schedule::{
+    modal_member_access, FusionStats, ModeScript, StaticSchedule, UnitKind, WorkItem,
+};
 use oil_dataflow::index::Idx;
 use oil_sim::Picos;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,7 +89,8 @@ pub struct StaticReport {
     pub throughput: Vec<SinkThroughput>,
     /// Per node: (name, completed firings), in node-id order. Non-
     /// representative cluster members report 0, exactly as under the
-    /// dynamic engines' deterministic tie-break.
+    /// dynamic engines' deterministic tie-break; modal arms report the
+    /// firings the mode script actually dispatched to them.
     pub node_firings: Vec<(String, u64)>,
     /// Per source: (name, samples generated).
     pub sources: Vec<(String, u64)>,
@@ -95,6 +105,10 @@ pub struct StaticReport {
     pub cross_buffers: usize,
     /// What the schedule's fusion pass did (zeroes when fusion was off).
     pub fusion: FusionStats,
+    /// Hot mode switches the modal unit executed: firings whose scripted
+    /// arm differed from the previous firing's (0 for non-modal schedules
+    /// and constant scripts).
+    pub mode_switches: u64,
 }
 
 impl StaticReport {
@@ -227,6 +241,38 @@ enum UnitState {
         values: Vec<f64>,
         meter: ThroughputMeter,
     },
+    /// A modal unit: one arm per cluster member, dispatched per firing by
+    /// the mode script. Every firing pops the union of all members' reads
+    /// in ascending member order (union-advance — the schedule admitted
+    /// exactly that token flow for every mode), feeds the active arm's
+    /// slice to its kernel, and pushes the shared write list. Never uses
+    /// the block fast path: the arm may change at any firing boundary.
+    Modal {
+        /// Arms ascending by member node id; `script.arm_at(fired)` picks.
+        members: Vec<ModalMember>,
+        /// The shared aggregated write list (identical for every member).
+        writes: Vec<(usize, usize)>,
+        out_len: usize,
+        script: ModeScript,
+        /// Total modal firings (the script's clock).
+        fired: u64,
+        /// Firings whose arm differed from the previous firing's.
+        switches: u64,
+        /// Arm of the previous firing (`u32::MAX` before the first).
+        last_arm: u32,
+    },
+}
+
+/// One arm of a modal unit.
+struct ModalMember {
+    /// Node id of the member this arm dispatches to.
+    node: usize,
+    kernel: Kernel,
+    /// Aggregated reads in the canonical ascending-buffer order
+    /// ([`modal_member_access`]), shared with synthesis and the scripted
+    /// self-timed engine so value layouts agree everywhere.
+    reads: Vec<(usize, usize)>,
+    fired: u64,
 }
 
 /// One step of a worker's compiled list.
@@ -526,6 +572,51 @@ impl Worker {
                             }
                         }
                     }
+                    UnitState::Modal {
+                        members,
+                        writes,
+                        out_len,
+                        script,
+                        fired,
+                        switches,
+                        last_arm,
+                    } => {
+                        for _ in 0..step.times {
+                            let arm = script.arm_at(*fired).min(members.len() as u32 - 1);
+                            if *last_arm != u32::MAX && arm != *last_arm {
+                                *switches += 1;
+                            }
+                            *last_arm = arm;
+                            // Union-advance: pop every member's inputs in
+                            // ascending member order; the active arm's
+                            // slice feeds its kernel, the rest is
+                            // mode-gated traffic consumed and discarded.
+                            scratch.clear();
+                            let (mut start, mut len) = (0usize, 0usize);
+                            for (k, m) in members.iter().enumerate() {
+                                if k as u32 == arm {
+                                    start = scratch.len();
+                                }
+                                for &(b, c) in &m.reads {
+                                    for _ in 0..c {
+                                        scratch.push(io.pop(b, abort));
+                                    }
+                                }
+                                if k as u32 == arm {
+                                    len = scratch.len() - start;
+                                }
+                            }
+                            let active = &mut members[arm as usize];
+                            let out = active.kernel.fire(&scratch[start..start + len], *out_len);
+                            for &(b, c) in writes.iter() {
+                                for k in 0..c {
+                                    io.push(b, out.get(k).copied().unwrap_or(0.0), abort);
+                                }
+                            }
+                            active.fired += 1;
+                            *fired += 1;
+                        }
+                    }
                 }
             }
         }
@@ -618,6 +709,9 @@ fn run_fused(
                     }
                 }
             }
+            UnitState::Modal { .. } => {
+                unreachable!("modal units are excluded from fusion at synthesis")
+            }
             UnitState::Sink {
                 consumed,
                 values,
@@ -651,9 +745,37 @@ fn run_fused(
 /// Panics if `schedule` was synthesised for a different graph, or if a
 /// kernel panics on a worker (the abort flag unblocks the peers, then the
 /// panic propagates).
+///
+/// Modal schedules run the default [`ModeScript`] (arm 0 forever); use
+/// [`execute_staticsched_scripted`] to inject mode changes.
 pub fn execute_staticsched(
     graph: &RtGraph,
     schedule: &StaticSchedule,
+    lib: &KernelLibrary,
+    duration: Picos,
+    config: &StaticConfig,
+) -> StaticReport {
+    execute_staticsched_scripted(
+        graph,
+        schedule,
+        &ModeScript::default(),
+        lib,
+        duration,
+        config,
+    )
+}
+
+/// [`execute_staticsched`] with a scripted mode-change sequence: the modal
+/// unit (if any) consults `script` at every firing and dispatches that
+/// arm's kernel — switching **without draining the pipeline**, because the
+/// schedule's token flow is mode-independent (union-advance) and every
+/// (mode, mode') seam was re-proven by exact replay at synthesis
+/// ([`StaticSchedule::validate_transitions`]). Non-modal schedules ignore
+/// the script.
+pub fn execute_staticsched_scripted(
+    graph: &RtGraph,
+    schedule: &StaticSchedule,
+    script: &ModeScript,
     lib: &KernelLibrary,
     duration: Picos,
     config: &StaticConfig,
@@ -803,6 +925,32 @@ pub fn execute_staticsched(
                     meter: ThroughputMeter::new(config.warmup_samples),
                 }
             }
+            UnitKind::Modal { members } => {
+                let arms: Vec<ModalMember> = members
+                    .iter()
+                    .map(|&m| {
+                        let (reads, _) = modal_member_access(graph, m);
+                        ModalMember {
+                            node: m.index(),
+                            kernel: lib.instantiate(&graph.nodes[m].function),
+                            reads: reads.into_iter().map(|(b, c)| (b.index(), c)).collect(),
+                            fired: 0,
+                        }
+                    })
+                    .collect();
+                let (_, writes) = modal_member_access(graph, members[0]);
+                let writes: Vec<(usize, usize)> =
+                    writes.into_iter().map(|(b, c)| (b.index(), c)).collect();
+                UnitState::Modal {
+                    out_len: writes.iter().map(|&(_, c)| c).max().unwrap_or(0),
+                    members: arms,
+                    writes,
+                    script: script.clone(),
+                    fired: 0,
+                    switches: 0,
+                    last_arm: u32::MAX,
+                }
+            }
         };
         unit_home[u] = (w, worker_units[w].len() as u32);
         worker_units[w].push(state);
@@ -830,6 +978,8 @@ pub fn execute_staticsched(
                     in_len, out_len, ..
                 } => (*in_len).max(*out_len).max(1),
                 UnitState::Source { .. } | UnitState::Sink { .. } => 1,
+                // Modal units never fuse, so they never size a batch.
+                UnitState::Modal { .. } => 1,
             };
             s.times as u64 * width as u64
         };
@@ -939,6 +1089,7 @@ pub fn execute_staticsched(
     let mut sinks: Vec<Option<SinkStream>> = (0..graph.sinks.len()).map(|_| None).collect();
     let mut throughput: Vec<Option<SinkThroughput>> =
         (0..graph.sinks.len()).map(|_| None).collect();
+    let mut mode_switches = 0u64;
     for out in outs {
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
@@ -974,6 +1125,14 @@ pub fn execute_staticsched(
                         measured_hz: meter.steady_rate_hz(),
                     });
                 }
+                UnitState::Modal {
+                    members, switches, ..
+                } => {
+                    for m in members {
+                        node_firings[m.node].1 = m.fired;
+                    }
+                    mode_switches += switches;
+                }
             }
         }
     }
@@ -1004,6 +1163,7 @@ pub fn execute_staticsched(
         iterations,
         cross_buffers: schedule.cross_buffers.len(),
         fusion: schedule.fusion,
+        mode_switches,
     }
 }
 
@@ -1011,7 +1171,7 @@ pub fn execute_staticsched(
 mod tests {
     use super::*;
     use crate::selftimed::{execute_selftimed, SelfTimedConfig};
-    use oil_compiler::schedule::synthesize;
+    use oil_compiler::schedule::{synthesize, SynthesisConfig};
     use oil_compiler::{compile, rtgraph, CompilerOptions};
     use oil_lang::registry::{FunctionRegistry, FunctionSignature};
     use oil_sim::picos;
@@ -1057,7 +1217,8 @@ mod tests {
         );
         assert!(!reference.deadlocked);
         for workers in [1, 2, 4] {
-            let schedule = synthesize(&graph, &plan, workers).expect("schedulable");
+            let schedule = synthesize(&graph, &plan, workers, &SynthesisConfig::from_env())
+                .expect("schedulable");
             let report = execute_staticsched(
                 &graph,
                 &schedule,
@@ -1081,7 +1242,8 @@ mod tests {
     fn static_replay_is_worker_count_invariant() {
         let (graph, plan) = lowered(PIPELINE);
         let run = |workers: usize| {
-            let schedule = synthesize(&graph, &plan, workers).expect("schedulable");
+            let schedule = synthesize(&graph, &plan, workers, &SynthesisConfig::from_env())
+                .expect("schedulable");
             execute_staticsched(
                 &graph,
                 &schedule,
@@ -1129,7 +1291,8 @@ mod tests {
             },
         );
         for workers in [1, 2] {
-            let schedule = synthesize(&graph, &plan, workers).expect("uniform clusters schedule");
+            let schedule = synthesize(&graph, &plan, workers, &SynthesisConfig::from_env())
+                .expect("uniform clusters schedule");
             let report = execute_staticsched(
                 &graph,
                 &schedule,
@@ -1164,7 +1327,7 @@ mod tests {
     #[test]
     fn sources_cover_their_budget_rounded_to_whole_iterations() {
         let (graph, plan) = lowered(PIPELINE);
-        let schedule = synthesize(&graph, &plan, 1).unwrap();
+        let schedule = synthesize(&graph, &plan, 1, &SynthesisConfig::from_env()).unwrap();
         // 0.0105 s at 2 kHz = 21 samples; q(source) = 2 ⇒ 11 iterations,
         // 22 samples.
         let report = execute_staticsched(
@@ -1182,7 +1345,7 @@ mod tests {
     #[test]
     fn a_panicking_kernel_aborts_the_run_instead_of_hanging() {
         let (graph, plan) = lowered(PIPELINE);
-        let schedule = synthesize(&graph, &plan, 2).unwrap();
+        let schedule = synthesize(&graph, &plan, 2, &SynthesisConfig::from_env()).unwrap();
         let mut lib = KernelLibrary::new();
         lib.register(
             "f",

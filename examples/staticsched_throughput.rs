@@ -46,8 +46,11 @@ fn main() {
     } else {
         0.02
     };
+    // Read the fusion toggle once; every synthesis sees the same config.
+    let synth = schedule::SynthesisConfig::from_env();
     for workers in [1, 2, 4] {
-        let s = schedule::synthesize(&graph, &plan, workers).expect("the PAL graph is schedulable");
+        let s = schedule::synthesize(&graph, &plan, workers, &synth)
+            .expect("the PAL graph is schedulable");
         println!(
             "\n  workers={}: period {} firings in {} steps, {} cross-worker buffer(s), digest {:016x}",
             s.worker_count(),

@@ -1,0 +1,340 @@
+//! Differential verification of **per-mode quasi-static schedules with hot
+//! mode switching** — the paper's SDR "user changes channels mid-stream"
+//! scenario.
+//!
+//! `oil-compiler::schedule` admits a non-uniform modal cluster when its
+//! token flow is mode-independent (union-advance: disjoint per-arm reads,
+//! one shared write list) and synthesizes per-mode schedules whose
+//! transitions are proven by exact integer replay across the switch seam
+//! for every (mode, mode') pair. `oil-rt` then executes the same dispatch
+//! in two unrelated ways — the static-order engine replays compiled firing
+//! lists, the self-timed engine fires data-driven — and this harness holds
+//! them to bit-identical value streams under adversarial mode scripts:
+//! switches at the first and second firing, back-to-back, mid-period
+//! (computed from the synthesised repetition count), mid-stream, and far
+//! beyond the horizon, at 1/2/4 workers with fusion on and off.
+//!
+//! The simulator is value-free (it traces token origins, not payloads), so
+//! its leg runs on the **collapsed twin**: the modal cluster replaced by
+//! one union node with identical token flow ([`collapse_modal`]). The
+//! collapsed trace must be bit-identical between the simulator and the
+//! calendar engine — which, combined with the in-crate proof that the
+//! modal schedule moves exactly the collapsed schedule's per-period token
+//! flow, closes the three-engine oracle.
+//!
+//! Every failure message quotes the reproducing seed
+//! (`ModalScenario::generate(seed)`).
+
+use oil::compiler::rtgraph;
+use oil::compiler::schedule::{
+    collapse_modal, modal_admission, synthesize, synthesize_with, ModeScript, ScheduleError,
+    StaticSchedule, SynthesisConfig,
+};
+use oil::gen::ModalScenario;
+use oil::rt::{
+    execute, execute_selftimed, execute_selftimed_scripted, execute_staticsched_scripted,
+    KernelLibrary, RtConfig, SelfTimedConfig, StaticConfig, StaticReport,
+};
+use oil::sim::{build_simulation_from_graph, picos, SimulationConfig};
+
+fn stress() -> bool {
+    std::env::var_os("OIL_RT_STRESS").is_some()
+}
+
+fn modal_seeds() -> u64 {
+    if stress() {
+        48
+    } else {
+        24
+    }
+}
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+const DURATION_S: f64 = 0.25;
+
+/// The adversarial scripts plus one switching exactly mid-period, derived
+/// from the synthesised schedule's own repetition count.
+fn scripts_for(scenario: &ModalScenario, schedule: &StaticSchedule) -> Vec<ModeScript> {
+    let mut scripts = scenario.adversarial_scripts();
+    let modes = schedule.modes.as_ref().expect("modal schedule");
+    let reps = schedule.units[modes.unit as usize].repetitions;
+    let last = (scenario.arms - 1) as u32;
+    if reps >= 2 {
+        // Mid-period: the switch lands strictly inside a replayed period,
+        // then switches back inside the next one.
+        scripts.push(ModeScript::new(
+            0,
+            vec![(reps / 2, last), (reps + reps / 2, 0)],
+        ));
+    }
+    scripts
+}
+
+fn scripted_static_run(
+    graph: &rtgraph::RtGraph,
+    schedule: &StaticSchedule,
+    script: &ModeScript,
+) -> StaticReport {
+    execute_staticsched_scripted(
+        graph,
+        schedule,
+        script,
+        &KernelLibrary::new(),
+        picos(DURATION_S),
+        &StaticConfig {
+            warmup_samples: 4,
+            ..StaticConfig::default()
+        },
+    )
+}
+
+#[test]
+fn scripted_static_replay_matches_scripted_selftimed_on_the_modal_corpus() {
+    let mut reference_switches_total = 0u64;
+    for seed in 0..modal_seeds() {
+        let scenario = ModalScenario::generate(seed);
+        let graph = &scenario.graph;
+        let plan = rtgraph::plan(graph);
+        let schedules: Vec<StaticSchedule> = WORKERS
+            .iter()
+            .map(|&w| {
+                synthesize(graph, &plan, w, &SynthesisConfig::from_env()).unwrap_or_else(|e| {
+                    panic!("seed {seed}: modal synthesis at {w} workers failed: {e}")
+                })
+            })
+            .collect();
+        for script in scripts_for(&scenario, &schedules[0]) {
+            let reference = execute_selftimed_scripted(
+                graph,
+                &plan,
+                &KernelLibrary::new(),
+                picos(DURATION_S),
+                &SelfTimedConfig {
+                    threads: 1,
+                    warmup_samples: 4,
+                    ..SelfTimedConfig::default()
+                },
+                &script,
+            );
+            assert!(
+                !reference.deadlocked,
+                "seed {seed}: scripted self-timed reference deadlocked under {script:?}"
+            );
+            reference_switches_total += reference.mode_switches;
+
+            let mut baseline: Option<StaticReport> = None;
+            for (schedule, &w) in schedules.iter().zip(&WORKERS) {
+                let report = scripted_static_run(graph, schedule, &script);
+                // Prefix oracle on every buffer: the static replay covers at
+                // least the self-timed sample budget, and both engines
+                // dispatch the identical scripted arm per firing index.
+                if let Some(d) = reference.values.prefix_divergence(&report.values) {
+                    panic!(
+                        "seed {seed}: scripted self-timed streams are not a prefix of \
+                         the static replay at {w} worker(s) under {script:?}: {d}\n\
+                         reproduce with ModalScenario::generate({seed})"
+                    );
+                }
+                for (dy, st) in reference.sinks.iter().zip(&report.sinks) {
+                    let shared = dy.values.len().min(st.values.len());
+                    assert_eq!(
+                        dy.values[..shared],
+                        st.values[..shared],
+                        "seed {seed}: sink `{}` diverges at {w} worker(s) under {script:?}",
+                        dy.name
+                    );
+                }
+                // The static replay runs to the end of its covering period,
+                // so it can only observe *more* scripted switches, never
+                // fewer or different ones.
+                assert!(
+                    report.mode_switches >= reference.mode_switches,
+                    "seed {seed}: static replay lost mode switches at {w} worker(s) \
+                     ({} < {}) under {script:?}",
+                    report.mode_switches,
+                    reference.mode_switches
+                );
+                match &baseline {
+                    None => baseline = Some(report),
+                    Some(base) => {
+                        if let Some(d) = base.values.first_divergence(&report.values) {
+                            panic!(
+                                "seed {seed}: static replay differs between {} and {w} \
+                                 worker(s) under {script:?}: {d}",
+                                base.threads
+                            );
+                        }
+                        assert_eq!(base.node_firings, report.node_firings, "seed {seed}");
+                        assert_eq!(base.sources, report.sources, "seed {seed}");
+                        assert_eq!(
+                            base.mode_switches, report.mode_switches,
+                            "seed {seed}: switch count depends on the worker count"
+                        );
+                        for (a, b) in base.sinks.iter().zip(&report.sinks) {
+                            assert_eq!(a.consumed, b.consumed, "seed {seed}");
+                            assert_eq!(a.values, b.values, "seed {seed}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        reference_switches_total > 0,
+        "no script ever switched inside the horizon — the differential would be vacuous"
+    );
+}
+
+#[test]
+fn fusion_on_and_off_replay_identical_modal_streams() {
+    // Modal units are excluded from fusion, but the rest of the graph still
+    // fuses; switching mid-stream must not observe the difference.
+    for seed in 0..8 {
+        let scenario = ModalScenario::generate(seed);
+        let graph = &scenario.graph;
+        let plan = rtgraph::plan(graph);
+        for &w in &WORKERS {
+            let fused = synthesize_with(graph, &plan, w, true)
+                .unwrap_or_else(|e| panic!("seed {seed}: fused modal synthesis: {e}"));
+            let plain = synthesize_with(graph, &plan, w, false)
+                .unwrap_or_else(|e| panic!("seed {seed}: unfused modal synthesis: {e}"));
+            assert_eq!(fused.period, plain.period, "seed {seed}");
+            for script in scripts_for(&scenario, &fused).into_iter().take(4) {
+                let a = scripted_static_run(graph, &fused, &script);
+                let b = scripted_static_run(graph, &plain, &script);
+                if let Some(d) = a.values.first_divergence(&b.values) {
+                    panic!(
+                        "seed {seed}: fusion changed a modal value stream at {w} \
+                         worker(s) under {script:?}: {d}"
+                    );
+                }
+                assert_eq!(a.node_firings, b.node_firings, "seed {seed}");
+                assert_eq!(a.mode_switches, b.mode_switches, "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn collapsed_twin_trace_matches_the_simulator() {
+    // The simulator traces token origins, not values, so the modal graph
+    // itself cannot be its oracle. Its twin with the cluster collapsed to
+    // one union node has the *identical per-buffer token flow* (proven by
+    // exact integer replay in `oil-compiler`'s unit tests) and is a plain
+    // KPN graph: simulator and calendar engine must agree bit for bit.
+    for seed in 0..8 {
+        let scenario = ModalScenario::generate(seed);
+        let plan = rtgraph::plan(&scenario.graph);
+        let info = modal_admission(&scenario.graph, &plan)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+            .unwrap_or_else(|| panic!("seed {seed}: no modal cluster"));
+        let collapsed = collapse_modal(&scenario.graph, &info);
+        let mut net = build_simulation_from_graph(&collapsed);
+        let (_, sim_trace) = net.run_traced(picos(0.05), &SimulationConfig::default());
+        for threads in [1, 2] {
+            let report = execute(
+                &collapsed,
+                &KernelLibrary::new(),
+                picos(0.05),
+                &RtConfig {
+                    threads,
+                    ..RtConfig::default()
+                },
+            );
+            assert_eq!(
+                report.trace.first_divergence(&sim_trace),
+                None,
+                "seed {seed}: collapsed-twin trace diverges from the simulator at \
+                 {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn transitions_are_admitted_for_every_mode_pair() {
+    for seed in 0..modal_seeds() {
+        let scenario = ModalScenario::generate(seed);
+        let plan = rtgraph::plan(&scenario.graph);
+        for &w in &WORKERS {
+            let schedule = synthesize(&scenario.graph, &plan, w, &SynthesisConfig::from_env())
+                .unwrap_or_else(|e| panic!("seed {seed} at {w} workers: {e}"));
+            let modes = schedule.modes.as_ref().unwrap_or_else(|| {
+                panic!("seed {seed}: admissible modal cluster got no per-mode schedules")
+            });
+            assert_eq!(modes.arms.len(), scenario.arms, "seed {seed}");
+            schedule
+                .validate_transitions(&scenario.graph)
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed} at {w} workers: transition admission failed: {e}")
+                });
+            // Per-mode digests identify the dispatched arm: all distinct.
+            let digests: Vec<u64> = (0..modes.arms.len() as u32)
+                .map(|a| schedule.digest_mode(a))
+                .collect();
+            for i in 0..digests.len() {
+                for j in i + 1..digests.len() {
+                    assert_ne!(
+                        digests[i], digests[j],
+                        "seed {seed}: per-mode digests collide between arms {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rejected_programs_fall_back_to_selftimed_and_say_so() {
+    // A write-divergent non-uniform cluster is NOT modal-admissible: the
+    // merge order is data-dependent and synthesis must still reject it —
+    // naming the members — and the caller must fall back to the self-timed
+    // engine *and report the engine actually used* (the silent-fallback
+    // bug this PR fixes; oil-bench now fails its smoke run on it).
+    let mut graph = rtgraph::non_uniform_merge_demo();
+    let n1 = graph.nodes.indices().nth(1).expect("demo has three nodes");
+    graph.nodes[n1].writes[0].1 = 2;
+    let plan = rtgraph::plan(&graph);
+    let err = synthesize(&graph, &plan, 2, &SynthesisConfig::from_env())
+        .expect_err("write-divergent clusters admit no per-mode schedules");
+    match &err {
+        ScheduleError::NonUniformCluster { members, .. } => {
+            assert!(
+                members.iter().any(|m| m == "n0") && members.iter().any(|m| m == "n1"),
+                "the diagnosis must name the cluster members: {members:?}"
+            );
+        }
+        other => panic!("expected NonUniformCluster, got {other}"),
+    }
+    let display = err.to_string();
+    assert!(
+        display.contains("n0") && display.contains("n1"),
+        "Display must name the members for corpus triage: {display}"
+    );
+
+    // The call-site pattern bench and examples use: requested staticsched,
+    // got selftimed — recorded, not swallowed.
+    let requested = "staticsched";
+    let engine_actual = match synthesize(&graph, &plan, 2, &SynthesisConfig::from_env()) {
+        Ok(_) => requested,
+        Err(_) => "selftimed",
+    };
+    assert_eq!(engine_actual, "selftimed");
+    let report = execute_selftimed(
+        &graph,
+        &plan,
+        &KernelLibrary::new(),
+        picos(0.05),
+        &SelfTimedConfig {
+            threads: 2,
+            warmup_samples: 4,
+            ..SelfTimedConfig::default()
+        },
+    );
+    assert!(!report.deadlocked, "the fallback engine must still run");
+    assert_eq!(report.mode_switches, 0, "unscripted runs never switch");
+    assert_ne!(
+        engine_actual, requested,
+        "this divergence is exactly what BENCH_runtime.json rows now record"
+    );
+}

@@ -11,10 +11,12 @@
 //!    the covering schedule iteration (`⌈budget/q⌉` iterations), at or past
 //!    the self-timed engine's exact sample budget, so on every buffer the
 //!    self-timed value stream must be a bit-exact **prefix** of the static
-//!    replay's stream. Synthesis rejects non-uniform clusters and resolves
-//!    uniform modal clusters exactly as the dynamic engines' deterministic
-//!    tie-break does (lowest-id twin), so this holds on *all* buffers, not
-//!    only the plan's schedule-invariant subset.
+//!    replay's stream. Synthesis resolves uniform modal clusters exactly as
+//!    the dynamic engines' deterministic tie-break does (lowest-id twin) and
+//!    rejects only non-uniform clusters that are not modal-admissible
+//!    (admissible ones get per-mode schedules, covered by
+//!    `tests/modeswitch_differential.rs`), so this holds on *all* buffers,
+//!    not only the plan's schedule-invariant subset.
 //! 2. **Worker-count invariance** — schedules synthesised for 1/2/4
 //!    workers replay bit-identical streams, firing counts and sink streams.
 //! 3. **Liveness** — every synthesised schedule replays to completion
@@ -38,7 +40,7 @@
 //! slice).
 
 use oil::compiler::schedule::{
-    synthesize, synthesize_with, ScheduleError, StaticSchedule, UnitKind,
+    synthesize, synthesize_with, ScheduleError, StaticSchedule, SynthesisConfig, UnitKind,
 };
 use oil::compiler::{compile, rtgraph, CompileError, CompilerOptions};
 use oil::gen::ProgramScenario;
@@ -123,7 +125,7 @@ fn static_replay_matches_the_selftimed_reference_on_the_corpus() {
         };
         let graph = rtgraph::lower(&compiled);
         let plan = rtgraph::plan(&graph);
-        let schedule = match synthesize(&graph, &plan, 2) {
+        let schedule = match synthesize(&graph, &plan, 2, &SynthesisConfig::from_env()) {
             Ok(s) => s,
             Err(ScheduleError::NonUniformCluster { .. }) => {
                 // Legitimate fallback to the self-timed engine; the
@@ -160,7 +162,7 @@ fn static_replay_matches_the_selftimed_reference_on_the_corpus() {
             let schedule_w = if w == 2 {
                 schedule.clone()
             } else {
-                synthesize(&graph, &plan, w).unwrap_or_else(|e| {
+                synthesize(&graph, &plan, w, &SynthesisConfig::from_env()).unwrap_or_else(|e| {
                     panic!("seed {seed} ({label}): synthesis at {w} workers: {e}")
                 })
             };
@@ -232,7 +234,7 @@ fn synthesized_schedules_satisfy_the_admission_property() {
         let graph = rtgraph::lower(&compiled);
         let plan = rtgraph::plan(&graph);
         for workers in [1, 3] {
-            let Ok(s) = synthesize(&graph, &plan, workers) else {
+            let Ok(s) = synthesize(&graph, &plan, workers, &SynthesisConfig::from_env()) else {
                 continue;
             };
             checked += 1;
@@ -272,6 +274,26 @@ fn synthesized_schedules_satisfy_the_admission_property() {
                         ),
                         UnitKind::Sink(id) => {
                             (vec![(graph.sinks[*id].input.index(), 1)], Vec::new())
+                        }
+                        UnitKind::Modal { members } => {
+                            // Union-advance: every member's aggregated reads
+                            // are consumed each firing; all members share one
+                            // write list (members[0] is canonical).
+                            let access = |m: oil::compiler::RtNodeId| {
+                                oil::compiler::schedule::modal_member_access(&graph, m)
+                            };
+                            (
+                                members
+                                    .iter()
+                                    .flat_map(|&m| access(m).0)
+                                    .map(|(b, c)| (b.index(), c))
+                                    .collect(),
+                                access(members[0])
+                                    .1
+                                    .iter()
+                                    .map(|&(b, c)| (b.index(), c))
+                                    .collect(),
+                            )
                         }
                     };
                     for (b, c) in reads {
@@ -350,12 +372,41 @@ fn corpus_digest(seed: u64) -> Option<(u64, u64)> {
     Some((d(1), d(2)))
 }
 
+/// Modal corpus slice: per-mode digests of the generated modal scenarios
+/// (`ModalScenario::generate(seed)`), pinned as `M<seed>` lines — whole
+/// schedule at 1 and 2 workers, then one `m…` digest per arm at 2 workers.
+const MODAL_CORPUS_SEEDS: u64 = 16;
+
+fn modal_corpus_digests(seed: u64) -> Vec<String> {
+    let scenario = oil::gen::ModalScenario::generate(seed);
+    let plan = rtgraph::plan(&scenario.graph);
+    let synth = |w: usize| {
+        synthesize_with(&scenario.graph, &plan, w, true)
+            .unwrap_or_else(|e| panic!("modal seed {seed} at {w} workers: {e}"))
+    };
+    let s1 = synth(1);
+    let s2 = synth(2);
+    let modes = s2
+        .modes
+        .as_ref()
+        .unwrap_or_else(|| panic!("modal seed {seed}: synthesis produced no per-mode schedules"));
+    let mut out = vec![
+        format!("{:016x}", s1.digest()),
+        format!("{:016x}", s2.digest()),
+    ];
+    for arm in 0..modes.arms.len() as u32 {
+        out.push(format!("m{:016x}", s2.digest_mode(arm)));
+    }
+    out
+}
+
 #[test]
 fn corpus_digests_pin_the_synthesised_schedules() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(CORPUS_PATH);
     if std::env::var_os("OIL_UPDATE_SCHEDULE_CORPUS").is_some() {
         let mut out = String::from(
             "# Fixed-seed schedule-digest corpus: `<seed> <digest@1w> <digest@2w> | rejected` per line.\n\
+             # Modal lines: `M<seed> <digest@1w> <digest@2w> m<arm0@2w> m<arm1@2w> …` (per-mode digests).\n\
              # Generated by OIL_UPDATE_SCHEDULE_CORPUS=1 cargo test --test staticsched_differential corpus\n",
         );
         for seed in 0..CORPUS_SEEDS {
@@ -363,6 +414,12 @@ fn corpus_digests_pin_the_synthesised_schedules() {
                 Some((d1, d2)) => out.push_str(&format!("{seed} {d1:016x} {d2:016x}\n")),
                 None => out.push_str(&format!("{seed} rejected\n")),
             }
+        }
+        for seed in 0..MODAL_CORPUS_SEEDS {
+            out.push_str(&format!(
+                "M{seed} {}\n",
+                modal_corpus_digests(seed).join(" ")
+            ));
         }
         std::fs::write(&path, out).expect("writing the schedule corpus file");
         eprintln!("regenerated {}", path.display());
@@ -378,22 +435,27 @@ fn corpus_digests_pin_the_synthesised_schedules() {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let seed: u64 = parts.next().expect("seed").parse().expect("corpus seed");
+        let tag = parts.next().expect("seed");
         let expected: Vec<&str> = parts.collect();
-        let actual = corpus_digest(seed);
-        let actual_strs = actual.map_or(vec!["rejected".to_string()], |(d1, d2)| {
-            vec![format!("{d1:016x}"), format!("{d2:016x}")]
-        });
+        let actual_strs = if let Some(mseed) = tag.strip_prefix('M') {
+            let seed: u64 = mseed.parse().expect("modal corpus seed");
+            modal_corpus_digests(seed)
+        } else {
+            let seed: u64 = tag.parse().expect("corpus seed");
+            corpus_digest(seed).map_or(vec!["rejected".to_string()], |(d1, d2)| {
+                vec![format!("{d1:016x}"), format!("{d2:016x}")]
+            })
+        };
         assert_eq!(
             actual_strs, expected,
-            "seed {seed}: synthesised schedule changed — a synthesis regression (or an \
+            "seed {tag}: synthesised schedule changed — a synthesis regression (or an \
              intentional change; then regenerate with OIL_UPDATE_SCHEDULE_CORPUS=1). \
-             Reproduce with ProgramScenario::generate({seed})."
+             Reproduce with ProgramScenario::generate / ModalScenario::generate."
         );
         pinned += 1;
     }
     assert!(
-        pinned >= 32,
+        pinned >= 32 + MODAL_CORPUS_SEEDS as u32,
         "schedule corpus too small: {pinned} pinned seeds"
     );
 }
@@ -554,7 +616,8 @@ fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
     assert!(!reference.deadlocked, "self-timed PAL reference");
 
     for workers in WORKERS {
-        let schedule = synthesize(&graph, &plan, workers).expect("the PAL graph is schedulable");
+        let schedule = synthesize(&graph, &plan, workers, &SynthesisConfig::from_env())
+            .expect("the PAL graph is schedulable");
         assert!(
             schedule.period_firings() > 0 && schedule.validate(&graph).is_ok(),
             "admitted PAL schedule re-validates"
