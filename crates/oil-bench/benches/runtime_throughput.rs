@@ -30,15 +30,17 @@
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under **schema v5**: one record per (workload, engine_mode,
+//! root under **schema v6**: one record per (workload, engine_mode,
 //! threads), each carrying the host parallelism measured *at that row's
 //! execution* (`std::thread::available_parallelism()` can change under
 //! cgroup pressure mid-run), a `"degraded": true` flag whenever
 //! `threads > host_parallelism` — so 2/4-thread numbers taken on a 1-core
 //! host are never silently mistaken for parallel scaling — the
 //! schedule-fusion counters of the static-order rows (`runs_fused`,
-//! `rings_elided`, `fused_chain_len_max`; zero on the other engines), and
-//! (new in v5) `engine_actual`: the engine that really produced the row.
+//! `rings_elided`, `fused_chain_len_max`; zero on the other engines),
+//! `engine_actual` (v5): the engine that really produced the row, and
+//! (new in v6) `transition_firings`: modal firings spent draining a
+//! mode-switch seam (0 on non-modal and union-advance workloads).
 //! A requested staticsched row whose synthesis is rejected falls back to
 //! selftimed **loudly** — `engine_actual` records it, a `FALLBACK:` line is
 //! printed, and the smoke run fails — never a mislabelled number.
@@ -78,6 +80,9 @@ struct Row {
     host_parallelism: usize,
     /// Schedule-fusion counters (zero for every engine but staticsched).
     fusion: FusionStats,
+    /// Modal firings spent draining a mode-switch seam (schema v6; 0 for
+    /// non-modal workloads and for engines without seam accounting).
+    transition_firings: u64,
 }
 
 fn host_parallelism() -> usize {
@@ -199,6 +204,7 @@ fn bench_workload(
         tokens_per_wall_s: tokens as f64 / wall.as_secs_f64(),
         host_parallelism: host_parallelism(),
         fusion: FusionStats::default(),
+        transition_firings: 0,
     });
 
     for threads in THREAD_SWEEP {
@@ -228,6 +234,7 @@ fn bench_workload(
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
+            transition_firings: 0,
         });
     }
 
@@ -259,6 +266,7 @@ fn bench_workload(
             tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
+            transition_firings: 0,
         });
     }
 
@@ -286,6 +294,7 @@ fn bench_workload(
                     tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
                     host_parallelism: host_parallelism(),
                     fusion: report.fusion,
+                    transition_firings: report.transition_firings,
                 });
             }
             Err(e @ ScheduleError::NonUniformCluster { .. }) => {
@@ -318,6 +327,7 @@ fn bench_workload(
                     tokens_per_wall_s: report.tokens as f64 / report.wall.as_secs_f64(),
                     host_parallelism: host_parallelism(),
                     fusion: FusionStats::default(),
+                    transition_firings: report.transition_firings,
                 });
             }
             Err(e) => panic!("{workload}: schedule synthesis at {workers} workers: {e}"),
@@ -384,13 +394,13 @@ fn main() {
         );
     }
 
-    // Machine-readable results at the workspace root (schema v5: v4's
-    // fusion counters plus `engine_actual` — the engine that really
-    // produced the row, differing from `engine_mode` only on a recorded
-    // staticsched → selftimed fallback).
+    // Machine-readable results at the workspace root (schema v6: v5's
+    // fusion counters and `engine_actual` plus `transition_firings` —
+    // modal firings spent in a drain/fill seam on mode-dependent runs,
+    // always 0 for union-advance and non-modal workloads).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 5,");
+    let _ = writeln!(json, "  \"schema_version\": 6,");
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let degraded = r.threads > r.host_parallelism;
@@ -401,7 +411,7 @@ fn main() {
              \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
              \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
              \"degraded\": {}, \"runs_fused\": {}, \"rings_elided\": {}, \
-             \"fused_chain_len_max\": {}}}{}",
+             \"fused_chain_len_max\": {}, \"transition_firings\": {}}}{}",
             r.workload,
             r.engine_mode,
             r.engine_actual,
@@ -415,6 +425,7 @@ fn main() {
             r.fusion.runs_fused,
             r.fusion.rings_elided,
             r.fusion.fused_chain_len_max,
+            r.transition_firings,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

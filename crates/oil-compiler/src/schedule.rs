@@ -73,6 +73,7 @@
 use crate::rtgraph::{RtBufferId, RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
 use oil_dataflow::index::{Idx, IndexVec};
 use oil_dataflow::sdf::SdfGraph;
+use oil_dataflow::Rational;
 use std::collections::BTreeMap;
 
 /// Budget on total firings in one schedule period: beyond this the schedule
@@ -115,6 +116,19 @@ pub enum ScheduleError {
         /// Firings the iteration requires.
         required: u64,
     },
+    /// The CTA-bounded worst-case source-to-sink latency across a mode
+    /// switch seam (drain the outgoing period, run the transition program,
+    /// fill the incoming period) exceeds the program's latency constraint.
+    SeamLatency {
+        /// Outgoing mode.
+        from: u32,
+        /// Incoming mode.
+        to: u32,
+        /// The actual seam latency in seconds, exact.
+        latency: Rational,
+        /// The violated bound in seconds.
+        bound: Rational,
+    },
     /// Post-construction validation failed; the message names the buffer
     /// and step. Reaching this is a synthesis bug, not a property of the
     /// program.
@@ -145,6 +159,18 @@ impl std::fmt::Display for ScheduleError {
                 "admission stalled after {admitted} of {required} firings: the \
                  CTA-sized capacities cannot carry one schedule period"
             ),
+            ScheduleError::SeamLatency {
+                from,
+                to,
+                latency,
+                bound,
+            } => write!(
+                f,
+                "mode switch {from}->{to}: worst-case seam latency {}s exceeds \
+                 the latency bound {}s",
+                latency.to_f64(),
+                bound.to_f64()
+            ),
             ScheduleError::Invalid(message) => write!(f, "schedule validation: {message}"),
         }
     }
@@ -162,20 +188,31 @@ impl std::error::Error for ScheduleError {}
 pub struct SynthesisConfig {
     /// Run the fusion pass (super-step coalescing; see [`FusedRun`]).
     pub fusion: bool,
+    /// Worst-case source-to-sink latency (seconds) a mode-switch seam may
+    /// introduce, enforced by the CTA seam-latency check in
+    /// [`StaticSchedule::validate_transitions`] for mode-dependent
+    /// schedules. `None` leaves the seam latency unconstrained (it is still
+    /// computed and reported in [`ModeDependent::seam_latency_max`]).
+    pub seam_latency_bound: Option<Rational>,
 }
 
 impl Default for SynthesisConfig {
     fn default() -> Self {
-        SynthesisConfig { fusion: true }
+        SynthesisConfig {
+            fusion: true,
+            seam_latency_bound: None,
+        }
     }
 }
 
 impl SynthesisConfig {
     /// Read the configuration from the environment once (`OIL_RT_FUSION=0`
-    /// disables fusion; unset or anything else leaves it on).
+    /// disables fusion, `1` or unset enables it; anything else is a loud
+    /// error — see [`fusion_enabled`]).
     pub fn from_env() -> Self {
         SynthesisConfig {
             fusion: fusion_enabled(),
+            seam_latency_bound: None,
         }
     }
 }
@@ -207,10 +244,49 @@ impl ModeScript {
         }
     }
 
-    /// A script from (possibly unsorted) switch points.
+    /// A script from (possibly unsorted, possibly duplicated) switch
+    /// points: entries are sorted by firing index and duplicates collapse
+    /// to the *last* entry given for that index — the entry [`Self::arm_at`]
+    /// would have let win anyway, so normalisation never changes the arm
+    /// sequence, it only makes the representation canonical.
     pub fn new(initial: u32, mut switches: Vec<(u64, u32)>) -> Self {
         switches.sort_by_key(|&(at, _)| at);
+        switches.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
         ModeScript { initial, switches }
+    }
+
+    /// Check every arm index against the `arms` that exist. The engines'
+    /// scripted entry points call this (via [`Self::validate`]) before
+    /// executing, so an out-of-range arm is a loud, immediate error instead
+    /// of a silently-clamped firing deep in the run.
+    pub fn validate_arms(&self, arms: usize) -> Result<(), String> {
+        let check = |what: &str, arm: u32| -> Result<(), String> {
+            if (arm as usize) < arms {
+                Ok(())
+            } else {
+                Err(format!(
+                    "mode script {what} selects arm {arm}, but only arms \
+                     0..{arms} exist"
+                ))
+            }
+        };
+        check("initial arm", self.initial)?;
+        for &(at, arm) in &self.switches {
+            check(&format!("switch point at firing {at}"), arm)?;
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate_arms`] against a schedule's modal dimension.
+    pub fn validate(&self, modes: &ModalSchedule) -> Result<(), String> {
+        self.validate_arms(modes.arms.len())
     }
 
     /// The arm the `firing`-th modal firing executes. Engines clamp the
@@ -350,6 +426,183 @@ pub struct ModalSchedule {
     pub arms: Vec<RtNodeId>,
     /// The members' node names (same order), for reports and logs.
     pub arm_names: Vec<String>,
+    /// `Some` when the cluster is **mode-dependent** (arms diverge in their
+    /// write lists or overlap in their reads): token flow then differs per
+    /// mode, so each mode carries its own repetition vector and firing
+    /// order, and a switch runs the verified drain/fill transition protocol
+    /// instead of hot-switching. `None` is the union-advance case, where
+    /// the shared period serves every mode.
+    pub dependent: Option<ModeDependent>,
+}
+
+/// The per-mode dimension of a mode-dependent schedule: one repetition
+/// vector and firing order per mode, plus the compiler-derived drain/fill
+/// transition program for every ordered mode pair and the CTA seam-latency
+/// result. The schedule's top-level `period`/`workers`/`repetitions` are
+/// mode 0's (the initial mode of the default script); the engines index
+/// into these tables per executed period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeDependent {
+    /// Per mode, per unit: firings per period. Units *gated* in a mode
+    /// (their token flow reaches the modal unit only through arms that mode
+    /// never fires) have repetition 0 there and simply do not appear in
+    /// that mode's period.
+    pub reps: Vec<Vec<u64>>,
+    /// Per mode: the admitted global firing order of one period.
+    pub periods: Vec<Vec<Step>>,
+    /// Per mode, per worker: the projection of that mode's period onto the
+    /// worker's units (the shared partition serves every mode).
+    pub steps: Vec<Vec<Vec<Step>>>,
+    /// Per ordered `(from, to)` pair (row-major, `from * modes + to`): the
+    /// drain/fill transition program — the finite firing sequence, proven
+    /// by exact integer replay in
+    /// [`StaticSchedule::validate_transitions`], that takes mode `from`'s
+    /// end-of-period buffer levels to mode `to`'s entry levels. Because
+    /// every per-mode period is anchored at the initial levels (one period
+    /// is level-preserving), the derived program is empty whenever
+    /// derivation succeeds today; the derivation, replay and executor
+    /// machinery carry non-empty programs unchanged should a future
+    /// synthesis produce periods with differing entry levels.
+    pub transitions: Vec<Vec<Step>>,
+    /// Worst-case source-to-sink latency (seconds) across any switch seam:
+    /// the maximum over ordered mode pairs of drain + transition + fill
+    /// work, as bounded by the CTA seam-latency query. Exact.
+    pub seam_latency_max: Rational,
+    /// The bound [`StaticSchedule::validate_transitions`] enforces on the
+    /// seam latency of every ordered pair (from
+    /// [`SynthesisConfig::seam_latency_bound`]).
+    pub seam_latency_bound: Option<Rational>,
+}
+
+impl ModeDependent {
+    /// Number of modes.
+    pub fn mode_count(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// The transition program for the ordered pair `(from, to)`.
+    pub fn transition(&self, from: u32, to: u32) -> &[Step] {
+        &self.transitions[from as usize * self.mode_count() + to as usize]
+    }
+
+    /// The per-mode firing rates the engines schedule by (see
+    /// [`ModeDependentRates`]), extracted from the repetition tables.
+    pub fn rates(&self, units: &[ScheduleUnit], graph: &RtGraph) -> ModeDependentRates {
+        let modes = self.mode_count();
+        let modal = units
+            .iter()
+            .position(|u| matches!(u.kind, UnitKind::Modal { .. }))
+            .expect("a mode-dependent schedule has a modal unit");
+        let mut rates = ModeDependentRates {
+            modal: vec![0; modes],
+            sources: vec![vec![0; graph.sources.len()]; modes],
+            sinks: vec![vec![0; graph.sinks.len()]; modes],
+        };
+        for (m, reps) in self.reps.iter().enumerate() {
+            rates.modal[m] = reps[modal];
+            for (u, unit) in units.iter().enumerate() {
+                match unit.kind {
+                    UnitKind::Source(id) => rates.sources[m][id.index()] = reps[u],
+                    UnitKind::Sink(id) => rates.sinks[m][id.index()] = reps[u],
+                    _ => {}
+                }
+            }
+        }
+        rates
+    }
+}
+
+/// The per-mode firing rates of a mode-dependent modal graph: what the
+/// runtime engines need to plan a scripted run without holding the full
+/// per-mode schedules (the self-timed engine is dynamic — it needs only
+/// the period lengths and the per-period source/sink token counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeDependentRates {
+    /// Per mode: modal-unit firings per period (always ≥ 1).
+    pub modal: Vec<u64>,
+    /// Per mode, per source (by [`RtSourceId`] index): samples produced per
+    /// period (0 when the source is gated in that mode).
+    pub sources: Vec<Vec<u64>>,
+    /// Per mode, per sink (by [`RtSinkId`] index): values drained per
+    /// period (0 when the sink is gated in that mode).
+    pub sinks: Vec<Vec<u64>>,
+}
+
+/// The resolved mode sequence of one scripted run of a mode-dependent
+/// program: which mode each executed period runs, and exactly how many
+/// tokens every source and sink moves. Both engines execute this plan —
+/// the static engine by replaying the per-mode firing lists period by
+/// period, the self-timed engine by capping its source/sink budgets to the
+/// planned totals and letting data-driven firing follow — which is what
+/// makes their value streams bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModePlan {
+    /// The mode of each executed period, in order.
+    pub mode_seq: Vec<u32>,
+    /// Per source (by index): total samples produced over the run. May
+    /// exceed a source's natural sample budget by up to one period — the
+    /// final period always runs to completion.
+    pub produced: Vec<u64>,
+    /// Per sink (by index): total values drained over the run.
+    pub drained: Vec<u64>,
+    /// Total modal-unit firings over the run.
+    pub modal_firings: u64,
+    /// Mode switches the plan executes (adjacent periods of different
+    /// modes).
+    pub mode_switches: u64,
+}
+
+/// Resolve a [`ModeScript`] against per-mode rates and source sample
+/// budgets into the mode sequence a scripted run executes.
+///
+/// Each period's mode is the script's arm at the period's *first* modal
+/// firing, clamped to the modes that exist — a switch point landing
+/// mid-period therefore takes effect at the next period boundary, and the
+/// trailing firings of the old period are the *drain* the transition
+/// protocol accounts as `transition_firings`. The plan stops at the first
+/// period that would make no source progress (every source is exhausted or
+/// gated in the selected mode): a script whose pending switch points lie
+/// beyond the sources' budgets — e.g. a switch at firing 1 000 000 of a
+/// 250-period run — never reaches them, so such past-horizon scripts
+/// execute as the constant-arm run with zero switches.
+pub fn plan_mode_sequence(
+    rates: &ModeDependentRates,
+    script: &ModeScript,
+    budget: impl Fn(RtSourceId) -> u64,
+) -> ModePlan {
+    let modes = rates.modal.len() as u32;
+    let budgets: Vec<u64> = (0..rates.sources.first().map_or(0, Vec::len))
+        .map(|s| budget(RtSourceId::new(s)))
+        .collect();
+    let mut plan = ModePlan {
+        mode_seq: Vec::new(),
+        produced: vec![0; budgets.len()],
+        drained: vec![0; rates.sinks.first().map_or(0, Vec::len)],
+        modal_firings: 0,
+        mode_switches: 0,
+    };
+    loop {
+        let m = script.arm_at(plan.modal_firings).min(modes - 1);
+        let progress = budgets
+            .iter()
+            .enumerate()
+            .any(|(s, &b)| plan.produced[s] < b && rates.sources[m as usize][s] > 0);
+        if !progress {
+            break;
+        }
+        if plan.mode_seq.last().is_some_and(|&prev| prev != m) {
+            plan.mode_switches += 1;
+        }
+        plan.mode_seq.push(m);
+        for (s, p) in plan.produced.iter_mut().enumerate() {
+            *p += rates.sources[m as usize][s];
+        }
+        for (k, d) in plan.drained.iter_mut().enumerate() {
+            *d += rates.sinks[m as usize][k];
+        }
+        plan.modal_firings += rates.modal[m as usize];
+    }
+    plan
 }
 
 /// A synthesised periodic static-order schedule.
@@ -570,6 +823,41 @@ impl StaticSchedule {
             for &a in &m.arms {
                 h.write_u64(a.index() as u64);
             }
+            // Mode-dependent tables only: union-advance digests are
+            // byte-for-byte what they were before per-mode synthesis
+            // existed, so the golden corpus M-lines stay stable.
+            if let Some(dep) = &m.dependent {
+                h.write_u64(6);
+                for reps in &dep.reps {
+                    h.write_u64(reps.len() as u64);
+                    for &r in reps {
+                        h.write_u64(r);
+                    }
+                }
+                for period in &dep.periods {
+                    h.write_u64(period.len() as u64);
+                    for s in period {
+                        h.write_u64(s.unit as u64);
+                        h.write_u64(s.times as u64);
+                    }
+                }
+                for lists in &dep.steps {
+                    for w in lists {
+                        h.write_u64(w.len() as u64);
+                        for s in w {
+                            h.write_u64(s.unit as u64);
+                            h.write_u64(s.times as u64);
+                        }
+                    }
+                }
+                for t in &dep.transitions {
+                    h.write_u64(t.len() as u64);
+                    for s in t {
+                        h.write_u64(s.unit as u64);
+                        h.write_u64(s.times as u64);
+                    }
+                }
+            }
         }
         h.finish()
     }
@@ -588,6 +876,41 @@ impl StaticSchedule {
                 .map(|a| a.index() as u64)
                 .unwrap_or(u64::MAX);
             h.write_u64(member);
+            // For mode-dependent schedules the mode also carries its own
+            // repetition vector and firing order; mix them in (no-op for
+            // union-advance, keeping those corpus lines stable).
+            if let Some(dep) = &m.dependent {
+                if let (Some(reps), Some(period)) =
+                    (dep.reps.get(arm as usize), dep.periods.get(arm as usize))
+                {
+                    for &r in reps {
+                        h.write_u64(r);
+                    }
+                    for s in period {
+                        h.write_u64(s.unit as u64);
+                        h.write_u64(s.times as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// [`Self::digest`] specialised to one ordered mode pair's transition:
+    /// mixes the pair and its drain/fill program into the structural
+    /// digest, for the transition lines of the golden schedule corpus.
+    pub fn digest_transition(&self, from: u32, to: u32) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.digest());
+        h.write_u64(from as u64);
+        h.write_u64(to as u64);
+        if let Some(dep) = self.modes.as_ref().and_then(|m| m.dependent.as_ref()) {
+            let t = dep.transition(from, to);
+            h.write_u64(t.len() as u64);
+            for s in t {
+                h.write_u64(s.unit as u64);
+                h.write_u64(s.times as u64);
+            }
         }
         h.finish()
     }
@@ -600,6 +923,9 @@ impl StaticSchedule {
     /// it — and the oracle the schedule property tests replay
     /// independently.
     pub fn validate(&self, graph: &RtGraph) -> Result<(), ScheduleError> {
+        if self.modes.as_ref().is_some_and(|m| m.dependent.is_some()) {
+            return self.validate_dependent(graph);
+        }
         let access = unit_access(graph, &self.units);
         let capacity: IndexVec<RtBufferId, usize> = engine_capacities(graph);
         let mut level: IndexVec<RtBufferId, u64> = graph
@@ -681,6 +1007,155 @@ impl StaticSchedule {
             ));
         }
         self.validate_fused(graph, &access)
+    }
+
+    /// The admission proof for a **mode-dependent** schedule: every mode's
+    /// period replays exactly (its repetition vector, no underflow, no
+    /// capacity excess, level restoration) under that mode's access lists,
+    /// every mode's worker lists partition its period, and the top-level
+    /// period/worker/repetition fields mirror mode 0 (what a script-less
+    /// consumer sees). Fusion is off for mode-dependent schedules — the
+    /// fused lists must be the plain projections.
+    fn validate_dependent(&self, graph: &RtGraph) -> Result<(), ScheduleError> {
+        let modes = self.modes.as_ref().expect("dependent implies modal");
+        let dep = modes.dependent.as_ref().expect("checked by caller");
+        let capacity = engine_capacities(graph);
+        let n_modes = dep.mode_count();
+        if dep.periods.len() != n_modes || dep.steps.len() != n_modes {
+            return Err(ScheduleError::Invalid(
+                "per-mode table lengths disagree".into(),
+            ));
+        }
+        if dep.transitions.len() != n_modes * n_modes {
+            return Err(ScheduleError::Invalid(
+                "transition table is not modes × modes".into(),
+            ));
+        }
+        for m in 0..n_modes {
+            let access = mode_access(graph, &self.units, m);
+            let reps = &dep.reps[m];
+            if reps.len() != self.units.len() {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {m}: repetition vector length diverges from the units"
+                )));
+            }
+            if reps[modes.unit as usize] == 0 {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {m}: the modal unit is gated in its own mode"
+                )));
+            }
+            let mut level: IndexVec<RtBufferId, u64> = graph
+                .buffers
+                .iter()
+                .map(|b| b.initial_tokens as u64)
+                .collect::<Vec<_>>()
+                .into();
+            let mut fired = vec![0u64; self.units.len()];
+            for (pos, step) in dep.periods[m].iter().enumerate() {
+                let a = &access[step.unit as usize];
+                for _ in 0..step.times {
+                    for &(b, c) in &a.reads {
+                        level[b] = level[b].checked_sub(c as u64).ok_or_else(|| {
+                            ScheduleError::Invalid(format!(
+                                "mode {m} step {pos}: unit {} underflows buffer `{}`",
+                                step.unit, graph.buffers[b].name
+                            ))
+                        })?;
+                    }
+                    for &(b, c) in &a.writes {
+                        if self.consumer_unit[b].is_none() {
+                            continue;
+                        }
+                        level[b] += c as u64;
+                        if level[b] > capacity[b] as u64 {
+                            return Err(ScheduleError::Invalid(format!(
+                                "mode {m} step {pos}: unit {} overflows buffer `{}` \
+                                 ({} > capacity {})",
+                                step.unit, graph.buffers[b].name, level[b], capacity[b]
+                            )));
+                        }
+                    }
+                    fired[step.unit as usize] += 1;
+                }
+            }
+            if fired != *reps {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {m}: the period does not fire the mode's repetition \
+                     vector"
+                )));
+            }
+            for (b, buf) in graph.buffers.iter_enumerated() {
+                if self.consumer_unit[b].is_some() && level[b] != buf.initial_tokens as u64 {
+                    return Err(ScheduleError::Invalid(format!(
+                        "mode {m}: buffer `{}` ends the period at level {} \
+                         (started at {})",
+                        buf.name, level[b], buf.initial_tokens
+                    )));
+                }
+            }
+            // Worker lists are exactly the per-worker projection of the
+            // mode's period.
+            if dep.steps[m].len() != self.workers.len() {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {m}: worker list count diverges"
+                )));
+            }
+            let mut cursors = vec![0usize; dep.steps[m].len()];
+            for step in &dep.periods[m] {
+                let w = self.units[step.unit as usize].worker;
+                if dep.steps[m][w].get(cursors[w]) != Some(step) {
+                    return Err(ScheduleError::Invalid(format!(
+                        "mode {m}: worker {w} projection diverges from the period"
+                    )));
+                }
+                cursors[w] += 1;
+            }
+            if cursors
+                .iter()
+                .zip(&dep.steps[m])
+                .any(|(&c, w)| c != w.len())
+            {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {m}: worker projections contain steps the period does \
+                     not"
+                )));
+            }
+        }
+        // The top-level fields mirror mode 0, and fusion is off.
+        if self.period != dep.periods[0] || self.workers != dep.steps[0] {
+            return Err(ScheduleError::Invalid(
+                "top-level period/workers do not mirror mode 0".into(),
+            ));
+        }
+        for (u, unit) in self.units.iter().enumerate() {
+            if unit.repetitions != dep.reps[0][u] {
+                return Err(ScheduleError::Invalid(format!(
+                    "unit {u}: top-level repetitions do not mirror mode 0"
+                )));
+            }
+        }
+        if self.fusion != FusionStats::default() {
+            return Err(ScheduleError::Invalid(
+                "mode-dependent schedules do not fuse".into(),
+            ));
+        }
+        for (w, items) in self.fused_workers.iter().enumerate() {
+            let plain: Vec<Step> = items
+                .iter()
+                .map(|i| match i {
+                    WorkItem::Step(s) => Ok(*s),
+                    WorkItem::Fused(_) => Err(ScheduleError::Invalid(
+                        "mode-dependent schedules carry no fused runs".into(),
+                    )),
+                })
+                .collect::<Result<_, _>>()?;
+            if plain != self.workers[w] {
+                return Err(ScheduleError::Invalid(format!(
+                    "worker {w}: fused list is not the plain projection"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Re-prove the admission property over the fused worker lists: per
@@ -866,6 +1341,9 @@ impl StaticSchedule {
         let Some(modes) = self.modes.as_ref() else {
             return Ok(());
         };
+        if modes.dependent.is_some() {
+            return self.validate_dependent_transitions(graph);
+        }
         let access = unit_access(graph, &self.units);
         let capacity = engine_capacities(graph);
         let confined =
@@ -877,6 +1355,149 @@ impl StaticSchedule {
             }
         }
         Ok(())
+    }
+
+    /// The mode-dependent seam proof, for every ordered `(from, to)` pair:
+    ///
+    /// 1. **Drain/fill replay.** `period(from) ++ transition(from, to) ++
+    ///    period(to)` is replayed by exact integer accounting, levels
+    ///    carried across both seams — the drain half under `from`'s access
+    ///    lists, the transition program and the fill half under `to`'s. No
+    ///    underflow, no capacity excess, and the composite must end at the
+    ///    initial levels (mode `to`'s entry state, since every per-mode
+    ///    period is anchored there). This is the proof obligation the
+    ///    union-advance argument got for free from mode-independent flow.
+    /// 2. **Seam latency.** The CTA chain drain → transition → fill (each
+    ///    stage's work = Σ firings · response, exact) bounds the worst-case
+    ///    source-to-sink latency a switch inserts; when the synthesis
+    ///    carried a [`SynthesisConfig::seam_latency_bound`] the bound is
+    ///    enforced as a CTA `before` constraint and a violation is
+    ///    [`ScheduleError::SeamLatency`].
+    ///
+    /// The per-worker lists need no separate replay here: mode-dependent
+    /// schedules never fuse, so each worker's list is the exact projection
+    /// of the global order ([`Self::validate_dependent`] proves it per
+    /// mode), and on single-producer/single-consumer graphs the concurrent
+    /// replay of projections reproduces the global interleaving's bounds.
+    fn validate_dependent_transitions(&self, graph: &RtGraph) -> Result<(), ScheduleError> {
+        let modes = self.modes.as_ref().expect("dependent implies modal");
+        let dep = modes.dependent.as_ref().expect("checked by caller");
+        let capacity = engine_capacities(graph);
+        let n_modes = dep.mode_count() as u32;
+        let mut latency_max = Rational::ZERO;
+        for from in 0..n_modes {
+            for to in 0..n_modes {
+                let seam = |what: &str, b: RtBufferId| {
+                    ScheduleError::Invalid(format!(
+                        "transition {from}->{to}: {what} buffer `{}` across the \
+                         switch seam",
+                        graph.buffers[b].name
+                    ))
+                };
+                let mut level: IndexVec<RtBufferId, u64> = graph
+                    .buffers
+                    .iter()
+                    .map(|b| b.initial_tokens as u64)
+                    .collect::<Vec<_>>()
+                    .into();
+                let phases: [(&[Step], usize); 3] = [
+                    (&dep.periods[from as usize], from as usize),
+                    (dep.transition(from, to), to as usize),
+                    (&dep.periods[to as usize], to as usize),
+                ];
+                for (steps, mode) in phases {
+                    let access = mode_access(graph, &self.units, mode);
+                    for step in steps {
+                        let a = &access[step.unit as usize];
+                        for _ in 0..step.times {
+                            for &(b, c) in &a.reads {
+                                level[b] = level[b]
+                                    .checked_sub(c as u64)
+                                    .ok_or_else(|| seam("underflows", b))?;
+                            }
+                            for &(b, c) in &a.writes {
+                                if self.consumer_unit[b].is_none() {
+                                    continue;
+                                }
+                                level[b] += c as u64;
+                                if level[b] > capacity[b] as u64 {
+                                    return Err(seam("overflows", b));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (b, buf) in graph.buffers.iter_enumerated() {
+                    if self.consumer_unit[b].is_some() && level[b] != buf.initial_tokens as u64 {
+                        return Err(seam("fails to restore", b));
+                    }
+                }
+                let latency = self.seam_latency(graph, from, to)?;
+                if latency > latency_max {
+                    latency_max = latency;
+                }
+            }
+        }
+        if latency_max != dep.seam_latency_max {
+            return Err(ScheduleError::Invalid(format!(
+                "recorded worst-case seam latency {}s diverges from the \
+                 recomputed {}s",
+                dep.seam_latency_max.to_f64(),
+                latency_max.to_f64()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The CTA-bounded worst-case source-to-sink latency across one
+    /// `(from, to)` switch seam (see [`Self::validate_dependent_transitions`]).
+    fn seam_latency(&self, graph: &RtGraph, from: u32, to: u32) -> Result<Rational, ScheduleError> {
+        let modes = self.modes.as_ref().expect("dependent implies modal");
+        let dep = modes.dependent.as_ref().expect("checked by caller");
+        let response = |unit: &ScheduleUnit, mode: usize| -> Rational {
+            match &unit.kind {
+                UnitKind::Node(id)
+                | UnitKind::Cluster {
+                    representative: id, ..
+                } => graph.nodes[*id].response,
+                UnitKind::Modal { members } => {
+                    graph.nodes[members[mode.min(members.len() - 1)]].response
+                }
+                // Sources and sinks move one token with no kernel work.
+                UnitKind::Source(_) | UnitKind::Sink(_) => Rational::ZERO,
+            }
+        };
+        let period_work = |mode: usize| -> Rational {
+            let mut work = Rational::ZERO;
+            for (u, unit) in self.units.iter().enumerate() {
+                let reps = dep.reps[mode][u];
+                if reps > 0 {
+                    work += Rational::from_int(reps as i128) * response(unit, mode);
+                }
+            }
+            work
+        };
+        let transition_work: Rational = dep
+            .transition(from, to)
+            .iter()
+            .map(|s| {
+                Rational::from_int(s.times as i128)
+                    * response(&self.units[s.unit as usize], to as usize)
+            })
+            .fold(Rational::ZERO, |acc, w| acc + w);
+        let stages = [
+            ("drain", period_work(from as usize)),
+            ("transition", transition_work),
+            ("fill", period_work(to as usize)),
+        ];
+        oil_cta::latency::check_seam_latency(&stages, dep.seam_latency_bound)
+            .map(|report| report.latency)
+            .map_err(|e| ScheduleError::SeamLatency {
+                from,
+                to,
+                latency: e.latency,
+                bound: e.bound,
+            })
     }
 
     /// One `(from, to)` seam replay over the global period and every fused
@@ -1011,6 +1632,37 @@ fn aggregate(ports: &[(RtBufferId, usize)]) -> Vec<(RtBufferId, usize)> {
     sums.into_iter().collect()
 }
 
+/// The union of several aggregated port lists: one entry per buffer at the
+/// *maximum* per-firing count any list carries. For identical lists this
+/// is the list itself; for pairwise-disjoint lists it is their sorted
+/// concatenation.
+fn union_ports(lists: &[Vec<(RtBufferId, usize)>]) -> Vec<(RtBufferId, usize)> {
+    let mut max: BTreeMap<RtBufferId, usize> = BTreeMap::new();
+    for list in lists {
+        for &(b, c) in list {
+            let slot = max.entry(b).or_default();
+            *slot = (*slot).max(c);
+        }
+    }
+    max.into_iter().collect()
+}
+
+/// [`unit_access`] specialised to one mode of a mode-dependent schedule:
+/// the modal unit carries the selected member's aggregated access (that is
+/// the token flow of a mode-`mode` firing); every other unit is
+/// mode-independent.
+fn mode_access(graph: &RtGraph, units: &[ScheduleUnit], mode: usize) -> Vec<UnitAccess> {
+    let mut access = unit_access(graph, units);
+    for (u, unit) in units.iter().enumerate() {
+        if let UnitKind::Modal { members } = &unit.kind {
+            let member = members[mode.min(members.len() - 1)];
+            let (reads, writes) = modal_member_access(graph, member);
+            access[u] = UnitAccess { reads, writes };
+        }
+    }
+    access
+}
+
 fn unit_access(graph: &RtGraph, units: &[ScheduleUnit]) -> Vec<UnitAccess> {
     units
         .iter()
@@ -1026,17 +1678,24 @@ fn unit_access(graph: &RtGraph, units: &[ScheduleUnit]) -> Vec<UnitAccess> {
                 }
             }
             UnitKind::Modal { members } => {
-                // Union-advance: every firing consumes the union of all
-                // members' aggregated reads (pairwise disjoint, by
-                // admission) and produces the shared write list.
-                let mut reads: Vec<(RtBufferId, usize)> = Vec::new();
-                for &m in members {
-                    reads.extend(aggregate(&graph.nodes[m].reads));
-                }
-                reads.sort();
+                // The *support* access: the union over members, one entry
+                // per buffer at the worst per-firing count. Under
+                // union-advance this is exactly the old access (reads are
+                // pairwise disjoint, writes are shared); for mode-dependent
+                // clusters it is the superset the buffer-endpoint maps and
+                // connectivity are built over — per-mode replays use
+                // [`mode_access`] instead.
+                let reads: Vec<_> = members
+                    .iter()
+                    .map(|&m| aggregate(&graph.nodes[m].reads))
+                    .collect();
+                let writes: Vec<_> = members
+                    .iter()
+                    .map(|&m| aggregate(&graph.nodes[m].writes))
+                    .collect();
                 UnitAccess {
-                    reads,
-                    writes: aggregate(&graph.nodes[members[0]].writes),
+                    reads: union_ports(&reads),
+                    writes: union_ports(&writes),
                 }
             }
             UnitKind::Source(id) => UnitAccess {
@@ -1074,8 +1733,21 @@ pub struct ModalClusterInfo {
     pub members: Vec<RtNodeId>,
     /// Per member (same order): its aggregated read list.
     pub member_reads: Vec<Vec<(RtBufferId, usize)>>,
-    /// The aggregated write list every member shares.
+    /// Per member (same order): its aggregated write list. Under
+    /// union-advance every entry equals [`Self::writes`]; mode-dependent
+    /// clusters diverge here.
+    pub member_writes: Vec<Vec<(RtBufferId, usize)>>,
+    /// Member 0's aggregated write list — the write list *every* member
+    /// shares when `mode_dependent` is false (the union-advance paths key
+    /// off this field; mode-dependent consumers must use
+    /// [`Self::member_writes`]).
     pub writes: Vec<(RtBufferId, usize)>,
+    /// False: the union-advance shape (shared writes, pairwise-disjoint
+    /// reads) — one schedule serves every mode, hot switching. True: the
+    /// arms diverge in write lists or overlap in reads, but each mode is
+    /// individually consistent — synthesis produces one schedule per mode
+    /// and the drain/fill transition protocol between them.
+    pub mode_dependent: bool,
 }
 
 /// Decide whether the graph's non-uniform clusters are modal-admissible.
@@ -1090,10 +1762,16 @@ pub struct ModalClusterInfo {
 /// discarded, since they are mode-gated traffic that would otherwise
 /// accumulate without bound — and produces the shared write list, so
 /// token flow is mode-independent and one repetition vector, period and
-/// partition serve every mode. Any other non-uniform shape (divergent
-/// writes, shared reads, or a second non-uniform cluster) is
-/// [`ScheduleError::NonUniformCluster`] and the caller falls back to the
-/// self-timed engine.
+/// partition serve every mode.
+///
+/// Arms that diverge in write counts or overlap in reads break the
+/// union-advance argument but are still individually consistent per mode:
+/// the returned info then carries `mode_dependent: true` and synthesis
+/// produces one schedule per mode plus the drain/fill transition protocol
+/// (see [`ModeDependent`]). What remains inadmissible — a second
+/// non-uniform cluster, an arm with no writes, or an arm reading a buffer
+/// any arm writes — is [`ScheduleError::NonUniformCluster`] and the caller
+/// falls back to the self-timed engine.
 pub fn modal_admission(
     graph: &RtGraph,
     plan: &RtPlan,
@@ -1125,30 +1803,48 @@ pub fn modal_admission(
         .iter()
         .map(|&m| aggregate(&graph.nodes[m].reads))
         .collect();
-    let writes = aggregate(&graph.nodes[members[0]].writes);
-    if writes.is_empty() {
+    let member_writes: Vec<Vec<(RtBufferId, usize)>> = members
+        .iter()
+        .map(|&m| aggregate(&graph.nodes[m].writes))
+        .collect();
+    let writes = member_writes[0].clone();
+    // Every arm must produce something (an arm with no writes has no
+    // periodic schedule in any form), and no arm may read a buffer *any*
+    // arm writes: the only producer such a buffer could have is the modal
+    // unit itself, so the reading mode would either self-loop or starve —
+    // neither admits a periodic per-mode schedule.
+    if member_writes.iter().any(Vec::is_empty) {
         return Err(reject(c));
     }
-    for (k, &m) in members.iter().enumerate() {
-        if aggregate(&graph.nodes[m].writes) != writes {
-            return Err(reject(c));
-        }
-        for &(b, _) in &member_reads[k] {
-            if writes.iter().any(|&(wb, _)| wb == b) {
-                return Err(reject(c)); // self-loop through the shared writes
-            }
-            for prev in &member_reads[..k] {
-                if prev.iter().any(|&(pb, _)| pb == b) {
-                    return Err(reject(c)); // shared read buffer
-                }
+    for reads in &member_reads {
+        for &(b, _) in reads {
+            if member_writes
+                .iter()
+                .any(|w| w.iter().any(|&(wb, _)| wb == b))
+            {
+                return Err(reject(c));
             }
         }
     }
+    // Union-advance applies when the arms share one write list and read
+    // pairwise-disjoint buffers; any other (write-divergent or
+    // read-overlapping) shape is individually consistent per mode and
+    // becomes a mode-dependent cluster.
+    let shared_writes = member_writes.iter().all(|w| *w == writes);
+    let disjoint_reads = member_reads.iter().enumerate().all(|(k, reads)| {
+        reads.iter().all(|&(b, _)| {
+            member_reads[..k]
+                .iter()
+                .all(|prev| !prev.iter().any(|&(pb, _)| pb == b))
+        })
+    });
     Ok(Some(ModalClusterInfo {
         cluster: c as u32,
         members,
         member_reads,
+        member_writes,
         writes,
+        mode_dependent: !(shared_writes && disjoint_reads),
     }))
 }
 
@@ -1207,11 +1903,33 @@ pub fn collapse_modal(graph: &RtGraph, info: &ModalClusterInfo) -> RtGraph {
 const MAX_FUSED_STAGE_TOKENS: u64 = 1 << 20;
 
 /// True when the fusion pass is enabled for [`synthesize`] (default on;
-/// `OIL_RT_FUSION=0` disables it).
+/// `OIL_RT_FUSION=0` disables it, `OIL_RT_FUSION=1` enables it).
+///
+/// Any other value is a **loud error**: a typoed override that silently
+/// fell back to the default would make a fusion-off CI leg silently test
+/// the fusion-on path (the same discipline `OIL_RT_CONFORMANCE` and
+/// `OIL_RT_THREADS` follow).
 pub fn fusion_enabled() -> bool {
-    std::env::var("OIL_RT_FUSION")
-        .map(|v| v != "0")
-        .unwrap_or(true)
+    match std::env::var("OIL_RT_FUSION") {
+        Err(_) => true,
+        Ok(raw) => parse_fusion(&raw),
+    }
+}
+
+/// Parse an `OIL_RT_FUSION` override. Split from [`fusion_enabled`] so the
+/// rejection path is testable without mutating the process environment
+/// (tests run concurrently; `set_var` would race).
+pub fn parse_fusion(raw: &str) -> bool {
+    match raw.trim() {
+        // Set-but-empty behaves as unset (shells produce this easily).
+        "" => true,
+        "0" => false,
+        "1" => true,
+        other => panic!(
+            "OIL_RT_FUSION must be 0 or 1 (or unset), got `{other}` — \
+             refusing to guess which fusion mode you meant"
+        ),
+    }
 }
 
 /// Per buffer: the worker every existing endpoint lives on, when they all
@@ -1608,22 +2326,184 @@ pub fn synthesize(
     workers: usize,
     config: &SynthesisConfig,
 ) -> Result<StaticSchedule, ScheduleError> {
-    synthesize_with(graph, plan, workers, config.fusion)
+    synthesize_impl(
+        graph,
+        plan,
+        workers,
+        config.fusion,
+        config.seam_latency_bound,
+    )
 }
 
-/// [`synthesize`] with the fusion pass explicitly on or off.
+/// [`synthesize`] with the fusion pass explicitly on or off (and no seam
+/// latency bound).
 pub fn synthesize_with(
     graph: &RtGraph,
     plan: &RtPlan,
     workers: usize,
     fuse: bool,
 ) -> Result<StaticSchedule, ScheduleError> {
+    synthesize_impl(graph, plan, workers, fuse, None)
+}
+
+fn synthesize_impl(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    workers: usize,
+    fuse: bool,
+    seam_latency_bound: Option<Rational>,
+) -> Result<StaticSchedule, ScheduleError> {
     // --- 1. Units: uncontested nodes, collapsed uniform clusters, one
     // modal unit for the (single, modal-admissible) non-uniform cluster,
     // sources, sinks — in the self-timed engine's unit order (clusters at
-    // their first member). Non-uniform clusters outside the union-advance
-    // shape reject here.
+    // their first member). Non-uniform clusters outside both admissible
+    // shapes reject here; mode-dependent clusters divert to the per-mode
+    // synthesis.
     let modal = modal_admission(graph, plan)?;
+    if let Some(info) = modal.as_ref().filter(|m| m.mode_dependent) {
+        return synthesize_mode_dependent(graph, plan, workers, info, seam_latency_bound);
+    }
+    let mut units = build_units(graph, plan, modal.as_ref());
+    let access = unit_access(graph, &units);
+
+    // --- Buffer endpoints over units. Collapsing uniform clusters makes
+    // every read buffer single-producer/single-consumer (the contested
+    // endpoints all belonged to one cluster).
+    let (producer_unit, consumer_unit) = buffer_endpoints(graph, &access);
+
+    // --- 2. Repetition vector of the SDF view over units.
+    let active = vec![true; units.len()];
+    let reps = repetition_vector(
+        graph,
+        &access,
+        &producer_unit,
+        &consumer_unit,
+        &active,
+        units.len(),
+    )?;
+    for (u, unit) in units.iter_mut().enumerate() {
+        unit.repetitions = reps[u];
+    }
+    let required: u64 = units.iter().map(|u| u.repetitions).sum();
+    if required > MAX_PERIOD_FIRINGS {
+        return Err(ScheduleError::PeriodTooLong { firings: required });
+    }
+
+    // --- Weakly-connected components over shared buffers.
+    let components = assign_components(&mut units, graph, &producer_unit, &consumer_unit);
+
+    // --- 3. Greedy bursting admission: round-robin over units, firing each
+    // enabled unit as long as tokens and capacities allow. Persistence of
+    // data-driven firing on SPSC graphs guarantees the greedy order
+    // completes whenever any order does.
+    let capacity = engine_capacities(graph);
+    let reps: Vec<u64> = units.iter().map(|u| u.repetitions).collect();
+    let period = greedy_period(graph, &access, &consumer_unit, &capacity, &reps)?;
+
+    // --- 4. Partition units over workers by component, balanced by kernel
+    // cost estimates.
+    let workers = workers.clamp(1, units.len().max(1));
+    let cost: Vec<f64> = units
+        .iter()
+        .map(|u| {
+            let per_firing = match &u.kind {
+                UnitKind::Node(id)
+                | UnitKind::Cluster {
+                    representative: id, ..
+                } => graph.nodes[*id].response.to_f64().max(1e-9),
+                // A modal firing runs whichever arm the script selects;
+                // budget for the worst case.
+                UnitKind::Modal { members } => members
+                    .iter()
+                    .map(|&m| graph.nodes[m].response.to_f64())
+                    .fold(1e-9, f64::max),
+                // Sources and sinks move one token with no kernel work.
+                UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
+            };
+            u.repetitions as f64 * per_firing
+        })
+        .collect();
+    partition_workers(&mut units, &cost, components, workers, &period);
+
+    // --- Worker projections and cross-worker buffers.
+    renumber_workers(&mut units, workers);
+    let worker_count = units.iter().map(|u| u.worker + 1).max().unwrap_or(1);
+    let worker_lists = project_period(&period, &units, worker_count);
+    let cross_buffers: Vec<RtBufferId> = graph
+        .buffers
+        .indices()
+        .filter(|&b| match (producer_unit[b], consumer_unit[b]) {
+            (Some(p), Some(c)) => units[p as usize].worker != units[c as usize].worker,
+            _ => false,
+        })
+        .collect();
+
+    let (fused_workers, fusion, local_level_max) = if fuse {
+        fuse_workers(
+            graph,
+            &access,
+            &units,
+            &producer_unit,
+            &consumer_unit,
+            &worker_lists,
+        )
+    } else {
+        (
+            worker_lists
+                .iter()
+                .map(|w| w.iter().map(|&s| WorkItem::Step(s)).collect())
+                .collect(),
+            FusionStats::default(),
+            engine_capacities(graph)
+                .iter()
+                .map(|&c| c as u64)
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    };
+    let modes = modal.as_ref().map(|m| ModalSchedule {
+        unit: units
+            .iter()
+            .position(|u| matches!(&u.kind, UnitKind::Modal { .. }))
+            .expect("modal admission implies a modal unit") as u32,
+        arms: m.members.clone(),
+        arm_names: m
+            .members
+            .iter()
+            .map(|&n| graph.nodes[n].name.clone())
+            .collect(),
+        dependent: None,
+    });
+    let schedule = StaticSchedule {
+        units,
+        period,
+        workers: worker_lists,
+        components,
+        producer_unit,
+        consumer_unit,
+        cross_buffers,
+        fused_workers,
+        fusion,
+        local_level_max,
+        modes,
+    };
+    // Admission: the schedule is returned only with its validity proven by
+    // exact replay (over both the period and the fused worker lists), and
+    // — for modal schedules — with every (mode, mode') switch seam
+    // re-proven the same way.
+    schedule.validate(graph)?;
+    schedule.validate_transitions(graph)?;
+    Ok(schedule)
+}
+
+/// Step 1 of synthesis: the scheduling units of a graph, in the self-timed
+/// engine's unit order (clusters at their first member, then sources, then
+/// sinks). `modal` marks which cluster becomes the modal unit.
+fn build_units(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    modal: Option<&ModalClusterInfo>,
+) -> Vec<ScheduleUnit> {
     let mut units: Vec<ScheduleUnit> = Vec::new();
     let mut emitted = vec![false; graph.nodes.len()];
     for ni in graph.nodes.indices() {
@@ -1636,7 +2516,7 @@ pub fn synthesize_with(
                 for &m in &members {
                     emitted[m.index()] = true;
                 }
-                if modal.as_ref().is_some_and(|m| m.cluster == cid) {
+                if modal.is_some_and(|m| m.cluster == cid) {
                     UnitKind::Modal { members }
                 } else {
                     UnitKind::Cluster {
@@ -1673,11 +2553,18 @@ pub fn synthesize_with(
             repetitions: 0,
         });
     }
-    let access = unit_access(graph, &units);
+    units
+}
 
-    // --- Buffer endpoints over units. Collapsing uniform clusters makes
-    // every read buffer single-producer/single-consumer (the contested
-    // endpoints all belonged to one cluster).
+/// The buffer-endpoint maps over units (single producer and single
+/// consumer per buffer, by construction).
+fn buffer_endpoints(
+    graph: &RtGraph,
+    access: &[UnitAccess],
+) -> (
+    IndexVec<RtBufferId, Option<u32>>,
+    IndexVec<RtBufferId, Option<u32>>,
+) {
     let n_buffers = graph.buffers.len();
     let mut producer_unit: IndexVec<RtBufferId, Option<u32>> = IndexVec::from_elem(None, n_buffers);
     let mut consumer_unit: IndexVec<RtBufferId, Option<u32>> = IndexVec::from_elem(None, n_buffers);
@@ -1699,15 +2586,32 @@ pub fn synthesize_with(
             consumer_unit[b] = Some(u as u32);
         }
     }
+    (producer_unit, consumer_unit)
+}
 
-    // --- 2. Repetition vector of the SDF view over units.
+/// The repetition vector of the SDF view over the *active* units: gated
+/// units (mode-dependent synthesis gates the off-mode slices of the graph)
+/// get no actor and repetition 0, so the per-mode period simply omits
+/// them. For the uniform path every unit is active and this is exactly the
+/// old step 2.
+fn repetition_vector(
+    graph: &RtGraph,
+    access: &[UnitAccess],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    active: &[bool],
+    n_units: usize,
+) -> Result<Vec<u64>, ScheduleError> {
     let mut sdf = SdfGraph::new();
-    let actors: Vec<_> = (0..units.len())
-        .map(|u| sdf.add_actor(format!("u{u}"), 0.0))
+    let actors: Vec<_> = (0..n_units)
+        .map(|u| active[u].then(|| sdf.add_actor(format!("u{u}"), 0.0)))
         .collect();
     for (bi, buf) in graph.buffers.iter_enumerated() {
         let (Some(p), Some(c)) = (producer_unit[bi], consumer_unit[bi]) else {
             continue; // unread or never-written: no rate constraint
+        };
+        let (Some(pa), Some(ca)) = (actors[p as usize], actors[c as usize]) else {
+            continue; // a gated endpoint: the buffer is idle in this mode
         };
         let prod = access[p as usize]
             .writes
@@ -1722,14 +2626,7 @@ pub fn synthesize_with(
             .map(|&(_, n)| n as u64)
             .unwrap_or(0);
         if prod > 0 && cons > 0 {
-            sdf.add_named_edge(
-                &buf.name,
-                actors[p as usize],
-                actors[c as usize],
-                prod,
-                cons,
-                buf.initial_tokens as u64,
-            );
+            sdf.add_named_edge(&buf.name, pa, ca, prod, cons, buf.initial_tokens as u64);
         }
     }
     let q = sdf
@@ -1737,15 +2634,19 @@ pub fn synthesize_with(
         .map_err(|e| ScheduleError::NoRepetitionVector {
             reason: e.to_string(),
         })?;
-    for (u, unit) in units.iter_mut().enumerate() {
-        unit.repetitions = q[actors[u]];
-    }
-    let required: u64 = units.iter().map(|u| u.repetitions).sum();
-    if required > MAX_PERIOD_FIRINGS {
-        return Err(ScheduleError::PeriodTooLong { firings: required });
-    }
+    Ok((0..n_units)
+        .map(|u| actors[u].map(|a| q[a]).unwrap_or(0))
+        .collect())
+}
 
-    // --- Weakly-connected components over shared buffers.
+/// Weakly-connected components over shared buffers (mutates
+/// `units[..].component`, returns the component count).
+fn assign_components(
+    units: &mut [ScheduleUnit],
+    graph: &RtGraph,
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+) -> u32 {
     let mut uf = oil_dataflow::unionfind::UnionFind::new(units.len());
     for bi in graph.buffers.indices() {
         if let (Some(p), Some(c)) = (producer_unit[bi], consumer_unit[bi]) {
@@ -1758,20 +2659,28 @@ pub fn synthesize_with(
         let next = component_of_root.len() as u32;
         unit.component = *component_of_root.entry(root).or_insert(next);
     }
-    let components = component_of_root.len() as u32;
+    component_of_root.len() as u32
+}
 
-    // --- 3. Greedy bursting admission: round-robin over units, firing each
-    // enabled unit as long as tokens and capacities allow. Persistence of
-    // data-driven firing on SPSC graphs guarantees the greedy order
-    // completes whenever any order does.
-    let capacity = engine_capacities(graph);
+/// Step 3 of synthesis: the greedy bursting admission replay — fire each
+/// enabled unit as often as tokens and CTA-sized capacities allow,
+/// round-robin until every unit has fired its repetition count. Returns
+/// the admitted global firing order (run-length encoded).
+fn greedy_period(
+    graph: &RtGraph,
+    access: &[UnitAccess],
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    capacity: &IndexVec<RtBufferId, usize>,
+    repetitions: &[u64],
+) -> Result<Vec<Step>, ScheduleError> {
+    let required: u64 = repetitions.iter().sum();
     let mut level: IndexVec<RtBufferId, u64> = graph
         .buffers
         .iter()
         .map(|b| b.initial_tokens as u64)
         .collect::<Vec<_>>()
         .into();
-    let mut remaining: Vec<u64> = units.iter().map(|u| u.repetitions).collect();
+    let mut remaining: Vec<u64> = repetitions.to_vec();
     let mut admitted: u64 = 0;
     let mut period: Vec<Step> = Vec::new();
     loop {
@@ -1818,30 +2727,20 @@ pub fn synthesize_with(
             return Err(ScheduleError::Stuck { admitted, required });
         }
     }
+    Ok(period)
+}
 
-    // --- 4. Partition units over workers by component, balanced by kernel
-    // cost estimates.
-    let workers = workers.clamp(1, units.len().max(1));
-    let cost: Vec<f64> = units
-        .iter()
-        .map(|u| {
-            let per_firing = match &u.kind {
-                UnitKind::Node(id)
-                | UnitKind::Cluster {
-                    representative: id, ..
-                } => graph.nodes[*id].response.to_f64().max(1e-9),
-                // A modal firing runs whichever arm the script selects;
-                // budget for the worst case.
-                UnitKind::Modal { members } => members
-                    .iter()
-                    .map(|&m| graph.nodes[m].response.to_f64())
-                    .fold(1e-9, f64::max),
-                // Sources and sinks move one token with no kernel work.
-                UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
-            };
-            u.repetitions as f64 * per_firing
-        })
-        .collect();
+/// Step 4 of synthesis: assign units to workers by weakly-connected
+/// component, balanced by the given per-unit cost estimates (mutates
+/// `units[..].worker`; `period` supplies the dataflow order for contiguous
+/// pipeline cuts).
+fn partition_workers(
+    units: &mut [ScheduleUnit],
+    cost: &[f64],
+    components: u32,
+    workers: usize,
+    period: &[Step],
+) {
     let mut component_units: Vec<Vec<usize>> = vec![Vec::new(); components as usize];
     for (u, unit) in units.iter().enumerate() {
         component_units[unit.component as usize].push(u);
@@ -1934,14 +2833,11 @@ pub fn synthesize_with(
             next_worker += segments;
         }
     }
+}
 
-    // --- Worker projections and cross-worker buffers.
-    let mut worker_lists: Vec<Vec<Step>> = vec![Vec::new(); workers];
-    for step in &period {
-        worker_lists[units[step.unit as usize].worker].push(*step);
-    }
-    // Drop workers that received no units (possible when units < workers
-    // after clamping or a degenerate apportionment), renumbering densely.
+/// Drop workers that received no units (possible when units < workers
+/// after clamping or a degenerate apportionment), renumbering densely.
+fn renumber_workers(units: &mut [ScheduleUnit], workers: usize) {
     let mut used: Vec<usize> = (0..workers)
         .filter(|&w| units.iter().any(|u| u.worker == w))
         .collect();
@@ -1952,9 +2848,270 @@ pub fn synthesize_with(
     for unit in units.iter_mut() {
         unit.worker = *renumber.get(&unit.worker).unwrap_or(&0);
     }
-    let worker_lists: Vec<Vec<Step>> = used
-        .into_iter()
-        .map(|w| std::mem::take(&mut worker_lists[w]))
+}
+
+/// The per-worker projection of a global firing order.
+fn project_period(period: &[Step], units: &[ScheduleUnit], workers: usize) -> Vec<Vec<Step>> {
+    let mut lists: Vec<Vec<Step>> = vec![Vec::new(); workers.max(1)];
+    for step in period {
+        lists[units[step.unit as usize].worker].push(*step);
+    }
+    lists
+}
+
+/// Which units are *active* in one mode of a mode-dependent graph.
+///
+/// The modal unit fires its mode-`mode` member only, so the slices of the
+/// graph that exist purely to feed (or be fed by) the *other* arms make no
+/// progress in this mode — a periodic schedule must gate them, or their
+/// buffers would drift. A unit gates when any buffer it writes has a gated
+/// consumer (or the modal unit not reading it this mode), or any buffer it
+/// reads has a gated producer (or the modal unit not writing it this
+/// mode); the condition propagates to a fixpoint, so gating walks outward
+/// from the modal seam through whole chains (a gated node gates its source
+/// upstream and its sink downstream). Unread buffers never gate their
+/// writer — the engines drop those commits. Because gating is driven
+/// purely by buffer endpoints, both endpoints of any buffer are active in
+/// the same modes, which is what keeps every buffer's level untouched
+/// across its off-modes.
+///
+/// The modal unit itself is never gated; if the fixpoint leaves one of its
+/// mode-`mode` counterparties gated the mode has no periodic schedule at
+/// all and the cluster is rejected.
+fn mode_gating(
+    graph: &RtGraph,
+    units: &[ScheduleUnit],
+    access: &[UnitAccess],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    modal_unit: usize,
+    mode: usize,
+) -> Result<Vec<bool>, ScheduleError> {
+    let touches = |list: &[(RtBufferId, usize)], b: RtBufferId| list.iter().any(|&(lb, _)| lb == b);
+    let mut active = vec![true; units.len()];
+    loop {
+        let mut changed = false;
+        for u in 0..units.len() {
+            if !active[u] || u == modal_unit {
+                continue;
+            }
+            let gated = access[u]
+                .writes
+                .iter()
+                .any(|&(b, _)| match consumer_unit[b] {
+                    None => false,
+                    Some(c) => !active[c as usize] || !touches(&access[c as usize].reads, b),
+                })
+                || access[u]
+                    .reads
+                    .iter()
+                    .any(|&(b, _)| match producer_unit[b] {
+                        None => false,
+                        Some(p) => !active[p as usize] || !touches(&access[p as usize].writes, b),
+                    });
+            if gated {
+                active[u] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for &(b, _) in &access[modal_unit].reads {
+        match producer_unit[b] {
+            Some(p) if active[p as usize] => {}
+            _ => {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {mode}: the modal unit reads buffer `{}` but its \
+                     producer is gated in that mode",
+                    graph.buffers[b].name
+                )))
+            }
+        }
+    }
+    for &(b, _) in &access[modal_unit].writes {
+        if let Some(c) = consumer_unit[b] {
+            if !active[c as usize] {
+                return Err(ScheduleError::Invalid(format!(
+                    "mode {mode}: the modal unit writes buffer `{}` but its \
+                     consumer is gated in that mode",
+                    graph.buffers[b].name
+                )));
+            }
+        }
+    }
+    Ok(active)
+}
+
+/// One mode's repetition vector: gate the off-mode slice, solve the SDF
+/// balance equations over the active units, and insist the modal unit
+/// itself fires (a mode in which it cannot is not a mode).
+fn mode_repetitions(
+    graph: &RtGraph,
+    units: &[ScheduleUnit],
+    access: &[UnitAccess],
+    producer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    modal_unit: usize,
+    mode: usize,
+) -> Result<Vec<u64>, ScheduleError> {
+    let active = mode_gating(
+        graph,
+        units,
+        access,
+        producer_unit,
+        consumer_unit,
+        modal_unit,
+        mode,
+    )?;
+    let reps = repetition_vector(
+        graph,
+        access,
+        producer_unit,
+        consumer_unit,
+        &active,
+        units.len(),
+    )?;
+    if reps[modal_unit] == 0 {
+        return Err(ScheduleError::Invalid(format!(
+            "mode {mode}: the repetition vector fires the modal unit zero times"
+        )));
+    }
+    Ok(reps)
+}
+
+/// Derive the drain/fill transition program for one ordered mode pair: the
+/// firing sequence taking mode `from`'s end-of-period levels to mode
+/// `to`'s entry levels. Every per-mode period is anchored at the graph's
+/// initial levels and proven level-preserving, so both states coincide and
+/// the derived program is empty; the net-flow replay here is the defensive
+/// check that derivation *notices* if a future synthesis breaks that
+/// anchoring instead of silently emitting an unsound empty program.
+fn derive_transition(
+    graph: &RtGraph,
+    access_from: &[UnitAccess],
+    consumer_unit: &IndexVec<RtBufferId, Option<u32>>,
+    period_from: &[Step],
+    from: usize,
+    to: usize,
+) -> Result<Vec<Step>, ScheduleError> {
+    let mut net: IndexVec<RtBufferId, i128> = IndexVec::from_elem(0, graph.buffers.len());
+    for step in period_from {
+        let a = &access_from[step.unit as usize];
+        for &(b, c) in &a.reads {
+            net[b] -= step.times as i128 * c as i128;
+        }
+        for &(b, c) in &a.writes {
+            if consumer_unit[b].is_some() {
+                net[b] += step.times as i128 * c as i128;
+            }
+        }
+    }
+    if let Some(b) = graph
+        .buffers
+        .indices()
+        .find(|&b| consumer_unit[b].is_some() && net[b] != 0)
+    {
+        return Err(ScheduleError::Invalid(format!(
+            "transition {from}->{to}: mode {from}'s period shifts buffer `{}` \
+             by {} tokens, so its end state is not mode {to}'s entry state \
+             and no drain/fill program is derivable",
+            graph.buffers[b].name, net[b]
+        )));
+    }
+    Ok(Vec::new())
+}
+
+/// Per-mode synthesis for a **mode-dependent** modal cluster (see
+/// [`modal_admission`]): one SDF repetition vector, admitted period and
+/// worker projection per mode — each over the mode's active slice of the
+/// graph — plus a drain/fill transition program for every ordered mode
+/// pair and the CTA seam-latency result. One worker partition serves every
+/// mode (balanced by each unit's worst mode), fusion is off (a fused run
+/// compiled against one mode's token flow would be unsound in another),
+/// and the top-level period/workers/repetitions mirror mode 0.
+fn synthesize_mode_dependent(
+    graph: &RtGraph,
+    plan: &RtPlan,
+    workers: usize,
+    info: &ModalClusterInfo,
+    seam_latency_bound: Option<Rational>,
+) -> Result<StaticSchedule, ScheduleError> {
+    let mut units = build_units(graph, plan, Some(info));
+    let support = unit_access(graph, &units);
+    let (producer_unit, consumer_unit) = buffer_endpoints(graph, &support);
+    let modal_unit = units
+        .iter()
+        .position(|u| matches!(u.kind, UnitKind::Modal { .. }))
+        .expect("modal admission implies a modal unit");
+    let n_modes = info.members.len();
+    let capacity = engine_capacities(graph);
+
+    // --- Per mode: gate the off-mode slice, solve the mode's repetition
+    // vector, admit a period by the same greedy bursting replay the
+    // uniform path uses (under the mode's access lists).
+    let mut accesses: Vec<Vec<UnitAccess>> = Vec::with_capacity(n_modes);
+    let mut reps_table: Vec<Vec<u64>> = Vec::with_capacity(n_modes);
+    let mut periods: Vec<Vec<Step>> = Vec::with_capacity(n_modes);
+    for m in 0..n_modes {
+        let access = mode_access(graph, &units, m);
+        let reps = mode_repetitions(
+            graph,
+            &units,
+            &access,
+            &producer_unit,
+            &consumer_unit,
+            modal_unit,
+            m,
+        )?;
+        let required: u64 = reps.iter().sum();
+        if required > MAX_PERIOD_FIRINGS {
+            return Err(ScheduleError::PeriodTooLong { firings: required });
+        }
+        let period = greedy_period(graph, &access, &consumer_unit, &capacity, &reps)?;
+        accesses.push(access);
+        reps_table.push(reps);
+        periods.push(period);
+    }
+    for (u, unit) in units.iter_mut().enumerate() {
+        unit.repetitions = reps_table[0][u];
+    }
+    let components = assign_components(&mut units, graph, &producer_unit, &consumer_unit);
+
+    // --- One worker partition for all modes: balance by each unit's worst
+    // mode (reps × response), cut pipelines in first-firing order across
+    // the concatenated mode periods so units gated in mode 0 still get a
+    // dataflow position.
+    let workers = workers.clamp(1, units.len().max(1));
+    let cost: Vec<f64> = units
+        .iter()
+        .enumerate()
+        .map(|(u, unit)| {
+            (0..n_modes)
+                .map(|m| {
+                    let per_firing = match &unit.kind {
+                        UnitKind::Node(id)
+                        | UnitKind::Cluster {
+                            representative: id, ..
+                        } => graph.nodes[*id].response.to_f64().max(1e-9),
+                        UnitKind::Modal { members } => {
+                            graph.nodes[members[m]].response.to_f64().max(1e-9)
+                        }
+                        UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
+                    };
+                    reps_table[m][u] as f64 * per_firing
+                })
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let order: Vec<Step> = periods.iter().flatten().copied().collect();
+    partition_workers(&mut units, &cost, components, workers, &order);
+    renumber_workers(&mut units, workers);
+    let worker_count = units.iter().map(|u| u.worker + 1).max().unwrap_or(1);
+    let steps: Vec<Vec<Vec<Step>>> = periods
+        .iter()
+        .map(|p| project_period(p, &units, worker_count))
         .collect();
     let cross_buffers: Vec<RtBufferId> = graph
         .buffers
@@ -1965,61 +3122,136 @@ pub fn synthesize_with(
         })
         .collect();
 
-    let (fused_workers, fusion, local_level_max) = if fuse {
-        fuse_workers(
-            graph,
-            &access,
-            &units,
-            &producer_unit,
-            &consumer_unit,
-            &worker_lists,
-        )
-    } else {
-        (
-            worker_lists
-                .iter()
-                .map(|w| w.iter().map(|&s| WorkItem::Step(s)).collect())
-                .collect(),
-            FusionStats::default(),
-            engine_capacities(graph)
-                .iter()
-                .map(|&c| c as u64)
-                .collect::<Vec<_>>()
-                .into(),
-        )
-    };
-    let modes = modal.as_ref().map(|m| ModalSchedule {
-        unit: units
-            .iter()
-            .position(|u| matches!(&u.kind, UnitKind::Modal { .. }))
-            .expect("modal admission implies a modal unit") as u32,
-        arms: m.members.clone(),
-        arm_names: m
-            .members
-            .iter()
-            .map(|&n| graph.nodes[n].name.clone())
-            .collect(),
-    });
-    let schedule = StaticSchedule {
+    // --- Drain/fill transition programs, one per ordered mode pair.
+    let mut transitions: Vec<Vec<Step>> = Vec::with_capacity(n_modes * n_modes);
+    for from in 0..n_modes {
+        for to in 0..n_modes {
+            transitions.push(derive_transition(
+                graph,
+                &accesses[from],
+                &consumer_unit,
+                &periods[from],
+                from,
+                to,
+            )?);
+        }
+    }
+
+    let fused_workers: Vec<Vec<WorkItem>> = steps[0]
+        .iter()
+        .map(|w| w.iter().map(|&s| WorkItem::Step(s)).collect())
+        .collect();
+    let local_level_max: IndexVec<RtBufferId, u64> = capacity
+        .iter()
+        .map(|&c| c as u64)
+        .collect::<Vec<_>>()
+        .into();
+    let mut schedule = StaticSchedule {
+        period: periods[0].clone(),
+        workers: steps[0].clone(),
         units,
-        period,
-        workers: worker_lists,
         components,
         producer_unit,
         consumer_unit,
         cross_buffers,
         fused_workers,
-        fusion,
+        fusion: FusionStats::default(),
         local_level_max,
-        modes,
+        modes: Some(ModalSchedule {
+            unit: modal_unit as u32,
+            arms: info.members.clone(),
+            arm_names: info
+                .members
+                .iter()
+                .map(|&n| graph.nodes[n].name.clone())
+                .collect(),
+            dependent: Some(ModeDependent {
+                reps: reps_table,
+                periods,
+                steps,
+                transitions,
+                seam_latency_max: Rational::ZERO,
+                seam_latency_bound,
+            }),
+        }),
     };
-    // Admission: the schedule is returned only with its validity proven by
-    // exact replay (over both the period and the fused worker lists), and
-    // — for modal schedules — with every (mode, mode') switch seam
-    // re-proven the same way.
+    // --- Record the worst-case seam latency over all ordered pairs. The
+    // per-pair CTA query also enforces the configured bound, so a
+    // violation surfaces here as [`ScheduleError::SeamLatency`].
+    let mut latency_max = Rational::ZERO;
+    for from in 0..n_modes as u32 {
+        for to in 0..n_modes as u32 {
+            let latency = schedule.seam_latency(graph, from, to)?;
+            if latency > latency_max {
+                latency_max = latency;
+            }
+        }
+    }
+    schedule
+        .modes
+        .as_mut()
+        .expect("built above")
+        .dependent
+        .as_mut()
+        .expect("built above")
+        .seam_latency_max = latency_max;
+    // Admission: per-mode validity and every switch seam proven by exact
+    // replay before the schedule is released.
     schedule.validate(graph)?;
     schedule.validate_transitions(graph)?;
     Ok(schedule)
+}
+
+/// The per-mode firing rates of a mode-dependent modal graph, without a
+/// full synthesis: what the scripted self-timed engine needs to resolve a
+/// [`ModeScript`] into a [`ModePlan`] (period lengths and per-period
+/// source/sink token counts). Returns `Ok(None)` for graphs that are not
+/// mode-dependent modal (uniform, no clusters, or union-advance — none of
+/// which need a plan), and the admission error for inadmissible clusters.
+pub fn mode_dependent_rates(
+    graph: &RtGraph,
+    plan: &RtPlan,
+) -> Result<Option<ModeDependentRates>, ScheduleError> {
+    let Some(info) = modal_admission(graph, plan)? else {
+        return Ok(None);
+    };
+    if !info.mode_dependent {
+        return Ok(None);
+    }
+    let units = build_units(graph, plan, Some(&info));
+    let support = unit_access(graph, &units);
+    let (producer_unit, consumer_unit) = buffer_endpoints(graph, &support);
+    let modal_unit = units
+        .iter()
+        .position(|u| matches!(u.kind, UnitKind::Modal { .. }))
+        .expect("modal admission implies a modal unit");
+    let n_modes = info.members.len();
+    let mut rates = ModeDependentRates {
+        modal: vec![0; n_modes],
+        sources: vec![vec![0; graph.sources.len()]; n_modes],
+        sinks: vec![vec![0; graph.sinks.len()]; n_modes],
+    };
+    for m in 0..n_modes {
+        let access = mode_access(graph, &units, m);
+        let reps = mode_repetitions(
+            graph,
+            &units,
+            &access,
+            &producer_unit,
+            &consumer_unit,
+            modal_unit,
+            m,
+        )?;
+        rates.modal[m] = reps[modal_unit];
+        for (u, unit) in units.iter().enumerate() {
+            match unit.kind {
+                UnitKind::Source(id) => rates.sources[m][id.index()] = reps[u],
+                UnitKind::Sink(id) => rates.sinks[m][id.index()] = reps[u],
+                _ => {}
+            }
+        }
+    }
+    Ok(Some(rates))
 }
 
 /// FNV-1a, locally (the compiler crate does not depend on the simulator's
@@ -2200,18 +3432,93 @@ mod tests {
         }
     }
 
-    #[test]
-    fn write_divergent_non_uniform_clusters_are_rejected() {
+    /// The demo with its second twin writing two tokens per firing: the
+    /// arms diverge in write counts, so union-advance no longer applies and
+    /// admission must go mode-dependent.
+    fn write_divergent_demo() -> rtgraph::RtGraph {
         let mut graph = rtgraph::non_uniform_merge_demo();
-        // Break the shared write list: the second twin now produces two
-        // tokens per firing — no union-advance unit exists.
         let n1 = graph.nodes.indices().nth(1).unwrap();
         graph.nodes[n1].writes[0].1 = 2;
+        graph
+    }
+
+    #[test]
+    fn write_divergent_arms_synthesize_per_mode_schedules() {
+        // PR 7 rejected this shape (divergent write lists break the
+        // union-advance argument); per-mode synthesis now admits it with
+        // one repetition vector and period per mode.
+        let graph = write_divergent_demo();
+        let plan = rtgraph::plan(&graph);
+        let s = synthesize(&graph, &plan, 2, &SynthesisConfig::default()).expect("mode-dependent");
+        let modes = s.modes.as_ref().expect("a modal schedule");
+        let dep = modes.dependent.as_ref().expect("mode-dependent tables");
+        // Unit order: modal {n0, n1}, n2, source a, source b, sink. Mode 0
+        // fires n0 (one token into t) and gates source b; mode 1 fires n1
+        // (two tokens into t), so n2 and the sink run twice and source a
+        // gates. Hand-solved balance equations.
+        assert_eq!(dep.reps, vec![vec![1, 1, 1, 0, 1], vec![1, 2, 0, 1, 2]]);
+        // Every per-mode period anchors at the initial levels, so every
+        // derived drain/fill program is empty — and still proven by replay.
+        assert_eq!(dep.transitions.len(), 4);
+        assert!(dep.transitions.iter().all(Vec::is_empty));
+        assert!(dep.seam_latency_max > Rational::ZERO);
+        s.validate(&graph)
+            .expect("per-mode steady state re-validates");
+        s.validate_transitions(&graph)
+            .expect("every (mode, mode') seam re-validates");
+        // The corpus distinguishes modes and seams.
+        assert_ne!(s.digest_mode(0), s.digest_mode(1));
+        assert_ne!(s.digest_transition(0, 1), s.digest_transition(1, 0));
+        // Fusion is structurally off for mode-dependent schedules: the
+        // on/off synthesis results coincide exactly.
+        let off = synthesize_with(&graph, &plan, 2, false).unwrap();
+        let on = synthesize_with(&graph, &plan, 2, true).unwrap();
+        assert_eq!(on, off);
+        assert_eq!(on.fusion, FusionStats::default());
+    }
+
+    #[test]
+    fn shared_read_arms_synthesize_per_mode_schedules() {
+        // The second twin also reads the first twin's input buffer:
+        // overlapping read sets break union-advance (the union would steal
+        // the other arm's tokens) but each mode is individually consistent.
+        let mut graph = rtgraph::non_uniform_merge_demo();
+        let n0 = graph.nodes.indices().next().unwrap();
+        let n1 = graph.nodes.indices().nth(1).unwrap();
+        let shared = graph.nodes[n0].reads[0];
+        graph.nodes[n1].reads.push(shared);
+        let plan = rtgraph::plan(&graph);
+        let info = modal_admission(&graph, &plan).unwrap().expect("modal");
+        assert!(info.mode_dependent);
+        let s = synthesize(&graph, &plan, 2, &SynthesisConfig::default()).expect("mode-dependent");
+        let dep = s.modes.as_ref().unwrap().dependent.as_ref().unwrap();
+        // Mode 1 consumes both inputs, so *no* source gates there; mode 0
+        // still gates source b.
+        assert_eq!(dep.reps[0], vec![1, 1, 1, 0, 1]);
+        assert_eq!(dep.reps[1], vec![1, 1, 1, 1, 1]);
+        s.validate_transitions(&graph).unwrap();
+    }
+
+    #[test]
+    fn arm_reading_a_modal_written_buffer_is_rejected() {
+        // An arm reading a buffer any arm writes stays inadmissible even
+        // under per-mode synthesis: the only producer such a buffer could
+        // have is the modal unit itself, so the reading mode would either
+        // self-loop or starve.
+        let mut graph = rtgraph::non_uniform_merge_demo();
+        let n1 = graph.nodes.indices().nth(1).unwrap();
+        let written = graph.nodes[n1].writes[0].0;
+        graph.nodes[n1].reads.push((written, 1));
         let plan = rtgraph::plan(&graph);
         match synthesize(&graph, &plan, 2, &SynthesisConfig::default()) {
             Err(ScheduleError::NonUniformCluster { cluster, members }) => {
                 assert_eq!(cluster, 0);
-                assert_eq!(members.len(), 2, "member names are reported: {members:?}");
+                // Reading `t` makes it contested, so clustering also pulls
+                // its other consumer in; the reporting names every member.
+                assert!(
+                    members.contains(&graph.nodes[n1].name),
+                    "member names are reported: {members:?}"
+                );
                 let rendered = ScheduleError::NonUniformCluster { cluster, members }.to_string();
                 assert!(
                     rendered.contains(&graph.nodes[n1].name),
@@ -2223,21 +3530,118 @@ mod tests {
     }
 
     #[test]
-    fn shared_read_non_uniform_clusters_are_rejected() {
-        let mut graph = rtgraph::non_uniform_merge_demo();
-        // Make the second twin also read the first twin's input buffer
-        // (while keeping its own): the cluster stays non-uniform but the
-        // read sets overlap, so consuming the union would steal the first
-        // arm's tokens — no per-mode schedule exists.
-        let n0 = graph.nodes.indices().next().unwrap();
-        let n1 = graph.nodes.indices().nth(1).unwrap();
-        let shared = graph.nodes[n0].reads[0];
-        graph.nodes[n1].reads.push(shared);
+    fn seam_latency_bound_is_enforced_per_pair() {
+        let graph = write_divergent_demo();
         let plan = rtgraph::plan(&graph);
-        assert!(matches!(
-            synthesize(&graph, &plan, 2, &SynthesisConfig::default()),
-            Err(ScheduleError::NonUniformCluster { .. })
-        ));
+        let free = synthesize(&graph, &plan, 2, &SynthesisConfig::default()).unwrap();
+        let worst = free
+            .modes
+            .as_ref()
+            .unwrap()
+            .dependent
+            .as_ref()
+            .unwrap()
+            .seam_latency_max;
+        // A bound at exactly the worst seam is feasible (exact rational
+        // arithmetic, no tolerance)...
+        let ok = synthesize(
+            &graph,
+            &plan,
+            2,
+            &SynthesisConfig {
+                seam_latency_bound: Some(worst),
+                ..SynthesisConfig::default()
+            },
+        )
+        .unwrap();
+        let dep = ok.modes.as_ref().unwrap().dependent.as_ref().unwrap();
+        assert_eq!(dep.seam_latency_bound, Some(worst));
+        assert_eq!(dep.seam_latency_max, worst);
+        // ...while any tighter bound is a SeamLatency rejection that names
+        // the violated pair and both figures.
+        let tighter = worst * Rational::new(1, 2);
+        match synthesize(
+            &graph,
+            &plan,
+            2,
+            &SynthesisConfig {
+                seam_latency_bound: Some(tighter),
+                ..SynthesisConfig::default()
+            },
+        ) {
+            Err(ScheduleError::SeamLatency { latency, bound, .. }) => {
+                assert_eq!(bound, tighter);
+                assert!(latency > bound);
+            }
+            other => panic!("expected a SeamLatency rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mode_script_normalizes_switch_points() {
+        // Unsorted entries sort; duplicate firing indices keep the last
+        // entry (later switches win, matching `arm_at`'s "last switch at or
+        // before" semantics).
+        let script = ModeScript::new(0, vec![(5, 2), (3, 1), (5, 9)]);
+        assert_eq!(script.switches, vec![(3, 1), (5, 9)]);
+        assert_eq!(script.arm_at(2), 0);
+        assert_eq!(script.arm_at(3), 1);
+        assert_eq!(script.arm_at(5), 9);
+    }
+
+    #[test]
+    fn mode_script_validates_arm_indices() {
+        assert!(ModeScript::new(0, vec![(3, 1)]).validate_arms(2).is_ok());
+        let bad_initial = ModeScript::new(7, vec![]).validate_arms(2).unwrap_err();
+        assert!(bad_initial.contains("selects arm 7"), "{bad_initial}");
+        let bad_switch = ModeScript::new(0, vec![(3, 2)])
+            .validate_arms(2)
+            .unwrap_err();
+        assert!(bad_switch.contains("arm 2"), "{bad_switch}");
+    }
+
+    #[test]
+    fn plan_mode_sequence_follows_the_script_at_period_boundaries() {
+        let rates = ModeDependentRates {
+            modal: vec![1, 1],
+            sources: vec![vec![1, 0], vec![0, 1]],
+            sinks: vec![vec![1], vec![2]],
+        };
+        // Switch at modal firing 2: two periods of mode 0, then mode 1
+        // until source 1's budget drains.
+        let script = ModeScript::new(0, vec![(2, 1)]);
+        let plan = plan_mode_sequence(&rates, &script, |_| 5);
+        assert_eq!(plan.mode_seq, vec![0, 0, 1, 1, 1, 1, 1]);
+        assert_eq!(plan.mode_switches, 1);
+        assert_eq!(plan.produced, vec![2, 5]);
+        assert_eq!(plan.drained, vec![2 + 5 * 2]);
+        assert_eq!(plan.modal_firings, 7);
+    }
+
+    #[test]
+    fn plan_mode_sequence_past_horizon_never_switches() {
+        // A switch point beyond the run's modal firings executes as the
+        // constant-initial-arm run with zero switches (the satellite-3
+        // regression at the planning layer).
+        let rates = ModeDependentRates {
+            modal: vec![1, 1],
+            sources: vec![vec![1, 0], vec![0, 1]],
+            sinks: vec![vec![1], vec![2]],
+        };
+        let script = ModeScript::new(0, vec![(1_000_000, 1)]);
+        let plan = plan_mode_sequence(&rates, &script, |_| 3);
+        let constant = plan_mode_sequence(&rates, &ModeScript::new(0, vec![]), |_| 3);
+        assert_eq!(plan, constant);
+        assert_eq!(plan.mode_seq, vec![0, 0, 0]);
+        assert_eq!(plan.mode_switches, 0);
+    }
+
+    #[test]
+    fn parse_fusion_accepts_the_documented_values_only() {
+        assert!(parse_fusion(""));
+        assert!(parse_fusion("1"));
+        assert!(!parse_fusion("0"));
+        assert!(std::panic::catch_unwind(|| parse_fusion("yes")).is_err());
     }
 
     #[test]

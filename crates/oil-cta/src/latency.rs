@@ -96,6 +96,68 @@ pub fn check_latency_path(
     dist[to].map(|latency| LatencyReport { from, to, latency })
 }
 
+/// A seam-latency bound violation: the worst-case source-to-sink latency
+/// across a mode-switch seam exceeds the program's latency constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeamLatencyExceeded {
+    /// The actual critical-path latency across the seam, exact.
+    pub latency: Rational,
+    /// The bound it violates.
+    pub bound: Rational,
+}
+
+/// Bound the worst-case source-to-sink latency across a mode-switch seam.
+///
+/// A quasi-static mode switch serializes three phases: drain the outgoing
+/// mode's in-flight period, run the transition program, fill the incoming
+/// mode's first period. Each phase is one `(name, work)` stage — `work` is the
+/// exact total execution time of its firings. The stages become a chain of
+/// CTA components (each stage's output is delayed by its work relative to its
+/// input), the chain is checked by the ordinary consistency machinery, and
+/// the end-to-end latency is the critical path from the first stage's input
+/// to the last stage's output. When `bound` is given, it is added as a
+/// `before` constraint, so a violation surfaces as an inconsistent model —
+/// exact rational arithmetic, no tolerance — and is reported with the actual
+/// latency. Empty `stages` are a caller error.
+pub fn check_seam_latency(
+    stages: &[(&str, Rational)],
+    bound: Option<Rational>,
+) -> Result<LatencyReport, SeamLatencyExceeded> {
+    assert!(!stages.is_empty(), "seam latency needs at least one stage");
+    let mut m = CtaModel::new();
+    let mut first: Option<PortId> = None;
+    let mut prev: Option<PortId> = None;
+    for (name, work) in stages {
+        let comp = m.add_component(*name, None);
+        // Anchor the chain at 1 Hz: the seam is a one-shot event sequence,
+        // so the rate is arbitrary and only the constant delays matter.
+        let input = m.add_required_rate_port(comp, "in", Rational::ONE);
+        let output = m.add_port(comp, "out", None);
+        m.connect(input, output, *work, Rational::ZERO, Rational::ONE);
+        if let Some(p) = prev {
+            m.connect(p, input, Rational::ZERO, Rational::ZERO, Rational::ONE);
+        }
+        first.get_or_insert(input);
+        prev = Some(output);
+    }
+    let (first, last) = (first.unwrap(), prev.unwrap());
+    let result = m
+        .check_consistency()
+        .expect("an acyclic stage chain is always consistent");
+    let report = check_latency_path(&m, &result, first, last)
+        .expect("the last stage is reachable from the first by construction");
+    if let Some(bound) = bound {
+        add_before_constraint(&mut m, last, first, bound);
+        if m.check_consistency().is_err() {
+            return Err(SeamLatencyExceeded {
+                latency: report.latency,
+                bound,
+            });
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +244,24 @@ mod tests {
         add_before_constraint(&mut m, pa, pb, Rational::ZERO);
         let r = m.check_consistency().unwrap();
         assert_eq!(r.offsets[pa], r.offsets[pb]);
+    }
+
+    #[test]
+    fn seam_latency_sums_the_stage_chain() {
+        let stages = [("drain", ms(2)), ("transition", ms(1)), ("fill", ms(3))];
+        let report = check_seam_latency(&stages, None).unwrap();
+        assert_eq!(report.latency, ms(6));
+    }
+
+    #[test]
+    fn seam_latency_bound_is_exact() {
+        let stages = [("drain", ms(2)), ("fill", ms(3))];
+        // A bound exactly equal to the seam work is feasible.
+        assert!(check_seam_latency(&stages, Some(ms(5))).is_ok());
+        // One millisecond tighter is a violation reporting the true latency.
+        let err = check_seam_latency(&stages, Some(ms(4))).unwrap_err();
+        assert_eq!(err.latency, ms(5));
+        assert_eq!(err.bound, ms(4));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod program;
 pub mod rng;
 pub mod topology;
 
-pub use modal::ModalScenario;
+pub use modal::{ModalScenario, ModeDependentScenario};
 pub use program::{gen_ast, Defect, IllFormedProgram, ProgramScenario, Stage, StageShape};
 pub use rng::GenRng;
 pub use topology::{MultiRateScenario, PairScenario, RingScenario};

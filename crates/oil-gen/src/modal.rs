@@ -157,6 +157,166 @@ impl ModalScenario {
     }
 }
 
+/// A generated **mode-dependent** modal workload: arms with *differing*
+/// write counts to the shared `mix` buffer (the shape union-advance
+/// rejects), optionally overlapping on one shared read channel. The
+/// cluster is mode-dependent admissible by construction — synthesis
+/// produces one schedule per mode plus the drain/fill transition protocol
+/// between them (`oil-compiler::schedule::synthesize`).
+///
+/// The generated shape (K arms, rates `r_i`, write counts `w_i`, all
+/// distinct):
+///
+/// ```text
+///  s_0 @ base·r_0 ──► ch_0 ──(r_0)──► arm_0 ─(w_0)┐
+///  s_1 @ base·r_1 ──► ch_1 ──(r_1)──► arm_1 ─(w_1)┤──► mix ─(1)► post ─► out ─► sink @ base
+///  ...                                       ...  ┘
+///  [sh @ base     ──► sh   ──(1)───► every arm]          (overlapping read, seed-dependent)
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModeDependentScenario {
+    /// The seed this scenario is a pure function of.
+    pub seed: u64,
+    /// Arms of the modal cluster.
+    pub arms: usize,
+    /// Per-arm private input rate ratio `r_i`.
+    pub rates: Vec<usize>,
+    /// Per-arm tokens written to `mix` per firing — pairwise distinct, so
+    /// the token flow is mode-dependent.
+    pub write_counts: Vec<usize>,
+    /// Base firing rate of the modal unit (and the sink), in Hz.
+    pub base_hz: u64,
+    /// Whether every arm additionally reads one token from a shared
+    /// channel (reads overlap across arms).
+    pub shared_read: bool,
+    /// Whether each private channel has an extra front node.
+    pub fronted: bool,
+    /// The runtime graph. Its only cluster is non-uniform and
+    /// mode-dependent admissible by construction.
+    pub graph: RtGraph,
+}
+
+impl ModeDependentScenario {
+    /// The scenario for `seed` — deterministic, machine-independent.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = GenRng::new(seed ^ 0x0DA1_5EED_0000_0002);
+        let arms = rng.range(2, 3) as usize;
+        let rates: Vec<usize> = (0..arms).map(|_| rng.range(1, 3) as usize).collect();
+        // Distinct ascending write counts: the defining divergence.
+        let w0 = rng.range(1, 2) as usize;
+        let write_counts: Vec<usize> = (0..arms).map(|i| w0 + i).collect();
+        let base_hz = *rng.pick(&[500u64, 1000, 2000]);
+        let shared_read = rng.chance(1, 2);
+        let fronted = rng.chance(1, 2);
+
+        let mut g = RtGraph::default();
+        let buf = |name: String| RtBuffer {
+            name,
+            capacity: CAPACITY,
+            initial_tokens: 0,
+        };
+        let response = Rational::new(1, 1_000_000);
+        let mix = g.buffers.push(buf("mix".into()));
+        let out = g.buffers.push(buf("out".into()));
+        let sh = shared_read.then(|| {
+            let sh = g.buffers.push(buf("sh".into()));
+            g.sources.push(RtSource {
+                name: "ssh".into(),
+                function: "srcsh".into(),
+                outputs: vec![sh],
+                period: Rational::new(1, base_hz as i128),
+            });
+            sh
+        });
+        for (i, &r) in rates.iter().enumerate() {
+            let ch = g.buffers.push(buf(format!("ch{i}")));
+            let feed = if fronted {
+                let raw = g.buffers.push(buf(format!("raw{i}")));
+                g.nodes.push(RtNode {
+                    name: format!("front{i}"),
+                    function: format!("front{i}"),
+                    response,
+                    reads: vec![(raw, 1)],
+                    writes: vec![(ch, 1)],
+                });
+                raw
+            } else {
+                ch
+            };
+            g.sources.push(RtSource {
+                name: format!("s{i}"),
+                function: format!("src{i}"),
+                outputs: vec![feed],
+                period: Rational::new(1, (base_hz * r as u64) as i128),
+            });
+            let mut reads = vec![(ch, r)];
+            if let Some(sh) = sh {
+                reads.push((sh, 1));
+            }
+            g.nodes.push(RtNode {
+                name: format!("arm{i}"),
+                function: format!("arm{i}"),
+                response,
+                reads,
+                writes: vec![(mix, write_counts[i])],
+            });
+        }
+        g.nodes.push(RtNode {
+            name: "post".into(),
+            function: "post".into(),
+            response,
+            reads: vec![(mix, 1)],
+            writes: vec![(out, 1)],
+        });
+        g.sinks.push(RtSink {
+            name: "sk".into(),
+            function: "snk".into(),
+            input: out,
+            period: Rational::new(1, base_hz as i128),
+        });
+
+        ModeDependentScenario {
+            seed,
+            arms,
+            rates,
+            write_counts,
+            base_hz,
+            shared_read,
+            fronted,
+            graph: g,
+        }
+    }
+
+    /// The adversarial mode scripts the mode-dependent differential
+    /// harness drives this scenario with — the same families as
+    /// [`ModalScenario::adversarial_scripts`] (constants, first-firing and
+    /// back-to-back switches, past-horizon no-ops, one seeded random
+    /// script). Every referenced arm exists: scripts are validated at the
+    /// engine entry points.
+    pub fn adversarial_scripts(&self) -> Vec<ModeScript> {
+        let last = (self.arms - 1) as u32;
+        let mut scripts = vec![
+            ModeScript::default(),
+            ModeScript::new(0, vec![(0, last)]),
+            ModeScript::new(last, vec![(1, 0)]),
+            ModeScript::new(0, vec![(5, 1), (6, last), (7, 0)]),
+            ModeScript::new(0, vec![(13, last)]),
+            ModeScript::new(0, vec![(2, 1), (97, last)]),
+            ModeScript::new(0, vec![(1_000_000, last)]),
+        ];
+        for a in 1..self.arms as u32 {
+            scripts.push(ModeScript::constant(a));
+        }
+        let mut rng = GenRng::new(self.seed ^ 0x5C21_97D3_0DD5_EEE0);
+        let initial = rng.below(self.arms as u64) as u32;
+        let switches: Vec<(u64, u32)> = (0..3)
+            .map(|_| (rng.below(200), rng.below(self.arms as u64) as u32))
+            .collect();
+        scripts.push(ModeScript::new(initial, switches));
+        scripts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +342,38 @@ mod tests {
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
                 .unwrap_or_else(|| panic!("seed {seed}: no modal cluster in the plan"));
             assert_eq!(info.members.len(), s.arms, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mode_dependent_scenarios_are_deterministic_and_dependent_admissible() {
+        for seed in 0..64 {
+            let s = ModeDependentScenario::generate(seed);
+            assert_eq!(s.graph, ModeDependentScenario::generate(seed).graph);
+            // Write counts are pairwise distinct: the union-advance shape
+            // PR 7 rejected, now admitted as mode-dependent.
+            for i in 0..s.arms {
+                for j in i + 1..s.arms {
+                    assert_ne!(s.write_counts[i], s.write_counts[j], "seed {seed}");
+                }
+            }
+            let p = plan(&s.graph);
+            let info = modal_admission(&s.graph, &p)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+                .unwrap_or_else(|| panic!("seed {seed}: no modal cluster in the plan"));
+            assert_eq!(info.members.len(), s.arms, "seed {seed}");
+            assert!(info.mode_dependent, "seed {seed}: expected mode-dependent");
+        }
+    }
+
+    #[test]
+    fn mode_dependent_scripts_only_reference_existing_arms() {
+        for seed in 0..16 {
+            let s = ModeDependentScenario::generate(seed);
+            for sc in s.adversarial_scripts() {
+                sc.validate_arms(s.arms)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
         }
     }
 

@@ -73,9 +73,26 @@ impl Default for RtConfig {
     }
 }
 
-/// The `OIL_RT_THREADS` environment override, if set and parseable.
+/// The `OIL_RT_THREADS` environment override, if set.
+///
+/// A malformed value is a loud panic, not a silent fall-through to the
+/// default: an override that does not apply is worse than no override
+/// (matching the `OIL_RT_CONFORMANCE` / `OIL_RT_FUSION` validation
+/// discipline). Parsing lives in [`parse_threads`] so the rejection path
+/// is testable without mutating the process environment.
 pub fn env_threads() -> Option<usize> {
-    std::env::var("OIL_RT_THREADS").ok()?.trim().parse().ok()
+    std::env::var("OIL_RT_THREADS")
+        .ok()
+        .map(|v| parse_threads(&v))
+}
+
+/// Parse an `OIL_RT_THREADS` value: a base-10 thread count (`0` means
+/// "use the machine's available parallelism", as in [`RtConfig::threads`]).
+/// Anything else panics — see [`env_threads`].
+pub fn parse_threads(raw: &str) -> usize {
+    raw.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("OIL_RT_THREADS must be a thread count (0 = auto), got `{raw}`"))
 }
 
 /// Sample stream collected at one sink.

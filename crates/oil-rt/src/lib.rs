@@ -46,7 +46,7 @@ pub mod ring;
 pub mod selftimed;
 pub mod staticsched;
 
-pub use exec::{env_threads, execute, RtConfig, RtReport, SinkStream};
+pub use exec::{env_threads, execute, parse_threads, RtConfig, RtReport, SinkStream};
 pub use kernel::{Kernel, KernelLibrary, SourceKernel};
 pub use measure::{RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 pub use pool::WorkStealingPool;
@@ -147,8 +147,11 @@ mod tests {
     fn env_threads_parses() {
         // Only checks the parser, not the environment (tests run in
         // parallel; mutating the process environment would race).
-        assert_eq!("3".trim().parse::<usize>().ok(), Some(3));
-        assert!(env_threads().is_none() || env_threads().unwrap() > 0);
+        assert_eq!(parse_threads("3"), 3);
+        assert_eq!(parse_threads(" 0 "), 0);
+        // A malformed override is a loud error, never a silent default.
+        assert!(std::panic::catch_unwind(|| parse_threads("three")).is_err());
+        assert!(std::panic::catch_unwind(|| parse_threads("")).is_err());
     }
 
     #[test]

@@ -61,7 +61,9 @@ use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
-use oil_compiler::schedule::{modal_admission, modal_member_access, ModeScript};
+use oil_compiler::schedule::{
+    modal_admission, mode_dependent_rates, plan_mode_sequence, ModeScript,
+};
 use oil_dataflow::index::Idx;
 use oil_dataflow::taskgraph::ports_satisfied;
 use oil_dataflow::unionfind::UnionFind;
@@ -130,6 +132,11 @@ pub struct SelfTimedReport {
     pub clusters: usize,
     /// Arm changes the mode script performed (0 on unscripted runs).
     pub mode_switches: u64,
+    /// Modal firings spent inside a mode-switch seam — firings whose
+    /// scripted arm differs from the period mode executing them (the old
+    /// mode *draining* its in-flight period). Always 0 for union-advance
+    /// clusters, which switch hot.
+    pub transition_firings: u64,
 }
 
 impl SelfTimedReport {
@@ -205,7 +212,29 @@ enum Unit {
         fired: u64,
         switches: u64,
         last_arm: u32,
+        /// `Some` exactly for a **mode-dependent** cluster: the resolved
+        /// period plan the unit walks instead of union-advance dispatch.
+        dep: Option<ModalDep>,
     },
+}
+
+/// The resolved mode plan a mode-dependent [`Unit::Modal`] walks: each
+/// period fires `period_reps[mode]` modal firings of one mode's arm
+/// (reading only that arm's buffers, writing only that arm's outputs); a
+/// scripted switch takes effect at the next period boundary, and the old
+/// period's trailing firings are counted as transition (drain) firings —
+/// the same protocol the static-order engine replays.
+struct ModalDep {
+    /// Per mode: modal firings per period (the per-mode repetition).
+    period_reps: Vec<u64>,
+    /// The planned mode of every executed period, in order.
+    mode_seq: Vec<u32>,
+    /// Index of the period currently executing.
+    seq_idx: usize,
+    /// Firings remaining in the current period (0 ⇒ the plan is spent).
+    period_left: u64,
+    /// See [`SelfTimedReport::transition_firings`].
+    transition_firings: u64,
 }
 
 /// The buffer plumbing a worker owns: sparse per-buffer endpoint and
@@ -463,7 +492,13 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
             fired,
             switches,
             last_arm,
+            dep,
         } => {
+            if let Some(dep) = dep {
+                return run_modal_dependent(
+                    members, script, fired, switches, last_arm, dep, *batch, w,
+                );
+            }
             let mut any = false;
             for _ in 0..(*batch).max(1) {
                 // Union-advance readiness: every member's aggregated reads
@@ -518,6 +553,78 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
             any
         }
     }
+}
+
+/// Fire a mode-dependent modal unit data-driven against its resolved
+/// period plan (see [`ModalDep`]). Only the current period's arm gates the
+/// firing — its reads must be available and its own writes must have space;
+/// other arms' buffers never block it (they are drained and filled by the
+/// mode sequence itself).
+#[allow(clippy::too_many_arguments)]
+fn run_modal_dependent(
+    members: &mut [NodePart],
+    script: &ModeScript,
+    fired: &mut u64,
+    switches: &mut u64,
+    last_arm: &mut u32,
+    dep: &mut ModalDep,
+    batch: u32,
+    w: &mut WorkerBufs,
+) -> bool {
+    let mut any = false;
+    for _ in 0..batch.max(1) {
+        if dep.period_left == 0 {
+            break; // the plan is spent; source budgets are capped to match
+        }
+        let mode = dep.mode_seq[dep.seq_idx];
+        let ready = {
+            let active = &members[mode as usize];
+            ports_satisfied(&active.reads, |b| w.available_count(b))
+                && ports_satisfied(&active.writes, |b| w.space_count(b))
+        };
+        if !ready {
+            break;
+        }
+        if *last_arm != u32::MAX && mode != *last_arm {
+            *switches += 1;
+        }
+        *last_arm = mode;
+        // A firing whose scripted arm differs from the executing period's
+        // mode belongs to the seam: the old mode draining its in-flight
+        // period before the switch takes effect at the boundary.
+        if script.arm_at(*fired).min(members.len() as u32 - 1) != mode {
+            dep.transition_firings += 1;
+        }
+        w.scratch.clear();
+        for ri in 0..members[mode as usize].reads.len() {
+            let (b, c) = members[mode as usize].reads[ri];
+            let rx = w.cons[b].as_mut().expect("consumer endpoint is owned");
+            for _ in 0..c {
+                w.scratch
+                    .push(rx.pop().expect("occupancy was checked above"));
+            }
+        }
+        let inputs = std::mem::take(&mut w.scratch);
+        let active = &mut members[mode as usize];
+        let outputs = active.kernel.fire(&inputs, active.out_len);
+        w.scratch = inputs;
+        for &(b, c) in &members[mode as usize].writes {
+            for k in 0..c {
+                w.commit(b, outputs.get(k).copied().unwrap_or(0.0));
+            }
+        }
+        members[mode as usize].fired += 1;
+        *fired += 1;
+        dep.period_left -= 1;
+        if dep.period_left == 0 {
+            dep.seq_idx += 1;
+            if dep.seq_idx < dep.mode_seq.len() {
+                dep.period_left = dep.period_reps[dep.mode_seq[dep.seq_idx] as usize];
+            }
+        }
+        any = true;
+    }
+    any
 }
 
 /// What one worker hands back after the run.
@@ -682,6 +789,37 @@ fn execute_inner(
             panic!("scripted self-timed execution requires a modal-admissible graph: {e}")
         })
     });
+    // A malformed script is a caller error surfaced before anything runs,
+    // never a silently clamped arm.
+    if let (Some(script), Some(info)) = (script, modal.as_ref()) {
+        script
+            .validate_arms(info.members.len())
+            .unwrap_or_else(|e| panic!("invalid mode script: {e}"));
+    }
+    // Natural per-source sample budgets: the same horizon the calendar and
+    // the simulator admit (ticks at `period, 2·period, …`, time ≤ duration).
+    let natural_budgets: Vec<u64> = graph
+        .sources
+        .iter()
+        .map(|s| {
+            let period_ps = oil_sim::time::picos_nearest(s.period)
+                .unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
+            duration.checked_div(period_ps).unwrap_or(0)
+        })
+        .collect();
+    // A mode-dependent cluster resolves the script into a period plan up
+    // front: token flow differs per mode, so the engine walks the same
+    // verified mode sequence the static-order engine replays, and source
+    // budgets are capped to the plan's totals (the final period always
+    // runs to completion).
+    let mode_plan = modal.as_ref().filter(|m| m.mode_dependent).map(|_| {
+        let rates = mode_dependent_rates(graph, plan)
+            .expect("modal admission succeeded above")
+            .expect("a mode-dependent cluster has per-mode rates");
+        let script = script.expect("a modal unit is only built when scripted");
+        let seq = plan_mode_sequence(&rates, script, |id| natural_budgets[id.index()]);
+        (rates, seq)
+    });
     let started = Instant::now();
     let n_buffers = graph.buffers.len();
 
@@ -753,17 +891,40 @@ fn execute_inner(
                 let parts: Vec<NodePart> = info
                     .members
                     .iter()
-                    .map(|&m| {
-                        let (reads, _) = modal_member_access(graph, m);
-                        NodePart {
-                            reads: reads.iter().map(|&(b, c)| (b.index(), c)).collect(),
+                    .zip(&info.member_reads)
+                    .zip(&info.member_writes)
+                    .map(|((&m, mr), mw)| {
+                        let mut part = NodePart {
+                            reads: mr.iter().map(|&(b, c)| (b.index(), c)).collect(),
                             writes: Vec::new(),
                             ..make_part(m)
+                        };
+                        if info.mode_dependent {
+                            // Each arm fires against its *own* write list;
+                            // union-advance arms broadcast to the shared
+                            // unit-level list instead.
+                            part.writes = mw.iter().map(|&(b, c)| (b.index(), c)).collect();
+                            part.out_len = part.writes.iter().map(|&(_, c)| c).max().unwrap_or(0);
                         }
+                        part
                     })
                     .collect();
-                let writes: Vec<(usize, usize)> =
-                    info.writes.iter().map(|&(b, c)| (b.index(), c)).collect();
+                // Unit-level writes: the shared list under union-advance;
+                // the union over arms for a mode-dependent cluster (only
+                // used to claim producer endpoints and wire components —
+                // firing uses the active arm's own list).
+                let writes: Vec<(usize, usize)> = if info.mode_dependent {
+                    let mut union: BTreeMap<usize, usize> = BTreeMap::new();
+                    for mw in &info.member_writes {
+                        for &(b, c) in mw {
+                            let e = union.entry(b.index()).or_insert(0);
+                            *e = (*e).max(c);
+                        }
+                    }
+                    union.into_iter().collect()
+                } else {
+                    info.writes.iter().map(|&(b, c)| (b.index(), c)).collect()
+                };
                 let out_len = writes.iter().map(|&(_, c)| c).max().unwrap_or(0);
                 let batch = parts.iter().map(|p| p.batch).max().unwrap_or(1);
                 units.push(Unit::Modal {
@@ -775,6 +936,13 @@ fn execute_inner(
                     fired: 0,
                     switches: 0,
                     last_arm: u32::MAX,
+                    dep: mode_plan.as_ref().map(|(rates, seq)| ModalDep {
+                        period_reps: rates.modal.clone(),
+                        mode_seq: seq.mode_seq.clone(),
+                        seq_idx: 0,
+                        period_left: seq.mode_seq.first().map_or(0, |&m| rates.modal[m as usize]),
+                        transition_firings: 0,
+                    }),
                 });
             }
             Some(cid) => {
@@ -792,11 +960,14 @@ fn execute_inner(
     }
     let mut open_sources = 0usize;
     for (i, s) in graph.sources.iter_enumerated() {
-        let period_ps = oil_sim::time::picos_nearest(s.period)
-            .unwrap_or_else(|e| panic!("period of `{}`: {e}", s.name));
-        // The same sample count the calendar/simulator horizon admits:
-        // ticks at `period, 2·period, …` with `time ≤ duration`.
-        let budget = duration.checked_div(period_ps).unwrap_or(0);
+        // The natural horizon budget — capped to the resolved mode plan's
+        // total when the cluster is mode-dependent (a gated source may
+        // produce less; the completed final period may produce slightly
+        // more).
+        let budget = mode_plan
+            .as_ref()
+            .map(|(_, seq)| seq.produced[i.index()])
+            .unwrap_or(natural_budgets[i.index()]);
         if budget > 0 {
             open_sources += 1;
         }
@@ -933,6 +1104,7 @@ fn execute_inner(
     let mut throughput: Vec<Option<SinkThroughput>> =
         (0..graph.sinks.len()).map(|_| None).collect();
     let mut mode_switches = 0u64;
+    let mut transition_firings = 0u64;
     for out in outs {
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
@@ -973,12 +1145,16 @@ fn execute_inner(
                     });
                 }
                 Unit::Modal {
-                    members, switches, ..
+                    members,
+                    switches,
+                    dep,
+                    ..
                 } => {
                     for p in members {
                         node_firings[p.id.index()].1 = p.fired;
                     }
                     mode_switches += switches;
+                    transition_firings += dep.map_or(0, |d| d.transition_firings);
                 }
             }
         }
@@ -1011,6 +1187,7 @@ fn execute_inner(
         parks: control.parks.load(Ordering::SeqCst),
         clusters: plan.clusters.len(),
         mode_switches,
+        transition_firings,
     }
 }
 

@@ -48,7 +48,8 @@ use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMe
 use crate::ring::{self, Consumer, Producer};
 use oil_compiler::rtgraph::RtGraph;
 use oil_compiler::schedule::{
-    modal_member_access, FusionStats, ModeScript, StaticSchedule, UnitKind, WorkItem,
+    modal_member_access, plan_mode_sequence, FusionStats, ModeScript, StaticSchedule, UnitKind,
+    WorkItem,
 };
 use oil_dataflow::index::Idx;
 use oil_sim::Picos;
@@ -105,10 +106,19 @@ pub struct StaticReport {
     pub cross_buffers: usize,
     /// What the schedule's fusion pass did (zeroes when fusion was off).
     pub fusion: FusionStats,
-    /// Hot mode switches the modal unit executed: firings whose scripted
-    /// arm differed from the previous firing's (0 for non-modal schedules
-    /// and constant scripts).
+    /// Mode switches the modal unit executed: for union-advance schedules,
+    /// firings whose scripted arm differed from the previous firing's (hot
+    /// switches); for mode-dependent schedules, period boundaries where the
+    /// executed mode changed. 0 for non-modal schedules and constant
+    /// scripts.
     pub mode_switches: u64,
+    /// Firings spent crossing mode-switch seams: modal firings whose
+    /// scripted arm differed from the period's executing mode (the drain —
+    /// a switch requested mid-period takes effect at the next period
+    /// boundary) plus every firing of an executed drain/fill transition
+    /// program. Always 0 for union-advance schedules (hot switching needs
+    /// no drain) and non-modal schedules.
+    pub transition_firings: u64,
 }
 
 impl StaticReport {
@@ -241,25 +251,34 @@ enum UnitState {
         values: Vec<f64>,
         meter: ThroughputMeter,
     },
-    /// A modal unit: one arm per cluster member, dispatched per firing by
-    /// the mode script. Every firing pops the union of all members' reads
-    /// in ascending member order (union-advance — the schedule admitted
+    /// A modal unit: one arm per cluster member. Under **union-advance**
+    /// the script dispatches per firing: every firing pops the union of all
+    /// members' reads in ascending member order (the schedule admitted
     /// exactly that token flow for every mode), feeds the active arm's
-    /// slice to its kernel, and pushes the shared write list. Never uses
-    /// the block fast path: the arm may change at any firing boundary.
+    /// slice to its kernel, and pushes the shared write list. Under a
+    /// **mode-dependent** schedule the executed period's mode dispatches
+    /// instead ([`fire_dependent`]): the firing pops and pushes *only* that
+    /// member's access lists. Never uses the block fast path: the arm may
+    /// change at any firing (or period) boundary.
     Modal {
         /// Arms ascending by member node id; `script.arm_at(fired)` picks.
         members: Vec<ModalMember>,
-        /// The shared aggregated write list (identical for every member).
+        /// The shared aggregated write list (identical for every member
+        /// under union-advance; mode-dependent firings use the member's own
+        /// [`ModalMember::writes`]).
         writes: Vec<(usize, usize)>,
         out_len: usize,
         script: ModeScript,
         /// Total modal firings (the script's clock).
         fired: u64,
-        /// Firings whose arm differed from the previous firing's.
+        /// Union-advance: firings whose arm differed from the previous
+        /// firing's. Mode-dependent: period boundaries that changed mode.
         switches: u64,
-        /// Arm of the previous firing (`u32::MAX` before the first).
+        /// Arm (or executed mode) of the previous firing (`u32::MAX` before
+        /// the first).
         last_arm: u32,
+        /// See [`StaticReport::transition_firings`].
+        transition_firings: u64,
     },
 }
 
@@ -272,6 +291,10 @@ struct ModalMember {
     /// ([`modal_member_access`]), shared with synthesis and the scripted
     /// self-timed engine so value layouts agree everywhere.
     reads: Vec<(usize, usize)>,
+    /// This member's aggregated write list (mode-dependent firings push
+    /// exactly this; under union-advance it equals the shared list).
+    writes: Vec<(usize, usize)>,
+    out_len: usize,
     fired: u64,
 }
 
@@ -428,12 +451,31 @@ impl BufIo {
     }
 }
 
+/// This worker's share of a mode-dependent replay: instead of looping one
+/// period list, the worker walks the resolved [`ModePlan`]'s mode sequence
+/// — for each executed period it replays its projection of that mode's
+/// firing list, running its projection of the drain/fill transition
+/// program at every mode boundary.
+///
+/// [`ModePlan`]: oil_compiler::schedule::ModePlan
+struct DepWork {
+    /// The plan's per-period modes, shared by every worker.
+    mode_seq: Arc<Vec<u32>>,
+    /// Per mode: this worker's firing list as `(local unit, times)`.
+    periods: Vec<Vec<(u32, u32)>>,
+    /// Per ordered `(from, to)` pair (row-major): this worker's projection
+    /// of the transition program.
+    transitions: Vec<Vec<(u32, u32)>>,
+}
+
 /// Everything one worker owns for the run.
 struct Worker {
     steps: Vec<CompiledWork>,
     units: Vec<UnitState>,
     io: BufIo,
     max_iters: u64,
+    /// `Some` switches the worker to the mode-dependent replay loop.
+    dep: Option<DepWork>,
     scratch: Vec<f64>,
     /// Reused output buffer for blocked kernel calls; doubles as the second
     /// ping-pong scratch of fused runs.
@@ -449,6 +491,9 @@ struct WorkerOut {
 
 impl Worker {
     fn run(mut self, abort: &AtomicBool) -> WorkerOut {
+        if self.dep.is_some() {
+            return self.run_dependent(abort);
+        }
         let io = &mut self.io;
         let scratch = &mut self.scratch;
         let out_buf = &mut self.out_buf;
@@ -580,6 +625,9 @@ impl Worker {
                         fired,
                         switches,
                         last_arm,
+                        // Union-advance switches hot: no drain/fill, so no
+                        // firing ever belongs to a transition.
+                        transition_firings: _,
                     } => {
                         for _ in 0..step.times {
                             let arm = script.arm_at(*fired).min(members.len() as u32 - 1);
@@ -624,6 +672,149 @@ impl Worker {
             units: self.units,
             recorders: self.io.recorders,
             tokens: self.io.tokens,
+        }
+    }
+
+    /// The mode-dependent replay: walk the plan's mode sequence, replaying
+    /// this worker's projection of each period's firing list — with the
+    /// drain/fill transition program at every mode boundary. Every worker
+    /// walks the same sequence, so cross-worker rings line up exactly as in
+    /// the validated global order.
+    fn run_dependent(mut self, abort: &AtomicBool) -> WorkerOut {
+        let dep = self.dep.take().expect("dependent work");
+        let io = &mut self.io;
+        let scratch = &mut self.scratch;
+        let n_modes = dep.periods.len();
+        let mut prev: Option<u32> = None;
+        for &m in dep.mode_seq.iter() {
+            if let Some(p) = prev {
+                if p != m {
+                    for &(u, times) in &dep.transitions[p as usize * n_modes + m as usize] {
+                        fire_dependent(&mut self.units, io, scratch, u, times, m, true, abort);
+                    }
+                }
+            }
+            for &(u, times) in &dep.periods[m as usize] {
+                fire_dependent(&mut self.units, io, scratch, u, times, m, false, abort);
+            }
+            prev = Some(m);
+        }
+        WorkerOut {
+            units: self.units,
+            recorders: self.io.recorders,
+            tokens: self.io.tokens,
+        }
+    }
+}
+
+/// Fire one unit `times` times inside a mode-dependent replay, with `mode`
+/// the executed period's mode (a transition-program firing carries the
+/// *incoming* mode). The modal unit dispatches the mode's member and moves
+/// only that member's access lists; a firing counts toward
+/// [`StaticReport::transition_firings`] when it belongs to a transition
+/// program or the script has already requested a different arm (the drain
+/// tail of the old period — a mid-period switch point takes effect at the
+/// next period boundary).
+#[allow(clippy::too_many_arguments)]
+fn fire_dependent(
+    units: &mut [UnitState],
+    io: &mut BufIo,
+    scratch: &mut Vec<f64>,
+    unit: u32,
+    times: u32,
+    mode: u32,
+    in_transition: bool,
+    abort: &AtomicBool,
+) {
+    match &mut units[unit as usize] {
+        UnitState::Node {
+            kernel,
+            reads,
+            writes,
+            out_len,
+            fired,
+            ..
+        } => {
+            for _ in 0..times {
+                scratch.clear();
+                for &(b, c) in reads.iter() {
+                    for _ in 0..c {
+                        scratch.push(io.pop(b, abort));
+                    }
+                }
+                let out = kernel.fire(scratch, *out_len);
+                for &(b, c) in writes.iter() {
+                    for k in 0..c {
+                        io.push(b, out.get(k).copied().unwrap_or(0.0), abort);
+                    }
+                }
+            }
+            *fired += times as u64;
+        }
+        UnitState::Source {
+            kernel,
+            outputs,
+            generated,
+            ..
+        } => {
+            for _ in 0..times {
+                let v = kernel.next_sample();
+                for &b in outputs.iter() {
+                    io.push(b, v, abort);
+                }
+            }
+            *generated += times as u64;
+        }
+        UnitState::Sink {
+            input,
+            consumed,
+            values,
+            meter,
+            ..
+        } => {
+            for _ in 0..times {
+                let v = io.pop(*input, abort);
+                *consumed += 1;
+                meter.record();
+                if values.len() < SINK_STREAM_CAP {
+                    values.push(v);
+                }
+            }
+        }
+        UnitState::Modal {
+            members,
+            script,
+            fired,
+            switches,
+            last_arm,
+            transition_firings,
+            ..
+        } => {
+            let arms = members.len() as u32;
+            for _ in 0..times {
+                if *last_arm != u32::MAX && mode != *last_arm {
+                    *switches += 1;
+                }
+                *last_arm = mode;
+                if in_transition || script.arm_at(*fired).min(arms - 1) != mode {
+                    *transition_firings += 1;
+                }
+                let active = &mut members[mode as usize];
+                scratch.clear();
+                for &(b, c) in &active.reads {
+                    for _ in 0..c {
+                        scratch.push(io.pop(b, abort));
+                    }
+                }
+                let out = active.kernel.fire(scratch, active.out_len);
+                for &(b, c) in &active.writes {
+                    for k in 0..c {
+                        io.push(b, out.get(k).copied().unwrap_or(0.0), abort);
+                    }
+                }
+                active.fired += 1;
+                *fired += 1;
+            }
         }
     }
 }
@@ -765,13 +956,26 @@ pub fn execute_staticsched(
     )
 }
 
-/// [`execute_staticsched`] with a scripted mode-change sequence: the modal
-/// unit (if any) consults `script` at every firing and dispatches that
-/// arm's kernel — switching **without draining the pipeline**, because the
-/// schedule's token flow is mode-independent (union-advance) and every
-/// (mode, mode') seam was re-proven by exact replay at synthesis
-/// ([`StaticSchedule::validate_transitions`]). Non-modal schedules ignore
-/// the script.
+/// [`execute_staticsched`] with a scripted mode-change sequence.
+///
+/// For a **union-advance** schedule the modal unit (if any) consults
+/// `script` at every firing and dispatches that arm's kernel — switching
+/// **without draining the pipeline**, because the schedule's token flow is
+/// mode-independent and every (mode, mode') seam was re-proven by exact
+/// replay at synthesis ([`StaticSchedule::validate_transitions`]).
+///
+/// For a **mode-dependent** schedule the script is first resolved into a
+/// [`ModePlan`](oil_compiler::schedule::ModePlan): each executed period
+/// runs one mode's verified firing list, a requested switch takes effect
+/// at the next period boundary (the old period's trailing firings are the
+/// *drain*, reported as [`StaticReport::transition_firings`]), and the
+/// compiler-derived drain/fill transition program runs at every boundary.
+///
+/// Non-modal schedules ignore the script.
+///
+/// # Panics
+/// Panics (loudly, before executing anything) when the script selects an
+/// arm the schedule does not have.
 pub fn execute_staticsched_scripted(
     graph: &RtGraph,
     schedule: &StaticSchedule,
@@ -785,6 +989,11 @@ pub fn execute_staticsched_scripted(
         graph.buffers.len(),
         "schedule/graph mismatch"
     );
+    if let Some(modes) = schedule.modes.as_ref() {
+        script
+            .validate(modes)
+            .unwrap_or_else(|e| panic!("invalid mode script: {e}"));
+    }
     let started = Instant::now();
     let threads = schedule.worker_count();
     let n_buffers = graph.buffers.len();
@@ -800,8 +1009,23 @@ pub fn execute_staticsched_scripted(
             duration.checked_div(period_ps).unwrap_or(0)
         })
         .collect();
-    let component_iters = schedule.covering_iterations(graph, |id| budgets[id.index()]);
-    let iterations = component_iters.iter().copied().max().unwrap_or(0);
+    // A mode-dependent schedule replays the resolved mode plan instead of
+    // a fixed covering-iteration count per component.
+    let dependent = schedule.modes.as_ref().and_then(|m| m.dependent.as_ref());
+    let plan = dependent.map(|dep| {
+        let rates = dep.rates(&schedule.units, graph);
+        plan_mode_sequence(&rates, script, |id| budgets[id.index()])
+    });
+    let mode_seq: Option<Arc<Vec<u32>>> = plan.as_ref().map(|p| Arc::new(p.mode_seq.clone()));
+    let component_iters = if plan.is_none() {
+        schedule.covering_iterations(graph, |id| budgets[id.index()])
+    } else {
+        Vec::new()
+    };
+    let iterations = plan
+        .as_ref()
+        .map(|p| p.mode_seq.len() as u64)
+        .unwrap_or_else(|| component_iters.iter().copied().max().unwrap_or(0));
 
     // --- Per-buffer placement: the worker of each endpoint decides the
     // backing (local deque, cross-worker ring, or record-and-drop).
@@ -929,11 +1153,17 @@ pub fn execute_staticsched_scripted(
                 let arms: Vec<ModalMember> = members
                     .iter()
                     .map(|&m| {
-                        let (reads, _) = modal_member_access(graph, m);
+                        let (reads, member_writes) = modal_member_access(graph, m);
+                        let member_writes: Vec<(usize, usize)> = member_writes
+                            .into_iter()
+                            .map(|(b, c)| (b.index(), c))
+                            .collect();
                         ModalMember {
                             node: m.index(),
                             kernel: lib.instantiate(&graph.nodes[m].function),
                             reads: reads.into_iter().map(|(b, c)| (b.index(), c)).collect(),
+                            out_len: member_writes.iter().map(|&(_, c)| c).max().unwrap_or(0),
+                            writes: member_writes,
                             fired: 0,
                         }
                     })
@@ -949,6 +1179,7 @@ pub fn execute_staticsched_scripted(
                     fired: 0,
                     switches: 0,
                     last_arm: u32::MAX,
+                    transition_firings: 0,
                 }
             }
         };
@@ -983,41 +1214,75 @@ pub fn execute_staticsched_scripted(
             };
             s.times as u64 * width as u64
         };
-        let steps: Vec<CompiledWork> = schedule.fused_workers[w]
-            .iter()
-            .map(|item| match item {
-                WorkItem::Step(s) => {
-                    let unit = &schedule.units[s.unit as usize];
-                    CompiledWork::Step(CompiledStep {
-                        unit: unit_home[s.unit as usize].1,
-                        times: s.times,
-                        iters: component_iters[unit.component as usize],
-                    })
-                }
-                WorkItem::Fused(run) => {
-                    let comp = schedule.units[run.stages[0].unit as usize].component;
-                    let batch = if run.batch {
-                        let widest = run.stages.iter().map(&stage_tokens).max().unwrap_or(1);
-                        (FUSED_BATCH_TOKENS / widest.max(1)).clamp(1, FUSED_BATCH_MAX)
-                    } else {
-                        1
-                    };
-                    CompiledWork::Fused(CompiledFused {
-                        stages: run
-                            .stages
+        // A mode-dependent worker replays the resolved plan instead of a
+        // covering-iteration step list (whose per-component counts do not
+        // exist here): compile the per-mode projections and per-pair
+        // transition programs down to local unit indices.
+        let dep = mode_seq.as_ref().map(|seq| {
+            let d = dependent.expect("a mode plan implies a dependent schedule");
+            DepWork {
+                mode_seq: Arc::clone(seq),
+                periods: d
+                    .steps
+                    .iter()
+                    .map(|per_worker| {
+                        per_worker[w]
                             .iter()
-                            .map(|s| CompiledStage {
-                                unit: unit_home[s.unit as usize].1,
-                                times: s.times,
-                            })
-                            .collect(),
-                        links: run.links.iter().map(|b| b.index()).collect(),
-                        iters: component_iters[comp as usize],
-                        batch,
+                            .map(|s| (unit_home[s.unit as usize].1, s.times))
+                            .collect()
                     })
-                }
-            })
-            .collect();
+                    .collect(),
+                transitions: d
+                    .transitions
+                    .iter()
+                    .map(|t| {
+                        t.iter()
+                            .filter(|s| schedule.units[s.unit as usize].worker == w)
+                            .map(|s| (unit_home[s.unit as usize].1, s.times))
+                            .collect()
+                    })
+                    .collect(),
+            }
+        });
+        let steps: Vec<CompiledWork> = if dep.is_some() {
+            Vec::new()
+        } else {
+            schedule.fused_workers[w]
+                .iter()
+                .map(|item| match item {
+                    WorkItem::Step(s) => {
+                        let unit = &schedule.units[s.unit as usize];
+                        CompiledWork::Step(CompiledStep {
+                            unit: unit_home[s.unit as usize].1,
+                            times: s.times,
+                            iters: component_iters[unit.component as usize],
+                        })
+                    }
+                    WorkItem::Fused(run) => {
+                        let comp = schedule.units[run.stages[0].unit as usize].component;
+                        let batch = if run.batch {
+                            let widest = run.stages.iter().map(&stage_tokens).max().unwrap_or(1);
+                            (FUSED_BATCH_TOKENS / widest.max(1)).clamp(1, FUSED_BATCH_MAX)
+                        } else {
+                            1
+                        };
+                        CompiledWork::Fused(CompiledFused {
+                            stages: run
+                                .stages
+                                .iter()
+                                .map(|s| CompiledStage {
+                                    unit: unit_home[s.unit as usize].1,
+                                    times: s.times,
+                                })
+                                .collect(),
+                            links: run.links.iter().map(|b| b.index()).collect(),
+                            iters: component_iters[comp as usize],
+                            batch,
+                        })
+                    }
+                })
+                .collect()
+        };
         let max_iters = steps
             .iter()
             .map(|s| match s {
@@ -1036,6 +1301,7 @@ pub fn execute_staticsched_scripted(
                 tokens: 0,
             },
             max_iters,
+            dep,
             scratch: Vec::new(),
             out_buf: Vec::new(),
         });
@@ -1090,6 +1356,7 @@ pub fn execute_staticsched_scripted(
     let mut throughput: Vec<Option<SinkThroughput>> =
         (0..graph.sinks.len()).map(|_| None).collect();
     let mut mode_switches = 0u64;
+    let mut transition_firings = 0u64;
     for out in outs {
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
@@ -1126,12 +1393,16 @@ pub fn execute_staticsched_scripted(
                     });
                 }
                 UnitState::Modal {
-                    members, switches, ..
+                    members,
+                    switches,
+                    transition_firings: tf,
+                    ..
                 } => {
                     for m in members {
                         node_firings[m.node].1 = m.fired;
                     }
                     mode_switches += switches;
+                    transition_firings += tf;
                 }
             }
         }
@@ -1164,6 +1435,7 @@ pub fn execute_staticsched_scripted(
         cross_buffers: schedule.cross_buffers.len(),
         fusion: schedule.fusion,
         mode_switches,
+        transition_firings,
     }
 }
 

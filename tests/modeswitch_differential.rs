@@ -6,7 +6,12 @@
 //! token flow is mode-independent (union-advance: disjoint per-arm reads,
 //! one shared write list) and synthesizes per-mode schedules whose
 //! transitions are proven by exact integer replay across the switch seam
-//! for every (mode, mode') pair. `oil-rt` then executes the same dispatch
+//! for every (mode, mode') pair. Clusters whose token flow is
+//! **mode-dependent** (arms with differing write counts, overlapping
+//! reads) get one repetition vector and firing order *per mode* plus a
+//! verified drain/fill transition protocol; the dependent legs below hold
+//! both engines to the same resolved mode plan, seam accounting included
+//! (`mode_switches`, `transition_firings`). `oil-rt` then executes the same dispatch
 //! in two unrelated ways — the static-order engine replays compiled firing
 //! lists, the self-timed engine fires data-driven — and this harness holds
 //! them to bit-identical value streams under adversarial mode scripts:
@@ -30,10 +35,10 @@ use oil::compiler::schedule::{
     collapse_modal, modal_admission, synthesize, synthesize_with, ModeScript, ScheduleError,
     StaticSchedule, SynthesisConfig,
 };
-use oil::gen::ModalScenario;
+use oil::gen::{ModalScenario, ModeDependentScenario};
 use oil::rt::{
     execute, execute_selftimed, execute_selftimed_scripted, execute_staticsched_scripted,
-    KernelLibrary, RtConfig, SelfTimedConfig, StaticConfig, StaticReport,
+    KernelLibrary, RtConfig, SelfTimedConfig, SelfTimedReport, StaticConfig, StaticReport,
 };
 use oil::sim::{build_simulation_from_graph, picos, SimulationConfig};
 
@@ -286,17 +291,19 @@ fn transitions_are_admitted_for_every_mode_pair() {
 
 #[test]
 fn rejected_programs_fall_back_to_selftimed_and_say_so() {
-    // A write-divergent non-uniform cluster is NOT modal-admissible: the
-    // merge order is data-dependent and synthesis must still reject it —
-    // naming the members — and the caller must fall back to the self-timed
-    // engine *and report the engine actually used* (the silent-fallback
-    // bug this PR fixes; oil-bench now fails its smoke run on it).
+    // Write-divergent clusters are mode-dependent admissible since this
+    // PR; the shape that remains inadmissible is an arm *reading* a buffer
+    // some arm writes — the merge order is then data-dependent and
+    // synthesis must still reject it, naming the members, and the caller
+    // must fall back to the self-timed engine *and report the engine
+    // actually used* (oil-bench fails its smoke run on a silent fallback).
     let mut graph = rtgraph::non_uniform_merge_demo();
     let n1 = graph.nodes.indices().nth(1).expect("demo has three nodes");
-    graph.nodes[n1].writes[0].1 = 2;
+    let t = graph.nodes[n1].writes[0].0;
+    graph.nodes[n1].reads.push((t, 1));
     let plan = rtgraph::plan(&graph);
     let err = synthesize(&graph, &plan, 2, &SynthesisConfig::from_env())
-        .expect_err("write-divergent clusters admit no per-mode schedules");
+        .expect_err("an arm reading a modal-written buffer admits no per-mode schedules");
     match &err {
         ScheduleError::NonUniformCluster { members, .. } => {
             assert!(
@@ -337,4 +344,186 @@ fn rejected_programs_fall_back_to_selftimed_and_say_so() {
         engine_actual, requested,
         "this divergence is exactly what BENCH_runtime.json rows now record"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Mode-dependent token flow: per-mode repetition vectors + drain/fill seams.
+// ---------------------------------------------------------------------------
+
+fn dependent_seeds() -> u64 {
+    if stress() {
+        32
+    } else {
+        16
+    }
+}
+
+/// The family's adversarial scripts plus one script per ordered mode pair,
+/// so every (from, to) seam is crossed mid-horizon by at least one run.
+fn dependent_scripts(scenario: &ModeDependentScenario) -> Vec<ModeScript> {
+    let mut scripts = scenario.adversarial_scripts();
+    for from in 0..scenario.arms as u32 {
+        for to in 0..scenario.arms as u32 {
+            if from != to {
+                scripts.push(ModeScript::new(from, vec![(7, to)]));
+            }
+        }
+    }
+    scripts
+}
+
+fn scripted_selftimed_run(
+    graph: &rtgraph::RtGraph,
+    plan: &rtgraph::RtPlan,
+    script: &ModeScript,
+) -> SelfTimedReport {
+    execute_selftimed_scripted(
+        graph,
+        plan,
+        &KernelLibrary::new(),
+        picos(DURATION_S),
+        &SelfTimedConfig {
+            threads: 1,
+            warmup_samples: 4,
+            ..SelfTimedConfig::default()
+        },
+        script,
+    )
+}
+
+#[test]
+fn mode_dependent_static_replay_matches_scripted_selftimed() {
+    // The tentpole differential: arms with differing write counts (the
+    // shape PR 7 rejected) synthesize one schedule per mode plus verified
+    // drain/fill transitions, and the static replay of that plan is
+    // bit-identical to the data-driven scripted self-timed engine — at
+    // 1/2/4 workers, fusion on and off, across every ordered mode pair.
+    let mut seam_crossings = 0u64;
+    for seed in 0..dependent_seeds() {
+        let scenario = ModeDependentScenario::generate(seed);
+        let graph = &scenario.graph;
+        let plan = rtgraph::plan(graph);
+        let schedules: Vec<(usize, bool, StaticSchedule)> = WORKERS
+            .iter()
+            .flat_map(|&w| [(w, true), (w, false)])
+            .map(|(w, fusion)| {
+                let s = synthesize_with(graph, &plan, w, fusion).unwrap_or_else(|e| {
+                    panic!("seed {seed}: mode-dependent synthesis at {w} workers: {e}")
+                });
+                let modes = s.modes.as_ref().unwrap_or_else(|| {
+                    panic!("seed {seed}: dependent cluster got no modal schedule")
+                });
+                assert!(
+                    modes.dependent.is_some(),
+                    "seed {seed}: divergent write counts must synthesize per-mode schedules"
+                );
+                s.validate_transitions(graph).unwrap_or_else(|e| {
+                    panic!("seed {seed} at {w} workers: transition admission failed: {e}")
+                });
+                (w, fusion, s)
+            })
+            .collect();
+        for script in dependent_scripts(&scenario) {
+            let reference = scripted_selftimed_run(graph, &plan, &script);
+            assert!(
+                !reference.deadlocked,
+                "seed {seed}: scripted self-timed reference deadlocked under {script:?}"
+            );
+            seam_crossings += reference.mode_switches;
+            for (w, fusion, schedule) in &schedules {
+                let report = scripted_static_run(graph, schedule, &script);
+                if let Some(d) = reference.values.prefix_divergence(&report.values) {
+                    panic!(
+                        "seed {seed}: scripted self-timed streams are not a prefix of the \
+                         mode-dependent static replay at {w} worker(s), fusion={fusion}, \
+                         under {script:?}: {d}\n\
+                         reproduce with ModeDependentScenario::generate({seed})"
+                    );
+                }
+                for (dy, st) in reference.sinks.iter().zip(&report.sinks) {
+                    let shared = dy.values.len().min(st.values.len());
+                    assert_eq!(
+                        dy.values[..shared],
+                        st.values[..shared],
+                        "seed {seed}: sink `{}` diverges at {w} worker(s), fusion={fusion}, \
+                         under {script:?}",
+                        dy.name
+                    );
+                }
+                // Both engines walk the same resolved mode plan, so the
+                // switch count and the seam accounting agree exactly.
+                assert_eq!(
+                    report.mode_switches, reference.mode_switches,
+                    "seed {seed}: mode switches diverge at {w} worker(s) under {script:?}"
+                );
+                assert_eq!(
+                    report.transition_firings, reference.transition_firings,
+                    "seed {seed}: transition firings diverge at {w} worker(s) under {script:?}"
+                );
+                assert_eq!(report.node_firings, reference.node_firings, "seed {seed}");
+                assert_eq!(report.sources, reference.sources, "seed {seed}");
+            }
+        }
+    }
+    assert!(
+        seam_crossings > 0,
+        "no script ever crossed a mode seam — the differential would be vacuous"
+    );
+}
+
+#[test]
+fn past_horizon_switches_are_no_ops_on_both_engines() {
+    // `ModeScript::new(0, vec![(1_000_000, last)])` never reaches its
+    // switch point inside the horizon: both engines must report
+    // `mode_switches == 0` and stream bit-identical to the constant
+    // initial-arm script — for union-advance *and* mode-dependent
+    // clusters.
+    let cases: Vec<(String, rtgraph::RtGraph, usize)> = (0..4)
+        .flat_map(|seed| {
+            let ua = ModalScenario::generate(seed);
+            let dep = ModeDependentScenario::generate(seed);
+            [
+                (
+                    format!("ModalScenario::generate({seed})"),
+                    ua.graph,
+                    ua.arms,
+                ),
+                (
+                    format!("ModeDependentScenario::generate({seed})"),
+                    dep.graph,
+                    dep.arms,
+                ),
+            ]
+        })
+        .collect();
+    for (label, graph, arms) in &cases {
+        let plan = rtgraph::plan(graph);
+        let last = (*arms - 1) as u32;
+        let ghost = ModeScript::new(0, vec![(1_000_000, last)]);
+        let constant = ModeScript::constant(0);
+
+        let st_ghost = scripted_selftimed_run(graph, &plan, &ghost);
+        let st_const = scripted_selftimed_run(graph, &plan, &constant);
+        assert_eq!(st_ghost.mode_switches, 0, "{label}: self-timed switched");
+        assert_eq!(st_ghost.transition_firings, 0, "{label}");
+        assert_eq!(
+            st_ghost.values.first_divergence(&st_const.values),
+            None,
+            "{label}: a past-horizon switch changed the self-timed streams"
+        );
+        assert_eq!(st_ghost.node_firings, st_const.node_firings, "{label}");
+
+        let schedule = synthesize(graph, &plan, 2, &SynthesisConfig::from_env())
+            .unwrap_or_else(|e| panic!("{label}: synthesis failed: {e}"));
+        let sr_ghost = scripted_static_run(graph, &schedule, &ghost);
+        let sr_const = scripted_static_run(graph, &schedule, &constant);
+        assert_eq!(sr_ghost.mode_switches, 0, "{label}: static replay switched");
+        assert_eq!(sr_ghost.transition_firings, 0, "{label}");
+        assert_eq!(
+            sr_ghost.values.first_divergence(&sr_const.values),
+            None,
+            "{label}: a past-horizon switch changed the static streams"
+        );
+        assert_eq!(sr_ghost.node_firings, sr_const.node_firings, "{label}");
+    }
 }

@@ -400,6 +400,47 @@ fn modal_corpus_digests(seed: u64) -> Vec<String> {
     out
 }
 
+/// Mode-dependent corpus slice: whole-schedule, per-mode and per-ordered-
+/// pair transition digests of `ModeDependentScenario::generate(seed)`,
+/// pinned as `D<seed>` lines — whole schedule at 1 and 2 workers, one
+/// `m…` digest per mode at 2 workers, then one `t…` digest per ordered
+/// mode pair (row-major, `from * modes + to`, diagonal skipped).
+const DEPENDENT_CORPUS_SEEDS: u64 = 16;
+
+fn dependent_corpus_digests(seed: u64) -> Vec<String> {
+    let scenario = oil::gen::ModeDependentScenario::generate(seed);
+    let plan = rtgraph::plan(&scenario.graph);
+    let synth = |w: usize| {
+        synthesize_with(&scenario.graph, &plan, w, true)
+            .unwrap_or_else(|e| panic!("dependent seed {seed} at {w} workers: {e}"))
+    };
+    let s1 = synth(1);
+    let s2 = synth(2);
+    let modes = s2.modes.as_ref().unwrap_or_else(|| {
+        panic!("dependent seed {seed}: synthesis produced no per-mode schedules")
+    });
+    assert!(
+        modes.dependent.is_some(),
+        "dependent seed {seed}: expected mode-dependent synthesis"
+    );
+    let n = modes.arms.len() as u32;
+    let mut out = vec![
+        format!("{:016x}", s1.digest()),
+        format!("{:016x}", s2.digest()),
+    ];
+    for mode in 0..n {
+        out.push(format!("m{:016x}", s2.digest_mode(mode)));
+    }
+    for from in 0..n {
+        for to in 0..n {
+            if from != to {
+                out.push(format!("t{:016x}", s2.digest_transition(from, to)));
+            }
+        }
+    }
+    out
+}
+
 #[test]
 fn corpus_digests_pin_the_synthesised_schedules() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(CORPUS_PATH);
@@ -407,6 +448,8 @@ fn corpus_digests_pin_the_synthesised_schedules() {
         let mut out = String::from(
             "# Fixed-seed schedule-digest corpus: `<seed> <digest@1w> <digest@2w> | rejected` per line.\n\
              # Modal lines: `M<seed> <digest@1w> <digest@2w> m<arm0@2w> m<arm1@2w> …` (per-mode digests).\n\
+             # Mode-dependent lines: `D<seed> <digest@1w> <digest@2w> m<mode…@2w> … t<from,to…@2w> …`\n\
+             # (per-mode digests, then per-ordered-pair transition digests, row-major, diagonal skipped).\n\
              # Generated by OIL_UPDATE_SCHEDULE_CORPUS=1 cargo test --test staticsched_differential corpus\n",
         );
         for seed in 0..CORPUS_SEEDS {
@@ -419,6 +462,12 @@ fn corpus_digests_pin_the_synthesised_schedules() {
             out.push_str(&format!(
                 "M{seed} {}\n",
                 modal_corpus_digests(seed).join(" ")
+            ));
+        }
+        for seed in 0..DEPENDENT_CORPUS_SEEDS {
+            out.push_str(&format!(
+                "D{seed} {}\n",
+                dependent_corpus_digests(seed).join(" ")
             ));
         }
         std::fs::write(&path, out).expect("writing the schedule corpus file");
@@ -437,7 +486,10 @@ fn corpus_digests_pin_the_synthesised_schedules() {
         let mut parts = line.split_whitespace();
         let tag = parts.next().expect("seed");
         let expected: Vec<&str> = parts.collect();
-        let actual_strs = if let Some(mseed) = tag.strip_prefix('M') {
+        let actual_strs = if let Some(dseed) = tag.strip_prefix('D') {
+            let seed: u64 = dseed.parse().expect("dependent corpus seed");
+            dependent_corpus_digests(seed)
+        } else if let Some(mseed) = tag.strip_prefix('M') {
             let seed: u64 = mseed.parse().expect("modal corpus seed");
             modal_corpus_digests(seed)
         } else {
@@ -455,7 +507,7 @@ fn corpus_digests_pin_the_synthesised_schedules() {
         pinned += 1;
     }
     assert!(
-        pinned >= 32 + MODAL_CORPUS_SEEDS as u32,
+        pinned >= 32 + (MODAL_CORPUS_SEEDS + DEPENDENT_CORPUS_SEEDS) as u32,
         "schedule corpus too small: {pinned} pinned seeds"
     );
 }
