@@ -30,7 +30,7 @@
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under **schema v6**: one record per (workload, engine_mode,
+//! root under **schema v7**: one record per (workload, engine_mode,
 //! threads), each carrying the host parallelism measured *at that row's
 //! execution* (`std::thread::available_parallelism()` can change under
 //! cgroup pressure mid-run), a `"degraded": true` flag whenever
@@ -38,9 +38,14 @@
 //! host are never silently mistaken for parallel scaling — the
 //! schedule-fusion counters of the static-order rows (`runs_fused`,
 //! `rings_elided`, `fused_chain_len_max`; zero on the other engines),
-//! `engine_actual` (v5): the engine that really produced the row, and
-//! (new in v6) `transition_firings`: modal firings spent draining a
-//! mode-switch seam (0 on non-modal and union-advance workloads).
+//! `engine_actual` (v5): the engine that really produced the row,
+//! `transition_firings` (v6): modal firings spent draining a mode-switch
+//! seam (0 on non-modal and union-advance workloads), and (new in v7) the
+//! runtime-trace telemetry of each row — `park_count`,
+//! `ring_highwater_max`, `backpressure_wait_ns`,
+//! `seam_latency_observed_ns` — populated when `OIL_RT_TRACE=1` enables
+//! the tracer and 0 otherwise (except `park_count`, which the self-timed
+//! engine counts unconditionally).
 //! A requested staticsched row whose synthesis is rejected falls back to
 //! selftimed **loudly** — `engine_actual` records it, a `FALLBACK:` line is
 //! printed, and the smoke run fails — never a mislabelled number.
@@ -56,8 +61,8 @@ use oil_compiler::{compile, schedule, CompilerOptions};
 use oil_dsp::{Decimator, FirFilter, Mixer, RationalResampler};
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
 use oil_rt::{
-    execute, execute_selftimed, execute_staticsched, Kernel, KernelLibrary, RtConfig,
-    SelfTimedConfig, StaticConfig,
+    env_trace, execute, execute_selftimed, execute_staticsched, Kernel, KernelLibrary, RtConfig,
+    SelfTimedConfig, StaticConfig, TraceReport,
 };
 use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
 use std::fmt::Write as _;
@@ -83,10 +88,31 @@ struct Row {
     /// Modal firings spent draining a mode-switch seam (schema v6; 0 for
     /// non-modal workloads and for engines without seam accounting).
     transition_firings: u64,
+    /// Runtime-trace telemetry (schema v7): condvar + ring parks. 0 with
+    /// tracing off, except on selftimed rows (counted unconditionally).
+    park_count: u64,
+    /// Highest ring occupancy observed after a push (0 with tracing off).
+    ring_highwater_max: usize,
+    /// Nanoseconds blocked on ring backpressure (0 with tracing off).
+    backpressure_wait_ns: u64,
+    /// Longest observed mode-switch seam span (0 with tracing off).
+    seam_latency_observed_ns: u64,
 }
 
 fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The v7 telemetry quadruple of a row, all zeros when tracing is off.
+fn trace_fields(tr: Option<&TraceReport>) -> (u64, usize, u64, u64) {
+    tr.map_or((0, 0, 0, 0), |t| {
+        (
+            t.park_count(),
+            t.ring_highwater_max(),
+            t.backpressure_wait_ns(),
+            t.seam_latency_observed_ns(),
+        )
+    })
 }
 
 fn pal_graph() -> RtGraph {
@@ -178,6 +204,7 @@ fn bench_workload(
     lib: &KernelLibrary,
     virtual_s: f64,
     synth: &SynthesisConfig,
+    trace: bool,
 ) {
     // Simulator floor (token origins only, no kernels, no trace recording).
     let mut net = build_simulation_from_graph(graph);
@@ -205,6 +232,10 @@ fn bench_workload(
         host_parallelism: host_parallelism(),
         fusion: FusionStats::default(),
         transition_firings: 0,
+        park_count: 0,
+        ring_highwater_max: 0,
+        backpressure_wait_ns: 0,
+        seam_latency_observed_ns: 0,
     });
 
     for threads in THREAD_SWEEP {
@@ -217,12 +248,15 @@ fn bench_workload(
                 warmup_ticks: 64,
                 record_traces: false,
                 record_values: false,
+                trace,
             },
         );
         assert!(
             report.meets_real_time_constraints(),
             "{workload}: calendar engine missed constraints at {threads} threads"
         );
+        let (park_count, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
+            trace_fields(report.trace_report.as_ref());
         rows.push(Row {
             workload,
             engine_mode: "calendar",
@@ -235,6 +269,10 @@ fn bench_workload(
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
             transition_firings: 0,
+            park_count,
+            ring_highwater_max,
+            backpressure_wait_ns,
+            seam_latency_observed_ns,
         });
     }
 
@@ -248,6 +286,7 @@ fn bench_workload(
             &SelfTimedConfig {
                 threads,
                 record_values: false,
+                trace,
                 ..SelfTimedConfig::default()
             },
         );
@@ -255,6 +294,8 @@ fn bench_workload(
             !report.deadlocked,
             "{workload}: self-timed engine deadlocked at {threads} threads"
         );
+        let (_, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
+            trace_fields(report.trace_report.as_ref());
         rows.push(Row {
             workload,
             engine_mode: "selftimed",
@@ -267,6 +308,11 @@ fn bench_workload(
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
             transition_firings: 0,
+            // The self-timed engine counts parks unconditionally.
+            park_count: report.parks,
+            ring_highwater_max,
+            backpressure_wait_ns,
+            seam_latency_observed_ns,
         });
     }
 
@@ -280,9 +326,16 @@ fn bench_workload(
                     picos(virtual_s),
                     &StaticConfig {
                         record_values: false,
+                        trace,
                         ..StaticConfig::default()
                     },
                 );
+                let (
+                    park_count,
+                    ring_highwater_max,
+                    backpressure_wait_ns,
+                    seam_latency_observed_ns,
+                ) = trace_fields(report.trace_report.as_ref());
                 rows.push(Row {
                     workload,
                     engine_mode: "staticsched",
@@ -295,6 +348,10 @@ fn bench_workload(
                     host_parallelism: host_parallelism(),
                     fusion: report.fusion,
                     transition_firings: report.transition_firings,
+                    park_count,
+                    ring_highwater_max,
+                    backpressure_wait_ns,
+                    seam_latency_observed_ns,
                 });
             }
             Err(e @ ScheduleError::NonUniformCluster { .. }) => {
@@ -313,9 +370,12 @@ fn bench_workload(
                     &SelfTimedConfig {
                         threads: workers,
                         record_values: false,
+                        trace,
                         ..SelfTimedConfig::default()
                     },
                 );
+                let (_, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
+                    trace_fields(report.trace_report.as_ref());
                 rows.push(Row {
                     workload,
                     engine_mode: "staticsched",
@@ -328,6 +388,10 @@ fn bench_workload(
                     host_parallelism: host_parallelism(),
                     fusion: FusionStats::default(),
                     transition_firings: report.transition_firings,
+                    park_count: report.parks,
+                    ring_highwater_max,
+                    backpressure_wait_ns,
+                    seam_latency_observed_ns,
                 });
             }
             Err(e) => panic!("{workload}: schedule synthesis at {workers} workers: {e}"),
@@ -358,14 +422,25 @@ fn main() {
     // The one place the fusion toggle reads the environment: every
     // synthesis below sees the same immutable config.
     let synth = SynthesisConfig::from_env();
+    // Tracing is opt-in (OIL_RT_TRACE=1); the regression floor is always
+    // gated on an untraced run, so the four telemetry columns read 0 there.
+    let trace = env_trace();
 
     let mut rows = Vec::new();
     let pal = pal_graph();
-    bench_workload(&mut rows, "pal", &pal, &KernelLibrary::pal(), pal_s, &synth);
+    bench_workload(
+        &mut rows,
+        "pal",
+        &pal,
+        &KernelLibrary::pal(),
+        pal_s,
+        &synth,
+        trace,
+    );
     let (sdr, sdr_lib) = sdr_graph();
-    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s, &synth);
+    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s, &synth, trace);
     let (wide, wide_lib) = wide_graph();
-    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s, &synth);
+    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s, &synth, trace);
 
     println!(
         "\n{:<8} {:<12} {:<12} {:>7} {:>10} {:>12} {:>12} {:>16} {:>6}",
@@ -394,13 +469,34 @@ fn main() {
         );
     }
 
-    // Machine-readable results at the workspace root (schema v6: v5's
-    // fusion counters and `engine_actual` plus `transition_firings` —
-    // modal firings spent in a drain/fill seam on mode-dependent runs,
-    // always 0 for union-advance and non-modal workloads).
+    // One line of runtime telemetry per engine row when tracing is on —
+    // the smoke leg's quick look at scheduler health without opening the
+    // Perfetto trace. All four columns are 0 on untraced runs (except
+    // selftimed park counts, which the engine tallies unconditionally).
+    if smoke {
+        for r in rows.iter().filter(|r| r.engine_mode != "sim") {
+            println!(
+                "telemetry: {} {}@{} parks={} ring_highwater_max={} \
+                 backpressure_wait_ns={} seam_latency_observed_ns={}",
+                r.workload,
+                r.engine_actual,
+                r.threads,
+                r.park_count,
+                r.ring_highwater_max,
+                r.backpressure_wait_ns,
+                r.seam_latency_observed_ns
+            );
+        }
+    }
+
+    // Machine-readable results at the workspace root (schema v7: v6's
+    // fusion counters, `engine_actual` and `transition_firings` plus the
+    // four trace-telemetry columns — park counts, the worst ring
+    // high-water mark, total backpressure wait and observed seam latency.
+    // All four are 0 when tracing is disabled).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 6,");
+    let _ = writeln!(json, "  \"schema_version\": 7,");
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let degraded = r.threads > r.host_parallelism;
@@ -411,7 +507,9 @@ fn main() {
              \"virtual_seconds\": {}, \"wall_ms\": {:.3}, \"tokens\": {}, \
              \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
              \"degraded\": {}, \"runs_fused\": {}, \"rings_elided\": {}, \
-             \"fused_chain_len_max\": {}, \"transition_firings\": {}}}{}",
+             \"fused_chain_len_max\": {}, \"transition_firings\": {}, \
+             \"park_count\": {}, \"ring_highwater_max\": {}, \
+             \"backpressure_wait_ns\": {}, \"seam_latency_observed_ns\": {}}}{}",
             r.workload,
             r.engine_mode,
             r.engine_actual,
@@ -426,6 +524,10 @@ fn main() {
             r.fusion.rings_elided,
             r.fusion.fused_chain_len_max,
             r.transition_firings,
+            r.park_count,
+            r.ring_highwater_max,
+            r.backpressure_wait_ns,
+            r.seam_latency_observed_ns,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

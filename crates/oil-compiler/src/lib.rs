@@ -42,5 +42,5 @@ pub use rtgraph::{
 };
 pub use schedule::{
     collapse_modal, modal_admission, synthesize, ModalClusterInfo, ModalSchedule, ModeScript,
-    ScheduleError, StaticSchedule, SynthesisConfig,
+    PhaseSpan, ScheduleError, StaticSchedule, SynthesisConfig,
 };

@@ -605,8 +605,50 @@ pub fn plan_mode_sequence(
     plan
 }
 
-/// A synthesised periodic static-order schedule.
+/// Wall time of one synthesis phase, recorded by [`synthesize`] so the
+/// runtime's trace layer (`oil_rt::trace`) can report where compile time
+/// went (CTA admission, repetition-vector solve, firing-order proof,
+/// fusion, per-mode synthesis). Excluded from [`StaticSchedule::digest`]:
+/// timings are observations, not schedule structure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (stable across runs; used as a trace label).
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Accumulates [`PhaseSpan`]s as synthesis walks its passes: each
+/// [`PhaseTimer::lap`] closes the phase that ran since the previous lap.
+struct PhaseTimer {
+    last: std::time::Instant,
+    phases: Vec<PhaseSpan>,
+}
+
+impl PhaseTimer {
+    fn start() -> Self {
+        PhaseTimer {
+            last: std::time::Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    fn lap(&mut self, name: &'static str) {
+        let now = std::time::Instant::now();
+        self.phases.push(PhaseSpan {
+            name,
+            dur_ns: now.duration_since(self.last).as_nanos() as u64,
+        });
+        self.last = now;
+    }
+}
+
+/// A synthesised periodic static-order schedule.
+///
+/// Equality compares schedule *structure* only: [`Self::phases`] is
+/// wall-clock observation and two otherwise-identical syntheses must
+/// compare equal regardless of how long their passes took.
+#[derive(Debug, Clone)]
 pub struct StaticSchedule {
     /// All scheduling units.
     pub units: Vec<ScheduleUnit>,
@@ -643,7 +685,30 @@ pub struct StaticSchedule {
     /// mode (union-advance makes token flow mode-independent); the arms
     /// differ only in which member kernel the modal unit dispatches to.
     pub modes: Option<ModalSchedule>,
+    /// Wall time of each synthesis phase, in pass order. Observational
+    /// only: not part of [`Self::digest`] and never compared by the
+    /// golden corpus.
+    pub phases: Vec<PhaseSpan>,
 }
+
+impl PartialEq for StaticSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `phases` (wall time, nondeterministic).
+        self.units == other.units
+            && self.period == other.period
+            && self.workers == other.workers
+            && self.components == other.components
+            && self.producer_unit == other.producer_unit
+            && self.consumer_unit == other.consumer_unit
+            && self.cross_buffers == other.cross_buffers
+            && self.fused_workers == other.fused_workers
+            && self.fusion == other.fusion
+            && self.local_level_max == other.local_level_max
+            && self.modes == other.modes
+    }
+}
+
+impl Eq for StaticSchedule {}
 
 impl StaticSchedule {
     /// Worker count of the schedule.
@@ -2359,10 +2424,12 @@ fn synthesize_impl(
     // their first member). Non-uniform clusters outside both admissible
     // shapes reject here; mode-dependent clusters divert to the per-mode
     // synthesis.
+    let mut timer = PhaseTimer::start();
     let modal = modal_admission(graph, plan)?;
     if let Some(info) = modal.as_ref().filter(|m| m.mode_dependent) {
         return synthesize_mode_dependent(graph, plan, workers, info, seam_latency_bound);
     }
+    timer.lap("modal_admission");
     let mut units = build_units(graph, plan, modal.as_ref());
     let access = unit_access(graph, &units);
 
@@ -2388,6 +2455,7 @@ fn synthesize_impl(
     if required > MAX_PERIOD_FIRINGS {
         return Err(ScheduleError::PeriodTooLong { firings: required });
     }
+    timer.lap("repetition_vector");
 
     // --- Weakly-connected components over shared buffers.
     let components = assign_components(&mut units, graph, &producer_unit, &consumer_unit);
@@ -2399,6 +2467,7 @@ fn synthesize_impl(
     let capacity = engine_capacities(graph);
     let reps: Vec<u64> = units.iter().map(|u| u.repetitions).collect();
     let period = greedy_period(graph, &access, &consumer_unit, &capacity, &reps)?;
+    timer.lap("firing_order");
 
     // --- 4. Partition units over workers by component, balanced by kernel
     // cost estimates.
@@ -2437,6 +2506,7 @@ fn synthesize_impl(
             _ => false,
         })
         .collect();
+    timer.lap("partition");
 
     let (fused_workers, fusion, local_level_max) = if fuse {
         fuse_workers(
@@ -2461,6 +2531,7 @@ fn synthesize_impl(
                 .into(),
         )
     };
+    timer.lap("fusion");
     let modes = modal.as_ref().map(|m| ModalSchedule {
         unit: units
             .iter()
@@ -2474,7 +2545,7 @@ fn synthesize_impl(
             .collect(),
         dependent: None,
     });
-    let schedule = StaticSchedule {
+    let mut schedule = StaticSchedule {
         units,
         period,
         workers: worker_lists,
@@ -2486,6 +2557,7 @@ fn synthesize_impl(
         fusion,
         local_level_max,
         modes,
+        phases: Vec::new(),
     };
     // Admission: the schedule is returned only with its validity proven by
     // exact replay (over both the period and the fused worker lists), and
@@ -2493,6 +2565,8 @@ fn synthesize_impl(
     // re-proven the same way.
     schedule.validate(graph)?;
     schedule.validate_transitions(graph)?;
+    timer.lap("admission_proof");
+    schedule.phases = timer.phases;
     Ok(schedule)
 }
 
@@ -3038,6 +3112,7 @@ fn synthesize_mode_dependent(
     info: &ModalClusterInfo,
     seam_latency_bound: Option<Rational>,
 ) -> Result<StaticSchedule, ScheduleError> {
+    let mut timer = PhaseTimer::start();
     let mut units = build_units(graph, plan, Some(info));
     let support = unit_access(graph, &units);
     let (producer_unit, consumer_unit) = buffer_endpoints(graph, &support);
@@ -3047,6 +3122,7 @@ fn synthesize_mode_dependent(
         .expect("modal admission implies a modal unit");
     let n_modes = info.members.len();
     let capacity = engine_capacities(graph);
+    timer.lap("modal_admission");
 
     // --- Per mode: gate the off-mode slice, solve the mode's repetition
     // vector, admit a period by the same greedy bursting replay the
@@ -3077,6 +3153,7 @@ fn synthesize_mode_dependent(
     for (u, unit) in units.iter_mut().enumerate() {
         unit.repetitions = reps_table[0][u];
     }
+    timer.lap("per_mode_synthesis");
     let components = assign_components(&mut units, graph, &producer_unit, &consumer_unit);
 
     // --- One worker partition for all modes: balance by each unit's worst
@@ -3121,6 +3198,8 @@ fn synthesize_mode_dependent(
             _ => false,
         })
         .collect();
+
+    timer.lap("partition");
 
     // --- Drain/fill transition programs, one per ordered mode pair.
     let mut transitions: Vec<Vec<Step>> = Vec::with_capacity(n_modes * n_modes);
@@ -3174,7 +3253,9 @@ fn synthesize_mode_dependent(
                 seam_latency_bound,
             }),
         }),
+        phases: Vec::new(),
     };
+    timer.lap("transition_synthesis");
     // --- Record the worst-case seam latency over all ordered pairs. The
     // per-pair CTA query also enforces the configured bound, so a
     // violation surfaces here as [`ScheduleError::SeamLatency`].
@@ -3195,10 +3276,13 @@ fn synthesize_mode_dependent(
         .as_mut()
         .expect("built above")
         .seam_latency_max = latency_max;
+    timer.lap("seam_latency_proof");
     // Admission: per-mode validity and every switch seam proven by exact
     // replay before the schedule is released.
     schedule.validate(graph)?;
     schedule.validate_transitions(graph)?;
+    timer.lap("admission_proof");
+    schedule.phases = timer.phases;
     Ok(schedule)
 }
 

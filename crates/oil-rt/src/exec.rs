@@ -32,6 +32,7 @@ use crate::kernel::{Kernel, KernelLibrary};
 use crate::measure::{BufferValues, ValueTrace};
 use crate::pool::WorkStealingPool;
 use crate::ring::{self, Consumer, Producer};
+use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtSinkId, RtSourceId};
 use oil_dataflow::index::{Idx, IndexVec};
 use oil_dataflow::taskgraph::ports_satisfied;
@@ -60,6 +61,11 @@ pub struct RtConfig {
     /// On by default (the differential oracles need them); benchmarks turn
     /// this off — a `Vec` push per pushed sample taxes every hot path.
     pub record_values: bool,
+    /// Record scheduler trace events and ring telemetry ([`crate::trace`]).
+    /// Off costs a single predictable branch per instrumentation point;
+    /// recording writes only scheduler-local memory, so traces and value
+    /// streams are bit-identical either way.
+    pub trace: bool,
 }
 
 impl Default for RtConfig {
@@ -69,6 +75,7 @@ impl Default for RtConfig {
             warmup_ticks: 4,
             record_traces: true,
             record_values: true,
+            trace: false,
         }
     }
 }
@@ -144,6 +151,9 @@ pub struct RtReport {
     pub wall: Duration,
     /// Total tokens pushed across all buffers.
     pub tokens: u64,
+    /// Scheduler event track and ring telemetry (`Some` iff
+    /// [`RtConfig::trace`]).
+    pub trace_report: Option<TraceReport>,
 }
 
 impl RtReport {
@@ -491,6 +501,12 @@ pub fn execute(
     let mut misses: IndexVec<RtSinkId, u64> = vec![0u64; graph.sinks.len()].into();
     let mut ticks: IndexVec<RtSinkId, u64> = vec![0u64; graph.sinks.len()].into();
     let mut now: Picos = 0;
+    // Single-track tracing: the scheduler thread makes every decision, so
+    // one tracer covers the engine. Kernel computation overlaps on the pool
+    // but is observed from here (a firing's span ends at its completion
+    // event). Firing args index nodes, then sources, then sinks.
+    let mut tracer = config.trace.then(|| WorkerTracer::new(started, n_buffers));
+    let (n_nodes_total, n_sources_total) = (graph.nodes.len(), graph.sources.len());
 
     // Push a token and maintain occupancy/trace accounting.
     macro_rules! push_token {
@@ -573,6 +589,7 @@ pub fn execute(
             break;
         }
         now = time;
+        let t0 = tracer.as_ref().map(|t| t.now_ns());
         match event {
             RtEvent::SourceTick(i) => {
                 // Take the next sample from the generator thread (it runs
@@ -580,8 +597,9 @@ pub fn execute(
                 // yet). A dead generator — its kernel panicked — can never
                 // refill the ring, so fail loudly instead of spinning.
                 let alive = &source_alive[i.index()];
+                let stats = tracer.as_mut().map(|t| &mut t.wait);
                 let value = source_feeds[i.index()]
-                    .pop_wait(|| !alive.load(Ordering::SeqCst))
+                    .pop_wait_observed(|| !alive.load(Ordering::SeqCst), stats)
                     .unwrap_or_else(|| {
                         panic!(
                             "source kernel of `{}` panicked; its generator thread is gone",
@@ -612,8 +630,9 @@ pub fn execute(
                     // The collector drains promptly; park briefly if it lags
                     // (it cannot abort: the collector thread outlives the
                     // scheduler loop by construction).
+                    let stats = tracer.as_mut().map(|t| &mut t.wait);
                     sink_feeds[i.index()]
-                        .push_wait(sample, || false)
+                        .push_wait_observed(sample, || false, stats)
                         .unwrap_or_else(|_| unreachable!("push_wait without abort cannot fail"));
                 } else if tick_number >= config.warmup_ticks {
                     misses[i] += 1;
@@ -644,6 +663,15 @@ pub fn execute(
                 firings[ni] += 1;
             }
         }
+        if let Some(start) = t0 {
+            let t = tracer.as_mut().expect("tracer outlives the run");
+            let arg = match event {
+                RtEvent::NodeComplete(ni) => ni.index(),
+                RtEvent::SourceTick(i) => n_nodes_total + i.index(),
+                RtEvent::SinkTick(i) => n_nodes_total + n_sources_total + i.index(),
+            };
+            t.span(EventKind::Firing, arg as u32, start);
+        }
         admit_ready_firings!();
     }
 
@@ -660,6 +688,37 @@ pub fn execute(
         .collect();
     let steals = pool.steals();
     drop(pool);
+
+    let trace_report = tracer.map(|t| {
+        let mut tr = TraceReport::new("calendar", threads);
+        let labels: Vec<String> = graph
+            .nodes
+            .iter()
+            .map(|n| n.name.clone())
+            .chain(graph.sources.iter().map(|s| s.name.clone()))
+            .chain(graph.sinks.iter().map(|s| s.name.clone()))
+            .collect();
+        tr.push_track("scheduler", labels, t);
+        tr.counters.steals = steals;
+        tr.rings = graph
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RingStat {
+                name: b.name.clone(),
+                // The physical bound this engine proves: declared (CTA)
+                // capacity plus the in-flight commit headroom — the same
+                // semantics as [`RtReport::buffers`].
+                capacity: declared[i] + inflight_headroom[i],
+                highwater: max_occupancy[i],
+                // Every graph ring is pushed and popped by the scheduler
+                // thread itself; only the source/sink conduits cross
+                // threads, and they are not graph buffers.
+                crossing: false,
+            })
+            .collect();
+        tr
+    });
 
     let trace = ExecutionTrace {
         buffers: if config.record_traces {
@@ -732,5 +791,6 @@ pub fn execute(
         steals,
         wall: started.elapsed(),
         tokens: tokens_pushed,
+        trace_report,
     }
 }

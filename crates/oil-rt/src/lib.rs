@@ -32,7 +32,11 @@
 //!   synchronisation only on cross-worker buffers
 //!   (`tests/staticsched_differential.rs`);
 //! * [`measure`] — per-buffer value-stream traces and wall-clock sink
-//!   throughput vs the CTA-predicted rates (rate conformance).
+//!   throughput vs the CTA-predicted rates (rate conformance);
+//! * [`trace`] — low-overhead per-worker event tracing: firing/seam spans,
+//!   park/backpressure counters and ring high-water marks, exported as a
+//!   stable JSON summary or a Perfetto-loadable Chrome trace. Off by
+//!   default; enabling it never changes value streams.
 //!
 //! The runtime consumes the same [`oil_compiler::rtgraph::RtGraph`] lowering
 //! as the simulator, so differential testing compares *scheduling
@@ -45,10 +49,13 @@ pub mod pool;
 pub mod ring;
 pub mod selftimed;
 pub mod staticsched;
+pub mod trace;
 
 pub use exec::{env_threads, execute, parse_threads, RtConfig, RtReport, SinkStream};
 pub use kernel::{Kernel, KernelLibrary, SourceKernel};
-pub use measure::{RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
+pub use measure::{
+    ConformanceVerdict, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace,
+};
 pub use pool::WorkStealingPool;
 pub use selftimed::{
     execute_selftimed, execute_selftimed_scripted, SelfTimedConfig, SelfTimedReport,
@@ -56,6 +63,7 @@ pub use selftimed::{
 pub use staticsched::{
     execute_staticsched, execute_staticsched_scripted, StaticConfig, StaticReport,
 };
+pub use trace::{env_trace, TraceReport};
 
 #[cfg(test)]
 mod tests {

@@ -261,10 +261,68 @@ pub struct RateConformance {
     pub sinks: Vec<SinkThroughput>,
 }
 
+/// The three-way outcome of a rate-conformance check. `satisfied()` alone
+/// is a trap: a run whose warmup never completed has *no* measurable sink,
+/// zero violations, and would silently pass. The verdict makes that state
+/// explicit so callers must decide what an inconclusive measurement means
+/// for them (retry with a longer horizon, usually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConformanceVerdict {
+    /// Every sink was measured and every sink reached the threshold.
+    Pass,
+    /// At least one measured sink fell short of the threshold.
+    Fail,
+    /// No violation, but at least one sink never produced a steady-state
+    /// measurement (run too short / warmup never completed) — the check
+    /// proved nothing about that sink.
+    Inconclusive,
+}
+
+impl std::fmt::Display for ConformanceVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConformanceVerdict::Pass => "pass",
+            ConformanceVerdict::Fail => "fail",
+            ConformanceVerdict::Inconclusive => "inconclusive",
+        })
+    }
+}
+
 impl RateConformance {
-    /// True when every measurable sink reaches the threshold.
+    /// True when every measurable sink reaches the threshold. Vacuously
+    /// true when nothing was measurable — use [`Self::verdict`] to tell a
+    /// real pass from an inconclusive run.
     pub fn satisfied(&self) -> bool {
         self.violations().is_empty()
+    }
+
+    /// The three-way outcome: [`ConformanceVerdict::Fail`] on any
+    /// violation, else [`ConformanceVerdict::Inconclusive`] when any sink
+    /// went unmeasured, else [`ConformanceVerdict::Pass`]. A graph with no
+    /// sinks at all passes — there is nothing to conform.
+    pub fn verdict(&self) -> ConformanceVerdict {
+        if !self.violations().is_empty() {
+            ConformanceVerdict::Fail
+        } else if self.sinks.iter().any(|s| s.measured_hz.is_none()) {
+            ConformanceVerdict::Inconclusive
+        } else {
+            ConformanceVerdict::Pass
+        }
+    }
+
+    /// The sinks the run never measured, rendered for failure messages.
+    pub fn inconclusive_sinks(&self) -> Vec<String> {
+        self.sinks
+            .iter()
+            .filter(|s| s.measured_hz.is_none())
+            .map(|s| {
+                format!(
+                    "sink `{}`: predicted {:.0} Hz, but the run was too short to \
+                     measure a steady-state rate",
+                    s.name, s.predicted_hz
+                )
+            })
+            .collect()
     }
 
     /// The sinks that fell short, rendered for failure messages.
@@ -423,5 +481,47 @@ mod tests {
         let v = conf.violations();
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("slow"), "{v:?}");
+        assert_eq!(conf.verdict(), ConformanceVerdict::Fail);
+        let inc = conf.inconclusive_sinks();
+        assert_eq!(inc.len(), 1);
+        assert!(inc[0].contains("unmeasured"), "{inc:?}");
+    }
+
+    #[test]
+    fn unmeasured_sinks_are_inconclusive_not_a_pass() {
+        // The silent no-op this guards against: warmup never completed, so
+        // no sink has a measurement, `violations()` is empty, and
+        // `satisfied()` is vacuously true — the verdict must say so.
+        let sink = |name: &str, measured_hz: Option<f64>| SinkThroughput {
+            name: name.into(),
+            samples: 1,
+            predicted_hz: 1000.0,
+            measured_hz,
+        };
+        let unmeasured = RateConformance {
+            threshold: 0.5,
+            sinks: vec![sink("a", None), sink("b", None)],
+        };
+        assert!(unmeasured.satisfied(), "vacuous by construction");
+        assert_eq!(unmeasured.verdict(), ConformanceVerdict::Inconclusive);
+        assert_eq!(unmeasured.inconclusive_sinks().len(), 2);
+
+        let measured = RateConformance {
+            threshold: 0.5,
+            sinks: vec![sink("a", Some(900.0))],
+        };
+        assert_eq!(measured.verdict(), ConformanceVerdict::Pass);
+        assert!(measured.inconclusive_sinks().is_empty());
+
+        // No sinks at all: nothing to conform, a genuine pass.
+        let empty = RateConformance {
+            threshold: 0.5,
+            sinks: Vec::new(),
+        };
+        assert_eq!(empty.verdict(), ConformanceVerdict::Pass);
+        assert_eq!(
+            format!("{}", ConformanceVerdict::Inconclusive),
+            "inconclusive"
+        );
     }
 }

@@ -32,6 +32,25 @@ pub const WAIT_YIELDS: usize = 16;
 /// eagerly; the timeout only bounds the latency of a missed `abort` signal.
 const WAIT_PARK: Duration = Duration::from_micros(200);
 
+/// Blocked-path statistics of one ring endpoint, filled by
+/// [`Producer::push_wait_observed`] / [`Consumer::pop_wait_observed`]
+/// when tracing is on (`oil_rt::trace`). The unblocked fast path never
+/// touches these — a wait is counted only after the lock-free push/pop
+/// has already failed once, and the clock is read only on that cold path,
+/// so observation cannot perturb an uncongested ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Operations that entered the blocked path at all.
+    pub waits: u64,
+    /// `yield_now` calls taken after the spin phase was exhausted.
+    pub spin_yields: u64,
+    /// `park_timeout` calls taken after the yield phase was exhausted.
+    pub parks: u64,
+    /// Total nanoseconds spent blocked (from first failure to success or
+    /// abort).
+    pub wait_ns: u64,
+}
+
 /// A registered parked thread waiting for the opposite endpoint to make
 /// room/data. `engaged` is the fast-path gate: the opposite endpoint pays
 /// one relaxed-ish atomic load per operation while nobody waits, and takes
@@ -144,22 +163,57 @@ impl<T> Producer<T> {
     /// timeout re-checks `abort`). Returns the value if `abort` turned true
     /// while the ring was still full — the wait never spins unboundedly on
     /// a consumer that is gone.
-    pub fn push_wait(&mut self, value: T, mut abort: impl FnMut() -> bool) -> Result<(), T> {
-        let mut value = value;
+    pub fn push_wait(&mut self, value: T, abort: impl FnMut() -> bool) -> Result<(), T> {
+        self.push_wait_observed(value, abort, None)
+    }
+
+    /// [`Self::push_wait`] with blocked-path telemetry: when `stats` is
+    /// given, the wait is counted and timed into it. The clock is read
+    /// only after the lock-free fast path has already failed, so the
+    /// unblocked path pays nothing beyond the `Option` test.
+    pub fn push_wait_observed(
+        &mut self,
+        value: T,
+        mut abort: impl FnMut() -> bool,
+        mut stats: Option<&mut WaitStats>,
+    ) -> Result<(), T> {
+        let mut value = match self.push(value) {
+            Ok(()) => return Ok(()),
+            Err(back) => back,
+        };
+        let t0 = stats.as_ref().map(|_| std::time::Instant::now());
+        if let Some(s) = stats.as_deref_mut() {
+            s.waits += 1;
+        }
+        let settle = |stats: Option<&mut WaitStats>| {
+            if let (Some(s), Some(t0)) = (stats, t0) {
+                s.wait_ns += t0.elapsed().as_nanos() as u64;
+            }
+        };
         for _ in 0..WAIT_SPINS {
             match self.push(value) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    settle(stats);
+                    return Ok(());
+                }
                 Err(back) => value = back,
             }
             std::hint::spin_loop();
         }
         for _ in 0..WAIT_YIELDS {
             match self.push(value) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    settle(stats);
+                    return Ok(());
+                }
                 Err(back) => value = back,
             }
             if abort() {
+                settle(stats);
                 return Err(value);
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.spin_yields += 1;
             }
             std::thread::yield_now();
         }
@@ -170,13 +224,18 @@ impl<T> Producer<T> {
             match self.push(value) {
                 Ok(()) => {
                     self.inner.push_waiter.unregister();
+                    settle(stats);
                     return Ok(());
                 }
                 Err(back) => value = back,
             }
             if abort() {
                 self.inner.push_waiter.unregister();
+                settle(stats);
                 return Err(value);
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.parks += 1;
             }
             std::thread::park_timeout(WAIT_PARK);
             self.inner.push_waiter.unregister();
@@ -230,19 +289,48 @@ impl<T> Consumer<T> {
     /// bounded run of `yield_now`, then park until the producer pushes (or
     /// the park timeout re-checks `abort`). Returns `None` only when
     /// `abort` turned true while the ring was still empty.
-    pub fn pop_wait(&mut self, mut abort: impl FnMut() -> bool) -> Option<T> {
+    pub fn pop_wait(&mut self, abort: impl FnMut() -> bool) -> Option<T> {
+        self.pop_wait_observed(abort, None)
+    }
+
+    /// [`Self::pop_wait`] with blocked-path telemetry: when `stats` is
+    /// given, the wait is counted and timed into it. The clock is read
+    /// only after the lock-free fast path has already failed.
+    pub fn pop_wait_observed(
+        &mut self,
+        mut abort: impl FnMut() -> bool,
+        mut stats: Option<&mut WaitStats>,
+    ) -> Option<T> {
+        if let Some(v) = self.pop() {
+            return Some(v);
+        }
+        let t0 = stats.as_ref().map(|_| std::time::Instant::now());
+        if let Some(s) = stats.as_deref_mut() {
+            s.waits += 1;
+        }
+        let settle = |stats: Option<&mut WaitStats>| {
+            if let (Some(s), Some(t0)) = (stats, t0) {
+                s.wait_ns += t0.elapsed().as_nanos() as u64;
+            }
+        };
         for _ in 0..WAIT_SPINS {
             if let Some(v) = self.pop() {
+                settle(stats);
                 return Some(v);
             }
             std::hint::spin_loop();
         }
         for _ in 0..WAIT_YIELDS {
             if let Some(v) = self.pop() {
+                settle(stats);
                 return Some(v);
             }
             if abort() {
+                settle(stats);
                 return None;
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.spin_yields += 1;
             }
             std::thread::yield_now();
         }
@@ -252,11 +340,16 @@ impl<T> Consumer<T> {
             // the registration would otherwise be a lost wakeup.
             if let Some(v) = self.pop() {
                 self.inner.pop_waiter.unregister();
+                settle(stats);
                 return Some(v);
             }
             if abort() {
                 self.inner.pop_waiter.unregister();
+                settle(stats);
                 return None;
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.parks += 1;
             }
             std::thread::park_timeout(WAIT_PARK);
             self.inner.pop_waiter.unregister();
@@ -411,6 +504,37 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(30));
         stop.store(true, Ordering::SeqCst);
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn observed_waits_count_only_the_blocked_path() {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        let mut stats = WaitStats::default();
+        // Uncongested pushes and pops never touch the statistics.
+        tx.push_wait_observed(1, || false, Some(&mut stats))
+            .unwrap();
+        assert_eq!(rx.pop_wait_observed(|| false, Some(&mut stats)), Some(1));
+        assert_eq!(stats, WaitStats::default());
+        // A blocked push against a full ring is counted and timed.
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push_wait_observed(3, || true, Some(&mut stats)), Err(3));
+        assert_eq!(stats.waits, 1);
+        // A parked consumer woken by a late push accumulates yields/parks.
+        let mut stats = WaitStats::default();
+        let consumer = thread::spawn(move || {
+            rx.pop();
+            rx.pop();
+            let v = rx.pop_wait_observed(|| false, Some(&mut stats));
+            (v, stats)
+        });
+        thread::sleep(std::time::Duration::from_millis(50));
+        tx.push(9).unwrap();
+        let (v, stats) = consumer.join().unwrap();
+        assert_eq!(v, Some(9));
+        assert_eq!(stats.waits, 1);
+        assert!(stats.parks > 0, "a 50ms stall must reach the park phase");
+        assert!(stats.wait_ns > 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ use crate::exec::{SinkStream, SINK_STREAM_CAP};
 use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
+use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
 use oil_compiler::schedule::{
     modal_admission, mode_dependent_rates, plan_mode_sequence, ModeScript,
@@ -88,6 +89,11 @@ pub struct SelfTimedConfig {
     /// short sleeps between firing passes. Value streams must not change —
     /// the schedule-invariance property test drives this.
     pub chaos: Option<u64>,
+    /// Record per-worker trace events and ring telemetry
+    /// ([`crate::trace`]). Off costs a single predictable branch per
+    /// instrumentation point; recording writes only worker-local memory,
+    /// so value streams are bit-identical either way.
+    pub trace: bool,
 }
 
 impl Default for SelfTimedConfig {
@@ -97,6 +103,7 @@ impl Default for SelfTimedConfig {
             record_values: true,
             warmup_samples: 16,
             chaos: None,
+            trace: false,
         }
     }
 }
@@ -137,6 +144,9 @@ pub struct SelfTimedReport {
     /// mode *draining* its in-flight period). Always 0 for union-advance
     /// clusters, which switch hot.
     pub transition_firings: u64,
+    /// Per-worker event tracks and ring telemetry (`Some` iff
+    /// [`SelfTimedConfig::trace`]).
+    pub trace_report: Option<TraceReport>,
 }
 
 impl SelfTimedReport {
@@ -252,6 +262,9 @@ struct WorkerBufs {
     record_values: bool,
     tokens: u64,
     scratch: Vec<f64>,
+    /// `Some` iff [`SelfTimedConfig::trace`]: worker-local event buffer
+    /// plus ring high-water marks.
+    trace: Option<WorkerTracer>,
 }
 
 impl WorkerBufs {
@@ -279,11 +292,14 @@ impl WorkerBufs {
 
     fn commit(&mut self, b: usize, value: f64) {
         if !self.unread[b] {
-            self.prods[b]
-                .as_mut()
-                .expect("producer endpoint is owned")
-                .push(value)
-                .expect("space was checked before the firing");
+            let p = self.prods[b].as_mut().expect("producer endpoint is owned");
+            p.push(value).expect("space was checked before the firing");
+            if let Some(t) = self.trace.as_mut() {
+                // Post-push occupancy: a concurrent consumer drain only
+                // lowers it, so the mark never over-reports.
+                let level = p.len();
+                t.note_level(b, level);
+            }
         }
         if self.record_values {
             if let Some(r) = self.recorders[b].as_mut() {
@@ -517,6 +533,9 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
                 let arm = script.arm_at(*fired).min(members.len() as u32 - 1);
                 if *last_arm != u32::MAX && arm != *last_arm {
                     *switches += 1;
+                    if let Some(t) = w.trace.as_mut() {
+                        t.instant(EventKind::ModeSwitch, arm);
+                    }
                 }
                 *last_arm = arm;
                 w.scratch.clear();
@@ -587,14 +606,23 @@ fn run_modal_dependent(
         }
         if *last_arm != u32::MAX && mode != *last_arm {
             *switches += 1;
+            if let Some(t) = w.trace.as_mut() {
+                t.instant(EventKind::ModeSwitch, mode);
+            }
         }
         *last_arm = mode;
         // A firing whose scripted arm differs from the executing period's
         // mode belongs to the seam: the old mode draining its in-flight
         // period before the switch takes effect at the boundary.
-        if script.arm_at(*fired).min(members.len() as u32 - 1) != mode {
+        let scripted = script.arm_at(*fired).min(members.len() as u32 - 1);
+        let seam = scripted != mode;
+        if seam {
             dep.transition_firings += 1;
         }
+        let seam_t0 = match (seam, w.trace.as_ref()) {
+            (true, Some(t)) => Some(t.now_ns()),
+            _ => None,
+        };
         w.scratch.clear();
         for ri in 0..members[mode as usize].reads.len() {
             let (b, c) = members[mode as usize].reads[ri];
@@ -615,6 +643,10 @@ fn run_modal_dependent(
         }
         members[mode as usize].fired += 1;
         *fired += 1;
+        if let Some(start) = seam_t0 {
+            let t = w.trace.as_mut().expect("tracer outlives the run");
+            t.span(EventKind::Seam, (mode << 16) | scripted, start);
+        }
         dep.period_left -= 1;
         if dep.period_left == 0 {
             dep.seq_idx += 1;
@@ -632,6 +664,7 @@ struct WorkerOut {
     units: Vec<Unit>,
     recorders: Vec<Option<BufferValues>>,
     tokens: u64,
+    trace: Option<WorkerTracer>,
 }
 
 /// Extra empty-scan → rescan rounds (with a `yield_now` between) before a
@@ -649,8 +682,18 @@ fn worker_loop(
     'main: while !control.done.load(Ordering::SeqCst) {
         let scan = |units: &mut Vec<Unit>, bufs: &mut WorkerBufs| -> bool {
             let mut fired = false;
-            for unit in units.iter_mut() {
-                fired |= run_unit(unit, bufs, control);
+            for (ui, unit) in units.iter_mut().enumerate() {
+                let t0 = bufs.trace.as_ref().map(|t| t.now_ns());
+                let f = run_unit(unit, bufs, control);
+                if f {
+                    if let Some(start) = t0 {
+                        // One span per productive pass: it covers the
+                        // unit's whole batched burst, attributed by label.
+                        let t = bufs.trace.as_mut().expect("tracer outlives the run");
+                        t.span(EventKind::Firing, ui as u32, start);
+                    }
+                }
+                fired |= f;
             }
             fired
         };
@@ -702,13 +745,17 @@ fn worker_loop(
             // fixpoint. With retired sources that is successful completion;
             // with budget left it is a deadlock (and can only be one:
             // nothing will ever fire again).
-            if control.sources_open.load(Ordering::SeqCst) > 0 {
+            let deadlocked = control.sources_open.load(Ordering::SeqCst) > 0;
+            if deadlocked {
                 control.deadlocked.store(true, Ordering::SeqCst);
             }
             control.done.store(true, Ordering::SeqCst);
             control.idle.fetch_sub(1, Ordering::SeqCst);
             control.cv.notify_all();
             drop(guard);
+            if let Some(t) = bufs.trace.as_mut() {
+                t.instant(EventKind::Census, deadlocked as u32);
+            }
             break;
         }
         // Either a peer is still running, or a sleeper's stamp is stale.
@@ -718,15 +765,25 @@ fn worker_loop(
         // re-register at the current generation and complete the census
         // itself.
         control.parks.fetch_add(1, Ordering::Relaxed);
+        let park_t0 = bufs.trace.as_ref().map(|t| t.now_ns());
         while control.gen.load(Ordering::SeqCst) == g0 && !control.done.load(Ordering::SeqCst) {
             guard = control.cv.wait(guard).expect("control mutex poisoned");
         }
         control.idle.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        if let Some(start) = park_t0 {
+            let t = bufs.trace.as_mut().expect("tracer outlives the run");
+            t.parks += 1;
+            t.unparks += 1;
+            t.span(EventKind::Park, 0, start);
+            t.instant(EventKind::Unpark, 0);
+        }
     }
     WorkerOut {
         units,
         recorders: bufs.recorders,
         tokens: bufs.tokens,
+        trace: bufs.trace,
     }
 }
 
@@ -1018,9 +1075,20 @@ fn execute_inner(
             record_values: config.record_values,
             tokens: 0,
             scratch: Vec::new(),
+            // All tracers share one epoch so the merged tracks align.
+            trace: config.trace.then(|| WorkerTracer::new(started, n_buffers)),
         })
         .collect();
+    // Per worker, the display label of each local unit (trace attribution),
+    // and which worker owns each buffer endpoint (a buffer whose endpoints
+    // land on different workers is a synchronised SPSC crossing).
+    let mut worker_labels: Vec<Vec<String>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut prod_owner: Vec<Option<usize>> = vec![None; n_buffers];
+    let mut cons_owner: Vec<Option<usize>> = vec![None; n_buffers];
     for (unit, &w) in units.into_iter().zip(&assignment) {
+        if config.trace {
+            worker_labels[w].push(unit_label(&unit, graph));
+        }
         let (reads, writes): (Vec<usize>, Vec<usize>) = match &unit {
             Unit::Nodes(parts) => (
                 parts
@@ -1047,11 +1115,13 @@ fn execute_inner(
         for b in reads {
             if let Some(rx) = consumers[b].take() {
                 worker_bufs[w].cons[b] = Some(rx);
+                cons_owner[b] = Some(w);
             }
         }
         for b in writes {
             if let Some(tx) = producers[b].take() {
                 worker_bufs[w].prods[b] = Some(tx);
+                prod_owner[b] = Some(w);
             }
             if let Some(r) = recorders[b].take() {
                 worker_bufs[w].recorders[b] = Some(r);
@@ -1105,7 +1175,19 @@ fn execute_inner(
         (0..graph.sinks.len()).map(|_| None).collect();
     let mut mode_switches = 0u64;
     let mut transition_firings = 0u64;
-    for out in outs {
+    let mut trace_report = config.trace.then(|| TraceReport::new("selftimed", threads));
+    let mut ring_hw: Vec<u32> = vec![0; n_buffers];
+    for (w, out) in outs.into_iter().enumerate() {
+        if let (Some(tr), Some(t)) = (trace_report.as_mut(), out.trace) {
+            let hw = tr.push_track(
+                format!("worker-{w}"),
+                std::mem::take(&mut worker_labels[w]),
+                t,
+            );
+            for (b, h) in hw.into_iter().enumerate() {
+                ring_hw[b] = ring_hw[b].max(h);
+            }
+        }
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
             if let Some(r) = r {
@@ -1159,6 +1241,23 @@ fn execute_inner(
             }
         }
     }
+    if let Some(tr) = trace_report.as_mut() {
+        tr.rings = graph
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RingStat {
+                name: b.name.clone(),
+                capacity: declared[i],
+                // Initial tokens occupy the ring before any traced push.
+                highwater: (ring_hw[i] as usize).max(b.initial_tokens),
+                crossing: match (prod_owner[i], cons_owner[i]) {
+                    (Some(p), Some(c)) => p != c,
+                    _ => false,
+                },
+            })
+            .collect();
+    }
     SelfTimedReport {
         threads,
         values: ValueTrace {
@@ -1188,6 +1287,24 @@ fn execute_inner(
         clusters: plan.clusters.len(),
         mode_switches,
         transition_firings,
+        trace_report,
+    }
+}
+
+/// The display label of a scheduling unit (trace attribution).
+fn unit_label(unit: &Unit, graph: &RtGraph) -> String {
+    match unit {
+        Unit::Nodes(parts) if parts.len() == 1 => graph.nodes[parts[0].id].name.clone(),
+        Unit::Nodes(parts) => format!("{}(+{})", graph.nodes[parts[0].id].name, parts.len() - 1),
+        Unit::Source { id, .. } => graph.sources[*id].name.clone(),
+        Unit::Sink { id, .. } => graph.sinks[*id].name.clone(),
+        Unit::Modal { members, .. } => {
+            let names: Vec<&str> = members
+                .iter()
+                .map(|p| graph.nodes[p.id].name.as_str())
+                .collect();
+            format!("modal[{}]", names.join("|"))
+        }
     }
 }
 

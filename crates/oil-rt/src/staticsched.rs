@@ -46,6 +46,7 @@ use crate::exec::{SinkStream, SINK_STREAM_CAP};
 use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
 use crate::ring::{self, Consumer, Producer};
+use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
 use oil_compiler::rtgraph::RtGraph;
 use oil_compiler::schedule::{
     modal_member_access, plan_mode_sequence, FusionStats, ModeScript, StaticSchedule, UnitKind,
@@ -65,6 +66,11 @@ pub struct StaticConfig {
     pub record_values: bool,
     /// Sink samples excluded from the steady-state throughput window.
     pub warmup_samples: u64,
+    /// Record per-worker trace events and ring telemetry
+    /// ([`crate::trace`]). Off costs a single predictable branch per
+    /// instrumentation point; recording writes only worker-local memory,
+    /// so value streams are bit-identical either way.
+    pub trace: bool,
 }
 
 impl Default for StaticConfig {
@@ -72,6 +78,7 @@ impl Default for StaticConfig {
         StaticConfig {
             record_values: true,
             warmup_samples: 16,
+            trace: false,
         }
     }
 }
@@ -119,6 +126,9 @@ pub struct StaticReport {
     /// program. Always 0 for union-advance schedules (hot switching needs
     /// no drain) and non-modal schedules.
     pub transition_firings: u64,
+    /// Per-worker event tracks, ring telemetry and compile-phase timing
+    /// (`Some` iff [`StaticConfig::trace`]).
+    pub trace_report: Option<TraceReport>,
 }
 
 impl StaticReport {
@@ -184,6 +194,12 @@ impl LocalRing {
         self.buf[at..at + first].copy_from_slice(&values[..first]);
         self.buf[..values.len() - first].copy_from_slice(&values[first..]);
         self.tail += values.len();
+    }
+
+    /// Current occupancy (for trace high-water marks only).
+    #[inline]
+    fn len(&self) -> usize {
+        self.tail - self.head
     }
 
     fn pop_block(&mut self, n: usize, into: &mut Vec<f64>) {
@@ -356,6 +372,10 @@ struct BufIo {
     recorders: Vec<Option<BufferValues>>,
     record_values: bool,
     tokens: u64,
+    /// `Some` iff [`StaticConfig::trace`]: worker-local event buffer plus
+    /// ring high-water marks. Disjoint from `slots`, so wait observation
+    /// and level notes borrow alongside the ring endpoints.
+    trace: Option<WorkerTracer>,
 }
 
 impl BufIo {
@@ -363,9 +383,22 @@ impl BufIo {
     fn pop(&mut self, b: usize, abort: &AtomicBool) -> f64 {
         match &mut self.slots[b] {
             Slot::Local(q) => q.pop(),
-            Slot::Cons(rx) => rx
-                .pop_wait(|| abort.load(Ordering::Relaxed))
-                .expect("peer worker aborted mid-schedule"),
+            Slot::Cons(rx) => match self.trace.as_mut() {
+                None => rx
+                    .pop_wait(|| abort.load(Ordering::Relaxed))
+                    .expect("peer worker aborted mid-schedule"),
+                Some(t) => {
+                    let blocked = t.wait.wait_ns;
+                    let v = rx
+                        .pop_wait_observed(|| abort.load(Ordering::Relaxed), Some(&mut t.wait))
+                        .expect("peer worker aborted mid-schedule");
+                    let dur = t.wait.wait_ns - blocked;
+                    if dur > 0 {
+                        t.backpressure(b as u32, dur);
+                    }
+                    v
+                }
+            },
             _ => unreachable!("read from a buffer this worker does not consume"),
         }
     }
@@ -379,15 +412,42 @@ impl BufIo {
         }
         self.tokens += 1;
         match &mut self.slots[b] {
-            Slot::Local(q) => q.push(value),
-            Slot::Prod(tx) => {
-                if tx
-                    .push_wait(value, || abort.load(Ordering::Relaxed))
-                    .is_err()
-                {
-                    panic!("peer worker aborted mid-schedule");
+            Slot::Local(q) => {
+                q.push(value);
+                if let Some(t) = self.trace.as_mut() {
+                    t.note_level(b, q.len());
                 }
             }
+            Slot::Prod(tx) => match self.trace.as_mut() {
+                None => {
+                    if tx
+                        .push_wait(value, || abort.load(Ordering::Relaxed))
+                        .is_err()
+                    {
+                        panic!("peer worker aborted mid-schedule");
+                    }
+                }
+                Some(t) => {
+                    let blocked = t.wait.wait_ns;
+                    if tx
+                        .push_wait_observed(
+                            value,
+                            || abort.load(Ordering::Relaxed),
+                            Some(&mut t.wait),
+                        )
+                        .is_err()
+                    {
+                        panic!("peer worker aborted mid-schedule");
+                    }
+                    let dur = t.wait.wait_ns - blocked;
+                    if dur > 0 {
+                        t.backpressure(b as u32, dur);
+                    }
+                    // Post-push occupancy: the consumer may already have
+                    // drained, so this never over-reports.
+                    t.note_level(b, tx.len());
+                }
+            },
             Slot::Sunk => {}
             _ => unreachable!("write to a buffer this worker does not produce"),
         }
@@ -399,11 +459,19 @@ impl BufIo {
         match &mut self.slots[b] {
             Slot::Local(q) => q.pop_block(n, scratch),
             Slot::Cons(rx) => {
+                let blocked = self.trace.as_ref().map(|t| t.wait.wait_ns);
                 for _ in 0..n {
+                    let stats = self.trace.as_mut().map(|t| &mut t.wait);
                     scratch.push(
-                        rx.pop_wait(|| abort.load(Ordering::Relaxed))
+                        rx.pop_wait_observed(|| abort.load(Ordering::Relaxed), stats)
                             .expect("peer worker aborted mid-schedule"),
                     );
+                }
+                if let (Some(before), Some(t)) = (blocked, self.trace.as_mut()) {
+                    let dur = t.wait.wait_ns - before;
+                    if dur > 0 {
+                        t.backpressure(b as u32, dur);
+                    }
                 }
             }
             _ => unreachable!("read from a buffer this worker does not consume"),
@@ -437,12 +505,29 @@ impl BufIo {
         }
         self.tokens += values.len() as u64;
         match &mut self.slots[b] {
-            Slot::Local(q) => q.push_block(values),
+            Slot::Local(q) => {
+                q.push_block(values);
+                if let Some(t) = self.trace.as_mut() {
+                    t.note_level(b, q.len());
+                }
+            }
             Slot::Prod(tx) => {
+                let blocked = self.trace.as_ref().map(|t| t.wait.wait_ns);
                 for &v in values {
-                    if tx.push_wait(v, || abort.load(Ordering::Relaxed)).is_err() {
+                    let stats = self.trace.as_mut().map(|t| &mut t.wait);
+                    if tx
+                        .push_wait_observed(v, || abort.load(Ordering::Relaxed), stats)
+                        .is_err()
+                    {
                         panic!("peer worker aborted mid-schedule");
                     }
+                }
+                if let (Some(before), Some(t)) = (blocked, self.trace.as_mut()) {
+                    let dur = t.wait.wait_ns - before;
+                    if dur > 0 {
+                        t.backpressure(b as u32, dur);
+                    }
+                    t.note_level(b, tx.len());
                 }
             }
             Slot::Sunk => {}
@@ -487,6 +572,7 @@ struct WorkerOut {
     units: Vec<UnitState>,
     recorders: Vec<Option<BufferValues>>,
     tokens: u64,
+    trace: Option<WorkerTracer>,
 }
 
 impl Worker {
@@ -510,13 +596,19 @@ impl Worker {
                         } else {
                             1
                         };
+                        let t0 = io.trace.as_ref().map(|t| t.now_ns());
                         run_fused(f, reps, &mut self.units, io, scratch, out_buf, abort);
+                        if let Some(start) = t0 {
+                            let t = io.trace.as_mut().expect("tracer outlives the run");
+                            t.span(EventKind::SuperStep, f.stages[0].unit, start);
+                        }
                         continue;
                     }
                 };
                 if it >= step.iters {
                     continue;
                 }
+                let t0 = io.trace.as_ref().map(|t| t.now_ns());
                 match &mut self.units[step.unit as usize] {
                     UnitState::Node {
                         kernel,
@@ -633,6 +725,9 @@ impl Worker {
                             let arm = script.arm_at(*fired).min(members.len() as u32 - 1);
                             if *last_arm != u32::MAX && arm != *last_arm {
                                 *switches += 1;
+                                if let Some(t) = io.trace.as_mut() {
+                                    t.instant(EventKind::ModeSwitch, arm);
+                                }
                             }
                             *last_arm = arm;
                             // Union-advance: pop every member's inputs in
@@ -666,12 +761,17 @@ impl Worker {
                         }
                     }
                 }
+                if let Some(start) = t0 {
+                    let t = io.trace.as_mut().expect("tracer outlives the run");
+                    t.span(EventKind::Firing, step.unit, start);
+                }
             }
         }
         WorkerOut {
             units: self.units,
             recorders: self.io.recorders,
             tokens: self.io.tokens,
+            trace: self.io.trace,
         }
     }
 
@@ -689,13 +789,26 @@ impl Worker {
         for &m in dep.mode_seq.iter() {
             if let Some(p) = prev {
                 if p != m {
+                    // The seam span covers this worker's whole drain/fill
+                    // projection; its arg packs the (from, to) mode pair.
+                    let t0 = io.trace.as_ref().map(|t| t.now_ns());
                     for &(u, times) in &dep.transitions[p as usize * n_modes + m as usize] {
                         fire_dependent(&mut self.units, io, scratch, u, times, m, true, abort);
+                    }
+                    if let Some(start) = t0 {
+                        let t = io.trace.as_mut().expect("tracer outlives the run");
+                        t.span(EventKind::Seam, (p << 16) | m, start);
+                        t.instant(EventKind::ModeSwitch, m);
                     }
                 }
             }
             for &(u, times) in &dep.periods[m as usize] {
+                let t0 = io.trace.as_ref().map(|t| t.now_ns());
                 fire_dependent(&mut self.units, io, scratch, u, times, m, false, abort);
+                if let Some(start) = t0 {
+                    let t = io.trace.as_mut().expect("tracer outlives the run");
+                    t.span(EventKind::Firing, u, start);
+                }
             }
             prev = Some(m);
         }
@@ -703,6 +816,7 @@ impl Worker {
             units: self.units,
             recorders: self.io.recorders,
             tokens: self.io.tokens,
+            trace: self.io.trace,
         }
     }
 }
@@ -1095,8 +1209,32 @@ pub fn execute_staticsched_scripted(
     // unit id -> (worker, local index)
     let mut unit_home: Vec<(usize, u32)> = vec![(0, 0); schedule.units.len()];
     let mut worker_units: Vec<Vec<UnitState>> = (0..threads).map(|_| Vec::new()).collect();
+    // Per worker, the display label of each local unit (trace attribution).
+    let mut worker_labels: Vec<Vec<String>> = (0..threads).map(|_| Vec::new()).collect();
     for (u, unit) in schedule.units.iter().enumerate() {
         let w = unit.worker;
+        if config.trace {
+            worker_labels[w].push(match &unit.kind {
+                UnitKind::Node(id) => graph.nodes[*id].name.clone(),
+                UnitKind::Cluster {
+                    representative,
+                    members,
+                } => format!(
+                    "{}(+{})",
+                    graph.nodes[*representative].name,
+                    members.len().saturating_sub(1)
+                ),
+                UnitKind::Source(id) => graph.sources[*id].name.clone(),
+                UnitKind::Sink(id) => graph.sinks[*id].name.clone(),
+                UnitKind::Modal { members } => {
+                    let names: Vec<&str> = members
+                        .iter()
+                        .map(|&m| graph.nodes[m].name.as_str())
+                        .collect();
+                    format!("modal[{}]", names.join("|"))
+                }
+            });
+        }
         // A buffer endpoint is "free of peers" when the worker's view of it
         // never blocks: a local deque, or a dropped unread buffer.
         let unblocked = |b: usize| matches!(worker_slots[w][b], Slot::Local(_) | Slot::Sunk);
@@ -1299,6 +1437,8 @@ pub fn execute_staticsched_scripted(
                 recorders: recs,
                 record_values: config.record_values,
                 tokens: 0,
+                // All tracers share one epoch so the merged tracks align.
+                trace: config.trace.then(|| WorkerTracer::new(started, n_buffers)),
             },
             max_iters,
             dep,
@@ -1357,7 +1497,21 @@ pub fn execute_staticsched_scripted(
         (0..graph.sinks.len()).map(|_| None).collect();
     let mut mode_switches = 0u64;
     let mut transition_firings = 0u64;
-    for out in outs {
+    let mut trace_report = config
+        .trace
+        .then(|| TraceReport::new("staticsched", threads));
+    let mut ring_hw: Vec<u32> = vec![0; n_buffers];
+    for (w, out) in outs.into_iter().enumerate() {
+        if let (Some(tr), Some(t)) = (trace_report.as_mut(), out.trace) {
+            let hw = tr.push_track(
+                format!("worker-{w}"),
+                std::mem::take(&mut worker_labels[w]),
+                t,
+            );
+            for (b, h) in hw.into_iter().enumerate() {
+                ring_hw[b] = ring_hw[b].max(h);
+            }
+        }
         tokens += out.tokens;
         for (b, r) in out.recorders.into_iter().enumerate() {
             if let Some(r) = r {
@@ -1407,6 +1561,41 @@ pub fn execute_staticsched_scripted(
             }
         }
     }
+    if let Some(tr) = trace_report.as_mut() {
+        let mut crossing = vec![false; n_buffers];
+        for &b in &schedule.cross_buffers {
+            crossing[b.index()] = true;
+        }
+        tr.rings = graph
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let bi = oil_compiler::rtgraph::RtBufferId::new(i);
+                RingStat {
+                    name: b.name.clone(),
+                    // The bound the ring was actually sized to: fusion may
+                    // push into a same-worker buffer earlier than the
+                    // unfused order, up to the schedule's proven fused
+                    // replay level — the CTA capacity still bounds every
+                    // cross-worker ring.
+                    capacity: if crossing[i] {
+                        declared[i]
+                    } else {
+                        declared[i].max(schedule.local_level_max[bi] as usize)
+                    },
+                    // Initial tokens occupy the ring before any traced push.
+                    highwater: (ring_hw[i] as usize).max(b.initial_tokens),
+                    crossing: crossing[i],
+                }
+            })
+            .collect();
+        tr.phases = schedule
+            .phases
+            .iter()
+            .map(|p| (p.name.to_string(), p.dur_ns))
+            .collect();
+    }
     StaticReport {
         threads,
         values: ValueTrace {
@@ -1436,6 +1625,7 @@ pub fn execute_staticsched_scripted(
         fusion: schedule.fusion,
         mode_switches,
         transition_firings,
+        trace_report,
     }
 }
 

@@ -98,13 +98,12 @@ fn main() {
         println!(
             "    rate conformance at threshold {:.3}: {}",
             threshold,
-            if conformance.satisfied() {
-                "satisfied"
-            } else {
-                "VIOLATED"
-            }
+            conformance.verdict()
         );
         for v in conformance.violations() {
+            println!("      {v}");
+        }
+        for v in conformance.inconclusive_sinks() {
             println!("      {v}");
         }
     }

@@ -12,7 +12,7 @@
 //! Run with `cargo run --release --example staticsched_throughput`.
 
 use oil::compiler::{rtgraph, schedule};
-use oil::rt::{execute_staticsched, measure, KernelLibrary, StaticConfig};
+use oil::rt::{execute_staticsched, measure, ConformanceVerdict, KernelLibrary, StaticConfig};
 use oil::sim::picos;
 
 fn main() {
@@ -67,6 +67,7 @@ fn main() {
             &StaticConfig {
                 record_values: false,
                 warmup_samples: 256,
+                trace: false,
             },
         );
         println!(
@@ -92,11 +93,16 @@ fn main() {
             }
         }
         let conformance = report.conformance(threshold);
-        if !conformance.satisfied() {
-            println!(
+        match conformance.verdict() {
+            ConformanceVerdict::Pass => {}
+            ConformanceVerdict::Inconclusive => println!(
+                "    rate conformance INCONCLUSIVE (warmup never completed on: {})",
+                conformance.inconclusive_sinks().join(", ")
+            ),
+            ConformanceVerdict::Fail => println!(
                 "    rate conformance NOT met at threshold {threshold}:\n      {}",
                 conformance.violations().join("\n      ")
-            );
+            ),
         }
     }
 }

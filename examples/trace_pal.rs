@@ -1,0 +1,156 @@
+//! Traced PAL decoder: one Perfetto-loadable trace per engine.
+//!
+//! Compiles the paper's PAL decoder (Fig. 11), runs it with tracing
+//! enabled on all three engines — the deterministic calendar replay, the
+//! free-running self-timed engine and the compiled static-order engine —
+//! and writes each run's Chrome trace-event JSON next to the workspace
+//! root:
+//!
+//! ```text
+//! pal_calendar.trace.json
+//! pal_selftimed.trace.json
+//! pal_staticsched.trace.json
+//! ```
+//!
+//! Load any of them at <https://ui.perfetto.dev> (or `chrome://tracing`):
+//! one track per worker, firing spans labelled with the kernel/unit name,
+//! park/backpressure/seam events in place. The printed summary shows the
+//! telemetry the CTA lets us check at runtime — ring high-water marks
+//! against proven capacities and measured sink rates against predicted
+//! rates (wall-clock conformance applies to the free-running engines; the
+//! calendar engine replays virtual time, so only its ring telemetry is
+//! shown).
+//!
+//! Run with `OIL_RT_TRACE=1 cargo run --release --example trace_pal`
+//! (tracing is forced on here regardless, so the variable is optional —
+//! it exists for binaries that default to untraced runs).
+
+use oil::compiler::{rtgraph, schedule};
+use oil::rt::{
+    execute, execute_selftimed, execute_staticsched, measure, ConformanceVerdict, KernelLibrary,
+    RateConformance, RtConfig, SelfTimedConfig, StaticConfig, TraceReport,
+};
+use oil::sim::picos;
+
+/// Write the Perfetto trace, print the one-line telemetry summary and the
+/// conformance verdict (when the engine measures wall-clock rates).
+fn report_engine(engine: &str, tr: &TraceReport, conformance: Option<&RateConformance>) {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("pal_{engine}.trace.json"));
+    match std::fs::write(&path, tr.chrome_trace_json()) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+    println!(
+        "  telemetry: parks={} ring_highwater_max={} backpressure_wait_ns={} \
+         seam_latency_observed_ns={} rings_within_capacity={}",
+        tr.park_count(),
+        tr.ring_highwater_max(),
+        tr.backpressure_wait_ns(),
+        tr.seam_latency_observed_ns(),
+        tr.rings_within_capacity()
+    );
+    match conformance {
+        None => println!("  conformance: n/a (virtual-time replay)"),
+        Some(c) => {
+            println!("  conformance: {}", c.verdict());
+            let lines = match c.verdict() {
+                ConformanceVerdict::Pass => Vec::new(),
+                ConformanceVerdict::Fail => c.violations(),
+                ConformanceVerdict::Inconclusive => c.inconclusive_sinks(),
+            };
+            for l in lines {
+                println!("    {l}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let (compiled, analysis) = oil::pal::analyze_pal().expect("the PAL decoder is schedulable");
+    let registry = oil::pal::pal_registry();
+    let graph = rtgraph::lower_with_registry(&compiled, &registry);
+    let plan = rtgraph::plan(&graph);
+    let duration = picos(10e-3);
+    let threads = 2;
+    let threshold = if std::env::var_os("OIL_RT_CONFORMANCE").is_some() {
+        measure::conformance_threshold()
+    } else if cfg!(debug_assertions) {
+        0.005
+    } else {
+        0.02
+    };
+
+    println!("PAL decoder, traced on every engine ({threads} workers, 10 ms virtual)");
+    for (channel, rate) in ["screen", "speakers"]
+        .iter()
+        .filter_map(|c| analysis.channel_rates.get(*c).map(|r| (c, r)))
+    {
+        println!(
+            "  CTA: channel `{channel}` predicted at {} Hz",
+            rate.to_f64()
+        );
+    }
+
+    println!("\ncalendar:");
+    let report = execute(
+        &graph,
+        &KernelLibrary::pal(),
+        duration,
+        &RtConfig {
+            threads,
+            record_values: false,
+            trace: true,
+            ..RtConfig::default()
+        },
+    );
+    let tr = report.trace_report.as_ref().expect("tracing was enabled");
+    report_engine("calendar", tr, None);
+
+    println!("\nselftimed:");
+    let report = execute_selftimed(
+        &graph,
+        &plan,
+        &KernelLibrary::pal(),
+        duration,
+        &SelfTimedConfig {
+            threads,
+            record_values: false,
+            warmup_samples: 256,
+            trace: true,
+            ..SelfTimedConfig::default()
+        },
+    );
+    let conformance = report.conformance(threshold);
+    let tr = report.trace_report.as_ref().expect("tracing was enabled");
+    report_engine("selftimed", tr, Some(&conformance));
+
+    println!("\nstaticsched:");
+    let synth = schedule::SynthesisConfig::from_env();
+    let s =
+        schedule::synthesize(&graph, &plan, threads, &synth).expect("the PAL graph is schedulable");
+    let report = execute_staticsched(
+        &graph,
+        &s,
+        &KernelLibrary::pal(),
+        duration,
+        &StaticConfig {
+            record_values: false,
+            warmup_samples: 256,
+            trace: true,
+        },
+    );
+    let conformance = report.conformance(threshold);
+    let tr = report.trace_report.as_ref().expect("tracing was enabled");
+    report_engine("staticsched", tr, Some(&conformance));
+
+    // The machine-readable summary of the static-order run — the same
+    // content as the Perfetto trace, aggregated (firing histograms, ring
+    // high-water vs capacity, compile phases, conformance verdict).
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("pal_staticsched.summary.json");
+    match std::fs::write(&path, tr.summary_json(Some(&conformance))) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

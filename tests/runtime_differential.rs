@@ -136,6 +136,7 @@ fn runtime_traces_match_the_simulator_on_generated_programs() {
                     warmup_ticks: warmup,
                     record_traces: true,
                     record_values: true,
+                    trace: oil::rt::env_trace(),
                 },
             );
             if let Some(divergence) = report.trace.first_divergence(&sim_trace) {
@@ -193,6 +194,7 @@ fn runtime_value_streams_are_thread_count_invariant() {
                     warmup_ticks: warmup,
                     record_traces: true,
                     record_values: true,
+                    trace: oil::rt::env_trace(),
                 },
             );
             match &baseline {
@@ -242,6 +244,7 @@ fn pal_decoder_runtime_matches_simulator_with_zero_misses() {
                 warmup_ticks: config_warmup,
                 record_traces: true,
                 record_values: true,
+                trace: oil::rt::env_trace(),
             },
         );
         if let Some(divergence) = report.trace.first_divergence(&sim_trace) {

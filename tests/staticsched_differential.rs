@@ -45,8 +45,8 @@ use oil::compiler::schedule::{
 use oil::compiler::{compile, rtgraph, CompileError, CompilerOptions};
 use oil::gen::ProgramScenario;
 use oil::rt::{
-    execute_selftimed, execute_staticsched, measure, KernelLibrary, SelfTimedConfig, StaticConfig,
-    StaticReport,
+    execute_selftimed, execute_staticsched, measure, ConformanceVerdict, KernelLibrary,
+    SelfTimedConfig, StaticConfig, StaticReport,
 };
 use oil::sim::picos;
 
@@ -102,6 +102,10 @@ fn static_run(
         picos(duration_seconds),
         &StaticConfig {
             warmup_samples: 4,
+            // The CI traced-differential leg (OIL_RT_TRACE=1) drives the
+            // whole suite down the instrumented paths; bit-identity with
+            // the untraced run is its own oracle (trace_differential.rs).
+            trace: oil::rt::env_trace(),
             ..StaticConfig::default()
         },
     )
@@ -654,6 +658,12 @@ fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
     let plan = rtgraph::plan(&graph);
 
     let duration = picos(2e-3);
+    // As in the self-timed PAL test: the static replays get a longer
+    // horizon so the 32 kHz speakers sink clears its 256-sample warmup
+    // and the conformance verdict can be a real Pass, never vacuously
+    // inconclusive. The self-timed reference stays short — the prefix
+    // oracle only needs a prefix.
+    let replay_duration = picos(12e-3);
     let reference = execute_selftimed(
         &graph,
         &plan,
@@ -684,7 +694,7 @@ fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
             &graph,
             &schedule,
             &KernelLibrary::pal(),
-            duration,
+            replay_duration,
             &StaticConfig {
                 warmup_samples: 256,
                 ..StaticConfig::default()
@@ -708,14 +718,14 @@ fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
         };
         let mut conformance = report.conformance(threshold);
         for _retry in 0..2 {
-            if conformance.satisfied() {
+            if conformance.verdict() == ConformanceVerdict::Pass {
                 break;
             }
             let again = execute_staticsched(
                 &graph,
                 &schedule,
                 &KernelLibrary::pal(),
-                duration,
+                replay_duration,
                 &StaticConfig {
                     warmup_samples: 256,
                     ..StaticConfig::default()
@@ -724,10 +734,16 @@ fn pal_decoder_static_replay_conforms_to_the_predicted_rates() {
             conformance = again.conformance(threshold);
         }
         assert!(
-            conformance.satisfied(),
-            "PAL rate conformance violated at {workers} worker(s) in 3 consecutive \
+            conformance.verdict() == ConformanceVerdict::Pass,
+            "PAL rate conformance {} at {workers} worker(s) in 3 consecutive \
              measurements:\n  {}",
-            conformance.violations().join("\n  ")
+            conformance.verdict(),
+            conformance
+                .violations()
+                .into_iter()
+                .chain(conformance.inconclusive_sinks())
+                .collect::<Vec<_>>()
+                .join("\n  ")
         );
     }
 }
