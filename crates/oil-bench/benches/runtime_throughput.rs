@@ -30,7 +30,7 @@
 //!   and worker threads pay off.
 //!
 //! Results are printed and written to `BENCH_runtime.json` at the workspace
-//! root under **schema v7**: one record per (workload, engine_mode,
+//! root under **schema v8**: one record per (workload, engine_mode,
 //! threads), each carrying the host parallelism measured *at that row's
 //! execution* (`std::thread::available_parallelism()` can change under
 //! cgroup pressure mid-run), a `"degraded": true` flag whenever
@@ -40,12 +40,27 @@
 //! `rings_elided`, `fused_chain_len_max`; zero on the other engines),
 //! `engine_actual` (v5): the engine that really produced the row,
 //! `transition_firings` (v6): modal firings spent draining a mode-switch
-//! seam (0 on non-modal and union-advance workloads), and (new in v7) the
-//! runtime-trace telemetry of each row — `park_count`,
-//! `ring_highwater_max`, `backpressure_wait_ns`,
-//! `seam_latency_observed_ns` — populated when `OIL_RT_TRACE=1` enables
-//! the tracer and 0 otherwise (except `park_count`, which the self-timed
-//! engine counts unconditionally).
+//! seam (0 on non-modal and union-advance workloads), the runtime-trace
+//! telemetry columns (v7) — `park_count`, `ring_highwater_max`,
+//! `backpressure_wait_ns`, `seam_latency_observed_ns` — and (new in v8):
+//!
+//! * `telemetry_source` — where those four columns came from: `"inline"`
+//!   when the row itself ran traced (`OIL_RT_TRACE=1`), `"companion"` when
+//!   a short traced companion run at the smoke horizon supplied them (the
+//!   headline rows run untraced, and schema v7's constant zeros taught
+//!   nothing), `"none"` on the sim rows;
+//! * `cost_model_hash` — the fingerprint of the `KernelCostModel` that
+//!   steered a static-order row's partition (`OIL_COST_MODEL`), or null;
+//! * `predicted_utilization` / `measured_utilization` — per-worker
+//!   utilization: predicted by synthesis from its cost vector, measured by
+//!   the metrics registry (`OIL_RT_METRICS=1`; empty when metrics are off);
+//! * `drift` — the registry's CTA-drift verdict for the row
+//!   (`ok`/`degrading`/`violated`, `none` with metrics off);
+//!
+//! plus a top-level `cost_model` provenance object (hash, host, entry
+//! count) when a model steered the run. A traced row (inline or companion)
+//! that dropped events prints a `WARNING:` line — a saturated buffer must
+//! not silently truncate the evidence.
 //! A requested staticsched row whose synthesis is rejected falls back to
 //! selftimed **loudly** — `engine_actual` records it, a `FALLBACK:` line is
 //! printed, and the smoke run fails — never a mislabelled number.
@@ -54,6 +69,10 @@
 //! smoke-sized horizon (CI). `--floor-pal-staticsched <tokens/s>` makes the
 //! run fail when the PAL static-order single-worker row falls below the
 //! given throughput — the CI regression floor for the fused engine.
+//! `--compare <baseline.json>` fails the run when any non-degraded engine
+//! row regresses more than 25% in tokens/wall-second against the same
+//! non-degraded row of a committed baseline (sim rows are reference, not
+//! gated).
 
 use oil_compiler::rtgraph::{self, RtGraph};
 use oil_compiler::schedule::{FusionStats, ScheduleError, SynthesisConfig};
@@ -61,8 +80,9 @@ use oil_compiler::{compile, schedule, CompilerOptions};
 use oil_dsp::{Decimator, FirFilter, Mixer, RationalResampler};
 use oil_lang::registry::{FunctionRegistry, FunctionSignature};
 use oil_rt::{
-    env_trace, execute, execute_selftimed, execute_staticsched, Kernel, KernelLibrary, RtConfig,
-    SelfTimedConfig, StaticConfig, TraceReport,
+    env_metrics, env_trace, execute, execute_selftimed, execute_staticsched, DriftVerdict, Kernel,
+    KernelLibrary, MetricsConfig, MetricsReport, RtConfig, SelfTimedConfig, StaticConfig,
+    TraceReport,
 };
 use oil_sim::{build_simulation_from_graph, picos, SimulationConfig};
 use std::fmt::Write as _;
@@ -88,31 +108,90 @@ struct Row {
     /// Modal firings spent draining a mode-switch seam (schema v6; 0 for
     /// non-modal workloads and for engines without seam accounting).
     transition_firings: u64,
-    /// Runtime-trace telemetry (schema v7): condvar + ring parks. 0 with
-    /// tracing off, except on selftimed rows (counted unconditionally).
+    /// Where the four telemetry columns below came from (schema v8):
+    /// `"inline"` (this row ran traced), `"companion"` (a short traced run
+    /// at the smoke horizon), or `"none"` (sim rows).
+    telemetry_source: &'static str,
+    /// Runtime-trace telemetry (schema v7): condvar + ring parks.
     park_count: u64,
-    /// Highest ring occupancy observed after a push (0 with tracing off).
+    /// Highest ring occupancy observed after a push.
     ring_highwater_max: usize,
-    /// Nanoseconds blocked on ring backpressure (0 with tracing off).
+    /// Nanoseconds blocked on ring backpressure.
     backpressure_wait_ns: u64,
-    /// Longest observed mode-switch seam span (0 with tracing off).
+    /// Longest observed mode-switch seam span.
     seam_latency_observed_ns: u64,
+    /// Fingerprint of the cost model that steered this static-order row's
+    /// partition (schema v8; None off staticsched or without a model).
+    cost_model_hash: Option<u64>,
+    /// Synthesis-predicted per-worker utilization (staticsched rows only).
+    predicted_utilization: Vec<f64>,
+    /// Metrics-measured per-worker utilization (empty with metrics off).
+    measured_utilization: Vec<f64>,
+    /// The metrics registry's drift verdict for this row (`none` when
+    /// metrics are off).
+    drift: &'static str,
 }
 
 fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// The v7 telemetry quadruple of a row, all zeros when tracing is off.
-fn trace_fields(tr: Option<&TraceReport>) -> (u64, usize, u64, u64) {
-    tr.map_or((0, 0, 0, 0), |t| {
-        (
-            t.park_count(),
-            t.ring_highwater_max(),
-            t.backpressure_wait_ns(),
-            t.seam_latency_observed_ns(),
-        )
-    })
+/// The v7 telemetry quadruple of a row.
+fn trace_fields(tr: &TraceReport) -> (u64, usize, u64, u64) {
+    (
+        tr.park_count(),
+        tr.ring_highwater_max(),
+        tr.backpressure_wait_ns(),
+        tr.seam_latency_observed_ns(),
+    )
+}
+
+/// A saturated trace buffer silently truncates the evidence; say so.
+fn warn_drops(label: &str, tr: &TraceReport) {
+    if tr.dropped > 0 {
+        eprintln!(
+            "WARNING: {label}: traced run dropped {} event(s) — telemetry \
+             under-counts; raise the horizon or lower the worker count",
+            tr.dropped
+        );
+    }
+}
+
+/// Telemetry for one engine row: from the row's own trace when tracing is
+/// on, else from a traced companion run at the smoke horizon (schema v7
+/// emitted constant zeros here).
+fn telemetry(
+    label: &str,
+    inline: Option<&TraceReport>,
+    companion: impl FnOnce() -> Option<TraceReport>,
+) -> (&'static str, u64, usize, u64, u64) {
+    if let Some(tr) = inline {
+        warn_drops(label, tr);
+        let (p, h, b, s) = trace_fields(tr);
+        return ("inline", p, h, b, s);
+    }
+    match companion() {
+        Some(tr) => {
+            warn_drops(&format!("{label} (companion)"), &tr);
+            let (p, h, b, s) = trace_fields(&tr);
+            ("companion", p, h, b, s)
+        }
+        None => ("none", 0, 0, 0, 0),
+    }
+}
+
+fn drift_tag(m: Option<&MetricsReport>) -> &'static str {
+    match m.map(|m| &m.verdict) {
+        None => "none",
+        Some(DriftVerdict::Ok) => "ok",
+        Some(DriftVerdict::Degrading { .. }) => "degrading",
+        Some(DriftVerdict::Violated { .. }) => "violated",
+    }
+}
+
+fn measured_utilization(m: Option<&MetricsReport>, wall: std::time::Duration) -> Vec<f64> {
+    m.map(|m| m.measured_utilization(wall.as_nanos() as u64))
+        .unwrap_or_default()
 }
 
 fn pal_graph() -> RtGraph {
@@ -197,19 +276,22 @@ fn wide_graph() -> (RtGraph, KernelLibrary) {
 
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
+#[allow(clippy::too_many_arguments)]
 fn bench_workload(
     rows: &mut Vec<Row>,
     workload: &'static str,
     graph: &RtGraph,
     lib: &KernelLibrary,
     virtual_s: f64,
+    companion_s: f64,
     synth: &SynthesisConfig,
     trace: bool,
+    metrics: Option<MetricsConfig>,
 ) {
     // Simulator floor (token origins only, no kernels, no trace recording).
     let mut net = build_simulation_from_graph(graph);
     let started = Instant::now();
-    let metrics = net.run(
+    let sim_metrics = net.run(
         picos(virtual_s),
         &SimulationConfig {
             cores: 0,
@@ -219,7 +301,7 @@ fn bench_workload(
     let wall = started.elapsed();
     // Same currency as the runtime reports — values actually pushed into
     // buffers — so every row is directly comparable.
-    let tokens = metrics.tokens_written;
+    let tokens = sim_metrics.tokens_written;
     rows.push(Row {
         workload,
         engine_mode: "sim",
@@ -232,31 +314,43 @@ fn bench_workload(
         host_parallelism: host_parallelism(),
         fusion: FusionStats::default(),
         transition_firings: 0,
+        telemetry_source: "none",
         park_count: 0,
         ring_highwater_max: 0,
         backpressure_wait_ns: 0,
         seam_latency_observed_ns: 0,
+        cost_model_hash: None,
+        predicted_utilization: Vec::new(),
+        measured_utilization: Vec::new(),
+        drift: "none",
     });
 
     for threads in THREAD_SWEEP {
-        let report = execute(
-            graph,
-            lib,
-            picos(virtual_s),
-            &RtConfig {
-                threads,
-                warmup_ticks: 64,
-                record_traces: false,
-                record_values: false,
-                trace,
-            },
-        );
+        let run = |trace: bool, horizon: f64| {
+            execute(
+                graph,
+                lib,
+                picos(horizon),
+                &RtConfig {
+                    threads,
+                    warmup_ticks: 64,
+                    record_traces: false,
+                    record_values: false,
+                    trace,
+                    metrics,
+                },
+            )
+        };
+        let report = run(trace, virtual_s);
         assert!(
             report.meets_real_time_constraints(),
             "{workload}: calendar engine missed constraints at {threads} threads"
         );
-        let (park_count, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
-            trace_fields(report.trace_report.as_ref());
+        let label = format!("{workload} calendar@{threads}");
+        let (telemetry_source, park_count, ring_highwater_max, backpressure, seam) =
+            telemetry(&label, report.trace_report.as_ref(), || {
+                run(true, companion_s).trace_report
+            });
         rows.push(Row {
             workload,
             engine_mode: "calendar",
@@ -269,33 +363,45 @@ fn bench_workload(
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
             transition_firings: 0,
+            telemetry_source,
             park_count,
             ring_highwater_max,
-            backpressure_wait_ns,
-            seam_latency_observed_ns,
+            backpressure_wait_ns: backpressure,
+            seam_latency_observed_ns: seam,
+            cost_model_hash: None,
+            predicted_utilization: Vec::new(),
+            measured_utilization: measured_utilization(report.metrics.as_ref(), report.wall),
+            drift: drift_tag(report.metrics.as_ref()),
         });
     }
 
     let plan = rtgraph::plan(graph);
     for threads in THREAD_SWEEP {
-        let report = execute_selftimed(
-            graph,
-            &plan,
-            lib,
-            picos(virtual_s),
-            &SelfTimedConfig {
-                threads,
-                record_values: false,
-                trace,
-                ..SelfTimedConfig::default()
-            },
-        );
+        let run = |trace: bool, horizon: f64| {
+            execute_selftimed(
+                graph,
+                &plan,
+                lib,
+                picos(horizon),
+                &SelfTimedConfig {
+                    threads,
+                    record_values: false,
+                    trace,
+                    metrics,
+                    ..SelfTimedConfig::default()
+                },
+            )
+        };
+        let report = run(trace, virtual_s);
         assert!(
             !report.deadlocked,
             "{workload}: self-timed engine deadlocked at {threads} threads"
         );
-        let (_, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
-            trace_fields(report.trace_report.as_ref());
+        let label = format!("{workload} selftimed@{threads}");
+        let (telemetry_source, telemetry_parks, ring_highwater_max, backpressure, seam) =
+            telemetry(&label, report.trace_report.as_ref(), || {
+                run(true, companion_s).trace_report
+            });
         rows.push(Row {
             workload,
             engine_mode: "selftimed",
@@ -308,34 +414,47 @@ fn bench_workload(
             host_parallelism: host_parallelism(),
             fusion: FusionStats::default(),
             transition_firings: 0,
-            // The self-timed engine counts parks unconditionally.
-            park_count: report.parks,
+            telemetry_source,
+            // The self-timed engine counts parks unconditionally; the
+            // row's own count beats the companion's shorter horizon.
+            park_count: if telemetry_source == "inline" {
+                telemetry_parks
+            } else {
+                report.parks
+            },
             ring_highwater_max,
-            backpressure_wait_ns,
-            seam_latency_observed_ns,
+            backpressure_wait_ns: backpressure,
+            seam_latency_observed_ns: seam,
+            cost_model_hash: None,
+            predicted_utilization: Vec::new(),
+            measured_utilization: measured_utilization(report.metrics.as_ref(), report.wall),
+            drift: drift_tag(report.metrics.as_ref()),
         });
     }
 
     for workers in THREAD_SWEEP {
         match schedule::synthesize(graph, &plan, workers, synth) {
             Ok(schedule) => {
-                let report = execute_staticsched(
-                    graph,
-                    &schedule,
-                    lib,
-                    picos(virtual_s),
-                    &StaticConfig {
-                        record_values: false,
-                        trace,
-                        ..StaticConfig::default()
-                    },
-                );
-                let (
-                    park_count,
-                    ring_highwater_max,
-                    backpressure_wait_ns,
-                    seam_latency_observed_ns,
-                ) = trace_fields(report.trace_report.as_ref());
+                let run = |trace: bool, horizon: f64| {
+                    execute_staticsched(
+                        graph,
+                        &schedule,
+                        lib,
+                        picos(horizon),
+                        &StaticConfig {
+                            record_values: false,
+                            trace,
+                            metrics,
+                            ..StaticConfig::default()
+                        },
+                    )
+                };
+                let report = run(trace, virtual_s);
+                let label = format!("{workload} staticsched@{workers}");
+                let (telemetry_source, park_count, ring_highwater_max, backpressure, seam) =
+                    telemetry(&label, report.trace_report.as_ref(), || {
+                        run(true, companion_s).trace_report
+                    });
                 rows.push(Row {
                     workload,
                     engine_mode: "staticsched",
@@ -348,10 +467,18 @@ fn bench_workload(
                     host_parallelism: host_parallelism(),
                     fusion: report.fusion,
                     transition_firings: report.transition_firings,
+                    telemetry_source,
                     park_count,
                     ring_highwater_max,
-                    backpressure_wait_ns,
-                    seam_latency_observed_ns,
+                    backpressure_wait_ns: backpressure,
+                    seam_latency_observed_ns: seam,
+                    cost_model_hash: schedule.cost_model_hash,
+                    predicted_utilization: schedule.predicted_utilization.clone(),
+                    measured_utilization: measured_utilization(
+                        report.metrics.as_ref(),
+                        report.wall,
+                    ),
+                    drift: drift_tag(report.metrics.as_ref()),
                 });
             }
             Err(e @ ScheduleError::NonUniformCluster { .. }) => {
@@ -360,22 +487,30 @@ fn bench_workload(
                 // say so — the row records the engine actually used and
                 // the smoke run fails on it.
                 eprintln!(
-                    "WARNING: {workload}: staticsched@{workers} fell back to                      selftimed: {e}"
+                    "WARNING: {workload}: staticsched@{workers} fell back to \
+                     selftimed: {e}"
                 );
-                let report = execute_selftimed(
-                    graph,
-                    &plan,
-                    lib,
-                    picos(virtual_s),
-                    &SelfTimedConfig {
-                        threads: workers,
-                        record_values: false,
-                        trace,
-                        ..SelfTimedConfig::default()
-                    },
-                );
-                let (_, ring_highwater_max, backpressure_wait_ns, seam_latency_observed_ns) =
-                    trace_fields(report.trace_report.as_ref());
+                let run = |trace: bool, horizon: f64| {
+                    execute_selftimed(
+                        graph,
+                        &plan,
+                        lib,
+                        picos(horizon),
+                        &SelfTimedConfig {
+                            threads: workers,
+                            record_values: false,
+                            trace,
+                            metrics,
+                            ..SelfTimedConfig::default()
+                        },
+                    )
+                };
+                let report = run(trace, virtual_s);
+                let label = format!("{workload} staticsched@{workers} (fallback)");
+                let (telemetry_source, telemetry_parks, ring_highwater_max, backpressure, seam) =
+                    telemetry(&label, report.trace_report.as_ref(), || {
+                        run(true, companion_s).trace_report
+                    });
                 rows.push(Row {
                     workload,
                     engine_mode: "staticsched",
@@ -388,15 +523,77 @@ fn bench_workload(
                     host_parallelism: host_parallelism(),
                     fusion: FusionStats::default(),
                     transition_firings: report.transition_firings,
-                    park_count: report.parks,
+                    telemetry_source,
+                    park_count: if telemetry_source == "inline" {
+                        telemetry_parks
+                    } else {
+                        report.parks
+                    },
                     ring_highwater_max,
-                    backpressure_wait_ns,
-                    seam_latency_observed_ns,
+                    backpressure_wait_ns: backpressure,
+                    seam_latency_observed_ns: seam,
+                    cost_model_hash: None,
+                    predicted_utilization: Vec::new(),
+                    measured_utilization: measured_utilization(
+                        report.metrics.as_ref(),
+                        report.wall,
+                    ),
+                    drift: drift_tag(report.metrics.as_ref()),
                 });
             }
             Err(e) => panic!("{workload}: schedule synthesis at {workers} workers: {e}"),
         }
     }
+}
+
+fn utilization_json(u: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in u.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{x:.4}");
+    }
+    s.push(']');
+    s
+}
+
+/// Pull the value of `key` out of a one-line schema-v7/v8 row. Scalar
+/// fields only (the array fields are emitted after every scalar).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+struct BaselineRow {
+    workload: String,
+    engine_mode: String,
+    threads: usize,
+    virtual_s: f64,
+    tokens_per_wall_s: f64,
+    degraded: bool,
+}
+
+/// Parse the committed BENCH_runtime.json (one row per line, as this
+/// binary writes it — schema v7 or v8). A hand-rolled reader: the vendored
+/// serde is a stub.
+fn parse_baseline(raw: &str) -> Vec<BaselineRow> {
+    raw.lines()
+        .filter_map(|line| {
+            let workload = field(line, "workload")?.to_string();
+            Some(BaselineRow {
+                workload,
+                engine_mode: field(line, "engine_mode")?.to_string(),
+                threads: field(line, "threads")?.parse().ok()?,
+                virtual_s: field(line, "virtual_seconds")?.parse().ok()?,
+                tokens_per_wall_s: field(line, "tokens_per_wall_second")?.parse().ok()?,
+                degraded: field(line, "degraded")? == "true",
+            })
+        })
+        .collect()
 }
 
 fn main() {
@@ -413,18 +610,52 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--floor-pal-staticsched takes a tokens/s number")
         });
+    let compare_path: Option<String> = args.iter().position(|a| a == "--compare").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .expect("--compare takes a baseline JSON path")
+    });
+    // Read the baseline up front — this run overwrites BENCH_runtime.json
+    // at the workspace root, and comparing against our own fresh output
+    // would make the gate vacuous.
+    let baseline: Option<(String, Vec<BaselineRow>)> = compare_path.map(|path| {
+        // Cargo runs bench binaries from the package dir; accept a path
+        // relative to the workspace root too (where this binary writes).
+        let resolved = if std::path::Path::new(&path).exists() {
+            std::path::PathBuf::from(&path)
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../")
+                .join(&path)
+        };
+        let raw = std::fs::read_to_string(&resolved)
+            .unwrap_or_else(|e| panic!("--compare: cannot read {path}: {e}"));
+        let rows = parse_baseline(&raw);
+        assert!(
+            !rows.is_empty(),
+            "--compare: no benchmark rows found in {path}"
+        );
+        (path, rows)
+    });
     let (pal_s, sdr_s, wide_s) = if smoke {
         (1e-3, 0.05, 0.1)
     } else {
         (10e-3, 1.0, 2.0)
     };
+    // Traced companions always run at the smoke horizon: telemetry shape,
+    // not throughput, is what they report.
+    let (pal_c, sdr_c, wide_c) = (1e-3, 0.05, 0.1);
 
-    // The one place the fusion toggle reads the environment: every
-    // synthesis below sees the same immutable config.
+    // The one place the fusion/cost-model toggles read the environment:
+    // every synthesis below sees the same immutable config.
     let synth = SynthesisConfig::from_env();
     // Tracing is opt-in (OIL_RT_TRACE=1); the regression floor is always
-    // gated on an untraced run, so the four telemetry columns read 0 there.
+    // gated on an untraced run, so the four telemetry columns of the
+    // headline rows come from traced companion runs instead. Metrics are
+    // equally opt-in (OIL_RT_METRICS=1) and ride the headline rows — the
+    // registry is designed to be left on.
     let trace = env_trace();
+    let metrics = env_metrics();
 
     let mut rows = Vec::new();
     let pal = pal_graph();
@@ -434,13 +665,19 @@ fn main() {
         &pal,
         &KernelLibrary::pal(),
         pal_s,
+        pal_c,
         &synth,
         trace,
+        metrics,
     );
     let (sdr, sdr_lib) = sdr_graph();
-    bench_workload(&mut rows, "sdr", &sdr, &sdr_lib, sdr_s, &synth, trace);
+    bench_workload(
+        &mut rows, "sdr", &sdr, &sdr_lib, sdr_s, sdr_c, &synth, trace, metrics,
+    );
     let (wide, wide_lib) = wide_graph();
-    bench_workload(&mut rows, "wide", &wide, &wide_lib, wide_s, &synth, trace);
+    bench_workload(
+        &mut rows, "wide", &wide, &wide_lib, wide_s, wide_c, &synth, trace, metrics,
+    );
 
     println!(
         "\n{:<8} {:<12} {:<12} {:>7} {:>10} {:>12} {:>12} {:>16} {:>6}",
@@ -469,37 +706,55 @@ fn main() {
         );
     }
 
-    // One line of runtime telemetry per engine row when tracing is on —
-    // the smoke leg's quick look at scheduler health without opening the
-    // Perfetto trace. All four columns are 0 on untraced runs (except
-    // selftimed park counts, which the engine tallies unconditionally).
+    // One line of runtime telemetry per engine row when the run is smoke-
+    // sized — the CI leg's quick look at scheduler health without opening
+    // the Perfetto trace.
     if smoke {
         for r in rows.iter().filter(|r| r.engine_mode != "sim") {
             println!(
-                "telemetry: {} {}@{} parks={} ring_highwater_max={} \
-                 backpressure_wait_ns={} seam_latency_observed_ns={}",
+                "telemetry[{}]: {} {}@{} parks={} ring_highwater_max={} \
+                 backpressure_wait_ns={} seam_latency_observed_ns={} drift={}",
+                r.telemetry_source,
                 r.workload,
                 r.engine_actual,
                 r.threads,
                 r.park_count,
                 r.ring_highwater_max,
                 r.backpressure_wait_ns,
-                r.seam_latency_observed_ns
+                r.seam_latency_observed_ns,
+                r.drift
             );
         }
     }
 
-    // Machine-readable results at the workspace root (schema v7: v6's
-    // fusion counters, `engine_actual` and `transition_firings` plus the
-    // four trace-telemetry columns — park counts, the worst ring
-    // high-water mark, total backpressure wait and observed seam latency.
-    // All four are 0 when tracing is disabled).
+    // Machine-readable results at the workspace root (schema v8: see the
+    // module docs for the field-by-field history). One row per line — the
+    // `--compare` reader and external tooling rely on it.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema_version\": 7,");
+    let _ = writeln!(json, "  \"schema_version\": 8,");
+    match synth.cost_model.as_ref() {
+        Some(m) => {
+            let _ = writeln!(
+                json,
+                "  \"cost_model\": {{\"hash\": \"{:016x}\", \"host\": \"{}\", \
+                 \"functions\": {}}},",
+                m.fingerprint(),
+                m.host,
+                m.entries.len()
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"cost_model\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let degraded = r.threads > r.host_parallelism;
+        let cost_model_hash = match r.cost_model_hash {
+            Some(h) => format!("\"{h:016x}\""),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             json,
             "    {{\"workload\": \"{}\", \"engine_mode\": \"{}\", \
@@ -508,8 +763,11 @@ fn main() {
              \"tokens_per_wall_second\": {:.0}, \"host_parallelism\": {}, \
              \"degraded\": {}, \"runs_fused\": {}, \"rings_elided\": {}, \
              \"fused_chain_len_max\": {}, \"transition_firings\": {}, \
-             \"park_count\": {}, \"ring_highwater_max\": {}, \
-             \"backpressure_wait_ns\": {}, \"seam_latency_observed_ns\": {}}}{}",
+             \"telemetry_source\": \"{}\", \"park_count\": {}, \
+             \"ring_highwater_max\": {}, \"backpressure_wait_ns\": {}, \
+             \"seam_latency_observed_ns\": {}, \"cost_model_hash\": {}, \
+             \"drift\": \"{}\", \"predicted_utilization\": {}, \
+             \"measured_utilization\": {}}}{}",
             r.workload,
             r.engine_mode,
             r.engine_actual,
@@ -524,10 +782,15 @@ fn main() {
             r.fusion.rings_elided,
             r.fusion.fused_chain_len_max,
             r.transition_firings,
+            r.telemetry_source,
             r.park_count,
             r.ring_highwater_max,
             r.backpressure_wait_ns,
             r.seam_latency_observed_ns,
+            cost_model_hash,
+            r.drift,
+            utilization_json(&r.predicted_utilization),
+            utilization_json(&r.measured_utilization),
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -575,5 +838,67 @@ fn main() {
             "PAL staticsched@1 throughput {:.0} tokens/s clears the floor {floor:.0}",
             row.tokens_per_wall_s
         );
+    }
+
+    // Regression gate against a committed baseline: a non-degraded engine
+    // row that lost more than 25% of its tokens/wall-second against the
+    // same non-degraded baseline row fails the run. Degraded rows
+    // (threads > host cores, either side) carry no signal and are
+    // skipped, as are rows the baseline lacks (new workloads/engines) and
+    // the sim rows — the no-kernel floor is a single-shot millisecond
+    // measurement whose run-to-run swing exceeds the gate's threshold
+    // (the scenario_sweep bench times the simulator properly).
+    if let Some((path, baseline)) = baseline {
+        let mut regressions = 0usize;
+        let mut compared = 0usize;
+        for r in rows
+            .iter()
+            .filter(|r| r.engine_mode != "sim" && r.threads <= r.host_parallelism)
+        {
+            // virtual_seconds is part of the key: a smoke-horizon row
+            // against a full-horizon baseline (or vice versa) measures
+            // fixed-cost amortisation, not a regression.
+            let Some(b) = baseline.iter().find(|b| {
+                b.workload == r.workload
+                    && b.engine_mode == r.engine_mode
+                    && b.threads == r.threads
+                    && b.virtual_s == r.virtual_s
+            }) else {
+                continue;
+            };
+            if b.degraded || b.tokens_per_wall_s <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ratio = r.tokens_per_wall_s / b.tokens_per_wall_s;
+            if ratio < 0.75 {
+                regressions += 1;
+                eprintln!(
+                    "REGRESSION: {} {}@{}: {:.0} tokens/s is {:.0}% of the \
+                     baseline {:.0}",
+                    r.workload,
+                    r.engine_mode,
+                    r.threads,
+                    r.tokens_per_wall_s,
+                    ratio * 100.0,
+                    b.tokens_per_wall_s
+                );
+            }
+        }
+        // A gate that compared nothing proved nothing — refuse to pass
+        // vacuously (horizon mismatch, all-degraded baseline, renamed
+        // workloads all land here).
+        if compared == 0 {
+            eprintln!(
+                "FAIL: --compare matched no baseline row (same workload, engine, \
+                 threads and virtual horizon, both sides non-degraded) in {path}"
+            );
+            std::process::exit(1);
+        }
+        if regressions > 0 {
+            eprintln!("FAIL: {regressions} non-degraded row(s) regressed >25% vs {path}");
+            std::process::exit(1);
+        }
+        println!("bench-compare: {compared} row(s) compared, none regressed >25% vs {path}");
     }
 }

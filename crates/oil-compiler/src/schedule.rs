@@ -70,6 +70,7 @@
 //! needs no quiescence protocol — it executes a pre-computed number of
 //! iterations and stops.
 
+use crate::costmodel::KernelCostModel;
 use crate::rtgraph::{RtBufferId, RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
 use oil_dataflow::index::{Idx, IndexVec};
 use oil_dataflow::sdf::SdfGraph;
@@ -184,7 +185,7 @@ impl std::error::Error for ScheduleError {}
 /// instead of re-reading `OIL_RT_FUSION` inside every synthesis, which is
 /// racy when tests mutate the environment across threads and invisible to
 /// callers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisConfig {
     /// Run the fusion pass (super-step coalescing; see [`FusedRun`]).
     pub fusion: bool,
@@ -194,6 +195,13 @@ pub struct SynthesisConfig {
     /// schedules. `None` leaves the seam latency unconstrained (it is still
     /// computed and reported in [`ModeDependent::seam_latency_max`]).
     pub seam_latency_bound: Option<Rational>,
+    /// Measured per-kernel costs steering `partition_workers`. `None`
+    /// balances on the declared CTA response times (the historical
+    /// behaviour, byte-identical schedules). `Some` balances on measured
+    /// ns/firing, falling back to the declared response (scaled to ns) for
+    /// functions the model has not calibrated — placement only, the
+    /// partition is still proven by the exact-integer replay either way.
+    pub cost_model: Option<KernelCostModel>,
 }
 
 impl Default for SynthesisConfig {
@@ -201,6 +209,7 @@ impl Default for SynthesisConfig {
         SynthesisConfig {
             fusion: true,
             seam_latency_bound: None,
+            cost_model: None,
         }
     }
 }
@@ -208,11 +217,14 @@ impl Default for SynthesisConfig {
 impl SynthesisConfig {
     /// Read the configuration from the environment once (`OIL_RT_FUSION=0`
     /// disables fusion, `1` or unset enables it; anything else is a loud
-    /// error — see [`fusion_enabled`]).
+    /// error — see [`fusion_enabled`]. `OIL_COST_MODEL=<path>` loads a
+    /// measured cost model, loud on junk — see
+    /// [`KernelCostModel::from_env`]).
     pub fn from_env() -> Self {
         SynthesisConfig {
             fusion: fusion_enabled(),
             seam_latency_bound: None,
+            cost_model: KernelCostModel::from_env(),
         }
     }
 }
@@ -689,11 +701,23 @@ pub struct StaticSchedule {
     /// only: not part of [`Self::digest`] and never compared by the
     /// golden corpus.
     pub phases: Vec<PhaseSpan>,
+    /// [`KernelCostModel::fingerprint`] of the measured cost model that
+    /// steered the partition, `None` when declared response times did.
+    /// Provenance only: excluded from equality and [`Self::digest`], like
+    /// [`Self::phases`] — two syntheses that landed on the same structure
+    /// are the same schedule regardless of what steered the balance.
+    pub cost_model_hash: Option<u64>,
+    /// Per worker: predicted utilization under the cost vector the
+    /// partitioner balanced (worker load / heaviest worker load, in
+    /// `(0, 1]`). Observational, excluded from equality and digest.
+    pub predicted_utilization: Vec<f64>,
 }
 
 impl PartialEq for StaticSchedule {
     fn eq(&self, other: &Self) -> bool {
-        // Everything except `phases` (wall time, nondeterministic).
+        // Everything except `phases` (wall time, nondeterministic) and the
+        // cost-model provenance (`cost_model_hash`,
+        // `predicted_utilization` — observational, not structure).
         self.units == other.units
             && self.period == other.period
             && self.workers == other.workers
@@ -2391,33 +2415,35 @@ pub fn synthesize(
     workers: usize,
     config: &SynthesisConfig,
 ) -> Result<StaticSchedule, ScheduleError> {
-    synthesize_impl(
-        graph,
-        plan,
-        workers,
-        config.fusion,
-        config.seam_latency_bound,
-    )
+    synthesize_impl(graph, plan, workers, config)
 }
 
 /// [`synthesize`] with the fusion pass explicitly on or off (and no seam
-/// latency bound).
+/// latency bound, declared costs).
 pub fn synthesize_with(
     graph: &RtGraph,
     plan: &RtPlan,
     workers: usize,
     fuse: bool,
 ) -> Result<StaticSchedule, ScheduleError> {
-    synthesize_impl(graph, plan, workers, fuse, None)
+    synthesize_impl(
+        graph,
+        plan,
+        workers,
+        &SynthesisConfig {
+            fusion: fuse,
+            ..SynthesisConfig::default()
+        },
+    )
 }
 
 fn synthesize_impl(
     graph: &RtGraph,
     plan: &RtPlan,
     workers: usize,
-    fuse: bool,
-    seam_latency_bound: Option<Rational>,
+    config: &SynthesisConfig,
 ) -> Result<StaticSchedule, ScheduleError> {
+    let fuse = config.fusion;
     // --- 1. Units: uncontested nodes, collapsed uniform clusters, one
     // modal unit for the (single, modal-admissible) non-uniform cluster,
     // sources, sinks — in the self-timed engine's unit order (clusters at
@@ -2427,7 +2453,7 @@ fn synthesize_impl(
     let mut timer = PhaseTimer::start();
     let modal = modal_admission(graph, plan)?;
     if let Some(info) = modal.as_ref().filter(|m| m.mode_dependent) {
-        return synthesize_mode_dependent(graph, plan, workers, info, seam_latency_bound);
+        return synthesize_mode_dependent(graph, plan, workers, info, config);
     }
     timer.lap("modal_admission");
     let mut units = build_units(graph, plan, modal.as_ref());
@@ -2472,26 +2498,52 @@ fn synthesize_impl(
     // --- 4. Partition units over workers by component, balanced by kernel
     // cost estimates.
     let workers = workers.clamp(1, units.len().max(1));
-    let cost: Vec<f64> = units
-        .iter()
-        .map(|u| {
-            let per_firing = match &u.kind {
-                UnitKind::Node(id)
-                | UnitKind::Cluster {
-                    representative: id, ..
-                } => graph.nodes[*id].response.to_f64().max(1e-9),
-                // A modal firing runs whichever arm the script selects;
-                // budget for the worst case.
-                UnitKind::Modal { members } => members
-                    .iter()
-                    .map(|&m| graph.nodes[m].response.to_f64())
-                    .fold(1e-9, f64::max),
-                // Sources and sinks move one token with no kernel work.
-                UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
-            };
-            u.repetitions as f64 * per_firing
-        })
-        .collect();
+    let cost: Vec<f64> = match config.cost_model.as_ref() {
+        // Declared costs: the historical expression, byte for byte, so the
+        // golden schedule corpus digests are untouched when no model is
+        // supplied.
+        None => units
+            .iter()
+            .map(|u| {
+                let per_firing = match &u.kind {
+                    UnitKind::Node(id)
+                    | UnitKind::Cluster {
+                        representative: id, ..
+                    } => graph.nodes[*id].response.to_f64().max(1e-9),
+                    // A modal firing runs whichever arm the script selects;
+                    // budget for the worst case.
+                    UnitKind::Modal { members } => members
+                        .iter()
+                        .map(|&m| graph.nodes[m].response.to_f64())
+                        .fold(1e-9, f64::max),
+                    // Sources and sinks move one token with no kernel work.
+                    UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
+                };
+                u.repetitions as f64 * per_firing
+            })
+            .collect(),
+        // Measured costs (ns/firing), falling back to the declared
+        // response scaled to ns for uncalibrated functions — the same
+        // relative weights as above for unknown kernels, so a partial
+        // model degrades gracefully.
+        Some(model) => units
+            .iter()
+            .map(|u| {
+                let per_firing_ns = match &u.kind {
+                    UnitKind::Node(id)
+                    | UnitKind::Cluster {
+                        representative: id, ..
+                    } => measured_cost_ns(graph, *id, model),
+                    UnitKind::Modal { members } => members
+                        .iter()
+                        .map(|&m| measured_cost_ns(graph, m, model))
+                        .fold(1.0, f64::max),
+                    UnitKind::Source(_) | UnitKind::Sink(_) => 10.0,
+                };
+                u.repetitions as f64 * per_firing_ns
+            })
+            .collect(),
+    };
     partition_workers(&mut units, &cost, components, workers, &period);
 
     // --- Worker projections and cross-worker buffers.
@@ -2545,6 +2597,7 @@ fn synthesize_impl(
             .collect(),
         dependent: None,
     });
+    let predicted_utilization = worker_utilization(&units, &cost, worker_count);
     let mut schedule = StaticSchedule {
         units,
         period,
@@ -2558,6 +2611,8 @@ fn synthesize_impl(
         local_level_max,
         modes,
         phases: Vec::new(),
+        cost_model_hash: config.cost_model.as_ref().map(|m| m.fingerprint()),
+        predicted_utilization,
     };
     // Admission: the schedule is returned only with its validity proven by
     // exact replay (over both the period and the fused worker lists), and
@@ -2802,6 +2857,36 @@ fn greedy_period(
         }
     }
     Ok(period)
+}
+
+/// A node's per-firing cost in nanoseconds under a measured cost model:
+/// the calibrated ns/firing when the node's function has an entry, the
+/// declared CTA response time scaled seconds→ns otherwise (so a partial
+/// model keeps the same relative weights as the declared path for the
+/// kernels it has not seen). Floored at 1 ns — a zero cost would let the
+/// partitioner stack unboundedly many units on one worker for free.
+fn measured_cost_ns(graph: &RtGraph, id: RtNodeId, model: &KernelCostModel) -> f64 {
+    match model.ns_per_firing(&graph.nodes[id].function) {
+        Some(ns) => ns.max(1.0),
+        None => (graph.nodes[id].response.to_f64() * 1e9).max(1.0),
+    }
+}
+
+/// Predicted per-worker utilization of a finished partition: each worker's
+/// summed unit cost divided by the heaviest worker's (in `(0, 1]`; a
+/// perfectly balanced partition is all ones). Purely observational — the
+/// number the profile-guided loop improves, recorded in
+/// [`StaticSchedule::predicted_utilization`].
+fn worker_utilization(units: &[ScheduleUnit], cost: &[f64], worker_count: usize) -> Vec<f64> {
+    let mut load = vec![0.0f64; worker_count.max(1)];
+    for (u, unit) in units.iter().enumerate() {
+        load[unit.worker] += cost[u];
+    }
+    let peak = load.iter().copied().fold(0.0f64, f64::max);
+    if peak <= 0.0 {
+        return vec![1.0; load.len()];
+    }
+    load.iter().map(|&l| l / peak).collect()
 }
 
 /// Step 4 of synthesis: assign units to workers by weakly-connected
@@ -3110,8 +3195,9 @@ fn synthesize_mode_dependent(
     plan: &RtPlan,
     workers: usize,
     info: &ModalClusterInfo,
-    seam_latency_bound: Option<Rational>,
+    config: &SynthesisConfig,
 ) -> Result<StaticSchedule, ScheduleError> {
+    let seam_latency_bound = config.seam_latency_bound;
     let mut timer = PhaseTimer::start();
     let mut units = build_units(graph, plan, Some(info));
     let support = unit_access(graph, &units);
@@ -3161,27 +3247,52 @@ fn synthesize_mode_dependent(
     // the concatenated mode periods so units gated in mode 0 still get a
     // dataflow position.
     let workers = workers.clamp(1, units.len().max(1));
-    let cost: Vec<f64> = units
-        .iter()
-        .enumerate()
-        .map(|(u, unit)| {
-            (0..n_modes)
-                .map(|m| {
-                    let per_firing = match &unit.kind {
-                        UnitKind::Node(id)
-                        | UnitKind::Cluster {
-                            representative: id, ..
-                        } => graph.nodes[*id].response.to_f64().max(1e-9),
-                        UnitKind::Modal { members } => {
-                            graph.nodes[members[m]].response.to_f64().max(1e-9)
-                        }
-                        UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
-                    };
-                    reps_table[m][u] as f64 * per_firing
-                })
-                .fold(0.0, f64::max)
-        })
-        .collect();
+    let cost: Vec<f64> = match config.cost_model.as_ref() {
+        // Declared costs: the historical expression, byte for byte (see
+        // the uniform path).
+        None => units
+            .iter()
+            .enumerate()
+            .map(|(u, unit)| {
+                (0..n_modes)
+                    .map(|m| {
+                        let per_firing = match &unit.kind {
+                            UnitKind::Node(id)
+                            | UnitKind::Cluster {
+                                representative: id, ..
+                            } => graph.nodes[*id].response.to_f64().max(1e-9),
+                            UnitKind::Modal { members } => {
+                                graph.nodes[members[m]].response.to_f64().max(1e-9)
+                            }
+                            UnitKind::Source(_) | UnitKind::Sink(_) => 1e-8,
+                        };
+                        reps_table[m][u] as f64 * per_firing
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect(),
+        Some(model) => units
+            .iter()
+            .enumerate()
+            .map(|(u, unit)| {
+                (0..n_modes)
+                    .map(|m| {
+                        let per_firing_ns = match &unit.kind {
+                            UnitKind::Node(id)
+                            | UnitKind::Cluster {
+                                representative: id, ..
+                            } => measured_cost_ns(graph, *id, model),
+                            UnitKind::Modal { members } => {
+                                measured_cost_ns(graph, members[m], model)
+                            }
+                            UnitKind::Source(_) | UnitKind::Sink(_) => 10.0,
+                        };
+                        reps_table[m][u] as f64 * per_firing_ns
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect(),
+    };
     let order: Vec<Step> = periods.iter().flatten().copied().collect();
     partition_workers(&mut units, &cost, components, workers, &order);
     renumber_workers(&mut units, workers);
@@ -3225,6 +3336,7 @@ fn synthesize_mode_dependent(
         .map(|&c| c as u64)
         .collect::<Vec<_>>()
         .into();
+    let predicted_utilization = worker_utilization(&units, &cost, worker_count);
     let mut schedule = StaticSchedule {
         period: periods[0].clone(),
         workers: steps[0].clone(),
@@ -3254,6 +3366,8 @@ fn synthesize_mode_dependent(
             }),
         }),
         phases: Vec::new(),
+        cost_model_hash: config.cost_model.as_ref().map(|m| m.fingerprint()),
+        predicted_utilization,
     };
     timer.lap("transition_synthesis");
     // --- Record the worst-case seam latency over all ordered pairs. The

@@ -30,6 +30,7 @@
 
 use crate::kernel::{Kernel, KernelLibrary};
 use crate::measure::{BufferValues, ValueTrace};
+use crate::metrics::{MetricsConfig, MetricsHub, MetricsReport, SinkMonitor};
 use crate::pool::WorkStealingPool;
 use crate::ring::{self, Consumer, Producer};
 use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
@@ -45,7 +46,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration of a runtime execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RtConfig {
     /// Worker threads for kernel execution; `0` uses the machine's available
     /// parallelism. The `OIL_RT_THREADS` environment variable (see
@@ -66,6 +67,10 @@ pub struct RtConfig {
     /// recording writes only scheduler-local memory, so traces and value
     /// streams are bit-identical either way.
     pub trace: bool,
+    /// Run with the always-on metrics registry ([`crate::metrics`]): the
+    /// scheduler's event-step histogram, windowed sink throughput and the
+    /// CTA drift detector. Same overhead discipline as `trace`.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for RtConfig {
@@ -76,6 +81,7 @@ impl Default for RtConfig {
             record_traces: true,
             record_values: true,
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -154,6 +160,11 @@ pub struct RtReport {
     /// Scheduler event track and ring telemetry (`Some` iff
     /// [`RtConfig::trace`]).
     pub trace_report: Option<TraceReport>,
+    /// Scheduler metric cell, per-sink windows and the drift verdict
+    /// (`Some` iff [`RtConfig::metrics`]). Parks/backpressure stay 0 here:
+    /// the calendar engine's single scheduler thread never blocks on a
+    /// graph ring.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RtReport {
@@ -507,6 +518,18 @@ pub fn execute(
     // event). Firing args index nodes, then sources, then sinks.
     let mut tracer = config.trace.then(|| WorkerTracer::new(started, n_buffers));
     let (n_nodes_total, n_sources_total) = (graph.nodes.len(), graph.sources.len());
+    // One metric cell: the scheduler thread makes every timed decision, so
+    // the engine records into a single-worker hub (kernel computation
+    // overlaps on the pool but is observed from here, like the tracer).
+    let hub: Option<Arc<MetricsHub>> = config.metrics.map(|m| MetricsHub::new("calendar", 1, m));
+    let mut sink_monitors: Vec<Option<SinkMonitor>> = graph
+        .sinks
+        .iter()
+        .map(|s| {
+            hub.as_ref()
+                .map(|h| h.sink_monitor(s.name.clone(), s.period.recip().to_f64()))
+        })
+        .collect();
 
     // Push a token and maintain occupancy/trace accounting.
     macro_rules! push_token {
@@ -589,7 +612,13 @@ pub fn execute(
             break;
         }
         now = time;
-        let t0 = tracer.as_ref().map(|t| t.now_ns());
+        // One clock per timed interval: the tracer's when tracing (so span
+        // and histogram agree), else the hub's.
+        let t0 = match (tracer.as_ref(), hub.as_ref()) {
+            (Some(t), _) => Some(t.now_ns()),
+            (None, Some(h)) => Some(h.now_ns()),
+            (None, None) => None,
+        };
         match event {
             RtEvent::SourceTick(i) => {
                 // Take the next sample from the generator thread (it runs
@@ -622,6 +651,12 @@ pub fn execute(
                 let b = graph.sinks[i].input.index();
                 if let Some(token) = consumers[b].pop() {
                     consumed[i] += 1;
+                    if let Some(m) = sink_monitors[i.index()].as_mut() {
+                        m.record();
+                    }
+                    if let Some(h) = hub.as_ref() {
+                        h.cell(0).record_sink(1);
+                    }
                     let sample = SinkSample {
                         origin: token.origin,
                         at: now,
@@ -664,13 +699,21 @@ pub fn execute(
             }
         }
         if let Some(start) = t0 {
-            let t = tracer.as_mut().expect("tracer outlives the run");
-            let arg = match event {
-                RtEvent::NodeComplete(ni) => ni.index(),
-                RtEvent::SourceTick(i) => n_nodes_total + i.index(),
-                RtEvent::SinkTick(i) => n_nodes_total + n_sources_total + i.index(),
-            };
-            t.span(EventKind::Firing, arg as u32, start);
+            if let Some(h) = hub.as_ref() {
+                let now_ns = match tracer.as_ref() {
+                    Some(t) => t.now_ns(),
+                    None => h.now_ns(),
+                };
+                h.cell(0).record_firing(now_ns.saturating_sub(start));
+            }
+            if let Some(t) = tracer.as_mut() {
+                let arg = match event {
+                    RtEvent::NodeComplete(ni) => ni.index(),
+                    RtEvent::SourceTick(i) => n_nodes_total + i.index(),
+                    RtEvent::SinkTick(i) => n_nodes_total + n_sources_total + i.index(),
+                };
+                t.span(EventKind::Firing, arg as u32, start);
+            }
         }
         admit_ready_firings!();
     }
@@ -688,6 +731,9 @@ pub fn execute(
         .collect();
     let steals = pool.steals();
     drop(pool);
+    for m in sink_monitors.drain(..).flatten() {
+        m.finish();
+    }
 
     let trace_report = tracer.map(|t| {
         let mut tr = TraceReport::new("calendar", threads);
@@ -792,5 +838,6 @@ pub fn execute(
         wall: started.elapsed(),
         tokens: tokens_pushed,
         trace_report,
+        metrics: hub.as_ref().map(|h| h.snapshot()),
     }
 }

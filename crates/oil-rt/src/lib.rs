@@ -36,7 +36,15 @@
 //! * [`trace`] — low-overhead per-worker event tracing: firing/seam spans,
 //!   park/backpressure counters and ring high-water marks, exported as a
 //!   stable JSON summary or a Perfetto-loadable Chrome trace. Off by
-//!   default; enabling it never changes value streams.
+//!   default; enabling it never changes value streams;
+//! * [`metrics`] — always-on metrics registry: lock-free per-worker
+//!   counter/histogram cells, windowed sink throughput and a live CTA
+//!   drift detector ([`metrics::DriftVerdict`]). Off by default with the
+//!   same one-branch discipline as [`trace`];
+//! * [`profile`] — kernel cost calibration: measures ns/firing per
+//!   coordinated function (trimmed-median estimator) into an
+//!   `oil_compiler::costmodel::KernelCostModel` artifact that
+//!   `oil_compiler::schedule` can use for measured-cost partitioning.
 //!
 //! The runtime consumes the same [`oil_compiler::rtgraph::RtGraph`] lowering
 //! as the simulator, so differential testing compares *scheduling
@@ -45,7 +53,9 @@
 pub mod exec;
 pub mod kernel;
 pub mod measure;
+pub mod metrics;
 pub mod pool;
+pub mod profile;
 pub mod ring;
 pub mod selftimed;
 pub mod staticsched;
@@ -56,7 +66,9 @@ pub use kernel::{Kernel, KernelLibrary, SourceKernel};
 pub use measure::{
     ConformanceVerdict, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace,
 };
+pub use metrics::{env_metrics, DriftVerdict, MetricsConfig, MetricsHub, MetricsReport, WindowObs};
 pub use pool::WorkStealingPool;
+pub use profile::{profile_graph, profile_kernel, ProfileConfig};
 pub use selftimed::{
     execute_selftimed, execute_selftimed_scripted, SelfTimedConfig, SelfTimedReport,
 };

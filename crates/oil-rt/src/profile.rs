@@ -1,0 +1,202 @@
+//! Kernel cost calibration: measure ns/firing per coordinated function.
+//!
+//! The partitioner in `oil_compiler::schedule` balances workers on per-unit
+//! cost estimates; this module produces the *measured* estimates — a
+//! [`KernelCostModel`] artifact mapping each coordinated function name to
+//! its observed nanoseconds per firing on this host. Calibration runs each
+//! kernel at a representative burst size (the same
+//! [`Kernel::fire_block_into`] path the static-order engine replays) and
+//! estimates the per-firing cost with a **deterministic robust estimator**:
+//! the timed repeats are sorted, `trim` are dropped from each end, and the
+//! median of the rest is taken — no randomness, no mean that one preempted
+//! run can poison. Timings are still timings: two calibrations of the same
+//! binary will produce *similar*, not identical, artifacts, which is why
+//! the model is placement advice only — every schedule it steers is still
+//! proven by the exact-integer replay, and the model's fingerprint is
+//! recorded in the schedule for provenance.
+
+use crate::kernel::{Kernel, KernelLibrary};
+use oil_compiler::costmodel::{KernelCost, KernelCostModel};
+use oil_compiler::rtgraph::RtGraph;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Calibration knobs. The defaults measure each kernel 9 × 64 firings
+/// (plus warmup), trimming the 2 fastest and 2 slowest repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Firings per timed repeat. Bursts amortise the clock reads and match
+    /// the static engine's block replay granularity.
+    pub burst: usize,
+    /// Timed repeats per kernel (the estimator's sample count).
+    pub repeats: usize,
+    /// Repeats dropped from *each* end of the sorted durations before the
+    /// median (clamped so at least one sample survives).
+    pub trim: usize,
+    /// Untimed warmup repeats (cache/branch-predictor settling).
+    pub warmup: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            burst: 64,
+            repeats: 9,
+            trim: 2,
+            warmup: 2,
+        }
+    }
+}
+
+/// One calibrated kernel: the measurement plus the shape it ran at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledKernel {
+    /// Coordinated function name.
+    pub function: String,
+    /// Inputs consumed per firing during calibration.
+    pub in_len: usize,
+    /// Outputs produced per firing during calibration.
+    pub out_len: usize,
+    /// The robust estimate, ns/firing.
+    pub ns_per_firing: f64,
+}
+
+/// Calibrate every distinct node function of `graph` against `lib` and
+/// assemble the [`KernelCostModel`] artifact (host-fingerprinted, entries
+/// in canonical function order). Each function is measured at the
+/// input/output shape its first node declares — per-firing rates are a
+/// property of the function in OIL, so any node of the function gives the
+/// representative shape.
+pub fn profile_graph(
+    graph: &RtGraph,
+    lib: &KernelLibrary,
+    config: &ProfileConfig,
+) -> KernelCostModel {
+    let mut shapes: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for node in graph.nodes.iter() {
+        let in_len: usize = node.reads.iter().map(|&(_, c)| c).sum();
+        let out_len: usize = node.writes.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        shapes.entry(&node.function).or_insert((in_len, out_len));
+    }
+    let mut model = KernelCostModel::new(KernelCostModel::local_host());
+    for (function, &(in_len, out_len)) in &shapes {
+        let mut kernel = lib.instantiate(function);
+        let ns = profile_kernel(&mut kernel, in_len, out_len, config);
+        model.insert(
+            function.to_string(),
+            KernelCost {
+                ns_per_firing: ns,
+                burst: config.burst as u32,
+                samples: config.repeats as u32,
+            },
+        );
+    }
+    model
+}
+
+/// Measure one kernel's ns/firing at the given per-firing shape: `warmup`
+/// untimed bursts, `repeats` timed bursts of `burst` firings through
+/// [`Kernel::fire_block_into`], then the trimmed median over the repeat
+/// durations divided by the burst size.
+pub fn profile_kernel(
+    kernel: &mut Kernel,
+    in_len: usize,
+    out_len: usize,
+    config: &ProfileConfig,
+) -> f64 {
+    let burst = config.burst.max(1);
+    let repeats = config.repeats.max(1);
+    let inputs = calibration_signal(burst * in_len);
+    let mut out: Vec<f64> = Vec::with_capacity(burst * out_len);
+    let mut run = |timed: bool| -> u64 {
+        out.clear();
+        let t0 = Instant::now();
+        kernel.fire_block_into(&inputs, burst, in_len, out_len, &mut out);
+        if timed {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    };
+    for _ in 0..config.warmup {
+        run(false);
+    }
+    let mut durations: Vec<u64> = (0..repeats).map(|_| run(true)).collect();
+    trimmed_median_ns(&mut durations, config.trim) / burst as f64
+}
+
+/// The trimmed-median estimator over raw burst durations: sort, drop
+/// `trim` from each end (clamped to leave at least one sample), take the
+/// median of the survivors (midpoint average for even counts).
+/// Deterministic in its inputs — the only nondeterminism in calibration is
+/// the clock itself.
+pub fn trimmed_median_ns(durations: &mut [u64], trim: usize) -> f64 {
+    assert!(!durations.is_empty(), "no samples to estimate from");
+    durations.sort_unstable();
+    let trim = trim.min((durations.len() - 1) / 2);
+    let kept = &durations[trim..durations.len() - trim];
+    let mid = kept.len() / 2;
+    if kept.len() % 2 == 1 {
+        kept[mid] as f64
+    } else {
+        (kept[mid - 1] as f64 + kept[mid] as f64) / 2.0
+    }
+}
+
+/// A deterministic pseudo-random calibration input in `[-1, 1)` (the same
+/// keyed mix the synthetic kernels use), so calibrations are reproducible
+/// modulo the clock.
+fn calibration_signal(len: usize) -> Vec<f64> {
+    (0..len as u64)
+        .map(|i| {
+            let h = (0x5851_F42D_4C95_7F2D ^ i)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(23)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_median_is_robust_to_outliers() {
+        // One preempted (huge) repeat must not move the estimate.
+        let mut clean = vec![100, 101, 102, 103, 104, 105, 106, 107, 108];
+        let mut spiked = vec![100, 101, 102, 103, 104, 105, 106, 107, 1_000_000];
+        assert_eq!(trimmed_median_ns(&mut clean, 2), 104.0);
+        assert_eq!(trimmed_median_ns(&mut spiked, 2), 104.0);
+    }
+
+    #[test]
+    fn trim_clamps_to_keep_a_sample() {
+        let mut one = vec![42];
+        assert_eq!(trimmed_median_ns(&mut one, 5), 42.0);
+        let mut two = vec![10, 20];
+        assert_eq!(trimmed_median_ns(&mut two, 5), 15.0);
+    }
+
+    #[test]
+    fn profiling_a_kernel_yields_a_positive_finite_cost() {
+        let lib = KernelLibrary::pal();
+        let mut mix = lib.instantiate("mix");
+        let ns = profile_kernel(&mut mix, 1, 1, &ProfileConfig::default());
+        assert!(ns.is_finite() && ns >= 0.0, "got {ns}");
+        // A 63-tap FIR over a 25-sample burst costs measurably more than a
+        // single mixer multiply.
+        let mut lpf = lib.instantiate("LPF");
+        let lpf_ns = profile_kernel(&mut lpf, 25, 1, &ProfileConfig::default());
+        assert!(lpf_ns > 0.0);
+    }
+
+    #[test]
+    fn calibration_signal_is_deterministic_and_bounded() {
+        let a = calibration_signal(64);
+        let b = calibration_signal(64);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

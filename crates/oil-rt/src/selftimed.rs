@@ -59,6 +59,7 @@
 use crate::exec::{SinkStream, SINK_STREAM_CAP};
 use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
+use crate::metrics::{MetricsConfig, MetricsHub, MetricsReport, SinkMonitor};
 use crate::ring::{self, Consumer, Producer};
 use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
 use oil_compiler::rtgraph::{RtGraph, RtNodeId, RtPlan, RtSinkId, RtSourceId};
@@ -75,7 +76,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration of a self-timed execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelfTimedConfig {
     /// Worker threads; `0` uses the machine's available parallelism. The
     /// engine never spawns more workers than scheduling units.
@@ -94,6 +95,10 @@ pub struct SelfTimedConfig {
     /// instrumentation point; recording writes only worker-local memory,
     /// so value streams are bit-identical either way.
     pub trace: bool,
+    /// Run with the always-on metrics registry ([`crate::metrics`]):
+    /// per-worker counter/histogram cells, windowed sink throughput and
+    /// the CTA drift detector. Same overhead discipline as `trace`.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for SelfTimedConfig {
@@ -104,6 +109,7 @@ impl Default for SelfTimedConfig {
             warmup_samples: 16,
             chaos: None,
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -147,6 +153,9 @@ pub struct SelfTimedReport {
     /// Per-worker event tracks and ring telemetry (`Some` iff
     /// [`SelfTimedConfig::trace`]).
     pub trace_report: Option<TraceReport>,
+    /// Merged metric cells, per-sink windows and the drift verdict
+    /// (`Some` iff [`SelfTimedConfig::metrics`]).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl SelfTimedReport {
@@ -205,6 +214,9 @@ enum Unit {
         consumed: u64,
         values: Vec<f64>,
         meter: ThroughputMeter,
+        /// `Some` iff metrics are on: the drift detector's windowing
+        /// monitor for this sink.
+        monitor: Option<SinkMonitor>,
     },
     /// A modal-admissible non-uniform cluster driven by a mode script:
     /// every firing pops the union of all members' aggregated reads
@@ -265,6 +277,9 @@ struct WorkerBufs {
     /// `Some` iff [`SelfTimedConfig::trace`]: worker-local event buffer
     /// plus ring high-water marks.
     trace: Option<WorkerTracer>,
+    /// `Some` iff [`SelfTimedConfig::metrics`]: the shared hub plus this
+    /// worker's index, for its metric cell.
+    metrics: Option<(Arc<MetricsHub>, usize)>,
 }
 
 impl WorkerBufs {
@@ -479,9 +494,10 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
             consumed,
             values,
             meter,
+            monitor,
             ..
         } => {
-            let mut fired = false;
+            let mut drained = 0u64;
             for _ in 0..(*batch).max(8) {
                 let Some(v) = w.cons[*input]
                     .as_mut()
@@ -492,12 +508,20 @@ fn run_unit(unit: &mut Unit, w: &mut WorkerBufs, control: &Control) -> bool {
                 };
                 *consumed += 1;
                 meter.record();
+                if let Some(m) = monitor.as_mut() {
+                    m.record();
+                }
                 if values.len() < SINK_STREAM_CAP {
                     values.push(v);
                 }
-                fired = true;
+                drained += 1;
             }
-            fired
+            if drained > 0 {
+                if let Some((h, wi)) = w.metrics.as_ref() {
+                    h.cell(*wi).record_sink(drained);
+                }
+            }
+            drained > 0
         }
         Unit::Modal {
             members,
@@ -667,6 +691,33 @@ struct WorkerOut {
     trace: Option<WorkerTracer>,
 }
 
+/// Timestamp origin for a unit pass — `Some` when any instrumentation is
+/// on (the tracer's clock when tracing, so span and histogram agree).
+#[inline]
+fn scan_t0(bufs: &WorkerBufs) -> Option<u64> {
+    match (&bufs.trace, &bufs.metrics) {
+        (Some(t), _) => Some(t.now_ns()),
+        (None, Some((h, _))) => Some(h.now_ns()),
+        (None, None) => None,
+    }
+}
+
+/// Close a productive unit pass opened at `start`: a trace span when
+/// tracing, a firing-histogram sample in the worker's cell when metering.
+#[inline]
+fn note_pass(bufs: &mut WorkerBufs, unit: u32, start: u64) {
+    if let Some((h, wi)) = bufs.metrics.as_ref() {
+        let now = match bufs.trace.as_ref() {
+            Some(t) => t.now_ns(),
+            None => h.now_ns(),
+        };
+        h.cell(*wi).record_firing(now.saturating_sub(start));
+    }
+    if let Some(t) = bufs.trace.as_mut() {
+        t.span(EventKind::Firing, unit, start);
+    }
+}
+
 /// Extra empty-scan → rescan rounds (with a `yield_now` between) before a
 /// worker parks.
 const IDLE_RESCANS: usize = 2;
@@ -683,14 +734,13 @@ fn worker_loop(
         let scan = |units: &mut Vec<Unit>, bufs: &mut WorkerBufs| -> bool {
             let mut fired = false;
             for (ui, unit) in units.iter_mut().enumerate() {
-                let t0 = bufs.trace.as_ref().map(|t| t.now_ns());
+                let t0 = scan_t0(bufs);
                 let f = run_unit(unit, bufs, control);
                 if f {
                     if let Some(start) = t0 {
                         // One span per productive pass: it covers the
                         // unit's whole batched burst, attributed by label.
-                        let t = bufs.trace.as_mut().expect("tracer outlives the run");
-                        t.span(EventKind::Firing, ui as u32, start);
+                        note_pass(bufs, ui as u32, start);
                     }
                 }
                 fired |= f;
@@ -765,18 +815,31 @@ fn worker_loop(
         // re-register at the current generation and complete the census
         // itself.
         control.parks.fetch_add(1, Ordering::Relaxed);
-        let park_t0 = bufs.trace.as_ref().map(|t| t.now_ns());
+        if let Some((h, wi)) = bufs.metrics.as_ref() {
+            h.cell(*wi).record_park();
+        }
+        let park_t0 = scan_t0(&bufs);
         while control.gen.load(Ordering::SeqCst) == g0 && !control.done.load(Ordering::SeqCst) {
             guard = control.cv.wait(guard).expect("control mutex poisoned");
         }
         control.idle.fetch_sub(1, Ordering::SeqCst);
         drop(guard);
         if let Some(start) = park_t0 {
-            let t = bufs.trace.as_mut().expect("tracer outlives the run");
-            t.parks += 1;
-            t.unparks += 1;
-            t.span(EventKind::Park, 0, start);
-            t.instant(EventKind::Unpark, 0);
+            // A park is this engine's backpressure: nothing the worker owns
+            // was fireable until a peer's firing made progress possible.
+            if let Some((h, wi)) = bufs.metrics.as_ref() {
+                let now = match bufs.trace.as_ref() {
+                    Some(t) => t.now_ns(),
+                    None => h.now_ns(),
+                };
+                h.cell(*wi).record_backpressure(now.saturating_sub(start));
+            }
+            if let Some(t) = bufs.trace.as_mut() {
+                t.parks += 1;
+                t.unparks += 1;
+                t.span(EventKind::Park, 0, start);
+                t.instant(EventKind::Unpark, 0);
+            }
         }
     }
     WorkerOut {
@@ -1045,6 +1108,7 @@ fn execute_inner(
             consumed: 0,
             values: Vec::new(),
             meter: ThroughputMeter::new(config.warmup_samples),
+            monitor: None, // registered below, once the hub knows `threads`
         });
     }
 
@@ -1061,12 +1125,25 @@ fn execute_inner(
     }
     .min(units.len())
     .max(1);
+    // The metrics hub needs the final worker count; register each sink's
+    // drift monitor now that it exists.
+    let hub: Option<Arc<MetricsHub>> = config
+        .metrics
+        .map(|m| MetricsHub::new("selftimed", threads, m));
+    if let Some(h) = hub.as_ref() {
+        for unit in units.iter_mut() {
+            if let Unit::Sink { id, monitor, .. } = unit {
+                let s = &graph.sinks[*id];
+                *monitor = Some(h.sink_monitor(s.name.clone(), s.period.recip().to_f64()));
+            }
+        }
+    }
     let assignment = partition_units(graph, plan, &units, threads);
 
     // --- Distribute endpoints and recorders to the owning workers.
     let mut worker_units: Vec<Vec<Unit>> = (0..threads).map(|_| Vec::new()).collect();
     let mut worker_bufs: Vec<WorkerBufs> = (0..threads)
-        .map(|_| WorkerBufs {
+        .map(|w| WorkerBufs {
             prods: (0..n_buffers).map(|_| None).collect(),
             cons: (0..n_buffers).map(|_| None).collect(),
             recorders: (0..n_buffers).map(|_| None).collect(),
@@ -1077,6 +1154,7 @@ fn execute_inner(
             scratch: Vec::new(),
             // All tracers share one epoch so the merged tracks align.
             trace: config.trace.then(|| WorkerTracer::new(started, n_buffers)),
+            metrics: hub.as_ref().map(|h| (Arc::clone(h), w)),
         })
         .collect();
     // Per worker, the display label of each local unit (trace attribution),
@@ -1209,8 +1287,14 @@ fn execute_inner(
                     consumed,
                     values,
                     meter,
+                    monitor,
                     ..
                 } => {
+                    // Flush the drift detector's partial tail window before
+                    // the snapshot below.
+                    if let Some(m) = monitor {
+                        m.finish();
+                    }
                     let s = &graph.sinks[id];
                     sinks[id.index()] = Some(SinkStream {
                         name: s.name.clone(),
@@ -1288,6 +1372,7 @@ fn execute_inner(
         mode_switches,
         transition_firings,
         trace_report,
+        metrics: hub.as_ref().map(|h| h.snapshot()),
     }
 }
 

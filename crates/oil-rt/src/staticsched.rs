@@ -45,7 +45,8 @@
 use crate::exec::{SinkStream, SINK_STREAM_CAP};
 use crate::kernel::{Kernel, KernelLibrary, SourceKernel};
 use crate::measure::{BufferValues, RateConformance, SinkThroughput, ThroughputMeter, ValueTrace};
-use crate::ring::{self, Consumer, Producer};
+use crate::metrics::{MetricCell, MetricsConfig, MetricsHub, MetricsReport, SinkMonitor};
+use crate::ring::{self, Consumer, Producer, WaitStats};
 use crate::trace::{EventKind, RingStat, TraceReport, WorkerTracer};
 use oil_compiler::rtgraph::RtGraph;
 use oil_compiler::schedule::{
@@ -59,7 +60,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a static-order execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StaticConfig {
     /// Record per-buffer value streams (the verification oracle); sink
     /// streams and counters are always kept.
@@ -71,6 +72,12 @@ pub struct StaticConfig {
     /// instrumentation point; recording writes only worker-local memory,
     /// so value streams are bit-identical either way.
     pub trace: bool,
+    /// Run with the always-on metrics registry ([`crate::metrics`]):
+    /// per-worker counter/histogram cells, windowed sink throughput and
+    /// the CTA drift detector. Same overhead discipline as `trace`: off is
+    /// a single predictable branch per instrumentation point, and enabling
+    /// it never changes value streams.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for StaticConfig {
@@ -79,6 +86,7 @@ impl Default for StaticConfig {
             record_values: true,
             warmup_samples: 16,
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -129,6 +137,9 @@ pub struct StaticReport {
     /// Per-worker event tracks, ring telemetry and compile-phase timing
     /// (`Some` iff [`StaticConfig::trace`]).
     pub trace_report: Option<TraceReport>,
+    /// Merged metric cells, per-sink windows and the drift verdict
+    /// (`Some` iff [`StaticConfig::metrics`]).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl StaticReport {
@@ -266,6 +277,9 @@ enum UnitState {
         consumed: u64,
         values: Vec<f64>,
         meter: ThroughputMeter,
+        /// `Some` iff metrics are on: the drift detector's windowing
+        /// monitor for this sink.
+        monitor: Option<SinkMonitor>,
     },
     /// A modal unit: one arm per cluster member. Under **union-advance**
     /// the script dispatches per firing: every firing pops the union of all
@@ -376,6 +390,100 @@ struct BufIo {
     /// ring high-water marks. Disjoint from `slots`, so wait observation
     /// and level notes borrow alongside the ring endpoints.
     trace: Option<WorkerTracer>,
+    /// `Some` iff [`StaticConfig::metrics`]: the shared hub plus this
+    /// worker's identity, for attributing blocked waits and work-item
+    /// durations to the worker's metric cell.
+    metrics: Option<MetricsIo>,
+}
+
+/// One worker's handle on the metrics registry.
+struct MetricsIo {
+    hub: Arc<MetricsHub>,
+    worker: usize,
+    /// Wait accounting for the metrics-only case; when tracing too, the
+    /// tracer's own stats are the observation point instead (one counter,
+    /// never double-counted).
+    wait: WaitStats,
+}
+
+impl MetricsIo {
+    #[inline]
+    fn cell(&self) -> &MetricCell {
+        self.hub.cell(self.worker)
+    }
+}
+
+/// Cumulative observed blocked-wait ns so far: the tracer's stats when
+/// tracing, else the metrics-side stats, else 0 (nothing observes waits).
+#[inline]
+fn blocked_ns(trace: &Option<WorkerTracer>, metrics: &Option<MetricsIo>) -> u64 {
+    match (trace, metrics) {
+        (Some(t), _) => t.wait.wait_ns,
+        (None, Some(m)) => m.wait.wait_ns,
+        (None, None) => 0,
+    }
+}
+
+/// The wait-stats observation point for a blocking ring call (`None` when
+/// neither tracing nor metering — the ring skips timing entirely).
+#[inline]
+fn wait_stats<'a>(
+    trace: &'a mut Option<WorkerTracer>,
+    metrics: &'a mut Option<MetricsIo>,
+) -> Option<&'a mut WaitStats> {
+    match (trace.as_mut(), metrics.as_mut()) {
+        (Some(t), _) => Some(&mut t.wait),
+        (None, Some(m)) => Some(&mut m.wait),
+        (None, None) => None,
+    }
+}
+
+/// Attribute a completed observed wait (its duration = observed ns now
+/// minus `before`) to the trace backpressure track and the metric cell.
+#[inline]
+fn observe_wait(
+    trace: &mut Option<WorkerTracer>,
+    metrics: &Option<MetricsIo>,
+    b: usize,
+    before: u64,
+) {
+    let dur = blocked_ns(&*trace, metrics) - before;
+    if dur == 0 {
+        return;
+    }
+    if let Some(t) = trace.as_mut() {
+        t.backpressure(b as u32, dur);
+    }
+    if let Some(m) = metrics {
+        m.cell().record_backpressure(dur);
+    }
+}
+
+/// Timestamp origin for a work item — `Some` when any instrumentation is
+/// on (the tracer's clock when tracing, so span and histogram agree).
+#[inline]
+fn work_t0(io: &BufIo) -> Option<u64> {
+    match (&io.trace, &io.metrics) {
+        (Some(t), _) => Some(t.now_ns()),
+        (None, Some(m)) => Some(m.hub.now_ns()),
+        (None, None) => None,
+    }
+}
+
+/// Close a work item opened at `start`: a trace span when tracing, a
+/// firing-histogram sample in the worker's metric cell when metering.
+#[inline]
+fn note_work(io: &mut BufIo, kind: EventKind, unit: u32, start: u64) {
+    if let Some(m) = io.metrics.as_ref() {
+        let now = match io.trace.as_ref() {
+            Some(t) => t.now_ns(),
+            None => m.hub.now_ns(),
+        };
+        m.cell().record_firing(now.saturating_sub(start));
+    }
+    if let Some(t) = io.trace.as_mut() {
+        t.span(kind, unit, start);
+    }
 }
 
 impl BufIo {
@@ -383,22 +491,22 @@ impl BufIo {
     fn pop(&mut self, b: usize, abort: &AtomicBool) -> f64 {
         match &mut self.slots[b] {
             Slot::Local(q) => q.pop(),
-            Slot::Cons(rx) => match self.trace.as_mut() {
-                None => rx
-                    .pop_wait(|| abort.load(Ordering::Relaxed))
-                    .expect("peer worker aborted mid-schedule"),
-                Some(t) => {
-                    let blocked = t.wait.wait_ns;
+            Slot::Cons(rx) => {
+                if self.trace.is_none() && self.metrics.is_none() {
+                    rx.pop_wait(|| abort.load(Ordering::Relaxed))
+                        .expect("peer worker aborted mid-schedule")
+                } else {
+                    let before = blocked_ns(&self.trace, &self.metrics);
                     let v = rx
-                        .pop_wait_observed(|| abort.load(Ordering::Relaxed), Some(&mut t.wait))
+                        .pop_wait_observed(
+                            || abort.load(Ordering::Relaxed),
+                            wait_stats(&mut self.trace, &mut self.metrics),
+                        )
                         .expect("peer worker aborted mid-schedule");
-                    let dur = t.wait.wait_ns - blocked;
-                    if dur > 0 {
-                        t.backpressure(b as u32, dur);
-                    }
+                    observe_wait(&mut self.trace, &self.metrics, b, before);
                     v
                 }
-            },
+            }
             _ => unreachable!("read from a buffer this worker does not consume"),
         }
     }
@@ -418,36 +526,34 @@ impl BufIo {
                     t.note_level(b, q.len());
                 }
             }
-            Slot::Prod(tx) => match self.trace.as_mut() {
-                None => {
+            Slot::Prod(tx) => {
+                if self.trace.is_none() && self.metrics.is_none() {
                     if tx
                         .push_wait(value, || abort.load(Ordering::Relaxed))
                         .is_err()
                     {
                         panic!("peer worker aborted mid-schedule");
                     }
-                }
-                Some(t) => {
-                    let blocked = t.wait.wait_ns;
+                } else {
+                    let before = blocked_ns(&self.trace, &self.metrics);
                     if tx
                         .push_wait_observed(
                             value,
                             || abort.load(Ordering::Relaxed),
-                            Some(&mut t.wait),
+                            wait_stats(&mut self.trace, &mut self.metrics),
                         )
                         .is_err()
                     {
                         panic!("peer worker aborted mid-schedule");
                     }
-                    let dur = t.wait.wait_ns - blocked;
-                    if dur > 0 {
-                        t.backpressure(b as u32, dur);
+                    observe_wait(&mut self.trace, &self.metrics, b, before);
+                    if let Some(t) = self.trace.as_mut() {
+                        // Post-push occupancy: the consumer may already have
+                        // drained, so this never over-reports.
+                        t.note_level(b, tx.len());
                     }
-                    // Post-push occupancy: the consumer may already have
-                    // drained, so this never over-reports.
-                    t.note_level(b, tx.len());
                 }
-            },
+            }
             Slot::Sunk => {}
             _ => unreachable!("write to a buffer this worker does not produce"),
         }
@@ -459,20 +565,15 @@ impl BufIo {
         match &mut self.slots[b] {
             Slot::Local(q) => q.pop_block(n, scratch),
             Slot::Cons(rx) => {
-                let blocked = self.trace.as_ref().map(|t| t.wait.wait_ns);
+                let before = blocked_ns(&self.trace, &self.metrics);
                 for _ in 0..n {
-                    let stats = self.trace.as_mut().map(|t| &mut t.wait);
+                    let stats = wait_stats(&mut self.trace, &mut self.metrics);
                     scratch.push(
                         rx.pop_wait_observed(|| abort.load(Ordering::Relaxed), stats)
                             .expect("peer worker aborted mid-schedule"),
                     );
                 }
-                if let (Some(before), Some(t)) = (blocked, self.trace.as_mut()) {
-                    let dur = t.wait.wait_ns - before;
-                    if dur > 0 {
-                        t.backpressure(b as u32, dur);
-                    }
-                }
+                observe_wait(&mut self.trace, &self.metrics, b, before);
             }
             _ => unreachable!("read from a buffer this worker does not consume"),
         }
@@ -512,9 +613,9 @@ impl BufIo {
                 }
             }
             Slot::Prod(tx) => {
-                let blocked = self.trace.as_ref().map(|t| t.wait.wait_ns);
+                let before = blocked_ns(&self.trace, &self.metrics);
                 for &v in values {
-                    let stats = self.trace.as_mut().map(|t| &mut t.wait);
+                    let stats = wait_stats(&mut self.trace, &mut self.metrics);
                     if tx
                         .push_wait_observed(v, || abort.load(Ordering::Relaxed), stats)
                         .is_err()
@@ -522,11 +623,8 @@ impl BufIo {
                         panic!("peer worker aborted mid-schedule");
                     }
                 }
-                if let (Some(before), Some(t)) = (blocked, self.trace.as_mut()) {
-                    let dur = t.wait.wait_ns - before;
-                    if dur > 0 {
-                        t.backpressure(b as u32, dur);
-                    }
+                observe_wait(&mut self.trace, &self.metrics, b, before);
+                if let Some(t) = self.trace.as_mut() {
                     t.note_level(b, tx.len());
                 }
             }
@@ -596,11 +694,10 @@ impl Worker {
                         } else {
                             1
                         };
-                        let t0 = io.trace.as_ref().map(|t| t.now_ns());
+                        let t0 = work_t0(io);
                         run_fused(f, reps, &mut self.units, io, scratch, out_buf, abort);
                         if let Some(start) = t0 {
-                            let t = io.trace.as_mut().expect("tracer outlives the run");
-                            t.span(EventKind::SuperStep, f.stages[0].unit, start);
+                            note_work(io, EventKind::SuperStep, f.stages[0].unit, start);
                         }
                         continue;
                     }
@@ -608,7 +705,7 @@ impl Worker {
                 if it >= step.iters {
                     continue;
                 }
-                let t0 = io.trace.as_ref().map(|t| t.now_ns());
+                let t0 = work_t0(io);
                 match &mut self.units[step.unit as usize] {
                     UnitState::Node {
                         kernel,
@@ -698,15 +795,22 @@ impl Worker {
                         consumed,
                         values,
                         meter,
+                        monitor,
                         ..
                     } => {
                         for _ in 0..step.times {
                             let v = io.pop(*input, abort);
                             *consumed += 1;
                             meter.record();
+                            if let Some(m) = monitor.as_mut() {
+                                m.record();
+                            }
                             if values.len() < SINK_STREAM_CAP {
                                 values.push(v);
                             }
+                        }
+                        if let Some(m) = io.metrics.as_ref() {
+                            m.cell().record_sink(step.times as u64);
                         }
                     }
                     UnitState::Modal {
@@ -762,8 +866,7 @@ impl Worker {
                     }
                 }
                 if let Some(start) = t0 {
-                    let t = io.trace.as_mut().expect("tracer outlives the run");
-                    t.span(EventKind::Firing, step.unit, start);
+                    note_work(io, EventKind::Firing, step.unit, start);
                 }
             }
         }
@@ -884,15 +987,22 @@ fn fire_dependent(
             consumed,
             values,
             meter,
+            monitor,
             ..
         } => {
             for _ in 0..times {
                 let v = io.pop(*input, abort);
                 *consumed += 1;
                 meter.record();
+                if let Some(m) = monitor.as_mut() {
+                    m.record();
+                }
                 if values.len() < SINK_STREAM_CAP {
                     values.push(v);
                 }
+            }
+            if let Some(m) = io.metrics.as_ref() {
+                m.cell().record_sink(times as u64);
             }
         }
         UnitState::Modal {
@@ -1021,12 +1131,19 @@ fn run_fused(
                 consumed,
                 values,
                 meter,
+                monitor,
                 ..
             } => {
                 debug_assert!(si == last && si > 0, "a sink can only tail a fused run");
                 debug_assert_eq!(cur.len(), times, "the link carried the sink's reads");
                 *consumed += cur.len() as u64;
                 meter.record_block(cur.len() as u64);
+                if let Some(m) = monitor.as_mut() {
+                    m.record_block(cur.len() as u64);
+                }
+                if let Some(m) = io.metrics.as_ref() {
+                    m.cell().record_sink(cur.len() as u64);
+                }
                 if values.len() < SINK_STREAM_CAP {
                     let take = (SINK_STREAM_CAP - values.len()).min(cur.len());
                     values.extend_from_slice(&cur[..take]);
@@ -1111,6 +1228,11 @@ pub fn execute_staticsched_scripted(
     let started = Instant::now();
     let threads = schedule.worker_count();
     let n_buffers = graph.buffers.len();
+    // The metrics hub outlives the workers: sinks register monitors before
+    // the run, the snapshot is taken after every worker joined.
+    let hub: Option<Arc<MetricsHub>> = config
+        .metrics
+        .map(|m| MetricsHub::new("staticsched", threads, m));
 
     // --- Source budgets (the simulator's horizon count) and the covering
     // iteration count per component.
@@ -1285,6 +1407,9 @@ pub fn execute_staticsched_scripted(
                     consumed: 0,
                     values: Vec::new(),
                     meter: ThroughputMeter::new(config.warmup_samples),
+                    monitor: hub
+                        .as_ref()
+                        .map(|h| h.sink_monitor(s.name.clone(), s.period.recip().to_f64())),
                 }
             }
             UnitKind::Modal { members } => {
@@ -1439,6 +1564,11 @@ pub fn execute_staticsched_scripted(
                 tokens: 0,
                 // All tracers share one epoch so the merged tracks align.
                 trace: config.trace.then(|| WorkerTracer::new(started, n_buffers)),
+                metrics: hub.as_ref().map(|h| MetricsIo {
+                    hub: Arc::clone(h),
+                    worker: w,
+                    wait: WaitStats::default(),
+                }),
             },
             max_iters,
             dep,
@@ -1529,8 +1659,14 @@ pub fn execute_staticsched_scripted(
                     consumed,
                     values,
                     meter,
+                    monitor,
                     ..
                 } => {
+                    // Flush the drift detector's partial tail window before
+                    // the snapshot below.
+                    if let Some(m) = monitor {
+                        m.finish();
+                    }
                     let s = &graph.sinks[oil_compiler::rtgraph::RtSinkId::new(sink)];
                     sinks[sink] = Some(SinkStream {
                         name: s.name.clone(),
@@ -1626,6 +1762,7 @@ pub fn execute_staticsched_scripted(
         mode_switches,
         transition_firings,
         trace_report,
+        metrics: hub.as_ref().map(|h| h.snapshot()),
     }
 }
 

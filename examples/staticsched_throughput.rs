@@ -68,6 +68,7 @@ fn main() {
                 record_values: false,
                 warmup_samples: 256,
                 trace: false,
+                ..StaticConfig::default()
             },
         );
         println!(

@@ -138,6 +138,7 @@ fn main() {
             record_values: false,
             warmup_samples: 256,
             trace: true,
+            ..StaticConfig::default()
         },
     );
     let conformance = report.conformance(threshold);

@@ -472,6 +472,89 @@ fn mode_dependent_static_replay_matches_scripted_selftimed() {
 }
 
 #[test]
+fn observed_seam_latency_stays_within_the_proven_bound() {
+    // Closing the loop between the static proof and the runtime
+    // measurement: synthesis proves a virtual-time bound on every
+    // drain/fill seam (`seam_latency_max`, by exact replay of each mode
+    // pair), and the tracer measures each seam's wall-clock span. The two
+    // are not the same currency — the seam's firings pay wall-clock
+    // scheduling and instrumentation overhead the virtual model does not
+    // price, and the OS can preempt mid-span — so the closure is
+    // order-of-magnitude, not cycle-exact: the *best of a few attempts*
+    // (transient preemption dies under a min) must stay within the proven
+    // bound plus a fixed overhead allowance, on runs that beat real time.
+    // A stuck drain, a lost wake-up or a seam replaying the wrong mode
+    // pair overshoots by milliseconds and still fails loudly.
+    const SEAM_ATTEMPTS: usize = 3;
+    // Per-seam wall overhead on top of the virtual-time bound: a handful
+    // of unfused step-by-step firings each costing clock reads, event
+    // records and (in debug builds) unoptimised kernel dispatch.
+    const SEAM_OVERHEAD_NS: f64 = 250_000.0;
+    let mut checked = 0u64;
+    for seed in 0..dependent_seeds() {
+        let scenario = ModeDependentScenario::generate(seed);
+        let graph = &scenario.graph;
+        let plan = rtgraph::plan(graph);
+        for &workers in &[1usize, 2] {
+            let schedule = synthesize(graph, &plan, workers, &SynthesisConfig::from_env())
+                .unwrap_or_else(|e| panic!("seed {seed}: synthesis at {workers}: {e}"));
+            let bound_ns = schedule
+                .modes
+                .as_ref()
+                .and_then(|m| m.dependent.as_ref())
+                .map(|d| d.seam_latency_max.to_f64() * 1e9)
+                .unwrap_or_else(|| panic!("seed {seed}: no mode-dependent seam proof"));
+            for script in dependent_scripts(&scenario) {
+                let mut best: Option<u64> = None;
+                for _ in 0..SEAM_ATTEMPTS {
+                    let report = execute_staticsched_scripted(
+                        graph,
+                        &schedule,
+                        &script,
+                        &KernelLibrary::new(),
+                        picos(DURATION_S),
+                        &StaticConfig {
+                            warmup_samples: 4,
+                            trace: true,
+                            ..StaticConfig::default()
+                        },
+                    );
+                    let tr = report.trace_report.as_ref().expect("tracing was enabled");
+                    let observed_ns = tr.seam_latency_observed_ns();
+                    // Real-time guard: on an overloaded host the whole run
+                    // can fall behind its virtual horizon, and a wall-clock
+                    // span then says nothing about the virtual-time proof.
+                    if report.wall.as_secs_f64() > DURATION_S || observed_ns == 0 {
+                        continue;
+                    }
+                    best = Some(best.map_or(observed_ns, |b| b.min(observed_ns)));
+                    if (observed_ns as f64) <= bound_ns + SEAM_OVERHEAD_NS {
+                        break;
+                    }
+                }
+                let Some(observed_ns) = best else {
+                    continue;
+                };
+                checked += 1;
+                assert!(
+                    observed_ns as f64 <= bound_ns + SEAM_OVERHEAD_NS,
+                    "seed {seed}: best-of-{SEAM_ATTEMPTS} observed seam span \
+                     {observed_ns} ns exceeds the proven seam_latency_max \
+                     {bound_ns:.0} ns + {SEAM_OVERHEAD_NS:.0} ns overhead \
+                     allowance at {workers} worker(s) under {script:?}\n\
+                     reproduce with ModeDependentScenario::generate({seed})"
+                );
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "no traced run ever crossed a seam faster than real time — the \
+         seam-latency closure would be vacuous"
+    );
+}
+
+#[test]
 fn past_horizon_switches_are_no_ops_on_both_engines() {
     // `ModeScript::new(0, vec![(1_000_000, last)])` never reaches its
     // switch point inside the horizon: both engines must report

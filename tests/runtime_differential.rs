@@ -137,6 +137,7 @@ fn runtime_traces_match_the_simulator_on_generated_programs() {
                     record_traces: true,
                     record_values: true,
                     trace: oil::rt::env_trace(),
+                    ..RtConfig::default()
                 },
             );
             if let Some(divergence) = report.trace.first_divergence(&sim_trace) {
@@ -195,6 +196,7 @@ fn runtime_value_streams_are_thread_count_invariant() {
                     record_traces: true,
                     record_values: true,
                     trace: oil::rt::env_trace(),
+                    ..RtConfig::default()
                 },
             );
             match &baseline {
@@ -245,6 +247,7 @@ fn pal_decoder_runtime_matches_simulator_with_zero_misses() {
                 record_traces: true,
                 record_values: true,
                 trace: oil::rt::env_trace(),
+                ..RtConfig::default()
             },
         );
         if let Some(divergence) = report.trace.first_divergence(&sim_trace) {

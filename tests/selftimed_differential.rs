@@ -202,6 +202,7 @@ fn free_running_streams_match_the_calendar_reference_on_the_corpus() {
                 record_traces: true,
                 record_values: true,
                 trace: oil::rt::env_trace(),
+                ..RtConfig::default()
             },
         );
         assert_eq!(
@@ -404,6 +405,7 @@ fn pal_decoder_free_run_conforms_to_the_predicted_rates() {
             record_traces: true,
             record_values: true,
             trace: oil::rt::env_trace(),
+            ..RtConfig::default()
         },
     );
     assert_eq!(

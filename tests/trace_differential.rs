@@ -47,6 +47,19 @@ fn compile_scenario(scenario: &ProgramScenario) -> Option<oil::compiler::Compile
     }
 }
 
+/// A saturated event buffer silently truncates the evidence every other
+/// oracle relies on: the corpus runs are sized well under the per-worker
+/// capacity, so a single dropped event is a bug, not a tuning issue.
+fn assert_no_drops(seed: u64, what: &str, tr: Option<&TraceReport>) {
+    let tr = tr.expect("tracing was enabled");
+    assert_eq!(
+        tr.dropped, 0,
+        "seed {seed}: {what}: traced run dropped {} event(s) — the trace \
+         is no longer evidence",
+        tr.dropped
+    );
+}
+
 /// Byte-for-byte comparison of everything the value plane observes.
 fn assert_bit_identical(
     seed: u64,
@@ -112,6 +125,7 @@ fn traced_runs_are_bit_identical_to_untraced_on_all_engines() {
                         record_traces: true,
                         record_values: true,
                         trace,
+                        ..RtConfig::default()
                     },
                 )
             };
@@ -119,6 +133,11 @@ fn traced_runs_are_bit_identical_to_untraced_on_all_engines() {
             let traced = run_calendar(true);
             assert!(base.trace_report.is_none(), "untraced run grew a report");
             assert!(traced.trace_report.is_some(), "traced run lost its report");
+            assert_no_drops(
+                seed,
+                &format!("calendar@{threads}"),
+                traced.trace_report.as_ref(),
+            );
             assert_eq!(
                 base.trace, traced.trace,
                 "seed {seed}: calendar@{threads}: tracing changed the token trace"
@@ -149,6 +168,11 @@ fn traced_runs_are_bit_identical_to_untraced_on_all_engines() {
             let base = run_selftimed(false);
             let traced = run_selftimed(true);
             assert!(traced.trace_report.is_some());
+            assert_no_drops(
+                seed,
+                &format!("selftimed@{threads}"),
+                traced.trace_report.as_ref(),
+            );
             assert_bit_identical(
                 seed,
                 &format!("selftimed@{threads}"),
@@ -172,12 +196,18 @@ fn traced_runs_are_bit_identical_to_untraced_on_all_engines() {
                         record_values: true,
                         warmup_samples: 4,
                         trace,
+                        ..StaticConfig::default()
                     },
                 )
             };
             let base = run_static(false);
             let traced = run_static(true);
             assert!(traced.trace_report.is_some());
+            assert_no_drops(
+                seed,
+                &format!("staticsched@{threads}"),
+                traced.trace_report.as_ref(),
+            );
             assert_bit_identical(
                 seed,
                 &format!("staticsched@{threads}"),
@@ -232,6 +262,7 @@ fn ring_highwater_stays_within_cta_capacity_on_the_corpus() {
                     record_values: false,
                     warmup_samples: 4,
                     trace: true,
+                    ..StaticConfig::default()
                 },
             );
             assert_rings_within(seed, "staticsched", threads, report.trace_report.as_ref());
@@ -591,6 +622,7 @@ fn chrome_trace_export_is_wellformed_and_properly_nested() {
                 record_values: false,
                 warmup_samples: 256,
                 trace: true,
+                ..StaticConfig::default()
             },
         );
         let tr = report.trace_report.expect("tracing was enabled");
